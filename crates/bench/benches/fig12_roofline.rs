@@ -1,0 +1,25 @@
+//! Criterion bench for the Fig. 12 roofline experiment: full cycle-level
+//! runs of each workload with RT-unit operation/block accounting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vksim_bench::{fig12_roofline, run_workload};
+use vksim_core::SimConfig;
+use vksim_scenes::{Scale, WorkloadKind};
+
+fn bench_roofline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("roofline_all_workloads", |b| {
+        b.iter(|| std::hint::black_box(fig12_roofline(Scale::Test, &SimConfig::test_small())))
+    });
+    g.bench_function("timing_run_ext", |b| {
+        b.iter(|| {
+            let (_, report) = run_workload(WorkloadKind::Ext, Scale::Test, SimConfig::test_small());
+            std::hint::black_box(report.gpu.cycles)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_roofline);
+criterion_main!(benches);

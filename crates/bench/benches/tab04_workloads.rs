@@ -1,0 +1,22 @@
+//! Criterion bench for Table IV generation: functional characterization of
+//! all five workloads (BVH depth, average nodes per ray, primitive count).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vksim_bench::tab04_workloads;
+use vksim_scenes::Scale;
+
+fn bench_tab04(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tab04");
+    g.sample_size(10);
+    g.bench_function("workload_summary_test_scale", |b| {
+        b.iter(|| {
+            let rows = tab04_workloads(Scale::Test);
+            assert_eq!(rows.len(), 5);
+            std::hint::black_box(rows)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tab04);
+criterion_main!(benches);

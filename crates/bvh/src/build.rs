@@ -1,0 +1,436 @@
+//! BVH construction: binned-SAH binary build collapsed into a 6-wide BVH.
+//!
+//! Mesa's acceleration-structure build produces the 6-wide tree the paper's
+//! traversal consumes. We reproduce the standard pipeline: a binary BVH
+//! built top-down with a binned surface-area heuristic, then a collapse pass
+//! that greedily merges binary nodes into nodes of up to [`BVH_WIDTH`]
+//! children (the child with the largest surface area is expanded first).
+
+use crate::node::{InstanceLeaf, InternalNode, Node, ProceduralLeaf, TriangleLeaf, WideBvh};
+use crate::BVH_WIDTH;
+use vksim_math::Aabb;
+
+/// Build-time tuning knobs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BuildOptions {
+    /// Number of SAH bins per axis.
+    pub sah_bins: usize,
+    /// Below this many primitives a median split replaces SAH binning.
+    pub min_sah_prims: usize,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions { sah_bins: 16, min_sah_prims: 4 }
+    }
+}
+
+/// One input item to a build: a bounding box plus the leaf node that will
+/// represent it.
+#[derive(Clone, Debug)]
+pub struct BuildItem {
+    /// Item bounds.
+    pub aabb: Aabb,
+    /// Leaf payload (already fully formed).
+    pub leaf: Node,
+}
+
+impl BuildItem {
+    /// Convenience constructor for a triangle leaf item.
+    pub fn triangle(leaf: TriangleLeaf) -> Self {
+        BuildItem { aabb: leaf.triangle.aabb(), leaf: Node::Triangle(leaf) }
+    }
+
+    /// Convenience constructor for a procedural leaf item.
+    pub fn procedural(leaf: ProceduralLeaf) -> Self {
+        BuildItem { aabb: leaf.aabb, leaf: Node::Procedural(leaf) }
+    }
+
+    /// Convenience constructor for an instance leaf item.
+    pub fn instance(aabb: Aabb, leaf: InstanceLeaf) -> Self {
+        BuildItem { aabb, leaf: Node::Instance(leaf) }
+    }
+}
+
+// Temporary binary tree node used during construction.
+enum BinaryNode {
+    Leaf { item: usize },
+    Internal { aabb: Aabb, left: Box<BinaryNode>, right: Box<BinaryNode> },
+}
+
+impl BinaryNode {
+    fn aabb(&self, items: &[BuildItem]) -> Aabb {
+        match self {
+            BinaryNode::Leaf { item } => items[*item].aabb,
+            BinaryNode::Internal { aabb, .. } => *aabb,
+        }
+    }
+}
+
+/// Builds a linearized wide BVH from leaf items.
+///
+/// Returns an empty [`WideBvh`] for empty input. A single item produces a
+/// root internal node with one leaf child, so traversal always starts at an
+/// internal node (matching Algorithm 2's entry condition).
+pub fn build_wide_bvh(items: Vec<BuildItem>, opts: &BuildOptions) -> WideBvh {
+    if items.is_empty() {
+        return WideBvh::default();
+    }
+    let indices: Vec<usize> = (0..items.len()).collect();
+    let binary = build_binary(&items, indices, opts);
+
+    // Collapse binary tree into a wide tree (temporary recursive form).
+    struct WideTmp {
+        bounds: Vec<Aabb>,
+        children: Vec<WideChild>,
+    }
+    enum WideChild {
+        Leaf(usize),
+        Inner(Box<WideTmp>),
+    }
+
+    fn collapse(node: BinaryNode, items: &[BuildItem]) -> WideChild {
+        match node {
+            BinaryNode::Leaf { item } => WideChild::Leaf(item),
+            BinaryNode::Internal { left, right, .. } => {
+                // Greedily expand the internal child with the largest surface
+                // area until we have up to BVH_WIDTH children.
+                let mut pool: Vec<BinaryNode> = vec![*left, *right];
+                loop {
+                    if pool.len() >= BVH_WIDTH {
+                        break;
+                    }
+                    // Pick the internal node with the largest area to expand.
+                    let mut best: Option<(usize, f32)> = None;
+                    for (i, n) in pool.iter().enumerate() {
+                        if let BinaryNode::Internal { aabb, .. } = n {
+                            let area = aabb.surface_area();
+                            if best.map_or(true, |(_, a)| area > a) {
+                                best = Some((i, area));
+                            }
+                        }
+                    }
+                    let Some((idx, _)) = best else { break };
+                    let BinaryNode::Internal { left, right, .. } = pool.swap_remove(idx) else {
+                        unreachable!()
+                    };
+                    pool.push(*left);
+                    pool.push(*right);
+                }
+                let mut tmp = WideTmp { bounds: Vec::new(), children: Vec::new() };
+                for n in pool {
+                    tmp.bounds.push(n.aabb(items));
+                    tmp.children.push(collapse(n, items));
+                }
+                WideChild::Inner(Box::new(tmp))
+            }
+        }
+    }
+
+    let root = match collapse(binary, &items) {
+        WideChild::Inner(t) => *t,
+        WideChild::Leaf(item) => {
+            // Single primitive: wrap in a one-child internal root.
+            WideTmp { bounds: vec![items[item].aabb], children: vec![WideChild::Leaf(item)] }
+        }
+    };
+
+    // Linearize breadth-first so that siblings are consecutive in memory and
+    // internal nodes need only a first-child pointer (paper §III-B1).
+    let mut leaf_payloads: Vec<Option<Node>> = items.into_iter().map(|i| Some(i.leaf)).collect();
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut queue: Vec<(WideTmp, usize)> = Vec::new(); // (subtree, arena slot)
+
+    let root_aabb = root.bounds.iter().fold(Aabb::EMPTY, |a, b| a.union(b));
+    nodes.push(placeholder_internal());
+    queue.push((root, 0));
+
+    while let Some((tmp, slot)) = queue.pop() {
+        let mut internal = InternalNode {
+            child_bounds: [Aabb::EMPTY; BVH_WIDTH],
+            children: [u32::MAX; BVH_WIDTH],
+            child_count: tmp.children.len() as u8,
+        };
+        // Allocate the children block contiguously at the end of the arena.
+        let first_child = nodes.len() as u32;
+        let mut pending: Vec<(WideTmp, usize)> = Vec::new();
+        for (i, (child, bounds)) in tmp.children.into_iter().zip(tmp.bounds).enumerate() {
+            internal.child_bounds[i] = bounds;
+            let idx = first_child + i as u32;
+            internal.children[i] = idx;
+            match child {
+                WideChild::Leaf(item) => {
+                    nodes.push(leaf_payloads[item].take().expect("leaf used once"));
+                }
+                WideChild::Inner(sub) => {
+                    nodes.push(placeholder_internal());
+                    pending.push((*sub, idx as usize));
+                }
+            }
+        }
+        nodes[slot] = Node::Internal(internal);
+        queue.extend(pending);
+    }
+
+    // Assign byte offsets in arena order (siblings were allocated
+    // consecutively, so consecutive indices means consecutive bytes).
+    let mut offsets = Vec::with_capacity(nodes.len());
+    let mut cursor = 0u64;
+    for n in &nodes {
+        offsets.push(cursor);
+        cursor += n.kind().size_bytes();
+    }
+
+    let depth = compute_depth(&nodes, 0);
+    WideBvh { nodes, offsets, size_bytes: cursor, depth, aabb: root_aabb }
+}
+
+fn placeholder_internal() -> Node {
+    Node::Internal(InternalNode {
+        child_bounds: [Aabb::EMPTY; BVH_WIDTH],
+        children: [u32::MAX; BVH_WIDTH],
+        child_count: 0,
+    })
+}
+
+fn compute_depth(nodes: &[Node], idx: u32) -> u32 {
+    match &nodes[idx as usize] {
+        Node::Internal(int) => {
+            1 + int
+                .iter_children()
+                .map(|(c, _)| compute_depth(nodes, c))
+                .max()
+                .unwrap_or(0)
+        }
+        _ => 1,
+    }
+}
+
+fn build_binary(items: &[BuildItem], mut indices: Vec<usize>, opts: &BuildOptions) -> BinaryNode {
+    if indices.len() == 1 {
+        return BinaryNode::Leaf { item: indices[0] };
+    }
+    let bounds = indices.iter().fold(Aabb::EMPTY, |a, &i| a.union(&items[i].aabb));
+    let centroid_bounds = indices
+        .iter()
+        .fold(Aabb::EMPTY, |a, &i| a.union_point(items[i].aabb.center()));
+    let axis = centroid_bounds.longest_axis();
+    let extent = centroid_bounds.extent()[axis];
+
+    let split = if extent <= 0.0 {
+        // All centroids coincide: split in half by index.
+        indices.len() / 2
+    } else if indices.len() < opts.min_sah_prims {
+        median_split(items, &mut indices, axis)
+    } else {
+        sah_split(items, &mut indices, axis, &centroid_bounds, opts)
+            .unwrap_or_else(|| median_split(items, &mut indices, axis))
+    };
+    let split = split.clamp(1, indices.len() - 1);
+    let right = indices.split_off(split);
+    let left = indices;
+    let l = build_binary(items, left, opts);
+    let r = build_binary(items, right, opts);
+    let _ = bounds;
+    let aabb = l.aabb(items).union(&r.aabb(items));
+    BinaryNode::Internal { aabb, left: Box::new(l), right: Box::new(r) }
+}
+
+fn median_split(items: &[BuildItem], indices: &mut [usize], axis: usize) -> usize {
+    indices.sort_by(|&a, &b| {
+        items[a].aabb.center()[axis]
+            .partial_cmp(&items[b].aabb.center()[axis])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    indices.len() / 2
+}
+
+/// Binned SAH split. Sorts `indices` so that `[0, split)` is the left child;
+/// returns `None` when no bin boundary produces a non-degenerate split.
+fn sah_split(
+    items: &[BuildItem],
+    indices: &mut [usize],
+    axis: usize,
+    centroid_bounds: &Aabb,
+    opts: &BuildOptions,
+) -> Option<usize> {
+    let nbins = opts.sah_bins.max(2);
+    let lo = centroid_bounds.min[axis];
+    let extent = centroid_bounds.extent()[axis];
+    let bin_of = |idx: usize| -> usize {
+        let c = items[idx].aabb.center()[axis];
+        (((c - lo) / extent * nbins as f32) as usize).min(nbins - 1)
+    };
+
+    let mut bin_bounds = vec![Aabb::EMPTY; nbins];
+    let mut bin_counts = vec![0usize; nbins];
+    for &i in indices.iter() {
+        let b = bin_of(i);
+        bin_bounds[b] = bin_bounds[b].union(&items[i].aabb);
+        bin_counts[b] += 1;
+    }
+
+    // Sweep to find the cheapest boundary: cost = A_l*n_l + A_r*n_r.
+    let mut right_acc = vec![(Aabb::EMPTY, 0usize); nbins];
+    let mut acc = Aabb::EMPTY;
+    let mut cnt = 0;
+    for b in (1..nbins).rev() {
+        acc = acc.union(&bin_bounds[b]);
+        cnt += bin_counts[b];
+        right_acc[b] = (acc, cnt);
+    }
+    let mut best: Option<(usize, f32)> = None;
+    let mut left_box = Aabb::EMPTY;
+    let mut left_cnt = 0usize;
+    for b in 1..nbins {
+        left_box = left_box.union(&bin_bounds[b - 1]);
+        left_cnt += bin_counts[b - 1];
+        let (rbox, rcnt) = right_acc[b];
+        if left_cnt == 0 || rcnt == 0 {
+            continue;
+        }
+        let cost = left_box.surface_area() * left_cnt as f32 + rbox.surface_area() * rcnt as f32;
+        if best.map_or(true, |(_, c)| cost < c) {
+            best = Some((b, cost));
+        }
+    }
+    let (boundary, _) = best?;
+    // Partition indices by bin.
+    indices.sort_by_key(|&i| bin_of(i));
+    let split = indices.iter().position(|&i| bin_of(i) >= boundary)?;
+    if split == 0 || split == indices.len() {
+        return None;
+    }
+    Some(split)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Triangle;
+    use vksim_math::Vec3;
+
+    fn tri_grid(n: usize) -> Vec<BuildItem> {
+        let mut v = Vec::new();
+        for i in 0..n {
+            let x = i as f32 * 2.0;
+            let t = Triangle::new(
+                Vec3::new(x, 0.0, 0.0),
+                Vec3::new(x + 1.0, 0.0, 0.0),
+                Vec3::new(x, 1.0, 0.0),
+            );
+            v.push(BuildItem::triangle(TriangleLeaf {
+                primitive_index: i as u32,
+                geometry_index: 0,
+                triangle: t,
+            }));
+        }
+        v
+    }
+
+    #[test]
+    fn empty_input_builds_empty_bvh() {
+        let b = build_wide_bvh(Vec::new(), &BuildOptions::default());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn single_item_gets_internal_root() {
+        let b = build_wide_bvh(tri_grid(1), &BuildOptions::default());
+        assert_eq!(b.node_count(), 2);
+        assert!(matches!(b.nodes[0], Node::Internal(_)));
+        assert!(matches!(b.nodes[1], Node::Triangle(_)));
+        assert_eq!(b.depth, 2);
+        b.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn all_leaves_present_exactly_once() {
+        for n in [2usize, 3, 6, 7, 13, 64, 257] {
+            let b = build_wide_bvh(tri_grid(n), &BuildOptions::default());
+            let mut seen = vec![false; n];
+            for node in &b.nodes {
+                if let Node::Triangle(t) = node {
+                    assert!(!seen[t.primitive_index as usize], "duplicate leaf");
+                    seen[t.primitive_index as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "missing leaf for n={n}");
+            b.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn children_bounded_by_width() {
+        let b = build_wide_bvh(tri_grid(100), &BuildOptions::default());
+        for node in &b.nodes {
+            if let Node::Internal(i) = node {
+                assert!(i.child_count as usize <= BVH_WIDTH);
+                assert!(i.child_count >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn child_bounds_contain_descendants() {
+        let b = build_wide_bvh(tri_grid(50), &BuildOptions::default());
+        fn check(b: &WideBvh, idx: u32) -> Aabb {
+            match &b.nodes[idx as usize] {
+                Node::Internal(int) => {
+                    let mut total = Aabb::EMPTY;
+                    for (c, declared) in int.iter_children() {
+                        let actual = check(b, c);
+                        // Declared child bounds must contain actual bounds.
+                        assert!(declared.min.x <= actual.min.x + 1e-5);
+                        assert!(declared.max.x >= actual.max.x - 1e-5);
+                        total = total.union(declared);
+                    }
+                    total
+                }
+                Node::Triangle(t) => t.triangle.aabb(),
+                Node::Procedural(p) => p.aabb,
+                Node::Instance(_) => Aabb::EMPTY,
+            }
+        }
+        check(&b, 0);
+    }
+
+    #[test]
+    fn depth_is_logarithmic_for_uniform_input() {
+        let b = build_wide_bvh(tri_grid(1000), &BuildOptions::default());
+        // 6-wide tree over 1000 leaves: depth should be well under 20.
+        assert!(b.depth >= 4, "depth {} too shallow", b.depth);
+        assert!(b.depth <= 20, "depth {} too deep", b.depth);
+    }
+
+    #[test]
+    fn offsets_are_64_byte_aligned_for_primitives() {
+        let b = build_wide_bvh(tri_grid(10), &BuildOptions::default());
+        for (node, &off) in b.nodes.iter().zip(&b.offsets) {
+            if node.kind() != crate::node::NodeKind::InstanceLeaf {
+                assert_eq!(off % 64, 0);
+            }
+        }
+        assert_eq!(b.size_bytes % 64, 0);
+    }
+
+    #[test]
+    fn identical_centroids_still_split() {
+        // All triangles identical: degenerate centroid extent.
+        let items: Vec<BuildItem> = (0..8)
+            .map(|i| {
+                BuildItem::triangle(TriangleLeaf {
+                    primitive_index: i,
+                    geometry_index: 0,
+                    triangle: Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y),
+                })
+            })
+            .collect();
+        let b = build_wide_bvh(items, &BuildOptions::default());
+        assert_eq!(
+            b.nodes.iter().filter(|n| matches!(n, Node::Triangle(_))).count(),
+            8
+        );
+        b.check_invariants().unwrap();
+    }
+}

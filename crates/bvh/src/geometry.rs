@@ -1,0 +1,141 @@
+//! Scene geometry fed into acceleration-structure builds.
+
+use vksim_math::{Aabb, Vec3};
+
+/// A triangle primitive.
+///
+/// # Example
+///
+/// ```
+/// use vksim_bvh::geometry::Triangle;
+/// use vksim_math::Vec3;
+/// let t = Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y);
+/// assert_eq!(t.aabb().max, Vec3::new(1.0, 1.0, 0.0));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Triangle {
+    /// First vertex.
+    pub v0: Vec3,
+    /// Second vertex.
+    pub v1: Vec3,
+    /// Third vertex.
+    pub v2: Vec3,
+}
+
+impl Triangle {
+    /// Creates a triangle from three vertices.
+    pub const fn new(v0: Vec3, v1: Vec3, v2: Vec3) -> Self {
+        Triangle { v0, v1, v2 }
+    }
+
+    /// Bounding box of the triangle, padded slightly so axis-aligned
+    /// triangles do not produce zero-thickness boxes.
+    pub fn aabb(&self) -> Aabb {
+        Aabb::from_triangle(self.v0, self.v1, self.v2)
+    }
+
+    /// Triangle centroid (SAH binning key).
+    pub fn centroid(&self) -> Vec3 {
+        (self.v0 + self.v1 + self.v2) / 3.0
+    }
+
+    /// Unit geometric normal.
+    pub fn normal(&self) -> Vec3 {
+        vksim_math::intersect::triangle_normal(self.v0, self.v1, self.v2)
+    }
+
+    /// Twice the triangle's area (cross-product magnitude).
+    pub fn double_area(&self) -> f32 {
+        (self.v1 - self.v0).cross(self.v2 - self.v0).length()
+    }
+}
+
+/// A procedural (custom-geometry) primitive: the AS only knows its bounding
+/// box; an *intersection shader* decides whether a ray actually hits it
+/// (paper §II-C). `shader_id` selects that shader in the SBT.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProceduralPrimitive {
+    /// Conservative bounding box registered with the AS build.
+    pub aabb: Aabb,
+    /// Intersection-shader index for this primitive's geometry.
+    pub shader_id: u32,
+}
+
+impl ProceduralPrimitive {
+    /// Creates a procedural primitive.
+    pub const fn new(aabb: Aabb, shader_id: u32) -> Self {
+        ProceduralPrimitive { aabb, shader_id }
+    }
+}
+
+/// Geometry for one BLAS build: triangles and/or procedural primitives, in
+/// the order that defines their primitive indices.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BlasGeometry {
+    /// Triangle list (primitive index = position).
+    pub triangles: Vec<Triangle>,
+    /// Procedural primitive list (primitive index = position).
+    pub procedurals: Vec<ProceduralPrimitive>,
+}
+
+impl BlasGeometry {
+    /// Geometry with only triangles.
+    pub fn triangles(triangles: Vec<Triangle>) -> Self {
+        BlasGeometry { triangles, procedurals: Vec::new() }
+    }
+
+    /// Geometry with only procedural primitives.
+    pub fn procedurals(procedurals: Vec<ProceduralPrimitive>) -> Self {
+        BlasGeometry { triangles: Vec::new(), procedurals }
+    }
+
+    /// Total primitive count.
+    pub fn primitive_count(&self) -> usize {
+        self.triangles.len() + self.procedurals.len()
+    }
+
+    /// Bounding box over all primitives.
+    pub fn aabb(&self) -> Aabb {
+        let mut b = Aabb::EMPTY;
+        for t in &self.triangles {
+            b = b.union(&t.aabb());
+        }
+        for p in &self.procedurals {
+            b = b.union(&p.aabb);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_centroid_and_area() {
+        let t = Triangle::new(Vec3::ZERO, Vec3::new(3.0, 0.0, 0.0), Vec3::new(0.0, 3.0, 0.0));
+        assert_eq!(t.centroid(), Vec3::new(1.0, 1.0, 0.0));
+        assert_eq!(t.double_area(), 9.0);
+        assert_eq!(t.normal(), Vec3::Z);
+    }
+
+    #[test]
+    fn blas_geometry_counts_and_bounds() {
+        let g = BlasGeometry {
+            triangles: vec![Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y)],
+            procedurals: vec![ProceduralPrimitive::new(
+                Aabb::new(Vec3::splat(2.0), Vec3::splat(3.0)),
+                7,
+            )],
+        };
+        assert_eq!(g.primitive_count(), 2);
+        let b = g.aabb();
+        assert_eq!(b.min, Vec3::ZERO);
+        assert_eq!(b.max, Vec3::splat(3.0));
+    }
+
+    #[test]
+    fn empty_geometry_has_empty_bounds() {
+        assert!(BlasGeometry::default().aabb().is_empty());
+    }
+}

@@ -1,0 +1,269 @@
+//! Bottom-level and top-level acceleration structures.
+//!
+//! Vulkan defines the AS in two levels (paper Fig. 6): one [`Blas`] per
+//! unique object's geometry, and a single [`Tlas`] that places BLAS
+//! *instances* in the scene, each with an object-to-world transform, a
+//! user-defined custom index and an SBT offset selecting which closest-hit /
+//! intersection shaders run for geometry inside it.
+
+use crate::build::{build_wide_bvh, BuildItem, BuildOptions};
+use crate::geometry::BlasGeometry;
+use crate::node::{InstanceLeaf, ProceduralLeaf, TriangleLeaf, WideBvh};
+use vksim_math::{Aabb, Mat4x3};
+
+/// A bottom-level acceleration structure over one object's geometry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Blas {
+    /// The wide BVH over this object's primitives.
+    pub bvh: WideBvh,
+    /// The geometry the BVH was built over (kept for intersection tests).
+    pub geometry: BlasGeometry,
+    /// Base address of this structure in simulated GPU memory.
+    pub base_addr: u64,
+}
+
+impl Blas {
+    /// Builds a BLAS with default options.
+    pub fn build(geometry: BlasGeometry) -> Self {
+        Self::build_with(geometry, &BuildOptions::default())
+    }
+
+    /// Builds a BLAS with explicit options.
+    pub fn build_with(geometry: BlasGeometry, opts: &BuildOptions) -> Self {
+        let mut items = Vec::with_capacity(geometry.primitive_count());
+        for (i, t) in geometry.triangles.iter().enumerate() {
+            items.push(BuildItem::triangle(TriangleLeaf {
+                primitive_index: i as u32,
+                geometry_index: 0,
+                triangle: *t,
+            }));
+        }
+        for (i, p) in geometry.procedurals.iter().enumerate() {
+            items.push(BuildItem::procedural(ProceduralLeaf {
+                primitive_index: i as u32,
+                geometry_index: 1,
+                shader_id: p.shader_id,
+                aabb: p.aabb,
+            }));
+        }
+        let bvh = build_wide_bvh(items, opts);
+        Blas { bvh, geometry, base_addr: 0 }
+    }
+
+    /// Convenience: BLAS over a triangle list.
+    pub fn from_triangles(triangles: &[crate::geometry::Triangle]) -> Self {
+        Self::build(BlasGeometry::triangles(triangles.to_vec()))
+    }
+
+    /// Object-space bounding box.
+    pub fn aabb(&self) -> Aabb {
+        self.bvh.aabb
+    }
+
+    /// Assigns the base address (done by the device allocator).
+    pub fn set_base_addr(&mut self, addr: u64) {
+        self.base_addr = addr;
+    }
+
+    /// Total footprint in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.bvh.size_bytes
+    }
+}
+
+/// One BLAS instance placed in the scene by the TLAS.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Instance {
+    /// Index of the referenced BLAS in the scene's BLAS table.
+    pub blas_index: u32,
+    /// Object-to-world transform.
+    pub object_to_world: Mat4x3,
+    /// World-to-object transform (inverse, stored in the 128 B leaf).
+    pub world_to_object: Mat4x3,
+    /// User-defined instance custom index (`gl_InstanceCustomIndexEXT`).
+    pub custom_index: u32,
+    /// SBT record offset: selects closest-hit/intersection shaders for hits
+    /// inside this instance (paper §III-B1: "user-defined instance indices
+    /// that specify which closest-hit and intersection shaders should be
+    /// executed").
+    pub sbt_offset: u32,
+}
+
+impl Instance {
+    /// Creates an instance; the world-to-object matrix is derived by
+    /// inversion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `object_to_world` is singular.
+    pub fn new(blas_index: u32, object_to_world: Mat4x3) -> Self {
+        let world_to_object = object_to_world
+            .inverse()
+            .expect("instance transform must be invertible");
+        Instance {
+            blas_index,
+            object_to_world,
+            world_to_object,
+            custom_index: 0,
+            sbt_offset: 0,
+        }
+    }
+
+    /// Sets the user-defined custom index.
+    pub fn with_custom_index(mut self, idx: u32) -> Self {
+        self.custom_index = idx;
+        self
+    }
+
+    /// Sets the SBT record offset.
+    pub fn with_sbt_offset(mut self, off: u32) -> Self {
+        self.sbt_offset = off;
+        self
+    }
+}
+
+/// The top-level acceleration structure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tlas {
+    /// Wide BVH whose leaves are [`InstanceLeaf`] nodes.
+    pub bvh: WideBvh,
+    /// The instance table referenced by instance leaves.
+    pub instances: Vec<Instance>,
+    /// Base address of this structure in simulated GPU memory.
+    pub base_addr: u64,
+}
+
+impl Tlas {
+    /// Builds a TLAS over instances; `blases[i.blas_index]` provides each
+    /// instance's object-space bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an instance references a BLAS index out of range.
+    pub fn build(instances: Vec<Instance>, blases: &[&Blas]) -> Self {
+        Self::build_with(instances, blases, &BuildOptions::default())
+    }
+
+    /// Builds a TLAS with explicit build options.
+    pub fn build_with(instances: Vec<Instance>, blases: &[&Blas], opts: &BuildOptions) -> Self {
+        let items: Vec<BuildItem> = instances
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| {
+                let blas = blases
+                    .get(inst.blas_index as usize)
+                    .unwrap_or_else(|| panic!("instance {i} references missing BLAS"));
+                let world_bounds = blas.aabb().transformed(&inst.object_to_world).padded(1e-4);
+                BuildItem::instance(world_bounds, InstanceLeaf { instance_index: i as u32 })
+            })
+            .collect();
+        let bvh = build_wide_bvh(items, opts);
+        Tlas { bvh, instances, base_addr: 0 }
+    }
+
+    /// Assigns the base address (done by the device allocator).
+    pub fn set_base_addr(&mut self, addr: u64) {
+        self.base_addr = addr;
+    }
+
+    /// Total footprint in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.bvh.size_bytes
+    }
+
+    /// Combined depth statistic for Table IV: TLAS depth plus the deepest
+    /// instanced BLAS depth.
+    pub fn combined_depth(&self, blases: &[&Blas]) -> u32 {
+        let blas_depth = self
+            .instances
+            .iter()
+            .map(|i| blases[i.blas_index as usize].bvh.depth)
+            .max()
+            .unwrap_or(0);
+        self.bvh.depth + blas_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{ProceduralPrimitive, Triangle};
+    use vksim_math::Vec3;
+
+    fn quad_blas() -> Blas {
+        Blas::from_triangles(&[
+            Triangle::new(Vec3::new(-1.0, -1.0, 0.0), Vec3::new(1.0, -1.0, 0.0), Vec3::new(1.0, 1.0, 0.0)),
+            Triangle::new(Vec3::new(-1.0, -1.0, 0.0), Vec3::new(1.0, 1.0, 0.0), Vec3::new(-1.0, 1.0, 0.0)),
+        ])
+    }
+
+    #[test]
+    fn blas_build_over_triangles() {
+        let b = quad_blas();
+        assert_eq!(b.geometry.triangles.len(), 2);
+        assert!(!b.bvh.is_empty());
+        assert_eq!(b.aabb().min, Vec3::new(-1.0, -1.0, 0.0));
+        b.bvh.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn blas_build_mixed_geometry() {
+        let g = BlasGeometry {
+            triangles: vec![Triangle::new(Vec3::ZERO, Vec3::X, Vec3::Y)],
+            procedurals: vec![ProceduralPrimitive::new(
+                Aabb::new(Vec3::splat(2.0), Vec3::splat(3.0)),
+                4,
+            )],
+        };
+        let b = Blas::build(g);
+        assert_eq!(b.bvh.leaf_count(), 2);
+    }
+
+    #[test]
+    fn instance_inverse_transform_is_consistent() {
+        let m = Mat4x3::translation(Vec3::new(5.0, 0.0, 0.0));
+        let inst = Instance::new(0, m);
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        let roundtrip = inst.world_to_object.transform_point(inst.object_to_world.transform_point(p));
+        assert!((roundtrip - p).length() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invertible")]
+    fn singular_instance_transform_panics() {
+        let _ = Instance::new(0, Mat4x3::scale(Vec3::new(0.0, 1.0, 1.0)));
+    }
+
+    #[test]
+    fn tlas_bounds_cover_transformed_instances() {
+        let blas = quad_blas();
+        let instances = vec![
+            Instance::new(0, Mat4x3::IDENTITY),
+            Instance::new(0, Mat4x3::translation(Vec3::new(10.0, 0.0, 0.0))),
+        ];
+        let tlas = Tlas::build(instances, &[&blas]);
+        assert!(tlas.bvh.aabb.max.x >= 11.0 - 1e-3);
+        assert!(tlas.bvh.aabb.min.x <= -1.0 + 1e-3);
+        tlas.bvh.check_invariants().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "missing BLAS")]
+    fn tlas_with_bad_blas_index_panics() {
+        let _ = Tlas::build(vec![Instance::new(3, Mat4x3::IDENTITY)], &[]);
+    }
+
+    #[test]
+    fn combined_depth_adds_levels() {
+        let blas = quad_blas();
+        let tlas = Tlas::build(vec![Instance::new(0, Mat4x3::IDENTITY)], &[&blas]);
+        assert_eq!(tlas.combined_depth(&[&blas]), tlas.bvh.depth + blas.bvh.depth);
+    }
+
+    #[test]
+    fn builder_style_instance_options() {
+        let i = Instance::new(0, Mat4x3::IDENTITY).with_custom_index(9).with_sbt_offset(2);
+        assert_eq!(i.custom_index, 9);
+        assert_eq!(i.sbt_offset, 2);
+    }
+}

@@ -1,0 +1,549 @@
+//! Functional acceleration-structure traversal (paper Algorithm 2).
+//!
+//! A ray starts at the TLAS root, walks internal nodes, transforms into each
+//! intersected instance's object space (world-to-object matrix from the
+//! 128 B top-level leaf), walks BLAS internal nodes, performs ray-triangle
+//! tests at triangle leaves, and *collects* procedural leaves into an
+//! intersection buffer for delayed intersection-shader execution (paper
+//! §III-A, "delayed intersection and any-hit execution").
+//!
+//! Every node access and BVH operation is recorded as a [`TraceEvent`]; the
+//! RT unit timing model replays this script against the simulated memory
+//! hierarchy — the paper's *transactions buffer* (§III-B4: "Every time a ray
+//! accesses a node or intersection buffer, we record memory addresses that
+//! are accessed with its size and data type to a transactions buffer, which
+//! is then sent to the timing model").
+
+use crate::node::{Node, NodeKind};
+use crate::tlas::{Blas, Tlas};
+use vksim_math::{intersect, Ray, Vec3};
+
+/// One recorded step of a ray's traversal, replayed by the timing model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// A node was fetched from memory.
+    NodeFetch {
+        /// Absolute simulated address.
+        addr: u64,
+        /// Fetch size in bytes.
+        size: u32,
+        /// Node type (selects the operation unit that consumes it).
+        kind: NodeKind,
+    },
+    /// Ray-box tests against an internal node's children.
+    BoxTests {
+        /// Number of child AABBs tested (1..=6).
+        count: u8,
+    },
+    /// One ray-triangle intersection test.
+    TriangleTest,
+    /// One ray coordinate transformation (TLAS -> BLAS crossing).
+    Transform,
+    /// A traversal-stack push (short-stack occupancy modelling).
+    StackPush,
+    /// A traversal-stack pop.
+    StackPop,
+    /// An intersection-buffer store for a procedural hit.
+    IntersectionStore {
+        /// Absolute simulated address of the entry.
+        addr: u64,
+        /// Entry size in bytes.
+        size: u32,
+    },
+}
+
+/// A committed triangle hit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TriangleIntersection {
+    /// Ray parameter of the hit.
+    pub t: f32,
+    /// Barycentric u.
+    pub u: f32,
+    /// Barycentric v.
+    pub v: f32,
+    /// Primitive index within its geometry.
+    pub primitive_index: u32,
+    /// Geometry index within the BLAS.
+    pub geometry_index: u32,
+    /// Instance index within the TLAS.
+    pub instance_index: u32,
+    /// The instance's user custom index.
+    pub instance_custom_index: u32,
+    /// The instance's SBT record offset (selects the closest-hit shader).
+    pub sbt_offset: u32,
+    /// Geometric normal in world space (unit length).
+    pub world_normal: Vec3,
+    /// `true` when the back face was hit.
+    pub back_face: bool,
+}
+
+/// A procedural-leaf encounter queued for delayed intersection-shader
+/// execution (paper Algorithm 2 line 17: "add intersection to
+/// intersectionBuffer").
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProceduralHit {
+    /// Primitive index within its geometry.
+    pub primitive_index: u32,
+    /// Intersection-shader index registered for the geometry.
+    pub shader_id: u32,
+    /// Instance index within the TLAS.
+    pub instance_index: u32,
+    /// The instance's user custom index.
+    pub instance_custom_index: u32,
+    /// The instance's SBT record offset.
+    pub sbt_offset: u32,
+    /// Ray parameter at which the ray enters the primitive's AABB.
+    pub t_enter: f32,
+}
+
+/// Traversal options.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraversalConfig {
+    /// Terminate on the first confirmed triangle hit
+    /// (`gl_RayFlagsTerminateOnFirstHitEXT`, used by shadow rays).
+    pub terminate_on_first_hit: bool,
+    /// Record the [`TraceEvent`] script (disable for functional-only runs).
+    pub record_events: bool,
+    /// Base address of the per-ray intersection buffer.
+    pub intersection_buffer_base: u64,
+}
+
+impl Default for TraversalConfig {
+    fn default() -> Self {
+        TraversalConfig {
+            terminate_on_first_hit: false,
+            record_events: true,
+            intersection_buffer_base: 0x4000_0000,
+        }
+    }
+}
+
+/// Per-entry size of the intersection buffer: shader id + primitive index +
+/// instance index + SBT offset + custom index + t (6 x 4 B, padded to 32 B).
+pub const INTERSECTION_ENTRY_SIZE: u32 = 32;
+
+/// Result of one ray's traversal.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TraversalResult {
+    /// Closest committed triangle hit, if any.
+    pub closest: Option<TriangleIntersection>,
+    /// Procedural hits pending intersection-shader execution.
+    pub procedural_hits: Vec<ProceduralHit>,
+    /// Recorded traversal script (empty when `record_events` is off).
+    pub events: Vec<TraceEvent>,
+    /// Number of BVH nodes fetched.
+    pub nodes_visited: u32,
+    /// Number of ray-box tests performed.
+    pub box_tests: u32,
+    /// Number of ray-triangle tests performed.
+    pub triangle_tests: u32,
+    /// Number of ray transformations performed.
+    pub transforms: u32,
+    /// Deepest traversal-stack occupancy reached.
+    pub max_stack_depth: u32,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Space {
+    Tlas,
+    Blas { instance: u32 },
+}
+
+#[derive(Clone, Copy, Debug)]
+struct StackEntry {
+    node: u32,
+    space: Space,
+    t_enter: f32,
+}
+
+/// Traverses the two-level acceleration structure for one ray.
+///
+/// `blases[instance.blas_index]` must hold every BLAS referenced by the
+/// TLAS. The world-space ray's `t_max` shrinks as triangle hits commit;
+/// procedural hits do not shrink it (their surfaces are resolved later by
+/// intersection shaders, per the delayed-execution scheme).
+///
+/// # Panics
+///
+/// Panics if an instance references a BLAS index outside `blases`.
+pub fn traverse(
+    tlas: &Tlas,
+    blases: &[&Blas],
+    ray: &Ray,
+    config: &TraversalConfig,
+) -> TraversalResult {
+    let mut out = TraversalResult::default();
+    if tlas.bvh.is_empty() {
+        return out;
+    }
+
+    let mut world_ray = *ray;
+    let mut stack: Vec<StackEntry> = Vec::with_capacity(64);
+    stack.push(StackEntry { node: 0, space: Space::Tlas, t_enter: world_ray.t_min });
+    out.max_stack_depth = 1;
+
+    // Cached object-space ray for the instance currently being traversed.
+    let mut cached_instance: Option<u32> = None;
+    let mut object_ray = world_ray;
+
+    while let Some(entry) = stack.pop() {
+        push_event(&mut out, config, TraceEvent::StackPop);
+        // A committed hit may have shrunk t_max below this subtree's entry.
+        if entry.t_enter > world_ray.t_max {
+            continue;
+        }
+
+        let (bvh, base, space_ray) = match entry.space {
+            Space::Tlas => (&tlas.bvh, tlas.base_addr, {
+                object_ray.t_max = world_ray.t_max;
+                world_ray
+            }),
+            Space::Blas { instance } => {
+                let inst = &tlas.instances[instance as usize];
+                let blas = blases
+                    .get(inst.blas_index as usize)
+                    .unwrap_or_else(|| panic!("instance {instance} references missing BLAS"));
+                if cached_instance != Some(instance) {
+                    // Re-entering a different instance: re-apply the
+                    // world-to-object transform (Algorithm 2 line 6).
+                    object_ray = inst.world_to_object.transform_ray(&world_ray);
+                    cached_instance = Some(instance);
+                    out.transforms += 1;
+                    push_event(&mut out, config, TraceEvent::Transform);
+                }
+                object_ray.t_max = world_ray.t_max;
+                (&blas.bvh, blas.base_addr, object_ray)
+            }
+        };
+
+        let node = &bvh.nodes[entry.node as usize];
+        push_event(
+            &mut out,
+            config,
+            TraceEvent::NodeFetch {
+                addr: base + bvh.offset_of(entry.node),
+                size: node.kind().size_bytes() as u32,
+                kind: node.kind(),
+            },
+        );
+        out.nodes_visited += 1;
+
+        match node {
+            Node::Internal(int) => {
+                // Test all child AABBs, push hits nearest-first.
+                let mut hits: [(u32, f32); crate::BVH_WIDTH] = [(0, 0.0); crate::BVH_WIDTH];
+                let mut nhits = 0usize;
+                out.box_tests += int.child_count as u32;
+                push_event(&mut out, config, TraceEvent::BoxTests { count: int.child_count });
+                for (child, bounds) in int.iter_children() {
+                    if let Some(t) =
+                        intersect::ray_aabb(&space_ray, bounds, space_ray.t_min, world_ray.t_max)
+                    {
+                        hits[nhits] = (child, t);
+                        nhits += 1;
+                    }
+                }
+                // Sort hit children by descending entry t so the nearest is
+                // popped first.
+                hits[..nhits].sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                for &(child, t) in &hits[..nhits] {
+                    stack.push(StackEntry { node: child, space: entry.space, t_enter: t });
+                    push_event(&mut out, config, TraceEvent::StackPush);
+                }
+                out.max_stack_depth = out.max_stack_depth.max(stack.len() as u32);
+            }
+            Node::Instance(leaf) => {
+                let inst = &tlas.instances[leaf.instance_index as usize];
+                let blas = blases
+                    .get(inst.blas_index as usize)
+                    .unwrap_or_else(|| panic!("missing BLAS {}", inst.blas_index));
+                if !blas.bvh.is_empty() {
+                    stack.push(StackEntry {
+                        node: 0,
+                        space: Space::Blas { instance: leaf.instance_index },
+                        t_enter: entry.t_enter,
+                    });
+                    push_event(&mut out, config, TraceEvent::StackPush);
+                    out.max_stack_depth = out.max_stack_depth.max(stack.len() as u32);
+                }
+            }
+            Node::Triangle(leaf) => {
+                let Space::Blas { instance } = entry.space else {
+                    panic!("triangle leaf reached in TLAS space");
+                };
+                let mut test_ray = space_ray;
+                test_ray.t_max = world_ray.t_max;
+                out.triangle_tests += 1;
+                push_event(&mut out, config, TraceEvent::TriangleTest);
+                let tri = &leaf.triangle;
+                if let Some(hit) = intersect::ray_triangle(&test_ray, tri.v0, tri.v1, tri.v2) {
+                    let inst = &tlas.instances[instance as usize];
+                    // Commit: shrink t_max (Algorithm 2 line 14, "update
+                    // closest-hit geometry").
+                    world_ray.t_max = hit.t;
+                    let obj_normal = tri.normal();
+                    let mut world_normal =
+                        inst.object_to_world.transform_vector(obj_normal).normalized();
+                    if hit.back_face {
+                        world_normal = -world_normal;
+                    }
+                    out.closest = Some(TriangleIntersection {
+                        t: hit.t,
+                        u: hit.u,
+                        v: hit.v,
+                        primitive_index: leaf.primitive_index,
+                        geometry_index: leaf.geometry_index,
+                        instance_index: instance,
+                        instance_custom_index: inst.custom_index,
+                        sbt_offset: inst.sbt_offset,
+                        world_normal,
+                        back_face: hit.back_face,
+                    });
+                    if config.terminate_on_first_hit {
+                        return out;
+                    }
+                }
+            }
+            Node::Procedural(leaf) => {
+                let Space::Blas { instance } = entry.space else {
+                    panic!("procedural leaf reached in TLAS space");
+                };
+                let inst = &tlas.instances[instance as usize];
+                let idx = out.procedural_hits.len() as u64;
+                out.procedural_hits.push(ProceduralHit {
+                    primitive_index: leaf.primitive_index,
+                    shader_id: leaf.shader_id,
+                    instance_index: instance,
+                    instance_custom_index: inst.custom_index,
+                    sbt_offset: inst.sbt_offset,
+                    t_enter: entry.t_enter,
+                });
+                push_event(
+                    &mut out,
+                    config,
+                    TraceEvent::IntersectionStore {
+                        addr: config.intersection_buffer_base + idx * INTERSECTION_ENTRY_SIZE as u64,
+                        size: INTERSECTION_ENTRY_SIZE,
+                    },
+                );
+            }
+        }
+    }
+    out
+}
+
+#[inline]
+fn push_event(out: &mut TraversalResult, config: &TraversalConfig, ev: TraceEvent) {
+    if config.record_events {
+        out.events.push(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{BlasGeometry, ProceduralPrimitive, Triangle};
+    use crate::tlas::Instance;
+    use vksim_math::{Aabb, Mat4x3};
+
+    fn quad_at_z(z: f32) -> Vec<Triangle> {
+        vec![
+            Triangle::new(
+                Vec3::new(-1.0, -1.0, z),
+                Vec3::new(1.0, -1.0, z),
+                Vec3::new(1.0, 1.0, z),
+            ),
+            Triangle::new(
+                Vec3::new(-1.0, -1.0, z),
+                Vec3::new(1.0, 1.0, z),
+                Vec3::new(-1.0, 1.0, z),
+            ),
+        ]
+    }
+
+    fn single_quad_scene() -> (Tlas, Blas) {
+        let blas = Blas::from_triangles(&quad_at_z(0.0));
+        let tlas = Tlas::build(vec![Instance::new(0, Mat4x3::IDENTITY)], &[&blas]);
+        (tlas, blas)
+    }
+
+    #[test]
+    fn hit_through_quad() {
+        let (tlas, blas) = single_quad_scene();
+        let ray = Ray::new(Vec3::new(0.2, 0.3, -5.0), Vec3::Z);
+        let r = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default());
+        let hit = r.closest.expect("hit");
+        assert!((hit.t - 5.0).abs() < 1e-4);
+        assert!(hit.world_normal.z < 0.0, "normal should face the ray");
+        assert!(r.nodes_visited >= 3); // TLAS root + instance leaf + BLAS nodes
+        assert!(r.triangle_tests >= 1);
+    }
+
+    #[test]
+    fn miss_outside_quad() {
+        let (tlas, blas) = single_quad_scene();
+        let ray = Ray::new(Vec3::new(5.0, 5.0, -5.0), Vec3::Z);
+        let r = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default());
+        assert!(r.closest.is_none());
+        assert!(r.procedural_hits.is_empty());
+    }
+
+    #[test]
+    fn closest_of_two_quads_wins() {
+        let blas_near = Blas::from_triangles(&quad_at_z(0.0));
+        let blas_far = Blas::from_triangles(&quad_at_z(0.0));
+        let instances = vec![
+            Instance::new(0, Mat4x3::translation(Vec3::new(0.0, 0.0, 2.0))).with_custom_index(1),
+            Instance::new(1, Mat4x3::translation(Vec3::new(0.0, 0.0, 8.0))).with_custom_index(2),
+        ];
+        let tlas = Tlas::build(instances, &[&blas_near, &blas_far]);
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
+        let r = traverse(&tlas, &[&blas_near, &blas_far], &ray, &TraversalConfig::default());
+        let hit = r.closest.expect("hit");
+        assert_eq!(hit.instance_custom_index, 1);
+        assert!((hit.t - 7.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn instance_transform_applies_to_ray() {
+        let blas = Blas::from_triangles(&quad_at_z(0.0));
+        // Instance moved +10 in x: only rays near x=10 hit it.
+        let tlas = Tlas::build(
+            vec![Instance::new(0, Mat4x3::translation(Vec3::new(10.0, 0.0, 0.0)))],
+            &[&blas],
+        );
+        let miss = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
+        let hit = Ray::new(Vec3::new(10.0, 0.0, -5.0), Vec3::Z);
+        assert!(traverse(&tlas, &[&blas], &miss, &TraversalConfig::default()).closest.is_none());
+        let r = traverse(&tlas, &[&blas], &hit, &TraversalConfig::default());
+        assert!(r.closest.is_some());
+        assert!(r.transforms >= 1, "must transform into BLAS space");
+    }
+
+    #[test]
+    fn procedural_hits_collected_not_committed() {
+        let geo = BlasGeometry::procedurals(vec![ProceduralPrimitive::new(
+            Aabb::new(Vec3::new(-1.0, -1.0, -1.0), Vec3::new(1.0, 1.0, 1.0)),
+            3,
+        )]);
+        let blas = Blas::build(geo);
+        let tlas = Tlas::build(vec![Instance::new(0, Mat4x3::IDENTITY)], &[&blas]);
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
+        let r = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default());
+        assert!(r.closest.is_none(), "procedural AABB entry is not a committed hit");
+        assert_eq!(r.procedural_hits.len(), 1);
+        assert_eq!(r.procedural_hits[0].shader_id, 3);
+        assert!(r
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::IntersectionStore { .. })));
+    }
+
+    #[test]
+    fn terminate_on_first_hit_stops_early() {
+        let blas = Blas::from_triangles(&quad_at_z(0.0));
+        let instances = vec![
+            Instance::new(0, Mat4x3::translation(Vec3::new(0.0, 0.0, 2.0))),
+            Instance::new(0, Mat4x3::translation(Vec3::new(0.0, 0.0, 8.0))),
+        ];
+        let tlas = Tlas::build(instances, &[&blas]);
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
+        let full = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default());
+        let early = traverse(
+            &tlas,
+            &[&blas],
+            &ray,
+            &TraversalConfig { terminate_on_first_hit: true, ..TraversalConfig::default() },
+        );
+        assert!(early.closest.is_some());
+        assert!(early.nodes_visited <= full.nodes_visited);
+    }
+
+    #[test]
+    fn events_script_has_fetch_per_visited_node() {
+        let (tlas, blas) = single_quad_scene();
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
+        let r = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default());
+        let fetches = r
+            .events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::NodeFetch { .. }))
+            .count() as u32;
+        assert_eq!(fetches, r.nodes_visited);
+        // Instance leaf fetch must be 128 B.
+        assert!(r.events.iter().any(
+            |e| matches!(e, TraceEvent::NodeFetch { size: 128, kind: NodeKind::InstanceLeaf, .. })
+        ));
+    }
+
+    #[test]
+    fn record_events_off_produces_empty_script() {
+        let (tlas, blas) = single_quad_scene();
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
+        let r = traverse(
+            &tlas,
+            &[&blas],
+            &ray,
+            &TraversalConfig { record_events: false, ..TraversalConfig::default() },
+        );
+        assert!(r.events.is_empty());
+        assert!(r.closest.is_some());
+    }
+
+    #[test]
+    fn node_addresses_respect_base() {
+        let blas0 = Blas::from_triangles(&quad_at_z(0.0));
+        let mut blas = blas0;
+        blas.set_base_addr(0x9000_0000);
+        let mut tlas = Tlas::build(vec![Instance::new(0, Mat4x3::IDENTITY)], &[&blas]);
+        tlas.set_base_addr(0x8000_0000);
+        let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
+        let r = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default());
+        let mut saw_tlas = false;
+        let mut saw_blas = false;
+        for e in &r.events {
+            if let TraceEvent::NodeFetch { addr, .. } = e {
+                if *addr >= 0x9000_0000 {
+                    saw_blas = true;
+                } else if *addr >= 0x8000_0000 {
+                    saw_tlas = true;
+                }
+            }
+        }
+        assert!(saw_tlas && saw_blas);
+    }
+
+    #[test]
+    fn empty_tlas_returns_default() {
+        let tlas = Tlas::build(vec![], &[]);
+        let ray = Ray::new(Vec3::ZERO, Vec3::Z);
+        let r = traverse(&tlas, &[], &ray, &TraversalConfig::default());
+        assert_eq!(r, TraversalResult::default());
+    }
+
+    #[test]
+    fn big_scene_traversal_is_logarithmic() {
+        // 1024 quads in a row; a single ray should visit far fewer nodes
+        // than the total.
+        let mut tris = Vec::new();
+        for i in 0..1024 {
+            let x = i as f32 * 3.0;
+            tris.push(Triangle::new(
+                Vec3::new(x - 1.0, -1.0, 0.0),
+                Vec3::new(x + 1.0, -1.0, 0.0),
+                Vec3::new(x, 1.0, 0.0),
+            ));
+        }
+        let blas = Blas::from_triangles(&tris);
+        let tlas = Tlas::build(vec![Instance::new(0, Mat4x3::IDENTITY)], &[&blas]);
+        let ray = Ray::new(Vec3::new(300.0, 0.0, -5.0), Vec3::Z);
+        let r = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default());
+        assert!(r.closest.is_some());
+        assert!(
+            r.nodes_visited < 100,
+            "visited {} of {} nodes",
+            r.nodes_visited,
+            blas.bvh.node_count()
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Simulation configurations: Table III plus the Fig. 15 memory variants.
+
+use vksim_gpu::{DivergenceMode, GpuConfig};
+use vksim_mem::{CacheConfig, DramConfig};
+
+/// Memory-system variant (paper Fig. 15).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MemoryMode {
+    /// RT unit shares the SM's L1D.
+    #[default]
+    Baseline,
+    /// Dedicated RT cache next to the L1D.
+    RtCache,
+    /// Zero-latency BVH node accesses (limit study).
+    PerfectBvh,
+    /// Zero-latency DRAM (limit study).
+    PerfectMem,
+}
+
+/// Top-level simulation configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// The GPU configuration (Table III baseline or mobile).
+    pub gpu: GpuConfig,
+    /// Memory-system variant.
+    pub memory_mode: MemoryMode,
+}
+
+impl SimConfig {
+    /// Paper baseline (Table III).
+    pub fn baseline() -> Self {
+        SimConfig { gpu: GpuConfig::baseline(), memory_mode: MemoryMode::Baseline }
+    }
+
+    /// Paper mobile configuration.
+    pub fn mobile() -> Self {
+        SimConfig { gpu: GpuConfig::mobile(), memory_mode: MemoryMode::Baseline }
+    }
+
+    /// A small configuration for unit tests (2 SMs).
+    pub fn test_small() -> Self {
+        SimConfig {
+            gpu: GpuConfig { num_sms: 2, ..GpuConfig::baseline() },
+            memory_mode: MemoryMode::Baseline,
+        }
+    }
+
+    /// Selects the memory variant.
+    pub fn with_memory_mode(mut self, mode: MemoryMode) -> Self {
+        self.memory_mode = mode;
+        self
+    }
+
+    /// Sets the RT-unit concurrent-warp limit (the Fig. 16 sweep).
+    pub fn with_rt_max_warps(mut self, warps: usize) -> Self {
+        self.gpu.rt_unit.max_warps = warps.max(1);
+        self
+    }
+
+    /// Enables independent thread scheduling (§IV-B).
+    pub fn with_its(mut self, its: bool) -> Self {
+        self.gpu.divergence = if its { DivergenceMode::Multipath } else { DivergenceMode::Stack };
+        self
+    }
+
+    /// Resolves to the concrete GPU configuration.
+    pub fn resolve(&self) -> GpuConfig {
+        let mut gpu = self.gpu.clone();
+        match self.memory_mode {
+            MemoryMode::Baseline => {}
+            MemoryMode::RtCache => {
+                gpu.rt_cache = Some(CacheConfig {
+                    name: "RTC".into(),
+                    size_bytes: 32 * 1024,
+                    line_bytes: 32,
+                    assoc: 8,
+                    hit_latency: 10,
+                    mshr_entries: 64,
+                    mshr_merge: 8,
+                });
+            }
+            MemoryMode::PerfectBvh => gpu.perfect_bvh = true,
+            MemoryMode::PerfectMem => {
+                gpu.mem.dram = DramConfig { perfect: true, ..gpu.mem.dram };
+            }
+        }
+        gpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_modes_resolve_distinctly() {
+        let base = SimConfig::baseline().resolve();
+        assert!(base.rt_cache.is_none() && !base.perfect_bvh && !base.mem.dram.perfect);
+        let rtc = SimConfig::baseline().with_memory_mode(MemoryMode::RtCache).resolve();
+        assert!(rtc.rt_cache.is_some());
+        let pbvh = SimConfig::baseline().with_memory_mode(MemoryMode::PerfectBvh).resolve();
+        assert!(pbvh.perfect_bvh);
+        let pmem = SimConfig::baseline().with_memory_mode(MemoryMode::PerfectMem).resolve();
+        assert!(pmem.mem.dram.perfect);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SimConfig::mobile().with_rt_max_warps(12).with_its(true);
+        let g = c.resolve();
+        assert_eq!(g.rt_unit.max_warps, 12);
+        assert_eq!(g.divergence, DivergenceMode::Multipath);
+        assert_eq!(g.num_sms, 8);
+    }
+
+    #[test]
+    fn rt_warps_clamped_to_one() {
+        assert_eq!(SimConfig::baseline().with_rt_max_warps(0).resolve().rt_unit.max_warps, 1);
+    }
+}

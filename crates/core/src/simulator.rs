@@ -1,0 +1,329 @@
+//! Kernel execution: cycle-accurate and functional modes.
+
+use crate::config::SimConfig;
+use crate::runtime::{RtRuntime, RuntimeStats};
+use vksim_gpu::{GpuSim, GpuStats, LaunchDims};
+use vksim_isa::interp::{run_to_exit, ThreadState};
+use vksim_isa::SimMemory;
+use vksim_power::{ActivityCounts, PowerModel, PowerReport};
+use vksim_vulkan::{Device, TraceRaysCommand};
+
+/// Everything a simulated `vkCmdTraceRaysKHR` produced.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Timing-model statistics.
+    pub gpu: GpuStats,
+    /// Functional-traversal statistics.
+    pub runtime: RuntimeStats,
+    /// Power/energy estimate.
+    pub power: PowerReport,
+    /// Final functional memory (framebuffers, output buffers).
+    pub memory: SimMemory,
+}
+
+/// The simulator facade: executes recorded trace commands against a scene
+/// device.
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: SimConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Cycle-level run (paper §III-C): functional execution drives the
+    /// timing model; returns full statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device has no TLAS but the program traces rays, or if
+    /// the simulation exceeds the configured cycle bound.
+    pub fn run(&mut self, device: &Device, cmd: &TraceRaysCommand) -> RunReport {
+        let mut runtime = self.make_runtime(device, cmd);
+        let mut gpu = GpuSim::new(self.config.resolve());
+        gpu.mem = device.memory.clone();
+        gpu.launch(
+            cmd.program.clone(),
+            LaunchDims { width: cmd.dims.width, height: cmd.dims.height, depth: cmd.dims.depth },
+        );
+        let stats = gpu.run(&mut runtime);
+        let power = power_from_stats(&stats);
+        RunReport {
+            gpu: stats,
+            runtime: runtime.stats.clone(),
+            power,
+            memory: std::mem::take(&mut gpu.mem),
+        }
+    }
+
+    /// Functional-only run: executes every thread to completion without the
+    /// timing model — used for image generation/validation (Fig. 2) and for
+    /// workload characterization on large launches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a thread's program execution fails (translator bug).
+    pub fn run_functional(&mut self, device: &Device, cmd: &TraceRaysCommand) -> (SimMemory, RuntimeStats) {
+        let mut runtime = self.make_runtime(device, cmd);
+        let mut mem = device.memory.clone();
+        let total =
+            cmd.dims.width as usize * cmd.dims.height as usize * cmd.dims.depth as usize;
+        for tid in 0..total {
+            let mut t =
+                ThreadState::with_tid(cmd.program.num_regs(), cmd.program.num_preds().max(1), tid);
+            run_to_exit(&cmd.program, &mut t, &mut mem, &mut runtime)
+                .unwrap_or_else(|e| panic!("thread {tid}: {e}"));
+        }
+        (mem, runtime.stats.clone())
+    }
+
+    fn make_runtime(&self, device: &Device, cmd: &TraceRaysCommand) -> RtRuntime {
+        let tlas = device.tlas.clone().unwrap_or_else(|| vksim_bvh::Tlas {
+            bvh: Default::default(),
+            instances: Vec::new(),
+            base_addr: 0,
+        });
+        RtRuntime::new(
+            tlas,
+            device.blases.clone(),
+            [cmd.dims.width, cmd.dims.height, cmd.dims.depth],
+            cmd.fcc,
+        )
+    }
+}
+
+/// Derives AccelWattch-style activity counts from GPU statistics.
+pub fn power_from_stats(stats: &GpuStats) -> PowerReport {
+    let counts = ActivityCounts {
+        cycles: stats.cycles,
+        alu_ops: stats.counters.get("inst.Alu") * 32,
+        sfu_ops: stats.counters.get("inst.Sfu") * 32,
+        cache_accesses: stats.l1_stats.sum_prefix("shader") + stats.l1_stats.sum_prefix("rt_unit"),
+        dram_accesses: stats.dram_stats.get("req"),
+        rt_ops: stats.rt_ops,
+        regfile_accesses: 0,
+    };
+    PowerModel::default().estimate(&counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemoryMode;
+    use vksim_bvh::geometry::{BlasGeometry, Triangle};
+    use vksim_bvh::Instance;
+    use vksim_math::{Mat4x3, Vec3};
+    use vksim_shader::builder::ShaderBuilder;
+    use vksim_shader::ir::{Builtin, ShaderKind};
+    use vksim_shader::PipelineShaders;
+
+    /// A minimal full pipeline: camera-less raygen fires a +z ray per
+    /// pixel through a quad; closest-hit writes 1.0, miss writes 0.25.
+    fn quad_workload(width: u32, height: u32) -> (Device, TraceRaysCommand, u64) {
+        let mut device = Device::new();
+        let fb = device.alloc_buffer(width as u64 * height as u64 * 4);
+        device.bind_descriptor(0, fb);
+        let blas = device.create_blas(BlasGeometry::triangles(vec![
+            Triangle::new(
+                Vec3::new(-0.5, -0.5, 0.0),
+                Vec3::new(0.5, -0.5, 0.0),
+                Vec3::new(0.5, 0.5, 0.0),
+            ),
+            Triangle::new(
+                Vec3::new(-0.5, -0.5, 0.0),
+                Vec3::new(0.5, 0.5, 0.0),
+                Vec3::new(-0.5, 0.5, 0.0),
+            ),
+        ]));
+        device.create_tlas(vec![Instance::new(blas, Mat4x3::IDENTITY)]);
+
+        let mut rg = ShaderBuilder::new(ShaderKind::RayGen);
+        let x = rg.var_f32(rg.launch_id(0).to_f32());
+        let y = rg.var_f32(rg.launch_id(1).to_f32());
+        let w = rg.var_f32(rg.launch_size(0).to_f32());
+        let h = rg.var_f32(rg.launch_size(1).to_f32());
+        // Map pixel to [-1, 1]^2 at z = -3, firing +z.
+        let ox = rg.var_f32(rg.v(x) / rg.v(w) * rg.c_f32(2.0) - rg.c_f32(1.0));
+        let oy = rg.var_f32(rg.v(y) / rg.v(h) * rg.c_f32(2.0) - rg.c_f32(1.0));
+        rg.trace_ray(
+            [rg.v(ox), rg.v(oy), rg.c_f32(-3.0)],
+            [rg.c_f32(0.0), rg.c_f32(0.0), rg.c_f32(1.0)],
+            rg.c_f32(0.001),
+            rg.c_f32(1e30),
+            rg.c_u32(0),
+            0,
+        );
+        let px = rg.var_u32(rg.launch_id(1) * rg.launch_size(0) + rg.launch_id(0));
+        let addr = rg.var_u32(rg.buffer_base(0) + rg.v(px) * rg.c_u32(4));
+        rg.store(rg.v(addr), 0, rg.payload(0));
+
+        let mut ch = ShaderBuilder::new(ShaderKind::ClosestHit);
+        ch.set_payload_in(0, ch.c_f32(1.0));
+        let mut ms = ShaderBuilder::new(ShaderKind::Miss);
+        ms.set_payload_in(0, ms.c_f32(0.25));
+
+        let shaders = PipelineShaders {
+            raygen: rg.finish(),
+            miss: vec![ms.finish()],
+            closest_hit: vec![ch.finish()],
+            intersection: vec![],
+            any_hit: vec![],
+            max_recursion_depth: 1,
+        };
+        let pipeline = device.create_ray_tracing_pipeline(shaders, false).unwrap();
+        let cmd = device.cmd_trace_rays(&pipeline, width, height);
+        (device, cmd, fb)
+    }
+
+    fn center_pixel(mem: &SimMemory, fb: u64, w: u32, h: u32) -> f32 {
+        mem.read_f32(fb + ((h / 2) * w + w / 2) as u64 * 4)
+    }
+
+    #[test]
+    fn functional_run_renders_hit_and_miss() {
+        let (device, cmd, fb) = quad_workload(16, 16);
+        let mut sim = Simulator::new(SimConfig::test_small());
+        let (mem, stats) = sim.run_functional(&device, &cmd);
+        assert_eq!(center_pixel(&mem, fb, 16, 16), 1.0, "center hits the quad");
+        assert_eq!(mem.read_f32(fb), 0.25, "corner misses");
+        assert_eq!(stats.rays, 256);
+        assert!(stats.triangle_hits > 0 && stats.misses > 0);
+    }
+
+    #[test]
+    fn timing_run_matches_functional_image() {
+        let (device, cmd, fb) = quad_workload(16, 4);
+        let mut sim = Simulator::new(SimConfig::test_small());
+        let (fmem, _) = sim.run_functional(&device, &cmd);
+        let report = sim.run(&device, &cmd);
+        for i in 0..(16 * 4) {
+            assert_eq!(
+                report.memory.read_f32(fb + i * 4),
+                fmem.read_f32(fb + i * 4),
+                "pixel {i} differs between timing and functional runs"
+            );
+        }
+        assert!(report.gpu.cycles > 0);
+        assert!(report.gpu.counters.get("rt.trace_warps") >= 2);
+        assert!(report.runtime.rays == 64);
+        assert!(report.power.total_energy_j > 0.0);
+    }
+
+    #[test]
+    fn rt_units_see_traffic_in_timing_run() {
+        let (device, cmd, _) = quad_workload(32, 4);
+        let mut sim = Simulator::new(SimConfig::test_small());
+        let report = sim.run(&device, &cmd);
+        assert!(report.gpu.rt_busy_cycles > 0);
+        assert!(report.gpu.rt_ops > 0);
+        assert!(report.gpu.rt_warp_latency.count() >= 4);
+        assert!(report.gpu.l1_stats.sum_prefix("rt_unit") > 0, "RT unit uses the L1");
+    }
+
+    #[test]
+    fn perfect_bvh_is_faster_than_baseline() {
+        let (device, cmd, _) = quad_workload(32, 8);
+        let base = Simulator::new(SimConfig::test_small()).run(&device, &cmd);
+        let perfect = Simulator::new(SimConfig::test_small().with_memory_mode(MemoryMode::PerfectBvh))
+            .run(&device, &cmd);
+        assert!(
+            perfect.gpu.cycles <= base.gpu.cycles,
+            "perfect BVH {} vs baseline {}",
+            perfect.gpu.cycles,
+            base.gpu.cycles
+        );
+    }
+
+    #[test]
+    fn rt_cache_mode_populates_rtc_stats() {
+        let (device, cmd, _) = quad_workload(32, 4);
+        let report = Simulator::new(SimConfig::test_small().with_memory_mode(MemoryMode::RtCache))
+            .run(&device, &cmd);
+        assert!(!report.gpu.rtc_stats.is_empty(), "RT cache saw accesses");
+        assert_eq!(report.gpu.l1_stats.sum_prefix("rt_unit"), 0, "RT traffic moved off L1");
+    }
+
+    #[test]
+    fn its_mode_completes_with_same_image() {
+        let (device, cmd, fb) = quad_workload(16, 4);
+        let stack = Simulator::new(SimConfig::test_small()).run(&device, &cmd);
+        let its = Simulator::new(SimConfig::test_small().with_its(true)).run(&device, &cmd);
+        for i in 0..(16 * 4) {
+            assert_eq!(
+                stack.memory.read_f32(fb + i * 4),
+                its.memory.read_f32(fb + i * 4),
+                "pixel {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn instruction_mix_recorded() {
+        let (device, cmd, _) = quad_workload(16, 4);
+        let report = Simulator::new(SimConfig::test_small()).run(&device, &cmd);
+        let alu = report.gpu.counters.get("inst.Alu");
+        let mem = report.gpu.counters.get("inst.Mem");
+        let rt = report.gpu.counters.get("inst.Rt");
+        assert!(alu > 0 && mem > 0 && rt > 0);
+        assert!(alu > rt, "ALU dominates trace instructions");
+    }
+
+    /// A raygen with a shader-visible builtin (world normal) exercised via
+    /// closest-hit.
+    #[test]
+    fn closest_hit_reads_hit_attributes() {
+        let mut device = Device::new();
+        let fb = device.alloc_buffer(64);
+        device.bind_descriptor(0, fb);
+        let blas = device.create_blas(BlasGeometry::triangles(vec![Triangle::new(
+            Vec3::new(-1.0, -1.0, 2.0),
+            Vec3::new(1.0, -1.0, 2.0),
+            Vec3::new(0.0, 1.0, 2.0),
+        )]));
+        device.create_tlas(vec![Instance::new(blas, Mat4x3::IDENTITY).with_custom_index(42)]);
+
+        let mut rg = ShaderBuilder::new(ShaderKind::RayGen);
+        rg.trace_ray(
+            [rg.c_f32(0.0), rg.c_f32(-0.2), rg.c_f32(-1.0)],
+            [rg.c_f32(0.0), rg.c_f32(0.0), rg.c_f32(1.0)],
+            rg.c_f32(0.001),
+            rg.c_f32(1e30),
+            rg.c_u32(0),
+            0,
+        );
+        let a = rg.var_u32(rg.buffer_base(0));
+        rg.store(rg.v(a), 0, rg.payload(0)); // t
+        rg.store(rg.v(a), 4, rg.payload(1)); // custom index as f32
+        rg.store(rg.v(a), 8, rg.payload(2)); // normal z
+
+        let mut ch = ShaderBuilder::new(ShaderKind::ClosestHit);
+        ch.set_payload_in(0, ch.builtin(Builtin::HitT));
+        ch.set_payload_in(1, ch.builtin(Builtin::HitInstanceCustomIndex).to_f32());
+        ch.set_payload_in(2, ch.builtin(Builtin::HitWorldNormal(2)));
+        let mut ms = ShaderBuilder::new(ShaderKind::Miss);
+        ms.set_payload_in(0, ms.c_f32(-1.0));
+
+        let shaders = PipelineShaders {
+            raygen: rg.finish(),
+            miss: vec![ms.finish()],
+            closest_hit: vec![ch.finish()],
+            intersection: vec![],
+            any_hit: vec![],
+            max_recursion_depth: 1,
+        };
+        let pipeline = device.create_ray_tracing_pipeline(shaders, false).unwrap();
+        let cmd = device.cmd_trace_rays(&pipeline, 1, 1);
+        let mut sim = Simulator::new(SimConfig::test_small());
+        let (mem, _) = sim.run_functional(&device, &cmd);
+        assert!((mem.read_f32(fb) - 3.0).abs() < 1e-3, "hit t");
+        assert_eq!(mem.read_f32(fb + 4), 42.0, "custom index");
+        assert!(mem.read_f32(fb + 8) < 0.0, "normal faces the ray");
+    }
+}

@@ -1,0 +1,123 @@
+//! Image validation (paper Fig. 2: "Only 0.3% of pixels rendered ...
+//! differ from an NVIDIA GPU").
+//!
+//! Framebuffers are stored as packed RGBA8 words; [`pixel_diff_fraction`]
+//! reports the fraction of pixels whose channels differ by more than a
+//! tolerance — the number quoted when validating the simulator's functional
+//! model against the reference renderer.
+
+use vksim_isa::SimMemory;
+
+/// Packs `[0,1]` RGB floats into an RGBA8 word (alpha = 255). This is the
+/// quantization the shaders emit; the reference renderer uses it too so
+/// comparisons are apples-to-apples.
+pub fn pack_rgba8(r: f32, g: f32, b: f32) -> u32 {
+    let q = |v: f32| (v.clamp(0.0, 1.0) * 255.0 + 0.5) as u32;
+    q(r) | (q(g) << 8) | (q(b) << 16) | 0xFF00_0000
+}
+
+/// Unpacks an RGBA8 word into `[r, g, b]` bytes.
+pub fn unpack_rgb(px: u32) -> [u8; 3] {
+    [(px & 0xFF) as u8, ((px >> 8) & 0xFF) as u8, ((px >> 16) & 0xFF) as u8]
+}
+
+/// Reads a framebuffer of `count` RGBA8 pixels from simulated memory.
+pub fn read_framebuffer(mem: &SimMemory, base: u64, count: usize) -> Vec<u32> {
+    (0..count).map(|i| mem.read_u32(base + i as u64 * 4)).collect()
+}
+
+/// Fraction of pixels differing by more than `tolerance` in any channel.
+///
+/// # Panics
+///
+/// Panics if the images have different sizes.
+pub fn pixel_diff_fraction(a: &[u32], b: &[u32], tolerance: u8) -> f64 {
+    assert_eq!(a.len(), b.len(), "image size mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let differing = a
+        .iter()
+        .zip(b)
+        .filter(|(&pa, &pb)| {
+            let ca = unpack_rgb(pa);
+            let cb = unpack_rgb(pb);
+            ca.iter().zip(&cb).any(|(&x, &y)| x.abs_diff(y) > tolerance)
+        })
+        .count();
+    differing as f64 / a.len() as f64
+}
+
+/// Writes an image as a binary PPM (P6) byte vector — handy for dumping
+/// rendered frames from examples.
+pub fn to_ppm(pixels: &[u32], width: u32, height: u32) -> Vec<u8> {
+    let mut out = format!("P6\n{width} {height}\n255\n").into_bytes();
+    for &px in pixels {
+        out.extend_from_slice(&unpack_rgb(px));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let px = pack_rgba8(1.0, 0.5, 0.0);
+        let [r, g, b] = unpack_rgb(px);
+        assert_eq!(r, 255);
+        assert!((g as i32 - 128).abs() <= 1);
+        assert_eq!(b, 0);
+    }
+
+    #[test]
+    fn pack_clamps_out_of_range() {
+        let [r, g, b] = unpack_rgb(pack_rgba8(2.0, -1.0, 0.25));
+        assert_eq!(r, 255);
+        assert_eq!(g, 0);
+        assert!((b as i32 - 64).abs() <= 1);
+    }
+
+    #[test]
+    fn identical_images_have_zero_diff() {
+        let img = vec![pack_rgba8(0.1, 0.2, 0.3); 100];
+        assert_eq!(pixel_diff_fraction(&img, &img, 0), 0.0);
+    }
+
+    #[test]
+    fn diff_fraction_counts_changed_pixels() {
+        let a = vec![pack_rgba8(0.0, 0.0, 0.0); 100];
+        let mut b = a.clone();
+        for px in b.iter_mut().take(3) {
+            *px = pack_rgba8(1.0, 1.0, 1.0);
+        }
+        assert!((pixel_diff_fraction(&a, &b, 0) - 0.03).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tolerance_forgives_small_differences() {
+        let a = vec![pack_rgba8(0.500, 0.5, 0.5); 10];
+        let b = vec![pack_rgba8(0.503, 0.5, 0.5); 10];
+        assert_eq!(pixel_diff_fraction(&a, &b, 2), 0.0);
+        let c = vec![pack_rgba8(0.6, 0.5, 0.5); 10];
+        assert_eq!(pixel_diff_fraction(&a, &c, 2), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn size_mismatch_panics() {
+        let _ = pixel_diff_fraction(&[0], &[0, 0], 0);
+    }
+
+    #[test]
+    fn framebuffer_read_and_ppm() {
+        let mut mem = SimMemory::new();
+        mem.write_u32(0x100, pack_rgba8(1.0, 0.0, 0.0));
+        mem.write_u32(0x104, pack_rgba8(0.0, 1.0, 0.0));
+        let fb = read_framebuffer(&mem, 0x100, 2);
+        let ppm = to_ppm(&fb, 2, 1);
+        assert!(ppm.starts_with(b"P6\n2 1\n255\n"));
+        assert_eq!(&ppm[ppm.len() - 6..], &[255, 0, 0, 0, 255, 0]);
+    }
+}

@@ -1,0 +1,126 @@
+//! GPU configuration (paper Table III).
+
+use vksim_mem::{CacheConfig, SystemConfig};
+use vksim_rtunit::RtUnitConfig;
+
+/// How branch divergence is handled (paper §IV-B).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DivergenceMode {
+    /// Immediate-post-dominator SIMT stack (baseline).
+    #[default]
+    Stack,
+    /// Independent thread scheduling via multi-path tables (ITS).
+    Multipath,
+}
+
+/// Full GPU configuration.
+#[derive(Clone, Debug)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: usize,
+    /// 32-bit registers per SM (bounds occupancy).
+    pub registers_per_sm: u32,
+    /// Per-SM L1 data cache.
+    pub l1: CacheConfig,
+    /// Optional dedicated RT cache (Fig. 15 "RT cache" configuration).
+    pub rt_cache: Option<CacheConfig>,
+    /// Shared L2 + DRAM backend.
+    pub mem: SystemConfig,
+    /// RT unit configuration (one per SM).
+    pub rt_unit: RtUnitConfig,
+    /// Divergence handling.
+    pub divergence: DivergenceMode,
+    /// Zero-latency BVH accesses (Fig. 15 "Perfect BVH" limit study).
+    pub perfect_bvh: bool,
+    /// SFU operation latency (sqrt/sin/cos/div).
+    pub sfu_latency: u32,
+    /// Core clock in MHz (reporting only; the model counts core cycles).
+    pub core_clock_mhz: u32,
+    /// Safety bound on simulated cycles.
+    pub max_cycles: u64,
+}
+
+impl GpuConfig {
+    /// The paper's baseline configuration (Table III): 30 SMs, 32 warps/SM,
+    /// 64 K registers, 64 KB fully associative L1, 3 MB 16-way L2,
+    /// 1365 MHz, 1 RT unit per SM with 4 concurrent warps.
+    pub fn baseline() -> Self {
+        GpuConfig {
+            num_sms: 30,
+            max_warps_per_sm: 32,
+            registers_per_sm: 65536,
+            l1: CacheConfig::l1d_baseline(),
+            rt_cache: None,
+            mem: SystemConfig::default(),
+            rt_unit: RtUnitConfig::default(),
+            divergence: DivergenceMode::Stack,
+            perfect_bvh: false,
+            sfu_latency: 4,
+            core_clock_mhz: 1365,
+            max_cycles: 2_000_000_000,
+        }
+    }
+
+    /// The paper's mobile configuration: 8 SMs, 32 K registers, less DRAM
+    /// bandwidth.
+    pub fn mobile() -> Self {
+        GpuConfig {
+            num_sms: 8,
+            registers_per_sm: 32768,
+            mem: SystemConfig {
+                dram: vksim_mem::DramConfig::mobile(),
+                ..SystemConfig::default()
+            },
+            ..Self::baseline()
+        }
+    }
+
+    /// Resident warps per SM given a program's register demand.
+    pub fn occupancy_limit(&self, regs_per_thread: u32) -> usize {
+        if regs_per_thread == 0 {
+            return self.max_warps_per_sm;
+        }
+        let by_regs = self.registers_per_sm / (crate::WARP_SIZE as u32 * regs_per_thread);
+        (by_regs as usize).clamp(1, self.max_warps_per_sm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table_iii() {
+        let c = GpuConfig::baseline();
+        assert_eq!(c.num_sms, 30);
+        assert_eq!(c.max_warps_per_sm, 32);
+        assert_eq!(c.registers_per_sm, 65536);
+        assert_eq!(c.l1.size_bytes, 64 * 1024);
+        assert_eq!(c.mem.l2.size_bytes, 3 * 1024 * 1024);
+        assert_eq!(c.rt_unit.max_warps, 4);
+        assert_eq!(c.core_clock_mhz, 1365);
+    }
+
+    #[test]
+    fn mobile_is_smaller() {
+        let m = GpuConfig::mobile();
+        assert_eq!(m.num_sms, 8);
+        assert_eq!(m.registers_per_sm, 32768);
+        assert!(m.mem.dram.channels < GpuConfig::baseline().mem.dram.channels);
+    }
+
+    #[test]
+    fn occupancy_limited_by_registers() {
+        let c = GpuConfig::baseline();
+        // 64 regs/thread: 65536 / (32*64) = 32 warps -> full occupancy.
+        assert_eq!(c.occupancy_limit(64), 32);
+        // 256 regs/thread: 8 warps.
+        assert_eq!(c.occupancy_limit(256), 8);
+        // Tiny program: capped at max.
+        assert_eq!(c.occupancy_limit(4), 32);
+        // Enormous program: at least one warp.
+        assert_eq!(c.occupancy_limit(100_000), 1);
+    }
+}

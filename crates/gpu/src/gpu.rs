@@ -1,0 +1,511 @@
+//! Whole-GPU simulation: SM array + shared memory backend + kernel launch.
+
+use crate::config::GpuConfig;
+use crate::sm::{GpuHooks, Sm};
+use crate::{Mask, WARP_SIZE};
+use std::collections::VecDeque;
+use vksim_isa::{Program, SimMemory};
+use vksim_mem::SharedMemSystem;
+use vksim_stats::{Counters, Histogram};
+
+/// Ray-tracing launch dimensions (`vkCmdTraceRaysKHR` width/height/depth).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LaunchDims {
+    /// Launch width (image width).
+    pub width: u32,
+    /// Launch height (image height).
+    pub height: u32,
+    /// Launch depth.
+    pub depth: u32,
+}
+
+impl LaunchDims {
+    /// Total threads (one per ray-generation invocation).
+    pub fn total_threads(&self) -> usize {
+        self.width as usize * self.height as usize * self.depth as usize
+    }
+}
+
+struct WarpSeed {
+    id: u32,
+    base_tid: usize,
+    active: Mask,
+}
+
+/// Aggregated results of a kernel run.
+#[derive(Clone, Debug)]
+pub struct GpuStats {
+    /// Total simulated core cycles.
+    pub cycles: u64,
+    /// Instructions issued (warp-instructions).
+    pub issued_insts: u64,
+    /// SIMT efficiency: mean active lanes per issued instruction / 32.
+    pub simt_efficiency: f64,
+    /// RT-unit SIMT efficiency (active rays per resident-warp lane-cycle).
+    pub rt_simt_efficiency: f64,
+    /// Merged per-SM counters (instruction mix, coalescing, RT unit ...).
+    pub counters: Counters,
+    /// Merged L1 statistics.
+    pub l1_stats: Counters,
+    /// Merged dedicated RT cache statistics (empty when not configured).
+    pub rtc_stats: Counters,
+    /// L2 statistics.
+    pub l2_stats: Counters,
+    /// DRAM statistics.
+    pub dram_stats: Counters,
+    /// DRAM efficiency (Fig. 16).
+    pub dram_efficiency: f64,
+    /// DRAM utilization (Fig. 16).
+    pub dram_utilization: f64,
+    /// RT-unit warp latency distribution (Fig. 13).
+    pub rt_warp_latency: Histogram,
+    /// Cycles with at least one RT-unit-resident warp, summed over SMs.
+    pub rt_busy_cycles: u64,
+    /// Resident-warp-cycles in RT units (occupancy integral, Fig. 18).
+    pub rt_resident_warp_cycles: u64,
+    /// Per-SM RT-unit occupancy traces (cycle, warps, rays) (Fig. 18).
+    pub rt_occupancy: Vec<Vec<(u64, u32, u32)>>,
+    /// Total box/triangle/transform operations (roofline numerator).
+    pub rt_ops: u64,
+    /// 32 B chunks fetched by RT units (roofline denominator).
+    pub rt_chunks_fetched: u64,
+}
+
+/// The execution-driven GPU simulator.
+///
+/// Owns the SM array, the shared L2/DRAM backend and the functional memory
+/// image. Drive it with [`GpuSim::launch`] followed by [`GpuSim::run`].
+pub struct GpuSim {
+    config: GpuConfig,
+    sms: Vec<Sm>,
+    shared: SharedMemSystem,
+    /// The functional memory image (descriptor sets, AS, framebuffers).
+    pub mem: SimMemory,
+    program: Option<Program>,
+    pending: VecDeque<WarpSeed>,
+    cycle: u64,
+}
+
+impl GpuSim {
+    /// Builds an idle GPU.
+    pub fn new(config: GpuConfig) -> Self {
+        let sms = (0..config.num_sms).map(|i| Sm::new(i, &config)).collect();
+        let shared = SharedMemSystem::new(config.mem.clone());
+        GpuSim {
+            config,
+            sms,
+            shared,
+            mem: SimMemory::new(),
+            program: None,
+            pending: VecDeque::new(),
+            cycle: 0,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Prepares a kernel launch: one thread per raygen invocation, warps of
+    /// 32 consecutive x-coordinates (paper §III-B5: block size (32,1,1)).
+    pub fn launch(&mut self, program: Program, dims: LaunchDims) {
+        let total = dims.total_threads();
+        let mut id = 0;
+        let mut base = 0usize;
+        self.pending.clear();
+        while base < total {
+            let lanes = (total - base).min(WARP_SIZE);
+            let active: Mask = if lanes == WARP_SIZE { u32::MAX } else { (1u32 << lanes) - 1 };
+            self.pending.push_back(WarpSeed { id, base_tid: base, active });
+            id += 1;
+            base += WARP_SIZE;
+        }
+        self.program = Some(program);
+    }
+
+    fn refill_sms(&mut self) {
+        let Some(program) = &self.program else { return };
+        let limit = self.config.occupancy_limit(program.num_regs() as u32);
+        // Fill the least-loaded SM first (round-robin-ish by load).
+        loop {
+            if self.pending.is_empty() {
+                break;
+            }
+            let Some((idx, _)) = self
+                .sms
+                .iter()
+                .enumerate()
+                .map(|(i, sm)| (i, sm.resident_warps()))
+                .filter(|&(_, n)| n < limit)
+                .min_by_key(|&(_, n)| n)
+            else {
+                break;
+            };
+            let seed = self.pending.pop_front().expect("nonempty");
+            self.sms[idx].add_warp(seed.id, seed.base_tid, seed.active, program);
+        }
+    }
+
+    /// Runs the launched kernel to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no kernel was launched or the cycle bound is exceeded
+    /// (runaway simulation).
+    pub fn run(&mut self, hooks: &mut dyn GpuHooks) -> GpuStats {
+        let program = self.program.clone().expect("launch() before run()");
+        self.refill_sms();
+        while self.sms.iter().any(|s| !s.is_empty()) || !self.pending.is_empty() {
+            self.cycle += 1;
+            assert!(
+                self.cycle < self.config.max_cycles,
+                "simulation exceeded {} cycles",
+                self.config.max_cycles
+            );
+            // 1. Backend completions routed to their SM.
+            for (id, at) in self.shared.advance_to(self.cycle) {
+                let sm = (id >> 48) as usize;
+                if let Some(sm) = self.sms.get_mut(sm) {
+                    sm.on_mem_complete(id, at.max(self.cycle));
+                }
+            }
+            // 2. SM cycles.
+            let mut retired = false;
+            for sm in &mut self.sms {
+                retired |= sm.tick(self.cycle, &program, &mut self.mem, &mut self.shared, hooks);
+            }
+            if retired {
+                self.refill_sms();
+            }
+        }
+        self.collect_stats()
+    }
+
+    /// Current cycle count.
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    fn collect_stats(&self) -> GpuStats {
+        let mut counters = Counters::new();
+        let mut l1_stats = Counters::new();
+        let mut rtc_stats = Counters::new();
+        let mut issued_insts = 0;
+        let mut issued_lanes = 0;
+        let mut rt_warp_latency = Histogram::new(1000.0);
+        let mut rt_busy = 0;
+        let mut rt_resident = 0;
+        let mut rt_active_rays = 0;
+        let mut rt_occupancy = Vec::new();
+        for sm in &self.sms {
+            counters.merge(&sm.stats);
+            l1_stats.merge(&sm.l1().stats);
+            if let Some(rtc) = sm.rtc() {
+                rtc_stats.merge(&rtc.stats);
+            }
+            issued_insts += sm.issued_insts;
+            issued_lanes += sm.issued_lanes;
+            let rts = sm.rt_unit.stats();
+            counters.merge(&rts.counters);
+            rt_warp_latency.merge(&rts.warp_latency);
+            rt_busy += rts.busy_cycles;
+            rt_resident += rts.resident_warp_cycles;
+            rt_active_rays += rts.active_ray_cycles;
+            rt_occupancy.push(sm.rt_unit.occupancy_trace().to_vec());
+        }
+        let rt_ops = counters.get("ops.box_tests")
+            + counters.get("ops.triangle_tests")
+            + counters.get("ops.transforms");
+        GpuStats {
+            cycles: self.cycle,
+            issued_insts,
+            simt_efficiency: if issued_insts == 0 {
+                0.0
+            } else {
+                issued_lanes as f64 / (issued_insts * WARP_SIZE as u64) as f64
+            },
+            rt_simt_efficiency: if rt_resident == 0 {
+                0.0
+            } else {
+                rt_active_rays as f64 / (rt_resident * WARP_SIZE as u64) as f64
+            },
+            counters,
+            l1_stats,
+            rtc_stats,
+            l2_stats: self.shared.l2().stats.clone(),
+            dram_stats: self.shared.dram().stats.clone(),
+            dram_efficiency: self.shared.dram().efficiency(),
+            dram_utilization: self.shared.dram().utilization(self.cycle.max(1)),
+            rt_warp_latency,
+            rt_busy_cycles: rt_busy,
+            rt_resident_warp_cycles: rt_resident,
+            rt_occupancy,
+            rt_ops,
+            rt_chunks_fetched: self.sms.iter().map(|s| s.rt_unit.stats().counters.get("mem.issued")).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScriptSource;
+    use vksim_isa::interp::{NoRt, RayDesc, RtHooks};
+    use vksim_isa::op::{RtIdxQuery, RtQuery};
+    use vksim_isa::ProgramBuilder;
+    use vksim_rtunit::{OpKind, Step};
+
+    /// Hooks for GPU tests: launch ids + canned traversal scripts.
+    struct TestHooks {
+        width: u32,
+        scripts_taken: usize,
+    }
+
+    impl RtHooks for TestHooks {
+        fn traverse(&mut self, _tid: usize, _ray: RayDesc) {}
+        fn end_trace(&mut self, _tid: usize) {}
+        fn alloc_mem(&mut self, _tid: usize, _size: u32) -> u64 {
+            0
+        }
+        fn query(&mut self, tid: usize, q: RtQuery) -> u32 {
+            match q {
+                RtQuery::LaunchId(0) => (tid as u32) % self.width,
+                RtQuery::LaunchId(1) => (tid as u32) / self.width,
+                RtQuery::LaunchId(_) => 0,
+                RtQuery::HitKind => 0,
+                _ => 0,
+            }
+        }
+        fn query_idx(&mut self, _tid: usize, _q: RtIdxQuery, _idx: u32) -> u32 {
+            0
+        }
+        fn intersection_valid(&mut self, _tid: usize, _idx: u32) -> bool {
+            false
+        }
+        fn next_coalesced_call(&mut self, _tid: usize, _idx: u32) -> u32 {
+            u32::MAX
+        }
+        fn report_intersection(&mut self, _tid: usize, _idx: u32, _t: f32) {}
+    }
+
+    impl ScriptSource for TestHooks {
+        fn take_script(&mut self, tid: usize) -> Vec<Step> {
+            self.scripts_taken += 1;
+            vec![Step::Fetch {
+                addr: 0x8000_0000 + (tid as u64 % 7) * 64,
+                size: 64,
+                op: OpKind::Box { tests: 6 },
+            }]
+        }
+    }
+
+    impl ScriptSource for NoRt {
+        fn take_script(&mut self, _tid: usize) -> Vec<Step> {
+            Vec::new()
+        }
+    }
+
+    fn small_config() -> GpuConfig {
+        GpuConfig { num_sms: 2, max_cycles: 50_000_000, ..GpuConfig::baseline() }
+    }
+
+    #[test]
+    fn store_kernel_writes_every_thread() {
+        // Each thread stores its launch-id x to out[tid].
+        let mut b = ProgramBuilder::new();
+        let [idx, base, addr, four] = b.regs::<4>();
+        b.emit(vksim_isa::op::Instr::RtRead { dst: idx, query: RtQuery::LaunchId(0) });
+        b.mov_imm_u32(base, 0x10_0000);
+        b.mov_imm_u32(four, 4);
+        b.imul(addr, idx, four);
+        b.iadd(addr, addr, base);
+        b.st_global(addr, 0, idx);
+        b.exit();
+        let program = b.build();
+
+        let mut gpu = GpuSim::new(small_config());
+        gpu.launch(program, LaunchDims { width: 64, height: 1, depth: 1 });
+        let mut hooks = TestHooks { width: 64, scripts_taken: 0 };
+        let stats = gpu.run(&mut hooks);
+        for i in 0..64u64 {
+            assert_eq!(gpu.mem.read_u32(0x10_0000 + i * 4), i as u32, "thread {i}");
+        }
+        assert!(stats.cycles > 0);
+        assert!(stats.issued_insts >= 7 * 2); // 2 warps x 7 instructions
+        assert!(stats.simt_efficiency > 0.9, "uniform kernel: {}", stats.simt_efficiency);
+    }
+
+    #[test]
+    fn partial_last_warp_handled() {
+        let mut b = ProgramBuilder::new();
+        let [idx, base, addr, four] = b.regs::<4>();
+        b.emit(vksim_isa::op::Instr::RtRead { dst: idx, query: RtQuery::LaunchId(0) });
+        b.mov_imm_u32(base, 0x20_0000);
+        b.mov_imm_u32(four, 4);
+        b.imul(addr, idx, four);
+        b.iadd(addr, addr, base);
+        b.st_global(addr, 0, idx);
+        b.exit();
+        let program = b.build();
+        let mut gpu = GpuSim::new(small_config());
+        gpu.launch(program, LaunchDims { width: 40, height: 1, depth: 1 });
+        let mut hooks = TestHooks { width: 40, scripts_taken: 0 };
+        gpu.run(&mut hooks);
+        assert_eq!(gpu.mem.read_u32(0x20_0000 + 39 * 4), 39);
+        // Thread 40 does not exist: untouched memory.
+        assert_eq!(gpu.mem.read_u32(0x20_0000 + 40 * 4), 0);
+    }
+
+    #[test]
+    fn loads_go_through_memory_hierarchy() {
+        // Every thread loads the same word and stores it: one cold miss,
+        // then hits.
+        let mut b = ProgramBuilder::new();
+        let [src, v, idx, base, addr, four] = b.regs::<6>();
+        b.mov_imm_u32(src, 0x30_0000);
+        b.ld_global(v, src, 0);
+        b.emit(vksim_isa::op::Instr::RtRead { dst: idx, query: RtQuery::LaunchId(0) });
+        b.mov_imm_u32(base, 0x40_0000);
+        b.mov_imm_u32(four, 4);
+        b.imul(addr, idx, four);
+        b.iadd(addr, addr, base);
+        b.st_global(addr, 0, v);
+        b.exit();
+        let program = b.build();
+        let mut gpu = GpuSim::new(GpuConfig { num_sms: 1, ..small_config() });
+        gpu.mem.write_u32(0x30_0000, 0xBEEF);
+        gpu.launch(program, LaunchDims { width: 128, height: 1, depth: 1 });
+        let mut hooks = TestHooks { width: 128, scripts_taken: 0 };
+        let stats = gpu.run(&mut hooks);
+        assert_eq!(gpu.mem.read_u32(0x40_0000), 0xBEEF);
+        assert_eq!(gpu.mem.read_u32(0x40_0000 + 127 * 4), 0xBEEF);
+        let l1_misses = stats.l1_stats.get("shader_load.miss_compulsory");
+        assert_eq!(l1_misses, 1, "one cold miss for the shared word");
+        // The other three warps issue while the fill is outstanding and
+        // merge into the MSHR (or, if scheduled after the fill, hit).
+        let merged = stats.l1_stats.get("shader_load.miss_pending");
+        let hits = stats.l1_stats.get("shader_load.hit");
+        assert_eq!(merged + hits, 3, "merged={merged} hits={hits}");
+    }
+
+    #[test]
+    fn trace_ray_routes_through_rt_unit() {
+        let mut b = ProgramBuilder::new();
+        let rs = b.regs::<9>();
+        for r in &rs[..8] {
+            b.mov_imm_f32(*r, 0.5);
+        }
+        b.mov_imm_u32(rs[8], 0);
+        b.emit(vksim_isa::op::Instr::TraverseAs {
+            origin: [rs[0], rs[1], rs[2]],
+            dir: [rs[3], rs[4], rs[5]],
+            tmin: rs[6],
+            tmax: rs[7],
+            flags: rs[8],
+        });
+        b.emit(vksim_isa::op::Instr::EndTraceRay);
+        b.exit();
+        let program = b.build();
+        let mut gpu = GpuSim::new(GpuConfig { num_sms: 1, ..small_config() });
+        gpu.launch(program, LaunchDims { width: 256, height: 1, depth: 1 });
+        let mut hooks = TestHooks { width: 256, scripts_taken: 0 };
+        let stats = gpu.run(&mut hooks);
+        assert_eq!(hooks.scripts_taken, 256, "every lane's script consumed");
+        assert_eq!(stats.counters.get("rt.trace_warps"), 8);
+        assert_eq!(stats.counters.get("warps_completed"), 8);
+        assert!(stats.rt_busy_cycles > 0);
+        assert!(stats.rt_ops > 0);
+        // 8 warps > 4 RT slots: some enqueues must have stalled.
+        assert!(stats.counters.get("rt.enqueue_stall") > 0 || stats.cycles > 10);
+    }
+
+    #[test]
+    fn divergent_branch_lowers_simt_efficiency() {
+        // if (lane_id < 8) { long ALU block } else { other block }
+        let mut b = ProgramBuilder::new();
+        let [idx, eight, acc, one] = b.regs::<4>();
+        let p = b.pred();
+        b.emit(vksim_isa::op::Instr::RtRead { dst: idx, query: RtQuery::LaunchId(0) });
+        b.mov_imm_u32(eight, 8);
+        b.mov_imm_u32(acc, 0);
+        b.mov_imm_u32(one, 1);
+        b.setp_i(p, vksim_isa::op::CmpOp::Lt, idx, eight);
+        let join = b.new_label();
+        let els = b.new_label();
+        b.ssy(join);
+        b.bra_if(els, p, false);
+        for _ in 0..20 {
+            b.iadd(acc, acc, one);
+        }
+        b.bra(join);
+        b.bind_label(els);
+        for _ in 0..20 {
+            b.iadd(acc, acc, one);
+        }
+        b.bind_label(join);
+        b.sync();
+        b.exit();
+        let program = b.build();
+        let mut gpu = GpuSim::new(GpuConfig { num_sms: 1, ..small_config() });
+        gpu.launch(program, LaunchDims { width: 32, height: 1, depth: 1 });
+        let mut hooks = TestHooks { width: 32, scripts_taken: 0 };
+        let stats = gpu.run(&mut hooks);
+        assert_eq!(stats.counters.get("divergent_branches"), 1);
+        assert!(
+            stats.simt_efficiency < 0.8,
+            "divergence must cost efficiency: {}",
+            stats.simt_efficiency
+        );
+    }
+
+    #[test]
+    fn multipath_mode_completes_divergent_kernel() {
+        let mut b = ProgramBuilder::new();
+        let [idx, half, acc, one] = b.regs::<4>();
+        let p = b.pred();
+        b.emit(vksim_isa::op::Instr::RtRead { dst: idx, query: RtQuery::LaunchId(0) });
+        b.mov_imm_u32(half, 16);
+        b.mov_imm_u32(acc, 0);
+        b.mov_imm_u32(one, 1);
+        b.setp_i(p, vksim_isa::op::CmpOp::Lt, idx, half);
+        let join = b.new_label();
+        let els = b.new_label();
+        b.ssy(join);
+        b.bra_if(els, p, false);
+        b.iadd(acc, acc, one);
+        b.bra(join);
+        b.bind_label(els);
+        b.iadd(acc, acc, one);
+        b.bind_label(join);
+        b.sync();
+        // Store acc so we can verify both sides ran.
+        let [base, addr, four] = b.regs::<3>();
+        b.mov_imm_u32(base, 0x50_0000);
+        b.mov_imm_u32(four, 4);
+        b.imul(addr, idx, four);
+        b.iadd(addr, addr, base);
+        b.st_global(addr, 0, acc);
+        b.exit();
+        let program = b.build();
+        let mut gpu = GpuSim::new(GpuConfig {
+            num_sms: 1,
+            divergence: DivergenceMode::Multipath,
+            ..small_config()
+        });
+        gpu.launch(program, LaunchDims { width: 32, height: 1, depth: 1 });
+        let mut hooks = TestHooks { width: 32, scripts_taken: 0 };
+        gpu.run(&mut hooks);
+        for i in 0..32u64 {
+            assert_eq!(gpu.mem.read_u32(0x50_0000 + i * 4), 1, "lane {i}");
+        }
+    }
+
+    use crate::config::DivergenceMode;
+
+    #[test]
+    fn occupancy_respects_register_limit() {
+        let c = GpuConfig::baseline();
+        assert_eq!(c.occupancy_limit(2048), 1);
+    }
+}

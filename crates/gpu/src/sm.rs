@@ -1,0 +1,630 @@
+//! Streaming multiprocessor model.
+//!
+//! Each SM holds resident warps, schedules one instruction per cycle with a
+//! greedy-then-oldest warp scheduler, executes lanes functionally through
+//! the ISA interpreter, and charges timing per instruction class: ALU
+//! (pipelined, 1-cycle issue), SFU (blocking latency), memory (coalesced
+//! 32 B chunks through the L1 and the shared backend), and `traverseAS`
+//! (warp handed to the RT unit).
+
+use crate::config::{DivergenceMode, GpuConfig};
+use crate::simt::{CtxOutcome, Mask, SimtEngine};
+use crate::{ScriptSource, WARP_SIZE};
+use std::collections::HashMap;
+use vksim_isa::interp::{exec_at, Effect, RtHooks, ThreadState};
+use vksim_isa::op::MemSpace;
+use vksim_isa::{Program, SimMemory};
+use vksim_mem::{chunk_addresses, AccessKind, Cache, CacheOutcome, MemRequest, SharedMemSystem};
+use vksim_rtunit::{RtMem, RtMemResult, RtUnit, WarpJob};
+use vksim_stats::Counters;
+
+/// Hooks the GPU needs from the simulator core: the RT functional runtime
+/// plus the recorded traversal scripts.
+pub trait GpuHooks: RtHooks + ScriptSource {}
+impl<T: RtHooks + ScriptSource> GpuHooks for T {}
+
+#[derive(Clone, Debug, Default)]
+struct CtxState {
+    status: CtxStatus,
+    retry_chunks: Vec<u64>,
+    pending_rt_job: Option<WarpJob>,
+}
+
+#[derive(Clone, Debug, Default, PartialEq)]
+enum CtxStatus {
+    #[default]
+    Ready,
+    /// Busy in an execution unit until the given cycle.
+    OpUntil(u64),
+    /// Waiting on outstanding memory chunks.
+    WaitMem {
+        outstanding: u32,
+    },
+    /// Waiting for space in the RT unit's warp buffer.
+    RtPending,
+    /// Resident in the RT unit.
+    InRt,
+}
+
+/// One resident warp.
+#[derive(Debug)]
+pub struct Warp {
+    /// Global warp index.
+    pub id: u32,
+    /// Global thread id of lane 0.
+    pub base_tid: usize,
+    threads: Vec<ThreadState>,
+    engine: SimtEngine,
+    ctx_state: HashMap<u32, CtxState>,
+}
+
+impl Warp {
+    fn new(id: u32, base_tid: usize, active: Mask, program: &Program, mode: DivergenceMode) -> Self {
+        let threads = (0..WARP_SIZE)
+            .map(|lane| {
+                ThreadState::with_tid(program.num_regs(), program.num_preds().max(1), base_tid + lane)
+            })
+            .collect();
+        let engine = match mode {
+            DivergenceMode::Stack => SimtEngine::stack(active),
+            DivergenceMode::Multipath => SimtEngine::multipath(active),
+        };
+        Warp { id, base_tid, threads, engine, ctx_state: HashMap::new() }
+    }
+
+    fn done(&self) -> bool {
+        self.engine.done()
+            && self
+                .ctx_state
+                .values()
+                .all(|c| c.status == CtxStatus::Ready || matches!(c.status, CtxStatus::OpUntil(_)))
+    }
+}
+
+// Who is waiting on an L1 line fill.
+#[derive(Clone, Copy, Debug)]
+enum Waiter {
+    WarpCtx { warp: u32, ctx: u32 },
+    RtToken(u64),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum CacheSel {
+    L1,
+    Rtc,
+}
+
+/// The per-SM state.
+pub struct Sm {
+    /// SM index within the GPU.
+    pub id: usize,
+    warps: Vec<Warp>,
+    l1: Cache,
+    rtc: Option<Cache>,
+    /// The SM's ray-tracing accelerator.
+    pub rt_unit: RtUnit,
+    waiting_lines: HashMap<(CacheSel, u64), Vec<Waiter>>,
+    inflight: HashMap<u64, (CacheSel, u64)>, // req id -> (cache, line)
+    next_rt_job: u32,
+    rt_job_map: HashMap<u32, (u32, u32)>, // job id -> (warp id, ctx id)
+    last_warp: Option<u32>,
+    perfect_bvh: bool,
+    sfu_latency: u32,
+    divergence: DivergenceMode,
+    next_req: u64,
+    /// Per-SM counters (instruction mix, issue stats).
+    pub stats: Counters,
+    /// Sum of active lanes over issued instructions (SIMT efficiency).
+    pub issued_lanes: u64,
+    /// Number of issued instructions.
+    pub issued_insts: u64,
+    /// Cycles where the RT unit had at least one resident warp.
+    pub trace_cycles: u64,
+}
+
+impl Sm {
+    /// Creates an SM from the GPU configuration.
+    pub fn new(id: usize, config: &GpuConfig) -> Self {
+        Sm {
+            id,
+            warps: Vec::new(),
+            l1: Cache::new(config.l1.clone()),
+            rtc: config.rt_cache.clone().map(Cache::new),
+            rt_unit: RtUnit::new(config.rt_unit.clone()),
+            waiting_lines: HashMap::new(),
+            inflight: HashMap::new(),
+            next_rt_job: 0,
+            rt_job_map: HashMap::new(),
+            last_warp: None,
+            perfect_bvh: config.perfect_bvh,
+            sfu_latency: config.sfu_latency,
+            divergence: config.divergence,
+            next_req: 0,
+            stats: Counters::new(),
+            issued_lanes: 0,
+            issued_insts: 0,
+            trace_cycles: 0,
+        }
+    }
+
+    /// Number of resident warps.
+    pub fn resident_warps(&self) -> usize {
+        self.warps.len()
+    }
+
+    /// `true` when no warps are resident.
+    pub fn is_empty(&self) -> bool {
+        self.warps.is_empty()
+    }
+
+    /// The L1 data cache (statistics).
+    pub fn l1(&self) -> &Cache {
+        &self.l1
+    }
+
+    /// The dedicated RT cache, when configured.
+    pub fn rtc(&self) -> Option<&Cache> {
+        self.rtc.as_ref()
+    }
+
+    /// Admits a warp covering global threads `[base_tid, base_tid+32)` with
+    /// `active` lanes.
+    pub fn add_warp(&mut self, id: u32, base_tid: usize, active: Mask, program: &Program) {
+        self.warps.push(Warp::new(id, base_tid, active, program, self.divergence));
+    }
+
+    fn alloc_req_id(&mut self) -> u64 {
+        self.next_req += 1;
+        ((self.id as u64) << 48) | self.next_req
+    }
+
+    /// Routes a completed backend request (id was allocated by this SM).
+    pub fn on_mem_complete(&mut self, id: u64, at: u64) {
+        let Some((sel, line)) = self.inflight.remove(&id) else { return };
+        match sel {
+            CacheSel::L1 => {
+                self.l1.fill(line, at);
+            }
+            CacheSel::Rtc => {
+                if let Some(rtc) = &mut self.rtc {
+                    rtc.fill(line, at);
+                }
+            }
+        }
+        if let Some(waiters) = self.waiting_lines.remove(&(sel, line)) {
+            for w in waiters {
+                match w {
+                    Waiter::WarpCtx { warp, ctx } => {
+                        if let Some(wp) = self.warps.iter_mut().find(|w| w.id == warp) {
+                            let st = wp.ctx_state.entry(ctx).or_default();
+                            if let CtxStatus::WaitMem { outstanding } = &mut st.status {
+                                *outstanding = outstanding.saturating_sub(1);
+                                if *outstanding == 0 && st.retry_chunks.is_empty() {
+                                    st.status = CtxStatus::OpUntil(at);
+                                }
+                            }
+                        }
+                    }
+                    Waiter::RtToken(token) => {
+                        self.rt_unit.on_mem_complete(token, at);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One core cycle. Returns `true` if a warp retired this cycle.
+    pub fn tick(
+        &mut self,
+        now: u64,
+        program: &Program,
+        mem: &mut SimMemory,
+        shared: &mut SharedMemSystem,
+        hooks: &mut dyn GpuHooks,
+    ) -> bool {
+        // 1. RT unit cycle.
+        self.tick_rt_unit(now, shared);
+
+        // 2. Retry stalled RT enqueues and memory-chunk retries.
+        self.retry_stalled(now, shared);
+
+        // 3. Issue one instruction from one warp context (GTO).
+        if let Some((warp_idx, ctx_id)) = self.pick(now) {
+            self.issue(warp_idx, ctx_id, now, program, mem, shared, hooks);
+        }
+
+        if self.rt_unit.resident_warps() > 0 {
+            self.trace_cycles += 1;
+        }
+
+        // 4. Retire finished warps.
+        let before = self.warps.len();
+        self.warps.retain(|w| !w.done());
+        before != self.warps.len()
+    }
+
+    fn tick_rt_unit(&mut self, now: u64, shared: &mut SharedMemSystem) {
+        let mut port = SmRtPort {
+            l1: &mut self.l1,
+            rtc: self.rtc.as_mut(),
+            shared,
+            waiting_lines: &mut self.waiting_lines,
+            inflight: &mut self.inflight,
+            next_req: &mut self.next_req,
+            sm_id: self.id,
+            perfect_bvh: self.perfect_bvh,
+        };
+        let done = self.rt_unit.tick(now, &mut port);
+        for d in done {
+            if let Some((warp, ctx)) = self.rt_job_map.remove(&d.warp_id) {
+                if let Some(w) = self.warps.iter_mut().find(|w| w.id == warp) {
+                    w.ctx_state.entry(ctx).or_default().status = CtxStatus::Ready;
+                }
+            }
+        }
+    }
+
+    fn retry_stalled(&mut self, now: u64, shared: &mut SharedMemSystem) {
+        // RT warp-buffer retries: admit stalled jobs while capacity lasts.
+        let mut slots = self
+            .rt_unit
+            .config()
+            .max_warps
+            .saturating_sub(self.rt_unit.resident_warps());
+        let mut enqueues: Vec<(u32, u32, WarpJob)> = Vec::new();
+        'outer: for w in &mut self.warps {
+            for (&ctx, st) in w.ctx_state.iter_mut() {
+                if slots == 0 {
+                    break 'outer;
+                }
+                if st.status == CtxStatus::RtPending && st.pending_rt_job.is_some() {
+                    let job = st.pending_rt_job.take().expect("checked");
+                    st.status = CtxStatus::InRt;
+                    slots -= 1;
+                    enqueues.push((w.id, ctx, job));
+                }
+            }
+        }
+        for (warp, ctx, job) in enqueues {
+            let job_id = job.warp_id;
+            if self.rt_unit.try_enqueue(job, now) {
+                self.rt_job_map.insert(job_id, (warp, ctx));
+            } else {
+                // Capacity raced away (shouldn't in a single-threaded
+                // model); count it and leave the ctx stuck for diagnosis.
+                self.stats.inc("rt.enqueue_race");
+            }
+        }
+
+        // Memory chunk retries (L1 MSHR was full).
+        let mut retries: Vec<(u32, u32, u64)> = Vec::new();
+        for w in &self.warps {
+            for (&ctx, st) in &w.ctx_state {
+                for &chunk in &st.retry_chunks {
+                    retries.push((w.id, ctx, chunk));
+                }
+            }
+        }
+        for (warp, ctx, chunk) in retries {
+            let outcome = self.l1.access(chunk, AccessKind::ShaderLoad, now);
+            let line = self.l1.line_of(chunk);
+            let resolved = match outcome {
+                CacheOutcome::Hit => Some(None),
+                CacheOutcome::MissToMemory => {
+                    let id = self.alloc_req_id();
+                    self.inflight.insert(id, (CacheSel::L1, line));
+                    shared.submit(
+                        MemRequest { id, addr: chunk, kind: AccessKind::ShaderLoad, is_store: false },
+                        now,
+                    );
+                    Some(Some(Waiter::WarpCtx { warp, ctx }))
+                }
+                CacheOutcome::MissMerged => Some(Some(Waiter::WarpCtx { warp, ctx })),
+                CacheOutcome::ReservationFail => None,
+            };
+            let Some(waiter) = resolved else { continue };
+            if let Some(wtr) = waiter {
+                self.waiting_lines.entry((CacheSel::L1, line)).or_default().push(wtr);
+            }
+            if let Some(w) = self.warps.iter_mut().find(|w| w.id == warp) {
+                let st = w.ctx_state.entry(ctx).or_default();
+                st.retry_chunks.retain(|&c| c != chunk);
+                match (&mut st.status, waiter.is_some()) {
+                    (CtxStatus::WaitMem { outstanding }, true) => {
+                        // Already counted in outstanding.
+                        let _ = outstanding;
+                    }
+                    (CtxStatus::WaitMem { outstanding }, false) => {
+                        *outstanding = outstanding.saturating_sub(1);
+                        if *outstanding == 0 && st.retry_chunks.is_empty() {
+                            st.status = CtxStatus::OpUntil(now + self.l1.hit_latency() as u64);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// GTO pick: (warp index, ctx id).
+    fn pick(&mut self, now: u64) -> Option<(usize, u32)> {
+        let issuable_ctx = |w: &Warp| -> Option<u32> {
+            w.engine
+                .contexts()
+                .iter()
+                .filter(|c| {
+                    let st = w.ctx_state.get(&c.id);
+                    match st.map(|s| &s.status) {
+                        None | Some(CtxStatus::Ready) => true,
+                        Some(CtxStatus::OpUntil(t)) => *t <= now,
+                        _ => false,
+                    }
+                })
+                .map(|c| c.id)
+                .min()
+        };
+        // Greedy: stick to the last-issued warp.
+        if let Some(last) = self.last_warp {
+            if let Some(idx) = self.warps.iter().position(|w| w.id == last) {
+                if let Some(ctx) = issuable_ctx(&self.warps[idx]) {
+                    return Some((idx, ctx));
+                }
+            }
+        }
+        // Then oldest (resident order is launch order).
+        for (idx, w) in self.warps.iter().enumerate() {
+            if let Some(ctx) = issuable_ctx(w) {
+                self.last_warp = Some(w.id);
+                return Some((idx, ctx));
+            }
+        }
+        None
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn issue(
+        &mut self,
+        warp_idx: usize,
+        ctx_id: u32,
+        now: u64,
+        program: &Program,
+        mem: &mut SimMemory,
+        shared: &mut SharedMemSystem,
+        hooks: &mut dyn GpuHooks,
+    ) {
+        let warp = &mut self.warps[warp_idx];
+        let Some(ctx) = warp.engine.contexts().into_iter().find(|c| c.id == ctx_id) else {
+            return;
+        };
+        let pc = ctx.pc;
+        let mask = ctx.mask;
+        let instr = *program.fetch(pc);
+        self.stats.inc(&format!("inst.{:?}", instr.class()));
+        self.issued_insts += 1;
+        self.issued_lanes += mask.count_ones() as u64;
+
+        // Execute every active lane functionally.
+        let mut lane_effects: Vec<(usize, Effect)> = Vec::new();
+        for lane in 0..WARP_SIZE {
+            if mask & (1 << lane) == 0 {
+                continue;
+            }
+            let t = &mut warp.threads[lane];
+            let eff = exec_at(program, pc, t, mem, hooks)
+                .unwrap_or_else(|e| panic!("SM{} warp {} lane {lane}: {e}", self.id, warp.id));
+            lane_effects.push((lane, eff));
+        }
+        let Some(&(_, first)) = lane_effects.first() else { return };
+
+        let warp_id = warp.id;
+        match first {
+            Effect::Alu | Effect::RtOther => {
+                warp.engine.apply(ctx_id, CtxOutcome::Fallthrough);
+                warp.ctx_state.entry(ctx_id).or_default().status = CtxStatus::Ready;
+            }
+            Effect::Sfu => {
+                warp.engine.apply(ctx_id, CtxOutcome::Fallthrough);
+                warp.ctx_state.entry(ctx_id).or_default().status =
+                    CtxStatus::OpUntil(now + self.sfu_latency as u64);
+            }
+            Effect::Ssy { reconv } => {
+                warp.engine.apply(ctx_id, CtxOutcome::Ssy { reconv });
+                warp.ctx_state.entry(ctx_id).or_default().status = CtxStatus::Ready;
+            }
+            Effect::Sync => {
+                warp.engine.apply(ctx_id, CtxOutcome::Sync);
+                warp.ctx_state.entry(ctx_id).or_default().status = CtxStatus::Ready;
+            }
+            Effect::Exited => {
+                warp.engine.apply(ctx_id, CtxOutcome::Exit);
+            }
+            Effect::Branch { target, .. } => {
+                let mut taken: Mask = 0;
+                for &(lane, eff) in &lane_effects {
+                    if let Effect::Branch { taken: t, .. } = eff {
+                        if t {
+                            taken |= 1 << lane;
+                        }
+                    }
+                }
+                if taken != 0 && taken != mask {
+                    self.stats.inc("divergent_branches");
+                }
+                warp.engine.apply(ctx_id, CtxOutcome::Branch { target, taken });
+                warp.ctx_state.entry(ctx_id).or_default().status = CtxStatus::Ready;
+            }
+            Effect::Mem { space: MemSpace::Const, .. } => {
+                // Constant cache: single-cycle, no traffic modelled.
+                warp.engine.apply(ctx_id, CtxOutcome::Fallthrough);
+                warp.ctx_state.entry(ctx_id).or_default().status = CtxStatus::Ready;
+            }
+            Effect::Mem { is_store, .. } => {
+                // Coalesce lane addresses into unique 32 B chunks.
+                let mut chunks: Vec<u64> = Vec::new();
+                for &(_, eff) in &lane_effects {
+                    if let Effect::Mem { addr, size, .. } = eff {
+                        for c in chunk_addresses(addr, size) {
+                            if !chunks.contains(&c) {
+                                chunks.push(c);
+                            }
+                        }
+                    }
+                }
+                self.stats.add("mem.coalesced_chunks", chunks.len() as u64);
+                warp.engine.apply(ctx_id, CtxOutcome::Fallthrough);
+                if is_store {
+                    // Write-through, no stall.
+                    for c in chunks {
+                        self.l1.access(c, AccessKind::ShaderStore, now);
+                        let id = self.alloc_req_id();
+                        shared.submit(
+                            MemRequest {
+                                id,
+                                addr: c,
+                                kind: AccessKind::ShaderStore,
+                                is_store: true,
+                            },
+                            now,
+                        );
+                    }
+                    self.warps[warp_idx].ctx_state.entry(ctx_id).or_default().status =
+                        CtxStatus::Ready;
+                    return;
+                }
+                let mut outstanding = 0u32;
+                let mut retries: Vec<u64> = Vec::new();
+                for c in chunks {
+                    match self.l1.access(c, AccessKind::ShaderLoad, now) {
+                        CacheOutcome::Hit => {}
+                        CacheOutcome::MissToMemory => {
+                            outstanding += 1;
+                            let line = self.l1.line_of(c);
+                            let id = self.alloc_req_id();
+                            self.inflight.insert(id, (CacheSel::L1, line));
+                            self.waiting_lines
+                                .entry((CacheSel::L1, line))
+                                .or_default()
+                                .push(Waiter::WarpCtx { warp: warp_id, ctx: ctx_id });
+                            shared.submit(
+                                MemRequest {
+                                    id,
+                                    addr: c,
+                                    kind: AccessKind::ShaderLoad,
+                                    is_store: false,
+                                },
+                                now,
+                            );
+                        }
+                        CacheOutcome::MissMerged => {
+                            outstanding += 1;
+                            let line = self.l1.line_of(c);
+                            self.waiting_lines
+                                .entry((CacheSel::L1, line))
+                                .or_default()
+                                .push(Waiter::WarpCtx { warp: warp_id, ctx: ctx_id });
+                        }
+                        CacheOutcome::ReservationFail => {
+                            outstanding += 1;
+                            retries.push(c);
+                        }
+                    }
+                }
+                let st = self.warps[warp_idx].ctx_state.entry(ctx_id).or_default();
+                if outstanding == 0 {
+                    st.status = CtxStatus::OpUntil(now + self.l1.hit_latency() as u64);
+                } else {
+                    st.status = CtxStatus::WaitMem { outstanding };
+                    st.retry_chunks = retries;
+                }
+            }
+            Effect::TraceRay => {
+                // Collect the recorded traversal scripts for active lanes.
+                let mut scripts = vec![Vec::new(); WARP_SIZE];
+                for &(lane, _) in &lane_effects {
+                    let tid = self.warps[warp_idx].base_tid + lane;
+                    scripts[lane] = hooks.take_script(tid);
+                }
+                self.next_rt_job += 1;
+                let job_id = self.next_rt_job;
+                let job = WarpJob { warp_id: job_id, scripts };
+                self.stats.inc("rt.trace_warps");
+                let warp = &mut self.warps[warp_idx];
+                warp.engine.apply(ctx_id, CtxOutcome::Fallthrough);
+                if self.rt_unit.has_capacity() {
+                    let admitted = self.rt_unit.try_enqueue(job, now);
+                    debug_assert!(admitted, "capacity checked");
+                    self.rt_job_map.insert(job_id, (warp_id, ctx_id));
+                    warp.ctx_state.entry(ctx_id).or_default().status = CtxStatus::InRt;
+                } else {
+                    // Warp buffer full: hold the job; retried each cycle.
+                    self.stats.inc("rt.enqueue_stall");
+                    let st = warp.ctx_state.entry(ctx_id).or_default();
+                    st.status = CtxStatus::RtPending;
+                    st.pending_rt_job = Some(job);
+                }
+            }
+        }
+    }
+}
+
+/// RT unit memory port backed by the SM's caches and the shared backend.
+struct SmRtPort<'a> {
+    l1: &'a mut Cache,
+    rtc: Option<&'a mut Cache>,
+    shared: &'a mut SharedMemSystem,
+    waiting_lines: &'a mut HashMap<(CacheSel, u64), Vec<Waiter>>,
+    inflight: &'a mut HashMap<u64, (CacheSel, u64)>,
+    next_req: &'a mut u64,
+    sm_id: usize,
+    perfect_bvh: bool,
+}
+
+impl SmRtPort<'_> {
+    fn alloc_req_id(&mut self) -> u64 {
+        *self.next_req += 1;
+        ((self.sm_id as u64) << 48) | *self.next_req
+    }
+}
+
+impl RtMem for SmRtPort<'_> {
+    fn load_chunk(&mut self, addr: u64, now: u64) -> RtMemResult {
+        if self.perfect_bvh {
+            return RtMemResult::Ready { at: now + 1 };
+        }
+        let (sel, cache) = match self.rtc.as_deref_mut() {
+            Some(rtc) => (CacheSel::Rtc, rtc),
+            None => (CacheSel::L1, &mut *self.l1),
+        };
+        let line = cache.line_of(addr);
+        match cache.access(addr, AccessKind::RtUnit, now) {
+            CacheOutcome::Hit => RtMemResult::Ready { at: now + cache.hit_latency() as u64 },
+            CacheOutcome::MissToMemory => {
+                let id = self.alloc_req_id();
+                self.inflight.insert(id, (sel, line));
+                let token = id;
+                self.waiting_lines.entry((sel, line)).or_default().push(Waiter::RtToken(token));
+                self.shared.submit(
+                    MemRequest { id, addr, kind: AccessKind::RtUnit, is_store: false },
+                    now,
+                );
+                RtMemResult::Pending { token }
+            }
+            CacheOutcome::MissMerged => {
+                let token = {
+                    *self.next_req += 1;
+                    ((self.sm_id as u64) << 48) | *self.next_req
+                };
+                self.waiting_lines.entry((sel, line)).or_default().push(Waiter::RtToken(token));
+                RtMemResult::Pending { token }
+            }
+            CacheOutcome::ReservationFail => RtMemResult::Retry,
+        }
+    }
+
+    fn store_chunk(&mut self, addr: u64, now: u64) {
+        // Write-through traffic; no completion tracked.
+        let id = self.alloc_req_id();
+        self.shared
+            .submit(MemRequest { id, addr, kind: AccessKind::ShaderStore, is_store: true }, now);
+    }
+}

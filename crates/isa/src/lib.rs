@@ -1,0 +1,60 @@
+//! PTX-like virtual ISA and functional interpreter.
+//!
+//! GPGPU-Sim executes NVIDIA's virtual ISA, PTX; Vulkan-Sim extends that ISA
+//! with custom ray-tracing instructions (paper Table II). This crate
+//! reproduces the equivalent layer for the Rust rewrite:
+//!
+//! * [`op::Instr`] — a register-based virtual instruction set with ALU,
+//!   control-flow and memory instructions plus the paper's custom RT
+//!   instructions (`traverseAS`, `endTraceRay`, `rt_alloc_mem`,
+//!   `load_ray_launch_id` and the trace-result accessors they imply);
+//! * [`program::Program`] / [`program::ProgramBuilder`] — the container the
+//!   NIR-to-PTX translator emits into, with label resolution;
+//! * [`interp`] — a per-thread functional interpreter. RT instructions are
+//!   delegated to an [`interp::RtHooks`] implementation supplied by the
+//!   simulator core, which owns the acceleration structures and per-thread
+//!   trace-result stacks;
+//! * [`memory::SimMemory`] — the flat, sparse functional memory image that
+//!   loads and stores operate on.
+//!
+//! Divergence handling (SIMT stack / independent thread scheduling) is *not*
+//! here: the GPU timing model drives threads through [`interp::step`] one
+//! instruction at a time and reacts to the returned [`interp::Effect`].
+//!
+//! # Example
+//!
+//! ```
+//! use vksim_isa::program::ProgramBuilder;
+//! use vksim_isa::interp::{run_to_exit, NoRt, ThreadState};
+//! use vksim_isa::memory::SimMemory;
+//!
+//! let mut b = ProgramBuilder::new();
+//! let r = b.reg();
+//! b.mov_imm_f32(r, 21.0);
+//! b.fadd(r, r, r);
+//! let out = b.reg();
+//! b.mov_imm_u32(out, 0x100);
+//! b.st_global(out, 0, r);
+//! b.exit();
+//! let prog = b.build();
+//!
+//! let mut mem = SimMemory::new();
+//! let mut t = ThreadState::new(prog.num_regs());
+//! run_to_exit(&prog, &mut t, &mut mem, &mut NoRt).unwrap();
+//! assert_eq!(mem.read_f32(0x100), 42.0);
+//! ```
+
+pub mod interp;
+pub mod memory;
+pub mod op;
+pub mod program;
+pub mod text;
+
+pub use interp::{Effect, RtHooks, ThreadState};
+pub use memory::SimMemory;
+pub use op::{CmpOp, InstClass, Instr, Pred, Reg, RtQuery};
+pub use program::{Program, ProgramBuilder};
+
+/// Nominal encoded size of one instruction in bytes (used for instruction
+/// cache modelling).
+pub const INSTR_SIZE_BYTES: u64 = 8;

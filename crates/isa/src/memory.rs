@@ -1,0 +1,162 @@
+//! Flat sparse functional memory.
+//!
+//! This is the *functional* memory image: descriptor sets, acceleration
+//! structures, framebuffers and shader scratch all live in one 64-bit
+//! address space. The *timing* of accesses is modelled separately by
+//! `vksim-mem`; the functional interpreter only needs correct values.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Sparse paged byte-addressable memory with little-endian 32-bit accessors.
+///
+/// Unwritten memory reads as zero, like freshly allocated device memory in
+/// the simulator.
+///
+/// # Example
+///
+/// ```
+/// use vksim_isa::SimMemory;
+/// let mut m = SimMemory::new();
+/// m.write_f32(0x1000, 3.5);
+/// assert_eq!(m.read_f32(0x1000), 3.5);
+/// assert_eq!(m.read_u32(0xdead_beef), 0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SimMemory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl SimMemory {
+    /// Creates an empty memory image.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_SHIFT)) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, value: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+        page[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads a little-endian u32 (byte-granular, may straddle pages).
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        let mut bytes = [0u8; 4];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64);
+        }
+        u32::from_le_bytes(bytes)
+    }
+
+    /// Writes a little-endian u32.
+    pub fn write_u32(&mut self, addr: u64, value: u32) {
+        for (i, b) in value.to_le_bytes().iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads an f32.
+    pub fn read_f32(&self, addr: u64) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Writes an f32.
+    pub fn write_f32(&mut self, addr: u64, value: f32) {
+        self.write_u32(addr, value.to_bits());
+    }
+
+    /// Reads a little-endian u64.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        (self.read_u32(addr) as u64) | ((self.read_u32(addr + 4) as u64) << 32)
+    }
+
+    /// Writes a little-endian u64.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_u32(addr, value as u32);
+        self.write_u32(addr + 4, (value >> 32) as u32);
+    }
+
+    /// Copies a byte slice into memory.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, *b);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
+    }
+
+    /// Number of resident pages (footprint diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let m = SimMemory::new();
+        assert_eq!(m.read_u32(0), 0);
+        assert_eq!(m.read_u8(u64::MAX - 4), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn u32_roundtrip_and_endianness() {
+        let mut m = SimMemory::new();
+        m.write_u32(0x100, 0x1234_5678);
+        assert_eq!(m.read_u8(0x100), 0x78);
+        assert_eq!(m.read_u8(0x103), 0x12);
+        assert_eq!(m.read_u32(0x100), 0x1234_5678);
+    }
+
+    #[test]
+    fn f32_roundtrip_preserves_bits() {
+        let mut m = SimMemory::new();
+        m.write_f32(8, -0.0);
+        assert_eq!(m.read_u32(8), 0x8000_0000);
+        m.write_f32(8, f32::NAN);
+        assert!(m.read_f32(8).is_nan());
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut m = SimMemory::new();
+        let addr = (1 << 12) - 2; // straddles first page boundary
+        m.write_u32(addr, 0xAABB_CCDD);
+        assert_eq!(m.read_u32(addr), 0xAABB_CCDD);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        let mut m = SimMemory::new();
+        m.write_u64(0x2000, 0xDEAD_BEEF_0123_4567);
+        assert_eq!(m.read_u64(0x2000), 0xDEAD_BEEF_0123_4567);
+    }
+
+    #[test]
+    fn bulk_bytes_roundtrip() {
+        let mut m = SimMemory::new();
+        m.write_bytes(0x50, &[1, 2, 3, 4, 5]);
+        assert_eq!(m.read_bytes(0x50, 5), vec![1, 2, 3, 4, 5]);
+    }
+}

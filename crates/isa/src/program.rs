@@ -1,0 +1,338 @@
+//! Program container and builder.
+//!
+//! The NIR-to-PTX translator (in `vksim-shader`) emits instructions through
+//! [`ProgramBuilder`], using forward-referenced labels for control flow;
+//! [`ProgramBuilder::build`] resolves labels to instruction addresses and
+//! returns an immutable [`Program`].
+
+use crate::op::{CmpOp, Instr, MemSpace, Pred, Reg};
+
+/// A forward-referencable branch target.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// An immutable, label-resolved program.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    num_regs: u16,
+    num_preds: u16,
+}
+
+impl Program {
+    /// The instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range.
+    #[inline]
+    pub fn fetch(&self, pc: u32) -> &Instr {
+        &self.instrs[pc as usize]
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// `true` when the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Number of general-purpose registers a thread needs.
+    pub fn num_regs(&self) -> u16 {
+        self.num_regs
+    }
+
+    /// Number of predicate registers a thread needs.
+    pub fn num_preds(&self) -> u16 {
+        self.num_preds
+    }
+
+    /// All instructions, for analyses (e.g. static instruction mix).
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+}
+
+/// Builder used by the shader translator.
+///
+/// # Example
+///
+/// ```
+/// use vksim_isa::program::ProgramBuilder;
+/// let mut b = ProgramBuilder::new();
+/// let r = b.reg();
+/// b.mov_imm_u32(r, 7);
+/// let skip = b.new_label();
+/// b.bra(skip);
+/// b.mov_imm_u32(r, 8); // dead
+/// b.bind_label(skip);
+/// b.exit();
+/// let p = b.build();
+/// assert_eq!(p.len(), 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    instrs: Vec<Instr>,
+    label_pcs: Vec<Option<u32>>,
+    // (instr index, label) pairs needing patching.
+    fixups: Vec<(usize, Label, FixupKind)>,
+    next_reg: u16,
+    next_pred: u16,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FixupKind {
+    BraTarget,
+    SsyReconv,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh general-purpose register.
+    pub fn reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Allocates `N` fresh registers.
+    pub fn regs<const N: usize>(&mut self) -> [Reg; N] {
+        std::array::from_fn(|_| self.reg())
+    }
+
+    /// Allocates a fresh predicate register.
+    pub fn pred(&mut self) -> Pred {
+        let p = Pred(self.next_pred);
+        self.next_pred += 1;
+        p
+    }
+
+    /// Creates an unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.label_pcs.push(None);
+        Label(self.label_pcs.len() - 1)
+    }
+
+    /// Binds `label` to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind_label(&mut self, label: Label) {
+        let slot = &mut self.label_pcs[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.instrs.len() as u32);
+    }
+
+    /// Current instruction count (the pc the next instruction will get).
+    pub fn here(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, i: Instr) {
+        self.instrs.push(i);
+    }
+
+    // ---- convenience emitters used heavily by the translator ----
+
+    /// `dst = bits(imm)`.
+    pub fn mov_imm_u32(&mut self, dst: Reg, imm: u32) {
+        self.emit(Instr::MovImm { dst, imm });
+    }
+
+    /// `dst = imm` as f32 bits.
+    pub fn mov_imm_f32(&mut self, dst: Reg, imm: f32) {
+        self.emit(Instr::MovImm { dst, imm: imm.to_bits() });
+    }
+
+    /// Register move.
+    pub fn mov(&mut self, dst: Reg, src: Reg) {
+        self.emit(Instr::Mov { dst, src });
+    }
+
+    /// Float add.
+    pub fn fadd(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.emit(Instr::FAdd { dst, a, b });
+    }
+
+    /// Float subtract.
+    pub fn fsub(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.emit(Instr::FSub { dst, a, b });
+    }
+
+    /// Float multiply.
+    pub fn fmul(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.emit(Instr::FMul { dst, a, b });
+    }
+
+    /// Float divide.
+    pub fn fdiv(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.emit(Instr::FDiv { dst, a, b });
+    }
+
+    /// Fused multiply-add.
+    pub fn ffma(&mut self, dst: Reg, a: Reg, b: Reg, c: Reg) {
+        self.emit(Instr::FFma { dst, a, b, c });
+    }
+
+    /// Integer add.
+    pub fn iadd(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.emit(Instr::IAdd { dst, a, b });
+    }
+
+    /// Integer multiply.
+    pub fn imul(&mut self, dst: Reg, a: Reg, b: Reg) {
+        self.emit(Instr::IMul { dst, a, b });
+    }
+
+    /// Float compare into a predicate.
+    pub fn setp_f(&mut self, dst: Pred, cmp: CmpOp, a: Reg, b: Reg) {
+        self.emit(Instr::SetpF { dst, cmp, a, b });
+    }
+
+    /// Unsigned compare into a predicate.
+    pub fn setp_i(&mut self, dst: Pred, cmp: CmpOp, a: Reg, b: Reg) {
+        self.emit(Instr::SetpI { dst, cmp, a, b });
+    }
+
+    /// Unconditional branch.
+    pub fn bra(&mut self, target: Label) {
+        self.fixups.push((self.instrs.len(), target, FixupKind::BraTarget));
+        self.emit(Instr::Bra { target: u32::MAX, pred: None });
+    }
+
+    /// Branch taken when `pred == expect`.
+    pub fn bra_if(&mut self, target: Label, pred: Pred, expect: bool) {
+        self.fixups.push((self.instrs.len(), target, FixupKind::BraTarget));
+        self.emit(Instr::Bra { target: u32::MAX, pred: Some((pred, expect)) });
+    }
+
+    /// Push reconvergence point for an upcoming divergent branch.
+    pub fn ssy(&mut self, reconv: Label) {
+        self.fixups.push((self.instrs.len(), reconv, FixupKind::SsyReconv));
+        self.emit(Instr::Ssy { reconv: u32::MAX });
+    }
+
+    /// Reconverge.
+    pub fn sync(&mut self) {
+        self.emit(Instr::Sync);
+    }
+
+    /// Global-memory 32-bit load.
+    pub fn ld_global(&mut self, dst: Reg, addr: Reg, offset: i32) {
+        self.emit(Instr::Ld { dst, space: MemSpace::Global, addr, offset });
+    }
+
+    /// Global-memory 32-bit store (`addr` register, immediate offset).
+    pub fn st_global(&mut self, addr: Reg, offset: i32, src: Reg) {
+        self.emit(Instr::St { src, space: MemSpace::Global, addr, offset });
+    }
+
+    /// Thread exit.
+    pub fn exit(&mut self) {
+        self.emit(Instr::Exit);
+    }
+
+    /// Resolves labels and produces the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound.
+    pub fn build(mut self) -> Program {
+        for (idx, label, kind) in self.fixups.drain(..) {
+            let pc = self.label_pcs[label.0].expect("unbound label referenced");
+            match (&mut self.instrs[idx], kind) {
+                (Instr::Bra { target, .. }, FixupKind::BraTarget) => *target = pc,
+                (Instr::Ssy { reconv }, FixupKind::SsyReconv) => *reconv = pc,
+                (other, _) => panic!("fixup on non-branch instruction {other:?}"),
+            }
+        }
+        Program {
+            instrs: self.instrs,
+            num_regs: self.next_reg,
+            num_preds: self.next_pred,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let mut b = ProgramBuilder::new();
+        let top = b.new_label();
+        b.bind_label(top);
+        let done = b.new_label();
+        let p0 = b.pred();
+        let r = b.reg();
+        b.mov_imm_u32(r, 0);
+        b.setp_i(p0, CmpOp::Eq, r, r);
+        b.bra_if(done, p0, true);
+        b.bra(top);
+        b.bind_label(done);
+        b.exit();
+        let p = b.build();
+        match p.fetch(2) {
+            Instr::Bra { target, pred: Some(_) } => assert_eq!(*target, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        match p.fetch(3) {
+            Instr::Bra { target, pred: None } => assert_eq!(*target, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_allocation_counts() {
+        let mut b = ProgramBuilder::new();
+        let [_a, _b, _c] = b.regs::<3>();
+        let _p = b.pred();
+        b.exit();
+        let p = b.build();
+        assert_eq!(p.num_regs(), 3);
+        assert_eq!(p.num_preds(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.bra(l);
+        let _ = b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.new_label();
+        b.bind_label(l);
+        b.bind_label(l);
+    }
+
+    #[test]
+    fn ssy_fixup_resolves() {
+        let mut b = ProgramBuilder::new();
+        let join = b.new_label();
+        b.ssy(join);
+        b.exit();
+        b.bind_label(join);
+        b.sync();
+        let p = b.build();
+        match p.fetch(0) {
+            Instr::Ssy { reconv } => assert_eq!(*reconv, 2),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Axis-aligned bounding boxes.
+
+use crate::{Mat4x3, Vec3};
+
+/// An axis-aligned bounding box, the bounding volume used at every level of
+/// the acceleration structure (paper §II-C).
+///
+/// An *empty* box has `min > max` on every axis; [`Aabb::EMPTY`] is the
+/// identity for [`Aabb::union`].
+///
+/// # Example
+///
+/// ```
+/// use vksim_math::{Aabb, Vec3};
+/// let b = Aabb::EMPTY
+///     .union_point(Vec3::ZERO)
+///     .union_point(Vec3::new(1.0, 2.0, 3.0));
+/// assert_eq!(b.extent(), Vec3::new(1.0, 2.0, 3.0));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// The empty box (identity for union).
+    pub const EMPTY: Aabb = Aabb {
+        min: Vec3::splat(f32::INFINITY),
+        max: Vec3::splat(f32::NEG_INFINITY),
+    };
+
+    /// Creates a box from corners.
+    #[inline]
+    pub const fn new(min: Vec3, max: Vec3) -> Self {
+        Aabb { min, max }
+    }
+
+    /// Box containing all three triangle vertices.
+    pub fn from_triangle(v0: Vec3, v1: Vec3, v2: Vec3) -> Self {
+        Aabb { min: v0.min(v1).min(v2), max: v0.max(v1).max(v2) }
+    }
+
+    /// `true` if the box contains no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// Smallest box containing both operands.
+    #[inline]
+    pub fn union(&self, rhs: &Aabb) -> Aabb {
+        Aabb { min: self.min.min(rhs.min), max: self.max.max(rhs.max) }
+    }
+
+    /// Grows the box to contain `p`.
+    #[inline]
+    pub fn union_point(&self, p: Vec3) -> Aabb {
+        Aabb { min: self.min.min(p), max: self.max.max(p) }
+    }
+
+    /// Box center.
+    #[inline]
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Per-axis extent (zero vector when empty).
+    #[inline]
+    pub fn extent(&self) -> Vec3 {
+        if self.is_empty() {
+            Vec3::ZERO
+        } else {
+            self.max - self.min
+        }
+    }
+
+    /// Surface area; the SAH build cost metric.
+    #[inline]
+    pub fn surface_area(&self) -> f32 {
+        let e = self.extent();
+        2.0 * (e.x * e.y + e.y * e.z + e.z * e.x)
+    }
+
+    /// Axis with the largest extent (0 = x, 1 = y, 2 = z).
+    #[inline]
+    pub fn longest_axis(&self) -> usize {
+        self.extent().max_abs_axis()
+    }
+
+    /// `true` if `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// Bounding box of this box under an affine transform (transforms all 8
+    /// corners); used when instancing a BLAS into the TLAS.
+    pub fn transformed(&self, m: &Mat4x3) -> Aabb {
+        if self.is_empty() {
+            return *self;
+        }
+        let mut out = Aabb::EMPTY;
+        for i in 0..8 {
+            let c = Vec3::new(
+                if i & 1 == 0 { self.min.x } else { self.max.x },
+                if i & 2 == 0 { self.min.y } else { self.max.y },
+                if i & 4 == 0 { self.min.z } else { self.max.z },
+            );
+            out = out.union_point(m.transform_point(c));
+        }
+        out
+    }
+
+    /// Pads the box by `eps` on every side (guards against degenerate flat
+    /// boxes from axis-aligned geometry).
+    pub fn padded(&self, eps: f32) -> Aabb {
+        Aabb { min: self.min - Vec3::splat(eps), max: self.max + Vec3::splat(eps) }
+    }
+}
+
+impl Default for Aabb {
+    fn default() -> Self {
+        Aabb::EMPTY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_box_properties() {
+        let e = Aabb::EMPTY;
+        assert!(e.is_empty());
+        assert_eq!(e.extent(), Vec3::ZERO);
+        assert_eq!(e.surface_area(), 0.0);
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        assert_eq!(b.union(&Aabb::EMPTY), b);
+        assert_eq!(Aabb::EMPTY.union(&b), b);
+    }
+
+    #[test]
+    fn union_point_grows() {
+        let b = Aabb::EMPTY.union_point(Vec3::ZERO).union_point(Vec3::new(-1.0, 2.0, 0.5));
+        assert_eq!(b.min, Vec3::new(-1.0, 0.0, 0.0));
+        assert_eq!(b.max, Vec3::new(0.0, 2.0, 0.5));
+    }
+
+    #[test]
+    fn surface_area_of_unit_cube() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        assert_eq!(b.surface_area(), 6.0);
+    }
+
+    #[test]
+    fn center_extent_longest_axis() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::new(1.0, 4.0, 2.0));
+        assert_eq!(b.center(), Vec3::new(0.5, 2.0, 1.0));
+        assert_eq!(b.extent(), Vec3::new(1.0, 4.0, 2.0));
+        assert_eq!(b.longest_axis(), 1);
+    }
+
+    #[test]
+    fn contains_boundary_and_interior() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE);
+        assert!(b.contains(Vec3::splat(0.5)));
+        assert!(b.contains(Vec3::ZERO));
+        assert!(b.contains(Vec3::ONE));
+        assert!(!b.contains(Vec3::new(1.1, 0.5, 0.5)));
+    }
+
+    #[test]
+    fn from_triangle_bounds_all_vertices() {
+        let b = Aabb::from_triangle(
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(1.0, 0.0, -2.0),
+            Vec3::new(0.5, 3.0, 1.0),
+        );
+        assert_eq!(b.min, Vec3::new(0.0, 0.0, -2.0));
+        assert_eq!(b.max, Vec3::new(1.0, 3.0, 1.0));
+    }
+
+    #[test]
+    fn transformed_box_bounds_rotation() {
+        let b = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+        let m = Mat4x3::rotation_y(std::f32::consts::FRAC_PI_4);
+        let t = b.transformed(&m);
+        let s = 2.0f32.sqrt();
+        assert!((t.max.x - s).abs() < 1e-5);
+        assert!((t.max.z - s).abs() < 1e-5);
+        assert!((t.max.y - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transformed_empty_stays_empty() {
+        let m = Mat4x3::translation(Vec3::ONE);
+        assert!(Aabb::EMPTY.transformed(&m).is_empty());
+    }
+
+    #[test]
+    fn padded_expands_symmetrically() {
+        let b = Aabb::new(Vec3::ZERO, Vec3::ONE).padded(0.5);
+        assert_eq!(b.min, Vec3::splat(-0.5));
+        assert_eq!(b.max, Vec3::splat(1.5));
+    }
+}

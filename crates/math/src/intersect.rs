@@ -1,0 +1,274 @@
+//! Ray-primitive intersection routines.
+//!
+//! These are the algorithms the RT unit's *Box Intersection Evaluators* and
+//! *Triangle Intersection Evaluators* implement in hardware (paper §II-B),
+//! following the T&I Engine design the paper's timing model is based on.
+
+use crate::{Aabb, Ray, Vec3};
+
+/// Result of a ray-triangle intersection.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TriangleHit {
+    /// Ray parameter of the hit point.
+    pub t: f32,
+    /// Barycentric coordinate of vertex 1.
+    pub u: f32,
+    /// Barycentric coordinate of vertex 2.
+    pub v: f32,
+    /// `true` if the ray hit the triangle's back face.
+    pub back_face: bool,
+}
+
+/// Slab-method ray/AABB intersection.
+///
+/// Returns the entry parameter `t_entry` clamped to `[t_min, t_max]` when the
+/// ray's interval overlaps the box, or `None` otherwise. Rays starting inside
+/// the box report `t_min`.
+///
+/// # Example
+///
+/// ```
+/// use vksim_math::{Ray, Vec3, Aabb, intersect::ray_aabb};
+/// let ray = Ray::new(Vec3::new(0.0, 0.0, -3.0), Vec3::Z);
+/// let b = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+/// assert_eq!(ray_aabb(&ray, &b, 0.0, f32::INFINITY), Some(2.0));
+/// ```
+#[inline]
+pub fn ray_aabb(ray: &Ray, aabb: &Aabb, t_min: f32, t_max: f32) -> Option<f32> {
+    let inv = ray.inv_dir();
+    let mut t0 = t_min;
+    let mut t1 = t_max;
+    for axis in 0..3 {
+        let (lo, hi, o, i) = (aabb.min[axis], aabb.max[axis], ray.origin[axis], inv[axis]);
+        // When the direction component is 0, inv is +-inf and the products
+        // below are +-inf or NaN; the NaN case (origin exactly on a slab
+        // plane) must not widen the interval, hence the explicit min/max with
+        // NaN-suppressing order.
+        let mut near = (lo - o) * i;
+        let mut far = (hi - o) * i;
+        if near > far {
+            std::mem::swap(&mut near, &mut far);
+        }
+        if near.is_nan() {
+            near = f32::NEG_INFINITY;
+        }
+        if far.is_nan() {
+            far = f32::INFINITY;
+        }
+        t0 = t0.max(near);
+        t1 = t1.min(far);
+        if t0 > t1 {
+            return None;
+        }
+    }
+    Some(t0)
+}
+
+/// Möller–Trumbore ray-triangle intersection.
+///
+/// Returns a [`TriangleHit`] when the ray hits the triangle `(v0, v1, v2)`
+/// within `[ray.t_min, ray.t_max]`. Both faces are reported ("opaque,
+/// double-sided" semantics — Vulkan's default when no culling flags are set);
+/// `back_face` distinguishes them for shading.
+#[inline]
+pub fn ray_triangle(ray: &Ray, v0: Vec3, v1: Vec3, v2: Vec3) -> Option<TriangleHit> {
+    const EPS: f32 = 1e-9;
+    let e1 = v1 - v0;
+    let e2 = v2 - v0;
+    let pvec = ray.dir.cross(e2);
+    let det = e1.dot(pvec);
+    if det.abs() < EPS {
+        return None; // Ray parallel to triangle plane.
+    }
+    let inv_det = 1.0 / det;
+    let tvec = ray.origin - v0;
+    let u = tvec.dot(pvec) * inv_det;
+    if !(0.0..=1.0).contains(&u) {
+        return None;
+    }
+    let qvec = tvec.cross(e1);
+    let v = ray.dir.dot(qvec) * inv_det;
+    if v < 0.0 || u + v > 1.0 {
+        return None;
+    }
+    let t = e2.dot(qvec) * inv_det;
+    if t < ray.t_min || t > ray.t_max {
+        return None;
+    }
+    Some(TriangleHit { t, u, v, back_face: det < 0.0 })
+}
+
+/// Geometric normal of triangle `(v0, v1, v2)` (not normalized by area,
+/// returned unit length).
+#[inline]
+pub fn triangle_normal(v0: Vec3, v1: Vec3, v2: Vec3) -> Vec3 {
+    (v1 - v0).cross(v2 - v0).normalized()
+}
+
+/// Analytic ray-sphere intersection, used by procedural-geometry
+/// intersection shaders (RTV5/RTV6 spheres).
+///
+/// Returns the nearest `t` in `[ray.t_min, ray.t_max]`.
+#[inline]
+pub fn ray_sphere(ray: &Ray, center: Vec3, radius: f32) -> Option<f32> {
+    let oc = ray.origin - center;
+    let a = ray.dir.dot(ray.dir);
+    let half_b = oc.dot(ray.dir);
+    let c = oc.dot(oc) - radius * radius;
+    let disc = half_b * half_b - a * c;
+    if disc < 0.0 {
+        return None;
+    }
+    let sq = disc.sqrt();
+    let t0 = (-half_b - sq) / a;
+    if t0 >= ray.t_min && t0 <= ray.t_max {
+        return Some(t0);
+    }
+    let t1 = (-half_b + sq) / a;
+    if t1 >= ray.t_min && t1 <= ray.t_max {
+        return Some(t1);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_box() -> Aabb {
+        Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0))
+    }
+
+    #[test]
+    fn ray_hits_box_head_on() {
+        let r = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
+        assert_eq!(ray_aabb(&r, &unit_box(), 0.0, f32::INFINITY), Some(4.0));
+    }
+
+    #[test]
+    fn ray_misses_box_off_axis() {
+        let r = Ray::new(Vec3::new(3.0, 3.0, -5.0), Vec3::Z);
+        assert_eq!(ray_aabb(&r, &unit_box(), 0.0, f32::INFINITY), None);
+    }
+
+    #[test]
+    fn ray_starting_inside_box_reports_t_min() {
+        let r = Ray::new(Vec3::ZERO, Vec3::X);
+        assert_eq!(ray_aabb(&r, &unit_box(), 0.25, f32::INFINITY), Some(0.25));
+    }
+
+    #[test]
+    fn ray_behind_box_misses() {
+        let r = Ray::new(Vec3::new(0.0, 0.0, 5.0), Vec3::Z);
+        assert_eq!(ray_aabb(&r, &unit_box(), 0.0, f32::INFINITY), None);
+    }
+
+    #[test]
+    fn interval_clips_box_hit() {
+        let r = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
+        // Box entry at t=4 but interval ends at t=3.
+        assert_eq!(ray_aabb(&r, &unit_box(), 0.0, 3.0), None);
+    }
+
+    #[test]
+    fn axis_parallel_ray_on_slab_plane() {
+        // Origin lies exactly on the x = -1 plane with dir.x == 0: the NaN
+        // guard must keep this a hit.
+        let r = Ray::new(Vec3::new(-1.0, 0.0, -5.0), Vec3::Z);
+        assert!(ray_aabb(&r, &unit_box(), 0.0, f32::INFINITY).is_some());
+    }
+
+    #[test]
+    fn axis_parallel_ray_outside_slab_misses() {
+        let r = Ray::new(Vec3::new(-1.5, 0.0, -5.0), Vec3::Z);
+        assert!(ray_aabb(&r, &unit_box(), 0.0, f32::INFINITY).is_none());
+    }
+
+    fn tri() -> (Vec3, Vec3, Vec3) {
+        (
+            Vec3::new(-1.0, -1.0, 0.0),
+            Vec3::new(1.0, -1.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+        )
+    }
+
+    #[test]
+    fn triangle_center_hit() {
+        let (a, b, c) = tri();
+        let r = Ray::new(Vec3::new(0.0, -0.2, -3.0), Vec3::Z);
+        let h = ray_triangle(&r, a, b, c).expect("hit");
+        assert!((h.t - 3.0).abs() < 1e-6);
+        assert!(h.u > 0.0 && h.v > 0.0 && h.u + h.v < 1.0);
+    }
+
+    #[test]
+    fn triangle_miss_outside_edge() {
+        let (a, b, c) = tri();
+        let r = Ray::new(Vec3::new(2.0, 0.0, -3.0), Vec3::Z);
+        assert!(ray_triangle(&r, a, b, c).is_none());
+    }
+
+    #[test]
+    fn triangle_backface_flag() {
+        let (a, b, c) = tri();
+        let front = Ray::new(Vec3::new(0.0, 0.0, -3.0), Vec3::Z);
+        let back = Ray::new(Vec3::new(0.0, 0.0, 3.0), -Vec3::Z);
+        let hf = ray_triangle(&front, a, b, c).unwrap();
+        let hb = ray_triangle(&back, a, b, c).unwrap();
+        assert_ne!(hf.back_face, hb.back_face);
+    }
+
+    #[test]
+    fn triangle_parallel_ray_misses() {
+        let (a, b, c) = tri();
+        let r = Ray::new(Vec3::new(0.0, 0.0, -1.0), Vec3::X);
+        assert!(ray_triangle(&r, a, b, c).is_none());
+    }
+
+    #[test]
+    fn triangle_hit_respects_t_interval() {
+        let (a, b, c) = tri();
+        let r = Ray::with_interval(Vec3::new(0.0, 0.0, -3.0), Vec3::Z, 0.0, 2.0);
+        assert!(ray_triangle(&r, a, b, c).is_none());
+    }
+
+    #[test]
+    fn triangle_vertex_hit_is_inclusive() {
+        let (a, b, c) = tri();
+        let r = Ray::new(Vec3::new(0.0, 1.0, -3.0), Vec3::Z);
+        // Exactly through vertex c: u+v == 1 boundary, should count as a hit.
+        assert!(ray_triangle(&r, a, b, c).is_some());
+    }
+
+    #[test]
+    fn barycentric_interpolation_recovers_point() {
+        let (a, b, c) = tri();
+        let r = Ray::new(Vec3::new(0.2, -0.1, -5.0), Vec3::Z);
+        let h = ray_triangle(&r, a, b, c).unwrap();
+        let p = a * (1.0 - h.u - h.v) + b * h.u + c * h.v;
+        assert!((p - r.at(h.t)).length() < 1e-5);
+    }
+
+    #[test]
+    fn sphere_hit_front_and_inside() {
+        let r = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
+        let t = ray_sphere(&r, Vec3::ZERO, 1.0).expect("hit");
+        assert!((t - 4.0).abs() < 1e-5);
+        // From inside: nearest root is behind t_min, second root used.
+        let inside = Ray::new(Vec3::ZERO, Vec3::Z);
+        let t2 = ray_sphere(&inside, Vec3::ZERO, 1.0).expect("hit");
+        assert!((t2 - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sphere_miss() {
+        let r = Ray::new(Vec3::new(0.0, 5.0, -5.0), Vec3::Z);
+        assert!(ray_sphere(&r, Vec3::ZERO, 1.0).is_none());
+    }
+
+    #[test]
+    fn normal_is_unit_and_right_handed() {
+        let n = triangle_normal(Vec3::ZERO, Vec3::X, Vec3::Y);
+        assert!((n - Vec3::Z).length() < 1e-6);
+    }
+}

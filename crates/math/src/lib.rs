@@ -1,0 +1,30 @@
+//! Geometric math foundation for the Vulkan-Sim reproduction.
+//!
+//! This crate provides the small, allocation-free linear-algebra kit the
+//! simulator is built on: [`Vec3`], affine transforms ([`Mat4x3`]), rays,
+//! axis-aligned bounding boxes ([`Aabb`]) and the two intersection routines
+//! the paper's RT unit *Operation Units* implement in hardware:
+//! slab-method ray-box tests ([`intersect::ray_aabb`]) and Möller–Trumbore
+//! ray-triangle tests ([`intersect::ray_triangle`]).
+//!
+//! # Example
+//!
+//! ```
+//! use vksim_math::{Ray, Vec3, Aabb, intersect};
+//!
+//! let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::new(0.0, 0.0, 1.0));
+//! let boxx = Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0));
+//! assert!(intersect::ray_aabb(&ray, &boxx, 0.0, f32::INFINITY).is_some());
+//! ```
+
+pub mod aabb;
+pub mod intersect;
+pub mod mat;
+pub mod ray;
+pub mod vec3;
+
+pub use aabb::Aabb;
+pub use intersect::{ray_aabb, ray_triangle, TriangleHit};
+pub use mat::{Mat4, Mat4x3};
+pub use ray::Ray;
+pub use vec3::Vec3;

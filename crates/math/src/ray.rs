@@ -1,0 +1,90 @@
+//! Rays with parametric validity interval.
+
+use crate::Vec3;
+
+/// A ray with origin, direction and a `[t_min, t_max]` validity interval —
+/// the *ray properties* tracked per-thread in the RT unit's Ray Buffer
+/// (paper §III-C2: "origin, direction, and t-parameters").
+///
+/// # Example
+///
+/// ```
+/// use vksim_math::{Ray, Vec3};
+/// let r = Ray::new(Vec3::ZERO, Vec3::Z);
+/// assert_eq!(r.at(2.5), Vec3::new(0.0, 0.0, 2.5));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ray {
+    /// Ray origin.
+    pub origin: Vec3,
+    /// Ray direction (not necessarily unit length).
+    pub dir: Vec3,
+    /// Minimum valid parameter (usually a small epsilon for secondary rays).
+    pub t_min: f32,
+    /// Maximum valid parameter; shrinks as closer hits are found.
+    pub t_max: f32,
+}
+
+impl Ray {
+    /// Creates a ray valid on `[1e-4, +inf)`.
+    #[inline]
+    pub fn new(origin: Vec3, dir: Vec3) -> Self {
+        Ray { origin, dir, t_min: 1e-4, t_max: f32::INFINITY }
+    }
+
+    /// Creates a ray with an explicit parametric interval.
+    #[inline]
+    pub fn with_interval(origin: Vec3, dir: Vec3, t_min: f32, t_max: f32) -> Self {
+        Ray { origin, dir, t_min, t_max }
+    }
+
+    /// The point at parameter `t`.
+    #[inline]
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.dir * t
+    }
+
+    /// Precomputed component-wise inverse direction for slab tests.
+    #[inline]
+    pub fn inv_dir(&self) -> Vec3 {
+        self.dir.recip()
+    }
+}
+
+impl Default for Ray {
+    fn default() -> Self {
+        Ray::new(Vec3::ZERO, Vec3::Z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_evaluates_parametrically() {
+        let r = Ray::new(Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0));
+        assert_eq!(r.at(0.0), Vec3::new(1.0, 0.0, 0.0));
+        assert_eq!(r.at(1.5), Vec3::new(1.0, 3.0, 0.0));
+    }
+
+    #[test]
+    fn default_interval_is_open_ended() {
+        let r = Ray::new(Vec3::ZERO, Vec3::X);
+        assert!(r.t_min > 0.0 && r.t_min < 1e-2);
+        assert!(r.t_max.is_infinite());
+    }
+
+    #[test]
+    fn with_interval_respects_bounds() {
+        let r = Ray::with_interval(Vec3::ZERO, Vec3::X, 0.5, 9.0);
+        assert_eq!(r.t_min, 0.5);
+        assert_eq!(r.t_max, 9.0);
+    }
+
+    #[test]
+    fn inv_dir_matches_recip() {
+        let r = Ray::new(Vec3::ZERO, Vec3::new(2.0, -4.0, 0.5));
+        assert_eq!(r.inv_dir(), Vec3::new(0.5, -0.25, 2.0));
+    }
+}

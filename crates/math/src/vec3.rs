@@ -1,0 +1,371 @@
+//! Three-component `f32` vector.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A three-component single-precision vector used for points, directions and
+/// colors throughout the simulator.
+///
+/// # Example
+///
+/// ```
+/// use vksim_math::Vec3;
+/// let n = Vec3::new(3.0, 0.0, 4.0);
+/// assert_eq!(n.length(), 5.0);
+/// assert_eq!(n.normalized().length(), 1.0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// The all-ones vector.
+    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+    /// Unit vector along +X.
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit vector along +Y.
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit vector along +Z.
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: f32, y: f32, z: f32) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Creates a vector with all components set to `v`.
+    #[inline]
+    pub const fn splat(v: f32) -> Self {
+        Vec3 { x: v, y: v, z: v }
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Vec3) -> f32 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// Euclidean length.
+    #[inline]
+    pub fn length(self) -> f32 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean length (avoids the square root).
+    #[inline]
+    pub fn length_squared(self) -> f32 {
+        self.dot(self)
+    }
+
+    /// Returns the vector scaled to unit length.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic: a zero-length input returns a zero vector.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let len = self.length();
+        if len > 0.0 {
+            self / len
+        } else {
+            Vec3::ZERO
+        }
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(rhs.x), self.y.min(rhs.y), self.z.min(rhs.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(rhs.x), self.y.max(rhs.y), self.z.max(rhs.z))
+    }
+
+    /// Component-wise product (Hadamard product); used for color modulation.
+    #[inline]
+    pub fn mul_elem(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x * rhs.x, self.y * rhs.y, self.z * rhs.z)
+    }
+
+    /// Component-wise reciprocal, mapping `0.0` to `f32::INFINITY`; used to
+    /// precompute inverse ray directions for slab tests.
+    #[inline]
+    pub fn recip(self) -> Vec3 {
+        Vec3::new(1.0 / self.x, 1.0 / self.y, 1.0 / self.z)
+    }
+
+    /// Largest component value.
+    #[inline]
+    pub fn max_element(self) -> f32 {
+        self.x.max(self.y).max(self.z)
+    }
+
+    /// Smallest component value.
+    #[inline]
+    pub fn min_element(self) -> f32 {
+        self.x.min(self.y).min(self.z)
+    }
+
+    /// Linear interpolation: `self * (1 - t) + rhs * t`.
+    #[inline]
+    pub fn lerp(self, rhs: Vec3, t: f32) -> Vec3 {
+        self * (1.0 - t) + rhs * t
+    }
+
+    /// Reflects `self` around the (unit) normal `n`.
+    #[inline]
+    pub fn reflect(self, n: Vec3) -> Vec3 {
+        self - n * (2.0 * self.dot(n))
+    }
+
+    /// Index of the component with the largest absolute value.
+    #[inline]
+    pub fn max_abs_axis(self) -> usize {
+        let a = [self.x.abs(), self.y.abs(), self.z.abs()];
+        if a[0] >= a[1] && a[0] >= a[2] {
+            0
+        } else if a[1] >= a[2] {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// `true` if all components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.x, self.y, self.z)
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: f32) -> Vec3 {
+        Vec3::new(self.x * rhs, self.y * rhs, self.z * rhs)
+    }
+}
+
+impl Mul<Vec3> for f32 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, rhs: Vec3) -> Vec3 {
+        rhs * self
+    }
+}
+
+impl MulAssign<f32> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f32) {
+        *self = *self * rhs;
+    }
+}
+
+impl Div<f32> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, rhs: f32) -> Vec3 {
+        Vec3::new(self.x / rhs, self.y / rhs, self.z / rhs)
+    }
+}
+
+impl DivAssign<f32> for Vec3 {
+    #[inline]
+    fn div_assign(&mut self, rhs: f32) {
+        *self = *self / rhs;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f32;
+
+    /// Component access by axis index (0 = x, 1 = y, 2 = z).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 2`.
+    #[inline]
+    fn index(&self, index: usize) -> &f32 {
+        match index {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {index}"),
+        }
+    }
+}
+
+impl From<[f32; 3]> for Vec3 {
+    #[inline]
+    fn from(a: [f32; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<Vec3> for [f32; 3] {
+    #[inline]
+    fn from(v: Vec3) -> Self {
+        [v.x, v.y, v.z]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(b / 2.0, Vec3::new(2.0, 2.5, 3.0));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        let a = Vec3::X;
+        let b = Vec3::Y;
+        assert_eq!(a.dot(b), 0.0);
+        assert_eq!(a.cross(b), Vec3::Z);
+        assert_eq!(b.cross(a), -Vec3::Z);
+        assert_eq!(Vec3::new(1.0, 2.0, 3.0).dot(Vec3::new(4.0, -5.0, 6.0)), 12.0);
+    }
+
+    #[test]
+    fn length_and_normalize() {
+        assert_eq!(Vec3::new(3.0, 4.0, 0.0).length(), 5.0);
+        assert_eq!(Vec3::new(3.0, 4.0, 0.0).length_squared(), 25.0);
+        let n = Vec3::new(10.0, 0.0, 0.0).normalized();
+        assert_eq!(n, Vec3::X);
+        assert_eq!(Vec3::ZERO.normalized(), Vec3::ZERO);
+    }
+
+    #[test]
+    fn min_max_elementwise() {
+        let a = Vec3::new(1.0, 5.0, 3.0);
+        let b = Vec3::new(2.0, 4.0, 3.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, 4.0, 3.0));
+        assert_eq!(a.max(b), Vec3::new(2.0, 5.0, 3.0));
+        assert_eq!(a.max_element(), 5.0);
+        assert_eq!(a.min_element(), 1.0);
+        assert_eq!(a.mul_elem(b), Vec3::new(2.0, 20.0, 9.0));
+    }
+
+    #[test]
+    fn recip_maps_zero_to_infinity() {
+        let r = Vec3::new(2.0, 0.0, -4.0).recip();
+        assert_eq!(r.x, 0.5);
+        assert!(r.y.is_infinite());
+        assert_eq!(r.z, -0.25);
+    }
+
+    #[test]
+    fn reflect_through_normal() {
+        let v = Vec3::new(1.0, -1.0, 0.0);
+        let r = v.reflect(Vec3::Y);
+        assert_eq!(r, Vec3::new(1.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec3::ZERO;
+        let b = Vec3::splat(2.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::splat(1.0));
+    }
+
+    #[test]
+    fn index_and_axis_helpers() {
+        let v = Vec3::new(-7.0, 2.0, 3.0);
+        assert_eq!(v[0], -7.0);
+        assert_eq!(v[1], 2.0);
+        assert_eq!(v[2], 3.0);
+        assert_eq!(v.max_abs_axis(), 0);
+        assert_eq!(Vec3::new(0.0, -9.0, 3.0).max_abs_axis(), 1);
+        assert_eq!(Vec3::new(0.0, 1.0, 3.0).max_abs_axis(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_out_of_range_panics() {
+        let _ = Vec3::ZERO[3];
+    }
+
+    #[test]
+    fn array_conversions_roundtrip() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let a: [f32; 3] = v.into();
+        assert_eq!(Vec3::from(a), v);
+    }
+}

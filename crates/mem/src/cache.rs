@@ -1,0 +1,445 @@
+//! Set-associative LRU cache with MSHRs and miss classification.
+
+use std::collections::HashMap;
+use vksim_stats::Counters;
+
+/// Who issued a memory access; drives the per-source breakdown of Fig. 14
+/// ("Cache misses primarily result from shader loads with only a small
+/// portion coming from RT unit accesses").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load issued by shader code on the SIMT core.
+    ShaderLoad,
+    /// A store issued by shader code.
+    ShaderStore,
+    /// A BVH/intersection-buffer access issued by the RT unit.
+    RtUnit,
+}
+
+impl AccessKind {
+    fn tag(self) -> &'static str {
+        match self {
+            AccessKind::ShaderLoad => "shader_load",
+            AccessKind::ShaderStore => "shader_store",
+            AccessKind::RtUnit => "rt_unit",
+        }
+    }
+}
+
+/// Cache geometry and timing.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheConfig {
+    /// Diagnostic name ("L1D", "L2", "RTC", ...).
+    pub name: String,
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (32 to match the chunking granularity).
+    pub line_bytes: u32,
+    /// Associativity; 0 means fully associative (paper's L1D).
+    pub assoc: u32,
+    /// Hit latency in cycles.
+    pub hit_latency: u32,
+    /// Number of MSHR entries (distinct outstanding miss lines).
+    pub mshr_entries: usize,
+    /// Maximum requests merged into one MSHR entry.
+    pub mshr_merge: usize,
+}
+
+impl CacheConfig {
+    /// The paper's baseline L1 data cache: 64 KB fully associative LRU,
+    /// 20-cycle latency (Table III).
+    pub fn l1d_baseline() -> Self {
+        CacheConfig {
+            name: "L1D".into(),
+            size_bytes: 64 * 1024,
+            line_bytes: 32,
+            assoc: 0,
+            hit_latency: 20,
+            mshr_entries: 64,
+            mshr_merge: 8,
+        }
+    }
+
+    /// The paper's baseline L2: 3 MB, 16-way LRU, 160-cycle latency.
+    pub fn l2_baseline() -> Self {
+        CacheConfig {
+            name: "L2".into(),
+            size_bytes: 3 * 1024 * 1024,
+            line_bytes: 32,
+            assoc: 16,
+            hit_latency: 160,
+            mshr_entries: 256,
+            mshr_merge: 16,
+        }
+    }
+
+    fn num_lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes as u64
+    }
+
+    fn num_sets(&self) -> u64 {
+        if self.assoc == 0 {
+            1
+        } else {
+            (self.num_lines() / self.assoc as u64).max(1)
+        }
+    }
+}
+
+/// Outcome of a cache access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Line present; data available after `hit_latency`.
+    Hit,
+    /// Line absent; an MSHR entry was allocated — the caller must forward
+    /// the miss down the hierarchy.
+    MissToMemory,
+    /// Line absent but an earlier miss on the same line is outstanding; the
+    /// request was merged and completes with the earlier fill.
+    MissMerged,
+    /// No MSHR space (or merge slots): the access must be retried later.
+    ReservationFail,
+}
+
+// One set's LRU state: line tag -> last-use stamp.
+#[derive(Default, Debug, Clone)]
+struct LruSet {
+    lines: HashMap<u64, u64>,
+}
+
+impl LruSet {
+    fn touch(&mut self, tag: u64, stamp: u64) -> bool {
+        match self.lines.get_mut(&tag) {
+            Some(s) => {
+                *s = stamp;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn insert(&mut self, tag: u64, stamp: u64, capacity: usize) {
+        if self.lines.len() >= capacity && !self.lines.contains_key(&tag) {
+            // Evict the least recently used tag.
+            if let Some((&victim, _)) = self.lines.iter().min_by_key(|(_, &s)| s) {
+                self.lines.remove(&victim);
+            }
+        }
+        self.lines.insert(tag, stamp);
+    }
+}
+
+/// A cache with MSHR tracking and classified miss statistics.
+///
+/// # Example
+///
+/// ```
+/// use vksim_mem::{Cache, CacheConfig, CacheOutcome, AccessKind};
+/// let mut c = Cache::new(CacheConfig::l1d_baseline());
+/// assert_eq!(c.access(0x80, AccessKind::ShaderLoad, 0), CacheOutcome::MissToMemory);
+/// c.fill(0x80, 100);
+/// assert_eq!(c.access(0x80, AccessKind::ShaderLoad, 101), CacheOutcome::Hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<LruSet>,
+    // MSHR: line address -> number of merged requesters.
+    mshr: HashMap<u64, usize>,
+    // Shadow structures for miss classification.
+    ever_seen: HashMap<u64, ()>,
+    shadow_full: LruSet,
+    stamp: u64,
+    /// Classified statistics (hits/misses by [`AccessKind`]).
+    pub stats: Counters,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured geometry is degenerate (zero lines).
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.num_lines() > 0, "cache must hold at least one line");
+        let sets = (0..config.num_sets()).map(|_| LruSet::default()).collect();
+        Cache {
+            sets,
+            mshr: HashMap::new(),
+            ever_seen: HashMap::new(),
+            shadow_full: LruSet::default(),
+            stamp: 0,
+            config,
+            stats: Counters::new(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Line-aligns an address.
+    #[inline]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr / self.config.line_bytes as u64 * self.config.line_bytes as u64
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        ((line / self.config.line_bytes as u64) % self.config.num_sets()) as usize
+    }
+
+    fn ways(&self) -> usize {
+        if self.config.assoc == 0 {
+            self.config.num_lines() as usize
+        } else {
+            self.config.assoc as usize
+        }
+    }
+
+    /// Performs a (read or write) access at `now`; write-through
+    /// no-write-allocate semantics: stores that miss do not allocate.
+    pub fn access(&mut self, addr: u64, kind: AccessKind, now: u64) -> CacheOutcome {
+        let _ = now;
+        self.stamp += 1;
+        let line = self.line_of(addr);
+        let set = self.set_index(line);
+        let is_store = kind == AccessKind::ShaderStore;
+
+        // Shadow bookkeeping for classification (reads only).
+        let first_touch = !is_store && self.ever_seen.insert(line, ()).is_none();
+        let shadow_hit = if is_store {
+            false
+        } else {
+            let h = self.shadow_full.touch(line, self.stamp);
+            if !h {
+                let cap = self.config.num_lines() as usize;
+                self.shadow_full.insert(line, self.stamp, cap);
+            }
+            h
+        };
+
+        if self.sets[set].touch(line, self.stamp) {
+            self.stats.inc(&format!("{}.hit", kind.tag()));
+            return CacheOutcome::Hit;
+        }
+
+        if is_store {
+            // Write-through no-allocate: a store never waits on a fill.
+            self.stats.inc("shader_store.write_through");
+            return CacheOutcome::Hit;
+        }
+
+        // A fill for this line is already in flight: merge into the MSHR
+        // (counted separately, not as a new classified miss).
+        if let Some(cnt) = self.mshr.get_mut(&line) {
+            if *cnt >= self.config.mshr_merge {
+                self.stats.inc("mshr.merge_fail");
+                return CacheOutcome::ReservationFail;
+            }
+            *cnt += 1;
+            self.stats.inc("mshr.merged");
+            self.stats.inc(&format!("{}.miss_pending", kind.tag()));
+            return CacheOutcome::MissMerged;
+        }
+
+        // Classify the demand miss.
+        let class = if first_touch {
+            "compulsory"
+        } else if shadow_hit {
+            // Fully associative shadow of the same capacity would have hit:
+            // conflict miss.
+            "conflict"
+        } else {
+            "capacity"
+        };
+
+        if self.mshr.len() >= self.config.mshr_entries {
+            self.stats.inc("mshr.full");
+            return CacheOutcome::ReservationFail;
+        }
+        self.stats.inc(&format!("{}.miss_{class}", kind.tag()));
+        self.mshr.insert(line, 1);
+        CacheOutcome::MissToMemory
+    }
+
+    /// Installs a line returned from the next level and frees its MSHR
+    /// entry; returns how many merged requesters were waiting.
+    pub fn fill(&mut self, addr: u64, now: u64) -> usize {
+        let _ = now;
+        self.stamp += 1;
+        let line = self.line_of(addr);
+        let set = self.set_index(line);
+        let ways = self.ways();
+        self.sets[set].insert(line, self.stamp, ways);
+        self.mshr.remove(&line).unwrap_or(0)
+    }
+
+    /// Number of occupied MSHR entries.
+    pub fn mshr_in_use(&self) -> usize {
+        self.mshr.len()
+    }
+
+    /// Hit latency in cycles.
+    pub fn hit_latency(&self) -> u32 {
+        self.config.hit_latency
+    }
+
+    /// Total hits across sources.
+    pub fn total_hits(&self) -> u64 {
+        self.stats.get("shader_load.hit")
+            + self.stats.get("shader_store.hit")
+            + self.stats.get("rt_unit.hit")
+    }
+
+    /// Total classified read misses across sources.
+    pub fn total_misses(&self) -> u64 {
+        ["shader_load", "rt_unit"]
+            .iter()
+            .map(|t| {
+                self.stats.get(&format!("{t}.miss_compulsory"))
+                    + self.stats.get(&format!("{t}.miss_capacity"))
+                    + self.stats.get(&format!("{t}.miss_conflict"))
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cache(lines: u64, assoc: u32) -> Cache {
+        Cache::new(CacheConfig {
+            name: "T".into(),
+            size_bytes: lines * 32,
+            line_bytes: 32,
+            assoc,
+            hit_latency: 1,
+            mshr_entries: 4,
+            mshr_merge: 2,
+        })
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny_cache(4, 0);
+        assert_eq!(c.access(0x40, AccessKind::ShaderLoad, 0), CacheOutcome::MissToMemory);
+        assert_eq!(c.fill(0x40, 10), 1);
+        assert_eq!(c.access(0x40, AccessKind::ShaderLoad, 11), CacheOutcome::Hit);
+        assert_eq!(c.total_hits(), 1);
+        assert_eq!(c.total_misses(), 1);
+    }
+
+    #[test]
+    fn same_line_offsets_hit_together() {
+        let mut c = tiny_cache(4, 0);
+        c.access(0x40, AccessKind::ShaderLoad, 0);
+        c.fill(0x40, 1);
+        assert_eq!(c.access(0x5F, AccessKind::ShaderLoad, 2), CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn mshr_merging_and_capacity() {
+        let mut c = tiny_cache(16, 0);
+        assert_eq!(c.access(0x100, AccessKind::ShaderLoad, 0), CacheOutcome::MissToMemory);
+        assert_eq!(c.access(0x100, AccessKind::ShaderLoad, 0), CacheOutcome::MissMerged);
+        // merge limit = 2
+        assert_eq!(c.access(0x100, AccessKind::ShaderLoad, 0), CacheOutcome::ReservationFail);
+        // 4 entries total
+        for i in 1..4 {
+            assert_eq!(
+                c.access(0x100 + i * 32, AccessKind::ShaderLoad, 0),
+                CacheOutcome::MissToMemory
+            );
+        }
+        assert_eq!(c.access(0x900, AccessKind::ShaderLoad, 0), CacheOutcome::ReservationFail);
+        assert_eq!(c.mshr_in_use(), 4);
+        assert_eq!(c.fill(0x100, 5), 2);
+        assert_eq!(c.mshr_in_use(), 3);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny_cache(2, 0); // 2 lines, fully associative
+        for a in [0x00u64, 0x20] {
+            c.access(a, AccessKind::ShaderLoad, 0);
+            c.fill(a, 0);
+        }
+        // Touch 0x00 so 0x20 becomes LRU.
+        assert_eq!(c.access(0x00, AccessKind::ShaderLoad, 1), CacheOutcome::Hit);
+        c.access(0x40, AccessKind::ShaderLoad, 2);
+        c.fill(0x40, 3);
+        assert_eq!(c.access(0x00, AccessKind::ShaderLoad, 4), CacheOutcome::Hit);
+        // 0x20 was evicted; this is a non-compulsory miss.
+        assert_ne!(c.access(0x20, AccessKind::ShaderLoad, 5), CacheOutcome::Hit);
+        let cap = c.stats.get("shader_load.miss_capacity");
+        let conf = c.stats.get("shader_load.miss_conflict");
+        assert_eq!(cap + conf, 1, "second 0x20 miss must be classified non-compulsory");
+    }
+
+    #[test]
+    fn conflict_miss_classification() {
+        // Direct-mapped 4-line cache: two addresses mapping to the same set
+        // conflict even though capacity is fine.
+        let mut c = tiny_cache(4, 1);
+        let a = 0x000u64;
+        let b = 0x080; // 4 lines * 32B stride -> same set in direct-mapped
+        for _ in 0..3 {
+            for addr in [a, b] {
+                if c.access(addr, AccessKind::ShaderLoad, 0) == CacheOutcome::MissToMemory {
+                    c.fill(addr, 0);
+                }
+            }
+        }
+        assert!(
+            c.stats.get("shader_load.miss_conflict") >= 2,
+            "ping-pong on one set must classify as conflict: {:?}",
+            c.stats
+        );
+        assert_eq!(c.stats.get("shader_load.miss_capacity"), 0);
+    }
+
+    #[test]
+    fn compulsory_misses_counted_once_per_line() {
+        let mut c = tiny_cache(8, 0);
+        for i in 0..4u64 {
+            c.access(i * 32, AccessKind::ShaderLoad, 0);
+            c.fill(i * 32, 0);
+        }
+        assert_eq!(c.stats.get("shader_load.miss_compulsory"), 4);
+        for i in 0..4u64 {
+            assert_eq!(c.access(i * 32, AccessKind::ShaderLoad, 1), CacheOutcome::Hit);
+        }
+        assert_eq!(c.stats.get("shader_load.miss_compulsory"), 4);
+    }
+
+    #[test]
+    fn stores_are_write_through_no_allocate() {
+        let mut c = tiny_cache(4, 0);
+        assert_eq!(c.access(0x200, AccessKind::ShaderStore, 0), CacheOutcome::Hit);
+        // The store did not allocate: a later load misses.
+        assert_eq!(c.access(0x200, AccessKind::ShaderLoad, 1), CacheOutcome::MissToMemory);
+        assert_eq!(c.stats.get("shader_store.write_through"), 1);
+    }
+
+    #[test]
+    fn rt_unit_accesses_tracked_separately() {
+        let mut c = tiny_cache(8, 0);
+        c.access(0x40, AccessKind::RtUnit, 0);
+        c.fill(0x40, 1);
+        c.access(0x40, AccessKind::RtUnit, 2);
+        assert_eq!(c.stats.get("rt_unit.hit"), 1);
+        assert_eq!(c.stats.get("rt_unit.miss_compulsory"), 1);
+        assert_eq!(c.stats.get("shader_load.hit"), 0);
+    }
+
+    #[test]
+    fn paper_configs_construct() {
+        let l1 = Cache::new(CacheConfig::l1d_baseline());
+        assert_eq!(l1.hit_latency(), 20);
+        let l2 = Cache::new(CacheConfig::l2_baseline());
+        assert_eq!(l2.hit_latency(), 160);
+        assert_eq!(l2.config().num_sets(), 3 * 1024 * 1024 / 32 / 16);
+    }
+}

@@ -1,0 +1,311 @@
+//! Shared L2 + interconnect + DRAM backend.
+//!
+//! All SMs' L1 misses funnel through one [`SharedMemSystem`] (paper Fig. 3:
+//! SMs connect to memory partitions through an on-chip interconnect). The
+//! model is event-driven: producers [`SharedMemSystem::submit`] chunk-sized
+//! requests and poll [`SharedMemSystem::advance_to`] each core cycle for
+//! completions.
+
+use crate::cache::{AccessKind, Cache, CacheConfig, CacheOutcome};
+use crate::dram::{Dram, DramConfig};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use vksim_stats::Counters;
+
+/// Configuration of the shared memory backend.
+#[derive(Clone, Debug)]
+pub struct SystemConfig {
+    /// The unified L2 cache.
+    pub l2: CacheConfig,
+    /// DRAM behind the L2.
+    pub dram: DramConfig,
+    /// One-way interconnect latency in cycles (SM <-> L2).
+    pub icnt_latency: u32,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            l2: CacheConfig::l2_baseline(),
+            dram: DramConfig::default(),
+            icnt_latency: 8,
+        }
+    }
+}
+
+/// One 32 B memory request from an SM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemRequest {
+    /// Caller-chosen identifier returned on completion.
+    pub id: u64,
+    /// Chunk-aligned address.
+    pub addr: u64,
+    /// Source tag for cache statistics.
+    pub kind: AccessKind,
+    /// `true` for (write-through) stores.
+    pub is_store: bool,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EvKind {
+    ArriveL2(MemRequest),
+    DramDone { line: u64 },
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Ev {
+    time: u64,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The shared L2/DRAM system.
+///
+/// # Example
+///
+/// ```
+/// use vksim_mem::{SharedMemSystem, SystemConfig, MemRequest, AccessKind};
+/// let mut sys = SharedMemSystem::new(SystemConfig::default());
+/// sys.submit(MemRequest { id: 1, addr: 0x1000, kind: AccessKind::ShaderLoad, is_store: false }, 0);
+/// let mut done = Vec::new();
+/// let mut t = 0;
+/// while done.is_empty() {
+///     t += 1;
+///     done.extend(sys.advance_to(t));
+/// }
+/// assert_eq!(done[0].0, 1);
+/// ```
+#[derive(Debug)]
+pub struct SharedMemSystem {
+    l2: Cache,
+    dram: Dram,
+    icnt_latency: u32,
+    events: BinaryHeap<Reverse<Ev>>,
+    seq: u64,
+    waiting: HashMap<u64, Vec<u64>>,
+    /// Interconnect / backend traffic counters.
+    pub stats: Counters,
+}
+
+impl SharedMemSystem {
+    /// Creates an idle backend.
+    pub fn new(config: SystemConfig) -> Self {
+        SharedMemSystem {
+            l2: Cache::new(config.l2),
+            dram: Dram::new(config.dram),
+            icnt_latency: config.icnt_latency,
+            events: BinaryHeap::new(),
+            seq: 0,
+            waiting: HashMap::new(),
+            stats: Counters::new(),
+        }
+    }
+
+    fn push(&mut self, time: u64, kind: EvKind) {
+        self.seq += 1;
+        self.events.push(Reverse(Ev { time, seq: self.seq, kind }));
+    }
+
+    /// Submits a request at `now`; its completion arrives through
+    /// [`SharedMemSystem::advance_to`].
+    pub fn submit(&mut self, req: MemRequest, now: u64) {
+        self.stats.inc("icnt.to_l2");
+        self.push(now + self.icnt_latency as u64, EvKind::ArriveL2(req));
+    }
+
+    /// Processes all backend events up to and including `cycle`; returns
+    /// `(request id, completion cycle)` pairs.
+    pub fn advance_to(&mut self, cycle: u64) -> Vec<(u64, u64)> {
+        let mut done = Vec::new();
+        while let Some(Reverse(ev)) = self.events.peek().copied() {
+            if ev.time > cycle {
+                break;
+            }
+            self.events.pop();
+            match ev.kind {
+                EvKind::ArriveL2(req) => self.handle_l2(req, ev.time, &mut done),
+                EvKind::DramDone { line } => {
+                    let t = ev.time;
+                    self.l2.fill(line, t);
+                    if let Some(ids) = self.waiting.remove(&line) {
+                        for id in ids {
+                            self.stats.inc("icnt.from_l2");
+                            done.push((id, t + self.icnt_latency as u64));
+                        }
+                    }
+                }
+            }
+        }
+        done
+    }
+
+    fn handle_l2(&mut self, req: MemRequest, t: u64, done: &mut Vec<(u64, u64)>) {
+        let kind = if req.is_store { AccessKind::ShaderStore } else { req.kind };
+        let line = self.l2.line_of(req.addr);
+        match self.l2.access(req.addr, kind, t) {
+            CacheOutcome::Hit => {
+                if req.is_store {
+                    // Write-through: generate DRAM traffic but ack now.
+                    self.dram.service(req.addr, t + self.l2.hit_latency() as u64);
+                    self.stats.inc("dram.writes");
+                }
+                self.stats.inc("icnt.from_l2");
+                done.push((
+                    req.id,
+                    t + self.l2.hit_latency() as u64 + self.icnt_latency as u64,
+                ));
+            }
+            CacheOutcome::MissToMemory => {
+                self.waiting.entry(line).or_default().push(req.id);
+                let ready = self.dram.service(req.addr, t + self.l2.hit_latency() as u64);
+                self.stats.inc("dram.reads");
+                self.push(ready, EvKind::DramDone { line });
+            }
+            CacheOutcome::MissMerged => {
+                self.waiting.entry(line).or_default().push(req.id);
+            }
+            CacheOutcome::ReservationFail => {
+                // Retry after a short backoff.
+                self.stats.inc("l2.retry");
+                self.push(t + 4, EvKind::ArriveL2(req));
+            }
+        }
+    }
+
+    /// The shared L2 (for statistics reporting).
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// The DRAM array (for statistics reporting).
+    pub fn dram(&self) -> &Dram {
+        &self.dram
+    }
+
+    /// `true` when no events are pending (drain check).
+    pub fn is_idle(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(sys: &mut SharedMemSystem, until: u64) -> Vec<(u64, u64)> {
+        sys.advance_to(until)
+    }
+
+    #[test]
+    fn cold_read_goes_to_dram_then_hits() {
+        let mut sys = SharedMemSystem::new(SystemConfig::default());
+        sys.submit(
+            MemRequest { id: 1, addr: 0x4000, kind: AccessKind::ShaderLoad, is_store: false },
+            0,
+        );
+        let done = drain(&mut sys, 100_000);
+        assert_eq!(done.len(), 1);
+        let (_, t1) = done[0];
+        // Cold: must include L2 latency + DRAM.
+        assert!(t1 > 160, "cold access too fast: {t1}");
+        // Second access to the same line: L2 hit, much faster.
+        sys.submit(
+            MemRequest { id: 2, addr: 0x4000, kind: AccessKind::ShaderLoad, is_store: false },
+            t1,
+        );
+        let done2 = drain(&mut sys, t1 + 100_000);
+        let (_, t2) = done2[0];
+        assert!(t2 - t1 < t1, "hit {t2} vs cold {t1}");
+        assert_eq!(sys.l2().stats.get("shader_load.hit"), 1);
+    }
+
+    #[test]
+    fn merged_requests_complete_together() {
+        let mut sys = SharedMemSystem::new(SystemConfig::default());
+        for id in 1..=3 {
+            sys.submit(
+                MemRequest { id, addr: 0x8000, kind: AccessKind::RtUnit, is_store: false },
+                0,
+            );
+        }
+        let done = drain(&mut sys, 100_000);
+        assert_eq!(done.len(), 3);
+        let t0 = done[0].1;
+        assert!(done.iter().all(|&(_, t)| t == t0), "merged fills complete together");
+        // Only one DRAM read happened.
+        assert_eq!(sys.dram().stats.get("req"), 1);
+    }
+
+    #[test]
+    fn stores_ack_fast_but_generate_dram_writes() {
+        let mut sys = SharedMemSystem::new(SystemConfig::default());
+        sys.submit(
+            MemRequest { id: 9, addr: 0xA000, kind: AccessKind::ShaderStore, is_store: true },
+            0,
+        );
+        let done = drain(&mut sys, 10_000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(sys.stats.get("dram.writes"), 1);
+        // Store ack does not wait for DRAM.
+        assert!(done[0].1 <= 8 + 160 + 8 + 1);
+    }
+
+    #[test]
+    fn perfect_dram_shortens_misses() {
+        let mut fast = SharedMemSystem::new(SystemConfig {
+            dram: DramConfig { perfect: true, ..Default::default() },
+            ..Default::default()
+        });
+        let mut slow = SharedMemSystem::new(SystemConfig::default());
+        for sys in [&mut fast, &mut slow] {
+            sys.submit(
+                MemRequest { id: 1, addr: 0x9000, kind: AccessKind::ShaderLoad, is_store: false },
+                0,
+            );
+        }
+        let tf = drain(&mut fast, 1_000_000)[0].1;
+        let ts = drain(&mut slow, 1_000_000)[0].1;
+        assert!(tf < ts);
+    }
+
+    #[test]
+    fn events_processed_in_time_order() {
+        let mut sys = SharedMemSystem::new(SystemConfig::default());
+        // Submit in reverse arrival order.
+        sys.submit(
+            MemRequest { id: 2, addr: 0x100, kind: AccessKind::ShaderLoad, is_store: false },
+            50,
+        );
+        sys.submit(
+            MemRequest { id: 1, addr: 0x100, kind: AccessKind::ShaderLoad, is_store: false },
+            0,
+        );
+        let done = drain(&mut sys, 1_000_000);
+        assert_eq!(done.len(), 2);
+        assert!(sys.is_idle());
+    }
+
+    #[test]
+    fn advance_to_respects_cycle_bound() {
+        let mut sys = SharedMemSystem::new(SystemConfig::default());
+        sys.submit(
+            MemRequest { id: 1, addr: 0x100, kind: AccessKind::ShaderLoad, is_store: false },
+            0,
+        );
+        // Nothing can be complete after 1 cycle.
+        assert!(sys.advance_to(1).is_empty());
+        assert!(!sys.is_idle());
+    }
+}

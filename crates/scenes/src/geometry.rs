@@ -1,0 +1,186 @@
+//! Procedural mesh generators for the workloads.
+
+use vksim_bvh::geometry::Triangle;
+use vksim_math::Vec3;
+
+/// Two triangles forming an axis-aligned rectangle in the XZ plane at
+/// height `y` spanning `[x0, x1] × [z0, z1]`.
+pub fn ground_quad(x0: f32, x1: f32, z0: f32, z1: f32, y: f32) -> Vec<Triangle> {
+    let a = Vec3::new(x0, y, z0);
+    let b = Vec3::new(x1, y, z0);
+    let c = Vec3::new(x1, y, z1);
+    let d = Vec3::new(x0, y, z1);
+    vec![Triangle::new(a, b, c), Triangle::new(a, c, d)]
+}
+
+/// A vertical rectangle (wall) facing +z at depth `z`.
+pub fn wall_quad(x0: f32, x1: f32, y0: f32, y1: f32, z: f32) -> Vec<Triangle> {
+    let a = Vec3::new(x0, y0, z);
+    let b = Vec3::new(x1, y0, z);
+    let c = Vec3::new(x1, y1, z);
+    let d = Vec3::new(x0, y1, z);
+    vec![Triangle::new(a, b, c), Triangle::new(a, c, d)]
+}
+
+/// A 12-triangle axis-aligned box `[min, max]`.
+pub fn box_mesh(min: Vec3, max: Vec3) -> Vec<Triangle> {
+    let p = |x: bool, y: bool, z: bool| {
+        Vec3::new(
+            if x { max.x } else { min.x },
+            if y { max.y } else { min.y },
+            if z { max.z } else { min.z },
+        )
+    };
+    let quads = [
+        // -z / +z
+        [p(false, false, false), p(true, false, false), p(true, true, false), p(false, true, false)],
+        [p(false, false, true), p(false, true, true), p(true, true, true), p(true, false, true)],
+        // -x / +x
+        [p(false, false, false), p(false, true, false), p(false, true, true), p(false, false, true)],
+        [p(true, false, false), p(true, false, true), p(true, true, true), p(true, true, false)],
+        // -y / +y
+        [p(false, false, false), p(false, false, true), p(true, false, true), p(true, false, false)],
+        [p(false, true, false), p(true, true, false), p(true, true, true), p(false, true, true)],
+    ];
+    let mut out = Vec::with_capacity(12);
+    for [a, b, c, d] in quads {
+        out.push(Triangle::new(a, b, c));
+        out.push(Triangle::new(a, c, d));
+    }
+    out
+}
+
+/// A tessellated vertical cylinder (column): `segments` sides plus caps.
+pub fn column(center: Vec3, radius: f32, height: f32, segments: u32) -> Vec<Triangle> {
+    let mut out = Vec::new();
+    let n = segments.max(3);
+    for i in 0..n {
+        let a0 = i as f32 / n as f32 * std::f32::consts::TAU;
+        let a1 = (i + 1) as f32 / n as f32 * std::f32::consts::TAU;
+        let (s0, c0) = a0.sin_cos();
+        let (s1, c1) = a1.sin_cos();
+        let b0 = center + Vec3::new(c0 * radius, 0.0, s0 * radius);
+        let b1 = center + Vec3::new(c1 * radius, 0.0, s1 * radius);
+        let t0 = b0 + Vec3::new(0.0, height, 0.0);
+        let t1 = b1 + Vec3::new(0.0, height, 0.0);
+        out.push(Triangle::new(b0, b1, t1));
+        out.push(Triangle::new(b0, t1, t0));
+        // Caps.
+        out.push(Triangle::new(center, b1, b0));
+        let top_c = center + Vec3::new(0.0, height, 0.0);
+        out.push(Triangle::new(top_c, t0, t1));
+    }
+    out
+}
+
+/// An icosphere with `subdivisions` refinement levels: 20 × 4^k triangles.
+/// Used as the RTV5 "statue" substitute.
+pub fn icosphere(center: Vec3, radius: f32, subdivisions: u32) -> Vec<Triangle> {
+    let phi = (1.0 + 5.0f32.sqrt()) / 2.0;
+    let verts: Vec<Vec3> = [
+        (-1.0, phi, 0.0),
+        (1.0, phi, 0.0),
+        (-1.0, -phi, 0.0),
+        (1.0, -phi, 0.0),
+        (0.0, -1.0, phi),
+        (0.0, 1.0, phi),
+        (0.0, -1.0, -phi),
+        (0.0, 1.0, -phi),
+        (phi, 0.0, -1.0),
+        (phi, 0.0, 1.0),
+        (-phi, 0.0, -1.0),
+        (-phi, 0.0, 1.0),
+    ]
+    .iter()
+    .map(|&(x, y, z)| Vec3::new(x, y, z).normalized())
+    .collect();
+    let faces: [(usize, usize, usize); 20] = [
+        (0, 11, 5),
+        (0, 5, 1),
+        (0, 1, 7),
+        (0, 7, 10),
+        (0, 10, 11),
+        (1, 5, 9),
+        (5, 11, 4),
+        (11, 10, 2),
+        (10, 7, 6),
+        (7, 1, 8),
+        (3, 9, 4),
+        (3, 4, 2),
+        (3, 2, 6),
+        (3, 6, 8),
+        (3, 8, 9),
+        (4, 9, 5),
+        (2, 4, 11),
+        (6, 2, 10),
+        (8, 6, 7),
+        (9, 8, 1),
+    ];
+    let mut tris: Vec<(Vec3, Vec3, Vec3)> =
+        faces.iter().map(|&(a, b, c)| (verts[a], verts[b], verts[c])).collect();
+    for _ in 0..subdivisions {
+        let mut next = Vec::with_capacity(tris.len() * 4);
+        for (a, b, c) in tris {
+            let ab = ((a + b) * 0.5).normalized();
+            let bc = ((b + c) * 0.5).normalized();
+            let ca = ((c + a) * 0.5).normalized();
+            next.push((a, ab, ca));
+            next.push((ab, b, bc));
+            next.push((ca, bc, c));
+            next.push((ab, bc, ca));
+        }
+        tris = next;
+    }
+    tris.into_iter()
+        .map(|(a, b, c)| Triangle::new(center + a * radius, center + b * radius, center + c * radius))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quad_generators_make_two_triangles() {
+        assert_eq!(ground_quad(-1.0, 1.0, -1.0, 1.0, 0.0).len(), 2);
+        assert_eq!(wall_quad(-1.0, 1.0, 0.0, 2.0, -3.0).len(), 2);
+    }
+
+    #[test]
+    fn box_has_twelve_triangles_with_correct_bounds() {
+        let b = box_mesh(Vec3::ZERO, Vec3::ONE);
+        assert_eq!(b.len(), 12);
+        let mut lo = Vec3::splat(f32::INFINITY);
+        let mut hi = Vec3::splat(f32::NEG_INFINITY);
+        for t in &b {
+            for v in [t.v0, t.v1, t.v2] {
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        assert_eq!(lo, Vec3::ZERO);
+        assert_eq!(hi, Vec3::ONE);
+    }
+
+    #[test]
+    fn column_triangle_count() {
+        let c = column(Vec3::ZERO, 1.0, 4.0, 8);
+        assert_eq!(c.len(), 8 * 4);
+    }
+
+    #[test]
+    fn icosphere_counts_grow_geometrically() {
+        assert_eq!(icosphere(Vec3::ZERO, 1.0, 0).len(), 20);
+        assert_eq!(icosphere(Vec3::ZERO, 1.0, 2).len(), 320);
+    }
+
+    #[test]
+    fn icosphere_vertices_lie_on_sphere() {
+        for t in icosphere(Vec3::new(1.0, 2.0, 3.0), 2.0, 1) {
+            for v in [t.v0, t.v1, t.v2] {
+                let r = (v - Vec3::new(1.0, 2.0, 3.0)).length();
+                assert!((r - 2.0).abs() < 1e-4, "r = {r}");
+            }
+        }
+    }
+}

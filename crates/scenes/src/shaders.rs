@@ -1,0 +1,210 @@
+//! Shared shader-construction helpers and their CPU twins.
+//!
+//! Every lighting formula exists twice: once emitted through the shader DSL
+//! (executed by the simulator) and once as a plain Rust function (used by
+//! the reference renderer). The twins use identical constants and operation
+//! order so the Fig. 2 pixel-diff validation compares like for like.
+
+use crate::{BINDING_CAMERA, BINDING_FRAMEBUFFER};
+use vksim_math::Vec3;
+use vksim_shader::builder::{hash_to_unit_f32, hash_u32, ShaderBuilder};
+use vksim_shader::ir::{Builtin, Expr, Var};
+
+/// Directional light used by REF and EXT (normalized in both twins).
+pub const LIGHT_DIR: [f32; 3] = [0.371_390_7, 0.742_781_35, 0.557_086_03];
+
+/// Mirror material marker (instance custom index).
+pub const MATERIAL_MIRROR: u32 = 99;
+
+/// Loads three consecutive f32s from `base + byte_offset`.
+pub fn load_vec3(b: &mut ShaderBuilder, base: &Expr, byte_offset: i32) -> [Var; 3] {
+    [
+        b.var_f32(b.load_f32(base.clone(), byte_offset)),
+        b.var_f32(b.load_f32(base.clone(), byte_offset + 4)),
+        b.var_f32(b.load_f32(base.clone(), byte_offset + 8)),
+    ]
+}
+
+/// Dot product of two expression triples.
+pub fn dot3(a: [Expr; 3], c: [Expr; 3]) -> Expr {
+    let [ax, ay, az] = a;
+    let [cx, cy, cz] = c;
+    ax * cx + ay * cy + az * cz
+}
+
+/// Normalizes an expression triple into variables.
+pub fn normalize3(b: &mut ShaderBuilder, v: [Expr; 3]) -> [Var; 3] {
+    let x = b.var_f32(v[0].clone());
+    let y = b.var_f32(v[1].clone());
+    let z = b.var_f32(v[2].clone());
+    let len = b.var_f32(
+        (b.v(x) * b.v(x) + b.v(y) * b.v(y) + b.v(z) * b.v(z)).sqrt(),
+    );
+    let inv = b.var_f32(b.c_f32(1.0) / b.v(len));
+    [
+        b.var_f32(b.v(x) * b.v(inv)),
+        b.var_f32(b.v(y) * b.v(inv)),
+        b.var_f32(b.v(z) * b.v(inv)),
+    ]
+}
+
+/// Emits the camera-ray prologue: loads the camera uniform (binding 1) and
+/// computes the primary ray for this thread's pixel. Returns
+/// `(origin, dir, pixel_index)`.
+pub fn camera_ray(b: &mut ShaderBuilder) -> ([Var; 3], [Var; 3], Var) {
+    let cam = b.var_u32(b.buffer_base(BINDING_CAMERA));
+    let eye = load_vec3(b, &b.v(cam), 0);
+    let ll = load_vec3(b, &b.v(cam), 16);
+    let hor = load_vec3(b, &b.v(cam), 32);
+    let ver = load_vec3(b, &b.v(cam), 48);
+    let x = b.var_f32(b.launch_id(0).to_f32());
+    let y = b.var_f32(b.launch_id(1).to_f32());
+    let w = b.var_f32(b.launch_size(0).to_f32());
+    let h = b.var_f32(b.launch_size(1).to_f32());
+    let u = b.var_f32((b.v(x) + b.c_f32(0.5)) / b.v(w));
+    let v = b.var_f32((b.v(y) + b.c_f32(0.5)) / b.v(h));
+    let mut dir = [eye[0]; 3];
+    for i in 0..3 {
+        dir[i] = b.var_f32(
+            b.v(ll[i]) + b.v(hor[i]) * b.v(u) + b.v(ver[i]) * b.v(v) - b.v(eye[i]),
+        );
+    }
+    let pixel = b.var_u32(b.launch_id(1) * b.launch_size(0) + b.launch_id(0));
+    (eye, dir, pixel)
+}
+
+/// Packs an RGB expression triple into RGBA8 and stores it at
+/// `framebuffer[pixel]`.
+pub fn store_pixel(b: &mut ShaderBuilder, pixel: Var, rgb: [Expr; 3]) {
+    let q = |b: &mut ShaderBuilder, e: Expr| -> Var {
+        b.var_u32(
+            (e.max(b.c_f32(0.0)).min(b.c_f32(1.0)) * b.c_f32(255.0) + b.c_f32(0.5)).to_u32(),
+        )
+    };
+    let [r, g, bl] = rgb;
+    let r = q(b, r);
+    let g = q(b, g);
+    let bl = q(b, bl);
+    let packed = b.var_u32(
+        b.v(r)
+            .bitor(b.v(g).shl(b.c_u32(8)))
+            .bitor(b.v(bl).shl(b.c_u32(16)))
+            .bitor(b.c_u32(0xFF00_0000)),
+    );
+    let addr = b.var_u32(b.buffer_base(BINDING_FRAMEBUFFER) + b.v(pixel) * b.c_u32(4));
+    b.store(b.v(addr), 0, b.v(packed));
+}
+
+/// DSL twin of [`palette_rgb`]: deterministic albedo from a material id.
+pub fn palette(b: &mut ShaderBuilder, id: Expr) -> [Var; 3] {
+    let h1 = b.var_u32(hash_u32(b, id));
+    let h2 = b.var_u32(hash_u32(b, b.v(h1)));
+    let h3 = b.var_u32(hash_u32(b, b.v(h2)));
+    let unit = |b: &mut ShaderBuilder, h: Var| -> Expr { hash_to_unit_f32(b, b.v(h)) };
+    let r = unit(b, h1);
+    let g = unit(b, h2);
+    let bl = unit(b, h3);
+    [
+        b.var_f32(b.c_f32(0.25) + b.c_f32(0.6) * r),
+        b.var_f32(b.c_f32(0.25) + b.c_f32(0.6) * g),
+        b.var_f32(b.c_f32(0.25) + b.c_f32(0.6) * bl),
+    ]
+}
+
+/// DSL twin of [`sky_rgb`]: background gradient from the ray direction's
+/// (unnormalized) y component mapped through a squash.
+pub fn sky_color(b: &mut ShaderBuilder, dy_unit: Expr) -> [Expr; 3] {
+    // t in [0,1] from unit-ish dy.
+    let t = b.c_f32(0.5) * (dy_unit + b.c_f32(1.0));
+    [
+        b.c_f32(0.30) + b.c_f32(0.30) * t.clone(),
+        b.c_f32(0.40) + b.c_f32(0.30) * t.clone(),
+        b.c_f32(0.55) + b.c_f32(0.35) * t,
+    ]
+}
+
+/// Hit point `origin + t * dir` from the current trace frame.
+pub fn hit_point(b: &mut ShaderBuilder) -> [Var; 3] {
+    let t = b.var_f32(b.builtin(Builtin::HitT));
+    [0u8, 1, 2].map(|d| {
+        b.var_f32(
+            b.builtin(Builtin::RayOrigin(d)) + b.builtin(Builtin::RayDirection(d)) * b.v(t),
+        )
+    })
+}
+
+// ---------------- CPU twins (used by the reference renderer) ----------------
+
+/// Rust twin of the DSL integer hash in `vksim_shader::builder::hash_u32`.
+pub fn hash_u32_cpu(mut x: u32) -> u32 {
+    x ^= x >> 16;
+    x = x.wrapping_mul(0x7feb_352d);
+    x ^= x >> 15;
+    x = x.wrapping_mul(0x846c_a68b);
+    x ^ (x >> 16)
+}
+
+/// Rust twin of `hash_to_unit_f32`.
+pub fn hash_unit_cpu(h: u32) -> f32 {
+    (h >> 8) as f32 * (1.0 / 16_777_216.0)
+}
+
+/// Deterministic albedo from a material id (twin of [`palette`]).
+pub fn palette_rgb(id: u32) -> Vec3 {
+    let h1 = hash_u32_cpu(id);
+    let h2 = hash_u32_cpu(h1);
+    let h3 = hash_u32_cpu(h2);
+    Vec3::new(
+        0.25 + 0.6 * hash_unit_cpu(h1),
+        0.25 + 0.6 * hash_unit_cpu(h2),
+        0.25 + 0.6 * hash_unit_cpu(h3),
+    )
+}
+
+/// Background gradient (twin of [`sky_color`]).
+pub fn sky_rgb(dy_unit: f32) -> Vec3 {
+    let t = 0.5 * (dy_unit + 1.0);
+    Vec3::new(0.30 + 0.30 * t, 0.40 + 0.30 * t, 0.55 + 0.35 * t)
+}
+
+/// The normalized light direction as a vector.
+pub fn light_dir() -> Vec3 {
+    Vec3::new(LIGHT_DIR[0], LIGHT_DIR[1], LIGHT_DIR[2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_hash_matches_reference_values() {
+        // Spot values; the DSL twin is verified end-to-end by the image
+        // comparison tests in the scenes module.
+        assert_ne!(hash_u32_cpu(1), hash_u32_cpu(2));
+        assert_eq!(hash_u32_cpu(42), hash_u32_cpu(42));
+        let u = hash_unit_cpu(hash_u32_cpu(7));
+        assert!((0.0..1.0).contains(&u));
+    }
+
+    #[test]
+    fn palette_is_deterministic_and_bounded() {
+        let a = palette_rgb(5);
+        let b = palette_rgb(5);
+        assert_eq!(a, b);
+        for c in [a.x, a.y, a.z] {
+            assert!((0.25..=0.85).contains(&c));
+        }
+        assert_ne!(palette_rgb(1), palette_rgb(2));
+    }
+
+    #[test]
+    fn sky_gradient_monotonic_in_y() {
+        assert!(sky_rgb(1.0).z > sky_rgb(-1.0).z);
+        assert!(sky_rgb(0.0).x > 0.0);
+    }
+
+    #[test]
+    fn light_dir_is_unit() {
+        assert!((light_dir().length() - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,424 @@
+//! Ergonomic shader-authoring DSL (the stand-in for GLSL source).
+//!
+//! [`ShaderBuilder`] accumulates statements; structured control flow uses
+//! closures. [`Expr`] implements the arithmetic operators, so shader math
+//! reads naturally:
+//!
+//! ```
+//! use vksim_shader::builder::ShaderBuilder;
+//! use vksim_shader::ir::ShaderKind;
+//!
+//! let mut b = ShaderBuilder::new(ShaderKind::Miss);
+//! let sky = b.c_f32(0.2) + b.c_f32(0.3) * b.c_f32(0.5);
+//! b.set_payload_in(0, sky);
+//! let m = b.finish();
+//! assert_eq!(m.stmt_count(), 1);
+//! ```
+
+use crate::ir::{BinOp, Builtin, CmpOp, Expr, RtIdxQuery, ShaderKind, ShaderModule, Stmt, Ty, UnOp, Var};
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Div for Expr {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Div, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        Expr::Un(UnOp::Neg, Box::new(self))
+    }
+}
+
+impl Expr {
+    /// Component-wise minimum.
+    pub fn min(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Min, Box::new(self), Box::new(rhs))
+    }
+    /// Component-wise maximum.
+    pub fn max(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Max, Box::new(self), Box::new(rhs))
+    }
+    /// Bitwise and (u32).
+    pub fn bitand(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::And, Box::new(self), Box::new(rhs))
+    }
+    /// Bitwise or (u32).
+    pub fn bitor(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Or, Box::new(self), Box::new(rhs))
+    }
+    /// Bitwise xor (u32).
+    pub fn bitxor(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Xor, Box::new(self), Box::new(rhs))
+    }
+    /// Shift left (u32).
+    pub fn shl(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Shl, Box::new(self), Box::new(rhs))
+    }
+    /// Shift right (u32).
+    pub fn shr(self, rhs: Expr) -> Expr {
+        Expr::Bin(BinOp::Shr, Box::new(self), Box::new(rhs))
+    }
+    /// Square root.
+    pub fn sqrt(self) -> Expr {
+        Expr::Un(UnOp::Sqrt, Box::new(self))
+    }
+    /// Reciprocal square root.
+    pub fn rsqrt(self) -> Expr {
+        Expr::Un(UnOp::Rsqrt, Box::new(self))
+    }
+    /// Absolute value.
+    pub fn abs(self) -> Expr {
+        Expr::Un(UnOp::Abs, Box::new(self))
+    }
+    /// Sine.
+    pub fn sin(self) -> Expr {
+        Expr::Un(UnOp::Sin, Box::new(self))
+    }
+    /// Cosine.
+    pub fn cos(self) -> Expr {
+        Expr::Un(UnOp::Cos, Box::new(self))
+    }
+    /// Floor.
+    pub fn floor(self) -> Expr {
+        Expr::Un(UnOp::Floor, Box::new(self))
+    }
+    /// Convert f32 to u32.
+    pub fn to_u32(self) -> Expr {
+        Expr::Un(UnOp::F2U, Box::new(self))
+    }
+    /// Convert u32 to f32.
+    pub fn to_f32(self) -> Expr {
+        Expr::Un(UnOp::U2F, Box::new(self))
+    }
+    /// Comparison `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Lt, Box::new(self), Box::new(rhs))
+    }
+    /// Comparison `self <= rhs`.
+    pub fn le(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Le, Box::new(self), Box::new(rhs))
+    }
+    /// Comparison `self > rhs`.
+    pub fn gt(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Gt, Box::new(self), Box::new(rhs))
+    }
+    /// Comparison `self >= rhs`.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ge, Box::new(self), Box::new(rhs))
+    }
+    /// Comparison `self == rhs`.
+    pub fn eq_(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Eq, Box::new(self), Box::new(rhs))
+    }
+    /// Comparison `self != rhs`.
+    pub fn ne_(self, rhs: Expr) -> Expr {
+        Expr::Cmp(CmpOp::Ne, Box::new(self), Box::new(rhs))
+    }
+    /// Boolean and.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::BoolAnd(Box::new(self), Box::new(rhs))
+    }
+    /// Boolean not.
+    pub fn not(self) -> Expr {
+        Expr::BoolNot(Box::new(self))
+    }
+    /// Conditional select: `if self { a } else { b }`.
+    pub fn select(self, a: Expr, b: Expr) -> Expr {
+        Expr::Select(Box::new(self), Box::new(a), Box::new(b))
+    }
+}
+
+/// Builds a [`ShaderModule`] statement by statement.
+#[derive(Debug)]
+pub struct ShaderBuilder {
+    kind: ShaderKind,
+    name: String,
+    vars: Vec<Ty>,
+    // Innermost block last; blocks for nested control flow.
+    blocks: Vec<Vec<Stmt>>,
+}
+
+impl ShaderBuilder {
+    /// Starts a shader of the given stage.
+    pub fn new(kind: ShaderKind) -> Self {
+        ShaderBuilder {
+            kind,
+            name: format!("{kind:?}"),
+            vars: Vec::new(),
+            blocks: vec![Vec::new()],
+        }
+    }
+
+    /// Sets a diagnostic name.
+    pub fn named(mut self, name: &str) -> Self {
+        self.name = name.to_owned();
+        self
+    }
+
+    /// Float literal.
+    pub fn c_f32(&self, v: f32) -> Expr {
+        Expr::ConstF(v)
+    }
+
+    /// Unsigned literal.
+    pub fn c_u32(&self, v: u32) -> Expr {
+        Expr::ConstU(v)
+    }
+
+    /// Variable read.
+    pub fn v(&self, var: Var) -> Expr {
+        Expr::Var(var)
+    }
+
+    /// Declares an f32 variable initialized with `init`.
+    pub fn var_f32(&mut self, init: Expr) -> Var {
+        self.declare(Ty::F32, init)
+    }
+
+    /// Declares a u32 variable initialized with `init`.
+    pub fn var_u32(&mut self, init: Expr) -> Var {
+        self.declare(Ty::U32, init)
+    }
+
+    fn declare(&mut self, ty: Ty, init: Expr) -> Var {
+        let var = Var(self.vars.len() as u32);
+        self.vars.push(ty);
+        self.push(Stmt::Set(var, init));
+        var
+    }
+
+    /// Assigns to an existing variable.
+    pub fn set(&mut self, var: Var, value: Expr) {
+        self.push(Stmt::Set(var, value));
+    }
+
+    /// 32-bit global store.
+    pub fn store(&mut self, addr: Expr, offset: i32, value: Expr) {
+        self.push(Stmt::Store { addr, offset, value });
+    }
+
+    /// 32-bit global load as f32.
+    pub fn load_f32(&self, addr: Expr, offset: i32) -> Expr {
+        Expr::Load { addr: Box::new(addr), offset, ty: Ty::F32 }
+    }
+
+    /// 32-bit global load as u32.
+    pub fn load_u32(&self, addr: Expr, offset: i32) -> Expr {
+        Expr::Load { addr: Box::new(addr), offset, ty: Ty::U32 }
+    }
+
+    /// Base address of descriptor binding `n`.
+    pub fn buffer_base(&self, n: u32) -> Expr {
+        Expr::BufferBase(n)
+    }
+
+    /// `gl_LaunchIDEXT` component.
+    pub fn launch_id(&self, dim: u8) -> Expr {
+        Expr::Builtin(Builtin::LaunchId(dim))
+    }
+
+    /// `gl_LaunchSizeEXT` component.
+    pub fn launch_size(&self, dim: u8) -> Expr {
+        Expr::Builtin(Builtin::LaunchSize(dim))
+    }
+
+    /// Any builtin input.
+    pub fn builtin(&self, b: Builtin) -> Expr {
+        Expr::Builtin(b)
+    }
+
+    /// Outgoing-payload slot read.
+    pub fn payload(&self, slot: u8) -> Expr {
+        Expr::Payload(slot)
+    }
+
+    /// Outgoing-payload slot write.
+    pub fn set_payload(&mut self, slot: u8, value: Expr) {
+        self.push(Stmt::SetPayload(slot, value));
+    }
+
+    /// Incoming-payload slot read (hit/miss shaders).
+    pub fn payload_in(&self, slot: u8) -> Expr {
+        Expr::PayloadIn(slot)
+    }
+
+    /// Incoming-payload slot write (how hit/miss shaders return results).
+    pub fn set_payload_in(&mut self, slot: u8, value: Expr) {
+        self.push(Stmt::SetPayloadIn(slot, value));
+    }
+
+    /// Per-candidate intersection attribute (intersection shaders).
+    pub fn intersection_attr(&self, q: RtIdxQuery) -> Expr {
+        Expr::IntersectionAttr(q)
+    }
+
+    /// `reportIntersectionEXT(t)`.
+    pub fn report_intersection(&mut self, t: Expr) {
+        self.push(Stmt::ReportIntersection { t });
+    }
+
+    /// `traceRayEXT`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn trace_ray(
+        &mut self,
+        origin: [Expr; 3],
+        dir: [Expr; 3],
+        t_min: Expr,
+        t_max: Expr,
+        flags: Expr,
+        miss_index: u32,
+    ) {
+        self.push(Stmt::TraceRay { origin, dir, t_min, t_max, flags, miss_index });
+    }
+
+    /// Structured `if`.
+    pub fn if_<F: FnOnce(&mut Self)>(&mut self, cond: Expr, then: F) {
+        self.if_else(cond, then, |_| {});
+    }
+
+    /// Structured `if`/`else`.
+    pub fn if_else<F, G>(&mut self, cond: Expr, then: F, els: G)
+    where
+        F: FnOnce(&mut Self),
+        G: FnOnce(&mut Self),
+    {
+        self.blocks.push(Vec::new());
+        then(self);
+        let then_blk = self.blocks.pop().expect("builder block stack");
+        self.blocks.push(Vec::new());
+        els(self);
+        let else_blk = self.blocks.pop().expect("builder block stack");
+        self.push(Stmt::If { cond, then_blk, else_blk });
+    }
+
+    /// Structured `while`.
+    pub fn while_<F: FnOnce(&mut Self)>(&mut self, cond: Expr, body: F) {
+        self.blocks.push(Vec::new());
+        body(self);
+        let body_blk = self.blocks.pop().expect("builder block stack");
+        self.push(Stmt::While { cond, body: body_blk });
+    }
+
+    fn push(&mut self, s: Stmt) {
+        self.blocks.last_mut().expect("builder block stack").push(s);
+    }
+
+    /// Finalizes the module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called with unclosed control-flow blocks (builder misuse —
+    /// cannot happen through the closure API).
+    pub fn finish(mut self) -> ShaderModule {
+        assert_eq!(self.blocks.len(), 1, "unclosed blocks");
+        ShaderModule {
+            kind: self.kind,
+            name: self.name,
+            vars: self.vars,
+            body: self.blocks.pop().unwrap(),
+        }
+    }
+}
+
+/// Integer hash (PCG-style) emitted as IR; the pseudo-random generator used
+/// by path-tracing workloads (RTV5/RTV6 scatter randomly — paper §VI-B).
+pub fn hash_u32(b: &ShaderBuilder, x: Expr) -> Expr {
+    // x ^= x >> 16; x *= 0x7feb352d; x ^= x >> 15; x *= 0x846ca68b; x ^= x >> 16
+    let s1 = x.clone().bitxor(x.shr(b.c_u32(16)));
+    let m1 = s1 * b.c_u32(0x7feb352d);
+    let s2 = m1.clone().bitxor(m1.shr(b.c_u32(15)));
+    let m2 = s2 * b.c_u32(0x846c_a68b);
+    m2.clone().bitxor(m2.shr(b.c_u32(16)))
+}
+
+/// Converts a u32 hash to a float in `[0, 1)`.
+pub fn hash_to_unit_f32(b: &ShaderBuilder, h: Expr) -> Expr {
+    h.shr(b.c_u32(8)).to_f32() * b.c_f32(1.0 / 16_777_216.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_blocks_build_correctly() {
+        let mut b = ShaderBuilder::new(ShaderKind::RayGen);
+        let i = b.var_u32(b.c_u32(0));
+        b.while_(b.v(i).lt(b.c_u32(4)), |b| {
+            b.if_else(
+                b.v(i).eq_(b.c_u32(2)),
+                |b| b.set(i, b.c_u32(10)),
+                |b| b.set(i, b.v(i) + b.c_u32(1)),
+            );
+        });
+        let m = b.finish();
+        assert_eq!(m.vars, vec![Ty::U32]);
+        // set + while(if(set, set))
+        assert_eq!(m.stmt_count(), 5);
+        match &m.body[1] {
+            Stmt::While { body, .. } => match &body[0] {
+                Stmt::If { then_blk, else_blk, .. } => {
+                    assert_eq!(then_blk.len(), 1);
+                    assert_eq!(else_blk.len(), 1);
+                }
+                other => panic!("expected If, got {other:?}"),
+            },
+            other => panic!("expected While, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operators_build_expected_trees() {
+        let b = ShaderBuilder::new(ShaderKind::Miss);
+        let e = b.c_f32(1.0) + b.c_f32(2.0) * b.c_f32(3.0);
+        match e {
+            Expr::Bin(BinOp::Add, _, rhs) => {
+                assert!(matches!(*rhs, Expr::Bin(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn variable_types_recorded() {
+        let mut b = ShaderBuilder::new(ShaderKind::ClosestHit);
+        let f = b.var_f32(b.c_f32(0.0));
+        let u = b.var_u32(b.c_u32(0));
+        let m = b.finish();
+        assert_eq!(m.var_ty(f), Ty::F32);
+        assert_eq!(m.var_ty(u), Ty::U32);
+    }
+
+    #[test]
+    fn hash_helpers_produce_u32_and_f32() {
+        let b = ShaderBuilder::new(ShaderKind::RayGen);
+        let m = ShaderModule { kind: ShaderKind::RayGen, name: "h".into(), vars: vec![], body: vec![] };
+        let h = hash_u32(&b, b.c_u32(12345));
+        assert_eq!(h.ty(&m), Ty::U32);
+        let f = hash_to_unit_f32(&b, h);
+        assert_eq!(f.ty(&m), Ty::F32);
+    }
+}

@@ -1,0 +1,1178 @@
+//! The NIR-to-PTX translator (paper §III-B2).
+//!
+//! `traceRayEXT` lowers to the paper's Algorithm 1:
+//!
+//! ```text
+//! traverseAS()
+//! intersectionIdx <- 0
+//! while intersectionExit(intersectionIdx):
+//!     shaderID <- getIntersectionShaderID()        // or getNextCoalescedCall (FCC, Alg. 3)
+//!     if shaderID == intersectionID0: callIntersectionShader(shaderID)
+//!     else if shaderID == intersectionID1: ...
+//!     intersectionIdx++
+//! if HitGeometry():
+//!     shaderID <- getClosestHitShaderID()
+//!     if shaderID == closestHitID0: callClosestHitShader(shaderID)
+//!     else if ...
+//! else:
+//!     callMissShader()
+//! endTraceRay()
+//! ```
+//!
+//! "Calls" are inlined (one-thread-per-raygen mapping); recursive
+//! `traceRayEXT` inside hit shaders is inlined up to the pipeline's
+//! `max_recursion_depth`, mirroring Vulkan's static recursion bound. The
+//! if-else-if dispatch over shader IDs is exactly what makes intersection
+//! shader calls divergent — the inefficiency the FCC case study attacks.
+//!
+//! Structured control flow lowers to `SSY`/`SYNC`-bracketed branches so the
+//! GPU model's SIMT stack reconverges at immediate post-dominators.
+
+use crate::ir::{BinOp, Builtin, Expr, ShaderKind, ShaderModule, Stmt, Ty, UnOp, Var};
+use crate::{DESCRIPTOR_TABLE_ADDR, MAX_DESCRIPTOR_BINDINGS, PAYLOAD_SLOTS};
+use vksim_isa::op::{CmpOp, Instr, MemSpace, Pred, Reg, RtIdxQuery, RtQuery};
+use vksim_isa::program::{Program, ProgramBuilder};
+
+/// The set of shaders registered in one ray-tracing pipeline. Shader IDs
+/// are positions within each vector (the handles a shader binding table
+/// stores).
+#[derive(Clone, Debug)]
+pub struct PipelineShaders {
+    /// The single ray-generation shader.
+    pub raygen: ShaderModule,
+    /// Miss shaders, selected by `traceRayEXT`'s `miss_index`.
+    pub miss: Vec<ShaderModule>,
+    /// Closest-hit shaders, selected by the instance SBT offset.
+    pub closest_hit: Vec<ShaderModule>,
+    /// Intersection shaders, selected by procedural-geometry shader IDs.
+    pub intersection: Vec<ShaderModule>,
+    /// Any-hit shaders; when present, `any_hit[0]` validates every
+    /// procedural candidate after its intersection shader (delayed any-hit
+    /// execution).
+    pub any_hit: Vec<ShaderModule>,
+    /// Maximum `traceRayEXT` nesting (Vulkan
+    /// `maxPipelineRayRecursionDepth`); traces beyond it are elided.
+    pub max_recursion_depth: u32,
+}
+
+impl PipelineShaders {
+    /// A pipeline with only a raygen shader (no tracing possible).
+    pub fn raygen_only(raygen: ShaderModule) -> Self {
+        PipelineShaders {
+            raygen,
+            miss: Vec::new(),
+            closest_hit: Vec::new(),
+            intersection: Vec::new(),
+            any_hit: Vec::new(),
+            max_recursion_depth: 1,
+        }
+    }
+
+    /// Total number of registered shaders.
+    pub fn shader_count(&self) -> usize {
+        1 + self.miss.len() + self.closest_hit.len() + self.intersection.len() + self.any_hit.len()
+    }
+}
+
+/// Translation options.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TranslateOptions {
+    /// Lower `traceRayEXT` with function-call coalescing (Algorithm 3)
+    /// instead of the baseline intersection table (Algorithm 1).
+    pub fcc: bool,
+}
+
+/// Errors from translation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TranslateError {
+    /// A shader was registered under the wrong pipeline stage.
+    WrongStage {
+        /// Stage the slot requires.
+        expected: ShaderKind,
+        /// Stage the module declares.
+        found: ShaderKind,
+    },
+    /// `PayloadIn` used in the raygen shader (it has no caller).
+    PayloadInInRayGen,
+    /// `reportIntersectionEXT` outside an intersection shader.
+    ReportOutsideIntersection,
+    /// Payload slot index out of range.
+    PayloadSlotOutOfRange(u8),
+    /// Descriptor binding out of range.
+    BindingOutOfRange(u32),
+    /// `traceRayEXT` references a miss shader that is not registered.
+    MissingMissShader(u32),
+    /// Unsupported operation for the operand type (e.g. u32 division).
+    UnsupportedOp(&'static str),
+}
+
+impl std::fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranslateError::WrongStage { expected, found } => {
+                write!(f, "shader stage mismatch: expected {expected:?}, found {found:?}")
+            }
+            TranslateError::PayloadInInRayGen => write!(f, "incoming payload used in raygen"),
+            TranslateError::ReportOutsideIntersection => {
+                write!(f, "reportIntersection outside an intersection shader")
+            }
+            TranslateError::PayloadSlotOutOfRange(s) => write!(f, "payload slot {s} out of range"),
+            TranslateError::BindingOutOfRange(b) => write!(f, "descriptor binding {b} out of range"),
+            TranslateError::MissingMissShader(i) => write!(f, "miss shader {i} not registered"),
+            TranslateError::UnsupportedOp(op) => write!(f, "unsupported operation: {op}"),
+        }
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// Translates a pipeline into one executable program rooted at the raygen
+/// shader.
+///
+/// # Errors
+///
+/// Returns a [`TranslateError`] when the pipeline is malformed (wrong
+/// stages, bad payload slots, missing miss shaders, ...).
+pub fn translate(
+    pipeline: &PipelineShaders,
+    opts: &TranslateOptions,
+) -> Result<Program, TranslateError> {
+    if pipeline.raygen.kind != ShaderKind::RayGen {
+        return Err(TranslateError::WrongStage {
+            expected: ShaderKind::RayGen,
+            found: pipeline.raygen.kind,
+        });
+    }
+    check_stages(&pipeline.miss, ShaderKind::Miss)?;
+    check_stages(&pipeline.closest_hit, ShaderKind::ClosestHit)?;
+    check_stages(&pipeline.intersection, ShaderKind::Intersection)?;
+    check_stages(&pipeline.any_hit, ShaderKind::AnyHit)?;
+
+    let mut cx = Cx {
+        b: ProgramBuilder::new(),
+        pipeline,
+        opts: *opts,
+        payload_regs: Vec::new(),
+        temps: Vec::new(),
+        temp_preds: Vec::new(),
+    };
+    let mut scope = Scope::for_module(&pipeline.raygen, 0, None, &mut cx);
+    cx.gen_block(&pipeline.raygen.body, &mut scope)?;
+    cx.b.exit();
+    Ok(cx.b.build())
+}
+
+fn check_stages(mods: &[ShaderModule], expected: ShaderKind) -> Result<(), TranslateError> {
+    for m in mods {
+        if m.kind != expected {
+            return Err(TranslateError::WrongStage { expected, found: m.kind });
+        }
+    }
+    Ok(())
+}
+
+/// Per-inlined-shader state.
+struct Scope {
+    /// Register assigned to each declared variable.
+    var_regs: Vec<Reg>,
+    /// Variable types (copied so the scope is self-contained).
+    var_tys: Vec<Ty>,
+    /// Shader stage being generated.
+    kind: ShaderKind,
+    /// Trace nesting depth of this shader (raygen = 0).
+    depth: u32,
+    /// The current candidate-index register inside the intersection loop.
+    isect_idx: Option<Reg>,
+}
+
+impl Scope {
+    fn for_module(m: &ShaderModule, depth: u32, isect_idx: Option<Reg>, cx: &mut Cx) -> Scope {
+        let var_regs = m.vars.iter().map(|_| cx.b.reg()).collect();
+        Scope {
+            var_regs,
+            var_tys: m.vars.clone(),
+            kind: m.kind,
+            depth,
+            isect_idx,
+        }
+    }
+
+    fn var_ty(&self, v: Var) -> Ty {
+        self.var_tys[v.0 as usize]
+    }
+}
+
+/// An evaluated operand: its register and whether it is a reusable temp.
+#[derive(Clone, Copy)]
+struct Val {
+    reg: Reg,
+    temp: bool,
+}
+
+struct Cx<'a> {
+    b: ProgramBuilder,
+    pipeline: &'a PipelineShaders,
+    opts: TranslateOptions,
+    /// Payload register file per trace depth; `payload_regs[d]` backs traces
+    /// issued by shaders at depth `d`.
+    payload_regs: Vec<[Reg; PAYLOAD_SLOTS]>,
+    temps: Vec<Reg>,
+    temp_preds: Vec<Pred>,
+}
+
+impl<'a> Cx<'a> {
+    fn alloc_temp(&mut self) -> Reg {
+        self.temps.pop().unwrap_or_else(|| self.b.reg())
+    }
+
+    fn free(&mut self, v: Val) {
+        if v.temp {
+            self.temps.push(v.reg);
+        }
+    }
+
+    fn alloc_pred(&mut self) -> Pred {
+        self.temp_preds.pop().unwrap_or_else(|| self.b.pred())
+    }
+
+    fn free_pred(&mut self, p: Pred) {
+        self.temp_preds.push(p);
+    }
+
+    fn payload_reg(&mut self, depth: u32, slot: u8) -> Result<Reg, TranslateError> {
+        if slot as usize >= PAYLOAD_SLOTS {
+            return Err(TranslateError::PayloadSlotOutOfRange(slot));
+        }
+        while self.payload_regs.len() <= depth as usize {
+            let arr = std::array::from_fn(|_| self.b.reg());
+            self.payload_regs.push(arr);
+        }
+        Ok(self.payload_regs[depth as usize][slot as usize])
+    }
+
+    // ---- expression codegen ----
+
+    fn eval_ty(&self, e: &Expr, scope: &Scope) -> Ty {
+        match e {
+            Expr::ConstF(_) => Ty::F32,
+            Expr::ConstU(_) => Ty::U32,
+            Expr::Var(v) => scope.var_ty(*v),
+            Expr::Bin(_, a, _) => self.eval_ty(a, scope),
+            Expr::Un(op, a) => match op {
+                UnOp::F2U => Ty::U32,
+                UnOp::U2F => Ty::F32,
+                _ => self.eval_ty(a, scope),
+            },
+            Expr::Cmp(..) | Expr::BoolAnd(..) | Expr::BoolNot(..) => Ty::Bool,
+            Expr::Select(_, a, _) => self.eval_ty(a, scope),
+            Expr::Load { ty, .. } => *ty,
+            Expr::BufferBase(_) => Ty::U32,
+            Expr::Builtin(b) => b.ty(),
+            Expr::IntersectionAttr(q) => match q {
+                RtIdxQuery::IntersectionTEnter => Ty::F32,
+                _ => Ty::U32,
+            },
+            Expr::Payload(_) | Expr::PayloadIn(_) => Ty::F32,
+        }
+    }
+
+    fn eval(&mut self, e: &Expr, scope: &Scope) -> Result<Val, TranslateError> {
+        match e {
+            Expr::ConstF(v) => {
+                let r = self.alloc_temp();
+                self.b.mov_imm_f32(r, *v);
+                Ok(Val { reg: r, temp: true })
+            }
+            Expr::ConstU(v) => {
+                let r = self.alloc_temp();
+                self.b.mov_imm_u32(r, *v);
+                Ok(Val { reg: r, temp: true })
+            }
+            Expr::Var(v) => Ok(Val { reg: scope.var_regs[v.0 as usize], temp: false }),
+            Expr::Bin(op, a, c) => {
+                let ty = self.eval_ty(a, scope);
+                let va = self.eval(a, scope)?;
+                let vb = self.eval(c, scope)?;
+                self.free(va);
+                self.free(vb);
+                let dst = self.alloc_temp();
+                let (a, b) = (va.reg, vb.reg);
+                let instr = match (op, ty) {
+                    (BinOp::Add, Ty::F32) => Instr::FAdd { dst, a, b },
+                    (BinOp::Sub, Ty::F32) => Instr::FSub { dst, a, b },
+                    (BinOp::Mul, Ty::F32) => Instr::FMul { dst, a, b },
+                    (BinOp::Div, Ty::F32) => Instr::FDiv { dst, a, b },
+                    (BinOp::Min, Ty::F32) => Instr::FMin { dst, a, b },
+                    (BinOp::Max, Ty::F32) => Instr::FMax { dst, a, b },
+                    (BinOp::Add, Ty::U32) => Instr::IAdd { dst, a, b },
+                    (BinOp::Sub, Ty::U32) => Instr::ISub { dst, a, b },
+                    (BinOp::Mul, Ty::U32) => Instr::IMul { dst, a, b },
+                    (BinOp::Min, Ty::U32) => Instr::IMin { dst, a, b },
+                    (BinOp::Max, Ty::U32) => Instr::IMax { dst, a, b },
+                    (BinOp::And, Ty::U32) => Instr::IAnd { dst, a, b },
+                    (BinOp::Or, Ty::U32) => Instr::IOr { dst, a, b },
+                    (BinOp::Xor, Ty::U32) => Instr::IXor { dst, a, b },
+                    (BinOp::Shl, Ty::U32) => Instr::IShl { dst, a, b },
+                    (BinOp::Shr, Ty::U32) => Instr::IShr { dst, a, b },
+                    (BinOp::Div, Ty::U32) => return Err(TranslateError::UnsupportedOp("u32 div")),
+                    (_, Ty::Bool) => return Err(TranslateError::UnsupportedOp("bin op on bool")),
+                    (op, ty) => {
+                        let _ = (op, ty);
+                        return Err(TranslateError::UnsupportedOp("bitwise op on f32"));
+                    }
+                };
+                self.b.emit(instr);
+                Ok(Val { reg: dst, temp: true })
+            }
+            Expr::Un(op, a) => {
+                let va = self.eval(a, scope)?;
+                self.free(va);
+                let dst = self.alloc_temp();
+                let a = va.reg;
+                let instr = match op {
+                    UnOp::Neg => Instr::FNeg { dst, a },
+                    UnOp::Abs => Instr::FAbs { dst, a },
+                    UnOp::Sqrt => Instr::FSqrt { dst, a },
+                    UnOp::Rsqrt => Instr::FRsqrt { dst, a },
+                    UnOp::Sin => Instr::FSin { dst, a },
+                    UnOp::Cos => Instr::FCos { dst, a },
+                    UnOp::Floor => Instr::FFloor { dst, a },
+                    UnOp::F2U => Instr::CvtF2I { dst, a },
+                    UnOp::U2F => Instr::CvtU2F { dst, a },
+                };
+                self.b.emit(instr);
+                Ok(Val { reg: dst, temp: true })
+            }
+            Expr::Cmp(..) | Expr::BoolAnd(..) | Expr::BoolNot(..) => {
+                // Materialize a boolean as 0/1 via select.
+                let p = self.eval_bool(e, scope)?;
+                let one = self.alloc_temp();
+                self.b.mov_imm_u32(one, 1);
+                let zero = self.alloc_temp();
+                self.b.mov_imm_u32(zero, 0);
+                self.temps.push(one);
+                self.temps.push(zero);
+                let dst = self.alloc_temp();
+                self.b.emit(Instr::Sel { dst, cond: p, a: one, b: zero });
+                self.free_pred(p);
+                Ok(Val { reg: dst, temp: true })
+            }
+            Expr::Select(c, a, bb) => {
+                let p = self.eval_bool(c, scope)?;
+                let va = self.eval(a, scope)?;
+                let vb = self.eval(bb, scope)?;
+                self.free(va);
+                self.free(vb);
+                let dst = self.alloc_temp();
+                self.b.emit(Instr::Sel { dst, cond: p, a: va.reg, b: vb.reg });
+                self.free_pred(p);
+                Ok(Val { reg: dst, temp: true })
+            }
+            Expr::Load { addr, offset, .. } => {
+                let va = self.eval(addr, scope)?;
+                self.free(va);
+                let dst = self.alloc_temp();
+                self.b
+                    .emit(Instr::Ld { dst, space: MemSpace::Global, addr: va.reg, offset: *offset });
+                Ok(Val { reg: dst, temp: true })
+            }
+            Expr::BufferBase(n) => {
+                if *n >= MAX_DESCRIPTOR_BINDINGS {
+                    return Err(TranslateError::BindingOutOfRange(*n));
+                }
+                let a = self.alloc_temp();
+                self.b.mov_imm_u32(a, DESCRIPTOR_TABLE_ADDR as u32 + n * 4);
+                self.temps.push(a);
+                let dst = self.alloc_temp();
+                self.b.emit(Instr::Ld { dst, space: MemSpace::Const, addr: a, offset: 0 });
+                Ok(Val { reg: dst, temp: true })
+            }
+            Expr::Builtin(bi) => {
+                let dst = self.alloc_temp();
+                self.b.emit(Instr::RtRead { dst, query: builtin_query(*bi) });
+                Ok(Val { reg: dst, temp: true })
+            }
+            Expr::IntersectionAttr(q) => {
+                let idx = scope
+                    .isect_idx
+                    .ok_or(TranslateError::ReportOutsideIntersection)?;
+                let dst = self.alloc_temp();
+                self.b.emit(Instr::RtReadIdx { dst, query: *q, idx });
+                Ok(Val { reg: dst, temp: true })
+            }
+            Expr::Payload(slot) => {
+                let r = self.payload_reg(scope.depth, *slot)?;
+                Ok(Val { reg: r, temp: false })
+            }
+            Expr::PayloadIn(slot) => {
+                if scope.depth == 0 {
+                    return Err(TranslateError::PayloadInInRayGen);
+                }
+                let r = self.payload_reg(scope.depth - 1, *slot)?;
+                Ok(Val { reg: r, temp: false })
+            }
+        }
+    }
+
+    fn eval_bool(&mut self, e: &Expr, scope: &Scope) -> Result<Pred, TranslateError> {
+        match e {
+            Expr::Cmp(cmp, a, b) => {
+                let ty = self.eval_ty(a, scope);
+                let va = self.eval(a, scope)?;
+                let vb = self.eval(b, scope)?;
+                self.free(va);
+                self.free(vb);
+                let p = self.alloc_pred();
+                match ty {
+                    Ty::F32 => self.b.setp_f(p, *cmp, va.reg, vb.reg),
+                    Ty::U32 => self.b.setp_i(p, *cmp, va.reg, vb.reg),
+                    Ty::Bool => return Err(TranslateError::UnsupportedOp("cmp on bool")),
+                }
+                Ok(p)
+            }
+            Expr::BoolAnd(a, b) => {
+                let pa = self.eval_bool(a, scope)?;
+                let pb = self.eval_bool(b, scope)?;
+                self.free_pred(pa);
+                self.free_pred(pb);
+                let p = self.alloc_pred();
+                self.b.emit(Instr::PredAnd { dst: p, a: pa, b: pb });
+                Ok(p)
+            }
+            Expr::BoolNot(a) => {
+                let pa = self.eval_bool(a, scope)?;
+                self.free_pred(pa);
+                let p = self.alloc_pred();
+                self.b.emit(Instr::PredNot { dst: p, a: pa });
+                Ok(p)
+            }
+            other => {
+                // Non-boolean expression used as condition: compare != 0.
+                let v = self.eval(other, scope)?;
+                self.free(v);
+                let zero = self.alloc_temp();
+                self.b.mov_imm_u32(zero, 0);
+                self.temps.push(zero);
+                let p = self.alloc_pred();
+                self.b.setp_i(p, CmpOp::Ne, v.reg, zero);
+                Ok(p)
+            }
+        }
+    }
+
+    // ---- statement codegen ----
+
+    fn gen_block(&mut self, stmts: &[Stmt], scope: &mut Scope) -> Result<(), TranslateError> {
+        for s in stmts {
+            self.gen_stmt(s, scope)?;
+        }
+        Ok(())
+    }
+
+    fn gen_stmt(&mut self, s: &Stmt, scope: &mut Scope) -> Result<(), TranslateError> {
+        match s {
+            Stmt::Set(var, e) => {
+                let v = self.eval(e, scope)?;
+                let dst = scope.var_regs[var.0 as usize];
+                if v.reg != dst {
+                    self.b.mov(dst, v.reg);
+                }
+                self.free(v);
+            }
+            Stmt::Store { addr, offset, value } => {
+                let va = self.eval(addr, scope)?;
+                let vv = self.eval(value, scope)?;
+                self.b.emit(Instr::St {
+                    src: vv.reg,
+                    space: MemSpace::Global,
+                    addr: va.reg,
+                    offset: *offset,
+                });
+                self.free(va);
+                self.free(vv);
+            }
+            Stmt::SetPayload(slot, e) => {
+                let v = self.eval(e, scope)?;
+                let dst = self.payload_reg(scope.depth, *slot)?;
+                if v.reg != dst {
+                    self.b.mov(dst, v.reg);
+                }
+                self.free(v);
+            }
+            Stmt::SetPayloadIn(slot, e) => {
+                if scope.depth == 0 {
+                    return Err(TranslateError::PayloadInInRayGen);
+                }
+                let v = self.eval(e, scope)?;
+                let dst = self.payload_reg(scope.depth - 1, *slot)?;
+                if v.reg != dst {
+                    self.b.mov(dst, v.reg);
+                }
+                self.free(v);
+            }
+            Stmt::If { cond, then_blk, else_blk } => {
+                let join = self.b.new_label();
+                self.b.ssy(join);
+                let p = self.eval_bool(cond, scope)?;
+                if else_blk.is_empty() {
+                    self.b.bra_if(join, p, false);
+                    self.free_pred(p);
+                    self.gen_block(then_blk, scope)?;
+                } else {
+                    let else_l = self.b.new_label();
+                    self.b.bra_if(else_l, p, false);
+                    self.free_pred(p);
+                    self.gen_block(then_blk, scope)?;
+                    self.b.bra(join);
+                    self.b.bind_label(else_l);
+                    self.gen_block(else_blk, scope)?;
+                }
+                self.b.bind_label(join);
+                self.b.sync();
+            }
+            Stmt::While { cond, body } => {
+                let join = self.b.new_label();
+                let top = self.b.new_label();
+                self.b.ssy(join);
+                self.b.bind_label(top);
+                let p = self.eval_bool(cond, scope)?;
+                self.b.bra_if(join, p, false);
+                self.free_pred(p);
+                self.gen_block(body, scope)?;
+                self.b.bra(top);
+                self.b.bind_label(join);
+                self.b.sync();
+            }
+            Stmt::TraceRay { origin, dir, t_min, t_max, flags, miss_index } => {
+                self.gen_trace_ray(origin, dir, t_min, t_max, flags, *miss_index, scope)?;
+            }
+            Stmt::ReportIntersection { t } => {
+                if scope.kind != ShaderKind::Intersection {
+                    return Err(TranslateError::ReportOutsideIntersection);
+                }
+                let idx = scope
+                    .isect_idx
+                    .ok_or(TranslateError::ReportOutsideIntersection)?;
+                let vt = self.eval(t, scope)?;
+                self.b.emit(Instr::ReportIntersection { t: vt.reg, idx });
+                self.free(vt);
+            }
+        }
+        Ok(())
+    }
+
+    /// Lowers `traceRayEXT` per Algorithm 1 (or Algorithm 3 with FCC).
+    #[allow(clippy::too_many_arguments)]
+    fn gen_trace_ray(
+        &mut self,
+        origin: &[Expr; 3],
+        dir: &[Expr; 3],
+        t_min: &Expr,
+        t_max: &Expr,
+        flags: &Expr,
+        miss_index: u32,
+        scope: &mut Scope,
+    ) -> Result<(), TranslateError> {
+        if scope.depth >= self.pipeline.max_recursion_depth {
+            // Beyond the pipeline's declared recursion bound: Vulkan makes
+            // this undefined; we elide the trace (shaders guard with
+            // RecursionDepth checks).
+            return Ok(());
+        }
+        if miss_index as usize >= self.pipeline.miss.len() {
+            return Err(TranslateError::MissingMissShader(miss_index));
+        }
+
+        // 1. traverseAS()
+        let o: Vec<Val> = origin
+            .iter()
+            .map(|e| self.eval(e, scope))
+            .collect::<Result<_, _>>()?;
+        let d: Vec<Val> = dir
+            .iter()
+            .map(|e| self.eval(e, scope))
+            .collect::<Result<_, _>>()?;
+        let vmin = self.eval(t_min, scope)?;
+        let vmax = self.eval(t_max, scope)?;
+        let vflags = self.eval(flags, scope)?;
+        self.b.emit(Instr::TraverseAs {
+            origin: [o[0].reg, o[1].reg, o[2].reg],
+            dir: [d[0].reg, d[1].reg, d[2].reg],
+            tmin: vmin.reg,
+            tmax: vmax.reg,
+            flags: vflags.reg,
+        });
+        for v in o.into_iter().chain(d).chain([vmin, vmax, vflags]) {
+            self.free(v);
+        }
+
+        let child_depth = scope.depth + 1;
+
+        // 2. Delayed intersection / any-hit loop (lines 2-11).
+        if !self.pipeline.intersection.is_empty() {
+            let idx = self.b.reg(); // loop-carried; not pooled
+            self.b.mov_imm_u32(idx, 0);
+            let one = self.b.reg();
+            self.b.mov_imm_u32(one, 1);
+            let join = self.b.new_label();
+            let top = self.b.new_label();
+            self.b.ssy(join);
+            self.b.bind_label(top);
+            let cont = self.alloc_pred();
+            self.b.emit(Instr::IntersectionValid { dst: cont, idx });
+            self.b.bra_if(join, cont, false);
+            self.free_pred(cont);
+
+            // shaderID <- getIntersectionShaderID() / getNextCoalescedCall()
+            let sid = self.alloc_temp();
+            if self.opts.fcc {
+                self.b.emit(Instr::NextCoalescedCall { dst: sid, idx });
+            } else {
+                self.b.emit(Instr::RtReadIdx {
+                    dst: sid,
+                    query: RtIdxQuery::IntersectionShaderId,
+                    idx,
+                });
+            }
+
+            // if-else-if dispatch over registered intersection shaders.
+            let shaders: Vec<ShaderModule> = self.pipeline.intersection.to_vec();
+            for (i, module) in shaders.iter().enumerate() {
+                let skip = self.b.new_label();
+                self.b.ssy(skip);
+                let id_imm = self.alloc_temp();
+                self.b.mov_imm_u32(id_imm, i as u32);
+                self.temps.push(id_imm);
+                let peq = self.alloc_pred();
+                self.b.setp_i(peq, CmpOp::Eq, sid, id_imm);
+                self.b.bra_if(skip, peq, false);
+                self.free_pred(peq);
+                let mut sub = Scope::for_module(module, child_depth, Some(idx), self);
+                self.gen_block(&module.body, &mut sub)?;
+                self.b.bind_label(skip);
+                self.b.sync();
+            }
+            self.temps.push(sid);
+
+            // Delayed any-hit execution: validate each candidate.
+            if let Some(anyhit) = self.pipeline.any_hit.first().cloned() {
+                let mut sub = Scope::for_module(&anyhit, child_depth, Some(idx), self);
+                self.gen_block(&anyhit.body, &mut sub)?;
+            }
+
+            self.b.emit(Instr::IAdd { dst: idx, a: idx, b: one });
+            self.b.bra(top);
+            self.b.bind_label(join);
+            self.b.sync();
+        }
+
+        // 3. HitGeometry() ? closest-hit dispatch : miss (lines 12-21).
+        let kind = self.alloc_temp();
+        self.b.emit(Instr::RtRead { dst: kind, query: RtQuery::HitKind });
+        let zero = self.alloc_temp();
+        self.b.mov_imm_u32(zero, 0);
+        let phit = self.alloc_pred();
+        self.b.setp_i(phit, CmpOp::Ne, kind, zero);
+        self.temps.push(kind);
+        self.temps.push(zero);
+
+        let join = self.b.new_label();
+        let miss_l = self.b.new_label();
+        self.b.ssy(join);
+        self.b.bra_if(miss_l, phit, false);
+        self.free_pred(phit);
+
+        // Hit side: dispatch closest-hit by SBT shader id.
+        if !self.pipeline.closest_hit.is_empty() {
+            let chid = self.alloc_temp();
+            self.b.emit(Instr::RtRead { dst: chid, query: RtQuery::ClosestHitShaderId });
+            let shaders: Vec<ShaderModule> = self.pipeline.closest_hit.to_vec();
+            let n = shaders.len();
+            for (i, module) in shaders.iter().enumerate() {
+                let last = i + 1 == n;
+                let skip = self.b.new_label();
+                self.b.ssy(skip);
+                if !last {
+                    // if shaderID == closestHitID_i
+                    let id_imm = self.alloc_temp();
+                    self.b.mov_imm_u32(id_imm, i as u32);
+                    self.temps.push(id_imm);
+                    let peq = self.alloc_pred();
+                    self.b.setp_i(peq, CmpOp::Eq, chid, id_imm);
+                    self.b.bra_if(skip, peq, false);
+                    self.free_pred(peq);
+                } else {
+                    // Final else-if arm: ids >= n-1 all land here (clamped),
+                    // keeping dispatch total.
+                    let id_imm = self.alloc_temp();
+                    self.b.mov_imm_u32(id_imm, i as u32);
+                    self.temps.push(id_imm);
+                    let peq = self.alloc_pred();
+                    self.b.setp_i(peq, CmpOp::Ge, chid, id_imm);
+                    self.b.bra_if(skip, peq, false);
+                    self.free_pred(peq);
+                }
+                let mut sub = Scope::for_module(module, child_depth, None, self);
+                self.gen_block(&module.body, &mut sub)?;
+                self.b.bind_label(skip);
+                self.b.sync();
+            }
+            self.temps.push(chid);
+        }
+        self.b.bra(join);
+
+        // Miss side.
+        self.b.bind_label(miss_l);
+        let miss = self.pipeline.miss[miss_index as usize].clone();
+        let mut sub = Scope::for_module(&miss, child_depth, None, self);
+        self.gen_block(&miss.body, &mut sub)?;
+
+        self.b.bind_label(join);
+        self.b.sync();
+
+        // 4. endTraceRay() (line 22).
+        self.b.emit(Instr::EndTraceRay);
+        Ok(())
+    }
+}
+
+fn builtin_query(b: Builtin) -> RtQuery {
+    match b {
+        Builtin::LaunchId(d) => RtQuery::LaunchId(d),
+        Builtin::LaunchSize(d) => RtQuery::LaunchSize(d),
+        Builtin::HitKind => RtQuery::HitKind,
+        Builtin::HitT => RtQuery::HitT,
+        Builtin::HitU => RtQuery::HitU,
+        Builtin::HitV => RtQuery::HitV,
+        Builtin::HitPrimitiveIndex => RtQuery::HitPrimitiveIndex,
+        Builtin::HitInstanceIndex => RtQuery::HitInstanceIndex,
+        Builtin::HitInstanceCustomIndex => RtQuery::HitInstanceCustomIndex,
+        Builtin::HitWorldNormal(d) => RtQuery::HitWorldNormal(d),
+        Builtin::RayOrigin(d) => RtQuery::RayOrigin(d),
+        Builtin::RayDirection(d) => RtQuery::RayDirection(d),
+        Builtin::RayTMin => RtQuery::RayTMin,
+        Builtin::RecursionDepth => RtQuery::RecursionDepth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ShaderBuilder;
+    use vksim_isa::interp::{run_to_exit, RayDesc, RtHooks, ThreadState};
+    use vksim_isa::SimMemory;
+
+    /// Scripted RT runtime: configurable hit result and pending
+    /// intersections; records calls.
+    #[derive(Debug, Default)]
+    struct ScriptRt {
+        hit_kind: u32,
+        hit_t: f32,
+        closest_hit_shader: u32,
+        pending_shader_ids: Vec<u32>,
+        traversals: Vec<RayDesc>,
+        reports: Vec<(u32, f32)>,
+        end_count: u32,
+        depth: u32,
+    }
+
+    impl RtHooks for ScriptRt {
+        fn traverse(&mut self, _tid: usize, ray: RayDesc) {
+            self.traversals.push(ray);
+            self.depth += 1;
+        }
+        fn end_trace(&mut self, _tid: usize) {
+            self.end_count += 1;
+            self.depth -= 1;
+        }
+        fn alloc_mem(&mut self, _tid: usize, _size: u32) -> u64 {
+            0x6000_0000
+        }
+        fn query(&mut self, _tid: usize, q: RtQuery) -> u32 {
+            match q {
+                RtQuery::HitKind => self.hit_kind,
+                RtQuery::HitT => self.hit_t.to_bits(),
+                RtQuery::ClosestHitShaderId => self.closest_hit_shader,
+                RtQuery::LaunchId(0) => 7,
+                RtQuery::RecursionDepth => self.depth,
+                _ => 0,
+            }
+        }
+        fn query_idx(&mut self, _tid: usize, q: RtIdxQuery, idx: u32) -> u32 {
+            match q {
+                RtIdxQuery::IntersectionShaderId => self.pending_shader_ids[idx as usize],
+                RtIdxQuery::IntersectionPrimitiveIndex => 40 + idx,
+                RtIdxQuery::IntersectionTEnter => (idx as f32).to_bits(),
+                _ => 0,
+            }
+        }
+        fn intersection_valid(&mut self, _tid: usize, idx: u32) -> bool {
+            (idx as usize) < self.pending_shader_ids.len()
+        }
+        fn next_coalesced_call(&mut self, _tid: usize, idx: u32) -> u32 {
+            self.pending_shader_ids.get(idx as usize).copied().unwrap_or(u32::MAX)
+        }
+        fn report_intersection(&mut self, _tid: usize, idx: u32, t: f32) {
+            self.reports.push((idx, t));
+        }
+    }
+
+    fn run_pipeline(p: &PipelineShaders, rt: &mut ScriptRt) -> (ThreadState, SimMemory) {
+        let prog = translate(p, &TranslateOptions::default()).expect("translate");
+        let mut t = ThreadState::new(prog.num_regs());
+        t.preds = vec![false; prog.num_preds().max(1) as usize];
+        let mut m = SimMemory::new();
+        run_to_exit(&prog, &mut t, &mut m, rt).expect("run");
+        (t, m)
+    }
+
+    fn trace_stmt_raygen(out_addr: u32) -> ShaderModule {
+        let mut b = ShaderBuilder::new(ShaderKind::RayGen);
+        b.trace_ray(
+            [b.c_f32(0.0), b.c_f32(0.0), b.c_f32(0.0)],
+            [b.c_f32(0.0), b.c_f32(0.0), b.c_f32(1.0)],
+            b.c_f32(0.001),
+            b.c_f32(1e30),
+            b.c_u32(0),
+            0,
+        );
+        // Store payload slot 0 to memory so the test can observe it.
+        let a = b.var_u32(b.c_u32(out_addr));
+        b.store(b.v(a), 0, b.payload(0));
+        b.finish()
+    }
+
+    fn const_miss(value: f32) -> ShaderModule {
+        let mut b = ShaderBuilder::new(ShaderKind::Miss);
+        b.set_payload_in(0, b.c_f32(value));
+        b.finish()
+    }
+
+    fn const_chit(value: f32) -> ShaderModule {
+        let mut b = ShaderBuilder::new(ShaderKind::ClosestHit);
+        b.set_payload_in(0, b.c_f32(value));
+        b.finish()
+    }
+
+    #[test]
+    fn miss_path_runs_miss_shader() {
+        let p = PipelineShaders {
+            raygen: trace_stmt_raygen(0x1000),
+            miss: vec![const_miss(9.5)],
+            closest_hit: vec![const_chit(3.25)],
+            intersection: vec![],
+            any_hit: vec![],
+            max_recursion_depth: 1,
+        };
+        let mut rt = ScriptRt { hit_kind: 0, ..Default::default() };
+        let (_, m) = run_pipeline(&p, &mut rt);
+        assert_eq!(m.read_f32(0x1000), 9.5);
+        assert_eq!(rt.end_count, 1);
+        assert_eq!(rt.traversals.len(), 1);
+    }
+
+    #[test]
+    fn hit_path_runs_closest_hit() {
+        let p = PipelineShaders {
+            raygen: trace_stmt_raygen(0x1000),
+            miss: vec![const_miss(9.5)],
+            closest_hit: vec![const_chit(3.25)],
+            intersection: vec![],
+            any_hit: vec![],
+            max_recursion_depth: 1,
+        };
+        let mut rt = ScriptRt { hit_kind: 1, ..Default::default() };
+        let (_, m) = run_pipeline(&p, &mut rt);
+        assert_eq!(m.read_f32(0x1000), 3.25);
+    }
+
+    #[test]
+    fn closest_hit_dispatch_by_shader_id() {
+        let p = PipelineShaders {
+            raygen: trace_stmt_raygen(0x1000),
+            miss: vec![const_miss(0.0)],
+            closest_hit: vec![const_chit(1.0), const_chit(2.0), const_chit(3.0)],
+            intersection: vec![],
+            any_hit: vec![],
+            max_recursion_depth: 1,
+        };
+        for (id, expect) in [(0u32, 1.0f32), (1, 2.0), (2, 3.0), (7, 3.0)] {
+            let mut rt = ScriptRt { hit_kind: 1, closest_hit_shader: id, ..Default::default() };
+            let (_, m) = run_pipeline(&p, &mut rt);
+            assert_eq!(m.read_f32(0x1000), expect, "shader id {id}");
+        }
+    }
+
+    #[test]
+    fn intersection_loop_visits_all_pending() {
+        // Intersection shader 0 reports t = primitive index; shader 1
+        // reports nothing.
+        let mut i0 = ShaderBuilder::new(ShaderKind::Intersection);
+        let prim = i0.intersection_attr(RtIdxQuery::IntersectionPrimitiveIndex);
+        i0.report_intersection(prim.to_f32());
+        let mut i1 = ShaderBuilder::new(ShaderKind::Intersection);
+        let _ = i1.intersection_attr(RtIdxQuery::IntersectionShaderId);
+        let p = PipelineShaders {
+            raygen: trace_stmt_raygen(0x1000),
+            miss: vec![const_miss(0.0)],
+            closest_hit: vec![const_chit(1.0)],
+            intersection: vec![i0.finish(), i1.finish()],
+            any_hit: vec![],
+            max_recursion_depth: 1,
+        };
+        let mut rt = ScriptRt {
+            hit_kind: 0,
+            pending_shader_ids: vec![0, 1, 0, 0],
+            ..Default::default()
+        };
+        let (_, _) = run_pipeline(&p, &mut rt);
+        // Shader 0 ran for candidates 0, 2, 3 (prim index = 40 + idx).
+        assert_eq!(rt.reports, vec![(0, 40.0), (2, 42.0), (3, 43.0)]);
+    }
+
+    #[test]
+    fn fcc_mode_uses_coalesced_call() {
+        let mut i0 = ShaderBuilder::new(ShaderKind::Intersection);
+        let prim = i0.intersection_attr(RtIdxQuery::IntersectionPrimitiveIndex);
+        i0.report_intersection(prim.to_f32());
+        let p = PipelineShaders {
+            raygen: trace_stmt_raygen(0x1000),
+            miss: vec![const_miss(0.0)],
+            closest_hit: vec![const_chit(1.0)],
+            intersection: vec![i0.finish()],
+            any_hit: vec![],
+            max_recursion_depth: 1,
+        };
+        let prog = translate(&p, &TranslateOptions { fcc: true }).unwrap();
+        assert!(
+            prog.instrs()
+                .iter()
+                .any(|i| matches!(i, Instr::NextCoalescedCall { .. })),
+            "FCC lowering must use getNextCoalescedCall"
+        );
+        let baseline = translate(&p, &TranslateOptions::default()).unwrap();
+        assert!(
+            !baseline
+                .instrs()
+                .iter()
+                .any(|i| matches!(i, Instr::NextCoalescedCall { .. })),
+            "baseline must not"
+        );
+    }
+
+    #[test]
+    fn recursion_inlines_to_declared_depth() {
+        // Closest-hit traces again (shadow-style); depth 2 pipeline inlines
+        // one nested trace; deeper traces are elided.
+        let mut ch = ShaderBuilder::new(ShaderKind::ClosestHit);
+        ch.trace_ray(
+            [ch.c_f32(0.0), ch.c_f32(0.0), ch.c_f32(0.0)],
+            [ch.c_f32(0.0), ch.c_f32(1.0), ch.c_f32(0.0)],
+            ch.c_f32(0.001),
+            ch.c_f32(1e30),
+            ch.c_u32(1),
+            0,
+        );
+        ch.set_payload_in(0, ch.c_f32(5.0));
+        let p = PipelineShaders {
+            raygen: trace_stmt_raygen(0x1000),
+            miss: vec![const_miss(1.0)],
+            closest_hit: vec![ch.finish()],
+            intersection: vec![],
+            any_hit: vec![],
+            max_recursion_depth: 2,
+        };
+        let prog = translate(&p, &TranslateOptions::default()).unwrap();
+        let traces = prog.instrs().iter().filter(|i| i.is_trace_ray()).count();
+        assert_eq!(traces, 2, "outer + one inlined nested trace");
+        // Depth 1 pipeline elides the nested trace.
+        let p1 = PipelineShaders { max_recursion_depth: 1, ..p };
+        let prog1 = translate(&p1, &TranslateOptions::default()).unwrap();
+        assert_eq!(prog1.instrs().iter().filter(|i| i.is_trace_ray()).count(), 1);
+    }
+
+    #[test]
+    fn nested_trace_runs_and_pops_frames() {
+        let mut ch = ShaderBuilder::new(ShaderKind::ClosestHit);
+        ch.trace_ray(
+            [ch.c_f32(0.0), ch.c_f32(0.0), ch.c_f32(0.0)],
+            [ch.c_f32(0.0), ch.c_f32(1.0), ch.c_f32(0.0)],
+            ch.c_f32(0.001),
+            ch.c_f32(1e30),
+            ch.c_u32(1),
+            0,
+        );
+        // Forward nested payload result + 100 to our caller.
+        ch.set_payload_in(0, ch.payload(0) + ch.c_f32(100.0));
+        let p = PipelineShaders {
+            raygen: trace_stmt_raygen(0x1000),
+            miss: vec![const_miss(7.0)],
+            closest_hit: vec![ch.finish()],
+            intersection: vec![],
+            any_hit: vec![],
+            max_recursion_depth: 2,
+        };
+        // First trace hits, nested trace misses -> 7 + 100.
+        struct SeqRt(ScriptRt, u32);
+        impl RtHooks for SeqRt {
+            fn traverse(&mut self, tid: usize, ray: RayDesc) {
+                self.0.hit_kind = if self.1 == 0 { 1 } else { 0 };
+                self.1 += 1;
+                self.0.traverse(tid, ray)
+            }
+            fn end_trace(&mut self, tid: usize) {
+                self.0.end_trace(tid)
+            }
+            fn alloc_mem(&mut self, tid: usize, s: u32) -> u64 {
+                self.0.alloc_mem(tid, s)
+            }
+            fn query(&mut self, tid: usize, q: RtQuery) -> u32 {
+                self.0.query(tid, q)
+            }
+            fn query_idx(&mut self, tid: usize, q: RtIdxQuery, i: u32) -> u32 {
+                self.0.query_idx(tid, q, i)
+            }
+            fn intersection_valid(&mut self, tid: usize, i: u32) -> bool {
+                self.0.intersection_valid(tid, i)
+            }
+            fn next_coalesced_call(&mut self, tid: usize, i: u32) -> u32 {
+                self.0.next_coalesced_call(tid, i)
+            }
+            fn report_intersection(&mut self, tid: usize, i: u32, t: f32) {
+                self.0.report_intersection(tid, i, t)
+            }
+        }
+        let prog = translate(&p, &TranslateOptions::default()).unwrap();
+        let mut t = ThreadState::new(prog.num_regs());
+        t.preds = vec![false; prog.num_preds().max(1) as usize];
+        let mut m = SimMemory::new();
+        let mut rt = SeqRt(ScriptRt::default(), 0);
+        run_to_exit(&prog, &mut t, &mut m, &mut rt).unwrap();
+        assert_eq!(m.read_f32(0x1000), 107.0);
+        assert_eq!(rt.0.end_count, 2);
+    }
+
+    #[test]
+    fn payload_in_raygen_rejected() {
+        let mut b = ShaderBuilder::new(ShaderKind::RayGen);
+        b.set_payload_in(0, b.c_f32(0.0));
+        let p = PipelineShaders::raygen_only(b.finish());
+        assert_eq!(
+            translate(&p, &TranslateOptions::default()),
+            Err(TranslateError::PayloadInInRayGen)
+        );
+    }
+
+    #[test]
+    fn report_outside_intersection_rejected() {
+        let mut b = ShaderBuilder::new(ShaderKind::RayGen);
+        b.report_intersection(b.c_f32(1.0));
+        let p = PipelineShaders::raygen_only(b.finish());
+        assert_eq!(
+            translate(&p, &TranslateOptions::default()),
+            Err(TranslateError::ReportOutsideIntersection)
+        );
+    }
+
+    #[test]
+    fn missing_miss_shader_rejected() {
+        let p = PipelineShaders {
+            raygen: trace_stmt_raygen(0x1000),
+            miss: vec![],
+            closest_hit: vec![],
+            intersection: vec![],
+            any_hit: vec![],
+            max_recursion_depth: 1,
+        };
+        assert_eq!(
+            translate(&p, &TranslateOptions::default()),
+            Err(TranslateError::MissingMissShader(0))
+        );
+    }
+
+    #[test]
+    fn wrong_stage_rejected() {
+        let m = const_miss(0.0);
+        let p = PipelineShaders {
+            raygen: trace_stmt_raygen(0x1000),
+            miss: vec![const_miss(0.0)],
+            closest_hit: vec![m], // a Miss module in a closest-hit slot
+            intersection: vec![],
+            any_hit: vec![],
+            max_recursion_depth: 1,
+        };
+        assert!(matches!(
+            translate(&p, &TranslateOptions::default()),
+            Err(TranslateError::WrongStage { .. })
+        ));
+    }
+
+    #[test]
+    fn control_flow_if_else_executes_correct_arm() {
+        let mut b = ShaderBuilder::new(ShaderKind::RayGen);
+        let x = b.var_f32(b.c_f32(2.0));
+        let out = b.var_u32(b.c_u32(0x2000));
+        b.if_else(
+            b.v(x).gt(b.c_f32(1.0)),
+            |b| b.store(b.v(out), 0, b.c_f32(111.0)),
+            |b| b.store(b.v(out), 0, b.c_f32(222.0)),
+        );
+        let p = PipelineShaders::raygen_only(b.finish());
+        let mut rt = ScriptRt::default();
+        let (_, m) = run_pipeline(&p, &mut rt);
+        assert_eq!(m.read_f32(0x2000), 111.0);
+    }
+
+    #[test]
+    fn while_loop_translates_and_runs() {
+        let mut b = ShaderBuilder::new(ShaderKind::RayGen);
+        let i = b.var_u32(b.c_u32(0));
+        let acc = b.var_f32(b.c_f32(0.0));
+        b.while_(b.v(i).lt(b.c_u32(5)), |b| {
+            b.set(acc, b.v(acc) + b.c_f32(2.0));
+            b.set(i, b.v(i) + b.c_u32(1));
+        });
+        let out = b.var_u32(b.c_u32(0x3000));
+        b.store(b.v(out), 0, b.v(acc));
+        let p = PipelineShaders::raygen_only(b.finish());
+        let mut rt = ScriptRt::default();
+        let (_, m) = run_pipeline(&p, &mut rt);
+        assert_eq!(m.read_f32(0x3000), 10.0);
+    }
+
+    #[test]
+    fn buffer_base_reads_descriptor_table() {
+        let mut b = ShaderBuilder::new(ShaderKind::RayGen);
+        let base = b.var_u32(b.buffer_base(2));
+        b.store(b.v(base), 0, b.c_f32(5.0));
+        let p = PipelineShaders::raygen_only(b.finish());
+        let prog = translate(&p, &TranslateOptions::default()).unwrap();
+        let mut t = ThreadState::new(prog.num_regs());
+        t.preds = vec![false; prog.num_preds().max(1) as usize];
+        let mut m = SimMemory::new();
+        m.write_u32(DESCRIPTOR_TABLE_ADDR + 8, 0x4440);
+        let mut rt = ScriptRt::default();
+        run_to_exit(&prog, &mut t, &mut m, &mut rt).unwrap();
+        assert_eq!(m.read_f32(0x4440), 5.0);
+    }
+
+    #[test]
+    fn instruction_mix_is_mostly_alu() {
+        // A raygen with realistic math should be ALU-dominated like the
+        // paper's measured 60% ALU share.
+        let mut b = ShaderBuilder::new(ShaderKind::RayGen);
+        let x = b.var_f32(b.launch_id(0).to_f32());
+        let y = b.var_f32(b.launch_id(1).to_f32());
+        let d = b.var_f32((b.v(x) * b.v(x) + b.v(y) * b.v(y)).sqrt());
+        let out = b.var_u32(b.c_u32(0x100));
+        b.store(b.v(out), 0, b.v(d));
+        let p = PipelineShaders::raygen_only(b.finish());
+        let prog = translate(&p, &TranslateOptions::default()).unwrap();
+        let alu = prog
+            .instrs()
+            .iter()
+            .filter(|i| i.class() == vksim_isa::op::InstClass::Alu)
+            .count();
+        assert!(alu * 2 > prog.len(), "ALU should dominate: {alu}/{}", prog.len());
+    }
+}

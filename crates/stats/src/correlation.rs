@@ -1,0 +1,107 @@
+//! Correlation and regression helpers for the hardware-correlation studies.
+//!
+//! The paper reports a Pearson correlation of 95.7% and a trendline slope of
+//! 2.58 between simulator and RTX 2080 SUPER cycle counts (Fig. 11), and
+//! tunes configurations until the slope drops to 0.88 (Fig. 19). These
+//! helpers compute both numbers.
+
+/// Pearson product-moment correlation coefficient of two equal-length series.
+///
+/// Returns `None` if the series are shorter than 2 points, have different
+/// lengths, or either has zero variance.
+///
+/// # Example
+///
+/// ```
+/// use vksim_stats::pearson;
+/// let r = pearson(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]).unwrap();
+/// assert!((r - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// Least-squares slope of `y = slope * x` **through the origin**, the form
+/// used for the paper's cycle-count trendlines (a zero-cycle workload takes
+/// zero cycles on both series).
+///
+/// Returns `None` on mismatched/empty input or all-zero `xs`.
+pub fn least_squares_slope(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.is_empty() {
+        return None;
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    Some(sxy / sxx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_correlation() {
+        let r = pearson(&[1.0, 2.0, 4.0], &[3.0, 6.0, 12.0]).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative_correlation() {
+        let r = pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]).unwrap();
+        assert!((r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_series() {
+        let r = pearson(&[1.0, 2.0, 3.0, 4.0], &[1.0, -1.0, 1.0, -1.0]).unwrap();
+        assert!(r.abs() < 0.5);
+    }
+
+    #[test]
+    fn degenerate_inputs_return_none() {
+        assert!(pearson(&[1.0], &[2.0]).is_none());
+        assert!(pearson(&[1.0, 2.0], &[2.0]).is_none());
+        assert!(pearson(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn slope_through_origin() {
+        let s = least_squares_slope(&[1.0, 2.0, 3.0], &[2.58, 5.16, 7.74]).unwrap();
+        assert!((s - 2.58).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_with_noise_is_near_true_slope() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        let ys = [21.0, 39.0, 62.0, 79.0];
+        let s = least_squares_slope(&xs, &ys).unwrap();
+        assert!((s - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn slope_degenerate_inputs() {
+        assert!(least_squares_slope(&[], &[]).is_none());
+        assert!(least_squares_slope(&[0.0, 0.0], &[1.0, 2.0]).is_none());
+        assert!(least_squares_slope(&[1.0], &[1.0, 2.0]).is_none());
+    }
+}

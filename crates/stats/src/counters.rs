@@ -1,0 +1,192 @@
+//! Named event counters.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A bag of named `u64` event counters.
+///
+/// Counters are created lazily on first increment and iterate in name order,
+/// which keeps simulator reports deterministic.
+///
+/// # Example
+///
+/// ```
+/// use vksim_stats::Counters;
+/// let mut c = Counters::new();
+/// c.add("l1d_hit", 3);
+/// c.inc("l1d_hit");
+/// assert_eq!(c.get("l1d_hit"), 4);
+/// assert_eq!(c.get("never_touched"), 0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    values: BTreeMap<String, u64>,
+}
+
+impl Counters {
+    /// Creates an empty counter bag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` to counter `name`, creating it if needed.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.values.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Increments counter `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Current value of `name` (0 if never incremented).
+    pub fn get(&self, name: &str) -> u64 {
+        self.values.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.values
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Merges another counter bag into this one.
+    pub fn merge(&mut self, other: &Counters) {
+        for (k, v) in &other.values {
+            *self.values.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Iterates `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if no counter was ever incremented.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Ratio `num / (num + den)` as a fraction in `[0, 1]`; returns 0 when
+    /// both are zero. Convenient for hit rates.
+    pub fn ratio(&self, num: &str, den: &str) -> f64 {
+        let n = self.get(num) as f64;
+        let d = self.get(den) as f64;
+        if n + d == 0.0 {
+            0.0
+        } else {
+            n / (n + d)
+        }
+    }
+}
+
+impl fmt::Display for Counters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.values.is_empty() {
+            return writeln!(f, "(no counters)");
+        }
+        for (k, v) in &self.values {
+            writeln!(f, "{k} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl<'a> Extend<(&'a str, u64)> for Counters {
+    fn extend<T: IntoIterator<Item = (&'a str, u64)>>(&mut self, iter: T) {
+        for (k, v) in iter {
+            self.add(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut c = Counters::new();
+        c.add("a", 2);
+        c.add("a", 3);
+        c.inc("b");
+        assert_eq!(c.get("a"), 5);
+        assert_eq!(c.get("b"), 1);
+        assert_eq!(c.get("missing"), 0);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_add_does_not_create_counter() {
+        let mut c = Counters::new();
+        c.add("z", 0);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn prefix_sum() {
+        let mut c = Counters::new();
+        c.add("l1.hit", 4);
+        c.add("l1.miss", 6);
+        c.add("l2.hit", 10);
+        assert_eq!(c.sum_prefix("l1."), 10);
+        assert_eq!(c.sum_prefix("l2."), 10);
+        assert_eq!(c.sum_prefix("l3."), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Counters::new();
+        a.add("x", 1);
+        let mut b = Counters::new();
+        b.add("x", 2);
+        b.add("y", 3);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        assert_eq!(a.get("y"), 3);
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        let mut c = Counters::new();
+        assert_eq!(c.ratio("hit", "miss"), 0.0);
+        c.add("hit", 3);
+        c.add("miss", 1);
+        assert!((c.ratio("hit", "miss") - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut c = Counters::new();
+        c.inc("zeta");
+        c.inc("alpha");
+        let names: Vec<&str> = c.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn display_lists_counters() {
+        let mut c = Counters::new();
+        c.add("cycles", 42);
+        assert!(c.to_string().contains("cycles = 42"));
+        assert!(!Counters::new().to_string().is_empty());
+    }
+
+    #[test]
+    fn extend_from_pairs() {
+        let mut c = Counters::new();
+        c.extend([("a", 1u64), ("b", 2u64)]);
+        assert_eq!(c.get("b"), 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Roofline model for the RT unit (paper §VI-A, Fig. 12).
+//!
+//! The paper adapts the classic roofline model to ray tracing: *operations*
+//! are intersection tests and ray transformations, *operational intensity*
+//! is operations per cache block fetched, and *performance* is operations
+//! per cycle, bounded above by `units × pipeline stages` (compute roof) and
+//! by one cache block per cycle times intensity (memory roof).
+
+/// One workload's position on the roofline plot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RooflinePoint {
+    /// Operations (box/tri/transform) per cache block fetched.
+    pub operational_intensity: f64,
+    /// Achieved operations per cycle.
+    pub performance: f64,
+}
+
+/// The roofline itself: a compute roof and a memory-bandwidth roof.
+///
+/// # Example
+///
+/// ```
+/// use vksim_stats::{Roofline, RooflinePoint};
+/// // 32 units x 4 stages, 1 block/cycle.
+/// let r = Roofline::new(128.0, 1.0);
+/// let p = RooflinePoint { operational_intensity: 4.0, performance: 2.0 };
+/// assert_eq!(r.bound_at(4.0), 4.0); // memory bound region
+/// assert!(r.is_memory_bound(&p));
+/// assert!(r.utilization(&p) < 1.0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Roofline {
+    /// Peak operations per cycle (# units × # pipeline stages).
+    pub compute_roof: f64,
+    /// Peak cache blocks fetched per cycle.
+    pub blocks_per_cycle: f64,
+}
+
+impl Roofline {
+    /// Creates a roofline from its two roofs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either roof is not strictly positive.
+    pub fn new(compute_roof: f64, blocks_per_cycle: f64) -> Self {
+        assert!(compute_roof > 0.0 && blocks_per_cycle > 0.0, "roofs must be positive");
+        Roofline { compute_roof, blocks_per_cycle }
+    }
+
+    /// Attainable performance at a given operational intensity:
+    /// `min(compute_roof, intensity * blocks_per_cycle)`.
+    pub fn bound_at(&self, operational_intensity: f64) -> f64 {
+        (operational_intensity * self.blocks_per_cycle).min(self.compute_roof)
+    }
+
+    /// The ridge point intensity where the two roofs meet.
+    pub fn ridge_intensity(&self) -> f64 {
+        self.compute_roof / self.blocks_per_cycle
+    }
+
+    /// `true` when the point sits left of the ridge (memory-bound region).
+    pub fn is_memory_bound(&self, p: &RooflinePoint) -> bool {
+        p.operational_intensity < self.ridge_intensity()
+    }
+
+    /// Fraction of the attainable bound the point achieves, in `[0, 1]` for
+    /// model-consistent data.
+    pub fn utilization(&self, p: &RooflinePoint) -> f64 {
+        let bound = self.bound_at(p.operational_intensity);
+        if bound == 0.0 {
+            0.0
+        } else {
+            p.performance / bound
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_transitions_at_ridge() {
+        let r = Roofline::new(100.0, 2.0);
+        assert_eq!(r.ridge_intensity(), 50.0);
+        assert_eq!(r.bound_at(10.0), 20.0); // memory roof
+        assert_eq!(r.bound_at(50.0), 100.0); // ridge
+        assert_eq!(r.bound_at(500.0), 100.0); // compute roof
+    }
+
+    #[test]
+    fn memory_vs_compute_bound_classification() {
+        let r = Roofline::new(100.0, 2.0);
+        let mem = RooflinePoint { operational_intensity: 10.0, performance: 5.0 };
+        let comp = RooflinePoint { operational_intensity: 90.0, performance: 50.0 };
+        assert!(r.is_memory_bound(&mem));
+        assert!(!r.is_memory_bound(&comp));
+    }
+
+    #[test]
+    fn utilization_fraction() {
+        let r = Roofline::new(100.0, 1.0);
+        let p = RooflinePoint { operational_intensity: 10.0, performance: 5.0 };
+        assert!((r.utilization(&p) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_roof_panics() {
+        let _ = Roofline::new(0.0, 1.0);
+    }
+}

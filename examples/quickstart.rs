@@ -1,0 +1,57 @@
+//! Quickstart: simulate the TRI workload (a single ray-traced triangle, the
+//! "hello world" of Vulkan ray tracing) on the cycle-level GPU model and
+//! dump the rendered image plus headline statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use vksim_core::report::instruction_mix;
+use vksim_core::validate::{read_framebuffer, to_ppm};
+use vksim_core::{SimConfig, Simulator};
+use vksim_scenes::{build, Scale, WorkloadKind};
+
+fn main() {
+    // 1. Build the workload: scene geometry + acceleration structure +
+    //    shaders, all behind the Vulkan-like device API.
+    let workload = build(WorkloadKind::Tri, Scale::Test);
+    println!(
+        "workload {} — {} primitives, BVH depth {}, {}x{} rays",
+        workload.name,
+        workload.primitive_count,
+        workload.bvh_depth,
+        workload.width,
+        workload.height
+    );
+
+    // 2. Run it on the timing model (2 SMs keeps the quickstart snappy).
+    let mut sim = Simulator::new(SimConfig::test_small());
+    let report = sim.run(&workload.device, &workload.cmd);
+
+    // 3. Inspect the paper's headline quantities.
+    println!("cycles              : {}", report.gpu.cycles);
+    println!("rays traced         : {}", report.runtime.rays);
+    println!("avg nodes per ray   : {:.1}", report.runtime.avg_nodes_per_ray());
+    println!("SIMT efficiency     : {:.1}%", report.gpu.simt_efficiency * 100.0);
+    println!("RT-unit SIMT eff.   : {:.1}%", report.gpu.rt_simt_efficiency * 100.0);
+    println!("DRAM efficiency     : {:.1}%", report.gpu.dram_efficiency * 100.0);
+    let mix = instruction_mix(&report.gpu);
+    println!(
+        "instruction mix     : ALU {:.0}%  MEM {:.0}%  trace-ray {:.2}%",
+        mix.alu * 100.0,
+        mix.mem * 100.0,
+        mix.trace_ray * 100.0
+    );
+    println!("avg power           : {:.1} W", report.power.avg_power_w);
+
+    // 4. Save the rendered frame.
+    let pixels = read_framebuffer(
+        &report.memory,
+        workload.fb_addr,
+        (workload.width * workload.height) as usize,
+    );
+    let ppm = to_ppm(&pixels, workload.width, workload.height);
+    let path = std::env::temp_dir().join("vksim_quickstart.ppm");
+    std::fs::write(&path, ppm).expect("write image");
+    println!("image written to    : {}", path.display());
+}

@@ -1,0 +1,40 @@
+//! Renders all five evaluation workloads with the functional simulator and
+//! writes PPM images (the Table IV gallery), printing each scene's
+//! characterization row.
+//!
+//! ```text
+//! cargo run --release --example render_gallery [--small]
+//! ```
+
+use vksim_core::validate::{read_framebuffer, to_ppm};
+use vksim_core::{SimConfig, Simulator};
+use vksim_scenes::{build, Scale, WorkloadKind};
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--small") {
+        Scale::Small
+    } else {
+        Scale::Test
+    };
+    println!(
+        "{:<6} {:>10} {:>10} {:>14} {:>9}",
+        "scene", "prims", "BVH depth", "avg nodes/ray", "rays"
+    );
+    for kind in WorkloadKind::ALL {
+        let w = build(kind, scale);
+        let mut sim = Simulator::new(SimConfig::test_small());
+        let (mem, stats) = sim.run_functional(&w.device, &w.cmd);
+        println!(
+            "{:<6} {:>10} {:>10} {:>14.1} {:>9}",
+            w.name,
+            w.primitive_count,
+            w.bvh_depth,
+            stats.avg_nodes_per_ray(),
+            stats.rays
+        );
+        let img = read_framebuffer(&mem, w.fb_addr, (w.width * w.height) as usize);
+        let path = std::env::temp_dir().join(format!("vksim_{}.ppm", w.name.to_lowercase()));
+        std::fs::write(&path, to_ppm(&img, w.width, w.height)).expect("write image");
+        println!("       -> {}", path.display());
+    }
+}

@@ -1,0 +1,60 @@
+//! Architecture exploration: sweep the RT unit's concurrent-warp limit and
+//! the memory configuration — the kind of study the paper built Vulkan-Sim
+//! for (Figs. 15 and 16, and the §VI-G observation that real hardware may
+//! support only one warp per RT core).
+//!
+//! ```text
+//! cargo run --release --example rtunit_explorer
+//! ```
+
+use vksim_core::{MemoryMode, SimConfig, Simulator};
+use vksim_scenes::{build, Scale, WorkloadKind};
+
+fn main() {
+    let w = build(WorkloadKind::Ext, Scale::Test);
+    println!(
+        "EXT: {} primitives, BVH depth {}\n",
+        w.primitive_count, w.bvh_depth
+    );
+
+    println!("== RT-unit concurrent-warp sweep (Fig. 16) ==");
+    println!("{:>6} {:>10} {:>9} {:>10} {:>10}", "warps", "cycles", "speedup", "dram eff", "dram util");
+    let mut base_cycles = None;
+    for warps in [1usize, 2, 4, 8, 12, 16, 20] {
+        let r = Simulator::new(SimConfig::test_small().with_rt_max_warps(warps))
+            .run(&w.device, &w.cmd);
+        let base = *base_cycles.get_or_insert(r.gpu.cycles as f64);
+        println!(
+            "{:>6} {:>10} {:>8.2}x {:>9.1}% {:>9.1}%",
+            warps,
+            r.gpu.cycles,
+            base / r.gpu.cycles as f64,
+            r.gpu.dram_efficiency * 100.0,
+            r.gpu.dram_utilization * 100.0
+        );
+    }
+
+    println!("\n== Memory configurations (Fig. 15) ==");
+    let modes = [
+        ("baseline", MemoryMode::Baseline),
+        ("rt-cache", MemoryMode::RtCache),
+        ("perfect-bvh", MemoryMode::PerfectBvh),
+        ("perfect-mem", MemoryMode::PerfectMem),
+    ];
+    let base = Simulator::new(SimConfig::test_small()).run(&w.device, &w.cmd).gpu.cycles as f64;
+    for (name, mode) in modes {
+        let r = Simulator::new(SimConfig::test_small().with_memory_mode(mode))
+            .run(&w.device, &w.cmd);
+        println!("  {name:<12} {:>9} cycles ({:.2}x baseline)", r.gpu.cycles, r.gpu.cycles as f64 / base);
+    }
+
+    println!("\n== Divergence handling (Fig. 17 right) ==");
+    for (name, its) in [("simt-stack", false), ("its-multipath", true)] {
+        let r = Simulator::new(SimConfig::test_small().with_its(its)).run(&w.device, &w.cmd);
+        println!(
+            "  {name:<14} {:>9} cycles, RT occupancy {:.2} warps",
+            r.gpu.cycles,
+            r.gpu.rt_resident_warp_cycles as f64 / r.gpu.rt_busy_cycles.max(1) as f64
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests on core data structures and invariants.
+
+use proptest::prelude::*;
+use vksim_bvh::geometry::Triangle;
+use vksim_bvh::traversal::{traverse, TraversalConfig};
+use vksim_bvh::{Blas, Instance, Tlas};
+use vksim_math::{intersect, Aabb, Mat4x3, Ray, Vec3};
+
+fn arb_vec3(range: f32) -> impl Strategy<Value = Vec3> {
+    (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn arb_triangle() -> impl Strategy<Value = Triangle> {
+    (arb_vec3(10.0), arb_vec3(10.0), arb_vec3(10.0))
+        .prop_map(|(a, b, c)| Triangle::new(a, b, c))
+}
+
+proptest! {
+    /// Any committed hit from BVH traversal must be reproducible by a
+    /// brute-force test over all triangles, with the same t (the BVH is an
+    /// exact accelerator, never an approximation).
+    #[test]
+    fn traversal_matches_brute_force(
+        tris in proptest::collection::vec(arb_triangle(), 1..40),
+        origin in arb_vec3(20.0),
+        dir in arb_vec3(1.0).prop_filter("nonzero", |d| d.length() > 1e-3),
+    ) {
+        let blas = Blas::from_triangles(&tris);
+        let tlas = Tlas::build(vec![Instance::new(0, Mat4x3::IDENTITY)], &[&blas]);
+        let ray = Ray::with_interval(origin, dir, 1e-3, 1e30);
+        let cfg = TraversalConfig { record_events: false, ..Default::default() };
+        let result = traverse(&tlas, &[&blas], &ray, &cfg);
+
+        let mut best: Option<f32> = None;
+        for t in &tris {
+            if let Some(h) = intersect::ray_triangle(&ray, t.v0, t.v1, t.v2) {
+                best = Some(best.map_or(h.t, |b: f32| b.min(h.t)));
+            }
+        }
+        match (result.closest, best) {
+            (Some(h), Some(t)) => prop_assert!((h.t - t).abs() < 1e-3,
+                "bvh t {} vs brute force {}", h.t, t),
+            (None, None) => {}
+            (a, b) => prop_assert!(false, "bvh {:?} vs brute force {:?}", a.map(|h| h.t), b),
+        }
+    }
+
+    /// Union is commutative and contains both operands.
+    #[test]
+    fn aabb_union_properties(a0 in arb_vec3(50.0), a1 in arb_vec3(50.0),
+                             b0 in arb_vec3(50.0), b1 in arb_vec3(50.0)) {
+        let a = Aabb::new(a0.min(a1), a0.max(a1));
+        let b = Aabb::new(b0.min(b1), b0.max(b1));
+        let u = a.union(&b);
+        prop_assert_eq!(u, b.union(&a));
+        prop_assert!(u.contains(a.center()));
+        prop_assert!(u.contains(b.center()));
+        prop_assert!(u.surface_area() + 1e-3 >= a.surface_area().max(b.surface_area()));
+    }
+
+    /// Ray-AABB: any reported entry t lies inside (or on) the box.
+    #[test]
+    fn ray_aabb_entry_point_is_on_box(
+        origin in arb_vec3(30.0),
+        dir in arb_vec3(1.0).prop_filter("nonzero", |d| d.length() > 1e-3),
+        c0 in arb_vec3(10.0),
+        c1 in arb_vec3(10.0),
+    ) {
+        let b = Aabb::new(c0.min(c1), c0.max(c1)).padded(1e-3);
+        let ray = Ray::with_interval(origin, dir, 0.0, 1e30);
+        if let Some(t) = intersect::ray_aabb(&ray, &b, 0.0, 1e30) {
+            let p = ray.at(t);
+            let eps = 1e-2 * (1.0 + t.abs());
+            let inside = b.padded(eps).contains(p);
+            prop_assert!(inside, "entry {p} at t={t} outside {b:?}");
+        }
+    }
+
+    /// Affine inverse round-trips points (when invertible).
+    #[test]
+    fn mat_inverse_roundtrip(t in arb_vec3(5.0), angle in -3.0f32..3.0, p in arb_vec3(10.0)) {
+        let m = Mat4x3::translation(t).compose(&Mat4x3::rotation_y(angle));
+        let inv = m.inverse().unwrap();
+        let q = inv.transform_point(m.transform_point(p));
+        prop_assert!((q - p).length() < 1e-3);
+    }
+
+    /// BVH build invariants hold for arbitrary triangle soups.
+    #[test]
+    fn bvh_structural_invariants(tris in proptest::collection::vec(arb_triangle(), 1..100)) {
+        let blas = Blas::from_triangles(&tris);
+        prop_assert!(blas.bvh.check_invariants().is_ok());
+        // All leaves present exactly once.
+        let leaves = blas.bvh.leaf_count();
+        prop_assert_eq!(leaves, tris.len());
+        // Footprint equals sum of node sizes.
+        let bytes: u64 = blas.bvh.nodes.iter().map(|n| n.kind().size_bytes()).sum();
+        prop_assert_eq!(bytes, blas.bvh.size_bytes);
+    }
+
+    /// Histogram count equals number of recorded samples; mean within
+    /// [min, max].
+    #[test]
+    fn histogram_invariants(samples in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+        let mut h = vksim_stats::Histogram::new(100.0);
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let mean = h.mean();
+        prop_assert!(mean >= h.min().unwrap() - 1e-9);
+        prop_assert!(mean <= h.max().unwrap() + 1e-9);
+        let total: u64 = h.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(total, h.count());
+    }
+
+    /// Pearson correlation is symmetric and bounded.
+    #[test]
+    fn pearson_properties(pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..50)) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        if let Some(r) = vksim_stats::pearson(&xs, &ys) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "r = {r}");
+            let r2 = vksim_stats::pearson(&ys, &xs).unwrap();
+            prop_assert!((r - r2).abs() < 1e-9);
+        }
+    }
+
+    /// Memory chunking covers the whole byte range with 32 B-aligned chunks.
+    #[test]
+    fn chunking_covers_range(addr in 0u64..1_000_000, size in 1u32..512) {
+        let chunks = vksim_mem::chunk_addresses(addr, size);
+        prop_assert!(!chunks.is_empty());
+        for c in &chunks {
+            prop_assert_eq!(c % 32, 0);
+        }
+        prop_assert!(chunks[0] <= addr);
+        prop_assert!(*chunks.last().unwrap() + 32 >= addr + size as u64);
+        for w in chunks.windows(2) {
+            prop_assert_eq!(w[1] - w[0], 32);
+        }
+    }
+}
