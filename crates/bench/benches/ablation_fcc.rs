@@ -2,30 +2,22 @@
 //! function-call coalescing lowering on RTV6 — the Fig. 17 (left) case
 //! study as a benchmark.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use vksim_core::{SimConfig, Simulator};
 use vksim_scenes::{build, Scale, WorkloadKind};
+use vksim_testkit::{black_box, Bench};
 
-fn bench_fcc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_fcc");
-    g.sample_size(10);
+fn main() {
+    let mut b = Bench::new("ablation_fcc");
     let mut w = build(WorkloadKind::Rtv6, Scale::Test);
     let base_cmd = w.with_fcc(false);
     let fcc_cmd = w.with_fcc(true);
-    g.bench_function("rtv6_baseline_table", |b| {
-        b.iter(|| {
-            let r = Simulator::new(SimConfig::test_small()).run(&w.device, &base_cmd);
-            std::hint::black_box(r.gpu.cycles)
-        })
+    b.bench("rtv6_baseline_table", || {
+        let r = Simulator::new(SimConfig::test_small()).run(&w.device, &base_cmd);
+        black_box(r.gpu.cycles)
     });
-    g.bench_function("rtv6_fcc", |b| {
-        b.iter(|| {
-            let r = Simulator::new(SimConfig::test_small()).run(&w.device, &fcc_cmd);
-            std::hint::black_box(r.gpu.cycles)
-        })
+    b.bench("rtv6_fcc", || {
+        let r = Simulator::new(SimConfig::test_small()).run(&w.device, &fcc_cmd);
+        black_box(r.gpu.cycles)
     });
-    g.finish();
+    b.finish();
 }
-
-criterion_group!(benches, bench_fcc);
-criterion_main!(benches);

@@ -1,25 +1,19 @@
-//! Criterion bench for the Fig. 12 roofline experiment: full cycle-level
-//! runs of each workload with RT-unit operation/block accounting.
+//! Bench for the Fig. 12 roofline experiment: full cycle-level runs of
+//! each workload with RT-unit operation/block accounting.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use vksim_bench::{fig12_roofline, run_workload};
 use vksim_core::SimConfig;
 use vksim_scenes::{Scale, WorkloadKind};
+use vksim_testkit::{black_box, Bench};
 
-fn bench_roofline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig12");
-    g.sample_size(10);
-    g.bench_function("roofline_all_workloads", |b| {
-        b.iter(|| std::hint::black_box(fig12_roofline(Scale::Test, &SimConfig::test_small())))
+fn main() {
+    let mut b = Bench::new("fig12");
+    b.bench("roofline_all_workloads", || {
+        black_box(fig12_roofline(Scale::Test, &SimConfig::test_small()))
     });
-    g.bench_function("timing_run_ext", |b| {
-        b.iter(|| {
-            let (_, report) = run_workload(WorkloadKind::Ext, Scale::Test, SimConfig::test_small());
-            std::hint::black_box(report.gpu.cycles)
-        })
+    b.bench("timing_run_ext", || {
+        let (_, report) = run_workload(WorkloadKind::Ext, Scale::Test, SimConfig::test_small());
+        black_box(report.gpu.cycles)
     });
-    g.finish();
+    b.finish();
 }
-
-criterion_group!(benches, bench_roofline);
-criterion_main!(benches);

@@ -1,11 +1,12 @@
 //! Substrate micro-benchmarks: BVH construction and traversal throughput —
-//! the hot paths behind every experiment.
+//! the hot paths behind every experiment. Runs on the `vksim-testkit`
+//! bench harness (median/MAD, JSON to `BENCH_substrates.json`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use vksim_bvh::geometry::Triangle;
 use vksim_bvh::traversal::{traverse, TraversalConfig};
 use vksim_bvh::{Blas, Instance, Tlas};
 use vksim_math::{Mat4x3, Ray, Vec3};
+use vksim_testkit::{black_box, Bench};
 
 fn grid(n: usize) -> Vec<Triangle> {
     (0..n)
@@ -21,38 +22,31 @@ fn grid(n: usize) -> Vec<Triangle> {
         .collect()
 }
 
-fn bench_build(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bvh_build");
-    g.sample_size(10);
+fn main() {
+    let mut b = Bench::new("substrates");
+
     for n in [1_000usize, 10_000] {
         let tris = grid(n);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &tris, |b, tris| {
-            b.iter(|| std::hint::black_box(Blas::from_triangles(tris)))
+        b.bench(&format!("bvh_build/{n}"), || {
+            black_box(Blas::from_triangles(&tris))
         });
     }
-    g.finish();
-}
 
-fn bench_traverse(c: &mut Criterion) {
-    let mut g = c.benchmark_group("bvh_traverse");
     let blas = Blas::from_triangles(&grid(10_000));
     let tlas = Tlas::build(vec![Instance::new(0, Mat4x3::IDENTITY)], &[&blas]);
-    let cfg = TraversalConfig { record_events: false, ..Default::default() };
+    let cfg = TraversalConfig {
+        record_events: false,
+        ..Default::default()
+    };
     let cfg_rec = TraversalConfig::default();
-    g.bench_function("hit_10k_no_events", |b| {
-        b.iter(|| {
-            let ray = Ray::new(Vec3::new(40.0, 40.0, -5.0), Vec3::Z);
-            std::hint::black_box(traverse(&tlas, &[&blas], &ray, &cfg).closest)
-        })
+    b.bench("bvh_traverse/hit_10k_no_events", || {
+        let ray = Ray::new(Vec3::new(40.0, 40.0, -5.0), Vec3::Z);
+        black_box(traverse(&tlas, &[&blas], &ray, &cfg).closest)
     });
-    g.bench_function("hit_10k_recording_transactions", |b| {
-        b.iter(|| {
-            let ray = Ray::new(Vec3::new(40.0, 40.0, -5.0), Vec3::Z);
-            std::hint::black_box(traverse(&tlas, &[&blas], &ray, &cfg_rec).events.len())
-        })
+    b.bench("bvh_traverse/hit_10k_recording_transactions", || {
+        let ray = Ray::new(Vec3::new(40.0, 40.0, -5.0), Vec3::Z);
+        black_box(traverse(&tlas, &[&blas], &ray, &cfg_rec).events.len())
     });
-    g.finish();
-}
 
-criterion_group!(benches, bench_build, bench_traverse);
-criterion_main!(benches);
+    b.finish();
+}

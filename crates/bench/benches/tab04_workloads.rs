@@ -1,22 +1,16 @@
-//! Criterion bench for Table IV generation: functional characterization of
-//! all five workloads (BVH depth, average nodes per ray, primitive count).
+//! Bench for Table IV generation: functional characterization of all five
+//! workloads (BVH depth, average nodes per ray, primitive count).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use vksim_bench::tab04_workloads;
 use vksim_scenes::Scale;
+use vksim_testkit::{black_box, Bench};
 
-fn bench_tab04(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tab04");
-    g.sample_size(10);
-    g.bench_function("workload_summary_test_scale", |b| {
-        b.iter(|| {
-            let rows = tab04_workloads(Scale::Test);
-            assert_eq!(rows.len(), 5);
-            std::hint::black_box(rows)
-        })
+fn main() {
+    let mut b = Bench::new("tab04");
+    b.bench("workload_summary_test_scale", || {
+        let rows = tab04_workloads(Scale::Test);
+        assert_eq!(rows.len(), 5);
+        black_box(rows)
     });
-    g.finish();
+    b.finish();
 }
-
-criterion_group!(benches, bench_tab04);
-criterion_main!(benches);

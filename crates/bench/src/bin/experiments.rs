@@ -21,7 +21,11 @@ fn main() {
     } else {
         Scale::Test
     };
-    let which: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let all = which.is_empty();
     let want = |name: &str| all || which.contains(&name);
 
@@ -29,12 +33,24 @@ fn main() {
         println!("== Table II: custom PTX instructions ==");
         for (i, d) in [
             ("traverseAS", "Traverse the acceleration structure"),
-            ("endTraceRay", "Pop traversal results stack and clear intersection table"),
+            (
+                "endTraceRay",
+                "Pop traversal results stack and clear intersection table",
+            ),
             ("rt_alloc_mem", "Allocate memory shared among shader stages"),
             ("load_ray_launch_id", "Load a unique ray ID for each thread"),
-            ("intersectionExit", "Check for remaining pending intersections"),
-            ("getIntersectionShaderID", "Read a pending intersection's shader ID"),
-            ("getNextCoalescedCall", "FCC: read the next coalescing-buffer row"),
+            (
+                "intersectionExit",
+                "Check for remaining pending intersections",
+            ),
+            (
+                "getIntersectionShaderID",
+                "Read a pending intersection's shader ID",
+            ),
+            (
+                "getNextCoalescedCall",
+                "FCC: read the next coalescing-buffer row",
+            ),
             ("reportIntersectionEXT", "Commit a procedural hit"),
         ] {
             println!("  {i:<24} {d}");
@@ -43,7 +59,10 @@ fn main() {
 
     if want("tab03") {
         println!("\n== Table III: GPU configurations ==");
-        for (name, c) in [("baseline", SimConfig::baseline()), ("mobile", SimConfig::mobile())] {
+        for (name, c) in [
+            ("baseline", SimConfig::baseline()),
+            ("mobile", SimConfig::mobile()),
+        ] {
             let g = &c.gpu;
             println!(
                 "  {name:<9} SMs={:<3} maxWarps/SM={:<3} regs/SM={:<6} L1={}KB L2={}MB clk={}MHz rtWarps={}",
@@ -60,7 +79,10 @@ fn main() {
 
     if want("tab04") {
         println!("\n== Table IV: workload summary ==");
-        println!("  {:<6} {:>9} {:>14} {:>12}", "scene", "BVH depth", "avg nodes/ray", "primitives");
+        println!(
+            "  {:<6} {:>9} {:>14} {:>12}",
+            "scene", "BVH depth", "avg nodes/ray", "primitives"
+        );
         for r in x::tab04_workloads(scale) {
             println!(
                 "  {:<6} {:>9} {:>14.1} {:>12}",
@@ -104,7 +126,11 @@ fn main() {
         for (name, sim, hw) in &c.points {
             println!("  {name:<6} sim={sim:>12.0}  hw-proxy={hw:>12.0}");
         }
-        println!("  correlation = {:.1}%  slope = {:.2}", c.correlation * 100.0, c.slope);
+        println!(
+            "  correlation = {:.1}%  slope = {:.2}",
+            c.correlation * 100.0,
+            c.slope
+        );
     }
 
     if want("fig12") {
@@ -112,7 +138,11 @@ fn main() {
         for (name, oi, perf, memb) in x::fig12_roofline(scale, &SimConfig::test_small()) {
             println!(
                 "  {name:<6} intensity={oi:>7.2} ops/block  perf={perf:>7.3} ops/cycle  [{}]",
-                if memb { "memory-bound" } else { "compute-bound" }
+                if memb {
+                    "memory-bound"
+                } else {
+                    "compute-bound"
+                }
             );
         }
     }
@@ -152,7 +182,11 @@ fn main() {
         println!("\n== Fig. 16: DRAM efficiency/utilization vs RT-unit max warps (EXT) ==");
         let limits = [1usize, 2, 4, 8, 12, 16, 20];
         for (n, eff, util) in x::fig16_dram_sweep(WorkloadKind::Ext, scale, &limits) {
-            println!("  warps={n:<3} efficiency={:.1}%  utilization={:.1}%", eff * 100.0, util * 100.0);
+            println!(
+                "  warps={n:<3} efficiency={:.1}%  utilization={:.1}%",
+                eff * 100.0,
+                util * 100.0
+            );
         }
     }
 
@@ -179,8 +213,16 @@ fn main() {
                 v.iter().map(|&(_, w)| w as f64).sum::<f64>() / v.len() as f64
             }
         };
-        println!("  stack: {} samples, mean resident warps {:.2}", stack.len(), mean(&stack));
-        println!("  its:   {} samples, mean resident warps {:.2}", its.len(), mean(&its));
+        println!(
+            "  stack: {} samples, mean resident warps {:.2}",
+            stack.len(),
+            mean(&stack)
+        );
+        println!(
+            "  its:   {} samples, mean resident warps {:.2}",
+            its.len(),
+            mean(&its)
+        );
     }
 
     if want("fig19") {

@@ -7,7 +7,9 @@
 //! the command line; the Criterion benches in `benches/` wrap the hot paths.
 
 use vksim_core::hwproxy::{HwProxy, WorkloadProfile};
-use vksim_core::report::{instruction_mix, roofline_point, rt_roofline, rt_time_fraction, CacheBreakdown};
+use vksim_core::report::{
+    instruction_mix, roofline_point, rt_roofline, rt_time_fraction, CacheBreakdown,
+};
 use vksim_core::{MemoryMode, RunReport, SimConfig, Simulator};
 use vksim_scenes::{build, reference, Scale, Workload, WorkloadKind};
 use vksim_stats::{least_squares_slope, pearson};
@@ -37,7 +39,11 @@ pub fn run_all(scale: Scale, config: &SimConfig) -> Vec<WorkloadRow> {
         .iter()
         .map(|&k| {
             let (w, report) = run_workload(k, scale, config.clone());
-            WorkloadRow { name: w.name, cycles: report.gpu.cycles, report }
+            WorkloadRow {
+                name: w.name,
+                cycles: report.gpu.cycles,
+                report,
+            }
         })
         .collect()
 }
@@ -163,7 +169,11 @@ pub fn fig19_configs() -> Vec<(&'static str, SimConfig)> {
     let mut c = SimConfig::baseline().with_rt_max_warps(1);
     c.gpu.l1.hit_latency = 32;
     c.gpu.mem.l2.hit_latency = 210;
-    vec![("a: matched, 4 warps", a), ("b: latencies, 2 warps", b), ("c: 1 warp", c)]
+    vec![
+        ("a: matched, 4 warps", a),
+        ("b: latencies, 2 warps", b),
+        ("c: 1 warp", c),
+    ]
 }
 
 /// Fig. 12: roofline points for all workloads plus the roofs.
@@ -177,7 +187,12 @@ pub fn fig12_roofline(scale: Scale, config: &SimConfig) -> Vec<(String, f64, f64
         .into_iter()
         .map(|r| {
             let p = roofline_point(&r.report.gpu);
-            (r.name.to_string(), p.operational_intensity, p.performance, roof.is_memory_bound(&p))
+            (
+                r.name.to_string(),
+                p.operational_intensity,
+                p.performance,
+                roof.is_memory_bound(&p),
+            )
         })
         .collect()
 }
@@ -215,8 +230,10 @@ pub fn fig15_memory_modes(scale: Scale) -> Vec<(String, Vec<(&'static str, f64)>
         .iter()
         .map(|&k| {
             let w = build(k, scale);
-            let base = Simulator::new(SimConfig::test_small()).run(&w.device, &w.cmd).gpu.cycles
-                as f64;
+            let base = Simulator::new(SimConfig::test_small())
+                .run(&w.device, &w.cmd)
+                .gpu
+                .cycles as f64;
             let series = modes
                 .iter()
                 .map(|&(name, mode)| {
@@ -243,8 +260,8 @@ pub fn fig16_dram_sweep(
     warp_limits
         .iter()
         .map(|&n| {
-            let r = Simulator::new(SimConfig::test_small().with_rt_max_warps(n))
-                .run(&w.device, &w.cmd);
+            let r =
+                Simulator::new(SimConfig::test_small().with_rt_max_warps(n)).run(&w.device, &w.cmd);
             (n, r.gpu.dram_efficiency, r.gpu.dram_utilization)
         })
         .collect()
@@ -269,9 +286,11 @@ pub fn fig17_its(scale: Scale) -> Vec<(String, f64)> {
         .map(|&k| {
             let w = build(k, scale);
             let stack = Simulator::new(SimConfig::test_small()).run(&w.device, &w.cmd);
-            let its =
-                Simulator::new(SimConfig::test_small().with_its(true)).run(&w.device, &w.cmd);
-            (w.name.to_string(), stack.gpu.cycles as f64 / its.gpu.cycles as f64)
+            let its = Simulator::new(SimConfig::test_small().with_its(true)).run(&w.device, &w.cmd);
+            (
+                w.name.to_string(),
+                stack.gpu.cycles as f64 / its.gpu.cycles as f64,
+            )
         })
         .collect()
 }
@@ -281,7 +300,8 @@ pub fn fig17_its(scale: Scale) -> Vec<(String, f64)> {
 pub fn fig18_occupancy(scale: Scale) -> (Vec<(u64, u32)>, Vec<(u64, u32)>) {
     let w = build(WorkloadKind::Ext, scale);
     let collect = |r: &RunReport| -> Vec<(u64, u32)> {
-        r.gpu.rt_occupancy
+        r.gpu
+            .rt_occupancy
             .first()
             .map(|t| t.iter().map(|&(c, w, _)| (c, w)).collect())
             .unwrap_or_default()

@@ -21,7 +21,10 @@ pub struct BuildOptions {
 
 impl Default for BuildOptions {
     fn default() -> Self {
-        BuildOptions { sah_bins: 16, min_sah_prims: 4 }
+        BuildOptions {
+            sah_bins: 16,
+            min_sah_prims: 4,
+        }
     }
 }
 
@@ -38,24 +41,39 @@ pub struct BuildItem {
 impl BuildItem {
     /// Convenience constructor for a triangle leaf item.
     pub fn triangle(leaf: TriangleLeaf) -> Self {
-        BuildItem { aabb: leaf.triangle.aabb(), leaf: Node::Triangle(leaf) }
+        BuildItem {
+            aabb: leaf.triangle.aabb(),
+            leaf: Node::Triangle(leaf),
+        }
     }
 
     /// Convenience constructor for a procedural leaf item.
     pub fn procedural(leaf: ProceduralLeaf) -> Self {
-        BuildItem { aabb: leaf.aabb, leaf: Node::Procedural(leaf) }
+        BuildItem {
+            aabb: leaf.aabb,
+            leaf: Node::Procedural(leaf),
+        }
     }
 
     /// Convenience constructor for an instance leaf item.
     pub fn instance(aabb: Aabb, leaf: InstanceLeaf) -> Self {
-        BuildItem { aabb, leaf: Node::Instance(leaf) }
+        BuildItem {
+            aabb,
+            leaf: Node::Instance(leaf),
+        }
     }
 }
 
 // Temporary binary tree node used during construction.
 enum BinaryNode {
-    Leaf { item: usize },
-    Internal { aabb: Aabb, left: Box<BinaryNode>, right: Box<BinaryNode> },
+    Leaf {
+        item: usize,
+    },
+    Internal {
+        aabb: Aabb,
+        left: Box<BinaryNode>,
+        right: Box<BinaryNode>,
+    },
 }
 
 impl BinaryNode {
@@ -117,7 +135,10 @@ pub fn build_wide_bvh(items: Vec<BuildItem>, opts: &BuildOptions) -> WideBvh {
                     pool.push(*left);
                     pool.push(*right);
                 }
-                let mut tmp = WideTmp { bounds: Vec::new(), children: Vec::new() };
+                let mut tmp = WideTmp {
+                    bounds: Vec::new(),
+                    children: Vec::new(),
+                };
                 for n in pool {
                     tmp.bounds.push(n.aabb(items));
                     tmp.children.push(collapse(n, items));
@@ -131,7 +152,10 @@ pub fn build_wide_bvh(items: Vec<BuildItem>, opts: &BuildOptions) -> WideBvh {
         WideChild::Inner(t) => *t,
         WideChild::Leaf(item) => {
             // Single primitive: wrap in a one-child internal root.
-            WideTmp { bounds: vec![items[item].aabb], children: vec![WideChild::Leaf(item)] }
+            WideTmp {
+                bounds: vec![items[item].aabb],
+                children: vec![WideChild::Leaf(item)],
+            }
         }
     };
 
@@ -182,7 +206,13 @@ pub fn build_wide_bvh(items: Vec<BuildItem>, opts: &BuildOptions) -> WideBvh {
     }
 
     let depth = compute_depth(&nodes, 0);
-    WideBvh { nodes, offsets, size_bytes: cursor, depth, aabb: root_aabb }
+    WideBvh {
+        nodes,
+        offsets,
+        size_bytes: cursor,
+        depth,
+        aabb: root_aabb,
+    }
 }
 
 fn placeholder_internal() -> Node {
@@ -210,7 +240,9 @@ fn build_binary(items: &[BuildItem], mut indices: Vec<usize>, opts: &BuildOption
     if indices.len() == 1 {
         return BinaryNode::Leaf { item: indices[0] };
     }
-    let bounds = indices.iter().fold(Aabb::EMPTY, |a, &i| a.union(&items[i].aabb));
+    let bounds = indices
+        .iter()
+        .fold(Aabb::EMPTY, |a, &i| a.union(&items[i].aabb));
     let centroid_bounds = indices
         .iter()
         .fold(Aabb::EMPTY, |a, &i| a.union_point(items[i].aabb.center()));
@@ -233,7 +265,11 @@ fn build_binary(items: &[BuildItem], mut indices: Vec<usize>, opts: &BuildOption
     let r = build_binary(items, right, opts);
     let _ = bounds;
     let aabb = l.aabb(items).union(&r.aabb(items));
-    BinaryNode::Internal { aabb, left: Box::new(l), right: Box::new(r) }
+    BinaryNode::Internal {
+        aabb,
+        left: Box::new(l),
+        right: Box::new(r),
+    }
 }
 
 fn median_split(items: &[BuildItem], indices: &mut [usize], axis: usize) -> usize {
@@ -428,7 +464,10 @@ mod tests {
             .collect();
         let b = build_wide_bvh(items, &BuildOptions::default());
         assert_eq!(
-            b.nodes.iter().filter(|n| matches!(n, Node::Triangle(_))).count(),
+            b.nodes
+                .iter()
+                .filter(|n| matches!(n, Node::Triangle(_)))
+                .count(),
             8
         );
         b.check_invariants().unwrap();

@@ -81,12 +81,18 @@ pub struct BlasGeometry {
 impl BlasGeometry {
     /// Geometry with only triangles.
     pub fn triangles(triangles: Vec<Triangle>) -> Self {
-        BlasGeometry { triangles, procedurals: Vec::new() }
+        BlasGeometry {
+            triangles,
+            procedurals: Vec::new(),
+        }
     }
 
     /// Geometry with only procedural primitives.
     pub fn procedurals(procedurals: Vec<ProceduralPrimitive>) -> Self {
-        BlasGeometry { triangles: Vec::new(), procedurals }
+        BlasGeometry {
+            triangles: Vec::new(),
+            procedurals,
+        }
     }
 
     /// Total primitive count.
@@ -113,7 +119,11 @@ mod tests {
 
     #[test]
     fn triangle_centroid_and_area() {
-        let t = Triangle::new(Vec3::ZERO, Vec3::new(3.0, 0.0, 0.0), Vec3::new(0.0, 3.0, 0.0));
+        let t = Triangle::new(
+            Vec3::ZERO,
+            Vec3::new(3.0, 0.0, 0.0),
+            Vec3::new(0.0, 3.0, 0.0),
+        );
         assert_eq!(t.centroid(), Vec3::new(1.0, 1.0, 0.0));
         assert_eq!(t.double_area(), 9.0);
         assert_eq!(t.normal(), Vec3::Z);

@@ -45,9 +45,11 @@ pub mod tlas;
 pub mod traversal;
 
 pub use build::BuildOptions;
-pub use node::{NodeKind, WideBvh, INTERNAL_NODE_SIZE, INSTANCE_LEAF_SIZE, PRIMITIVE_LEAF_SIZE};
+pub use node::{NodeKind, WideBvh, INSTANCE_LEAF_SIZE, INTERNAL_NODE_SIZE, PRIMITIVE_LEAF_SIZE};
 pub use tlas::{Blas, Instance, Tlas};
-pub use traversal::{ProceduralHit, TraceEvent, TraversalConfig, TraversalResult, TriangleIntersection};
+pub use traversal::{
+    ProceduralHit, TraceEvent, TraversalConfig, TraversalResult, TriangleIntersection,
+};
 
 /// Maximum branching factor of the wide BVH (Mesa's layout, paper §III-B1).
 pub const BVH_WIDTH: usize = 6;

@@ -158,7 +158,10 @@ impl WideBvh {
 
     /// Number of internal nodes.
     pub fn internal_count(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, Node::Internal(_))).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Internal(_)))
+            .count()
     }
 
     /// Number of leaf nodes.
@@ -192,7 +195,9 @@ impl WideBvh {
         for (i, node) in self.nodes.iter().enumerate() {
             if let Node::Internal(int) = node {
                 let kids = &int.children[..int.child_count as usize];
-                for (&k, pair) in kids.iter().zip(kids.windows(2).chain(std::iter::once(&[][..])))
+                for (&k, pair) in kids
+                    .iter()
+                    .zip(kids.windows(2).chain(std::iter::once(&[][..])))
                 {
                     let _ = pair;
                     if k as usize >= self.nodes.len() {

@@ -47,7 +47,11 @@ impl Blas {
             }));
         }
         let bvh = build_wide_bvh(items, opts);
-        Blas { bvh, geometry, base_addr: 0 }
+        Blas {
+            bvh,
+            geometry,
+            base_addr: 0,
+        }
     }
 
     /// Convenience: BLAS over a triangle list.
@@ -154,11 +158,20 @@ impl Tlas {
                     .get(inst.blas_index as usize)
                     .unwrap_or_else(|| panic!("instance {i} references missing BLAS"));
                 let world_bounds = blas.aabb().transformed(&inst.object_to_world).padded(1e-4);
-                BuildItem::instance(world_bounds, InstanceLeaf { instance_index: i as u32 })
+                BuildItem::instance(
+                    world_bounds,
+                    InstanceLeaf {
+                        instance_index: i as u32,
+                    },
+                )
             })
             .collect();
         let bvh = build_wide_bvh(items, opts);
-        Tlas { bvh, instances, base_addr: 0 }
+        Tlas {
+            bvh,
+            instances,
+            base_addr: 0,
+        }
     }
 
     /// Assigns the base address (done by the device allocator).
@@ -192,8 +205,16 @@ mod tests {
 
     fn quad_blas() -> Blas {
         Blas::from_triangles(&[
-            Triangle::new(Vec3::new(-1.0, -1.0, 0.0), Vec3::new(1.0, -1.0, 0.0), Vec3::new(1.0, 1.0, 0.0)),
-            Triangle::new(Vec3::new(-1.0, -1.0, 0.0), Vec3::new(1.0, 1.0, 0.0), Vec3::new(-1.0, 1.0, 0.0)),
+            Triangle::new(
+                Vec3::new(-1.0, -1.0, 0.0),
+                Vec3::new(1.0, -1.0, 0.0),
+                Vec3::new(1.0, 1.0, 0.0),
+            ),
+            Triangle::new(
+                Vec3::new(-1.0, -1.0, 0.0),
+                Vec3::new(1.0, 1.0, 0.0),
+                Vec3::new(-1.0, 1.0, 0.0),
+            ),
         ])
     }
 
@@ -224,7 +245,9 @@ mod tests {
         let m = Mat4x3::translation(Vec3::new(5.0, 0.0, 0.0));
         let inst = Instance::new(0, m);
         let p = Vec3::new(1.0, 2.0, 3.0);
-        let roundtrip = inst.world_to_object.transform_point(inst.object_to_world.transform_point(p));
+        let roundtrip = inst
+            .world_to_object
+            .transform_point(inst.object_to_world.transform_point(p));
         assert!((roundtrip - p).length() < 1e-5);
     }
 
@@ -257,12 +280,17 @@ mod tests {
     fn combined_depth_adds_levels() {
         let blas = quad_blas();
         let tlas = Tlas::build(vec![Instance::new(0, Mat4x3::IDENTITY)], &[&blas]);
-        assert_eq!(tlas.combined_depth(&[&blas]), tlas.bvh.depth + blas.bvh.depth);
+        assert_eq!(
+            tlas.combined_depth(&[&blas]),
+            tlas.bvh.depth + blas.bvh.depth
+        );
     }
 
     #[test]
     fn builder_style_instance_options() {
-        let i = Instance::new(0, Mat4x3::IDENTITY).with_custom_index(9).with_sbt_offset(2);
+        let i = Instance::new(0, Mat4x3::IDENTITY)
+            .with_custom_index(9)
+            .with_sbt_offset(2);
         assert_eq!(i.custom_index, 9);
         assert_eq!(i.sbt_offset, 2);
     }

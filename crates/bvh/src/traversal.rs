@@ -179,7 +179,11 @@ pub fn traverse(
 
     let mut world_ray = *ray;
     let mut stack: Vec<StackEntry> = Vec::with_capacity(64);
-    stack.push(StackEntry { node: 0, space: Space::Tlas, t_enter: world_ray.t_min });
+    stack.push(StackEntry {
+        node: 0,
+        space: Space::Tlas,
+        t_enter: world_ray.t_min,
+    });
     out.max_stack_depth = 1;
 
     // Cached object-space ray for the instance currently being traversed.
@@ -234,7 +238,13 @@ pub fn traverse(
                 let mut hits: [(u32, f32); crate::BVH_WIDTH] = [(0, 0.0); crate::BVH_WIDTH];
                 let mut nhits = 0usize;
                 out.box_tests += int.child_count as u32;
-                push_event(&mut out, config, TraceEvent::BoxTests { count: int.child_count });
+                push_event(
+                    &mut out,
+                    config,
+                    TraceEvent::BoxTests {
+                        count: int.child_count,
+                    },
+                );
                 for (child, bounds) in int.iter_children() {
                     if let Some(t) =
                         intersect::ray_aabb(&space_ray, bounds, space_ray.t_min, world_ray.t_max)
@@ -245,9 +255,14 @@ pub fn traverse(
                 }
                 // Sort hit children by descending entry t so the nearest is
                 // popped first.
-                hits[..nhits].sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+                hits[..nhits]
+                    .sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
                 for &(child, t) in &hits[..nhits] {
-                    stack.push(StackEntry { node: child, space: entry.space, t_enter: t });
+                    stack.push(StackEntry {
+                        node: child,
+                        space: entry.space,
+                        t_enter: t,
+                    });
                     push_event(&mut out, config, TraceEvent::StackPush);
                 }
                 out.max_stack_depth = out.max_stack_depth.max(stack.len() as u32);
@@ -260,7 +275,9 @@ pub fn traverse(
                 if !blas.bvh.is_empty() {
                     stack.push(StackEntry {
                         node: 0,
-                        space: Space::Blas { instance: leaf.instance_index },
+                        space: Space::Blas {
+                            instance: leaf.instance_index,
+                        },
                         t_enter: entry.t_enter,
                     });
                     push_event(&mut out, config, TraceEvent::StackPush);
@@ -282,8 +299,10 @@ pub fn traverse(
                     // closest-hit geometry").
                     world_ray.t_max = hit.t;
                     let obj_normal = tri.normal();
-                    let mut world_normal =
-                        inst.object_to_world.transform_vector(obj_normal).normalized();
+                    let mut world_normal = inst
+                        .object_to_world
+                        .transform_vector(obj_normal)
+                        .normalized();
                     if hit.back_face {
                         world_normal = -world_normal;
                     }
@@ -322,7 +341,8 @@ pub fn traverse(
                     &mut out,
                     config,
                     TraceEvent::IntersectionStore {
-                        addr: config.intersection_buffer_base + idx * INTERSECTION_ENTRY_SIZE as u64,
+                        addr: config.intersection_buffer_base
+                            + idx * INTERSECTION_ENTRY_SIZE as u64,
                         size: INTERSECTION_ENTRY_SIZE,
                     },
                 );
@@ -398,7 +418,12 @@ mod tests {
         ];
         let tlas = Tlas::build(instances, &[&blas_near, &blas_far]);
         let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
-        let r = traverse(&tlas, &[&blas_near, &blas_far], &ray, &TraversalConfig::default());
+        let r = traverse(
+            &tlas,
+            &[&blas_near, &blas_far],
+            &ray,
+            &TraversalConfig::default(),
+        );
         let hit = r.closest.expect("hit");
         assert_eq!(hit.instance_custom_index, 1);
         assert!((hit.t - 7.0).abs() < 1e-4);
@@ -409,12 +434,19 @@ mod tests {
         let blas = Blas::from_triangles(&quad_at_z(0.0));
         // Instance moved +10 in x: only rays near x=10 hit it.
         let tlas = Tlas::build(
-            vec![Instance::new(0, Mat4x3::translation(Vec3::new(10.0, 0.0, 0.0)))],
+            vec![Instance::new(
+                0,
+                Mat4x3::translation(Vec3::new(10.0, 0.0, 0.0)),
+            )],
             &[&blas],
         );
         let miss = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
         let hit = Ray::new(Vec3::new(10.0, 0.0, -5.0), Vec3::Z);
-        assert!(traverse(&tlas, &[&blas], &miss, &TraversalConfig::default()).closest.is_none());
+        assert!(
+            traverse(&tlas, &[&blas], &miss, &TraversalConfig::default())
+                .closest
+                .is_none()
+        );
         let r = traverse(&tlas, &[&blas], &hit, &TraversalConfig::default());
         assert!(r.closest.is_some());
         assert!(r.transforms >= 1, "must transform into BLAS space");
@@ -430,7 +462,10 @@ mod tests {
         let tlas = Tlas::build(vec![Instance::new(0, Mat4x3::IDENTITY)], &[&blas]);
         let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
         let r = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default());
-        assert!(r.closest.is_none(), "procedural AABB entry is not a committed hit");
+        assert!(
+            r.closest.is_none(),
+            "procedural AABB entry is not a committed hit"
+        );
         assert_eq!(r.procedural_hits.len(), 1);
         assert_eq!(r.procedural_hits[0].shader_id, 3);
         assert!(r
@@ -453,7 +488,10 @@ mod tests {
             &tlas,
             &[&blas],
             &ray,
-            &TraversalConfig { terminate_on_first_hit: true, ..TraversalConfig::default() },
+            &TraversalConfig {
+                terminate_on_first_hit: true,
+                ..TraversalConfig::default()
+            },
         );
         assert!(early.closest.is_some());
         assert!(early.nodes_visited <= full.nodes_visited);
@@ -471,9 +509,14 @@ mod tests {
             .count() as u32;
         assert_eq!(fetches, r.nodes_visited);
         // Instance leaf fetch must be 128 B.
-        assert!(r.events.iter().any(
-            |e| matches!(e, TraceEvent::NodeFetch { size: 128, kind: NodeKind::InstanceLeaf, .. })
-        ));
+        assert!(r.events.iter().any(|e| matches!(
+            e,
+            TraceEvent::NodeFetch {
+                size: 128,
+                kind: NodeKind::InstanceLeaf,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -484,7 +527,10 @@ mod tests {
             &tlas,
             &[&blas],
             &ray,
-            &TraversalConfig { record_events: false, ..TraversalConfig::default() },
+            &TraversalConfig {
+                record_events: false,
+                ..TraversalConfig::default()
+            },
         );
         assert!(r.events.is_empty());
         assert!(r.closest.is_some());

@@ -29,18 +29,27 @@ pub struct SimConfig {
 impl SimConfig {
     /// Paper baseline (Table III).
     pub fn baseline() -> Self {
-        SimConfig { gpu: GpuConfig::baseline(), memory_mode: MemoryMode::Baseline }
+        SimConfig {
+            gpu: GpuConfig::baseline(),
+            memory_mode: MemoryMode::Baseline,
+        }
     }
 
     /// Paper mobile configuration.
     pub fn mobile() -> Self {
-        SimConfig { gpu: GpuConfig::mobile(), memory_mode: MemoryMode::Baseline }
+        SimConfig {
+            gpu: GpuConfig::mobile(),
+            memory_mode: MemoryMode::Baseline,
+        }
     }
 
     /// A small configuration for unit tests (2 SMs).
     pub fn test_small() -> Self {
         SimConfig {
-            gpu: GpuConfig { num_sms: 2, ..GpuConfig::baseline() },
+            gpu: GpuConfig {
+                num_sms: 2,
+                ..GpuConfig::baseline()
+            },
             memory_mode: MemoryMode::Baseline,
         }
     }
@@ -59,7 +68,11 @@ impl SimConfig {
 
     /// Enables independent thread scheduling (§IV-B).
     pub fn with_its(mut self, its: bool) -> Self {
-        self.gpu.divergence = if its { DivergenceMode::Multipath } else { DivergenceMode::Stack };
+        self.gpu.divergence = if its {
+            DivergenceMode::Multipath
+        } else {
+            DivergenceMode::Stack
+        };
         self
     }
 
@@ -81,7 +94,10 @@ impl SimConfig {
             }
             MemoryMode::PerfectBvh => gpu.perfect_bvh = true,
             MemoryMode::PerfectMem => {
-                gpu.mem.dram = DramConfig { perfect: true, ..gpu.mem.dram };
+                gpu.mem.dram = DramConfig {
+                    perfect: true,
+                    ..gpu.mem.dram
+                };
             }
         }
         gpu
@@ -96,11 +112,17 @@ mod tests {
     fn memory_modes_resolve_distinctly() {
         let base = SimConfig::baseline().resolve();
         assert!(base.rt_cache.is_none() && !base.perfect_bvh && !base.mem.dram.perfect);
-        let rtc = SimConfig::baseline().with_memory_mode(MemoryMode::RtCache).resolve();
+        let rtc = SimConfig::baseline()
+            .with_memory_mode(MemoryMode::RtCache)
+            .resolve();
         assert!(rtc.rt_cache.is_some());
-        let pbvh = SimConfig::baseline().with_memory_mode(MemoryMode::PerfectBvh).resolve();
+        let pbvh = SimConfig::baseline()
+            .with_memory_mode(MemoryMode::PerfectBvh)
+            .resolve();
         assert!(pbvh.perfect_bvh);
-        let pmem = SimConfig::baseline().with_memory_mode(MemoryMode::PerfectMem).resolve();
+        let pmem = SimConfig::baseline()
+            .with_memory_mode(MemoryMode::PerfectMem)
+            .resolve();
         assert!(pmem.mem.dram.perfect);
     }
 
@@ -115,6 +137,13 @@ mod tests {
 
     #[test]
     fn rt_warps_clamped_to_one() {
-        assert_eq!(SimConfig::baseline().with_rt_max_warps(0).resolve().rt_unit.max_warps, 1);
+        assert_eq!(
+            SimConfig::baseline()
+                .with_rt_max_warps(0)
+                .resolve()
+                .rt_unit
+                .max_warps,
+            1
+        );
     }
 }

@@ -83,8 +83,8 @@ impl HwProxy {
         let sms = p.num_sms.max(1) as f64;
         let shader = p.warp_instructions as f64 * self.cpi / sms;
         let traversal_nodes = p.rays as f64 * p.avg_nodes_per_ray;
-        let boundedness =
-            1.0 + (self.mem_penalty - 1.0) * (p.footprint_bytes as f64 / self.on_chip_bytes).min(1.0);
+        let boundedness = 1.0
+            + (self.mem_penalty - 1.0) * (p.footprint_bytes as f64 / self.on_chip_bytes).min(1.0);
         let traversal = traversal_nodes * self.node_cycles * boundedness / sms;
         self.launch_overhead + shader + traversal
     }

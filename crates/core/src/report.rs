@@ -61,7 +61,10 @@ pub fn roofline_point(stats: &GpuStats) -> RooflinePoint {
     let ops = stats.rt_ops as f64;
     let blocks = stats.rt_chunks_fetched.max(1) as f64;
     let cycles = stats.cycles.max(1) as f64;
-    RooflinePoint { operational_intensity: ops / blocks, performance: ops / cycles }
+    RooflinePoint {
+        operational_intensity: ops / blocks,
+        performance: ops / cycles,
+    }
 }
 
 /// The paper's roofline bounds for a 32-wide RT unit: 32 instances of each

@@ -143,9 +143,13 @@ impl RtRuntime {
             let table = self.fcc_table(tid);
             let lane = tid % WARP_SIZE;
             let hit_idx = table.get(idx as usize)?.lane_hit[lane]?;
-            self.frame(tid).and_then(|f| f.pending.get(hit_idx as usize)).copied()
+            self.frame(tid)
+                .and_then(|f| f.pending.get(hit_idx as usize))
+                .copied()
         } else {
-            self.frame(tid).and_then(|f| f.pending.get(idx as usize)).copied()
+            self.frame(tid)
+                .and_then(|f| f.pending.get(idx as usize))
+                .copied()
         }
     }
 
@@ -247,7 +251,11 @@ impl RtRuntime {
                     if self.fcc {
                         // FCC: check the coalescing table for a matching
                         // shader ID (load), then insert (store).
-                        script.push(Step::Fetch { addr, size, op: OpKind::None });
+                        script.push(Step::Fetch {
+                            addr,
+                            size,
+                            op: OpKind::None,
+                        });
                     }
                     script.push(Step::Store { addr, size });
                 }
@@ -350,7 +358,9 @@ impl RtHooks for RtRuntime {
             RtQuery::LaunchSize(d) => self.launch.get(d as usize).copied().unwrap_or(1),
             RtQuery::RecursionDepth => self.depth(tid) as u32,
             _ => {
-                let Some(frame) = self.frame(tid) else { return 0 };
+                let Some(frame) = self.frame(tid) else {
+                    return 0;
+                };
                 match q {
                     RtQuery::HitKind => frame.committed.kind,
                     RtQuery::HitT => f(frame.committed.t),
@@ -372,7 +382,9 @@ impl RtHooks for RtRuntime {
     }
 
     fn query_idx(&mut self, tid: usize, q: RtIdxQuery, idx: u32) -> u32 {
-        let Some(hit) = self.pending_at(tid, idx) else { return 0 };
+        let Some(hit) = self.pending_at(tid, idx) else {
+            return 0;
+        };
         match q {
             RtIdxQuery::IntersectionShaderId => hit.shader_id,
             RtIdxQuery::IntersectionPrimitiveIndex => hit.primitive_index,
@@ -386,7 +398,8 @@ impl RtHooks for RtRuntime {
         if self.fcc {
             (idx as usize) < self.fcc_table(tid).len()
         } else {
-            self.frame(tid).map_or(false, |f| (idx as usize) < f.pending.len())
+            self.frame(tid)
+                .map_or(false, |f| (idx as usize) < f.pending.len())
         }
     }
 
@@ -400,12 +413,20 @@ impl RtHooks for RtRuntime {
     }
 
     fn report_intersection(&mut self, tid: usize, idx: u32, t: f32) {
-        let Some(hit) = self.pending_at(tid, idx) else { return };
-        let Some(frame) = self.frames.get_mut(&tid).and_then(|v| v.last_mut()) else { return };
+        let Some(hit) = self.pending_at(tid, idx) else {
+            return;
+        };
+        let Some(frame) = self.frames.get_mut(&tid).and_then(|v| v.last_mut()) else {
+            return;
+        };
         if t < frame.ray.t_min {
             return;
         }
-        let current_t = if frame.committed.kind == 0 { frame.ray.t_max } else { frame.committed.t };
+        let current_t = if frame.committed.kind == 0 {
+            frame.ray.t_max
+        } else {
+            frame.committed.t
+        };
         if t < current_t {
             frame.committed = Committed {
                 kind: 2,
@@ -455,9 +476,7 @@ mod tests {
     fn proc_scene(shader_ids: &[u32]) -> (Tlas, Vec<Blas>) {
         let prims: Vec<ProceduralPrimitive> = shader_ids
             .iter()
-            .map(|&s| {
-                ProceduralPrimitive::new(Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)), s)
-            })
+            .map(|&s| ProceduralPrimitive::new(Aabb::new(Vec3::splat(-1.0), Vec3::splat(1.0)), s))
             .collect();
         let blas = Blas::build(BlasGeometry::procedurals(prims));
         let tlas = Tlas::build(vec![Instance::new(0, Mat4x3::IDENTITY)], &[&blas]);
@@ -465,7 +484,13 @@ mod tests {
     }
 
     fn z_ray() -> RayDesc {
-        RayDesc { origin: [0.0, 0.0, -5.0], dir: [0.0, 0.0, 1.0], t_min: 1e-3, t_max: 1e30, flags: 0 }
+        RayDesc {
+            origin: [0.0, 0.0, -5.0],
+            dir: [0.0, 0.0, 1.0],
+            t_min: 1e-3,
+            t_max: 1e30,
+            flags: 0,
+        }
     }
 
     #[test]
@@ -477,8 +502,20 @@ mod tests {
         assert!((f32::from_bits(rt.query(0, RtQuery::HitT)) - 5.0).abs() < 1e-3);
         let script = rt.take_script(0);
         assert!(!script.is_empty());
-        assert!(script.iter().any(|s| matches!(s, Step::Fetch { op: OpKind::Triangle, .. })));
-        assert!(script.iter().any(|s| matches!(s, Step::Fetch { op: OpKind::Transform, .. })));
+        assert!(script.iter().any(|s| matches!(
+            s,
+            Step::Fetch {
+                op: OpKind::Triangle,
+                ..
+            }
+        )));
+        assert!(script.iter().any(|s| matches!(
+            s,
+            Step::Fetch {
+                op: OpKind::Transform,
+                ..
+            }
+        )));
         rt.end_trace(0);
         assert_eq!(rt.query(0, RtQuery::HitKind), 0, "frame popped");
         assert_eq!(rt.stats.rays, 1);
@@ -528,7 +565,11 @@ mod tests {
         let (tlas, blases) = proc_scene(&[3]);
         let mut rt = RtRuntime::new(tlas, blases, [4, 4, 1], false);
         rt.traverse(0, z_ray());
-        assert_eq!(rt.query(0, RtQuery::HitKind), 0, "procedural not committed yet");
+        assert_eq!(
+            rt.query(0, RtQuery::HitKind),
+            0,
+            "procedural not committed yet"
+        );
         assert!(rt.intersection_valid(0, 0));
         assert!(!rt.intersection_valid(0, 1));
         assert_eq!(rt.query_idx(0, RtIdxQuery::IntersectionShaderId, 0), 3);

@@ -51,7 +51,11 @@ impl Simulator {
         gpu.mem = device.memory.clone();
         gpu.launch(
             cmd.program.clone(),
-            LaunchDims { width: cmd.dims.width, height: cmd.dims.height, depth: cmd.dims.depth },
+            LaunchDims {
+                width: cmd.dims.width,
+                height: cmd.dims.height,
+                depth: cmd.dims.depth,
+            },
         );
         let stats = gpu.run(&mut runtime);
         let power = power_from_stats(&stats);
@@ -70,11 +74,14 @@ impl Simulator {
     /// # Panics
     ///
     /// Panics if a thread's program execution fails (translator bug).
-    pub fn run_functional(&mut self, device: &Device, cmd: &TraceRaysCommand) -> (SimMemory, RuntimeStats) {
+    pub fn run_functional(
+        &mut self,
+        device: &Device,
+        cmd: &TraceRaysCommand,
+    ) -> (SimMemory, RuntimeStats) {
         let mut runtime = self.make_runtime(device, cmd);
         let mut mem = device.memory.clone();
-        let total =
-            cmd.dims.width as usize * cmd.dims.height as usize * cmd.dims.depth as usize;
+        let total = cmd.dims.width as usize * cmd.dims.height as usize * cmd.dims.depth as usize;
         for tid in 0..total {
             let mut t =
                 ThreadState::with_tid(cmd.program.num_regs(), cmd.program.num_preds().max(1), tid);
@@ -224,15 +231,19 @@ mod tests {
         assert!(report.gpu.rt_busy_cycles > 0);
         assert!(report.gpu.rt_ops > 0);
         assert!(report.gpu.rt_warp_latency.count() >= 4);
-        assert!(report.gpu.l1_stats.sum_prefix("rt_unit") > 0, "RT unit uses the L1");
+        assert!(
+            report.gpu.l1_stats.sum_prefix("rt_unit") > 0,
+            "RT unit uses the L1"
+        );
     }
 
     #[test]
     fn perfect_bvh_is_faster_than_baseline() {
         let (device, cmd, _) = quad_workload(32, 8);
         let base = Simulator::new(SimConfig::test_small()).run(&device, &cmd);
-        let perfect = Simulator::new(SimConfig::test_small().with_memory_mode(MemoryMode::PerfectBvh))
-            .run(&device, &cmd);
+        let perfect =
+            Simulator::new(SimConfig::test_small().with_memory_mode(MemoryMode::PerfectBvh))
+                .run(&device, &cmd);
         assert!(
             perfect.gpu.cycles <= base.gpu.cycles,
             "perfect BVH {} vs baseline {}",
@@ -247,7 +258,11 @@ mod tests {
         let report = Simulator::new(SimConfig::test_small().with_memory_mode(MemoryMode::RtCache))
             .run(&device, &cmd);
         assert!(!report.gpu.rtc_stats.is_empty(), "RT cache saw accesses");
-        assert_eq!(report.gpu.l1_stats.sum_prefix("rt_unit"), 0, "RT traffic moved off L1");
+        assert_eq!(
+            report.gpu.l1_stats.sum_prefix("rt_unit"),
+            0,
+            "RT traffic moved off L1"
+        );
     }
 
     #[test]
@@ -287,7 +302,9 @@ mod tests {
             Vec3::new(1.0, -1.0, 2.0),
             Vec3::new(0.0, 1.0, 2.0),
         )]));
-        device.create_tlas(vec![Instance::new(blas, Mat4x3::IDENTITY).with_custom_index(42)]);
+        device.create_tlas(vec![
+            Instance::new(blas, Mat4x3::IDENTITY).with_custom_index(42)
+        ]);
 
         let mut rg = ShaderBuilder::new(ShaderKind::RayGen);
         rg.trace_ray(

@@ -146,7 +146,10 @@ mod tests {
 
     #[test]
     fn malformed_traces_are_rejected() {
-        assert!(matches!(load_command(""), Err(TraceLoadError::BadHeader(_))));
+        assert!(matches!(
+            load_command(""),
+            Err(TraceLoadError::BadHeader(_))
+        ));
         assert!(matches!(
             load_command("not a trace\nexit"),
             Err(TraceLoadError::BadHeader(_))

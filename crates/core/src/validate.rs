@@ -18,12 +18,18 @@ pub fn pack_rgba8(r: f32, g: f32, b: f32) -> u32 {
 
 /// Unpacks an RGBA8 word into `[r, g, b]` bytes.
 pub fn unpack_rgb(px: u32) -> [u8; 3] {
-    [(px & 0xFF) as u8, ((px >> 8) & 0xFF) as u8, ((px >> 16) & 0xFF) as u8]
+    [
+        (px & 0xFF) as u8,
+        ((px >> 8) & 0xFF) as u8,
+        ((px >> 16) & 0xFF) as u8,
+    ]
 }
 
 /// Reads a framebuffer of `count` RGBA8 pixels from simulated memory.
 pub fn read_framebuffer(mem: &SimMemory, base: u64, count: usize) -> Vec<u32> {
-    (0..count).map(|i| mem.read_u32(base + i as u64 * 4)).collect()
+    (0..count)
+        .map(|i| mem.read_u32(base + i as u64 * 4))
+        .collect()
 }
 
 /// Fraction of pixels differing by more than `tolerance` in any channel.

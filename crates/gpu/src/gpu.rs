@@ -116,8 +116,16 @@ impl GpuSim {
         self.pending.clear();
         while base < total {
             let lanes = (total - base).min(WARP_SIZE);
-            let active: Mask = if lanes == WARP_SIZE { u32::MAX } else { (1u32 << lanes) - 1 };
-            self.pending.push_back(WarpSeed { id, base_tid: base, active });
+            let active: Mask = if lanes == WARP_SIZE {
+                u32::MAX
+            } else {
+                (1u32 << lanes) - 1
+            };
+            self.pending.push_back(WarpSeed {
+                id,
+                base_tid: base,
+                active,
+            });
             id += 1;
             base += WARP_SIZE;
         }
@@ -242,7 +250,11 @@ impl GpuSim {
             rt_resident_warp_cycles: rt_resident,
             rt_occupancy,
             rt_ops,
-            rt_chunks_fetched: self.sms.iter().map(|s| s.rt_unit.stats().counters.get("mem.issued")).sum(),
+            rt_chunks_fetched: self
+                .sms
+                .iter()
+                .map(|s| s.rt_unit.stats().counters.get("mem.issued"))
+                .sum(),
         }
     }
 }
@@ -307,7 +319,11 @@ mod tests {
     }
 
     fn small_config() -> GpuConfig {
-        GpuConfig { num_sms: 2, max_cycles: 50_000_000, ..GpuConfig::baseline() }
+        GpuConfig {
+            num_sms: 2,
+            max_cycles: 50_000_000,
+            ..GpuConfig::baseline()
+        }
     }
 
     #[test]
@@ -315,7 +331,10 @@ mod tests {
         // Each thread stores its launch-id x to out[tid].
         let mut b = ProgramBuilder::new();
         let [idx, base, addr, four] = b.regs::<4>();
-        b.emit(vksim_isa::op::Instr::RtRead { dst: idx, query: RtQuery::LaunchId(0) });
+        b.emit(vksim_isa::op::Instr::RtRead {
+            dst: idx,
+            query: RtQuery::LaunchId(0),
+        });
         b.mov_imm_u32(base, 0x10_0000);
         b.mov_imm_u32(four, 4);
         b.imul(addr, idx, four);
@@ -325,22 +344,39 @@ mod tests {
         let program = b.build();
 
         let mut gpu = GpuSim::new(small_config());
-        gpu.launch(program, LaunchDims { width: 64, height: 1, depth: 1 });
-        let mut hooks = TestHooks { width: 64, scripts_taken: 0 };
+        gpu.launch(
+            program,
+            LaunchDims {
+                width: 64,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut hooks = TestHooks {
+            width: 64,
+            scripts_taken: 0,
+        };
         let stats = gpu.run(&mut hooks);
         for i in 0..64u64 {
             assert_eq!(gpu.mem.read_u32(0x10_0000 + i * 4), i as u32, "thread {i}");
         }
         assert!(stats.cycles > 0);
         assert!(stats.issued_insts >= 7 * 2); // 2 warps x 7 instructions
-        assert!(stats.simt_efficiency > 0.9, "uniform kernel: {}", stats.simt_efficiency);
+        assert!(
+            stats.simt_efficiency > 0.9,
+            "uniform kernel: {}",
+            stats.simt_efficiency
+        );
     }
 
     #[test]
     fn partial_last_warp_handled() {
         let mut b = ProgramBuilder::new();
         let [idx, base, addr, four] = b.regs::<4>();
-        b.emit(vksim_isa::op::Instr::RtRead { dst: idx, query: RtQuery::LaunchId(0) });
+        b.emit(vksim_isa::op::Instr::RtRead {
+            dst: idx,
+            query: RtQuery::LaunchId(0),
+        });
         b.mov_imm_u32(base, 0x20_0000);
         b.mov_imm_u32(four, 4);
         b.imul(addr, idx, four);
@@ -349,8 +385,18 @@ mod tests {
         b.exit();
         let program = b.build();
         let mut gpu = GpuSim::new(small_config());
-        gpu.launch(program, LaunchDims { width: 40, height: 1, depth: 1 });
-        let mut hooks = TestHooks { width: 40, scripts_taken: 0 };
+        gpu.launch(
+            program,
+            LaunchDims {
+                width: 40,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut hooks = TestHooks {
+            width: 40,
+            scripts_taken: 0,
+        };
         gpu.run(&mut hooks);
         assert_eq!(gpu.mem.read_u32(0x20_0000 + 39 * 4), 39);
         // Thread 40 does not exist: untouched memory.
@@ -365,7 +411,10 @@ mod tests {
         let [src, v, idx, base, addr, four] = b.regs::<6>();
         b.mov_imm_u32(src, 0x30_0000);
         b.ld_global(v, src, 0);
-        b.emit(vksim_isa::op::Instr::RtRead { dst: idx, query: RtQuery::LaunchId(0) });
+        b.emit(vksim_isa::op::Instr::RtRead {
+            dst: idx,
+            query: RtQuery::LaunchId(0),
+        });
         b.mov_imm_u32(base, 0x40_0000);
         b.mov_imm_u32(four, 4);
         b.imul(addr, idx, four);
@@ -373,10 +422,23 @@ mod tests {
         b.st_global(addr, 0, v);
         b.exit();
         let program = b.build();
-        let mut gpu = GpuSim::new(GpuConfig { num_sms: 1, ..small_config() });
+        let mut gpu = GpuSim::new(GpuConfig {
+            num_sms: 1,
+            ..small_config()
+        });
         gpu.mem.write_u32(0x30_0000, 0xBEEF);
-        gpu.launch(program, LaunchDims { width: 128, height: 1, depth: 1 });
-        let mut hooks = TestHooks { width: 128, scripts_taken: 0 };
+        gpu.launch(
+            program,
+            LaunchDims {
+                width: 128,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut hooks = TestHooks {
+            width: 128,
+            scripts_taken: 0,
+        };
         let stats = gpu.run(&mut hooks);
         assert_eq!(gpu.mem.read_u32(0x40_0000), 0xBEEF);
         assert_eq!(gpu.mem.read_u32(0x40_0000 + 127 * 4), 0xBEEF);
@@ -407,9 +469,22 @@ mod tests {
         b.emit(vksim_isa::op::Instr::EndTraceRay);
         b.exit();
         let program = b.build();
-        let mut gpu = GpuSim::new(GpuConfig { num_sms: 1, ..small_config() });
-        gpu.launch(program, LaunchDims { width: 256, height: 1, depth: 1 });
-        let mut hooks = TestHooks { width: 256, scripts_taken: 0 };
+        let mut gpu = GpuSim::new(GpuConfig {
+            num_sms: 1,
+            ..small_config()
+        });
+        gpu.launch(
+            program,
+            LaunchDims {
+                width: 256,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut hooks = TestHooks {
+            width: 256,
+            scripts_taken: 0,
+        };
         let stats = gpu.run(&mut hooks);
         assert_eq!(hooks.scripts_taken, 256, "every lane's script consumed");
         assert_eq!(stats.counters.get("rt.trace_warps"), 8);
@@ -426,7 +501,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let [idx, eight, acc, one] = b.regs::<4>();
         let p = b.pred();
-        b.emit(vksim_isa::op::Instr::RtRead { dst: idx, query: RtQuery::LaunchId(0) });
+        b.emit(vksim_isa::op::Instr::RtRead {
+            dst: idx,
+            query: RtQuery::LaunchId(0),
+        });
         b.mov_imm_u32(eight, 8);
         b.mov_imm_u32(acc, 0);
         b.mov_imm_u32(one, 1);
@@ -447,9 +525,22 @@ mod tests {
         b.sync();
         b.exit();
         let program = b.build();
-        let mut gpu = GpuSim::new(GpuConfig { num_sms: 1, ..small_config() });
-        gpu.launch(program, LaunchDims { width: 32, height: 1, depth: 1 });
-        let mut hooks = TestHooks { width: 32, scripts_taken: 0 };
+        let mut gpu = GpuSim::new(GpuConfig {
+            num_sms: 1,
+            ..small_config()
+        });
+        gpu.launch(
+            program,
+            LaunchDims {
+                width: 32,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut hooks = TestHooks {
+            width: 32,
+            scripts_taken: 0,
+        };
         let stats = gpu.run(&mut hooks);
         assert_eq!(stats.counters.get("divergent_branches"), 1);
         assert!(
@@ -464,7 +555,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let [idx, half, acc, one] = b.regs::<4>();
         let p = b.pred();
-        b.emit(vksim_isa::op::Instr::RtRead { dst: idx, query: RtQuery::LaunchId(0) });
+        b.emit(vksim_isa::op::Instr::RtRead {
+            dst: idx,
+            query: RtQuery::LaunchId(0),
+        });
         b.mov_imm_u32(half, 16);
         b.mov_imm_u32(acc, 0);
         b.mov_imm_u32(one, 1);
@@ -493,8 +587,18 @@ mod tests {
             divergence: DivergenceMode::Multipath,
             ..small_config()
         });
-        gpu.launch(program, LaunchDims { width: 32, height: 1, depth: 1 });
-        let mut hooks = TestHooks { width: 32, scripts_taken: 0 };
+        gpu.launch(
+            program,
+            LaunchDims {
+                width: 32,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut hooks = TestHooks {
+            width: 32,
+            scripts_taken: 0,
+        };
         gpu.run(&mut hooks);
         for i in 0..32u64 {
             assert_eq!(gpu.mem.read_u32(0x50_0000 + i * 4), 1, "lane {i}");

@@ -71,14 +71,23 @@ pub struct SimtStack {
 
 impl SimtStack {
     fn new(mask: Mask) -> Self {
-        SimtStack { pc: 0, mask, stack: Vec::new(), exited: 0 }
+        SimtStack {
+            pc: 0,
+            mask,
+            stack: Vec::new(),
+            exited: 0,
+        }
     }
 
     fn contexts(&self) -> Vec<Ctx> {
         if self.mask == 0 {
             Vec::new()
         } else {
-            vec![Ctx { id: 0, pc: self.pc, mask: self.mask }]
+            vec![Ctx {
+                id: 0,
+                pc: self.pc,
+                mask: self.mask,
+            }]
         }
     }
 
@@ -86,7 +95,10 @@ impl SimtStack {
         match outcome {
             CtxOutcome::Fallthrough => self.pc += 1,
             CtxOutcome::Ssy { reconv } => {
-                self.stack.push(StackEntry::Join { pc: reconv, mask: self.mask });
+                self.stack.push(StackEntry::Join {
+                    pc: reconv,
+                    mask: self.mask,
+                });
                 self.pc += 1;
             }
             CtxOutcome::Branch { target, taken } => {
@@ -98,7 +110,10 @@ impl SimtStack {
                     self.pc = target;
                 } else {
                     // Defer the taken side; continue on fall-through.
-                    self.stack.push(StackEntry::Split { pc: target, mask: taken });
+                    self.stack.push(StackEntry::Split {
+                        pc: target,
+                        mask: taken,
+                    });
                     self.mask = not_taken;
                     self.pc += 1;
                 }
@@ -182,7 +197,12 @@ pub struct Multipath {
 impl Multipath {
     fn new(mask: Mask) -> Self {
         Multipath {
-            splits: vec![Split { id: 0, pc: 0, mask, joins: Vec::new() }],
+            splits: vec![Split {
+                id: 0,
+                pc: 0,
+                mask,
+                joins: Vec::new(),
+            }],
             joins: Vec::new(),
             exited: 0,
             next_id: 1,
@@ -192,7 +212,11 @@ impl Multipath {
     fn contexts(&self) -> Vec<Ctx> {
         self.splits
             .iter()
-            .map(|s| Ctx { id: s.id, pc: s.pc, mask: s.mask })
+            .map(|s| Ctx {
+                id: s.id,
+                pc: s.pc,
+                mask: s.mask,
+            })
             .collect()
     }
 
@@ -201,7 +225,9 @@ impl Multipath {
     }
 
     fn apply(&mut self, ctx_id: u32, outcome: CtxOutcome) {
-        let Some(i) = self.split_index(ctx_id) else { return };
+        let Some(i) = self.split_index(ctx_id) else {
+            return;
+        };
         match outcome {
             CtxOutcome::Fallthrough => self.splits[i].pc += 1,
             CtxOutcome::Ssy { reconv } => {
@@ -232,7 +258,12 @@ impl Multipath {
                     self.splits[i].pc += 1;
                     let id = self.next_id;
                     self.next_id += 1;
-                    self.splits.push(Split { id, pc: target, mask: taken, joins });
+                    self.splits.push(Split {
+                        id,
+                        pc: target,
+                        mask: taken,
+                        joins,
+                    });
                 }
             }
             CtxOutcome::Sync => {
@@ -279,7 +310,12 @@ impl Multipath {
         if mask != 0 {
             let id = self.next_id;
             self.next_id += 1;
-            self.splits.push(Split { id, pc, mask, joins });
+            self.splits.push(Split {
+                id,
+                pc,
+                mask,
+                joins,
+            });
         } else if let Some(&parent) = joins.last() {
             // All lanes exited below this join: propagate completion upward.
             self.try_complete_join(parent);
@@ -358,12 +394,20 @@ mod tests {
             guard += 1;
             assert!(guard < 100, "engine did not converge");
             let ctxs = engine.contexts();
-            let Some(c) = ctxs.first().copied() else { break };
+            let Some(c) = ctxs.first().copied() else {
+                break;
+            };
             visits.push((c.pc, c.mask));
             let outcome = match c.pc {
                 0 => CtxOutcome::Ssy { reconv: 5 },
-                1 => CtxOutcome::Branch { target: 3, taken: 0xAAAA_AAAA & c.mask },
-                2 => CtxOutcome::Branch { target: 5, taken: c.mask },
+                1 => CtxOutcome::Branch {
+                    target: 3,
+                    taken: 0xAAAA_AAAA & c.mask,
+                },
+                2 => CtxOutcome::Branch {
+                    target: 5,
+                    taken: c.mask,
+                },
                 3 => CtxOutcome::Fallthrough,
                 4 => CtxOutcome::Fallthrough,
                 5 => CtxOutcome::Sync,
@@ -380,11 +424,23 @@ mod tests {
         let mut e = SimtEngine::stack(FULL_MASK);
         let visits = drive_if_else(&mut e);
         // The instruction after sync (pc 6) must run with the full mask.
-        let at6: Vec<Mask> = visits.iter().filter(|(pc, _)| *pc == 6).map(|&(_, m)| m).collect();
+        let at6: Vec<Mask> = visits
+            .iter()
+            .filter(|(pc, _)| *pc == 6)
+            .map(|&(_, m)| m)
+            .collect();
         assert_eq!(at6, vec![FULL_MASK]);
         // Both sides executed with complementary masks.
-        let at3: Mask = visits.iter().filter(|(pc, _)| *pc == 3).map(|&(_, m)| m).sum();
-        let at2: Mask = visits.iter().filter(|(pc, _)| *pc == 2).map(|&(_, m)| m).sum();
+        let at3: Mask = visits
+            .iter()
+            .filter(|(pc, _)| *pc == 3)
+            .map(|&(_, m)| m)
+            .sum();
+        let at2: Mask = visits
+            .iter()
+            .filter(|(pc, _)| *pc == 2)
+            .map(|&(_, m)| m)
+            .sum();
         assert_eq!(at3 | at2, FULL_MASK);
         assert_eq!(at3 & at2, 0);
     }
@@ -396,7 +452,13 @@ mod tests {
         e.apply(0, CtxOutcome::Ssy { reconv: 3 });
         let c = e.contexts()[0];
         assert_eq!(c.pc, 1);
-        e.apply(0, CtxOutcome::Branch { target: 3, taken: FULL_MASK });
+        e.apply(
+            0,
+            CtxOutcome::Branch {
+                target: 3,
+                taken: FULL_MASK,
+            },
+        );
         let c = e.contexts()[0];
         assert_eq!(c.pc, 3);
         assert_eq!(c.mask, FULL_MASK);
@@ -412,17 +474,29 @@ mod tests {
         e.apply(0, CtxOutcome::Ssy { reconv: 10 });
         // Lanes 0,1 take the branch to 5 and exit there; lanes 2,3 fall
         // through and sync at 10.
-        e.apply(0, CtxOutcome::Branch { target: 5, taken: 0b0011 });
+        e.apply(
+            0,
+            CtxOutcome::Branch {
+                target: 5,
+                taken: 0b0011,
+            },
+        );
         // Current = fall-through lanes 2,3 at pc 2.
         let c = e.contexts()[0];
         assert_eq!((c.pc, c.mask), (2, 0b1100));
         // They run to the sync.
-        e.apply(0, CtxOutcome::Branch { target: 10, taken: c.mask });
+        e.apply(
+            0,
+            CtxOutcome::Branch {
+                target: 10,
+                taken: c.mask,
+            },
+        );
         e.apply(0, CtxOutcome::Sync); // pops the split (lanes 0,1 at pc 5)
         let c = e.contexts()[0];
         assert_eq!((c.pc, c.mask), (5, 0b0011));
         e.apply(0, CtxOutcome::Exit); // those lanes exit
-        // Unwind pops the join; remaining lanes resume after the sync.
+                                      // Unwind pops the join; remaining lanes resume after the sync.
         let c = e.contexts()[0];
         assert_eq!((c.pc, c.mask), (11, 0b1100));
         e.apply(0, CtxOutcome::Exit);
@@ -433,7 +507,11 @@ mod tests {
     fn multipath_if_else_reconverges() {
         let mut e = SimtEngine::multipath(FULL_MASK);
         let visits = drive_if_else(&mut e);
-        let at6: Vec<Mask> = visits.iter().filter(|(pc, _)| *pc == 6).map(|&(_, m)| m).collect();
+        let at6: Vec<Mask> = visits
+            .iter()
+            .filter(|(pc, _)| *pc == 6)
+            .map(|&(_, m)| m)
+            .collect();
         assert_eq!(at6, vec![FULL_MASK]);
     }
 
@@ -441,7 +519,13 @@ mod tests {
     fn multipath_exposes_both_splits_simultaneously() {
         let mut e = SimtEngine::multipath(FULL_MASK);
         e.apply(0, CtxOutcome::Ssy { reconv: 9 });
-        e.apply(0, CtxOutcome::Branch { target: 5, taken: 0xFFFF });
+        e.apply(
+            0,
+            CtxOutcome::Branch {
+                target: 5,
+                taken: 0xFFFF,
+            },
+        );
         let ctxs = e.contexts();
         assert_eq!(ctxs.len(), 2, "ITS: both sides schedulable");
         let masks: Mask = ctxs.iter().map(|c| c.mask).sum();
@@ -449,7 +533,13 @@ mod tests {
         // The stack engine in the same situation exposes only one.
         let mut s = SimtEngine::stack(FULL_MASK);
         s.apply(0, CtxOutcome::Ssy { reconv: 9 });
-        s.apply(0, CtxOutcome::Branch { target: 5, taken: 0xFFFF });
+        s.apply(
+            0,
+            CtxOutcome::Branch {
+                target: 5,
+                taken: 0xFFFF,
+            },
+        );
         assert_eq!(s.contexts().len(), 1);
     }
 
@@ -457,7 +547,13 @@ mod tests {
     fn multipath_join_waits_for_all_splits() {
         let mut e = SimtEngine::multipath(0b11);
         e.apply(0, CtxOutcome::Ssy { reconv: 4 });
-        e.apply(0, CtxOutcome::Branch { target: 3, taken: 0b01 });
+        e.apply(
+            0,
+            CtxOutcome::Branch {
+                target: 3,
+                taken: 0b01,
+            },
+        );
         let ctxs = e.contexts();
         assert_eq!(ctxs.len(), 2);
         // First split syncs: join not yet complete.
@@ -487,7 +583,13 @@ mod tests {
     fn multipath_exit_releases_join() {
         let mut e = SimtEngine::multipath(0b11);
         e.apply(0, CtxOutcome::Ssy { reconv: 4 });
-        e.apply(0, CtxOutcome::Branch { target: 3, taken: 0b01 });
+        e.apply(
+            0,
+            CtxOutcome::Branch {
+                target: 3,
+                taken: 0b01,
+            },
+        );
         // Taken split exits instead of syncing.
         let taken = *e.contexts().iter().find(|c| c.mask == 0b01).unwrap();
         e.apply(taken.id, CtxOutcome::Exit);
@@ -511,24 +613,60 @@ mod tests {
         // Outer if (lanes 0-1 vs 2-3), inner if inside then-side (lane 0 vs 1).
         let mut e = SimtEngine::stack(0b1111);
         e.apply(0, CtxOutcome::Ssy { reconv: 20 }); // outer join at 20
-        e.apply(0, CtxOutcome::Branch { target: 10, taken: 0b1100 });
+        e.apply(
+            0,
+            CtxOutcome::Branch {
+                target: 10,
+                taken: 0b1100,
+            },
+        );
         // Current: lanes 0,1 at pc 2 (fall-through).
         assert_eq!(e.contexts()[0].mask, 0b0011);
         e.apply(0, CtxOutcome::Ssy { reconv: 8 }); // inner join at 8
-        e.apply(0, CtxOutcome::Branch { target: 6, taken: 0b0001 });
+        e.apply(
+            0,
+            CtxOutcome::Branch {
+                target: 6,
+                taken: 0b0001,
+            },
+        );
         assert_eq!(e.contexts()[0].mask, 0b0010);
         // Fall-through lane reaches inner sync.
-        e.apply(0, CtxOutcome::Branch { target: 8, taken: 0b0010 });
+        e.apply(
+            0,
+            CtxOutcome::Branch {
+                target: 8,
+                taken: 0b0010,
+            },
+        );
         e.apply(0, CtxOutcome::Sync); // pops inner split (lane 0 at 6)
         assert_eq!((e.contexts()[0].pc, e.contexts()[0].mask), (6, 0b0001));
-        e.apply(0, CtxOutcome::Branch { target: 8, taken: 0b0001 });
+        e.apply(
+            0,
+            CtxOutcome::Branch {
+                target: 8,
+                taken: 0b0001,
+            },
+        );
         e.apply(0, CtxOutcome::Sync); // pops inner join -> lanes 0,1 at 9
         assert_eq!((e.contexts()[0].pc, e.contexts()[0].mask), (9, 0b0011));
         // They run to outer sync at 20.
-        e.apply(0, CtxOutcome::Branch { target: 20, taken: 0b0011 });
+        e.apply(
+            0,
+            CtxOutcome::Branch {
+                target: 20,
+                taken: 0b0011,
+            },
+        );
         e.apply(0, CtxOutcome::Sync); // pops outer split (lanes 2,3 at 10)
         assert_eq!((e.contexts()[0].pc, e.contexts()[0].mask), (10, 0b1100));
-        e.apply(0, CtxOutcome::Branch { target: 20, taken: 0b1100 });
+        e.apply(
+            0,
+            CtxOutcome::Branch {
+                target: 20,
+                taken: 0b1100,
+            },
+        );
         e.apply(0, CtxOutcome::Sync); // pops outer join -> all lanes at 21
         assert_eq!((e.contexts()[0].pc, e.contexts()[0].mask), (21, 0b1111));
     }
@@ -557,7 +695,13 @@ mod tests {
                 i if i < 4 => 1u32 << (i - 1),
                 _ => c.mask,
             } & c.mask;
-            e.apply(0, CtxOutcome::Branch { target: 9, taken: leaving });
+            e.apply(
+                0,
+                CtxOutcome::Branch {
+                    target: 9,
+                    taken: leaving,
+                },
+            );
             let c = e.contexts();
             if c.is_empty() {
                 break;
@@ -567,11 +711,194 @@ mod tests {
             }
             // body at pc2 then back to pc1... model as single fallthrough
             // returning to the branch pc.
-            e.apply(c[0].id, CtxOutcome::Branch { target: 1, taken: c[0].mask });
+            e.apply(
+                c[0].id,
+                CtxOutcome::Branch {
+                    target: 1,
+                    taken: c[0].mask,
+                },
+            );
         }
         let c = e.contexts();
         assert_eq!(c.len(), 1);
         assert_eq!(c[0].mask, 0b111, "all lanes reconverged after the loop");
         assert_eq!(c[0].pc, 10);
+    }
+
+    // -----------------------------------------------------------------
+    // Property tests (vksim-testkit): random structured programs with
+    // nested divergence must terminate, cover each instruction at most
+    // once per lane, and behave identically on both engines.
+    // -----------------------------------------------------------------
+
+    mod properties {
+        use super::*;
+        use vksim_testkit::prop::{check, map, u32_in, u64_in};
+        use vksim_testkit::{prop_assert_eq, Pcg32};
+
+        /// A compiled structured program: straight-line code with nested
+        /// if/else regions bracketed by `SSY`/`SYNC`, optional early exits
+        /// on the taken side, and a terminal `Exit`.
+        #[derive(Clone, Copy, Debug, PartialEq)]
+        enum Instr {
+            Ssy(u32),
+            Bra { target: u32, taken: Mask },
+            Nop,
+            Sync,
+            Exit,
+        }
+
+        /// Emits one block: optional nops around an optional nested
+        /// if/else. Branch masks are random but static, so the lane
+        /// partition (and therefore per-pc coverage) is schedule-free.
+        fn gen_block(rng: &mut Pcg32, depth: u32, code: &mut Vec<Instr>) {
+            for _ in 0..rng.u64_range(0, 2) {
+                code.push(Instr::Nop);
+            }
+            if depth > 0 && rng.bool_with(0.85) {
+                let ssy_at = code.len();
+                code.push(Instr::Nop); // patched to Ssy below
+                let bra_at = code.len();
+                code.push(Instr::Nop); // patched to the divergent Bra
+                gen_block(rng, depth - 1, code); // fall-through (else) side
+                let jump_at = code.len();
+                code.push(Instr::Nop); // patched to an unconditional Bra
+                let then_start = code.len() as u32;
+                gen_block(rng, depth - 1, code); // taken (then) side
+                if rng.bool_with(0.15) {
+                    code.push(Instr::Exit); // early exit under the join
+                }
+                let sync_at = code.len() as u32;
+                code.push(Instr::Sync);
+                code[ssy_at] = Instr::Ssy(sync_at);
+                code[bra_at] = Instr::Bra {
+                    target: then_start,
+                    taken: rng.next_u32(),
+                };
+                code[jump_at] = Instr::Bra {
+                    target: sync_at,
+                    taken: FULL_MASK,
+                };
+            }
+            for _ in 0..rng.u64_range(0, 2) {
+                code.push(Instr::Nop);
+            }
+        }
+
+        fn gen_program(seed: u64) -> Vec<Instr> {
+            let mut rng = Pcg32::new(seed);
+            let mut code = Vec::new();
+            gen_block(&mut rng, 3, &mut code);
+            code.push(Instr::Exit);
+            code
+        }
+
+        /// Drives an engine to completion with a (seeded) random context
+        /// schedule. Returns the per-pc executed-lane coverage, or an error
+        /// if the engine ran away, left the program, or re-executed a pc on
+        /// a lane.
+        fn run_program(
+            prog: &[Instr],
+            mut engine: SimtEngine,
+            sched_seed: u64,
+        ) -> Result<Vec<Mask>, String> {
+            let mut rng = Pcg32::new(sched_seed);
+            let mut coverage = vec![0u32; prog.len()];
+            let mut steps = 0u32;
+            while !engine.done() {
+                steps += 1;
+                if steps > 10_000 {
+                    return Err("engine did not terminate within 10k steps".into());
+                }
+                let ctxs = engine.contexts();
+                if ctxs.is_empty() {
+                    return Err("no runnable context but engine not done".into());
+                }
+                let c = ctxs[rng.u64_below(ctxs.len() as u64) as usize];
+                let pc = c.pc as usize;
+                if pc >= prog.len() {
+                    return Err(format!("pc {pc} escaped the program"));
+                }
+                if coverage[pc] & c.mask != 0 {
+                    return Err(format!(
+                        "lanes {:#010x} re-executed pc {pc}",
+                        coverage[pc] & c.mask
+                    ));
+                }
+                coverage[pc] |= c.mask;
+                let outcome = match prog[pc] {
+                    Instr::Nop => CtxOutcome::Fallthrough,
+                    Instr::Ssy(reconv) => CtxOutcome::Ssy { reconv },
+                    Instr::Bra { target, taken } => CtxOutcome::Branch {
+                        target,
+                        taken: taken & c.mask,
+                    },
+                    Instr::Sync => CtxOutcome::Sync,
+                    Instr::Exit => CtxOutcome::Exit,
+                };
+                engine.apply(c.id, outcome);
+            }
+            Ok(coverage)
+        }
+
+        fn strategy() -> impl vksim_testkit::Strategy<Value = (u64, u32, u64)> {
+            (
+                u64_in(0, 1 << 48),                  // program seed
+                map(u32_in(0, u32::MAX), |m| m | 1), // nonzero initial mask
+                u64_in(0, 1 << 48),                  // multipath schedule seed
+            )
+        }
+
+        /// Both engines terminate on arbitrary nested-divergence programs,
+        /// every initial lane eventually exits, and no lane executes an
+        /// instruction it does not own.
+        #[test]
+        fn random_nested_divergence_terminates_and_exits_all_lanes() {
+            check(&strategy(), |&(prog_seed, init_mask, sched_seed)| {
+                let prog = gen_program(prog_seed);
+                for engine in [
+                    SimtEngine::stack(init_mask),
+                    SimtEngine::multipath(init_mask),
+                ] {
+                    let coverage = run_program(&prog, engine, sched_seed)?;
+                    prop_assert_eq!(coverage[0], init_mask, "entry block runs all lanes");
+                    let mut exited: Mask = 0;
+                    for (pc, instr) in prog.iter().enumerate() {
+                        prop_assert_eq!(
+                            coverage[pc] & !init_mask,
+                            0,
+                            "phantom lanes at pc {pc}: {:#010x}",
+                            coverage[pc]
+                        );
+                        if *instr == Instr::Exit {
+                            exited |= coverage[pc];
+                        }
+                    }
+                    prop_assert_eq!(exited, init_mask, "every lane must reach an Exit");
+                }
+                Ok(())
+            });
+        }
+
+        /// The IPDOM stack and the ITS multipath engine are semantically
+        /// equivalent on structured programs: identical per-pc lane
+        /// coverage regardless of the multipath schedule.
+        #[test]
+        fn stack_and_multipath_agree_on_coverage() {
+            check(&strategy(), |&(prog_seed, init_mask, sched_seed)| {
+                let prog = gen_program(prog_seed);
+                let stack = run_program(&prog, SimtEngine::stack(init_mask), 0)?;
+                for schedule in [sched_seed, sched_seed ^ 0xDEAD_BEEF] {
+                    let multi = run_program(&prog, SimtEngine::multipath(init_mask), schedule)?;
+                    prop_assert_eq!(
+                        &stack,
+                        &multi,
+                        "engines diverged (prog seed {prog_seed}, mask {init_mask:#010x}, \
+                         schedule {schedule})\n  stack: {stack:?}\n  multi: {multi:?}"
+                    );
+                }
+                Ok(())
+            });
+        }
     }
 }

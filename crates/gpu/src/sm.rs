@@ -37,9 +37,7 @@ enum CtxStatus {
     /// Busy in an execution unit until the given cycle.
     OpUntil(u64),
     /// Waiting on outstanding memory chunks.
-    WaitMem {
-        outstanding: u32,
-    },
+    WaitMem { outstanding: u32 },
     /// Waiting for space in the RT unit's warp buffer.
     RtPending,
     /// Resident in the RT unit.
@@ -59,17 +57,33 @@ pub struct Warp {
 }
 
 impl Warp {
-    fn new(id: u32, base_tid: usize, active: Mask, program: &Program, mode: DivergenceMode) -> Self {
+    fn new(
+        id: u32,
+        base_tid: usize,
+        active: Mask,
+        program: &Program,
+        mode: DivergenceMode,
+    ) -> Self {
         let threads = (0..WARP_SIZE)
             .map(|lane| {
-                ThreadState::with_tid(program.num_regs(), program.num_preds().max(1), base_tid + lane)
+                ThreadState::with_tid(
+                    program.num_regs(),
+                    program.num_preds().max(1),
+                    base_tid + lane,
+                )
             })
             .collect();
         let engine = match mode {
             DivergenceMode::Stack => SimtEngine::stack(active),
             DivergenceMode::Multipath => SimtEngine::multipath(active),
         };
-        Warp { id, base_tid, threads, engine, ctx_state: HashMap::new() }
+        Warp {
+            id,
+            base_tid,
+            threads,
+            engine,
+            ctx_state: HashMap::new(),
+        }
     }
 
     fn done(&self) -> bool {
@@ -170,7 +184,8 @@ impl Sm {
     /// Admits a warp covering global threads `[base_tid, base_tid+32)` with
     /// `active` lanes.
     pub fn add_warp(&mut self, id: u32, base_tid: usize, active: Mask, program: &Program) {
-        self.warps.push(Warp::new(id, base_tid, active, program, self.divergence));
+        self.warps
+            .push(Warp::new(id, base_tid, active, program, self.divergence));
     }
 
     fn alloc_req_id(&mut self) -> u64 {
@@ -180,7 +195,9 @@ impl Sm {
 
     /// Routes a completed backend request (id was allocated by this SM).
     pub fn on_mem_complete(&mut self, id: u64, at: u64) {
-        let Some((sel, line)) = self.inflight.remove(&id) else { return };
+        let Some((sel, line)) = self.inflight.remove(&id) else {
+            return;
+        };
         match sel {
             CacheSel::L1 => {
                 self.l1.fill(line, at);
@@ -314,7 +331,12 @@ impl Sm {
                     let id = self.alloc_req_id();
                     self.inflight.insert(id, (CacheSel::L1, line));
                     shared.submit(
-                        MemRequest { id, addr: chunk, kind: AccessKind::ShaderLoad, is_store: false },
+                        MemRequest {
+                            id,
+                            addr: chunk,
+                            kind: AccessKind::ShaderLoad,
+                            is_store: false,
+                        },
                         now,
                     );
                     Some(Some(Waiter::WarpCtx { warp, ctx }))
@@ -324,7 +346,10 @@ impl Sm {
             };
             let Some(waiter) = resolved else { continue };
             if let Some(wtr) = waiter {
-                self.waiting_lines.entry((CacheSel::L1, line)).or_default().push(wtr);
+                self.waiting_lines
+                    .entry((CacheSel::L1, line))
+                    .or_default()
+                    .push(wtr);
             }
             if let Some(w) = self.warps.iter_mut().find(|w| w.id == warp) {
                 let st = w.ctx_state.entry(ctx).or_default();
@@ -414,7 +439,9 @@ impl Sm {
                 .unwrap_or_else(|e| panic!("SM{} warp {} lane {lane}: {e}", self.id, warp.id));
             lane_effects.push((lane, eff));
         }
-        let Some(&(_, first)) = lane_effects.first() else { return };
+        let Some(&(_, first)) = lane_effects.first() else {
+            return;
+        };
 
         let warp_id = warp.id;
         match first {
@@ -450,10 +477,14 @@ impl Sm {
                 if taken != 0 && taken != mask {
                     self.stats.inc("divergent_branches");
                 }
-                warp.engine.apply(ctx_id, CtxOutcome::Branch { target, taken });
+                warp.engine
+                    .apply(ctx_id, CtxOutcome::Branch { target, taken });
                 warp.ctx_state.entry(ctx_id).or_default().status = CtxStatus::Ready;
             }
-            Effect::Mem { space: MemSpace::Const, .. } => {
+            Effect::Mem {
+                space: MemSpace::Const,
+                ..
+            } => {
                 // Constant cache: single-cycle, no traffic modelled.
                 warp.engine.apply(ctx_id, CtxOutcome::Fallthrough);
                 warp.ctx_state.entry(ctx_id).or_default().status = CtxStatus::Ready;
@@ -487,8 +518,11 @@ impl Sm {
                             now,
                         );
                     }
-                    self.warps[warp_idx].ctx_state.entry(ctx_id).or_default().status =
-                        CtxStatus::Ready;
+                    self.warps[warp_idx]
+                        .ctx_state
+                        .entry(ctx_id)
+                        .or_default()
+                        .status = CtxStatus::Ready;
                     return;
                 }
                 let mut outstanding = 0u32;
@@ -504,7 +538,10 @@ impl Sm {
                             self.waiting_lines
                                 .entry((CacheSel::L1, line))
                                 .or_default()
-                                .push(Waiter::WarpCtx { warp: warp_id, ctx: ctx_id });
+                                .push(Waiter::WarpCtx {
+                                    warp: warp_id,
+                                    ctx: ctx_id,
+                                });
                             shared.submit(
                                 MemRequest {
                                     id,
@@ -521,7 +558,10 @@ impl Sm {
                             self.waiting_lines
                                 .entry((CacheSel::L1, line))
                                 .or_default()
-                                .push(Waiter::WarpCtx { warp: warp_id, ctx: ctx_id });
+                                .push(Waiter::WarpCtx {
+                                    warp: warp_id,
+                                    ctx: ctx_id,
+                                });
                         }
                         CacheOutcome::ReservationFail => {
                             outstanding += 1;
@@ -546,7 +586,10 @@ impl Sm {
                 }
                 self.next_rt_job += 1;
                 let job_id = self.next_rt_job;
-                let job = WarpJob { warp_id: job_id, scripts };
+                let job = WarpJob {
+                    warp_id: job_id,
+                    scripts,
+                };
                 self.stats.inc("rt.trace_warps");
                 let warp = &mut self.warps[warp_idx];
                 warp.engine.apply(ctx_id, CtxOutcome::Fallthrough);
@@ -597,14 +640,24 @@ impl RtMem for SmRtPort<'_> {
         };
         let line = cache.line_of(addr);
         match cache.access(addr, AccessKind::RtUnit, now) {
-            CacheOutcome::Hit => RtMemResult::Ready { at: now + cache.hit_latency() as u64 },
+            CacheOutcome::Hit => RtMemResult::Ready {
+                at: now + cache.hit_latency() as u64,
+            },
             CacheOutcome::MissToMemory => {
                 let id = self.alloc_req_id();
                 self.inflight.insert(id, (sel, line));
                 let token = id;
-                self.waiting_lines.entry((sel, line)).or_default().push(Waiter::RtToken(token));
+                self.waiting_lines
+                    .entry((sel, line))
+                    .or_default()
+                    .push(Waiter::RtToken(token));
                 self.shared.submit(
-                    MemRequest { id, addr, kind: AccessKind::RtUnit, is_store: false },
+                    MemRequest {
+                        id,
+                        addr,
+                        kind: AccessKind::RtUnit,
+                        is_store: false,
+                    },
                     now,
                 );
                 RtMemResult::Pending { token }
@@ -614,7 +667,10 @@ impl RtMem for SmRtPort<'_> {
                     *self.next_req += 1;
                     ((self.sm_id as u64) << 48) | *self.next_req
                 };
-                self.waiting_lines.entry((sel, line)).or_default().push(Waiter::RtToken(token));
+                self.waiting_lines
+                    .entry((sel, line))
+                    .or_default()
+                    .push(Waiter::RtToken(token));
                 RtMemResult::Pending { token }
             }
             CacheOutcome::ReservationFail => RtMemResult::Retry,
@@ -624,7 +680,14 @@ impl RtMem for SmRtPort<'_> {
     fn store_chunk(&mut self, addr: u64, now: u64) {
         // Write-through traffic; no completion tracked.
         let id = self.alloc_req_id();
-        self.shared
-            .submit(MemRequest { id, addr, kind: AccessKind::ShaderStore, is_store: true }, now);
+        self.shared.submit(
+            MemRequest {
+                id,
+                addr,
+                kind: AccessKind::ShaderStore,
+                is_store: true,
+            },
+            now,
+        );
     }
 }

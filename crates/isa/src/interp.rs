@@ -403,7 +403,11 @@ pub fn exec_at(
             Effect::Alu
         }
         Instr::Sel { dst, cond, a, b } => {
-            let v = if t.preds[cond.0 as usize] { t.u(a) } else { t.u(b) };
+            let v = if t.preds[cond.0 as usize] {
+                t.u(a)
+            } else {
+                t.u(b)
+            };
             t.set_u(dst, v);
             Effect::Alu
         }
@@ -419,17 +423,43 @@ pub fn exec_at(
         }
         Instr::Ssy { reconv } => Effect::Ssy { reconv },
         Instr::Sync => Effect::Sync,
-        Instr::Ld { dst, space, addr, offset } => {
+        Instr::Ld {
+            dst,
+            space,
+            addr,
+            offset,
+        } => {
             let a = resolve_addr(t, space, t.u(addr), offset);
             t.set_u(dst, mem.read_u32(a));
-            Effect::Mem { space, addr: a, is_store: false, size: 4 }
+            Effect::Mem {
+                space,
+                addr: a,
+                is_store: false,
+                size: 4,
+            }
         }
-        Instr::St { src, space, addr, offset } => {
+        Instr::St {
+            src,
+            space,
+            addr,
+            offset,
+        } => {
             let a = resolve_addr(t, space, t.u(addr), offset);
             mem.write_u32(a, t.u(src));
-            Effect::Mem { space, addr: a, is_store: true, size: 4 }
+            Effect::Mem {
+                space,
+                addr: a,
+                is_store: true,
+                size: 4,
+            }
         }
-        Instr::TraverseAs { origin, dir, tmin, tmax, flags } => {
+        Instr::TraverseAs {
+            origin,
+            dir,
+            tmin,
+            tmax,
+            flags,
+        } => {
             let ray = RayDesc {
                 origin: [t.f(origin[0]), t.f(origin[1]), t.f(origin[2])],
                 dir: [t.f(dir[0]), t.f(dir[1]), t.f(dir[2])],
@@ -600,7 +630,12 @@ mod tests {
             let [addr, v] = b.regs::<2>();
             b.mov_imm_u32(addr, 0x10);
             b.mov_imm_u32(v, 77);
-            b.emit(Instr::St { src: v, space: MemSpace::Local, addr, offset: 0 });
+            b.emit(Instr::St {
+                src: v,
+                space: MemSpace::Local,
+                addr,
+                offset: 0,
+            });
             b.exit();
             b.build()
         };
@@ -622,7 +657,12 @@ mod tests {
         b.mov_imm_f32(a, 1.0);
         b.mov_imm_f32(c, 2.0);
         b.setp_f(p, CmpOp::Lt, a, c);
-        b.emit(Instr::Sel { dst: out, cond: p, a, b: c });
+        b.emit(Instr::Sel {
+            dst: out,
+            cond: p,
+            a,
+            b: c,
+        });
         b.exit();
         let (t, _) = run(b);
         assert_eq!(t.f(Reg(2)), 1.0);
@@ -637,7 +677,12 @@ mod tests {
         b.mov_imm_u32(a, -1i32 as u32);
         b.mov_imm_u32(c, 1);
         b.setp_i(pu, CmpOp::Lt, a, c); // unsigned: MAX < 1 is false
-        b.emit(Instr::SetpS { dst: ps, cmp: CmpOp::Lt, a, b: c }); // signed: -1 < 1 true
+        b.emit(Instr::SetpS {
+            dst: ps,
+            cmp: CmpOp::Lt,
+            a,
+            b: c,
+        }); // signed: -1 < 1 true
         b.exit();
         let (t, _) = run(b);
         assert!(!t.preds[0]);
@@ -733,9 +778,15 @@ mod tests {
             tmax: rs[7],
             flags: rs[8],
         });
-        b.emit(Instr::RtRead { dst: rs[9], query: RtQuery::HitT });
+        b.emit(Instr::RtRead {
+            dst: rs[9],
+            query: RtQuery::HitT,
+        });
         b.mov_imm_u32(rs[10], 0);
-        b.emit(Instr::ReportIntersection { t: rs[9], idx: rs[10] });
+        b.emit(Instr::ReportIntersection {
+            t: rs[9],
+            idx: rs[10],
+        });
         b.emit(Instr::EndTraceRay);
         b.exit();
         let p = b.build();
@@ -754,7 +805,10 @@ mod tests {
     fn launch_id_query() {
         let mut b = ProgramBuilder::new();
         let r = b.reg();
-        b.emit(Instr::RtRead { dst: r, query: RtQuery::LaunchId(1) });
+        b.emit(Instr::RtRead {
+            dst: r,
+            query: RtQuery::LaunchId(1),
+        });
         b.exit();
         let p = b.build();
         let mut t = ThreadState::new(p.num_regs());

@@ -186,22 +186,45 @@ pub enum Instr {
     /// Convert u32 -> f32.
     CvtU2F { dst: Reg, a: Reg },
     /// Compare and set predicate.
-    SetpF { dst: Pred, cmp: CmpOp, a: Reg, b: Reg },
+    SetpF {
+        dst: Pred,
+        cmp: CmpOp,
+        a: Reg,
+        b: Reg,
+    },
     /// Integer compare (unsigned) and set predicate.
-    SetpI { dst: Pred, cmp: CmpOp, a: Reg, b: Reg },
+    SetpI {
+        dst: Pred,
+        cmp: CmpOp,
+        a: Reg,
+        b: Reg,
+    },
     /// Signed integer compare and set predicate.
-    SetpS { dst: Pred, cmp: CmpOp, a: Reg, b: Reg },
+    SetpS {
+        dst: Pred,
+        cmp: CmpOp,
+        a: Reg,
+        b: Reg,
+    },
     /// Predicate logic: `dst = a AND b`.
     PredAnd { dst: Pred, a: Pred, b: Pred },
     /// Predicate logic: `dst = NOT a`.
     PredNot { dst: Pred, a: Pred },
     /// Select: `dst = if cond { a } else { b }`.
-    Sel { dst: Reg, cond: Pred, a: Reg, b: Reg },
+    Sel {
+        dst: Reg,
+        cond: Pred,
+        a: Reg,
+        b: Reg,
+    },
 
     // ---- Control flow ----
     /// Unconditional or predicated branch to resolved pc `target`.
     /// `expect` gives the predicate value that takes the branch.
-    Bra { target: u32, pred: Option<(Pred, bool)> },
+    Bra {
+        target: u32,
+        pred: Option<(Pred, bool)>,
+    },
     /// Push a reconvergence point (immediate post-dominator) for the SIMT
     /// stack; like SASS `SSY`.
     Ssy { reconv: u32 },
@@ -210,9 +233,19 @@ pub enum Instr {
 
     // ---- Memory ----
     /// 32-bit load: `dst = [addr + offset]`.
-    Ld { dst: Reg, space: MemSpace, addr: Reg, offset: i32 },
+    Ld {
+        dst: Reg,
+        space: MemSpace,
+        addr: Reg,
+        offset: i32,
+    },
     /// 32-bit store: `[addr + offset] = src`.
-    St { src: Reg, space: MemSpace, addr: Reg, offset: i32 },
+    St {
+        src: Reg,
+        space: MemSpace,
+        addr: Reg,
+        offset: i32,
+    },
 
     // ---- Ray tracing (Table II + Algorithm 1 support) ----
     /// `traverseAS`: launch acceleration-structure traversal for this
@@ -238,7 +271,11 @@ pub enum Instr {
     /// Read a scalar from the per-thread RT state.
     RtRead { dst: Reg, query: RtQuery },
     /// Read an indexed value from the pending-intersection table.
-    RtReadIdx { dst: Reg, query: RtIdxQuery, idx: Reg },
+    RtReadIdx {
+        dst: Reg,
+        query: RtIdxQuery,
+        idx: Reg,
+    },
     /// `intersectionExit`-style check: predicate set when `idx` is still a
     /// valid pending-intersection index (loop continues while true).
     IntersectionValid { dst: Pred, idx: Reg },
@@ -258,17 +295,48 @@ impl Instr {
     pub fn class(&self) -> InstClass {
         use Instr::*;
         match self {
-            FDiv { .. } | FSqrt { .. } | FRsqrt { .. } | FSin { .. } | FCos { .. } => InstClass::Sfu,
-            MovImm { .. } | Mov { .. } | IAdd { .. } | ISub { .. } | IMul { .. } | IMin { .. }
-            | IMax { .. } | IAnd { .. } | IOr { .. } | IXor { .. } | IShl { .. } | IShr { .. }
-            | FAdd { .. } | FSub { .. } | FMul { .. } | FFma { .. } | FMin { .. } | FMax { .. }
-            | FNeg { .. } | FAbs { .. } | FFloor { .. } | CvtF2I { .. } | CvtI2F { .. }
-            | CvtU2F { .. } | SetpF { .. } | SetpI { .. } | SetpS { .. } | PredAnd { .. }
-            | PredNot { .. } | Sel { .. } => InstClass::Alu,
+            FDiv { .. } | FSqrt { .. } | FRsqrt { .. } | FSin { .. } | FCos { .. } => {
+                InstClass::Sfu
+            }
+            MovImm { .. }
+            | Mov { .. }
+            | IAdd { .. }
+            | ISub { .. }
+            | IMul { .. }
+            | IMin { .. }
+            | IMax { .. }
+            | IAnd { .. }
+            | IOr { .. }
+            | IXor { .. }
+            | IShl { .. }
+            | IShr { .. }
+            | FAdd { .. }
+            | FSub { .. }
+            | FMul { .. }
+            | FFma { .. }
+            | FMin { .. }
+            | FMax { .. }
+            | FNeg { .. }
+            | FAbs { .. }
+            | FFloor { .. }
+            | CvtF2I { .. }
+            | CvtI2F { .. }
+            | CvtU2F { .. }
+            | SetpF { .. }
+            | SetpI { .. }
+            | SetpS { .. }
+            | PredAnd { .. }
+            | PredNot { .. }
+            | Sel { .. } => InstClass::Alu,
             Bra { .. } | Ssy { .. } | Sync => InstClass::Ctrl,
             Ld { .. } | St { .. } => InstClass::Mem,
-            TraverseAs { .. } | EndTraceRay | RtAllocMem { .. } | RtRead { .. }
-            | RtReadIdx { .. } | IntersectionValid { .. } | NextCoalescedCall { .. }
+            TraverseAs { .. }
+            | EndTraceRay
+            | RtAllocMem { .. }
+            | RtRead { .. }
+            | RtReadIdx { .. }
+            | IntersectionValid { .. }
+            | NextCoalescedCall { .. }
             | ReportIntersection { .. } => InstClass::Rt,
             Exit => InstClass::Exit,
         }
@@ -289,13 +357,41 @@ mod tests {
 
     #[test]
     fn classes_cover_paper_breakdown() {
-        assert_eq!(Instr::FAdd { dst: Reg(0), a: Reg(0), b: Reg(0) }.class(), InstClass::Alu);
-        assert_eq!(Instr::FSqrt { dst: Reg(0), a: Reg(0) }.class(), InstClass::Sfu);
         assert_eq!(
-            Instr::Ld { dst: Reg(0), space: MemSpace::Global, addr: Reg(0), offset: 0 }.class(),
+            Instr::FAdd {
+                dst: Reg(0),
+                a: Reg(0),
+                b: Reg(0)
+            }
+            .class(),
+            InstClass::Alu
+        );
+        assert_eq!(
+            Instr::FSqrt {
+                dst: Reg(0),
+                a: Reg(0)
+            }
+            .class(),
+            InstClass::Sfu
+        );
+        assert_eq!(
+            Instr::Ld {
+                dst: Reg(0),
+                space: MemSpace::Global,
+                addr: Reg(0),
+                offset: 0
+            }
+            .class(),
             InstClass::Mem
         );
-        assert_eq!(Instr::Bra { target: 0, pred: None }.class(), InstClass::Ctrl);
+        assert_eq!(
+            Instr::Bra {
+                target: 0,
+                pred: None
+            }
+            .class(),
+            InstClass::Ctrl
+        );
         assert_eq!(Instr::EndTraceRay.class(), InstClass::Rt);
         assert_eq!(Instr::Exit.class(), InstClass::Exit);
     }

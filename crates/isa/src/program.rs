@@ -150,7 +150,10 @@ impl ProgramBuilder {
 
     /// `dst = imm` as f32 bits.
     pub fn mov_imm_f32(&mut self, dst: Reg, imm: f32) {
-        self.emit(Instr::MovImm { dst, imm: imm.to_bits() });
+        self.emit(Instr::MovImm {
+            dst,
+            imm: imm.to_bits(),
+        });
     }
 
     /// Register move.
@@ -205,19 +208,28 @@ impl ProgramBuilder {
 
     /// Unconditional branch.
     pub fn bra(&mut self, target: Label) {
-        self.fixups.push((self.instrs.len(), target, FixupKind::BraTarget));
-        self.emit(Instr::Bra { target: u32::MAX, pred: None });
+        self.fixups
+            .push((self.instrs.len(), target, FixupKind::BraTarget));
+        self.emit(Instr::Bra {
+            target: u32::MAX,
+            pred: None,
+        });
     }
 
     /// Branch taken when `pred == expect`.
     pub fn bra_if(&mut self, target: Label, pred: Pred, expect: bool) {
-        self.fixups.push((self.instrs.len(), target, FixupKind::BraTarget));
-        self.emit(Instr::Bra { target: u32::MAX, pred: Some((pred, expect)) });
+        self.fixups
+            .push((self.instrs.len(), target, FixupKind::BraTarget));
+        self.emit(Instr::Bra {
+            target: u32::MAX,
+            pred: Some((pred, expect)),
+        });
     }
 
     /// Push reconvergence point for an upcoming divergent branch.
     pub fn ssy(&mut self, reconv: Label) {
-        self.fixups.push((self.instrs.len(), reconv, FixupKind::SsyReconv));
+        self.fixups
+            .push((self.instrs.len(), reconv, FixupKind::SsyReconv));
         self.emit(Instr::Ssy { reconv: u32::MAX });
     }
 
@@ -228,12 +240,22 @@ impl ProgramBuilder {
 
     /// Global-memory 32-bit load.
     pub fn ld_global(&mut self, dst: Reg, addr: Reg, offset: i32) {
-        self.emit(Instr::Ld { dst, space: MemSpace::Global, addr, offset });
+        self.emit(Instr::Ld {
+            dst,
+            space: MemSpace::Global,
+            addr,
+            offset,
+        });
     }
 
     /// Global-memory 32-bit store (`addr` register, immediate offset).
     pub fn st_global(&mut self, addr: Reg, offset: i32, src: Reg) {
-        self.emit(Instr::St { src, space: MemSpace::Global, addr, offset });
+        self.emit(Instr::St {
+            src,
+            space: MemSpace::Global,
+            addr,
+            offset,
+        });
     }
 
     /// Thread exit.
@@ -283,7 +305,10 @@ mod tests {
         b.exit();
         let p = b.build();
         match p.fetch(2) {
-            Instr::Bra { target, pred: Some(_) } => assert_eq!(*target, 4),
+            Instr::Bra {
+                target,
+                pred: Some(_),
+            } => assert_eq!(*target, 4),
             other => panic!("unexpected {other:?}"),
         }
         match p.fetch(3) {

@@ -30,7 +30,12 @@ use std::fmt::Write as _;
 /// header carrying the register counts.
 pub fn disassemble(p: &Program) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, ".program regs={} preds={}", p.num_regs(), p.num_preds());
+    let _ = writeln!(
+        out,
+        ".program regs={} preds={}",
+        p.num_regs(),
+        p.num_preds()
+    );
     for (pc, i) in p.instrs().iter().enumerate() {
         let _ = writeln!(out, "{pc:>6}: {}", format_instr(i));
     }
@@ -159,25 +164,50 @@ pub fn format_instr(i: &Instr) -> String {
         CvtF2I { dst, a } => format!("cvt.s32.f32 {}, {}", r(dst), r(a)),
         CvtI2F { dst, a } => format!("cvt.f32.s32 {}, {}", r(dst), r(a)),
         CvtU2F { dst, a } => format!("cvt.f32.u32 {}, {}", r(dst), r(a)),
-        SetpF { dst, cmp: c, a, b } => format!("setp.{}.f32 {}, {}, {}", cmp(c), p(dst), r(a), r(b)),
-        SetpI { dst, cmp: c, a, b } => format!("setp.{}.u32 {}, {}, {}", cmp(c), p(dst), r(a), r(b)),
-        SetpS { dst, cmp: c, a, b } => format!("setp.{}.s32 {}, {}, {}", cmp(c), p(dst), r(a), r(b)),
+        SetpF { dst, cmp: c, a, b } => {
+            format!("setp.{}.f32 {}, {}, {}", cmp(c), p(dst), r(a), r(b))
+        }
+        SetpI { dst, cmp: c, a, b } => {
+            format!("setp.{}.u32 {}, {}, {}", cmp(c), p(dst), r(a), r(b))
+        }
+        SetpS { dst, cmp: c, a, b } => {
+            format!("setp.{}.s32 {}, {}, {}", cmp(c), p(dst), r(a), r(b))
+        }
         PredAnd { dst, a, b } => format!("and.pred {}, {}, {}", p(dst), p(a), p(b)),
         PredNot { dst, a } => format!("not.pred {}, {}", p(dst), p(a)),
         Sel { dst, cond, a, b } => format!("selp {}, {}, {}, {}", r(dst), r(a), r(b), p(cond)),
         Bra { target, pred: None } => format!("bra {target}"),
-        Bra { target, pred: Some((pr, exp)) } => {
+        Bra {
+            target,
+            pred: Some((pr, exp)),
+        } => {
             format!("@{}{} bra {target}", if exp { "" } else { "!" }, p(pr))
         }
         Ssy { reconv } => format!("ssy {reconv}"),
         Sync => "sync".into(),
-        Ld { dst, space: s, addr, offset } => {
+        Ld {
+            dst,
+            space: s,
+            addr,
+            offset,
+        } => {
             format!("ld.{} {}, [{}+{offset}]", space(s), r(dst), r(addr))
         }
-        St { src, space: s, addr, offset } => {
+        St {
+            src,
+            space: s,
+            addr,
+            offset,
+        } => {
             format!("st.{} [{}+{offset}], {}", space(s), r(addr), r(src))
         }
-        TraverseAs { origin, dir, tmin, tmax, flags } => format!(
+        TraverseAs {
+            origin,
+            dir,
+            tmin,
+            tmax,
+            flags,
+        } => format!(
             "traverseAS {}, {}, {}, {}, {}, {}, {}, {}, {}",
             r(origin[0]),
             r(origin[1]),
@@ -233,7 +263,10 @@ pub fn assemble(text: &str) -> Result<Program, ParseError> {
         if line.is_empty() || line.starts_with("//") {
             continue;
         }
-        let err = |m: &str| ParseError { line: lineno + 1, message: m.to_string() };
+        let err = |m: &str| ParseError {
+            line: lineno + 1,
+            message: m.to_string(),
+        };
         if let Some(rest) = line.strip_prefix(".program") {
             for tok in rest.split_whitespace() {
                 if let Some(v) = tok.strip_prefix("regs=") {
@@ -304,7 +337,10 @@ fn parse_instr(body: &str) -> Option<Instr> {
             None => (true, guard),
         };
         let target = tail.strip_prefix("bra ")?.trim().parse().ok()?;
-        return Some(Bra { target, pred: Some((pred(pname)?, expect)) });
+        return Some(Bra {
+            target,
+            pred: Some((pred(pname)?, expect)),
+        });
     }
     let (mnemonic, args) = match body.split_once(' ') {
         Some((m, a)) => (m, a.trim()),
@@ -360,34 +396,51 @@ fn parse_instr(body: &str) -> Option<Instr> {
             a: pred(ops.get(1)?)?,
             b: pred(ops.get(2)?)?,
         },
-        "not.pred" => PredNot { dst: pred(ops.first()?)?, a: pred(ops.get(1)?)? },
+        "not.pred" => PredNot {
+            dst: pred(ops.first()?)?,
+            a: pred(ops.get(1)?)?,
+        },
         "selp" => Sel {
             dst: reg(ops.first()?)?,
             a: reg(ops.get(1)?)?,
             b: reg(ops.get(2)?)?,
             cond: pred(ops.get(3)?)?,
         },
-        "bra" => Bra { target: args.trim().parse().ok()?, pred: None },
-        "ssy" => Ssy { reconv: args.trim().parse().ok()? },
+        "bra" => Bra {
+            target: args.trim().parse().ok()?,
+            pred: None,
+        },
+        "ssy" => Ssy {
+            reconv: args.trim().parse().ok()?,
+        },
         "sync" => Sync,
         "exit" => Exit,
         "endTraceRay" => EndTraceRay,
-        "rt_alloc_mem" => RtAllocMem { dst: reg(ops.first()?)?, size: ops.get(1)?.parse().ok()? },
-        "rt_read" => RtRead { dst: reg(ops.first()?)?, query: parse_rt_query(ops.get(1)?)? },
+        "rt_alloc_mem" => RtAllocMem {
+            dst: reg(ops.first()?)?,
+            size: ops.get(1)?.parse().ok()?,
+        },
+        "rt_read" => RtRead {
+            dst: reg(ops.first()?)?,
+            query: parse_rt_query(ops.get(1)?)?,
+        },
         "rt_read_idx" => RtReadIdx {
             dst: reg(ops.first()?)?,
             query: parse_idx_query(ops.get(1)?)?,
             idx: reg(ops.get(2)?)?,
         },
-        "intersectionExit" => {
-            IntersectionValid { dst: pred(ops.first()?)?, idx: reg(ops.get(1)?)? }
-        }
-        "getNextCoalescedCall" => {
-            NextCoalescedCall { dst: reg(ops.first()?)?, idx: reg(ops.get(1)?)? }
-        }
-        "reportIntersection" => {
-            ReportIntersection { t: reg(ops.first()?)?, idx: reg(ops.get(1)?)? }
-        }
+        "intersectionExit" => IntersectionValid {
+            dst: pred(ops.first()?)?,
+            idx: reg(ops.get(1)?)?,
+        },
+        "getNextCoalescedCall" => NextCoalescedCall {
+            dst: reg(ops.first()?)?,
+            idx: reg(ops.get(1)?)?,
+        },
+        "reportIntersection" => ReportIntersection {
+            t: reg(ops.first()?)?,
+            idx: reg(ops.get(1)?)?,
+        },
         "traverseAS" => TraverseAs {
             origin: [reg(ops.first()?)?, reg(ops.get(1)?)?, reg(ops.get(2)?)?],
             dir: [reg(ops.get(3)?)?, reg(ops.get(4)?)?, reg(ops.get(5)?)?],
@@ -415,13 +468,23 @@ fn parse_instr(body: &str) -> Option<Instr> {
             let dst = reg(ops.first()?)?;
             let mem = ops.get(1)?.trim_start_matches('[').trim_end_matches(']');
             let (a, off) = mem.split_once('+')?;
-            Ld { dst, space: s, addr: reg(a)?, offset: off.parse().ok()? }
+            Ld {
+                dst,
+                space: s,
+                addr: reg(a)?,
+                offset: off.parse().ok()?,
+            }
         }
         m if m.starts_with("st.") => {
             let s = parse_space(m.strip_prefix("st.")?)?;
             let mem = ops.first()?.trim_start_matches('[').trim_end_matches(']');
             let (a, off) = mem.split_once('+')?;
-            St { src: reg(ops.get(1)?)?, space: s, addr: reg(a)?, offset: off.parse().ok()? }
+            St {
+                src: reg(ops.get(1)?)?,
+                space: s,
+                addr: reg(a)?,
+                offset: off.parse().ok()?,
+            }
         }
         _ => return None,
     })
@@ -439,15 +502,33 @@ mod tests {
         b.mov_imm_f32(a, 2.5);
         b.mov_imm_u32(c, 7);
         b.fadd(d, a, a);
-        b.emit(Instr::FFma { dst: d, a, b: c, c: d });
+        b.emit(Instr::FFma {
+            dst: d,
+            a,
+            b: c,
+            c: d,
+        });
         b.setp_f(p0, CmpOp::Lt, a, d);
         let l = b.new_label();
         b.bra_if(l, p0, false);
-        b.emit(Instr::Ld { dst: d, space: MemSpace::Global, addr: c, offset: -8 });
-        b.emit(Instr::St { src: d, space: MemSpace::Local, addr: c, offset: 16 });
+        b.emit(Instr::Ld {
+            dst: d,
+            space: MemSpace::Global,
+            addr: c,
+            offset: -8,
+        });
+        b.emit(Instr::St {
+            src: d,
+            space: MemSpace::Local,
+            addr: c,
+            offset: 16,
+        });
         b.bind_label(l);
         b.sync();
-        b.emit(Instr::RtRead { dst: a, query: RtQuery::HitWorldNormal(2) });
+        b.emit(Instr::RtRead {
+            dst: a,
+            query: RtQuery::HitWorldNormal(2),
+        });
         b.emit(Instr::RtReadIdx {
             dst: a,
             query: RtIdxQuery::IntersectionShaderId,
@@ -492,24 +573,91 @@ mod tests {
         let r1 = Reg(1);
         let p0 = Pred(0);
         let all = vec![
-            Instr::MovImm { dst: r0, imm: 0xDEADBEEF },
+            Instr::MovImm {
+                dst: r0,
+                imm: 0xDEADBEEF,
+            },
             Instr::Mov { dst: r0, src: r1 },
-            Instr::IAdd { dst: r0, a: r0, b: r1 },
-            Instr::ISub { dst: r0, a: r0, b: r1 },
-            Instr::IMul { dst: r0, a: r0, b: r1 },
-            Instr::IMin { dst: r0, a: r0, b: r1 },
-            Instr::IMax { dst: r0, a: r0, b: r1 },
-            Instr::IAnd { dst: r0, a: r0, b: r1 },
-            Instr::IOr { dst: r0, a: r0, b: r1 },
-            Instr::IXor { dst: r0, a: r0, b: r1 },
-            Instr::IShl { dst: r0, a: r0, b: r1 },
-            Instr::IShr { dst: r0, a: r0, b: r1 },
-            Instr::FAdd { dst: r0, a: r0, b: r1 },
-            Instr::FSub { dst: r0, a: r0, b: r1 },
-            Instr::FMul { dst: r0, a: r0, b: r1 },
-            Instr::FDiv { dst: r0, a: r0, b: r1 },
-            Instr::FMin { dst: r0, a: r0, b: r1 },
-            Instr::FMax { dst: r0, a: r0, b: r1 },
+            Instr::IAdd {
+                dst: r0,
+                a: r0,
+                b: r1,
+            },
+            Instr::ISub {
+                dst: r0,
+                a: r0,
+                b: r1,
+            },
+            Instr::IMul {
+                dst: r0,
+                a: r0,
+                b: r1,
+            },
+            Instr::IMin {
+                dst: r0,
+                a: r0,
+                b: r1,
+            },
+            Instr::IMax {
+                dst: r0,
+                a: r0,
+                b: r1,
+            },
+            Instr::IAnd {
+                dst: r0,
+                a: r0,
+                b: r1,
+            },
+            Instr::IOr {
+                dst: r0,
+                a: r0,
+                b: r1,
+            },
+            Instr::IXor {
+                dst: r0,
+                a: r0,
+                b: r1,
+            },
+            Instr::IShl {
+                dst: r0,
+                a: r0,
+                b: r1,
+            },
+            Instr::IShr {
+                dst: r0,
+                a: r0,
+                b: r1,
+            },
+            Instr::FAdd {
+                dst: r0,
+                a: r0,
+                b: r1,
+            },
+            Instr::FSub {
+                dst: r0,
+                a: r0,
+                b: r1,
+            },
+            Instr::FMul {
+                dst: r0,
+                a: r0,
+                b: r1,
+            },
+            Instr::FDiv {
+                dst: r0,
+                a: r0,
+                b: r1,
+            },
+            Instr::FMin {
+                dst: r0,
+                a: r0,
+                b: r1,
+            },
+            Instr::FMax {
+                dst: r0,
+                a: r0,
+                b: r1,
+            },
             Instr::FNeg { dst: r0, a: r1 },
             Instr::FAbs { dst: r0, a: r1 },
             Instr::FSqrt { dst: r0, a: r1 },
@@ -520,18 +668,58 @@ mod tests {
             Instr::CvtF2I { dst: r0, a: r1 },
             Instr::CvtI2F { dst: r0, a: r1 },
             Instr::CvtU2F { dst: r0, a: r1 },
-            Instr::SetpF { dst: p0, cmp: CmpOp::Ge, a: r0, b: r1 },
-            Instr::SetpI { dst: p0, cmp: CmpOp::Ne, a: r0, b: r1 },
-            Instr::SetpS { dst: p0, cmp: CmpOp::Le, a: r0, b: r1 },
-            Instr::PredAnd { dst: p0, a: p0, b: p0 },
+            Instr::SetpF {
+                dst: p0,
+                cmp: CmpOp::Ge,
+                a: r0,
+                b: r1,
+            },
+            Instr::SetpI {
+                dst: p0,
+                cmp: CmpOp::Ne,
+                a: r0,
+                b: r1,
+            },
+            Instr::SetpS {
+                dst: p0,
+                cmp: CmpOp::Le,
+                a: r0,
+                b: r1,
+            },
+            Instr::PredAnd {
+                dst: p0,
+                a: p0,
+                b: p0,
+            },
             Instr::PredNot { dst: p0, a: p0 },
-            Instr::Sel { dst: r0, cond: p0, a: r0, b: r1 },
-            Instr::Bra { target: 3, pred: None },
-            Instr::Bra { target: 4, pred: Some((p0, true)) },
+            Instr::Sel {
+                dst: r0,
+                cond: p0,
+                a: r0,
+                b: r1,
+            },
+            Instr::Bra {
+                target: 3,
+                pred: None,
+            },
+            Instr::Bra {
+                target: 4,
+                pred: Some((p0, true)),
+            },
             Instr::Ssy { reconv: 9 },
             Instr::Sync,
-            Instr::Ld { dst: r0, space: MemSpace::Const, addr: r1, offset: 4 },
-            Instr::St { src: r0, space: MemSpace::Global, addr: r1, offset: 0 },
+            Instr::Ld {
+                dst: r0,
+                space: MemSpace::Const,
+                addr: r1,
+                offset: 4,
+            },
+            Instr::St {
+                src: r0,
+                space: MemSpace::Global,
+                addr: r1,
+                offset: 0,
+            },
             Instr::RtAllocMem { dst: r0, size: 128 },
             Instr::IntersectionValid { dst: p0, idx: r1 },
             Instr::NextCoalescedCall { dst: r0, idx: r1 },
@@ -541,8 +729,8 @@ mod tests {
         ];
         for i in all {
             let text = format_instr(&i);
-            let parsed = parse_instr(&text)
-                .unwrap_or_else(|| panic!("failed to parse back: {text}"));
+            let parsed =
+                parse_instr(&text).unwrap_or_else(|| panic!("failed to parse back: {text}"));
             assert_eq!(parsed, i, "round trip of `{text}`");
         }
     }
@@ -567,7 +755,10 @@ mod tests {
             RtQuery::RayTMin,
             RtQuery::RecursionDepth,
         ] {
-            let i = Instr::RtRead { dst: Reg(5), query: q };
+            let i = Instr::RtRead {
+                dst: Reg(5),
+                query: q,
+            };
             assert_eq!(parse_instr(&format_instr(&i)), Some(i));
         }
     }

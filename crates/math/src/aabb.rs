@@ -40,7 +40,10 @@ impl Aabb {
 
     /// Box containing all three triangle vertices.
     pub fn from_triangle(v0: Vec3, v1: Vec3, v2: Vec3) -> Self {
-        Aabb { min: v0.min(v1).min(v2), max: v0.max(v1).max(v2) }
+        Aabb {
+            min: v0.min(v1).min(v2),
+            max: v0.max(v1).max(v2),
+        }
     }
 
     /// `true` if the box contains no points.
@@ -52,13 +55,19 @@ impl Aabb {
     /// Smallest box containing both operands.
     #[inline]
     pub fn union(&self, rhs: &Aabb) -> Aabb {
-        Aabb { min: self.min.min(rhs.min), max: self.max.max(rhs.max) }
+        Aabb {
+            min: self.min.min(rhs.min),
+            max: self.max.max(rhs.max),
+        }
     }
 
     /// Grows the box to contain `p`.
     #[inline]
     pub fn union_point(&self, p: Vec3) -> Aabb {
-        Aabb { min: self.min.min(p), max: self.max.max(p) }
+        Aabb {
+            min: self.min.min(p),
+            max: self.max.max(p),
+        }
     }
 
     /// Box center.
@@ -122,7 +131,10 @@ impl Aabb {
     /// Pads the box by `eps` on every side (guards against degenerate flat
     /// boxes from axis-aligned geometry).
     pub fn padded(&self, eps: f32) -> Aabb {
-        Aabb { min: self.min - Vec3::splat(eps), max: self.max + Vec3::splat(eps) }
+        Aabb {
+            min: self.min - Vec3::splat(eps),
+            max: self.max + Vec3::splat(eps),
+        }
     }
 }
 
@@ -153,7 +165,9 @@ mod tests {
 
     #[test]
     fn union_point_grows() {
-        let b = Aabb::EMPTY.union_point(Vec3::ZERO).union_point(Vec3::new(-1.0, 2.0, 0.5));
+        let b = Aabb::EMPTY
+            .union_point(Vec3::ZERO)
+            .union_point(Vec3::new(-1.0, 2.0, 0.5));
         assert_eq!(b.min, Vec3::new(-1.0, 0.0, 0.0));
         assert_eq!(b.max, Vec3::new(0.0, 2.0, 0.5));
     }

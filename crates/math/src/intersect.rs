@@ -95,7 +95,12 @@ pub fn ray_triangle(ray: &Ray, v0: Vec3, v1: Vec3, v2: Vec3) -> Option<TriangleH
     if t < ray.t_min || t > ray.t_max {
         return None;
     }
-    Some(TriangleHit { t, u, v, back_face: det < 0.0 })
+    Some(TriangleHit {
+        t,
+        u,
+        v,
+        back_face: det < 0.0,
+    })
 }
 
 /// Geometric normal of triangle `(v0, v1, v2)` (not normalized by area,

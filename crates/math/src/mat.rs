@@ -71,11 +71,7 @@ impl Mat4x3 {
     pub fn rotation_y(angle: f32) -> Self {
         let (s, c) = angle.sin_cos();
         Mat4x3 {
-            rows: [
-                [c, 0.0, s, 0.0],
-                [0.0, 1.0, 0.0, 0.0],
-                [-s, 0.0, c, 0.0],
-            ],
+            rows: [[c, 0.0, s, 0.0], [0.0, 1.0, 0.0, 0.0], [-s, 0.0, c, 0.0]],
         }
     }
 
@@ -83,11 +79,7 @@ impl Mat4x3 {
     pub fn rotation_x(angle: f32) -> Self {
         let (s, c) = angle.sin_cos();
         Mat4x3 {
-            rows: [
-                [1.0, 0.0, 0.0, 0.0],
-                [0.0, c, -s, 0.0],
-                [0.0, s, c, 0.0],
-            ],
+            rows: [[1.0, 0.0, 0.0, 0.0], [0.0, c, -s, 0.0], [0.0, s, c, 0.0]],
         }
     }
 

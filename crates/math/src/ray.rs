@@ -29,13 +29,23 @@ impl Ray {
     /// Creates a ray valid on `[1e-4, +inf)`.
     #[inline]
     pub fn new(origin: Vec3, dir: Vec3) -> Self {
-        Ray { origin, dir, t_min: 1e-4, t_max: f32::INFINITY }
+        Ray {
+            origin,
+            dir,
+            t_min: 1e-4,
+            t_max: f32::INFINITY,
+        }
     }
 
     /// Creates a ray with an explicit parametric interval.
     #[inline]
     pub fn with_interval(origin: Vec3, dir: Vec3, t_min: f32, t_max: f32) -> Self {
-        Ray { origin, dir, t_min, t_max }
+        Ray {
+            origin,
+            dir,
+            t_min,
+            t_max,
+        }
     }
 
     /// The point at parameter `t`.

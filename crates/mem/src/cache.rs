@@ -324,9 +324,15 @@ mod tests {
     #[test]
     fn miss_then_fill_then_hit() {
         let mut c = tiny_cache(4, 0);
-        assert_eq!(c.access(0x40, AccessKind::ShaderLoad, 0), CacheOutcome::MissToMemory);
+        assert_eq!(
+            c.access(0x40, AccessKind::ShaderLoad, 0),
+            CacheOutcome::MissToMemory
+        );
         assert_eq!(c.fill(0x40, 10), 1);
-        assert_eq!(c.access(0x40, AccessKind::ShaderLoad, 11), CacheOutcome::Hit);
+        assert_eq!(
+            c.access(0x40, AccessKind::ShaderLoad, 11),
+            CacheOutcome::Hit
+        );
         assert_eq!(c.total_hits(), 1);
         assert_eq!(c.total_misses(), 1);
     }
@@ -342,10 +348,19 @@ mod tests {
     #[test]
     fn mshr_merging_and_capacity() {
         let mut c = tiny_cache(16, 0);
-        assert_eq!(c.access(0x100, AccessKind::ShaderLoad, 0), CacheOutcome::MissToMemory);
-        assert_eq!(c.access(0x100, AccessKind::ShaderLoad, 0), CacheOutcome::MissMerged);
+        assert_eq!(
+            c.access(0x100, AccessKind::ShaderLoad, 0),
+            CacheOutcome::MissToMemory
+        );
+        assert_eq!(
+            c.access(0x100, AccessKind::ShaderLoad, 0),
+            CacheOutcome::MissMerged
+        );
         // merge limit = 2
-        assert_eq!(c.access(0x100, AccessKind::ShaderLoad, 0), CacheOutcome::ReservationFail);
+        assert_eq!(
+            c.access(0x100, AccessKind::ShaderLoad, 0),
+            CacheOutcome::ReservationFail
+        );
         // 4 entries total
         for i in 1..4 {
             assert_eq!(
@@ -353,7 +368,10 @@ mod tests {
                 CacheOutcome::MissToMemory
             );
         }
-        assert_eq!(c.access(0x900, AccessKind::ShaderLoad, 0), CacheOutcome::ReservationFail);
+        assert_eq!(
+            c.access(0x900, AccessKind::ShaderLoad, 0),
+            CacheOutcome::ReservationFail
+        );
         assert_eq!(c.mshr_in_use(), 4);
         assert_eq!(c.fill(0x100, 5), 2);
         assert_eq!(c.mshr_in_use(), 3);
@@ -375,7 +393,11 @@ mod tests {
         assert_ne!(c.access(0x20, AccessKind::ShaderLoad, 5), CacheOutcome::Hit);
         let cap = c.stats.get("shader_load.miss_capacity");
         let conf = c.stats.get("shader_load.miss_conflict");
-        assert_eq!(cap + conf, 1, "second 0x20 miss must be classified non-compulsory");
+        assert_eq!(
+            cap + conf,
+            1,
+            "second 0x20 miss must be classified non-compulsory"
+        );
     }
 
     #[test]
@@ -409,7 +431,10 @@ mod tests {
         }
         assert_eq!(c.stats.get("shader_load.miss_compulsory"), 4);
         for i in 0..4u64 {
-            assert_eq!(c.access(i * 32, AccessKind::ShaderLoad, 1), CacheOutcome::Hit);
+            assert_eq!(
+                c.access(i * 32, AccessKind::ShaderLoad, 1),
+                CacheOutcome::Hit
+            );
         }
         assert_eq!(c.stats.get("shader_load.miss_compulsory"), 4);
     }
@@ -417,9 +442,15 @@ mod tests {
     #[test]
     fn stores_are_write_through_no_allocate() {
         let mut c = tiny_cache(4, 0);
-        assert_eq!(c.access(0x200, AccessKind::ShaderStore, 0), CacheOutcome::Hit);
+        assert_eq!(
+            c.access(0x200, AccessKind::ShaderStore, 0),
+            CacheOutcome::Hit
+        );
         // The store did not allocate: a later load misses.
-        assert_eq!(c.access(0x200, AccessKind::ShaderLoad, 1), CacheOutcome::MissToMemory);
+        assert_eq!(
+            c.access(0x200, AccessKind::ShaderLoad, 1),
+            CacheOutcome::MissToMemory
+        );
         assert_eq!(c.stats.get("shader_store.write_through"), 1);
     }
 
@@ -441,5 +472,241 @@ mod tests {
         let l2 = Cache::new(CacheConfig::l2_baseline());
         assert_eq!(l2.hit_latency(), 160);
         assert_eq!(l2.config().num_sets(), 3 * 1024 * 1024 / 32 / 16);
+    }
+
+    #[test]
+    fn fill_installs_the_whole_line() {
+        // Fills are line-granular: after one fill, every byte offset within
+        // the 32 B line hits, and the neighbouring lines stay absent.
+        let mut c = tiny_cache(8, 0);
+        assert_eq!(
+            c.access(0x107, AccessKind::ShaderLoad, 0),
+            CacheOutcome::MissToMemory
+        );
+        c.fill(0x107, 1);
+        for offset in [0u64, 1, 13, 31] {
+            assert_eq!(
+                c.access(0x100 + offset, AccessKind::ShaderLoad, 2),
+                CacheOutcome::Hit,
+                "offset {offset} within the filled line must hit"
+            );
+        }
+        assert_eq!(
+            c.access(0x0E0, AccessKind::ShaderLoad, 3),
+            CacheOutcome::MissToMemory
+        );
+        assert_eq!(
+            c.access(0x120, AccessKind::ShaderLoad, 3),
+            CacheOutcome::MissToMemory
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // Property tests (vksim-testkit): randomized access streams against
+    // the cache's accounting invariants.
+    // -----------------------------------------------------------------
+
+    mod properties {
+        use super::*;
+        use vksim_testkit::prop::{check, u32_in, u64_in, usize_in, vec_of};
+        use vksim_testkit::{prop_assert, prop_assert_eq};
+
+        fn build(lines: u64, assoc: u32, mshr_entries: usize, mshr_merge: usize) -> Cache {
+            Cache::new(CacheConfig {
+                name: "P".into(),
+                size_bytes: lines * 32,
+                line_bytes: 32,
+                assoc,
+                hit_latency: 1,
+                mshr_entries,
+                mshr_merge,
+            })
+        }
+
+        /// Every access is accounted exactly once: the outcome tallies must
+        /// reconcile with the classified statistics counters, and draining
+        /// all outstanding fills must empty the MSHR file.
+        #[test]
+        fn outcome_tallies_reconcile_with_stats() {
+            let stream = vec_of((u64_in(0, 2048), u32_in(0, 3)), 1, 300);
+            let geometry = (u64_in(1, 32), u32_in(0, 5), usize_in(1, 8), usize_in(1, 4));
+            check(
+                &(geometry, stream),
+                |((lines, assoc_raw, entries, merge), accs)| {
+                    // assoc 0 = fully associative; otherwise clamp to line count.
+                    let assoc = if *assoc_raw == 0 {
+                        0
+                    } else {
+                        (*assoc_raw).min(*lines as u32)
+                    };
+                    let mut c = build(*lines, assoc, *entries, *merge);
+                    let (mut hits, mut misses, mut merged, mut resfail) = (0u64, 0u64, 0u64, 0u64);
+                    let mut stores = 0u64;
+                    for (i, &(addr, kind_raw)) in accs.iter().enumerate() {
+                        let kind = match kind_raw {
+                            0 => AccessKind::ShaderLoad,
+                            1 => AccessKind::ShaderStore,
+                            _ => AccessKind::RtUnit,
+                        };
+                        if kind == AccessKind::ShaderStore {
+                            stores += 1;
+                        }
+                        match c.access(addr, kind, i as u64) {
+                            CacheOutcome::Hit => hits += 1,
+                            CacheOutcome::MissToMemory => misses += 1,
+                            CacheOutcome::MissMerged => merged += 1,
+                            CacheOutcome::ReservationFail => {
+                                resfail += 1;
+                                // Model the SM's retry path: drain one fill so
+                                // the stream can make progress.
+                                let line = c.mshr.keys().min().copied();
+                                if let Some(line) = line {
+                                    c.fill(line, i as u64);
+                                }
+                            }
+                        }
+                    }
+                    prop_assert_eq!(
+                        hits + misses + merged + resfail,
+                        accs.len() as u64,
+                        "every access must have exactly one outcome"
+                    );
+                    // Store write-throughs report Hit without counting in the
+                    // hit statistics; everything else must reconcile.
+                    let wt = c.stats.get("shader_store.write_through");
+                    prop_assert!(wt <= stores);
+                    prop_assert_eq!(c.total_hits() + wt, hits);
+                    prop_assert_eq!(c.total_misses(), misses);
+                    prop_assert_eq!(c.stats.get("mshr.merged"), merged);
+                    prop_assert_eq!(
+                        c.stats.get("mshr.full") + c.stats.get("mshr.merge_fail"),
+                        resfail
+                    );
+                    // Draining every outstanding fill empties the MSHR file.
+                    let outstanding: Vec<u64> = c.mshr.keys().copied().collect();
+                    prop_assert!(outstanding.len() <= *entries);
+                    for line in outstanding {
+                        prop_assert!(c.fill(line, u64::MAX) >= 1);
+                    }
+                    prop_assert_eq!(c.mshr_in_use(), 0);
+                    Ok(())
+                },
+            );
+        }
+
+        /// Compulsory misses never exceed the number of distinct lines read,
+        /// and re-reading a filled working set that fits in the cache hits
+        /// on every line (LRU keeps a fitting working set resident).
+        #[test]
+        fn fitting_working_set_stays_resident() {
+            let geometry = (u64_in(2, 32), usize_in(1, 32));
+            check(
+                &(geometry, u64_in(0, 1 << 20)),
+                |&((lines, set_size), base)| {
+                    let set_size = set_size.min(lines as usize);
+                    let mut c = build(lines, 0, 64, 8);
+                    let addrs: Vec<u64> = (0..set_size).map(|i| base + i as u64 * 32).collect();
+                    for (i, &a) in addrs.iter().enumerate() {
+                        match c.access(a, AccessKind::ShaderLoad, i as u64) {
+                            CacheOutcome::MissToMemory => {
+                                c.fill(a, i as u64);
+                            }
+                            CacheOutcome::Hit => {}
+                            other => prop_assert!(false, "unexpected outcome {other:?}"),
+                        }
+                    }
+                    let distinct = addrs
+                        .iter()
+                        .map(|a| a / 32)
+                        .collect::<std::collections::HashSet<_>>();
+                    prop_assert_eq!(
+                        c.stats.get("shader_load.miss_compulsory"),
+                        distinct.len() as u64
+                    );
+                    // Second pass: the whole set must be resident.
+                    for (i, &a) in addrs.iter().enumerate() {
+                        prop_assert_eq!(
+                            c.access(a, AccessKind::ShaderLoad, (set_size + i) as u64),
+                            CacheOutcome::Hit,
+                            "warm line {a:#x} must still be resident"
+                        );
+                    }
+                    Ok(())
+                },
+            );
+        }
+
+        /// Thrashing an over-capacity working set through a tiny cache
+        /// evicts: the second pass classifies non-compulsory misses and
+        /// never reports more hits than capacity allows.
+        #[test]
+        fn over_capacity_streams_evict_and_classify() {
+            check(&(u64_in(1, 8), u64_in(2, 4)), |&(lines, over)| {
+                let mut c = build(lines, 0, 64, 8);
+                let n = (lines * over) as usize; // strictly larger than capacity
+                let mut now = 0u64;
+                for pass in 0..2u64 {
+                    for i in 0..n {
+                        now += 1;
+                        let a = i as u64 * 32;
+                        if c.access(a, AccessKind::ShaderLoad, now) == CacheOutcome::MissToMemory {
+                            c.fill(a, now);
+                        }
+                        let _ = pass;
+                    }
+                }
+                let compulsory = c.stats.get("shader_load.miss_compulsory");
+                let capacity = c.stats.get("shader_load.miss_capacity");
+                let conflict = c.stats.get("shader_load.miss_conflict");
+                prop_assert_eq!(
+                    compulsory,
+                    n as u64,
+                    "first touch of every line is compulsory"
+                );
+                prop_assert!(
+                    capacity + conflict > 0,
+                    "sequential over-capacity re-walk must evict and re-miss \
+                     (lines {lines}, n {n}, capacity {capacity}, conflict {conflict})"
+                );
+                prop_assert_eq!(c.total_hits(), 0, "LRU sequential thrash cannot hit");
+                Ok(())
+            });
+        }
+
+        /// MSHR merge bookkeeping: k merged requesters on one line are all
+        /// released by a single fill, and the merge cap bounds k.
+        #[test]
+        fn mshr_merge_released_by_one_fill() {
+            check(
+                &(usize_in(1, 8), usize_in(1, 12)),
+                |&(merge_cap, requesters)| {
+                    let mut c = build(16, 0, 4, merge_cap);
+                    prop_assert_eq!(
+                        c.access(0x40, AccessKind::ShaderLoad, 0),
+                        CacheOutcome::MissToMemory
+                    );
+                    let mut merged = 0usize;
+                    for i in 0..requesters {
+                        match c.access(0x40, AccessKind::RtUnit, 1 + i as u64) {
+                            CacheOutcome::MissMerged => merged += 1,
+                            CacheOutcome::ReservationFail => {}
+                            other => prop_assert!(false, "unexpected outcome {other:?}"),
+                        }
+                    }
+                    prop_assert_eq!(merged, requesters.min(merge_cap - 1).max(0));
+                    prop_assert_eq!(
+                        c.fill(0x40, 100),
+                        1 + merged,
+                        "fill releases every requester"
+                    );
+                    prop_assert_eq!(c.mshr_in_use(), 0);
+                    prop_assert_eq!(
+                        c.access(0x40, AccessKind::ShaderLoad, 101),
+                        CacheOutcome::Hit
+                    );
+                    Ok(())
+                },
+            );
+        }
     }
 }

@@ -49,7 +49,10 @@ impl DramConfig {
     /// A mobile-class memory system: fewer channels, same timings (the
     /// paper's mobile configuration has less DRAM bandwidth).
     pub fn mobile() -> Self {
-        DramConfig { channels: 2, ..Default::default() }
+        DramConfig {
+            channels: 2,
+            ..Default::default()
+        }
     }
 }
 
@@ -97,14 +100,21 @@ impl Dram {
     ///
     /// Panics on a zero-channel or zero-bank configuration.
     pub fn new(config: DramConfig) -> Self {
-        assert!(config.channels > 0 && config.banks_per_channel > 0, "degenerate DRAM geometry");
+        assert!(
+            config.channels > 0 && config.banks_per_channel > 0,
+            "degenerate DRAM geometry"
+        );
         let channels = (0..config.channels)
             .map(|_| Channel {
                 banks: vec![Bank::default(); config.banks_per_channel as usize],
                 ..Channel::default()
             })
             .collect();
-        Dram { config, channels, stats: Counters::new() }
+        Dram {
+            config,
+            channels,
+            stats: Counters::new(),
+        }
     }
 
     /// The configuration in use.
@@ -223,7 +233,10 @@ mod tests {
         let row_hit_cost = t2 - t1;
         let t3 = d.service(d.config().row_bytes * 5, t2); // different row
         let row_miss_cost = t3 - t2;
-        assert!(row_miss_cost > row_hit_cost, "{row_miss_cost} <= {row_hit_cost}");
+        assert!(
+            row_miss_cost > row_hit_cost,
+            "{row_miss_cost} <= {row_hit_cost}"
+        );
         assert_eq!(d.stats.get("row_hit"), 1);
         assert_eq!(d.stats.get("row_miss"), 1);
         assert_eq!(d.stats.get("row_empty"), 1);
@@ -249,7 +262,10 @@ mod tests {
 
     #[test]
     fn perfect_mode_is_single_cycle() {
-        let mut d = Dram::new(DramConfig { perfect: true, ..Default::default() });
+        let mut d = Dram::new(DramConfig {
+            perfect: true,
+            ..Default::default()
+        });
         assert_eq!(d.service(0x123456, 77), 78);
         assert_eq!(d.transfer_cycles(), 0);
     }
@@ -291,6 +307,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "degenerate")]
     fn zero_channels_panics() {
-        let _ = Dram::new(DramConfig { channels: 0, ..Default::default() });
+        let _ = Dram::new(DramConfig {
+            channels: 0,
+            ..Default::default()
+        });
     }
 }

@@ -115,7 +115,11 @@ impl SharedMemSystem {
 
     fn push(&mut self, time: u64, kind: EvKind) {
         self.seq += 1;
-        self.events.push(Reverse(Ev { time, seq: self.seq, kind }));
+        self.events.push(Reverse(Ev {
+            time,
+            seq: self.seq,
+            kind,
+        }));
     }
 
     /// Submits a request at `now`; its completion arrives through
@@ -152,13 +156,18 @@ impl SharedMemSystem {
     }
 
     fn handle_l2(&mut self, req: MemRequest, t: u64, done: &mut Vec<(u64, u64)>) {
-        let kind = if req.is_store { AccessKind::ShaderStore } else { req.kind };
+        let kind = if req.is_store {
+            AccessKind::ShaderStore
+        } else {
+            req.kind
+        };
         let line = self.l2.line_of(req.addr);
         match self.l2.access(req.addr, kind, t) {
             CacheOutcome::Hit => {
                 if req.is_store {
                     // Write-through: generate DRAM traffic but ack now.
-                    self.dram.service(req.addr, t + self.l2.hit_latency() as u64);
+                    self.dram
+                        .service(req.addr, t + self.l2.hit_latency() as u64);
                     self.stats.inc("dram.writes");
                 }
                 self.stats.inc("icnt.from_l2");
@@ -169,7 +178,9 @@ impl SharedMemSystem {
             }
             CacheOutcome::MissToMemory => {
                 self.waiting.entry(line).or_default().push(req.id);
-                let ready = self.dram.service(req.addr, t + self.l2.hit_latency() as u64);
+                let ready = self
+                    .dram
+                    .service(req.addr, t + self.l2.hit_latency() as u64);
                 self.stats.inc("dram.reads");
                 self.push(ready, EvKind::DramDone { line });
             }
@@ -212,7 +223,12 @@ mod tests {
     fn cold_read_goes_to_dram_then_hits() {
         let mut sys = SharedMemSystem::new(SystemConfig::default());
         sys.submit(
-            MemRequest { id: 1, addr: 0x4000, kind: AccessKind::ShaderLoad, is_store: false },
+            MemRequest {
+                id: 1,
+                addr: 0x4000,
+                kind: AccessKind::ShaderLoad,
+                is_store: false,
+            },
             0,
         );
         let done = drain(&mut sys, 100_000);
@@ -222,7 +238,12 @@ mod tests {
         assert!(t1 > 160, "cold access too fast: {t1}");
         // Second access to the same line: L2 hit, much faster.
         sys.submit(
-            MemRequest { id: 2, addr: 0x4000, kind: AccessKind::ShaderLoad, is_store: false },
+            MemRequest {
+                id: 2,
+                addr: 0x4000,
+                kind: AccessKind::ShaderLoad,
+                is_store: false,
+            },
             t1,
         );
         let done2 = drain(&mut sys, t1 + 100_000);
@@ -236,14 +257,22 @@ mod tests {
         let mut sys = SharedMemSystem::new(SystemConfig::default());
         for id in 1..=3 {
             sys.submit(
-                MemRequest { id, addr: 0x8000, kind: AccessKind::RtUnit, is_store: false },
+                MemRequest {
+                    id,
+                    addr: 0x8000,
+                    kind: AccessKind::RtUnit,
+                    is_store: false,
+                },
                 0,
             );
         }
         let done = drain(&mut sys, 100_000);
         assert_eq!(done.len(), 3);
         let t0 = done[0].1;
-        assert!(done.iter().all(|&(_, t)| t == t0), "merged fills complete together");
+        assert!(
+            done.iter().all(|&(_, t)| t == t0),
+            "merged fills complete together"
+        );
         // Only one DRAM read happened.
         assert_eq!(sys.dram().stats.get("req"), 1);
     }
@@ -252,7 +281,12 @@ mod tests {
     fn stores_ack_fast_but_generate_dram_writes() {
         let mut sys = SharedMemSystem::new(SystemConfig::default());
         sys.submit(
-            MemRequest { id: 9, addr: 0xA000, kind: AccessKind::ShaderStore, is_store: true },
+            MemRequest {
+                id: 9,
+                addr: 0xA000,
+                kind: AccessKind::ShaderStore,
+                is_store: true,
+            },
             0,
         );
         let done = drain(&mut sys, 10_000);
@@ -265,13 +299,21 @@ mod tests {
     #[test]
     fn perfect_dram_shortens_misses() {
         let mut fast = SharedMemSystem::new(SystemConfig {
-            dram: DramConfig { perfect: true, ..Default::default() },
+            dram: DramConfig {
+                perfect: true,
+                ..Default::default()
+            },
             ..Default::default()
         });
         let mut slow = SharedMemSystem::new(SystemConfig::default());
         for sys in [&mut fast, &mut slow] {
             sys.submit(
-                MemRequest { id: 1, addr: 0x9000, kind: AccessKind::ShaderLoad, is_store: false },
+                MemRequest {
+                    id: 1,
+                    addr: 0x9000,
+                    kind: AccessKind::ShaderLoad,
+                    is_store: false,
+                },
                 0,
             );
         }
@@ -285,11 +327,21 @@ mod tests {
         let mut sys = SharedMemSystem::new(SystemConfig::default());
         // Submit in reverse arrival order.
         sys.submit(
-            MemRequest { id: 2, addr: 0x100, kind: AccessKind::ShaderLoad, is_store: false },
+            MemRequest {
+                id: 2,
+                addr: 0x100,
+                kind: AccessKind::ShaderLoad,
+                is_store: false,
+            },
             50,
         );
         sys.submit(
-            MemRequest { id: 1, addr: 0x100, kind: AccessKind::ShaderLoad, is_store: false },
+            MemRequest {
+                id: 1,
+                addr: 0x100,
+                kind: AccessKind::ShaderLoad,
+                is_store: false,
+            },
             0,
         );
         let done = drain(&mut sys, 1_000_000);
@@ -301,7 +353,12 @@ mod tests {
     fn advance_to_respects_cycle_bound() {
         let mut sys = SharedMemSystem::new(SystemConfig::default());
         sys.submit(
-            MemRequest { id: 1, addr: 0x100, kind: AccessKind::ShaderLoad, is_store: false },
+            MemRequest {
+                id: 1,
+                addr: 0x100,
+                kind: AccessKind::ShaderLoad,
+                is_store: false,
+            },
             0,
         );
         // Nothing can be complete after 1 cycle.

@@ -148,7 +148,11 @@ impl PowerModel {
         PowerReport {
             components,
             total_energy_j,
-            avg_power_w: if runtime_s > 0.0 { total_energy_j / runtime_s } else { 0.0 },
+            avg_power_w: if runtime_s > 0.0 {
+                total_energy_j / runtime_s
+            } else {
+                0.0
+            },
             runtime_s,
         }
     }
@@ -174,7 +178,11 @@ mod tests {
     #[test]
     fn rt_unit_share_is_below_one_percent() {
         let r = PowerModel::default().estimate(&typical_rt_workload());
-        assert!(r.fraction("rt_unit") < 0.01, "rt share {}", r.fraction("rt_unit"));
+        assert!(
+            r.fraction("rt_unit") < 0.01,
+            "rt share {}",
+            r.fraction("rt_unit")
+        );
     }
 
     #[test]
@@ -195,7 +203,10 @@ mod tests {
     fn shorter_runs_use_less_energy() {
         let model = PowerModel::default();
         let base = typical_rt_workload();
-        let fast = ActivityCounts { cycles: base.cycles / 2, ..base };
+        let fast = ActivityCounts {
+            cycles: base.cycles / 2,
+            ..base
+        };
         let e_base = model.estimate(&base).total_energy_j;
         let e_fast = model.estimate(&fast).total_energy_j;
         assert!(e_fast < e_base, "shorter execution must save energy");
@@ -211,8 +222,18 @@ mod tests {
     #[test]
     fn explicit_regfile_counts_respected() {
         let model = PowerModel::default();
-        let a = ActivityCounts { cycles: 100, alu_ops: 100, regfile_accesses: 1, ..Default::default() };
-        let b = ActivityCounts { cycles: 100, alu_ops: 100, regfile_accesses: 0, ..Default::default() };
+        let a = ActivityCounts {
+            cycles: 100,
+            alu_ops: 100,
+            regfile_accesses: 1,
+            ..Default::default()
+        };
+        let b = ActivityCounts {
+            cycles: 100,
+            alu_ops: 100,
+            regfile_accesses: 0,
+            ..Default::default()
+        };
         assert!(model.estimate(&a).energy("regfile") < model.estimate(&b).energy("regfile"));
     }
 }

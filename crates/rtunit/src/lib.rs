@@ -147,7 +147,11 @@ mod tests {
         let job = WarpJob {
             warp_id: 0,
             scripts: vec![
-                vec![Step::Fetch { addr: 0, size: 64, op: OpKind::Box { tests: 2 } }],
+                vec![Step::Fetch {
+                    addr: 0,
+                    size: 64,
+                    op: OpKind::Box { tests: 2 },
+                }],
                 vec![],
             ],
         };

@@ -65,8 +65,18 @@ struct Lane {
 
 impl Lane {
     fn new(script: Vec<Step>) -> Self {
-        let state = if script.is_empty() { LaneState::Done } else { LaneState::Ready };
-        Lane { script, next: 0, state, outstanding_chunks: 0, pending_op: OpKind::None }
+        let state = if script.is_empty() {
+            LaneState::Done
+        } else {
+            LaneState::Ready
+        };
+        Lane {
+            script,
+            next: 0,
+            state,
+            outstanding_chunks: 0,
+            pending_op: OpKind::None,
+        }
     }
 
     fn current_step(&self) -> Option<Step> {
@@ -75,7 +85,11 @@ impl Lane {
 
     fn advance(&mut self) {
         self.next += 1;
-        self.state = if self.next >= self.script.len() { LaneState::Done } else { LaneState::Ready };
+        self.state = if self.next >= self.script.len() {
+            LaneState::Done
+        } else {
+            LaneState::Ready
+        };
     }
 }
 
@@ -257,7 +271,9 @@ impl RtUnit {
 
         // 3. Issue from the Memory Access Queue to the cache.
         for _ in 0..self.config.issue_per_cycle {
-            let Some(req) = self.mem_queue.front() else { break };
+            let Some(req) = self.mem_queue.front() else {
+                break;
+            };
             let addr = req.addr;
             match mem.load_chunk(addr, now) {
                 RtMemResult::Ready { at } => {
@@ -284,12 +300,19 @@ impl RtUnit {
         let mut done = Vec::new();
         let mut i = 0;
         while i < self.warps.len() {
-            if self.warps[i].lanes.iter().all(|l| l.state == LaneState::Done) {
+            if self.warps[i]
+                .lanes
+                .iter()
+                .all(|l| l.state == LaneState::Done)
+            {
                 let w = self.warps.remove(i);
                 let latency = now.saturating_sub(w.entered_at).max(1);
                 self.warp_latency.record(latency as f64);
                 self.stats.inc("warps_completed");
-                done.push(WarpDone { warp_id: w.warp_id, latency });
+                done.push(WarpDone {
+                    warp_id: w.warp_id,
+                    latency,
+                });
             } else {
                 i += 1;
             }
@@ -302,7 +325,8 @@ impl RtUnit {
             self.active_ray_cycles += self.active_rays() as u64;
         }
         if now % self.sample_period == 0 {
-            self.occupancy_trace.push((now, self.warps.len() as u32, self.active_rays()));
+            self.occupancy_trace
+                .push((now, self.warps.len() as u32, self.active_rays()));
         }
         done
     }
@@ -451,7 +475,11 @@ mod tests {
 
     impl FlatMem {
         fn new(lat: u64) -> Self {
-            FlatMem { lat, loads: Vec::new(), stores: Vec::new() }
+            FlatMem {
+                lat,
+                loads: Vec::new(),
+                stores: Vec::new(),
+            }
         }
     }
 
@@ -466,7 +494,11 @@ mod tests {
     }
 
     fn fetch(addr: u64, size: u32) -> Step {
-        Step::Fetch { addr, size, op: OpKind::Box { tests: 6 } }
+        Step::Fetch {
+            addr,
+            size,
+            op: OpKind::Box { tests: 6 },
+        }
     }
 
     fn run_until_done(rt: &mut RtUnit, mem: &mut FlatMem, limit: u64) -> Vec<(u64, WarpDone)> {
@@ -485,7 +517,10 @@ mod tests {
     #[test]
     fn single_warp_single_step_completes() {
         let mut rt = RtUnit::new(RtUnitConfig::default());
-        let job = WarpJob { warp_id: 7, scripts: vec![vec![fetch(0x1000, 64)]] };
+        let job = WarpJob {
+            warp_id: 7,
+            scripts: vec![vec![fetch(0x1000, 64)]],
+        };
         assert!(rt.try_enqueue(job, 0));
         let mut mem = FlatMem::new(20);
         let done = run_until_done(&mut rt, &mut mem, 10_000);
@@ -498,14 +533,26 @@ mod tests {
 
     #[test]
     fn warp_buffer_capacity_enforced() {
-        let mut rt = RtUnit::new(RtUnitConfig { max_warps: 2, ..Default::default() });
+        let mut rt = RtUnit::new(RtUnitConfig {
+            max_warps: 2,
+            ..Default::default()
+        });
         for i in 0..2 {
             assert!(rt.try_enqueue(
-                WarpJob { warp_id: i, scripts: vec![vec![fetch(0, 32)]] },
+                WarpJob {
+                    warp_id: i,
+                    scripts: vec![vec![fetch(0, 32)]]
+                },
                 0
             ));
         }
-        assert!(!rt.try_enqueue(WarpJob { warp_id: 9, scripts: vec![vec![fetch(0, 32)]] }, 0));
+        assert!(!rt.try_enqueue(
+            WarpJob {
+                warp_id: 9,
+                scripts: vec![vec![fetch(0, 32)]]
+            },
+            0
+        ));
         assert_eq!(rt.resident_warps(), 2);
     }
 
@@ -515,7 +562,13 @@ mod tests {
         // 4 lanes all fetching the same node (the BVH-root pattern from the
         // paper's DRAM discussion).
         let scripts = vec![vec![fetch(0x2000, 32)]; 4];
-        rt.try_enqueue(WarpJob { warp_id: 0, scripts }, 0);
+        rt.try_enqueue(
+            WarpJob {
+                warp_id: 0,
+                scripts,
+            },
+            0,
+        );
         let mut mem = FlatMem::new(10);
         run_until_done(&mut rt, &mut mem, 1000);
         assert_eq!(mem.loads.len(), 1, "one merged request for 4 lanes");
@@ -527,9 +580,16 @@ mod tests {
     #[test]
     fn divergent_addresses_do_not_merge() {
         let mut rt = RtUnit::new(RtUnitConfig::default());
-        let scripts: Vec<Vec<Step>> =
-            (0..4).map(|i| vec![fetch(0x3000 + i * 0x100, 32)]).collect();
-        rt.try_enqueue(WarpJob { warp_id: 0, scripts }, 0);
+        let scripts: Vec<Vec<Step>> = (0..4)
+            .map(|i| vec![fetch(0x3000 + i * 0x100, 32)])
+            .collect();
+        rt.try_enqueue(
+            WarpJob {
+                warp_id: 0,
+                scripts,
+            },
+            0,
+        );
         let mut mem = FlatMem::new(10);
         run_until_done(&mut rt, &mut mem, 1000);
         assert_eq!(mem.loads.len(), 4);
@@ -539,10 +599,19 @@ mod tests {
     fn stores_fire_and_forget() {
         let mut rt = RtUnit::new(RtUnitConfig::default());
         let scripts = vec![vec![
-            Step::Store { addr: 0x4000, size: 32 },
+            Step::Store {
+                addr: 0x4000,
+                size: 32,
+            },
             fetch(0x5000, 32),
         ]];
-        rt.try_enqueue(WarpJob { warp_id: 0, scripts }, 0);
+        rt.try_enqueue(
+            WarpJob {
+                warp_id: 0,
+                scripts,
+            },
+            0,
+        );
         let mut mem = FlatMem::new(5);
         let done = run_until_done(&mut rt, &mut mem, 1000);
         assert_eq!(done.len(), 1);
@@ -560,13 +629,24 @@ mod tests {
             fn load_chunk(&mut self, _addr: u64, _now: u64) -> RtMemResult {
                 self.next_token += 1;
                 self.outstanding.push(self.next_token);
-                RtMemResult::Pending { token: self.next_token }
+                RtMemResult::Pending {
+                    token: self.next_token,
+                }
             }
             fn store_chunk(&mut self, _addr: u64, _now: u64) {}
         }
         let mut rt = RtUnit::new(RtUnitConfig::default());
-        rt.try_enqueue(WarpJob { warp_id: 3, scripts: vec![vec![fetch(0x100, 32)]] }, 0);
-        let mut mem = PendingMem { next_token: 0, outstanding: vec![] };
+        rt.try_enqueue(
+            WarpJob {
+                warp_id: 3,
+                scripts: vec![vec![fetch(0x100, 32)]],
+            },
+            0,
+        );
+        let mut mem = PendingMem {
+            next_token: 0,
+            outstanding: vec![],
+        };
         let mut now = 0;
         while mem.outstanding.is_empty() {
             now += 1;
@@ -600,7 +680,13 @@ mod tests {
             fn store_chunk(&mut self, _addr: u64, _now: u64) {}
         }
         let mut rt = RtUnit::new(RtUnitConfig::default());
-        rt.try_enqueue(WarpJob { warp_id: 0, scripts: vec![vec![fetch(0x100, 32)]] }, 0);
+        rt.try_enqueue(
+            WarpJob {
+                warp_id: 0,
+                scripts: vec![vec![fetch(0x100, 32)]],
+            },
+            0,
+        );
         let mut mem = FussyMem { attempts: 0 };
         let mut done = Vec::new();
         for t in 0..100 {
@@ -616,12 +702,32 @@ mod tests {
         // Two warps whose lanes are ready every cycle (store-only scripts,
         // no memory stalls): greedy scheduling must drain warp 0 completely
         // before touching warp 1; round-robin would interleave them.
-        let mut rt = RtUnit::new(RtUnitConfig { max_warps: 4, ..Default::default() });
+        let mut rt = RtUnit::new(RtUnitConfig {
+            max_warps: 4,
+            ..Default::default()
+        });
         let stores = |base: u64| -> Vec<Step> {
-            (0..3).map(|i| Step::Store { addr: base + i * 32, size: 32 }).collect()
+            (0..3)
+                .map(|i| Step::Store {
+                    addr: base + i * 32,
+                    size: 32,
+                })
+                .collect()
         };
-        rt.try_enqueue(WarpJob { warp_id: 0, scripts: vec![stores(0x1000)] }, 0);
-        rt.try_enqueue(WarpJob { warp_id: 1, scripts: vec![stores(0x9000)] }, 0);
+        rt.try_enqueue(
+            WarpJob {
+                warp_id: 0,
+                scripts: vec![stores(0x1000)],
+            },
+            0,
+        );
+        rt.try_enqueue(
+            WarpJob {
+                warp_id: 1,
+                scripts: vec![stores(0x9000)],
+            },
+            0,
+        );
         let mut mem = FlatMem::new(1);
         run_until_done(&mut rt, &mut mem, 1000);
         assert_eq!(mem.stores.len(), 6);
@@ -636,9 +742,24 @@ mod tests {
     fn stalled_warp_yields_to_oldest_ready() {
         // GTO's "then oldest": when the greedy warp stalls on memory, the
         // oldest ready warp is scheduled instead.
-        let mut rt = RtUnit::new(RtUnitConfig { max_warps: 4, ..Default::default() });
-        rt.try_enqueue(WarpJob { warp_id: 0, scripts: vec![vec![fetch(0x1000, 32)]] }, 0);
-        rt.try_enqueue(WarpJob { warp_id: 1, scripts: vec![vec![fetch(0x9000, 32)]] }, 0);
+        let mut rt = RtUnit::new(RtUnitConfig {
+            max_warps: 4,
+            ..Default::default()
+        });
+        rt.try_enqueue(
+            WarpJob {
+                warp_id: 0,
+                scripts: vec![vec![fetch(0x1000, 32)]],
+            },
+            0,
+        );
+        rt.try_enqueue(
+            WarpJob {
+                warp_id: 1,
+                scripts: vec![vec![fetch(0x9000, 32)]],
+            },
+            0,
+        );
         let mut mem = FlatMem::new(100);
         run_until_done(&mut rt, &mut mem, 10_000);
         // Warp 1's request was issued while warp 0 waited on memory.
@@ -651,7 +772,13 @@ mod tests {
         // One lane with a long script, 31 with one step: long tail.
         let mut scripts = vec![vec![fetch(0x100, 32)]; 31];
         scripts.push((0..32).map(|i| fetch(0x10_000 + i * 0x1000, 32)).collect());
-        rt.try_enqueue(WarpJob { warp_id: 0, scripts }, 0);
+        rt.try_enqueue(
+            WarpJob {
+                warp_id: 0,
+                scripts,
+            },
+            0,
+        );
         let mut mem = FlatMem::new(30);
         run_until_done(&mut rt, &mut mem, 100_000);
         let eff = rt.simt_efficiency(32);
@@ -662,7 +789,13 @@ mod tests {
     #[test]
     fn latency_histogram_records_each_warp() {
         let mut rt = RtUnit::new(RtUnitConfig::default());
-        rt.try_enqueue(WarpJob { warp_id: 0, scripts: vec![vec![fetch(0, 32)]] }, 0);
+        rt.try_enqueue(
+            WarpJob {
+                warp_id: 0,
+                scripts: vec![vec![fetch(0, 32)]],
+            },
+            0,
+        );
         let mut mem = FlatMem::new(5);
         run_until_done(&mut rt, &mut mem, 1000);
         assert_eq!(rt.stats().warp_latency.count(), 1);
@@ -672,7 +805,10 @@ mod tests {
     fn occupancy_trace_sampled() {
         let mut rt = RtUnit::new(RtUnitConfig::default());
         rt.try_enqueue(
-            WarpJob { warp_id: 0, scripts: vec![(0..64).map(|i| fetch(i * 64, 32)).collect()] },
+            WarpJob {
+                warp_id: 0,
+                scripts: vec![(0..64).map(|i| fetch(i * 64, 32)).collect()],
+            },
             0,
         );
         let mut mem = FlatMem::new(50);

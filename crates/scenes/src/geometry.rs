@@ -33,14 +33,44 @@ pub fn box_mesh(min: Vec3, max: Vec3) -> Vec<Triangle> {
     };
     let quads = [
         // -z / +z
-        [p(false, false, false), p(true, false, false), p(true, true, false), p(false, true, false)],
-        [p(false, false, true), p(false, true, true), p(true, true, true), p(true, false, true)],
+        [
+            p(false, false, false),
+            p(true, false, false),
+            p(true, true, false),
+            p(false, true, false),
+        ],
+        [
+            p(false, false, true),
+            p(false, true, true),
+            p(true, true, true),
+            p(true, false, true),
+        ],
         // -x / +x
-        [p(false, false, false), p(false, true, false), p(false, true, true), p(false, false, true)],
-        [p(true, false, false), p(true, false, true), p(true, true, true), p(true, true, false)],
+        [
+            p(false, false, false),
+            p(false, true, false),
+            p(false, true, true),
+            p(false, false, true),
+        ],
+        [
+            p(true, false, false),
+            p(true, false, true),
+            p(true, true, true),
+            p(true, true, false),
+        ],
         // -y / +y
-        [p(false, false, false), p(false, false, true), p(true, false, true), p(true, false, false)],
-        [p(false, true, false), p(true, true, false), p(true, true, true), p(false, true, true)],
+        [
+            p(false, false, false),
+            p(false, false, true),
+            p(true, false, true),
+            p(true, false, false),
+        ],
+        [
+            p(false, true, false),
+            p(true, true, false),
+            p(true, true, true),
+            p(false, true, true),
+        ],
     ];
     let mut out = Vec::with_capacity(12);
     for [a, b, c, d] in quads {
@@ -116,8 +146,10 @@ pub fn icosphere(center: Vec3, radius: f32, subdivisions: u32) -> Vec<Triangle> 
         (8, 6, 7),
         (9, 8, 1),
     ];
-    let mut tris: Vec<(Vec3, Vec3, Vec3)> =
-        faces.iter().map(|&(a, b, c)| (verts[a], verts[b], verts[c])).collect();
+    let mut tris: Vec<(Vec3, Vec3, Vec3)> = faces
+        .iter()
+        .map(|&(a, b, c)| (verts[a], verts[b], verts[c]))
+        .collect();
     for _ in 0..subdivisions {
         let mut next = Vec::with_capacity(tris.len() * 4);
         for (a, b, c) in tris {
@@ -132,7 +164,13 @@ pub fn icosphere(center: Vec3, radius: f32, subdivisions: u32) -> Vec<Triangle> 
         tris = next;
     }
     tris.into_iter()
-        .map(|(a, b, c)| Triangle::new(center + a * radius, center + b * radius, center + c * radius))
+        .map(|(a, b, c)| {
+            Triangle::new(
+                center + a * radius,
+                center + b * radius,
+                center + c * radius,
+            )
+        })
         .collect()
 }
 

@@ -36,7 +36,10 @@ struct Tracer<'a> {
 
 impl<'a> Tracer<'a> {
     fn hit(&self, ray: &Ray) -> Option<TriangleIntersection> {
-        let cfg = TraversalConfig { record_events: false, ..Default::default() };
+        let cfg = TraversalConfig {
+            record_events: false,
+            ..Default::default()
+        };
         traverse(self.tlas, &self.blases, ray, &cfg).closest
     }
 
@@ -46,7 +49,9 @@ impl<'a> Tracer<'a> {
             terminate_on_first_hit: true,
             ..Default::default()
         };
-        traverse(self.tlas, &self.blases, ray, &cfg).closest.is_some()
+        traverse(self.tlas, &self.blases, ray, &cfg)
+            .closest
+            .is_some()
     }
 }
 
@@ -100,7 +105,9 @@ fn probe(t: &Tracer, p: Vec3, n: Vec3, dir: Vec3, t_max: f32) -> f32 {
 }
 
 fn shade_refl(t: &Tracer, ray: &Ray, depth: u32, pid: u32) -> Vec3 {
-    let Some(h) = t.hit(ray) else { return sky(ray.dir) };
+    let Some(h) = t.hit(ray) else {
+        return sky(ray.dir);
+    };
     let n = h.world_normal;
     let p = ray.origin + ray.dir * h.t;
     if h.instance_custom_index == MATERIAL_MIRROR {
@@ -115,7 +122,11 @@ fn shade_refl(t: &Tracer, ray: &Ray, depth: u32, pid: u32) -> Vec3 {
     } else {
         let albedo = palette_rgb(h.instance_custom_index);
         let l = light_dir();
-        let lit = if depth < 2 { probe(t, p, n, l, 1e4) } else { 1.0 };
+        let lit = if depth < 2 {
+            probe(t, p, n, l, 1e4)
+        } else {
+            1.0
+        };
         let ndotl = n.dot(l).max(0.0);
         let shade = 0.15 + 0.85 * lit * ndotl;
         albedo * shade
@@ -124,12 +135,18 @@ fn shade_refl(t: &Tracer, ray: &Ray, depth: u32, pid: u32) -> Vec3 {
 
 fn shade_ext(t: &Tracer, ray: &Ray, depth: u32, pid: u32) -> Vec3 {
     use crate::shaders::{hash_u32_cpu, hash_unit_cpu};
-    let Some(h) = t.hit(ray) else { return sky(ray.dir) };
+    let Some(h) = t.hit(ray) else {
+        return sky(ray.dir);
+    };
     let n = h.world_normal;
     let p = ray.origin + ray.dir * h.t;
     let albedo = palette_rgb(h.instance_custom_index);
     let l = light_dir();
-    let lit = if depth < 2 { probe(t, p, n, l, 1e4) } else { 1.0 };
+    let lit = if depth < 2 {
+        probe(t, p, n, l, 1e4)
+    } else {
+        1.0
+    };
     let ndotl = n.dot(l).max(0.0);
     let mut ao_acc = 0.0f32;
     for k in 0..2u32 {
@@ -145,7 +162,11 @@ fn shade_ext(t: &Tracer, ray: &Ray, depth: u32, pid: u32) -> Vec3 {
             n.z + (u3 - 0.5) * 1.6,
         );
         let dir = normalize_like_shader(raw);
-        let open = if depth < 2 { probe(t, p, n, dir, 4.0) } else { 1.0 };
+        let open = if depth < 2 {
+            probe(t, p, n, dir, 4.0)
+        } else {
+            1.0
+        };
         ao_acc += open;
     }
     let ao = 0.4 + 0.3 * ao_acc;
@@ -174,7 +195,11 @@ mod tests {
         let w = build(WorkloadKind::Ref, Scale::Test);
         let img = render(&w);
         let distinct: std::collections::HashSet<u32> = img.iter().copied().collect();
-        assert!(distinct.len() > 10, "expect varied shading, got {}", distinct.len());
+        assert!(
+            distinct.len() > 10,
+            "expect varied shading, got {}",
+            distinct.len()
+        );
     }
 
     #[test]

@@ -29,8 +29,13 @@ pub enum WorkloadKind {
 
 impl WorkloadKind {
     /// All five workloads, evaluation order.
-    pub const ALL: [WorkloadKind; 5] =
-        [WorkloadKind::Tri, WorkloadKind::Ref, WorkloadKind::Ext, WorkloadKind::Rtv5, WorkloadKind::Rtv6];
+    pub const ALL: [WorkloadKind; 5] = [
+        WorkloadKind::Tri,
+        WorkloadKind::Ref,
+        WorkloadKind::Ext,
+        WorkloadKind::Rtv5,
+        WorkloadKind::Rtv6,
+    ];
 
     /// Paper name.
     pub fn name(self) -> &'static str {
@@ -104,7 +109,8 @@ impl Workload {
             .device
             .create_ray_tracing_pipeline(self.shaders.clone(), fcc)
             .expect("retranslation");
-        self.device.cmd_trace_rays(&pipeline, self.width, self.height)
+        self.device
+            .cmd_trace_rays(&pipeline, self.width, self.height)
     }
 }
 
@@ -137,8 +143,11 @@ fn finish_workload(
         .create_ray_tracing_pipeline(shaders.clone(), fcc)
         .expect("pipeline translation");
     let cmd = device.cmd_trace_rays(&pipeline, width, height);
-    let primitive_count: usize =
-        device.blases.iter().map(|b| b.geometry.primitive_count()).sum();
+    let primitive_count: usize = device
+        .blases
+        .iter()
+        .map(|b| b.geometry.primitive_count())
+        .sum();
     let blas_refs: Vec<&vksim_bvh::Blas> = device.blases.iter().collect();
     let bvh_depth = device
         .tlas
@@ -192,12 +201,8 @@ fn occlusion_probe(
     depth_limit: u32,
 ) -> Var {
     b.set_payload(7, b.c_f32(0.0));
-    let origin = [0, 1, 2].map(|i| {
-        b.var_f32(b.v(point[i]) + b.v(normal[i]) * b.c_f32(1e-3))
-    });
-    let depth_ok = b
-        .builtin(Builtin::RecursionDepth)
-        .lt(b.c_u32(depth_limit));
+    let origin = [0, 1, 2].map(|i| b.var_f32(b.v(point[i]) + b.v(normal[i]) * b.c_f32(1e-3)));
+    let depth_ok = b.builtin(Builtin::RecursionDepth).lt(b.c_u32(depth_limit));
     let dir2 = dir.clone();
     b.if_(depth_ok.clone(), move |b| {
         b.trace_ray(
@@ -289,9 +294,8 @@ fn build_ref(scale: Scale) -> Workload {
         (Vec3::new(0.5, 0.0, 2.5), 4),
     ];
     for (i, (pos, material)) in spots.iter().enumerate() {
-        instances.push(
-            Instance::new(boxes[i], Mat4x3::translation(*pos)).with_custom_index(*material),
-        );
+        instances
+            .push(Instance::new(boxes[i], Mat4x3::translation(*pos)).with_custom_index(*material));
     }
     device.create_tlas(instances);
     let camera = Camera::look_at(
@@ -329,9 +333,8 @@ fn build_ref(scale: Scale) -> Workload {
             // refl = d - 2 (d . n) n
             let d = [0u8, 1, 2].map(|i| ch.var_f32(ch.builtin(Builtin::RayDirection(i))));
             let dn = ch.var_f32(dot3(d.map(|v| ch.v(v)), n.map(|v| ch.v(v))));
-            let refl = [0, 1, 2].map(|i| {
-                ch.var_f32(ch.v(d[i]) - ch.c_f32(2.0) * ch.v(dn) * ch.v(n[i]))
-            });
+            let refl =
+                [0, 1, 2].map(|i| ch.var_f32(ch.v(d[i]) - ch.c_f32(2.0) * ch.v(dn) * ch.v(n[i])));
             let org = [0, 1, 2].map(|i| ch.var_f32(ch.v(p[i]) + ch.v(n[i]) * ch.c_f32(1e-3)));
             for slot in 0..3u8 {
                 ch.set_payload(slot, ch.c_f32(0.0));
@@ -360,8 +363,7 @@ fn build_ref(scale: Scale) -> Workload {
             ];
             let lit = occlusion_probe(ch, &p, &n, l.clone(), 1e4, 2);
             let ndotl = ch.var_f32(dot3(n.map(|v| ch.v(v)), l).max(ch.c_f32(0.0)));
-            let shade =
-                ch.var_f32(ch.c_f32(0.15) + ch.c_f32(0.85) * ch.v(lit) * ch.v(ndotl));
+            let shade = ch.var_f32(ch.c_f32(0.15) + ch.c_f32(0.85) * ch.v(lit) * ch.v(ndotl));
             for slot in 0..3u8 {
                 ch.set_payload_in(slot, ch.v(albedo[slot as usize]) * ch.v(shade));
             }
@@ -408,7 +410,9 @@ fn build_ext(scale: Scale) -> Workload {
     }
     let mut device = Device::new();
     let atrium = device.create_blas(BlasGeometry::triangles(tris));
-    device.create_tlas(vec![Instance::new(atrium, Mat4x3::IDENTITY).with_custom_index(7)]);
+    device.create_tlas(vec![
+        Instance::new(atrium, Mat4x3::IDENTITY).with_custom_index(7)
+    ]);
     let camera = Camera::look_at(
         Vec3::new(-extent_x * 0.6, 4.5, extent_z * 0.9),
         Vec3::new(0.0, 1.5, 0.0),
@@ -457,18 +461,19 @@ fn build_ext(scale: Scale) -> Workload {
         let s3 = ch.var_u32(hash_u32(&ch, ch.v(s2)));
         let u3 = ch.var_f32(hash_to_unit_f32(&ch, ch.v(s3)));
         let us = [u1, u2, u3];
-        let ao_dir_raw: [Expr; 3] = [0, 1, 2].map(|i| {
-            ch.v(n[i]) + (ch.v(us[i]) - ch.c_f32(0.5)) * ch.c_f32(1.6)
-        });
+        let ao_dir_raw: [Expr; 3] =
+            [0, 1, 2].map(|i| ch.v(n[i]) + (ch.v(us[i]) - ch.c_f32(0.5)) * ch.c_f32(1.6));
         let ao_dir = normalize3(&mut ch, ao_dir_raw);
-        let ao_dir_e = [Expr::Var(ao_dir[0]), Expr::Var(ao_dir[1]), Expr::Var(ao_dir[2])];
+        let ao_dir_e = [
+            Expr::Var(ao_dir[0]),
+            Expr::Var(ao_dir[1]),
+            Expr::Var(ao_dir[2]),
+        ];
         let open = occlusion_probe(&mut ch, &p, &n, ao_dir_e, 4.0, 2);
         ch.set(ao_acc, ch.v(ao_acc) + ch.v(open));
     }
     let ao = ch.var_f32(ch.c_f32(0.4) + ch.c_f32(0.3) * ch.v(ao_acc));
-    let shade = ch.var_f32(
-        (ch.c_f32(0.15) + ch.c_f32(0.75) * ch.v(lit) * ch.v(ndotl)) * ch.v(ao),
-    );
+    let shade = ch.var_f32((ch.c_f32(0.15) + ch.c_f32(0.75) * ch.v(lit) * ch.v(ndotl)) * ch.v(ao));
     for slot in 0..3u8 {
         ch.set_payload_in(slot, ch.v(albedo[slot as usize]) * ch.v(shade));
     }
@@ -539,7 +544,11 @@ fn path_trace_raygen(bounces: u32) -> vksim_shader::ir::ShaderModule {
         );
         rg.set(bounce, rg.v(bounce) + rg.c_u32(1));
     });
-    let rgb = [Expr::Var(color[0]), Expr::Var(color[1]), Expr::Var(color[2])];
+    let rgb = [
+        Expr::Var(color[0]),
+        Expr::Var(color[1]),
+        Expr::Var(color[2]),
+    ];
     store_pixel(&mut rg, pixel, rgb);
     rg.finish()
 }
@@ -565,15 +574,18 @@ fn scatter_tail(ch: &mut ShaderBuilder, n: &[Var; 3], albedo: &[Var; 3]) {
     let pid = ch.var_u32(ch.launch_id(1) * ch.launch_size(0) + ch.launch_id(0));
     let t = ch.var_f32(ch.builtin(Builtin::HitT));
     let tq = ch.var_u32((ch.v(t) * ch.c_f32(1024.0)).to_u32());
-    let seed = ch.var_u32(hash_u32(ch, ch.v(pid).bitxor(ch.v(tq) * ch.c_u32(2654435761))));
+    let seed = ch.var_u32(hash_u32(
+        ch,
+        ch.v(pid).bitxor(ch.v(tq) * ch.c_u32(2654435761)),
+    ));
     let u1 = ch.var_f32(hash_to_unit_f32(ch, ch.v(seed)));
     let s2 = ch.var_u32(hash_u32(ch, ch.v(seed)));
     let u2 = ch.var_f32(hash_to_unit_f32(ch, ch.v(s2)));
     let s3 = ch.var_u32(hash_u32(ch, ch.v(s2)));
     let u3 = ch.var_f32(hash_to_unit_f32(ch, ch.v(s3)));
     let us = [u1, u2, u3];
-    let raw: [vksim_shader::ir::Expr; 3] = [0, 1, 2]
-        .map(|i| ch.v(n[i]) + (ch.v(us[i]) - ch.c_f32(0.5)) * ch.c_f32(1.8));
+    let raw: [vksim_shader::ir::Expr; 3] =
+        [0, 1, 2].map(|i| ch.v(n[i]) + (ch.v(us[i]) - ch.c_f32(0.5)) * ch.c_f32(1.8));
     let scatter = normalize3(ch, raw);
     for slot in 0..3u8 {
         ch.set_payload_in(slot, ch.v(albedo[slot as usize]));
@@ -598,7 +610,9 @@ fn build_rtv5(scale: Scale) -> Workload {
     tris.extend(ground_quad(-20.0, 20.0, -20.0, 20.0, 0.0));
     let mut device = Device::new();
     let statue = device.create_blas(BlasGeometry::triangles(tris));
-    device.create_tlas(vec![Instance::new(statue, Mat4x3::IDENTITY).with_custom_index(11)]);
+    device.create_tlas(vec![
+        Instance::new(statue, Mat4x3::IDENTITY).with_custom_index(11)
+    ]);
     let camera = Camera::look_at(
         Vec3::new(0.0, 1.6, 4.0),
         Vec3::new(0.0, 1.0, 0.0),
@@ -664,7 +678,9 @@ fn build_rtv6(scale: Scale) -> Workload {
     }
     let mut device = Device::new();
     let blas = device.create_blas(BlasGeometry::procedurals(prims));
-    device.create_tlas(vec![Instance::new(blas, Mat4x3::IDENTITY).with_custom_index(21)]);
+    device.create_tlas(vec![
+        Instance::new(blas, Mat4x3::IDENTITY).with_custom_index(21)
+    ]);
     let prim_buf = device.alloc_buffer(data.len() as u64 * 4);
     device.upload_f32(prim_buf, &data);
     device.bind_descriptor(BINDING_PRIMDATA, prim_buf);
@@ -758,11 +774,11 @@ fn build_rtv6(scale: Scale) -> Workload {
         let mut n = [q[0]; 3];
         for i in 0..3 {
             let (j, k) = ((i + 1) % 3, (i + 2) % 3);
-            let dominant = b
-                .v(aq[i])
-                .ge(b.v(aq[j]))
-                .and(b.v(aq[i]).ge(b.v(aq[k])));
-            let sign = b.v(q[i]).ge(b.c_f32(0.0)).select(b.c_f32(1.0), b.c_f32(-1.0));
+            let dominant = b.v(aq[i]).ge(b.v(aq[j])).and(b.v(aq[i]).ge(b.v(aq[k])));
+            let sign = b
+                .v(q[i])
+                .ge(b.c_f32(0.0))
+                .select(b.c_f32(1.0), b.c_f32(-1.0));
             let cube_n = dominant.select(sign, b.c_f32(0.0));
             let sphere_n = b.v(q[i]) / b.v(size);
             let is_sphere = b.v(kind).lt(b.c_f32(0.5));

@@ -37,9 +37,7 @@ pub fn normalize3(b: &mut ShaderBuilder, v: [Expr; 3]) -> [Var; 3] {
     let x = b.var_f32(v[0].clone());
     let y = b.var_f32(v[1].clone());
     let z = b.var_f32(v[2].clone());
-    let len = b.var_f32(
-        (b.v(x) * b.v(x) + b.v(y) * b.v(y) + b.v(z) * b.v(z)).sqrt(),
-    );
+    let len = b.var_f32((b.v(x) * b.v(x) + b.v(y) * b.v(y) + b.v(z) * b.v(z)).sqrt());
     let inv = b.var_f32(b.c_f32(1.0) / b.v(len));
     [
         b.var_f32(b.v(x) * b.v(inv)),
@@ -65,9 +63,7 @@ pub fn camera_ray(b: &mut ShaderBuilder) -> ([Var; 3], [Var; 3], Var) {
     let v = b.var_f32((b.v(y) + b.c_f32(0.5)) / b.v(h));
     let mut dir = [eye[0]; 3];
     for i in 0..3 {
-        dir[i] = b.var_f32(
-            b.v(ll[i]) + b.v(hor[i]) * b.v(u) + b.v(ver[i]) * b.v(v) - b.v(eye[i]),
-        );
+        dir[i] = b.var_f32(b.v(ll[i]) + b.v(hor[i]) * b.v(u) + b.v(ver[i]) * b.v(v) - b.v(eye[i]));
     }
     let pixel = b.var_u32(b.launch_id(1) * b.launch_size(0) + b.launch_id(0));
     (eye, dir, pixel)
@@ -77,9 +73,7 @@ pub fn camera_ray(b: &mut ShaderBuilder) -> ([Var; 3], [Var; 3], Var) {
 /// `framebuffer[pixel]`.
 pub fn store_pixel(b: &mut ShaderBuilder, pixel: Var, rgb: [Expr; 3]) {
     let q = |b: &mut ShaderBuilder, e: Expr| -> Var {
-        b.var_u32(
-            (e.max(b.c_f32(0.0)).min(b.c_f32(1.0)) * b.c_f32(255.0) + b.c_f32(0.5)).to_u32(),
-        )
+        b.var_u32((e.max(b.c_f32(0.0)).min(b.c_f32(1.0)) * b.c_f32(255.0) + b.c_f32(0.5)).to_u32())
     };
     let [r, g, bl] = rgb;
     let r = q(b, r);
@@ -127,9 +121,7 @@ pub fn sky_color(b: &mut ShaderBuilder, dy_unit: Expr) -> [Expr; 3] {
 pub fn hit_point(b: &mut ShaderBuilder) -> [Var; 3] {
     let t = b.var_f32(b.builtin(Builtin::HitT));
     [0u8, 1, 2].map(|d| {
-        b.var_f32(
-            b.builtin(Builtin::RayOrigin(d)) + b.builtin(Builtin::RayDirection(d)) * b.v(t),
-        )
+        b.var_f32(b.builtin(Builtin::RayOrigin(d)) + b.builtin(Builtin::RayDirection(d)) * b.v(t))
     })
 }
 

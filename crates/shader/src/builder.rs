@@ -15,7 +15,9 @@
 //! assert_eq!(m.stmt_count(), 1);
 //! ```
 
-use crate::ir::{BinOp, Builtin, CmpOp, Expr, RtIdxQuery, ShaderKind, ShaderModule, Stmt, Ty, UnOp, Var};
+use crate::ir::{
+    BinOp, Builtin, CmpOp, Expr, RtIdxQuery, ShaderKind, ShaderModule, Stmt, Ty, UnOp, Var,
+};
 
 impl std::ops::Add for Expr {
     type Output = Expr;
@@ -217,17 +219,29 @@ impl ShaderBuilder {
 
     /// 32-bit global store.
     pub fn store(&mut self, addr: Expr, offset: i32, value: Expr) {
-        self.push(Stmt::Store { addr, offset, value });
+        self.push(Stmt::Store {
+            addr,
+            offset,
+            value,
+        });
     }
 
     /// 32-bit global load as f32.
     pub fn load_f32(&self, addr: Expr, offset: i32) -> Expr {
-        Expr::Load { addr: Box::new(addr), offset, ty: Ty::F32 }
+        Expr::Load {
+            addr: Box::new(addr),
+            offset,
+            ty: Ty::F32,
+        }
     }
 
     /// 32-bit global load as u32.
     pub fn load_u32(&self, addr: Expr, offset: i32) -> Expr {
-        Expr::Load { addr: Box::new(addr), offset, ty: Ty::U32 }
+        Expr::Load {
+            addr: Box::new(addr),
+            offset,
+            ty: Ty::U32,
+        }
     }
 
     /// Base address of descriptor binding `n`.
@@ -291,7 +305,14 @@ impl ShaderBuilder {
         flags: Expr,
         miss_index: u32,
     ) {
-        self.push(Stmt::TraceRay { origin, dir, t_min, t_max, flags, miss_index });
+        self.push(Stmt::TraceRay {
+            origin,
+            dir,
+            t_min,
+            t_max,
+            flags,
+            miss_index,
+        });
     }
 
     /// Structured `if`.
@@ -311,7 +332,11 @@ impl ShaderBuilder {
         self.blocks.push(Vec::new());
         els(self);
         let else_blk = self.blocks.pop().expect("builder block stack");
-        self.push(Stmt::If { cond, then_blk, else_blk });
+        self.push(Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        });
     }
 
     /// Structured `while`.
@@ -319,7 +344,10 @@ impl ShaderBuilder {
         self.blocks.push(Vec::new());
         body(self);
         let body_blk = self.blocks.pop().expect("builder block stack");
-        self.push(Stmt::While { cond, body: body_blk });
+        self.push(Stmt::While {
+            cond,
+            body: body_blk,
+        });
     }
 
     fn push(&mut self, s: Stmt) {
@@ -380,7 +408,9 @@ mod tests {
         assert_eq!(m.stmt_count(), 5);
         match &m.body[1] {
             Stmt::While { body, .. } => match &body[0] {
-                Stmt::If { then_blk, else_blk, .. } => {
+                Stmt::If {
+                    then_blk, else_blk, ..
+                } => {
                     assert_eq!(then_blk.len(), 1);
                     assert_eq!(else_blk.len(), 1);
                 }
@@ -415,7 +445,12 @@ mod tests {
     #[test]
     fn hash_helpers_produce_u32_and_f32() {
         let b = ShaderBuilder::new(ShaderKind::RayGen);
-        let m = ShaderModule { kind: ShaderKind::RayGen, name: "h".into(), vars: vec![], body: vec![] };
+        let m = ShaderModule {
+            kind: ShaderKind::RayGen,
+            name: "h".into(),
+            vars: vec![],
+            body: vec![],
+        };
         let h = hash_u32(&b, b.c_u32(12345));
         assert_eq!(h.ty(&m), Ty::U32);
         let f = hash_to_unit_f32(&b, h);

@@ -296,7 +296,9 @@ impl ShaderModule {
             stmts
                 .iter()
                 .map(|s| match s {
-                    Stmt::If { then_blk, else_blk, .. } => 1 + count(then_blk) + count(else_blk),
+                    Stmt::If {
+                        then_blk, else_blk, ..
+                    } => 1 + count(then_blk) + count(else_blk),
                     Stmt::While { body, .. } => 1 + count(body),
                     _ => 1,
                 })
@@ -310,7 +312,9 @@ impl ShaderModule {
         fn scan(stmts: &[Stmt]) -> bool {
             stmts.iter().any(|s| match s {
                 Stmt::TraceRay { .. } => true,
-                Stmt::If { then_blk, else_blk, .. } => scan(then_blk) || scan(else_blk),
+                Stmt::If {
+                    then_blk, else_blk, ..
+                } => scan(then_blk) || scan(else_blk),
                 Stmt::While { body, .. } => scan(body),
                 _ => false,
             })
@@ -324,7 +328,12 @@ mod tests {
     use super::*;
 
     fn module_with_vars(vars: Vec<Ty>) -> ShaderModule {
-        ShaderModule { kind: ShaderKind::RayGen, name: "t".into(), vars, body: vec![] }
+        ShaderModule {
+            kind: ShaderKind::RayGen,
+            name: "t".into(),
+            vars,
+            body: vec![],
+        }
     }
 
     #[test]
@@ -332,11 +341,22 @@ mod tests {
         let m = module_with_vars(vec![Ty::F32, Ty::U32]);
         assert_eq!(Expr::ConstF(1.0).ty(&m), Ty::F32);
         assert_eq!(Expr::Var(Var(1)).ty(&m), Ty::U32);
-        let add = Expr::Bin(BinOp::Add, Box::new(Expr::Var(Var(0))), Box::new(Expr::ConstF(1.0)));
+        let add = Expr::Bin(
+            BinOp::Add,
+            Box::new(Expr::Var(Var(0))),
+            Box::new(Expr::ConstF(1.0)),
+        );
         assert_eq!(add.ty(&m), Ty::F32);
-        let cmp = Expr::Cmp(CmpOp::Lt, Box::new(Expr::ConstF(0.0)), Box::new(Expr::ConstF(1.0)));
+        let cmp = Expr::Cmp(
+            CmpOp::Lt,
+            Box::new(Expr::ConstF(0.0)),
+            Box::new(Expr::ConstF(1.0)),
+        );
         assert_eq!(cmp.ty(&m), Ty::Bool);
-        assert_eq!(Expr::Un(UnOp::F2U, Box::new(Expr::ConstF(2.0))).ty(&m), Ty::U32);
+        assert_eq!(
+            Expr::Un(UnOp::F2U, Box::new(Expr::ConstF(2.0))).ty(&m),
+            Ty::U32
+        );
         assert_eq!(Expr::Builtin(Builtin::LaunchId(0)).ty(&m), Ty::U32);
         assert_eq!(Expr::Builtin(Builtin::HitT).ty(&m), Ty::F32);
     }
@@ -370,7 +390,10 @@ mod tests {
             kind: ShaderKind::RayGen,
             name: "r".into(),
             vars: vec![],
-            body: vec![Stmt::While { cond: Expr::ConstU(0).into_bool(), body: vec![trace] }],
+            body: vec![Stmt::While {
+                cond: Expr::ConstU(0).into_bool(),
+                body: vec![trace],
+            }],
         };
         assert!(m.contains_trace());
     }

@@ -110,14 +110,19 @@ impl std::fmt::Display for TranslateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TranslateError::WrongStage { expected, found } => {
-                write!(f, "shader stage mismatch: expected {expected:?}, found {found:?}")
+                write!(
+                    f,
+                    "shader stage mismatch: expected {expected:?}, found {found:?}"
+                )
             }
             TranslateError::PayloadInInRayGen => write!(f, "incoming payload used in raygen"),
             TranslateError::ReportOutsideIntersection => {
                 write!(f, "reportIntersection outside an intersection shader")
             }
             TranslateError::PayloadSlotOutOfRange(s) => write!(f, "payload slot {s} out of range"),
-            TranslateError::BindingOutOfRange(b) => write!(f, "descriptor binding {b} out of range"),
+            TranslateError::BindingOutOfRange(b) => {
+                write!(f, "descriptor binding {b} out of range")
+            }
             TranslateError::MissingMissShader(i) => write!(f, "miss shader {i} not registered"),
             TranslateError::UnsupportedOp(op) => write!(f, "unsupported operation: {op}"),
         }
@@ -165,7 +170,10 @@ pub fn translate(
 fn check_stages(mods: &[ShaderModule], expected: ShaderKind) -> Result<(), TranslateError> {
     for m in mods {
         if m.kind != expected {
-            return Err(TranslateError::WrongStage { expected, found: m.kind });
+            return Err(TranslateError::WrongStage {
+                expected,
+                found: m.kind,
+            });
         }
     }
     Ok(())
@@ -288,7 +296,10 @@ impl<'a> Cx<'a> {
                 self.b.mov_imm_u32(r, *v);
                 Ok(Val { reg: r, temp: true })
             }
-            Expr::Var(v) => Ok(Val { reg: scope.var_regs[v.0 as usize], temp: false }),
+            Expr::Var(v) => Ok(Val {
+                reg: scope.var_regs[v.0 as usize],
+                temp: false,
+            }),
             Expr::Bin(op, a, c) => {
                 let ty = self.eval_ty(a, scope);
                 let va = self.eval(a, scope)?;
@@ -322,7 +333,10 @@ impl<'a> Cx<'a> {
                     }
                 };
                 self.b.emit(instr);
-                Ok(Val { reg: dst, temp: true })
+                Ok(Val {
+                    reg: dst,
+                    temp: true,
+                })
             }
             Expr::Un(op, a) => {
                 let va = self.eval(a, scope)?;
@@ -341,7 +355,10 @@ impl<'a> Cx<'a> {
                     UnOp::U2F => Instr::CvtU2F { dst, a },
                 };
                 self.b.emit(instr);
-                Ok(Val { reg: dst, temp: true })
+                Ok(Val {
+                    reg: dst,
+                    temp: true,
+                })
             }
             Expr::Cmp(..) | Expr::BoolAnd(..) | Expr::BoolNot(..) => {
                 // Materialize a boolean as 0/1 via select.
@@ -353,9 +370,17 @@ impl<'a> Cx<'a> {
                 self.temps.push(one);
                 self.temps.push(zero);
                 let dst = self.alloc_temp();
-                self.b.emit(Instr::Sel { dst, cond: p, a: one, b: zero });
+                self.b.emit(Instr::Sel {
+                    dst,
+                    cond: p,
+                    a: one,
+                    b: zero,
+                });
                 self.free_pred(p);
-                Ok(Val { reg: dst, temp: true })
+                Ok(Val {
+                    reg: dst,
+                    temp: true,
+                })
             }
             Expr::Select(c, a, bb) => {
                 let p = self.eval_bool(c, scope)?;
@@ -364,17 +389,32 @@ impl<'a> Cx<'a> {
                 self.free(va);
                 self.free(vb);
                 let dst = self.alloc_temp();
-                self.b.emit(Instr::Sel { dst, cond: p, a: va.reg, b: vb.reg });
+                self.b.emit(Instr::Sel {
+                    dst,
+                    cond: p,
+                    a: va.reg,
+                    b: vb.reg,
+                });
                 self.free_pred(p);
-                Ok(Val { reg: dst, temp: true })
+                Ok(Val {
+                    reg: dst,
+                    temp: true,
+                })
             }
             Expr::Load { addr, offset, .. } => {
                 let va = self.eval(addr, scope)?;
                 self.free(va);
                 let dst = self.alloc_temp();
-                self.b
-                    .emit(Instr::Ld { dst, space: MemSpace::Global, addr: va.reg, offset: *offset });
-                Ok(Val { reg: dst, temp: true })
+                self.b.emit(Instr::Ld {
+                    dst,
+                    space: MemSpace::Global,
+                    addr: va.reg,
+                    offset: *offset,
+                });
+                Ok(Val {
+                    reg: dst,
+                    temp: true,
+                })
             }
             Expr::BufferBase(n) => {
                 if *n >= MAX_DESCRIPTOR_BINDINGS {
@@ -384,32 +424,59 @@ impl<'a> Cx<'a> {
                 self.b.mov_imm_u32(a, DESCRIPTOR_TABLE_ADDR as u32 + n * 4);
                 self.temps.push(a);
                 let dst = self.alloc_temp();
-                self.b.emit(Instr::Ld { dst, space: MemSpace::Const, addr: a, offset: 0 });
-                Ok(Val { reg: dst, temp: true })
+                self.b.emit(Instr::Ld {
+                    dst,
+                    space: MemSpace::Const,
+                    addr: a,
+                    offset: 0,
+                });
+                Ok(Val {
+                    reg: dst,
+                    temp: true,
+                })
             }
             Expr::Builtin(bi) => {
                 let dst = self.alloc_temp();
-                self.b.emit(Instr::RtRead { dst, query: builtin_query(*bi) });
-                Ok(Val { reg: dst, temp: true })
+                self.b.emit(Instr::RtRead {
+                    dst,
+                    query: builtin_query(*bi),
+                });
+                Ok(Val {
+                    reg: dst,
+                    temp: true,
+                })
             }
             Expr::IntersectionAttr(q) => {
                 let idx = scope
                     .isect_idx
                     .ok_or(TranslateError::ReportOutsideIntersection)?;
                 let dst = self.alloc_temp();
-                self.b.emit(Instr::RtReadIdx { dst, query: *q, idx });
-                Ok(Val { reg: dst, temp: true })
+                self.b.emit(Instr::RtReadIdx {
+                    dst,
+                    query: *q,
+                    idx,
+                });
+                Ok(Val {
+                    reg: dst,
+                    temp: true,
+                })
             }
             Expr::Payload(slot) => {
                 let r = self.payload_reg(scope.depth, *slot)?;
-                Ok(Val { reg: r, temp: false })
+                Ok(Val {
+                    reg: r,
+                    temp: false,
+                })
             }
             Expr::PayloadIn(slot) => {
                 if scope.depth == 0 {
                     return Err(TranslateError::PayloadInInRayGen);
                 }
                 let r = self.payload_reg(scope.depth - 1, *slot)?;
-                Ok(Val { reg: r, temp: false })
+                Ok(Val {
+                    reg: r,
+                    temp: false,
+                })
             }
         }
     }
@@ -436,7 +503,11 @@ impl<'a> Cx<'a> {
                 self.free_pred(pa);
                 self.free_pred(pb);
                 let p = self.alloc_pred();
-                self.b.emit(Instr::PredAnd { dst: p, a: pa, b: pb });
+                self.b.emit(Instr::PredAnd {
+                    dst: p,
+                    a: pa,
+                    b: pb,
+                });
                 Ok(p)
             }
             Expr::BoolNot(a) => {
@@ -479,7 +550,11 @@ impl<'a> Cx<'a> {
                 }
                 self.free(v);
             }
-            Stmt::Store { addr, offset, value } => {
+            Stmt::Store {
+                addr,
+                offset,
+                value,
+            } => {
                 let va = self.eval(addr, scope)?;
                 let vv = self.eval(value, scope)?;
                 self.b.emit(Instr::St {
@@ -510,7 +585,11 @@ impl<'a> Cx<'a> {
                 }
                 self.free(v);
             }
-            Stmt::If { cond, then_blk, else_blk } => {
+            Stmt::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
                 let join = self.b.new_label();
                 self.b.ssy(join);
                 let p = self.eval_bool(cond, scope)?;
@@ -543,7 +622,14 @@ impl<'a> Cx<'a> {
                 self.b.bind_label(join);
                 self.b.sync();
             }
-            Stmt::TraceRay { origin, dir, t_min, t_max, flags, miss_index } => {
+            Stmt::TraceRay {
+                origin,
+                dir,
+                t_min,
+                t_max,
+                flags,
+                miss_index,
+            } => {
                 self.gen_trace_ray(origin, dir, t_min, t_max, flags, *miss_index, scope)?;
             }
             Stmt::ReportIntersection { t } => {
@@ -660,7 +746,11 @@ impl<'a> Cx<'a> {
                 self.gen_block(&anyhit.body, &mut sub)?;
             }
 
-            self.b.emit(Instr::IAdd { dst: idx, a: idx, b: one });
+            self.b.emit(Instr::IAdd {
+                dst: idx,
+                a: idx,
+                b: one,
+            });
             self.b.bra(top);
             self.b.bind_label(join);
             self.b.sync();
@@ -668,7 +758,10 @@ impl<'a> Cx<'a> {
 
         // 3. HitGeometry() ? closest-hit dispatch : miss (lines 12-21).
         let kind = self.alloc_temp();
-        self.b.emit(Instr::RtRead { dst: kind, query: RtQuery::HitKind });
+        self.b.emit(Instr::RtRead {
+            dst: kind,
+            query: RtQuery::HitKind,
+        });
         let zero = self.alloc_temp();
         self.b.mov_imm_u32(zero, 0);
         let phit = self.alloc_pred();
@@ -685,7 +778,10 @@ impl<'a> Cx<'a> {
         // Hit side: dispatch closest-hit by SBT shader id.
         if !self.pipeline.closest_hit.is_empty() {
             let chid = self.alloc_temp();
-            self.b.emit(Instr::RtRead { dst: chid, query: RtQuery::ClosestHitShaderId });
+            self.b.emit(Instr::RtRead {
+                dst: chid,
+                query: RtQuery::ClosestHitShaderId,
+            });
             let shaders: Vec<ShaderModule> = self.pipeline.closest_hit.to_vec();
             let n = shaders.len();
             for (i, module) in shaders.iter().enumerate() {
@@ -810,7 +906,10 @@ mod tests {
             (idx as usize) < self.pending_shader_ids.len()
         }
         fn next_coalesced_call(&mut self, _tid: usize, idx: u32) -> u32 {
-            self.pending_shader_ids.get(idx as usize).copied().unwrap_or(u32::MAX)
+            self.pending_shader_ids
+                .get(idx as usize)
+                .copied()
+                .unwrap_or(u32::MAX)
         }
         fn report_intersection(&mut self, _tid: usize, idx: u32, t: f32) {
             self.reports.push((idx, t));
@@ -864,7 +963,10 @@ mod tests {
             any_hit: vec![],
             max_recursion_depth: 1,
         };
-        let mut rt = ScriptRt { hit_kind: 0, ..Default::default() };
+        let mut rt = ScriptRt {
+            hit_kind: 0,
+            ..Default::default()
+        };
         let (_, m) = run_pipeline(&p, &mut rt);
         assert_eq!(m.read_f32(0x1000), 9.5);
         assert_eq!(rt.end_count, 1);
@@ -881,7 +983,10 @@ mod tests {
             any_hit: vec![],
             max_recursion_depth: 1,
         };
-        let mut rt = ScriptRt { hit_kind: 1, ..Default::default() };
+        let mut rt = ScriptRt {
+            hit_kind: 1,
+            ..Default::default()
+        };
         let (_, m) = run_pipeline(&p, &mut rt);
         assert_eq!(m.read_f32(0x1000), 3.25);
     }
@@ -897,7 +1002,11 @@ mod tests {
             max_recursion_depth: 1,
         };
         for (id, expect) in [(0u32, 1.0f32), (1, 2.0), (2, 3.0), (7, 3.0)] {
-            let mut rt = ScriptRt { hit_kind: 1, closest_hit_shader: id, ..Default::default() };
+            let mut rt = ScriptRt {
+                hit_kind: 1,
+                closest_hit_shader: id,
+                ..Default::default()
+            };
             let (_, m) = run_pipeline(&p, &mut rt);
             assert_eq!(m.read_f32(0x1000), expect, "shader id {id}");
         }
@@ -910,7 +1019,7 @@ mod tests {
         let mut i0 = ShaderBuilder::new(ShaderKind::Intersection);
         let prim = i0.intersection_attr(RtIdxQuery::IntersectionPrimitiveIndex);
         i0.report_intersection(prim.to_f32());
-        let mut i1 = ShaderBuilder::new(ShaderKind::Intersection);
+        let i1 = ShaderBuilder::new(ShaderKind::Intersection);
         let _ = i1.intersection_attr(RtIdxQuery::IntersectionShaderId);
         let p = PipelineShaders {
             raygen: trace_stmt_raygen(0x1000),
@@ -986,9 +1095,15 @@ mod tests {
         let traces = prog.instrs().iter().filter(|i| i.is_trace_ray()).count();
         assert_eq!(traces, 2, "outer + one inlined nested trace");
         // Depth 1 pipeline elides the nested trace.
-        let p1 = PipelineShaders { max_recursion_depth: 1, ..p };
+        let p1 = PipelineShaders {
+            max_recursion_depth: 1,
+            ..p
+        };
         let prog1 = translate(&p1, &TranslateOptions::default()).unwrap();
-        assert_eq!(prog1.instrs().iter().filter(|i| i.is_trace_ray()).count(), 1);
+        assert_eq!(
+            prog1.instrs().iter().filter(|i| i.is_trace_ray()).count(),
+            1
+        );
     }
 
     #[test]
@@ -1173,6 +1288,10 @@ mod tests {
             .iter()
             .filter(|i| i.class() == vksim_isa::op::InstClass::Alu)
             .count();
-        assert!(alu * 2 > prog.len(), "ALU should dominate: {alu}/{}", prog.len());
+        assert!(
+            alu * 2 > prog.len(),
+            "ALU should dominate: {alu}/{}",
+            prog.len()
+        );
     }
 }

@@ -129,7 +129,10 @@ impl Histogram {
     ///
     /// Panics if the bin widths differ.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.bin_width, other.bin_width, "bin width mismatch in merge");
+        assert_eq!(
+            self.bin_width, other.bin_width,
+            "bin width mismatch in merge"
+        );
         if other.bins.len() > self.bins.len() {
             self.bins.resize(other.bins.len(), 0);
         }

@@ -43,8 +43,14 @@ impl Roofline {
     ///
     /// Panics if either roof is not strictly positive.
     pub fn new(compute_roof: f64, blocks_per_cycle: f64) -> Self {
-        assert!(compute_roof > 0.0 && blocks_per_cycle > 0.0, "roofs must be positive");
-        Roofline { compute_roof, blocks_per_cycle }
+        assert!(
+            compute_roof > 0.0 && blocks_per_cycle > 0.0,
+            "roofs must be positive"
+        );
+        Roofline {
+            compute_roof,
+            blocks_per_cycle,
+        }
     }
 
     /// Attainable performance at a given operational intensity:
@@ -91,8 +97,14 @@ mod tests {
     #[test]
     fn memory_vs_compute_bound_classification() {
         let r = Roofline::new(100.0, 2.0);
-        let mem = RooflinePoint { operational_intensity: 10.0, performance: 5.0 };
-        let comp = RooflinePoint { operational_intensity: 90.0, performance: 50.0 };
+        let mem = RooflinePoint {
+            operational_intensity: 10.0,
+            performance: 5.0,
+        };
+        let comp = RooflinePoint {
+            operational_intensity: 90.0,
+            performance: 50.0,
+        };
         assert!(r.is_memory_bound(&mem));
         assert!(!r.is_memory_bound(&comp));
     }
@@ -100,7 +112,10 @@ mod tests {
     #[test]
     fn utilization_fraction() {
         let r = Roofline::new(100.0, 1.0);
-        let p = RooflinePoint { operational_intensity: 10.0, performance: 5.0 };
+        let p = RooflinePoint {
+            operational_intensity: 10.0,
+            performance: 5.0,
+        };
         assert!((r.utilization(&p) - 0.5).abs() < 1e-12);
     }
 

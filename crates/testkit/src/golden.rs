@@ -1,0 +1,157 @@
+//! Golden-counter regression gate.
+//!
+//! A golden is a checked-in JSON file of `counter name -> u64` captured
+//! from a deterministic simulator run. [`assert_matches_golden`] compares a
+//! fresh snapshot against the file **exactly** — any drift (changed value,
+//! missing counter, new counter) fails loudly with a full diff, because
+//! silent counter drift is the main failure mode of GPU simulators.
+//!
+//! Regenerate intentionally with `VKSIM_BLESS=1 cargo test ...` after a
+//! change that is *supposed* to move the counters, and commit the diff so
+//! reviewers see exactly which statistics moved.
+
+use crate::json::{parse_flat_u64_object, write_flat_u64_object};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// `true` when `VKSIM_BLESS` is set (to anything but `0`): goldens are
+/// rewritten instead of compared.
+pub fn blessing() -> bool {
+    std::env::var("VKSIM_BLESS").map_or(false, |v| v != "0")
+}
+
+/// Compares `actual` against the golden at `path`, or rewrites the golden
+/// when [`blessing`]. Returns the human-readable failure report instead of
+/// panicking (used by [`assert_matches_golden`]).
+///
+/// # Errors
+///
+/// Returns a diff listing every mismatched, missing, and unexpected
+/// counter, or instructions to bless when the golden does not exist yet.
+pub fn compare_golden(path: &Path, actual: &BTreeMap<String, u64>) -> Result<(), String> {
+    if blessing() {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+        std::fs::write(path, write_flat_u64_object(actual))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        eprintln!(
+            "blessed golden {} ({} counters)",
+            path.display(),
+            actual.len()
+        );
+        return Ok(());
+    }
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "golden {} unreadable ({e}).\nIf this is a new scenario, generate it with:\n  \
+             VKSIM_BLESS=1 cargo test --offline -p vksim-bench --test golden_counters\n\
+             and commit the resulting file.",
+            path.display()
+        )
+    })?;
+    let expected = parse_flat_u64_object(&text)
+        .map_err(|e| format!("golden {} is corrupt: {e}", path.display()))?;
+
+    let mut diffs = Vec::new();
+    for (k, want) in &expected {
+        match actual.get(k) {
+            None => diffs.push(format!("  missing counter        {k} (golden {want})")),
+            Some(got) if got != want => {
+                let delta = *got as i128 - *want as i128;
+                diffs.push(format!(
+                    "  drift                  {k}: golden {want}, actual {got} ({delta:+})"
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    for k in actual.keys() {
+        if !expected.contains_key(k) {
+            diffs.push(format!(
+                "  unexpected counter     {k} (actual {})",
+                actual[k]
+            ));
+        }
+    }
+    if diffs.is_empty() {
+        return Ok(());
+    }
+    Err(format!(
+        "golden counter drift against {} ({} of {} counters differ):\n{}\n\
+         If this change is intentional, re-bless with:\n  \
+         VKSIM_BLESS=1 cargo test --offline -p vksim-bench --test golden_counters\n\
+         and commit the golden diff.",
+        path.display(),
+        diffs.len(),
+        expected.len().max(actual.len()),
+        diffs.join("\n"),
+    ))
+}
+
+/// Panicking wrapper over [`compare_golden`] for use inside `#[test]`s.
+///
+/// # Panics
+///
+/// Panics with the full counter diff on any drift.
+pub fn assert_matches_golden(path: impl AsRef<Path>, actual: &BTreeMap<String, u64>) {
+    if let Err(report) = compare_golden(path.as_ref(), actual) {
+        panic!("{report}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("vksim-testkit-golden-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn counters(pairs: &[(&str, u64)]) -> BTreeMap<String, u64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn exact_match_passes() {
+        let path = tmp("match.json");
+        let m = counters(&[("cycles", 100), ("hits", 7)]);
+        std::fs::write(&path, write_flat_u64_object(&m)).unwrap();
+        assert!(compare_golden(&path, &m).is_ok());
+    }
+
+    #[test]
+    fn drift_is_reported_with_delta() {
+        let path = tmp("drift.json");
+        std::fs::write(&path, write_flat_u64_object(&counters(&[("cycles", 100)]))).unwrap();
+        let err = compare_golden(&path, &counters(&[("cycles", 90)])).unwrap_err();
+        assert!(err.contains("cycles: golden 100, actual 90 (-10)"), "{err}");
+        assert!(
+            err.contains("VKSIM_BLESS=1"),
+            "must tell the user how to re-bless: {err}"
+        );
+    }
+
+    #[test]
+    fn missing_and_unexpected_counters_reported() {
+        let path = tmp("shape.json");
+        std::fs::write(
+            &path,
+            write_flat_u64_object(&counters(&[("a", 1), ("b", 2)])),
+        )
+        .unwrap();
+        let err = compare_golden(&path, &counters(&[("b", 2), ("c", 3)])).unwrap_err();
+        assert!(err.contains("missing counter"), "{err}");
+        assert!(err.contains("unexpected counter"), "{err}");
+        assert!(err.contains('a') && err.contains('c'));
+    }
+
+    #[test]
+    fn absent_golden_names_bless_command() {
+        let err = compare_golden(&tmp("never-written.json"), &counters(&[("x", 1)])).unwrap_err();
+        assert!(err.contains("VKSIM_BLESS=1"), "{err}");
+    }
+}

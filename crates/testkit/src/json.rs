@@ -1,0 +1,226 @@
+//! The tiny JSON subset the testkit needs: string escaping for the bench
+//! writer, and flat `{"name": integer, ...}` objects for golden-counter
+//! files. Not a general JSON library on purpose — goldens must stay
+//! trivially diffable and lossless for `u64` (no float round-trip).
+
+use std::collections::BTreeMap;
+
+/// Escapes a string for embedding in a JSON document (quotes not included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes a flat `name -> u64` map as a pretty, stable JSON object
+/// (keys in name order, one per line — the golden-file format).
+pub fn write_flat_u64_object(map: &BTreeMap<String, u64>) -> String {
+    let mut out = String::from("{\n");
+    let mut first = true;
+    for (k, v) in map {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!("  \"{}\": {}", escape(k), v));
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+/// Parses a flat JSON object of string keys and unsigned-integer values.
+///
+/// # Errors
+///
+/// Returns a message naming the offending byte offset for anything outside
+/// the golden-file subset (nesting, floats, negative numbers, trailing
+/// garbage).
+pub fn parse_flat_u64_object(text: &str) -> Result<BTreeMap<String, u64>, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut map = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.parse_u64()?;
+            if map.insert(key.clone(), value).is_some() {
+                return Err(format!("duplicate key '{key}'"));
+            }
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}', got {other:?} at byte {}",
+                        p.pos
+                    ))
+                }
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(map)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!(
+                "expected '{}', got {other:?} at byte {}",
+                want as char, self.pos
+            )),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next().ok_or("truncated \\u escape")?;
+                            code = code * 16
+                                + (d as char).to_digit(16).ok_or("bad \\u escape digit")?;
+                        }
+                        out.push(char::from_u32(code).ok_or("invalid \\u code point")?);
+                    }
+                    other => return Err(format!("unsupported escape {other:?}")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(b) => {
+                    // Re-decode the UTF-8 sequence starting at this byte.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|e| format!("bad UTF-8 in string: {e}"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected unsigned integer at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap()
+            .parse()
+            .map_err(|e| format!("integer out of u64 range at byte {start}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut m = BTreeMap::new();
+        m.insert("gpu.cycles".to_string(), 123456u64);
+        m.insert("l1.shader_load.hit".to_string(), 0u64);
+        m.insert("weird \"key\"\n".to_string(), u64::MAX);
+        let text = write_flat_u64_object(&m);
+        assert_eq!(parse_flat_u64_object(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn empty_object() {
+        assert!(parse_flat_u64_object("{}").unwrap().is_empty());
+        assert!(parse_flat_u64_object(" { } ").unwrap().is_empty());
+    }
+
+    #[test]
+    fn u64_max_is_lossless() {
+        let text = format!("{{\"x\": {}}}", u64::MAX);
+        assert_eq!(parse_flat_u64_object(&text).unwrap()["x"], u64::MAX);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_flat_u64_object("{\"a\": 1} extra").is_err());
+        assert!(parse_flat_u64_object("{\"a\": -1}").is_err());
+        assert!(parse_flat_u64_object("{\"a\": 1.5}").is_err());
+        assert!(parse_flat_u64_object("{\"a\": 1, \"a\": 2}").is_err());
+        assert!(parse_flat_u64_object("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn output_is_sorted_and_stable() {
+        let mut m = BTreeMap::new();
+        m.insert("zeta".to_string(), 1);
+        m.insert("alpha".to_string(), 2);
+        let text = write_flat_u64_object(&m);
+        let alpha = text.find("alpha").unwrap();
+        let zeta = text.find("zeta").unwrap();
+        assert!(alpha < zeta);
+        assert_eq!(text, write_flat_u64_object(&m));
+    }
+}

@@ -1,0 +1,655 @@
+//! Minimal property-testing harness (offline `proptest` replacement).
+//!
+//! A [`Strategy`] knows how to generate values from a [`Pcg32`] stream and
+//! how to propose simpler candidates for a failing value (shrinking).
+//! [`check`] runs a property over many generated cases; on failure it
+//! shrinks within an iteration bound and panics with the minimal failing
+//! value plus the exact seed that reproduces the case.
+//!
+//! Environment knobs:
+//!
+//! * `VKSIM_PROP_CASES` — cases per property (default 256).
+//! * `VKSIM_PROP_SEED` — base seed; case `i` uses `seed + i`, so re-running
+//!   with the reported failing seed and `VKSIM_PROP_CASES=1` replays
+//!   exactly one case.
+
+use crate::rng::Pcg32;
+use std::fmt::Debug;
+
+/// Property body result: `Err(message)` marks the case as failing.
+pub type TestResult = Result<(), String>;
+
+/// Default base seed (stable across runs for reproducible CI).
+pub const DEFAULT_SEED: u64 = 0x5EED_CAFE_F00D_0001;
+
+/// A generator of test values with optional shrinking.
+pub trait Strategy {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Generates one value from the stream.
+    fn generate(&self, rng: &mut Pcg32) -> Self::Value;
+
+    /// Proposes strictly "simpler" candidates for a failing value; an empty
+    /// vector ends shrinking. Candidates must stay within the strategy's
+    /// own domain.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Numeric range strategies.
+// ---------------------------------------------------------------------------
+
+/// Uniform `f32` in `[lo, hi)`. See [`f32_in`].
+#[derive(Clone, Copy, Debug)]
+pub struct F32Range {
+    lo: f32,
+    hi: f32,
+}
+
+/// Uniform `f32` in `[lo, hi)`; shrinks toward zero (or `lo`).
+pub fn f32_in(lo: f32, hi: f32) -> F32Range {
+    assert!(lo < hi, "empty f32 range {lo}..{hi}");
+    F32Range { lo, hi }
+}
+
+impl Strategy for F32Range {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut Pcg32) -> f32 {
+        rng.f32_range(self.lo, self.hi)
+    }
+
+    fn shrink(&self, v: &f32) -> Vec<f32> {
+        let mut out = Vec::new();
+        let anchor = if (self.lo..self.hi).contains(&0.0) {
+            0.0
+        } else {
+            self.lo
+        };
+        for cand in [anchor, anchor + (v - anchor) / 2.0] {
+            if cand != *v && (self.lo..self.hi).contains(&cand) && !out.contains(&cand) {
+                out.push(cand);
+            }
+        }
+        out
+    }
+}
+
+/// Uniform `f64` in `[lo, hi)`. See [`f64_in`].
+#[derive(Clone, Copy, Debug)]
+pub struct F64Range {
+    lo: f64,
+    hi: f64,
+}
+
+/// Uniform `f64` in `[lo, hi)`; shrinks toward zero (or `lo`).
+pub fn f64_in(lo: f64, hi: f64) -> F64Range {
+    assert!(lo < hi, "empty f64 range {lo}..{hi}");
+    F64Range { lo, hi }
+}
+
+impl Strategy for F64Range {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut Pcg32) -> f64 {
+        rng.f64_range(self.lo, self.hi)
+    }
+
+    fn shrink(&self, v: &f64) -> Vec<f64> {
+        let mut out = Vec::new();
+        let anchor = if (self.lo..self.hi).contains(&0.0) {
+            0.0
+        } else {
+            self.lo
+        };
+        for cand in [anchor, anchor + (v - anchor) / 2.0] {
+            if cand != *v && (self.lo..self.hi).contains(&cand) && !out.contains(&cand) {
+                out.push(cand);
+            }
+        }
+        out
+    }
+}
+
+/// Uniform `u64` in `[lo, hi)`. See [`u64_in`].
+#[derive(Clone, Copy, Debug)]
+pub struct U64Range {
+    lo: u64,
+    hi: u64,
+}
+
+/// Uniform `u64` in `[lo, hi)`; shrinks toward `lo`.
+pub fn u64_in(lo: u64, hi: u64) -> U64Range {
+    assert!(lo < hi, "empty u64 range {lo}..{hi}");
+    U64Range { lo, hi }
+}
+
+impl Strategy for U64Range {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut Pcg32) -> u64 {
+        self.lo + rng.u64_below(self.hi - self.lo)
+    }
+
+    fn shrink(&self, v: &u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        for cand in [self.lo, self.lo + (v - self.lo) / 2] {
+            if cand != *v && !out.contains(&cand) {
+                out.push(cand);
+            }
+        }
+        out
+    }
+}
+
+/// Uniform `u32` in `[lo, hi)`. See [`u32_in`].
+#[derive(Clone, Copy, Debug)]
+pub struct U32Range {
+    lo: u32,
+    hi: u32,
+}
+
+/// Uniform `u32` in `[lo, hi)`; shrinks toward `lo`.
+pub fn u32_in(lo: u32, hi: u32) -> U32Range {
+    assert!(lo < hi, "empty u32 range {lo}..{hi}");
+    U32Range { lo, hi }
+}
+
+impl Strategy for U32Range {
+    type Value = u32;
+
+    fn generate(&self, rng: &mut Pcg32) -> u32 {
+        self.lo + rng.u32_below(self.hi - self.lo)
+    }
+
+    fn shrink(&self, v: &u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        for cand in [self.lo, self.lo + (v - self.lo) / 2] {
+            if cand != *v && !out.contains(&cand) {
+                out.push(cand);
+            }
+        }
+        out
+    }
+}
+
+/// Uniform `usize` in `[lo, hi)`. See [`usize_in`].
+#[derive(Clone, Copy, Debug)]
+pub struct UsizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+/// Uniform `usize` in `[lo, hi)`; shrinks toward `lo`.
+pub fn usize_in(lo: usize, hi: usize) -> UsizeRange {
+    assert!(lo < hi, "empty usize range {lo}..{hi}");
+    UsizeRange { lo, hi }
+}
+
+impl Strategy for UsizeRange {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut Pcg32) -> usize {
+        self.lo + rng.u64_below((self.hi - self.lo) as u64) as usize
+    }
+
+    fn shrink(&self, v: &usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for cand in [self.lo, self.lo + (v - self.lo) / 2] {
+            if cand != *v && !out.contains(&cand) {
+                out.push(cand);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Combinators.
+// ---------------------------------------------------------------------------
+
+/// Maps generated values through a function. See [`map`].
+#[derive(Clone, Copy, Debug)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+/// Maps a strategy's output through `f`. Mapped strategies do not shrink
+/// (the mapping is not invertible); put vectors/tuples *outside* the map
+/// when shrinking matters.
+pub fn map<S, T, F>(source: S, f: F) -> Map<S, F>
+where
+    S: Strategy,
+    T: Clone + Debug,
+    F: Fn(S::Value) -> T,
+{
+    Map { source, f }
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: Clone + Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut Pcg32) -> T {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Rejects generated values failing a predicate. See [`filter`].
+#[derive(Clone, Copy, Debug)]
+pub struct Filter<S, P> {
+    source: S,
+    pred: P,
+    label: &'static str,
+}
+
+/// Retries generation until `pred` holds (bounded at 1000 attempts, then
+/// panics naming `label`). Shrink candidates are filtered by the same
+/// predicate.
+pub fn filter<S, P>(source: S, label: &'static str, pred: P) -> Filter<S, P>
+where
+    S: Strategy,
+    P: Fn(&S::Value) -> bool,
+{
+    Filter {
+        source,
+        pred,
+        label,
+    }
+}
+
+impl<S, P> Strategy for Filter<S, P>
+where
+    S: Strategy,
+    P: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut Pcg32) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.source.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "filter '{}' rejected 1000 consecutive candidates",
+            self.label
+        );
+    }
+
+    fn shrink(&self, v: &S::Value) -> Vec<S::Value> {
+        self.source
+            .shrink(v)
+            .into_iter()
+            .filter(|c| (self.pred)(c))
+            .collect()
+    }
+}
+
+/// `Vec` of values from an element strategy. See [`vec_of`].
+#[derive(Clone, Copy, Debug)]
+pub struct VecOf<S> {
+    elem: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+/// A vector with uniform length in `[min_len, max_len]`. Shrinks first by
+/// dropping chunks/elements (down to `min_len`), then by shrinking
+/// individual elements.
+pub fn vec_of<S: Strategy>(elem: S, min_len: usize, max_len: usize) -> VecOf<S> {
+    assert!(
+        min_len <= max_len,
+        "empty length range {min_len}..={max_len}"
+    );
+    VecOf {
+        elem,
+        min_len,
+        max_len,
+    }
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Pcg32) -> Vec<S::Value> {
+        let len = rng.usize_range(self.min_len, self.max_len);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out: Vec<Vec<S::Value>> = Vec::new();
+        let n = v.len();
+        if n > self.min_len {
+            // Halves first (fast length reduction), then single removals.
+            let half = n / 2;
+            if half >= self.min_len {
+                out.push(v[..half].to_vec());
+                out.push(v[n - half..].to_vec());
+            }
+            for i in 0..n.min(8) {
+                if n - 1 >= self.min_len {
+                    let mut smaller = v.clone();
+                    smaller.remove(i);
+                    out.push(smaller);
+                }
+            }
+        }
+        // Element-wise shrinking on a bounded prefix.
+        for i in 0..n.min(4) {
+            for cand in self.elem.shrink(&v[i]).into_iter().take(2) {
+                let mut c = v.clone();
+                c[i] = cand;
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+/// A strategy that always yields `value` (useful as a tuple slot).
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut Pcg32) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($S:ident / $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+
+            fn generate(&self, rng: &mut Pcg32) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&v.$idx).into_iter().take(4) {
+                        let mut c = v.clone();
+                        c.$idx = cand;
+                        out.push(c);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+tuple_strategy!(A / 0);
+tuple_strategy!(A / 0, B / 1);
+tuple_strategy!(A / 0, B / 1, C / 2);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+// ---------------------------------------------------------------------------
+// Runner.
+// ---------------------------------------------------------------------------
+
+/// Runner configuration; [`Config::from_env`] is the default used by
+/// [`check`].
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u64,
+    /// Iteration bound on the shrink search.
+    pub max_shrink_iters: u64,
+    /// Base seed; case `i` runs on `seed + i`.
+    pub seed: u64,
+}
+
+impl Config {
+    /// Reads `VKSIM_PROP_CASES` / `VKSIM_PROP_SEED`, falling back to 256
+    /// cases on [`DEFAULT_SEED`].
+    pub fn from_env() -> Self {
+        let cases = std::env::var("VKSIM_PROP_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(256);
+        let seed = std::env::var("VKSIM_PROP_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_SEED);
+        Config {
+            cases,
+            max_shrink_iters: 1024,
+            seed,
+        }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config::from_env()
+    }
+}
+
+/// Runs `property` over cases generated by `strategy` with the environment
+/// configuration; panics on the first (shrunk) failure.
+pub fn check<S: Strategy>(strategy: &S, property: impl Fn(&S::Value) -> TestResult) {
+    check_with(Config::from_env(), strategy, property)
+}
+
+/// [`check`] with an explicit [`Config`].
+///
+/// # Panics
+///
+/// Panics when a case fails, reporting the original failing value, the
+/// shrunk value, the property's error message, and the seed that replays
+/// the case.
+pub fn check_with<S: Strategy>(
+    config: Config,
+    strategy: &S,
+    property: impl Fn(&S::Value) -> TestResult,
+) {
+    for case in 0..config.cases {
+        let case_seed = config.seed.wrapping_add(case);
+        let mut rng = Pcg32::new(case_seed);
+        let value = strategy.generate(&mut rng);
+        if let Err(msg) = property(&value) {
+            let (shrunk, shrunk_msg, iters) =
+                shrink_failure(strategy, &property, value.clone(), msg.clone(), config);
+            panic!(
+                "property failed (case {case} of {cases})\n  \
+                 original: {value:?}\n  original error: {msg}\n  \
+                 shrunk ({iters} shrink iterations): {shrunk:?}\n  \
+                 shrunk error: {shrunk_msg}\n  \
+                 replay with: VKSIM_PROP_SEED={case_seed} VKSIM_PROP_CASES=1",
+                cases = config.cases,
+            );
+        }
+    }
+}
+
+fn shrink_failure<S: Strategy>(
+    strategy: &S,
+    property: &impl Fn(&S::Value) -> TestResult,
+    mut value: S::Value,
+    mut msg: String,
+    config: Config,
+) -> (S::Value, String, u64) {
+    let mut iters = 0u64;
+    'outer: loop {
+        for cand in strategy.shrink(&value) {
+            iters += 1;
+            if iters > config.max_shrink_iters {
+                break 'outer;
+            }
+            if let Err(m) = property(&cand) {
+                value = cand;
+                msg = m;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, msg, iters)
+}
+
+/// Asserts a condition inside a property body, returning `Err` with a
+/// formatted message (and source location for the bare form) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($arg:tt)+) => {
+        if !$cond {
+            return Err(format!($($arg)+));
+        }
+    };
+}
+
+/// Asserts equality inside a property body (see [`prop_assert!`]).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!(
+                "assertion failed: {a:?} != {b:?} ({}:{})",
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($arg:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!($($arg)+));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> Config {
+        Config {
+            cases: 64,
+            max_shrink_iters: 256,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u64;
+        let counter = std::cell::Cell::new(0u64);
+        check_with(small_config(), &u64_in(0, 100), |_| {
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        count += counter.get();
+        assert_eq!(count, 64);
+    }
+
+    #[test]
+    fn generated_values_respect_ranges() {
+        check_with(
+            small_config(),
+            &(f32_in(-2.0, 2.0), u64_in(5, 10)),
+            |&(f, u)| {
+                prop_assert!((-2.0..2.0).contains(&f), "f32 {f} out of range");
+                prop_assert!((5..10).contains(&u), "u64 {u} out of range");
+                Ok(())
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "replay with")]
+    fn failing_property_reports_seed() {
+        check_with(small_config(), &u64_in(0, 1000), |&v| {
+            prop_assert!(v < 900, "too big: {v}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn shrinking_minimizes_vec_length() {
+        // Failing condition: vec contains an element >= 50. The shrunk
+        // counterexample should be much shorter than a typical original.
+        let strat = vec_of(u64_in(0, 100), 0, 40);
+        let mut caught = None;
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            check_with(small_config(), &strat, |v| {
+                prop_assert!(!v.iter().any(|&x| x >= 50), "has big element");
+                Ok(())
+            });
+        }));
+        if let Err(p) = result {
+            caught = p.downcast_ref::<String>().cloned();
+        }
+        let msg = caught.expect("property must fail");
+        // The shrunk vector is printed after "shrunk"; a single-element
+        // counterexample serializes as "[N]" with no comma.
+        let shrunk_part = msg.split("shrink iterations): ").nth(1).unwrap();
+        let vec_text = shrunk_part.split('\n').next().unwrap();
+        assert!(
+            !vec_text.contains(','),
+            "expected single-element shrunk vec, got {vec_text}"
+        );
+    }
+
+    #[test]
+    fn filter_rejects_and_shrinks_within_domain() {
+        let even = filter(u64_in(0, 1000), "even", |v| v % 2 == 0);
+        check_with(small_config(), &even, |&v| {
+            prop_assert_eq!(v % 2, 0);
+            Ok(())
+        });
+        // Shrink candidates of an even value stay even.
+        for c in even.shrink(&800) {
+            assert_eq!(c % 2, 0);
+        }
+    }
+
+    #[test]
+    fn map_composes() {
+        let pair = map((f32_in(0.0, 1.0), f32_in(0.0, 1.0)), |(a, b)| a + b);
+        check_with(small_config(), &pair, |&s| {
+            prop_assert!((0.0..2.0).contains(&s));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn same_seed_generates_same_cases() {
+        let strat = vec_of(u64_in(0, 1_000_000), 0, 10);
+        let mut first: Vec<Vec<u64>> = Vec::new();
+        for case in 0..8 {
+            let mut rng = Pcg32::new(DEFAULT_SEED.wrapping_add(case));
+            first.push(strat.generate(&mut rng));
+        }
+        for case in 0..8 {
+            let mut rng = Pcg32::new(DEFAULT_SEED.wrapping_add(case));
+            assert_eq!(strat.generate(&mut rng), first[case as usize]);
+        }
+    }
+}

@@ -96,7 +96,10 @@ impl ShaderBindingTable {
     ///
     /// Panics if `i` is out of range.
     pub fn closest_hit_handle(&self, i: u32) -> u32 {
-        assert!(i < self.closest_hit_count, "closest-hit shader {i} not registered");
+        assert!(
+            i < self.closest_hit_count,
+            "closest-hit shader {i} not registered"
+        );
         i
     }
 
@@ -170,9 +173,16 @@ impl Device {
     /// Panics if the binding index is out of range or the address does not
     /// fit the 32-bit shader address space.
     pub fn bind_descriptor(&mut self, binding: u32, addr: u64) {
-        assert!(binding < MAX_DESCRIPTOR_BINDINGS, "binding {binding} out of range");
-        assert!(addr <= u32::MAX as u64, "address beyond shader-visible space");
-        self.memory.write_u32(DESCRIPTOR_TABLE_ADDR + binding as u64 * 4, addr as u32);
+        assert!(
+            binding < MAX_DESCRIPTOR_BINDINGS,
+            "binding {binding} out of range"
+        );
+        assert!(
+            addr <= u32::MAX as u64,
+            "address beyond shader-visible space"
+        );
+        self.memory
+            .write_u32(DESCRIPTOR_TABLE_ADDR + binding as u64 * 4, addr as u32);
     }
 
     /// Uploads f32 data to a buffer.
@@ -242,7 +252,11 @@ impl Device {
     ) -> TraceRaysCommand {
         TraceRaysCommand {
             program: pipeline.program.clone(),
-            dims: LaunchSize { width, height, depth: 1 },
+            dims: LaunchSize {
+                width,
+                height,
+                depth: 1,
+            },
             fcc: pipeline.fcc,
         }
     }
@@ -352,7 +366,10 @@ mod tests {
             .create_ray_tracing_pipeline(PipelineShaders::raygen_only(rg.finish()), true)
             .unwrap();
         let cmd = d.cmd_trace_rays(&p, 320, 240);
-        assert_eq!((cmd.dims.width, cmd.dims.height, cmd.dims.depth), (320, 240, 1));
+        assert_eq!(
+            (cmd.dims.width, cmd.dims.height, cmd.dims.depth),
+            (320, 240, 1)
+        );
         assert!(cmd.fcc);
     }
 }

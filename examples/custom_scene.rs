@@ -90,7 +90,9 @@ fn main() {
     );
     let t = ch.var_f32(ch.builtin(Builtin::HitT));
     let p = [0u8, 1, 2].map(|d| {
-        ch.var_f32(ch.builtin(Builtin::RayOrigin(d)) + ch.builtin(Builtin::RayDirection(d)) * ch.v(t))
+        ch.var_f32(
+            ch.builtin(Builtin::RayOrigin(d)) + ch.builtin(Builtin::RayDirection(d)) * ch.v(t),
+        )
     });
     ch.set_payload(7, ch.c_f32(0.0));
     let depth_ok = ch.builtin(Builtin::RecursionDepth).lt(ch.c_u32(2));

@@ -31,10 +31,22 @@ fn main() {
     // 3. Inspect the paper's headline quantities.
     println!("cycles              : {}", report.gpu.cycles);
     println!("rays traced         : {}", report.runtime.rays);
-    println!("avg nodes per ray   : {:.1}", report.runtime.avg_nodes_per_ray());
-    println!("SIMT efficiency     : {:.1}%", report.gpu.simt_efficiency * 100.0);
-    println!("RT-unit SIMT eff.   : {:.1}%", report.gpu.rt_simt_efficiency * 100.0);
-    println!("DRAM efficiency     : {:.1}%", report.gpu.dram_efficiency * 100.0);
+    println!(
+        "avg nodes per ray   : {:.1}",
+        report.runtime.avg_nodes_per_ray()
+    );
+    println!(
+        "SIMT efficiency     : {:.1}%",
+        report.gpu.simt_efficiency * 100.0
+    );
+    println!(
+        "RT-unit SIMT eff.   : {:.1}%",
+        report.gpu.rt_simt_efficiency * 100.0
+    );
+    println!(
+        "DRAM efficiency     : {:.1}%",
+        report.gpu.dram_efficiency * 100.0
+    );
     let mix = instruction_mix(&report.gpu);
     println!(
         "instruction mix     : ALU {:.0}%  MEM {:.0}%  trace-ray {:.2}%",

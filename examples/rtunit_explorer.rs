@@ -18,11 +18,14 @@ fn main() {
     );
 
     println!("== RT-unit concurrent-warp sweep (Fig. 16) ==");
-    println!("{:>6} {:>10} {:>9} {:>10} {:>10}", "warps", "cycles", "speedup", "dram eff", "dram util");
+    println!(
+        "{:>6} {:>10} {:>9} {:>10} {:>10}",
+        "warps", "cycles", "speedup", "dram eff", "dram util"
+    );
     let mut base_cycles = None;
     for warps in [1usize, 2, 4, 8, 12, 16, 20] {
-        let r = Simulator::new(SimConfig::test_small().with_rt_max_warps(warps))
-            .run(&w.device, &w.cmd);
+        let r =
+            Simulator::new(SimConfig::test_small().with_rt_max_warps(warps)).run(&w.device, &w.cmd);
         let base = *base_cycles.get_or_insert(r.gpu.cycles as f64);
         println!(
             "{:>6} {:>10} {:>8.2}x {:>9.1}% {:>9.1}%",
@@ -41,11 +44,18 @@ fn main() {
         ("perfect-bvh", MemoryMode::PerfectBvh),
         ("perfect-mem", MemoryMode::PerfectMem),
     ];
-    let base = Simulator::new(SimConfig::test_small()).run(&w.device, &w.cmd).gpu.cycles as f64;
+    let base = Simulator::new(SimConfig::test_small())
+        .run(&w.device, &w.cmd)
+        .gpu
+        .cycles as f64;
     for (name, mode) in modes {
-        let r = Simulator::new(SimConfig::test_small().with_memory_mode(mode))
-            .run(&w.device, &w.cmd);
-        println!("  {name:<12} {:>9} cycles ({:.2}x baseline)", r.gpu.cycles, r.gpu.cycles as f64 / base);
+        let r =
+            Simulator::new(SimConfig::test_small().with_memory_mode(mode)).run(&w.device, &w.cmd);
+        println!(
+            "  {name:<12} {:>9} cycles ({:.2}x baseline)",
+            r.gpu.cycles,
+            r.gpu.cycles as f64 / base
+        );
     }
 
     println!("\n== Divergence handling (Fig. 17 right) ==");

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Offline CI gate for vulkan-sim-rs.
+#
+# Everything runs with --offline: the workspace has zero external
+# dependencies (vksim-testkit supplies PRNG / property testing /
+# micro-bench / golden comparison), so a network-less container must
+# pass this script end to end.
+#
+# Usage: scripts/ci.sh            (from anywhere; cd's to the repo root)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --check
+
+step "cargo build --release --offline --workspace"
+cargo build --release --offline --workspace
+
+step "cargo test --offline --workspace -q"
+cargo test --offline --workspace -q
+
+step "golden-counter regression suite"
+cargo test --offline -q -p vksim-bench --test golden_counters
+
+step "bench smoke run (VKSIM_BENCH_QUICK=1)"
+VKSIM_BENCH_DIR="$(mktemp -d)" VKSIM_BENCH_QUICK=1 \
+    cargo bench --offline --workspace
+
+step "examples build"
+cargo build --release --offline --examples
+
+step "examples run (quickstart, custom_scene)"
+cargo run --release --offline --example quickstart >/dev/null
+cargo run --release --offline --example custom_scene >/dev/null
+
+printf '\nCI gate passed.\n'

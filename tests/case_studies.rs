@@ -61,7 +61,10 @@ fn its_runs_divergent_workloads_and_matches_images() {
     // ITS speedups are small in the paper (<= a few %); sanity-bound the
     // ratio rather than asserting a direction.
     let ratio = its.gpu.cycles as f64 / stack.gpu.cycles as f64;
-    assert!(ratio > 0.5 && ratio < 2.0, "ITS/stack cycle ratio {ratio:.2}");
+    assert!(
+        ratio > 0.5 && ratio < 2.0,
+        "ITS/stack cycle ratio {ratio:.2}"
+    );
 }
 
 #[test]

@@ -1,0 +1,114 @@
+//! Golden-counter regression suite: the drift gate every perf PR diffs
+//! against.
+//!
+//! Each test runs the full cycle-level pipeline on a small deterministic
+//! scene and compares a flattened snapshot of the key `vksim-stats`
+//! counters (cycles, RT-unit traffic, cache hits/misses by class,
+//! warp-occupancy integrals, functional-traversal totals) **exactly**
+//! against a checked-in JSON golden under `tests/goldens/`.
+//!
+//! * Drift fails loudly with a per-counter diff.
+//! * After an intentional modeling change, regenerate with
+//!   `VKSIM_BLESS=1 cargo test --offline -p vksim-bench --test golden_counters`
+//!   and commit the golden diff so reviewers see exactly what moved.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use vksim_bench::run_workload;
+use vksim_core::{RunReport, SimConfig};
+use vksim_scenes::{Scale, WorkloadKind};
+use vksim_testkit::assert_matches_golden;
+
+fn golden_path(name: &str) -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/bench; goldens live at the repo root so
+    // they sit next to the integration tests that guard them.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/goldens")
+        .join(format!("{name}.json"))
+}
+
+/// Flattens a run report into the golden counter map. Only integer-exact
+/// quantities are captured: floating-point summary statistics (SIMT
+/// efficiency, DRAM utilization) are derived from these counters and would
+/// only add platform-rounding noise to the gate.
+fn snapshot(report: &RunReport) -> BTreeMap<String, u64> {
+    let mut m = BTreeMap::new();
+    let gpu = &report.gpu;
+    m.insert("gpu.cycles".into(), gpu.cycles);
+    m.insert("gpu.issued_insts".into(), gpu.issued_insts);
+    m.insert("gpu.rt_busy_cycles".into(), gpu.rt_busy_cycles);
+    m.insert(
+        "gpu.rt_resident_warp_cycles".into(),
+        gpu.rt_resident_warp_cycles,
+    );
+    m.insert("gpu.rt_ops".into(), gpu.rt_ops);
+    m.insert("gpu.rt_chunks_fetched".into(), gpu.rt_chunks_fetched);
+    m.insert(
+        "gpu.rt_warp_latency.count".into(),
+        gpu.rt_warp_latency.count(),
+    );
+    m.insert(
+        "gpu.rt_occupancy.events".into(),
+        gpu.rt_occupancy.iter().map(|t| t.len() as u64).sum(),
+    );
+    for (k, v) in gpu.counters.iter() {
+        m.insert(format!("counter.{k}"), v);
+    }
+    for (prefix, bag) in [
+        ("l1", &gpu.l1_stats),
+        ("rtc", &gpu.rtc_stats),
+        ("l2", &gpu.l2_stats),
+        ("dram", &gpu.dram_stats),
+    ] {
+        for (k, v) in bag.iter() {
+            m.insert(format!("{prefix}.{k}"), v);
+        }
+    }
+    let rt = &report.runtime;
+    m.insert("runtime.rays".into(), rt.rays);
+    m.insert("runtime.nodes_visited".into(), rt.nodes_visited);
+    m.insert("runtime.box_tests".into(), rt.box_tests);
+    m.insert("runtime.triangle_tests".into(), rt.triangle_tests);
+    m.insert("runtime.transforms".into(), rt.transforms);
+    m.insert("runtime.procedural_hits".into(), rt.procedural_hits);
+    m.insert("runtime.triangle_hits".into(), rt.triangle_hits);
+    m.insert("runtime.misses".into(), rt.misses);
+    m.insert("runtime.max_stack_depth".into(), rt.max_stack_depth as u64);
+    m.insert("runtime.spill_stores".into(), rt.spill_stores);
+    m.insert("runtime.spill_loads".into(), rt.spill_loads);
+    m
+}
+
+fn check_workload(kind: WorkloadKind, golden: &str) {
+    let (_, report) = run_workload(kind, Scale::Test, SimConfig::test_small());
+    assert_matches_golden(golden_path(golden), &snapshot(&report));
+}
+
+#[test]
+fn golden_tri() {
+    check_workload(WorkloadKind::Tri, "tri");
+}
+
+#[test]
+fn golden_ref() {
+    check_workload(WorkloadKind::Ref, "ref");
+}
+
+#[test]
+fn golden_ext() {
+    check_workload(WorkloadKind::Ext, "ext");
+}
+
+/// The simulator itself must be run-to-run deterministic, otherwise the
+/// goldens above would flake rather than gate. Two back-to-back runs must
+/// produce byte-identical snapshots.
+#[test]
+fn simulation_is_deterministic() {
+    let (_, a) = run_workload(WorkloadKind::Tri, Scale::Test, SimConfig::test_small());
+    let (_, b) = run_workload(WorkloadKind::Tri, Scale::Test, SimConfig::test_small());
+    assert_eq!(
+        snapshot(&a),
+        snapshot(&b),
+        "simulator must be deterministic"
+    );
+}

@@ -23,7 +23,10 @@ fn rendered_vs_reference(kind: WorkloadKind) -> (f64, usize) {
 fn tri_image_matches_reference() {
     let (diff, n) = rendered_vs_reference(WorkloadKind::Tri);
     assert!(n > 0);
-    assert!(diff <= 0.003, "TRI pixel diff {diff:.4} exceeds the paper's 0.3%");
+    assert!(
+        diff <= 0.003,
+        "TRI pixel diff {diff:.4} exceeds the paper's 0.3%"
+    );
 }
 
 #[test]
@@ -45,7 +48,11 @@ fn images_are_not_trivially_uniform() {
     let (mem, _) = sim.run_functional(&w.device, &w.cmd);
     let img = read_framebuffer(&mem, w.fb_addr, (w.width * w.height) as usize);
     let distinct: std::collections::HashSet<u32> = img.iter().copied().collect();
-    assert!(distinct.len() > 4, "expected a real image, got {} colors", distinct.len());
+    assert!(
+        distinct.len() > 4,
+        "expected a real image, got {} colors",
+        distinct.len()
+    );
 }
 
 #[test]
@@ -55,10 +62,17 @@ fn rtv6_renders_spheres_and_cubes_functionally() {
     let w = build(WorkloadKind::Rtv6, Scale::Test);
     let mut sim = Simulator::new(SimConfig::test_small());
     let (mem, stats) = sim.run_functional(&w.device, &w.cmd);
-    assert!(stats.procedural_hits > 0, "procedural leaves must be visited");
+    assert!(
+        stats.procedural_hits > 0,
+        "procedural leaves must be visited"
+    );
     let img = read_framebuffer(&mem, w.fb_addr, (w.width * w.height) as usize);
     let distinct: std::collections::HashSet<u32> = img.iter().copied().collect();
-    assert!(distinct.len() > 8, "geometry must be visible: {} colors", distinct.len());
+    assert!(
+        distinct.len() > 8,
+        "geometry must be visible: {} colors",
+        distinct.len()
+    );
 }
 
 #[test]

@@ -16,7 +16,11 @@ fn all_workloads_complete_under_timing_model() {
         let report = small_sim().run(&w.device, &w.cmd);
         assert!(report.gpu.cycles > 0, "{}", w.name);
         assert_eq!(report.runtime.rays > 0, true, "{}", w.name);
-        assert!(report.gpu.rt_busy_cycles > 0, "{} must use the RT units", w.name);
+        assert!(
+            report.gpu.rt_busy_cycles > 0,
+            "{} must use the RT units",
+            w.name
+        );
         assert!(report.gpu.simt_efficiency > 0.0 && report.gpu.simt_efficiency <= 1.0);
     }
 }
@@ -29,7 +33,11 @@ fn instruction_mix_is_alu_dominated_with_rare_traces() {
     let mix = instruction_mix(&report.gpu);
     assert!(mix.alu > 0.35, "ALU share {:.2}", mix.alu);
     assert!(mix.alu > mix.mem, "ALU > memory share");
-    assert!(mix.trace_ray < 0.10, "trace-ray share {:.3} should be small", mix.trace_ray);
+    assert!(
+        mix.trace_ray < 0.10,
+        "trace-ray share {:.3} should be small",
+        mix.trace_ray
+    );
 }
 
 #[test]
@@ -39,7 +47,10 @@ fn roofline_points_are_memory_bound() {
     let report = small_sim().run(&w.device, &w.cmd);
     let point = roofline_point(&report.gpu);
     let roof = rt_roofline(4, 8, 4);
-    assert!(roof.is_memory_bound(&point), "EXT should be memory bound: {point:?}");
+    assert!(
+        roof.is_memory_bound(&point),
+        "EXT should be memory bound: {point:?}"
+    );
     assert!(roof.utilization(&point) <= 1.0);
 }
 
@@ -71,8 +82,14 @@ fn rt_unit_warp_sweep_changes_behaviour() {
     let eight = Simulator::new(SimConfig::test_small().with_rt_max_warps(8)).run(&w.device, &w.cmd);
     let occ1 = one.gpu.rt_resident_warp_cycles as f64 / one.gpu.rt_busy_cycles.max(1) as f64;
     let occ8 = eight.gpu.rt_resident_warp_cycles as f64 / eight.gpu.rt_busy_cycles.max(1) as f64;
-    assert!(occ8 >= occ1, "occupancy with 8 warps ({occ8:.2}) >= with 1 ({occ1:.2})");
-    assert!(occ1 <= 1.01, "with a 1-warp limit occupancy can't exceed 1: {occ1}");
+    assert!(
+        occ8 >= occ1,
+        "occupancy with 8 warps ({occ8:.2}) >= with 1 ({occ1:.2})"
+    );
+    assert!(
+        occ1 <= 1.01,
+        "with a 1-warp limit occupancy can't exceed 1: {occ1}"
+    );
 }
 
 #[test]
