@@ -1,0 +1,34 @@
+//! Cycle-engine throughput: serial reference path vs the parallel
+//! two-phase engine on an 8-SM configuration (the mobile Table III config,
+//! Test scale so a sample stays in the milliseconds).
+//!
+//! Counters are bit-identical at any thread count (see
+//! `tests/golden_counters.rs::threads_do_not_change_counters`); this bench
+//! measures only wall time. The speedup from `threads/4` over `threads/1`
+//! is only visible on a multi-core host — on a single-core container the
+//! parallel path measures the engine's coordination overhead instead.
+
+use vksim_bench::run_workload;
+use vksim_core::SimConfig;
+use vksim_scenes::{Scale, WorkloadKind};
+use vksim_testkit::{black_box, Bench};
+
+fn main() {
+    let mut b = Bench::new("engine");
+
+    // 8 SMs (mobile config); Ext is the heaviest of the golden workloads.
+    for threads in [1usize, 4] {
+        let config = SimConfig::mobile().with_threads(threads);
+        b.bench(&format!("ext_8sm/threads_{threads}"), || {
+            let cfg = config.clone();
+            black_box(
+                run_workload(WorkloadKind::Ext, Scale::Test, cfg)
+                    .1
+                    .gpu
+                    .cycles,
+            )
+        });
+    }
+
+    b.finish();
+}

@@ -66,6 +66,13 @@ impl SimConfig {
         self
     }
 
+    /// Sets the two-phase engine's worker-thread count (1 = serial
+    /// reference path; counters are identical at any value).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.gpu.threads = threads.max(1);
+        self
+    }
+
     /// Enables independent thread scheduling (§IV-B).
     pub fn with_its(mut self, its: bool) -> Self {
         self.gpu.divergence = if its {
@@ -128,11 +135,16 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = SimConfig::mobile().with_rt_max_warps(12).with_its(true);
+        let c = SimConfig::mobile()
+            .with_rt_max_warps(12)
+            .with_its(true)
+            .with_threads(4);
         let g = c.resolve();
         assert_eq!(g.rt_unit.max_warps, 12);
         assert_eq!(g.divergence, DivergenceMode::Multipath);
         assert_eq!(g.num_sms, 8);
+        assert_eq!(g.threads, 4);
+        assert_eq!(SimConfig::baseline().with_threads(0).gpu.threads, 1);
     }
 
     #[test]

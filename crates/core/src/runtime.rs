@@ -17,6 +17,7 @@
 //!   traffic in the RT unit.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use vksim_bvh::traversal::{self, TraversalConfig};
 use vksim_bvh::{Blas, NodeKind, ProceduralHit, Tlas, TraceEvent};
 use vksim_gpu::ScriptSource;
@@ -29,6 +30,14 @@ use vksim_rtunit::{OpKind, Step, SHORT_STACK_ENTRIES};
 pub const RAY_FLAG_TERMINATE_ON_FIRST_HIT: u32 = 1;
 
 const WARP_SIZE: usize = 32;
+
+/// Base of the `rt_alloc_mem` arena (below per-thread local memory at
+/// 0x7000_0000).
+const SHARD_ALLOC_BASE: u64 = 0x6000_0000;
+
+/// Per-shard slice of the arena: 1 MiB per SM keeps even 48-SM configs well
+/// clear of the local-memory window.
+const SHARD_ALLOC_REGION: u64 = 0x10_0000;
 
 /// Committed hit of one trace frame.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -88,6 +97,23 @@ pub struct RuntimeStats {
 }
 
 impl RuntimeStats {
+    /// Accumulates another shard's statistics into this one. All fields are
+    /// sums except `max_stack_depth` (a max), so merging is commutative and
+    /// independent of shard order.
+    pub fn merge(&mut self, other: &RuntimeStats) {
+        self.rays += other.rays;
+        self.nodes_visited += other.nodes_visited;
+        self.box_tests += other.box_tests;
+        self.triangle_tests += other.triangle_tests;
+        self.transforms += other.transforms;
+        self.procedural_hits += other.procedural_hits;
+        self.triangle_hits += other.triangle_hits;
+        self.misses += other.misses;
+        self.max_stack_depth = self.max_stack_depth.max(other.max_stack_depth);
+        self.spill_stores += other.spill_stores;
+        self.spill_loads += other.spill_loads;
+    }
+
     /// Average BVH nodes visited per ray (Table IV).
     pub fn avg_nodes_per_ray(&self) -> f64 {
         if self.rays == 0 {
@@ -99,9 +125,14 @@ impl RuntimeStats {
 }
 
 /// The scene-bound RT runtime.
+///
+/// Scene data (TLAS/BLAS) is shared behind `Arc` so [`RtRuntime::shard`]
+/// can hand every SM its own runtime without copying geometry. All mutable
+/// state is keyed by thread id or warp id; warps never migrate between SMs,
+/// so per-SM shards partition it exactly.
 pub struct RtRuntime {
-    tlas: Tlas,
-    blases: Vec<Blas>,
+    tlas: Arc<Tlas>,
+    blases: Arc<Vec<Blas>>,
     launch: [u32; 3],
     fcc: bool,
     frames: HashMap<usize, Vec<Frame>>,
@@ -116,14 +147,31 @@ impl RtRuntime {
     /// Binds a runtime to a scene and launch.
     pub fn new(tlas: Tlas, blases: Vec<Blas>, launch: [u32; 3], fcc: bool) -> Self {
         RtRuntime {
-            tlas,
-            blases,
+            tlas: Arc::new(tlas),
+            blases: Arc::new(blases),
             launch,
             fcc,
             frames: HashMap::new(),
             scripts: HashMap::new(),
             fcc_tables: HashMap::new(),
-            alloc_cursor: 0x6000_0000,
+            alloc_cursor: SHARD_ALLOC_BASE,
+            stats: RuntimeStats::default(),
+        }
+    }
+
+    /// A per-SM shard sharing this runtime's scene with fresh per-thread
+    /// state and a disjoint `rt_alloc_mem` region (so concurrent shards
+    /// never hand out overlapping addresses).
+    pub fn shard(&self, sm: usize) -> RtRuntime {
+        RtRuntime {
+            tlas: Arc::clone(&self.tlas),
+            blases: Arc::clone(&self.blases),
+            launch: self.launch,
+            fcc: self.fcc,
+            frames: HashMap::new(),
+            scripts: HashMap::new(),
+            fcc_tables: HashMap::new(),
+            alloc_cursor: SHARD_ALLOC_BASE + sm as u64 * SHARD_ALLOC_REGION,
             stats: RuntimeStats::default(),
         }
     }
@@ -645,6 +693,55 @@ mod tests {
             .filter(|s| matches!(s, Step::Fetch { .. }))
             .count();
         assert!(fcc_loads > base_loads, "FCC adds coalescing-table loads");
+    }
+
+    #[test]
+    fn shards_share_scene_with_disjoint_alloc_regions() {
+        let (tlas, blases) = quad_scene();
+        let rt = RtRuntime::new(tlas, blases, [32, 1, 1], false);
+        let mut s0 = rt.shard(0);
+        let mut s1 = rt.shard(1);
+        // Disjoint rt_alloc_mem arenas.
+        let a0 = s0.alloc_mem(0, 64);
+        let a1 = s1.alloc_mem(0, 64);
+        assert_ne!(a0, a1);
+        assert_eq!(a1 - a0, SHARD_ALLOC_REGION);
+        // Same scene: identical traversal results for the same ray.
+        s0.traverse(0, z_ray());
+        s1.traverse(32, z_ray());
+        assert_eq!(s0.stats.nodes_visited, s1.stats.nodes_visited);
+        assert_eq!(
+            s0.query(0, RtQuery::HitKind),
+            s1.query(32, RtQuery::HitKind)
+        );
+    }
+
+    #[test]
+    fn merged_shard_stats_match_single_runtime() {
+        let (tlas, blases) = quad_scene();
+        let single_scene = RtRuntime::new(tlas, blases, [64, 1, 1], false);
+        let mut single = single_scene.shard(0);
+        let mut s0 = single_scene.shard(0);
+        let mut s1 = single_scene.shard(1);
+        let mut miss = z_ray();
+        miss.origin = [50.0, 50.0, -5.0];
+        for tid in 0..32 {
+            single.traverse(tid, z_ray());
+            s0.traverse(tid, z_ray());
+        }
+        for tid in 32..64 {
+            single.traverse(tid, miss);
+            s1.traverse(tid, miss);
+        }
+        let mut merged = RuntimeStats::default();
+        merged.merge(&s0.stats);
+        merged.merge(&s1.stats);
+        assert_eq!(merged, single.stats);
+        // Merge is commutative.
+        let mut swapped = RuntimeStats::default();
+        swapped.merge(&s1.stats);
+        swapped.merge(&s0.stats);
+        assert_eq!(swapped, merged);
     }
 
     #[test]

@@ -46,8 +46,10 @@ impl Simulator {
     /// Panics if the device has no TLAS but the program traces rays, or if
     /// the simulation exceeds the configured cycle bound.
     pub fn run(&mut self, device: &Device, cmd: &TraceRaysCommand) -> RunReport {
-        let mut runtime = self.make_runtime(device, cmd);
-        let mut gpu = GpuSim::new(self.config.resolve());
+        let gpu_config = self.config.resolve();
+        let threads = gpu_config.effective_threads();
+        let num_sms = gpu_config.num_sms;
+        let mut gpu = GpuSim::new(gpu_config);
         gpu.mem = device.memory.clone();
         gpu.launch(
             cmd.program.clone(),
@@ -57,11 +59,26 @@ impl Simulator {
                 depth: cmd.dims.depth,
             },
         );
-        let stats = gpu.run(&mut runtime);
+        let (stats, runtime_stats) = if threads > 1 {
+            // Parallel engine: one runtime shard per SM (warps never
+            // migrate between SMs, so per-thread state partitions exactly).
+            let runtime = self.make_runtime(device, cmd);
+            let mut shards: Vec<RtRuntime> = (0..num_sms).map(|sm| runtime.shard(sm)).collect();
+            let stats = gpu.run_sharded(&mut shards);
+            let mut merged = RuntimeStats::default();
+            for shard in &shards {
+                merged.merge(&shard.stats);
+            }
+            (stats, merged)
+        } else {
+            let mut runtime = self.make_runtime(device, cmd);
+            let stats = gpu.run(&mut runtime);
+            (stats, runtime.stats.clone())
+        };
         let power = power_from_stats(&stats);
         RunReport {
             gpu: stats,
-            runtime: runtime.stats.clone(),
+            runtime: runtime_stats,
             power,
             memory: std::mem::take(&mut gpu.mem),
         }

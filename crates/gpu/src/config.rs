@@ -40,6 +40,11 @@ pub struct GpuConfig {
     pub core_clock_mhz: u32,
     /// Safety bound on simulated cycles.
     pub max_cycles: u64,
+    /// Worker threads for the two-phase cycle engine. `1` is the serial
+    /// reference path; any value produces bit-identical counters (the
+    /// engine's determinism contract, see DESIGN.md). Overridable at run
+    /// time with `VKSIM_THREADS`.
+    pub threads: usize,
 }
 
 impl GpuConfig {
@@ -60,6 +65,7 @@ impl GpuConfig {
             sfu_latency: 4,
             core_clock_mhz: 1365,
             max_cycles: 2_000_000_000,
+            threads: 1,
         }
     }
 
@@ -75,6 +81,19 @@ impl GpuConfig {
             },
             ..Self::baseline()
         }
+    }
+
+    /// Worker threads to use, honouring the `VKSIM_THREADS` environment
+    /// override (ignored when unset, empty, or not a positive integer).
+    pub fn effective_threads(&self) -> usize {
+        match std::env::var("VKSIM_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => self.threads,
+            },
+            Err(_) => self.threads,
+        }
+        .max(1)
     }
 
     /// Resident warps per SM given a program's register demand.
@@ -109,6 +128,12 @@ mod tests {
         assert_eq!(m.num_sms, 8);
         assert_eq!(m.registers_per_sm, 32768);
         assert!(m.mem.dram.channels < GpuConfig::baseline().mem.dram.channels);
+    }
+
+    #[test]
+    fn threads_default_to_serial_reference_path() {
+        assert_eq!(GpuConfig::baseline().threads, 1);
+        assert_eq!(GpuConfig::mobile().threads, 1);
     }
 
     #[test]

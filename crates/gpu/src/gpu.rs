@@ -1,11 +1,22 @@
 //! Whole-GPU simulation: SM array + shared memory backend + kernel launch.
+//!
+//! The cycle loop is a *two-phase* engine (see DESIGN.md): phase A ticks
+//! every SM against SM-local state only, buffering outbound memory requests
+//! in per-SM [`RequestQueue`]s and functional-memory writes in per-SM
+//! [`WriteOverlay`]s; phase B drains both serially in SM-id order into the
+//! shared backend and memory image. Because the drain order is fixed, the
+//! request interleaving — and every counter — is identical whether phase A
+//! ran on one thread or many.
 
 use crate::config::GpuConfig;
 use crate::sm::{GpuHooks, Sm};
 use crate::{Mask, WARP_SIZE};
 use std::collections::VecDeque;
-use vksim_isa::{Program, SimMemory};
-use vksim_mem::SharedMemSystem;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, RwLock};
+use vksim_isa::{OverlayMem, Program, SimMemory, WriteOverlay};
+use vksim_mem::{RequestQueue, SharedMemSystem};
+use vksim_parallel::{chunk_range, DoneGuard, RoundBarrier, ShutdownGuard};
 use vksim_stats::{Counters, Histogram};
 
 /// Ray-tracing launch dimensions (`vkCmdTraceRaysKHR` width/height/depth).
@@ -84,6 +95,67 @@ pub struct GpuSim {
     program: Option<Program>,
     pending: VecDeque<WarpSeed>,
     cycle: u64,
+    dropped_completions: u64,
+}
+
+/// Per-SM hook selection for the serial engine: one shared hook object
+/// (`run`) or one shard per SM (`run_sharded`).
+trait HookSet {
+    fn get(&mut self, sm: usize) -> &mut dyn GpuHooks;
+}
+
+struct SingleHooks<'a>(&'a mut dyn GpuHooks);
+
+impl HookSet for SingleHooks<'_> {
+    fn get(&mut self, _sm: usize) -> &mut dyn GpuHooks {
+        &mut *self.0
+    }
+}
+
+struct ShardedHooks<'a, H>(&'a mut [H]);
+
+impl<H: GpuHooks> HookSet for ShardedHooks<'_, H> {
+    fn get(&mut self, sm: usize) -> &mut dyn GpuHooks {
+        &mut self.0[sm]
+    }
+}
+
+/// One SM's slice of engine state, lockable by a phase-A worker.
+struct Lane<'h, H> {
+    sm: Sm,
+    hooks: &'h mut H,
+    queue: RequestQueue,
+    overlay: WriteOverlay,
+    /// Backend completions routed to this SM, delivered at its next tick.
+    inbox: Vec<(u64, u64)>,
+    retired: bool,
+    empty: bool,
+}
+
+/// Replicates [`GpuSim::refill_sms`] over locked lanes: fill the
+/// least-loaded SM below the occupancy limit first, lowest SM id winning
+/// ties (same tiebreak as `Iterator::min_by_key`).
+fn refill_lanes<H>(
+    lanes: &[Mutex<Lane<'_, H>>],
+    pending: &mut VecDeque<WarpSeed>,
+    limit: usize,
+    program: &Program,
+) {
+    while !pending.is_empty() {
+        let mut best: Option<(usize, usize)> = None;
+        for (i, lane) in lanes.iter().enumerate() {
+            let n = lane.lock().expect("lane lock").sm.resident_warps();
+            if n < limit && best.map_or(true, |(_, bn)| n < bn) {
+                best = Some((i, n));
+            }
+        }
+        let Some((idx, _)) = best else { break };
+        let seed = pending.pop_front().expect("nonempty");
+        let mut lane = lanes[idx].lock().expect("lane lock");
+        lane.sm
+            .add_warp(seed.id, seed.base_tid, seed.active, program);
+        lane.empty = false;
+    }
 }
 
 impl GpuSim {
@@ -99,6 +171,7 @@ impl GpuSim {
             program: None,
             pending: VecDeque::new(),
             cycle: 0,
+            dropped_completions: 0,
         }
     }
 
@@ -155,15 +228,48 @@ impl GpuSim {
         }
     }
 
-    /// Runs the launched kernel to completion.
+    /// Runs the launched kernel to completion with one shared hook object
+    /// (always single-threaded; see [`GpuSim::run_sharded`] for the
+    /// parallel engine).
     ///
     /// # Panics
     ///
     /// Panics if no kernel was launched or the cycle bound is exceeded
     /// (runaway simulation).
     pub fn run(&mut self, hooks: &mut dyn GpuHooks) -> GpuStats {
+        self.run_serial(&mut SingleHooks(hooks))
+    }
+
+    /// Runs the launched kernel with one hook shard per SM, using
+    /// [`GpuConfig::effective_threads`] phase-A workers. Produces
+    /// bit-identical counters at any thread count; with one thread it is
+    /// exactly the serial engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards.len() != num_sms`, no kernel was launched, or the
+    /// cycle bound is exceeded.
+    pub fn run_sharded<H: GpuHooks + Send>(&mut self, shards: &mut [H]) -> GpuStats {
+        assert_eq!(
+            shards.len(),
+            self.sms.len(),
+            "run_sharded needs one hook shard per SM"
+        );
+        let threads = self.config.effective_threads().min(self.sms.len().max(1));
+        if threads <= 1 {
+            self.run_serial(&mut ShardedHooks(shards))
+        } else {
+            self.run_parallel(shards, threads)
+        }
+    }
+
+    /// Reference two-phase engine, single-threaded.
+    fn run_serial(&mut self, hooks: &mut dyn HookSet) -> GpuStats {
         let program = self.program.clone().expect("launch() before run()");
         self.refill_sms();
+        let num = self.sms.len();
+        let mut queues: Vec<RequestQueue> = (0..num).map(|_| RequestQueue::new()).collect();
+        let mut overlays: Vec<WriteOverlay> = (0..num).map(|_| WriteOverlay::new()).collect();
         while self.sms.iter().any(|s| !s.is_empty()) || !self.pending.is_empty() {
             self.cycle += 1;
             assert!(
@@ -171,22 +277,159 @@ impl GpuSim {
                 "simulation exceeded {} cycles",
                 self.config.max_cycles
             );
-            // 1. Backend completions routed to their SM.
+            // Backend completions routed to their SM.
             for (id, at) in self.shared.advance_to(self.cycle) {
                 let sm = (id >> 48) as usize;
-                if let Some(sm) = self.sms.get_mut(sm) {
-                    sm.on_mem_complete(id, at.max(self.cycle));
+                debug_assert!(
+                    sm < num,
+                    "completion id {id:#x} routes to nonexistent SM {sm}"
+                );
+                match self.sms.get_mut(sm) {
+                    Some(sm) => sm.on_mem_complete(id, at.max(self.cycle)),
+                    None => self.dropped_completions += 1,
                 }
             }
-            // 2. SM cycles.
+            // Phase A: tick SMs against SM-local state only.
             let mut retired = false;
-            for sm in &mut self.sms {
-                retired |= sm.tick(self.cycle, &program, &mut self.mem, &mut self.shared, hooks);
+            for (i, sm) in self.sms.iter_mut().enumerate() {
+                let mut view = OverlayMem::new(&self.mem, &mut overlays[i]);
+                retired |= sm.tick(
+                    self.cycle,
+                    &program,
+                    &mut view,
+                    &mut queues[i],
+                    hooks.get(i),
+                );
+            }
+            // Phase B: drain request queues and write overlays in SM-id
+            // order.
+            for i in 0..num {
+                queues[i].drain_into(&mut self.shared);
+                overlays[i].apply_to(&mut self.mem);
             }
             if retired {
                 self.refill_sms();
             }
         }
+        self.collect_stats()
+    }
+
+    /// Two-phase engine with `threads` phase-A workers on scoped threads.
+    ///
+    /// Workers own disjoint contiguous lane ranges; the functional memory
+    /// image is read-shared during a round (writes land in per-lane
+    /// overlays) and exclusively held by the coordinator between rounds.
+    fn run_parallel<H: GpuHooks + Send>(&mut self, shards: &mut [H], threads: usize) -> GpuStats {
+        let program = self.program.clone().expect("launch() before run()");
+        self.refill_sms();
+        let limit = self.config.occupancy_limit(program.num_regs() as u32);
+        let max_cycles = self.config.max_cycles;
+        let mut cycle = self.cycle;
+
+        let mem = RwLock::new(std::mem::take(&mut self.mem));
+        let lanes: Vec<Mutex<Lane<'_, H>>> = std::mem::take(&mut self.sms)
+            .into_iter()
+            .zip(shards.iter_mut())
+            .map(|(sm, hooks)| {
+                let empty = sm.is_empty();
+                Mutex::new(Lane {
+                    sm,
+                    hooks,
+                    queue: RequestQueue::new(),
+                    overlay: WriteOverlay::new(),
+                    inbox: Vec::new(),
+                    retired: false,
+                    empty,
+                })
+            })
+            .collect();
+        let barrier = RoundBarrier::new(threads);
+        let now_cycle = AtomicU64::new(cycle);
+
+        std::thread::scope(|s| {
+            let _shutdown = ShutdownGuard::new(&barrier);
+            for w in 0..threads {
+                let range = chunk_range(lanes.len(), threads, w);
+                let (lanes, mem, barrier, now_cycle, program) =
+                    (&lanes, &mem, &barrier, &now_cycle, &program);
+                s.spawn(move || {
+                    let mut epoch = 0;
+                    while let Some(e) = barrier.wait_round(epoch) {
+                        epoch = e;
+                        let _done = DoneGuard::new(barrier);
+                        let now = now_cycle.load(Ordering::Acquire);
+                        let base = mem.read().expect("functional memory lock");
+                        for i in range.clone() {
+                            let mut lane = lanes[i].lock().expect("lane lock");
+                            let lane = &mut *lane;
+                            for (id, at) in lane.inbox.drain(..) {
+                                lane.sm.on_mem_complete(id, at);
+                            }
+                            let mut view = OverlayMem::new(&base, &mut lane.overlay);
+                            lane.retired = lane.sm.tick(
+                                now,
+                                program,
+                                &mut view,
+                                &mut lane.queue,
+                                &mut *lane.hooks,
+                            );
+                            lane.empty = lane.sm.is_empty();
+                        }
+                    }
+                });
+            }
+
+            loop {
+                let active = !self.pending.is_empty()
+                    || lanes.iter().any(|l| !l.lock().expect("lane lock").empty);
+                if !active {
+                    break;
+                }
+                cycle += 1;
+                assert!(
+                    cycle < max_cycles,
+                    "simulation exceeded {max_cycles} cycles"
+                );
+                // Backend completions routed to lane inboxes; each SM
+                // delivers its own inbox at the start of its tick, exactly
+                // as the serial engine routes before ticking.
+                for (id, at) in self.shared.advance_to(cycle) {
+                    let sm = (id >> 48) as usize;
+                    debug_assert!(
+                        sm < lanes.len(),
+                        "completion id {id:#x} routes to nonexistent SM {sm}"
+                    );
+                    match lanes.get(sm) {
+                        Some(l) => l.lock().expect("lane lock").inbox.push((id, at.max(cycle))),
+                        None => self.dropped_completions += 1,
+                    }
+                }
+                // Phase A (parallel).
+                now_cycle.store(cycle, Ordering::Release);
+                barrier.begin_round();
+                barrier.wait_workers();
+                // Phase B (serial, SM-id order).
+                let mut base = mem.write().expect("functional memory lock");
+                let mut retired = false;
+                for l in &lanes {
+                    let mut lane = l.lock().expect("lane lock");
+                    lane.queue.drain_into(&mut self.shared);
+                    lane.overlay.apply_to(&mut base);
+                    retired |= lane.retired;
+                }
+                drop(base);
+                if retired {
+                    refill_lanes(&lanes, &mut self.pending, limit, &program);
+                }
+            }
+        });
+
+        self.sms = lanes
+            .into_iter()
+            .map(|l| l.into_inner().expect("lane lock").sm)
+            .collect();
+        self.mem = mem.into_inner().expect("functional memory lock");
+        self.cycle = cycle;
         self.collect_stats()
     }
 
@@ -225,6 +468,11 @@ impl GpuSim {
         let rt_ops = counters.get("ops.box_tests")
             + counters.get("ops.triangle_tests")
             + counters.get("ops.transforms");
+        if self.dropped_completions > 0 {
+            // Only inserted when nonzero so golden key sets are unchanged
+            // on healthy runs.
+            counters.add("gpu.dropped_completions", self.dropped_completions);
+        }
         GpuStats {
             cycles: self.cycle,
             issued_insts,
@@ -611,5 +859,86 @@ mod tests {
     fn occupancy_respects_register_limit() {
         let c = GpuConfig::baseline();
         assert_eq!(c.occupancy_limit(2048), 1);
+    }
+
+    fn trace_program() -> vksim_isa::Program {
+        let mut b = ProgramBuilder::new();
+        let rs = b.regs::<9>();
+        for r in &rs[..8] {
+            b.mov_imm_f32(*r, 0.5);
+        }
+        b.mov_imm_u32(rs[8], 0);
+        b.emit(vksim_isa::op::Instr::TraverseAs {
+            origin: [rs[0], rs[1], rs[2]],
+            dir: [rs[3], rs[4], rs[5]],
+            tmin: rs[6],
+            tmax: rs[7],
+            flags: rs[8],
+        });
+        b.emit(vksim_isa::op::Instr::EndTraceRay);
+        b.exit();
+        b.build()
+    }
+
+    fn run_trace_with_threads(threads: usize) -> GpuStats {
+        let mut gpu = GpuSim::new(GpuConfig {
+            threads,
+            ..small_config()
+        });
+        gpu.launch(
+            trace_program(),
+            LaunchDims {
+                width: 256,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut shards: Vec<TestHooks> = (0..2)
+            .map(|_| TestHooks {
+                width: 256,
+                scripts_taken: 0,
+            })
+            .collect();
+        let stats = gpu.run_sharded(&mut shards);
+        let taken: usize = shards.iter().map(|h| h.scripts_taken).sum();
+        assert_eq!(taken, 256, "every lane's script consumed");
+        stats
+    }
+
+    #[test]
+    fn parallel_engine_matches_serial_counters() {
+        // Force the thread counts under test regardless of VKSIM_THREADS.
+        std::env::remove_var("VKSIM_THREADS");
+        let serial = run_trace_with_threads(1);
+        let parallel = run_trace_with_threads(4);
+        assert_eq!(serial.cycles, parallel.cycles);
+        assert_eq!(serial.issued_insts, parallel.issued_insts);
+        assert_eq!(serial.counters, parallel.counters);
+        assert_eq!(serial.l1_stats, parallel.l1_stats);
+        assert_eq!(serial.l2_stats, parallel.l2_stats);
+        assert_eq!(serial.dram_stats, parallel.dram_stats);
+    }
+
+    #[test]
+    fn sharded_serial_matches_single_hooks_run() {
+        // run() with one hook object and run_sharded() with per-SM shards
+        // must agree when the hook state partitions by thread id.
+        let mut gpu = GpuSim::new(small_config());
+        gpu.launch(
+            trace_program(),
+            LaunchDims {
+                width: 256,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut hooks = TestHooks {
+            width: 256,
+            scripts_taken: 0,
+        };
+        let single = gpu.run(&mut hooks);
+        let sharded = run_trace_with_threads(1);
+        assert_eq!(single.cycles, sharded.cycles);
+        assert_eq!(single.counters, sharded.counters);
     }
 }

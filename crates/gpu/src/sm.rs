@@ -13,8 +13,8 @@ use crate::{ScriptSource, WARP_SIZE};
 use std::collections::HashMap;
 use vksim_isa::interp::{exec_at, Effect, RtHooks, ThreadState};
 use vksim_isa::op::MemSpace;
-use vksim_isa::{Program, SimMemory};
-use vksim_mem::{chunk_addresses, AccessKind, Cache, CacheOutcome, MemRequest, SharedMemSystem};
+use vksim_isa::{MemIo, Program};
+use vksim_mem::{chunk_addresses, AccessKind, Cache, CacheOutcome, MemRequest, MemSink};
 use vksim_rtunit::{RtMem, RtMemResult, RtUnit, WarpJob};
 use vksim_stats::Counters;
 
@@ -235,19 +235,19 @@ impl Sm {
         &mut self,
         now: u64,
         program: &Program,
-        mem: &mut SimMemory,
-        shared: &mut SharedMemSystem,
+        mem: &mut dyn MemIo,
+        sink: &mut dyn MemSink,
         hooks: &mut dyn GpuHooks,
     ) -> bool {
         // 1. RT unit cycle.
-        self.tick_rt_unit(now, shared);
+        self.tick_rt_unit(now, sink);
 
         // 2. Retry stalled RT enqueues and memory-chunk retries.
-        self.retry_stalled(now, shared);
+        self.retry_stalled(now, sink);
 
         // 3. Issue one instruction from one warp context (GTO).
         if let Some((warp_idx, ctx_id)) = self.pick(now) {
-            self.issue(warp_idx, ctx_id, now, program, mem, shared, hooks);
+            self.issue(warp_idx, ctx_id, now, program, mem, sink, hooks);
         }
 
         if self.rt_unit.resident_warps() > 0 {
@@ -260,11 +260,11 @@ impl Sm {
         before != self.warps.len()
     }
 
-    fn tick_rt_unit(&mut self, now: u64, shared: &mut SharedMemSystem) {
+    fn tick_rt_unit(&mut self, now: u64, sink: &mut dyn MemSink) {
         let mut port = SmRtPort {
             l1: &mut self.l1,
             rtc: self.rtc.as_mut(),
-            shared,
+            sink,
             waiting_lines: &mut self.waiting_lines,
             inflight: &mut self.inflight,
             next_req: &mut self.next_req,
@@ -281,7 +281,7 @@ impl Sm {
         }
     }
 
-    fn retry_stalled(&mut self, now: u64, shared: &mut SharedMemSystem) {
+    fn retry_stalled(&mut self, now: u64, sink: &mut dyn MemSink) {
         // RT warp-buffer retries: admit stalled jobs while capacity lasts.
         let mut slots = self
             .rt_unit
@@ -330,7 +330,7 @@ impl Sm {
                 CacheOutcome::MissToMemory => {
                     let id = self.alloc_req_id();
                     self.inflight.insert(id, (CacheSel::L1, line));
-                    shared.submit(
+                    sink.submit(
                         MemRequest {
                             id,
                             addr: chunk,
@@ -413,8 +413,8 @@ impl Sm {
         ctx_id: u32,
         now: u64,
         program: &Program,
-        mem: &mut SimMemory,
-        shared: &mut SharedMemSystem,
+        mem: &mut dyn MemIo,
+        sink: &mut dyn MemSink,
         hooks: &mut dyn GpuHooks,
     ) {
         let warp = &mut self.warps[warp_idx];
@@ -508,7 +508,7 @@ impl Sm {
                     for c in chunks {
                         self.l1.access(c, AccessKind::ShaderStore, now);
                         let id = self.alloc_req_id();
-                        shared.submit(
+                        sink.submit(
                             MemRequest {
                                 id,
                                 addr: c,
@@ -542,7 +542,7 @@ impl Sm {
                                     warp: warp_id,
                                     ctx: ctx_id,
                                 });
-                            shared.submit(
+                            sink.submit(
                                 MemRequest {
                                     id,
                                     addr: c,
@@ -614,7 +614,7 @@ impl Sm {
 struct SmRtPort<'a> {
     l1: &'a mut Cache,
     rtc: Option<&'a mut Cache>,
-    shared: &'a mut SharedMemSystem,
+    sink: &'a mut dyn MemSink,
     waiting_lines: &'a mut HashMap<(CacheSel, u64), Vec<Waiter>>,
     inflight: &'a mut HashMap<u64, (CacheSel, u64)>,
     next_req: &'a mut u64,
@@ -651,7 +651,7 @@ impl RtMem for SmRtPort<'_> {
                     .entry((sel, line))
                     .or_default()
                     .push(Waiter::RtToken(token));
-                self.shared.submit(
+                self.sink.submit(
                     MemRequest {
                         id,
                         addr,
@@ -680,7 +680,7 @@ impl RtMem for SmRtPort<'_> {
     fn store_chunk(&mut self, addr: u64, now: u64) {
         // Write-through traffic; no completion tracked.
         let id = self.alloc_req_id();
-        self.shared.submit(
+        self.sink.submit(
             MemRequest {
                 id,
                 addr,

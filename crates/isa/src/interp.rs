@@ -12,7 +12,7 @@
 //! per-thread traversal-result stacks (paper §III-B2: "results of traversal
 //! are stored in a stack").
 
-use crate::memory::SimMemory;
+use crate::memory::MemIo;
 use crate::op::{CmpOp, Instr, MemSpace, RtIdxQuery, RtQuery};
 use crate::program::Program;
 
@@ -257,7 +257,7 @@ pub fn exec_at(
     program: &Program,
     pc: u32,
     t: &mut ThreadState,
-    mem: &mut SimMemory,
+    mem: &mut dyn MemIo,
     rt: &mut dyn RtHooks,
 ) -> Result<Effect, ExecError> {
     if pc as usize >= program.len() {
@@ -530,7 +530,7 @@ fn resolve_addr(t: &ThreadState, space: MemSpace, base: u32, offset: i32) -> u64
 pub fn run_to_exit(
     program: &Program,
     t: &mut ThreadState,
-    mem: &mut SimMemory,
+    mem: &mut dyn MemIo,
     rt: &mut dyn RtHooks,
 ) -> Result<u64, ExecError> {
     const LIMIT: u64 = 100_000_000;
@@ -548,6 +548,7 @@ pub fn run_to_exit(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::memory::SimMemory;
     use crate::op::{Reg, RtQuery};
     use crate::program::ProgramBuilder;
 

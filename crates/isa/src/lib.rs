@@ -51,7 +51,7 @@ pub mod program;
 pub mod text;
 
 pub use interp::{Effect, RtHooks, ThreadState};
-pub use memory::SimMemory;
+pub use memory::{MemIo, OverlayMem, SimMemory, WriteOverlay};
 pub use op::{CmpOp, InstClass, Instr, Pred, Reg, RtQuery};
 pub use program::{Program, ProgramBuilder};
 

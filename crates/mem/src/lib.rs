@@ -24,7 +24,7 @@ pub mod system;
 
 pub use cache::{AccessKind, Cache, CacheConfig, CacheOutcome};
 pub use dram::{Dram, DramConfig};
-pub use system::{MemRequest, SharedMemSystem, SystemConfig};
+pub use system::{MemRequest, MemSink, RequestQueue, SharedMemSystem, SystemConfig};
 
 /// Memory chunk size: larger requests are broken into 32 B pieces
 /// (paper §III-C3).

@@ -46,6 +46,62 @@ pub struct MemRequest {
     pub is_store: bool,
 }
 
+/// Anything that accepts timed [`MemRequest`]s.
+///
+/// The SM pipeline is written against this trait so the same tick code runs
+/// in two regimes:
+///
+/// * serial reference path — the sink *is* the [`SharedMemSystem`] and the
+///   request enters the event heap immediately;
+/// * two-phase cycle engine — the sink is a per-SM [`RequestQueue`]; the
+///   coordinator later drains the queues serially in SM-id order, which
+///   reproduces the exact submit order (and `seq` numbering) of the serial
+///   path regardless of worker-thread count.
+pub trait MemSink {
+    /// Accepts a request issued at cycle `now`.
+    fn submit(&mut self, req: MemRequest, now: u64);
+}
+
+/// An ordered buffer of outbound memory requests from one SM for one cycle.
+///
+/// Order of insertion is preserved; [`RequestQueue::drain_into`] forwards
+/// the requests to the shared backend in that order.
+#[derive(Clone, Debug, Default)]
+pub struct RequestQueue {
+    items: Vec<(MemRequest, u64)>,
+}
+
+impl RequestQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of queued requests.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Forwards all queued requests to `sink` in insertion order and clears
+    /// the queue.
+    pub fn drain_into(&mut self, sink: &mut dyn MemSink) {
+        for (req, now) in self.items.drain(..) {
+            sink.submit(req, now);
+        }
+    }
+}
+
+impl MemSink for RequestQueue {
+    fn submit(&mut self, req: MemRequest, now: u64) {
+        self.items.push((req, now));
+    }
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum EvKind {
     ArriveL2(MemRequest),
@@ -211,6 +267,12 @@ impl SharedMemSystem {
     }
 }
 
+impl MemSink for SharedMemSystem {
+    fn submit(&mut self, req: MemRequest, now: u64) {
+        SharedMemSystem::submit(self, req, now);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,6 +409,39 @@ mod tests {
         let done = drain(&mut sys, 1_000_000);
         assert_eq!(done.len(), 2);
         assert!(sys.is_idle());
+    }
+
+    #[test]
+    fn queued_submission_matches_direct_submission() {
+        // The two-phase engine's contract: queue-then-drain must be
+        // indistinguishable from direct submission, including `seq` order.
+        let reqs: Vec<MemRequest> = (0..4)
+            .map(|i| MemRequest {
+                id: i,
+                addr: 0x1000 + i * 0x40,
+                kind: AccessKind::ShaderLoad,
+                is_store: false,
+            })
+            .collect();
+        let mut direct = SharedMemSystem::new(SystemConfig::default());
+        for r in &reqs {
+            direct.submit(*r, 3);
+        }
+        let mut queued = SharedMemSystem::new(SystemConfig::default());
+        let mut q = RequestQueue::new();
+        for r in &reqs {
+            MemSink::submit(&mut q, *r, 3);
+        }
+        assert_eq!(q.len(), 4);
+        q.drain_into(&mut queued);
+        assert!(q.is_empty());
+        let a = direct.advance_to(1_000_000);
+        let b = queued.advance_to(1_000_000);
+        assert_eq!(a, b);
+        assert_eq!(
+            direct.stats.get("icnt.to_l2"),
+            queued.stats.get("icnt.to_l2")
+        );
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! Dependency-free worker-pool primitives for the two-phase cycle engine.
+//!
+//! The GPU model ticks every SM once per simulated cycle. Parallelising
+//! that inner loop needs a *round barrier*: the coordinator announces a
+//! round, every worker processes its share of the SMs, and the coordinator
+//! waits for all of them before running the serial drain phase. Simulated
+//! cycles are short (microseconds of host work), so a classic
+//! `Mutex`+`Condvar` barrier would spend more time parking threads than
+//! simulating; [`RoundBarrier`] therefore spins on an atomic epoch for a
+//! bounded number of iterations before yielding to the scheduler.
+//!
+//! The barrier is deliberately not a thread pool: workers are plain scoped
+//! threads (`std::thread::scope`) owned by the caller, so borrows of
+//! stack-local simulation state need no `'static` laundering and a worker
+//! panic propagates when the scope joins. [`DoneGuard`] keeps the
+//! coordinator from deadlocking on a panicked worker: the worker's
+//! completion signal rides on `Drop`, and the poison flag it sets on unwind
+//! turns the lost round into a coordinator panic instead of a hang.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::atomic::{AtomicU64, Ordering};
+//! use vksim_parallel::{DoneGuard, RoundBarrier};
+//!
+//! let threads = 3;
+//! let barrier = RoundBarrier::new(threads);
+//! let sum = AtomicU64::new(0);
+//! std::thread::scope(|s| {
+//!     for t in 0..threads {
+//!         let (barrier, sum) = (&barrier, &sum);
+//!         s.spawn(move || {
+//!             let mut epoch = 0;
+//!             while let Some(e) = barrier.wait_round(epoch) {
+//!                 epoch = e;
+//!                 let _done = DoneGuard::new(barrier);
+//!                 sum.fetch_add(t as u64 + 1, Ordering::Relaxed);
+//!             }
+//!         });
+//!     }
+//!     for _ in 0..10 {
+//!         barrier.begin_round();
+//!         barrier.wait_workers();
+//!     }
+//!     barrier.shutdown();
+//! });
+//! assert_eq!(sum.load(Ordering::Relaxed), 10 * (1 + 2 + 3));
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// Spin iterations before a waiter starts yielding its time slice.
+///
+/// Rounds in the cycle engine are back-to-back, so the next epoch usually
+/// arrives within a few hundred nanoseconds; spinning that long is cheaper
+/// than a syscall. On an oversubscribed host (more workers than cores) the
+/// yield fallback keeps forward progress.
+const SPIN_LIMIT: u32 = 4096;
+
+/// Epoch-based barrier coordinating one writer (the cycle loop) with a
+/// fixed set of worker threads. See the [module docs](self) for the
+/// protocol and a usage example.
+#[derive(Debug)]
+pub struct RoundBarrier {
+    workers: usize,
+    /// Spins before yielding; 0 when the host is oversubscribed (fewer
+    /// cores than waiters), where spinning only steals the running thread's
+    /// time slice.
+    spin_limit: u32,
+    /// Round number; bumped by [`RoundBarrier::begin_round`]. Odd protocol
+    /// state lives entirely in this one word: workers watch it grow.
+    epoch: AtomicU64,
+    /// Workers finished with the current round.
+    done: AtomicUsize,
+    /// Set by [`RoundBarrier::shutdown`]; workers observe it and exit.
+    quit: AtomicBool,
+    /// Set when a worker unwound mid-round (via [`DoneGuard`]).
+    poisoned: AtomicBool,
+}
+
+impl RoundBarrier {
+    /// A barrier for `workers` worker threads (and one coordinator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero.
+    pub fn new(workers: usize) -> Self {
+        // workers + 1 waiters total (the coordinator blocks in
+        // `wait_workers`); if they cannot all run at once, spinning just
+        // burns the quantum the thread we are waiting on needs.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let spin_limit = if workers + 1 > cores { 0 } else { SPIN_LIMIT };
+        Self::with_spin_limit(workers, spin_limit)
+    }
+
+    /// [`RoundBarrier::new`] with an explicit spin limit (0 = always yield).
+    pub fn with_spin_limit(workers: usize, spin_limit: u32) -> Self {
+        assert!(workers > 0, "a round barrier needs at least one worker");
+        RoundBarrier {
+            workers,
+            spin_limit,
+            epoch: AtomicU64::new(0),
+            done: AtomicUsize::new(0),
+            quit: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of worker threads this barrier coordinates.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Coordinator: opens the next round. Must not be called again before
+    /// [`RoundBarrier::wait_workers`] returns.
+    pub fn begin_round(&self) {
+        self.done.store(0, Ordering::Release);
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Worker: blocks until a round newer than `seen_epoch` opens. Returns
+    /// the new epoch, or `None` after [`RoundBarrier::shutdown`].
+    pub fn wait_round(&self, seen_epoch: u64) -> Option<u64> {
+        let mut spins = 0u32;
+        loop {
+            if self.quit.load(Ordering::Acquire) {
+                return None;
+            }
+            let e = self.epoch.load(Ordering::Acquire);
+            if e > seen_epoch {
+                return Some(e);
+            }
+            spins += 1;
+            if spins < self.spin_limit {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Worker: marks this worker's share of the round complete. Prefer
+    /// [`DoneGuard`], which also signals on unwind.
+    pub fn worker_done(&self) {
+        self.done.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Coordinator: blocks until every worker signalled completion of the
+    /// round opened by the last [`RoundBarrier::begin_round`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker unwound during the round (poisoned barrier); the
+    /// worker's own panic then surfaces when the thread scope joins.
+    pub fn wait_workers(&self) {
+        let mut spins = 0u32;
+        while self.done.load(Ordering::Acquire) < self.workers {
+            spins += 1;
+            if spins < self.spin_limit {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        assert!(
+            !self.poisoned.load(Ordering::Acquire),
+            "a worker panicked mid-round"
+        );
+    }
+
+    /// Coordinator: tells all workers to exit their round loops.
+    pub fn shutdown(&self) {
+        self.quit.store(true, Ordering::Release);
+    }
+}
+
+/// RAII round-completion signal: created by a worker at the start of its
+/// round, it calls [`RoundBarrier::worker_done`] on drop — including during
+/// a panic unwind, where it additionally poisons the barrier so the
+/// coordinator fails fast instead of waiting forever.
+#[derive(Debug)]
+pub struct DoneGuard<'a> {
+    barrier: &'a RoundBarrier,
+}
+
+impl<'a> DoneGuard<'a> {
+    /// Arms the guard for the current round.
+    pub fn new(barrier: &'a RoundBarrier) -> Self {
+        DoneGuard { barrier }
+    }
+}
+
+impl Drop for DoneGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.barrier.poisoned.store(true, Ordering::Release);
+        }
+        self.barrier.worker_done();
+    }
+}
+
+/// RAII shutdown signal for the coordinator: calls
+/// [`RoundBarrier::shutdown`] on drop. Held across the coordinator's cycle
+/// loop inside `std::thread::scope`, it guarantees workers are released
+/// even when the coordinator unwinds (e.g. the poisoned-barrier panic from
+/// [`RoundBarrier::wait_workers`]) — otherwise the scope's implicit join
+/// would deadlock on workers still spinning in
+/// [`RoundBarrier::wait_round`].
+#[derive(Debug)]
+pub struct ShutdownGuard<'a> {
+    barrier: &'a RoundBarrier,
+}
+
+impl<'a> ShutdownGuard<'a> {
+    /// Arms the guard.
+    pub fn new(barrier: &'a RoundBarrier) -> Self {
+        ShutdownGuard { barrier }
+    }
+}
+
+impl Drop for ShutdownGuard<'_> {
+    fn drop(&mut self) {
+        self.barrier.shutdown();
+    }
+}
+
+/// Splits `total` items among `workers` as contiguous, maximally even
+/// ranges; returns worker `index`'s `start..end` range. Deterministic in
+/// all arguments, so any assignment of simulation state to workers is too.
+pub fn chunk_range(total: usize, workers: usize, index: usize) -> std::ops::Range<usize> {
+    assert!(workers > 0 && index < workers);
+    let base = total / workers;
+    let extra = total % workers;
+    let start = index * base + index.min(extra);
+    let len = base + usize::from(index < extra);
+    start..(start + len).min(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn rounds_run_every_worker_exactly_once() {
+        let workers = 4;
+        let rounds = 100u64;
+        let barrier = RoundBarrier::new(workers);
+        let counts: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        std::thread::scope(|s| {
+            for t in 0..workers {
+                let (barrier, counts) = (&barrier, &counts);
+                s.spawn(move || {
+                    let mut epoch = 0;
+                    while let Some(e) = barrier.wait_round(epoch) {
+                        epoch = e;
+                        let _done = DoneGuard::new(barrier);
+                        counts[t].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            for _ in 0..rounds {
+                barrier.begin_round();
+                barrier.wait_workers();
+            }
+            barrier.shutdown();
+        });
+        for c in &counts {
+            assert_eq!(c.load(Ordering::Relaxed), rounds);
+        }
+    }
+
+    #[test]
+    fn shutdown_before_any_round_terminates_workers() {
+        let barrier = RoundBarrier::new(2);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let barrier = &barrier;
+                s.spawn(move || {
+                    assert_eq!(barrier.wait_round(0), None);
+                });
+            }
+            barrier.shutdown();
+        });
+    }
+
+    #[test]
+    fn coordinator_observes_worker_effects_after_wait() {
+        // The Release/Acquire pairing on `done` must publish worker writes.
+        let barrier = RoundBarrier::new(2);
+        let cell = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..2 {
+                let (barrier, cell) = (&barrier, &cell);
+                s.spawn(move || {
+                    let mut epoch = 0;
+                    while let Some(e) = barrier.wait_round(epoch) {
+                        epoch = e;
+                        let _done = DoneGuard::new(barrier);
+                        cell.fetch_add(epoch * (t as u64 + 1), Ordering::Relaxed);
+                    }
+                });
+            }
+            let mut expect = 0;
+            for _ in 0..50 {
+                barrier.begin_round();
+                barrier.wait_workers();
+                let epoch = barrier.epoch.load(Ordering::Relaxed);
+                expect += epoch * 1 + epoch * 2;
+                assert_eq!(cell.load(Ordering::Relaxed), expect);
+            }
+            barrier.shutdown();
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = RoundBarrier::with_spin_limit(0, SPIN_LIMIT);
+    }
+
+    #[test]
+    fn yield_only_barrier_completes_rounds() {
+        // spin_limit = 0 is the oversubscribed-host path (more waiters than
+        // cores): every wait yields instead of spinning. Protocol must be
+        // identical.
+        let barrier = RoundBarrier::with_spin_limit(2, 0);
+        let hits = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let (barrier, hits) = (&barrier, &hits);
+                s.spawn(move || {
+                    let mut epoch = 0;
+                    while let Some(e) = barrier.wait_round(epoch) {
+                        epoch = e;
+                        let _done = DoneGuard::new(barrier);
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+            for _ in 0..20 {
+                barrier.begin_round();
+                barrier.wait_workers();
+            }
+            barrier.shutdown();
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn shutdown_guard_releases_workers_on_unwind() {
+        let barrier = RoundBarrier::new(1);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| {
+                let b = &barrier;
+                s.spawn(move || {
+                    assert_eq!(b.wait_round(0), None);
+                });
+                let _shutdown = ShutdownGuard::new(&barrier);
+                panic!("coordinator failure");
+            });
+        }));
+        assert!(result.is_err(), "coordinator panic must propagate");
+    }
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        for total in [0usize, 1, 5, 8, 17, 100] {
+            for workers in [1usize, 2, 3, 7, 16] {
+                let mut covered = Vec::new();
+                for w in 0..workers {
+                    covered.extend(chunk_range(total, workers, w));
+                }
+                assert_eq!(covered, (0..total).collect::<Vec<_>>());
+                // Even: sizes differ by at most one.
+                let sizes: Vec<usize> = (0..workers)
+                    .map(|w| chunk_range(total, workers, w).len())
+                    .collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "uneven split {sizes:?}");
+            }
+        }
+    }
+}

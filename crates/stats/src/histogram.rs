@@ -104,7 +104,9 @@ impl Histogram {
         self.bin_width
     }
 
-    /// Approximate p-th percentile (`0.0..=1.0`) using bin upper edges.
+    /// Approximate p-th percentile (`0.0..=1.0`) using bin upper edges,
+    /// clamped to the recorded maximum (a bare upper edge would over-report
+    /// by up to one bin width — e.g. `percentile(1.0)` past `max()`).
     ///
     /// Returns `None` when empty.
     pub fn percentile(&self, p: f64) -> Option<f64> {
@@ -117,10 +119,10 @@ impl Histogram {
         for (i, &c) in self.bins.iter().enumerate() {
             seen += c;
             if seen >= target {
-                return Some((i as f64 + 1.0) * self.bin_width);
+                return Some(((i as f64 + 1.0) * self.bin_width).min(self.max));
             }
         }
-        Some(self.bins.len() as f64 * self.bin_width)
+        Some((self.bins.len() as f64 * self.bin_width).min(self.max))
     }
 
     /// Merges another histogram into this one.
@@ -224,7 +226,28 @@ mod tests {
         let p100 = h.percentile(1.0).unwrap();
         assert!(p50 <= p95 && p95 <= p100);
         assert_eq!(p50, 50.0);
-        assert_eq!(p100, 100.0);
+        assert_eq!(p100, 99.0, "p100 is the recorded max, not a bin edge");
+    }
+
+    #[test]
+    fn p100_never_exceeds_max() {
+        let mut h = Histogram::new(1000.0);
+        for v in [12.0, 700.0, 701.5] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(1.0), Some(701.5));
+        assert_eq!(h.percentile(1.0), h.max());
+    }
+
+    #[test]
+    fn single_sample_percentiles_report_the_sample() {
+        // Regression: a lone 3.0 in a width-1000 histogram used to report
+        // every percentile as the bin upper edge, 1000.0.
+        let mut h = Histogram::new(1000.0);
+        h.record(3.0);
+        assert_eq!(h.percentile(0.0), Some(3.0));
+        assert_eq!(h.percentile(0.5), Some(3.0));
+        assert_eq!(h.percentile(1.0), Some(3.0));
     }
 
     #[test]

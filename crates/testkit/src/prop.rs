@@ -14,6 +14,8 @@
 //!   exactly one case.
 
 use crate::rng::Pcg32;
+use std::cell::RefCell;
+use std::fmt;
 use std::fmt::Debug;
 
 /// Property body result: `Err(message)` marks the case as failing.
@@ -211,35 +213,100 @@ impl Strategy for UsizeRange {
 // Combinators.
 // ---------------------------------------------------------------------------
 
+/// Preimage-log entries a [`Map`] keeps before evicting the oldest; large
+/// enough for a full default run (256 cases) plus a long shrink chain.
+const MAP_LOG_CAP: usize = 4096;
+
 /// Maps generated values through a function. See [`map`].
-#[derive(Clone, Copy, Debug)]
-pub struct Map<S, F> {
+pub struct Map<S: Strategy, T, F> {
     source: S,
     f: F,
+    /// `(source, mapped)` pairs observed by `generate` and `shrink`. The
+    /// mapping is not invertible in general, so shrinking looks the failing
+    /// value up here to recover a preimage, shrinks *that* in the source
+    /// domain, and maps the candidates forward — which keeps every shrunk
+    /// candidate inside the map's image.
+    seen: RefCell<Vec<(S::Value, T)>>,
 }
 
-/// Maps a strategy's output through `f`. Mapped strategies do not shrink
-/// (the mapping is not invertible); put vectors/tuples *outside* the map
-/// when shrinking matters.
-pub fn map<S, T, F>(source: S, f: F) -> Map<S, F>
+/// Maps a strategy's output through `f`. Shrinking works through the map:
+/// failing values are inverted via a log of generated `(source, mapped)`
+/// pairs, shrunk in the source domain, and re-mapped, so candidates always
+/// stay in the image of `f`.
+pub fn map<S, T, F>(source: S, f: F) -> Map<S, T, F>
 where
     S: Strategy,
-    T: Clone + Debug,
+    T: Clone + Debug + PartialEq,
     F: Fn(S::Value) -> T,
 {
-    Map { source, f }
+    Map {
+        source,
+        f,
+        seen: RefCell::new(Vec::new()),
+    }
 }
 
-impl<S, T, F> Strategy for Map<S, F>
+impl<S: Strategy, T: Debug, F> fmt::Debug for Map<S, T, F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Map")
+            .field("seen", &self.seen.borrow().len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S, T, F> Map<S, T, F>
 where
     S: Strategy,
-    T: Clone + Debug,
+    T: Clone + Debug + PartialEq,
+    F: Fn(S::Value) -> T,
+{
+    fn record(&self, src: S::Value, mapped: T) {
+        let mut seen = self.seen.borrow_mut();
+        if seen.len() >= MAP_LOG_CAP {
+            seen.remove(0);
+        }
+        seen.push((src, mapped));
+    }
+}
+
+impl<S, T, F> Strategy for Map<S, T, F>
+where
+    S: Strategy,
+    T: Clone + Debug + PartialEq,
     F: Fn(S::Value) -> T,
 {
     type Value = T;
 
     fn generate(&self, rng: &mut Pcg32) -> T {
-        (self.f)(self.source.generate(rng))
+        let src = self.source.generate(rng);
+        let mapped = (self.f)(src.clone());
+        self.record(src, mapped.clone());
+        mapped
+    }
+
+    fn shrink(&self, v: &T) -> Vec<T> {
+        // Most recent preimage wins: when several sources map to the same
+        // value, the latest is the one the failing case actually used.
+        let src = self
+            .seen
+            .borrow()
+            .iter()
+            .rev()
+            .find(|(_, t)| t == v)
+            .map(|(s, _)| s.clone());
+        let Some(src) = src else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for cand_src in self.source.shrink(&src) {
+            let mapped = (self.f)(cand_src.clone());
+            if mapped != *v && !out.contains(&mapped) {
+                // Log the candidate so a further shrink step can invert it.
+                self.record(cand_src, mapped.clone());
+                out.push(mapped);
+            }
+        }
+        out
     }
 }
 
@@ -637,6 +704,60 @@ mod tests {
             prop_assert!((0.0..2.0).contains(&s));
             Ok(())
         });
+    }
+
+    #[test]
+    fn map_shrinks_through_logged_preimage() {
+        // Regression: mapped strategies used to return no shrink candidates
+        // at all. Doubling is injective, so every candidate must stay even
+        // (in the image of the map) and come from shrinking the source.
+        let strat = map(u64_in(0, 1000), |v| v * 2);
+        let mut rng = Pcg32::new(DEFAULT_SEED);
+        let v = strat.generate(&mut rng);
+        assert!(v > 0, "seed produced 0; pick another seed for this test");
+        let cands = strat.shrink(&v);
+        assert!(!cands.is_empty(), "map must shrink generated values");
+        for c in &cands {
+            assert_eq!(c % 2, 0, "candidate {c} is not in the map image");
+            assert!(*c < v, "candidate {c} is not simpler than {v}");
+        }
+        // A value this strategy never generated has no preimage on record.
+        assert!(strat.shrink(&1_999_998).is_empty());
+    }
+
+    #[test]
+    fn map_shrink_chain_minimizes_and_stays_in_image() {
+        // The mapped value carries an invariant (len prefix) that only holds
+        // in the image of the map; the shrunk counterexample must keep it,
+        // proving every intermediate step was inverted through the log.
+        let strat = map(vec_of(u64_in(0, 100), 0, 40), |v| (v.len(), v));
+        let property = |v: &(usize, Vec<u64>)| -> TestResult {
+            prop_assert!(!v.1.iter().any(|&x| x >= 50), "has big element");
+            Ok(())
+        };
+        let mut seed = DEFAULT_SEED;
+        let value = loop {
+            let mut rng = Pcg32::new(seed);
+            let v = strat.generate(&mut rng);
+            if v.1.len() > 2 && property(&v).is_err() {
+                break v;
+            }
+            seed += 1;
+        };
+        let (shrunk, _msg, _iters) = shrink_failure(
+            &strat,
+            &property,
+            value.clone(),
+            "seed".into(),
+            small_config(),
+        );
+        assert_eq!(shrunk.0, shrunk.1.len(), "shrunk value left the map image");
+        assert_eq!(
+            shrunk.1.len(),
+            1,
+            "expected a single-element vec, got {shrunk:?}"
+        );
+        assert!(shrunk.1[0] >= 50, "shrunk value must still fail");
     }
 
     #[test]

@@ -6,6 +6,17 @@
 # micro-bench / golden comparison), so a network-less container must
 # pass this script end to end.
 #
+# Independent stages run as background jobs and join at barriers; stages
+# that share the cargo target-dir lock still serialize their compile
+# phases, but format checking, test execution, and example runs overlap.
+#
+# Bench baselines: the first run records BENCH_<suite>.json for the
+# guarded suites under .bench-baselines/; later runs on the same host
+# compare against them via VKSIM_BENCH_BASELINE and fail on a median
+# regression beyond VKSIM_BENCH_MAX_REGRESSION percent (default 25 here;
+# quick-mode medians are noisy). Delete the file to re-record after an
+# intentional change.
+#
 # Usage: scripts/ci.sh            (from anywhere; cd's to the repo root)
 
 set -euo pipefail
@@ -13,27 +24,76 @@ cd "$(dirname "$0")/.."
 
 step() { printf '\n==> %s\n' "$*"; }
 
-step "cargo fmt --check"
-cargo fmt --check
+LOGS="$(mktemp -d)"
+declare -a names=() pids=()
 
-step "cargo build --release --offline --workspace"
-cargo build --release --offline --workspace
+# bg <name> <cmd...> — launch a stage in the background, log to $LOGS.
+bg() {
+    local name="$1"
+    shift
+    ("$@") >"$LOGS/$name.log" 2>&1 &
+    names+=("$name")
+    pids+=($!)
+}
+
+# join — wait for every background stage, replay logs, abort on failure.
+join() {
+    local fail=0 status
+    for i in "${!pids[@]}"; do
+        if wait "${pids[$i]}"; then status="ok"; else status="FAILED"; fail=1; fi
+        step "${names[$i]} ($status)"
+        cat "$LOGS/${names[$i]}.log"
+    done
+    names=()
+    pids=()
+    if [ "$fail" -ne 0 ]; then
+        printf '\nCI gate FAILED.\n'
+        exit 1
+    fi
+}
+
+# Stage group 1: format check needs no build artifacts — overlap it with
+# the release build.
+bg "cargo fmt --check" cargo fmt --check
+bg "cargo build --release --offline --workspace" \
+    cargo build --release --offline --workspace
+join
 
 step "cargo test --offline --workspace -q"
 cargo test --offline --workspace -q
 
-step "golden-counter regression suite"
+step "golden-counter regression suite (incl. threads=1 vs 4 equality)"
 cargo test --offline -q -p vksim-bench --test golden_counters
 
-step "bench smoke run (VKSIM_BENCH_QUICK=1)"
-VKSIM_BENCH_DIR="$(mktemp -d)" VKSIM_BENCH_QUICK=1 \
+# Stage group 2: bench smoke and example runs only execute already-built
+# (or cheaply built) artifacts — overlap them.
+bench_out="$(mktemp -d)"
+bg "bench smoke run (VKSIM_BENCH_QUICK=1)" \
+    env VKSIM_BENCH_DIR="$bench_out" VKSIM_BENCH_QUICK=1 \
     cargo bench --offline --workspace
+bg "examples build + run (quickstart, custom_scene)" bash -c '
+    set -euo pipefail
+    cargo build --release --offline --examples
+    cargo run --release --offline --example quickstart >/dev/null
+    cargo run --release --offline --example custom_scene >/dev/null
+'
+join
 
-step "examples build"
-cargo build --release --offline --examples
-
-step "examples run (quickstart, custom_scene)"
-cargo run --release --offline --example quickstart >/dev/null
-cargo run --release --offline --example custom_scene >/dev/null
+step "bench baseline gate (substrates, engine)"
+mkdir -p .bench-baselines
+for suite in substrates engine; do
+    # Absolute path: cargo runs bench binaries with cwd = the package root
+    # (crates/bench), not the workspace root.
+    base="$PWD/.bench-baselines/BENCH_$suite.json"
+    if [ -f "$base" ]; then
+        VKSIM_BENCH_DIR="$(mktemp -d)" VKSIM_BENCH_QUICK=1 \
+            VKSIM_BENCH_BASELINE="$base" \
+            VKSIM_BENCH_MAX_REGRESSION="${VKSIM_BENCH_MAX_REGRESSION:-25}" \
+            cargo bench --offline -p vksim-bench --bench "$suite"
+    else
+        cp "$bench_out/BENCH_$suite.json" "$base"
+        echo "recorded new baseline $base (no compare this run)"
+    fi
+done
 
 printf '\nCI gate passed.\n'

@@ -99,6 +99,34 @@ fn golden_ext() {
     check_workload(WorkloadKind::Ext, "ext");
 }
 
+#[test]
+fn golden_rtv5() {
+    check_workload(WorkloadKind::Rtv5, "rtv5");
+}
+
+#[test]
+fn golden_rtv6() {
+    check_workload(WorkloadKind::Rtv6, "rtv6");
+}
+
+/// The two-phase cycle engine's determinism contract: any thread count must
+/// produce bit-identical counters. Runs the TRI workload on the serial
+/// reference path (threads = 1) and the parallel path (threads = 4) and
+/// demands byte-equal snapshots — including sequence-sensitive memory-system
+/// statistics.
+#[test]
+fn threads_do_not_change_counters() {
+    let serial = SimConfig::test_small().with_threads(1);
+    let parallel = SimConfig::test_small().with_threads(4);
+    let (_, a) = run_workload(WorkloadKind::Tri, Scale::Test, serial);
+    let (_, b) = run_workload(WorkloadKind::Tri, Scale::Test, parallel);
+    assert_eq!(
+        snapshot(&a),
+        snapshot(&b),
+        "threads=1 and threads=4 must agree on every counter"
+    );
+}
+
 /// The simulator itself must be run-to-run deterministic, otherwise the
 /// goldens above would flake rather than gate. Two back-to-back runs must
 /// produce byte-identical snapshots.
