@@ -12,11 +12,15 @@ fn main() {
     let base_cmd = w.with_fcc(false);
     let fcc_cmd = w.with_fcc(true);
     b.bench("rtv6_baseline_table", || {
-        let r = Simulator::new(SimConfig::test_small()).run(&w.device, &base_cmd);
+        let r = Simulator::new(SimConfig::test_small())
+            .run(&w.device, &base_cmd)
+            .expect("healthy run");
         black_box(r.gpu.cycles)
     });
     b.bench("rtv6_fcc", || {
-        let r = Simulator::new(SimConfig::test_small()).run(&w.device, &fcc_cmd);
+        let r = Simulator::new(SimConfig::test_small())
+            .run(&w.device, &fcc_cmd)
+            .expect("healthy run");
         black_box(r.gpu.cycles)
     });
     b.finish();

@@ -41,11 +41,20 @@ fn main() {
     let cfg_rec = TraversalConfig::default();
     b.bench("bvh_traverse/hit_10k_no_events", || {
         let ray = Ray::new(Vec3::new(40.0, 40.0, -5.0), Vec3::Z);
-        black_box(traverse(&tlas, &[&blas], &ray, &cfg).closest)
+        black_box(
+            traverse(&tlas, &[&blas], &ray, &cfg)
+                .expect("well-formed scene")
+                .closest,
+        )
     });
     b.bench("bvh_traverse/hit_10k_recording_transactions", || {
         let ray = Ray::new(Vec3::new(40.0, 40.0, -5.0), Vec3::Z);
-        black_box(traverse(&tlas, &[&blas], &ray, &cfg_rec).events.len())
+        black_box(
+            traverse(&tlas, &[&blas], &ray, &cfg_rec)
+                .expect("well-formed scene")
+                .events
+                .len(),
+        )
     });
 
     b.finish();

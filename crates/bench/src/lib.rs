@@ -18,7 +18,9 @@ use vksim_stats::{least_squares_slope, pearson};
 /// full run report.
 pub fn run_workload(kind: WorkloadKind, scale: Scale, config: SimConfig) -> (Workload, RunReport) {
     let w = build(kind, scale);
-    let report = Simulator::new(config).run(&w.device, &w.cmd);
+    let report = Simulator::new(config)
+        .run(&w.device, &w.cmd)
+        .expect("healthy run");
     (w, report)
 }
 
@@ -68,10 +70,11 @@ pub fn fig02_pixel_diff(scale: Scale) -> Vec<(String, f64)> {
         .map(|&k| {
             let w = build(k, scale);
             let mut sim = Simulator::new(SimConfig::test_small());
-            let (mem, _) = sim.run_functional(&w.device, &w.cmd);
+            let (mem, _) = sim.run_functional(&w.device, &w.cmd).expect("healthy run");
             let img = read_framebuffer(&mem, w.fb_addr, (w.width * w.height) as usize);
             let reference = reference::render(&w);
-            (w.name.to_string(), pixel_diff_fraction(&img, &reference, 1))
+            let diff = pixel_diff_fraction(&img, &reference, 1).expect("same dimensions");
+            (w.name.to_string(), diff)
         })
         .collect()
 }
@@ -97,7 +100,7 @@ pub fn tab04_workloads(scale: Scale) -> Vec<Tab04Row> {
         .map(|&k| {
             let w = build(k, scale);
             let mut sim = Simulator::new(SimConfig::test_small());
-            let (_, stats) = sim.run_functional(&w.device, &w.cmd);
+            let (_, stats) = sim.run_functional(&w.device, &w.cmd).expect("healthy run");
             Tab04Row {
                 name: w.name,
                 bvh_depth: w.bvh_depth,
@@ -134,7 +137,9 @@ pub fn correlation_study(scale: Scale, config: &SimConfig) -> Correlation {
     let mut points = Vec::new();
     for &k in &WorkloadKind::ALL {
         let w = build(k, scale);
-        let report = Simulator::new(config.clone()).run(&w.device, &w.cmd);
+        let report = Simulator::new(config.clone())
+            .run(&w.device, &w.cmd)
+            .expect("healthy run");
         let footprint: u64 = w.device.blases.iter().map(|b| b.size_bytes()).sum::<u64>()
             + w.device.tlas.as_ref().map(|t| t.size_bytes()).unwrap_or(0);
         let profile = WorkloadProfile::from_stats(
@@ -232,6 +237,7 @@ pub fn fig15_memory_modes(scale: Scale) -> Vec<(String, Vec<(&'static str, f64)>
             let w = build(k, scale);
             let base = Simulator::new(SimConfig::test_small())
                 .run(&w.device, &w.cmd)
+                .expect("healthy run")
                 .gpu
                 .cycles as f64;
             let series = modes
@@ -239,6 +245,7 @@ pub fn fig15_memory_modes(scale: Scale) -> Vec<(String, Vec<(&'static str, f64)>
                 .map(|&(name, mode)| {
                     let c = Simulator::new(SimConfig::test_small().with_memory_mode(mode))
                         .run(&w.device, &w.cmd)
+                        .expect("healthy run")
                         .gpu
                         .cycles as f64;
                     (name, c / base)
@@ -260,8 +267,9 @@ pub fn fig16_dram_sweep(
     warp_limits
         .iter()
         .map(|&n| {
-            let r =
-                Simulator::new(SimConfig::test_small().with_rt_max_warps(n)).run(&w.device, &w.cmd);
+            let r = Simulator::new(SimConfig::test_small().with_rt_max_warps(n))
+                .run(&w.device, &w.cmd)
+                .expect("healthy run");
             (n, r.gpu.dram_efficiency, r.gpu.dram_utilization)
         })
         .collect()
@@ -273,8 +281,12 @@ pub fn fig17_fcc(scale: Scale) -> (f64, f64, f64) {
     let base_cmd = w.with_fcc(false);
     let fcc_cmd = w.with_fcc(true);
     let config = SimConfig::mobile(); // the paper evaluates FCC on mobile
-    let base = Simulator::new(config.clone()).run(&w.device, &base_cmd);
-    let fcc = Simulator::new(config).run(&w.device, &fcc_cmd);
+    let base = Simulator::new(config.clone())
+        .run(&w.device, &base_cmd)
+        .expect("healthy run");
+    let fcc = Simulator::new(config)
+        .run(&w.device, &fcc_cmd)
+        .expect("healthy run");
     let speedup = base.gpu.cycles as f64 / fcc.gpu.cycles as f64;
     (speedup, base.gpu.simt_efficiency, fcc.gpu.simt_efficiency)
 }
@@ -285,8 +297,12 @@ pub fn fig17_its(scale: Scale) -> Vec<(String, f64)> {
         .iter()
         .map(|&k| {
             let w = build(k, scale);
-            let stack = Simulator::new(SimConfig::test_small()).run(&w.device, &w.cmd);
-            let its = Simulator::new(SimConfig::test_small().with_its(true)).run(&w.device, &w.cmd);
+            let stack = Simulator::new(SimConfig::test_small())
+                .run(&w.device, &w.cmd)
+                .expect("healthy run");
+            let its = Simulator::new(SimConfig::test_small().with_its(true))
+                .run(&w.device, &w.cmd)
+                .expect("healthy run");
             (
                 w.name.to_string(),
                 stack.gpu.cycles as f64 / its.gpu.cycles as f64,
@@ -306,8 +322,12 @@ pub fn fig18_occupancy(scale: Scale) -> (Vec<(u64, u32)>, Vec<(u64, u32)>) {
             .map(|t| t.iter().map(|&(c, w, _)| (c, w)).collect())
             .unwrap_or_default()
     };
-    let stack = Simulator::new(SimConfig::test_small()).run(&w.device, &w.cmd);
-    let its = Simulator::new(SimConfig::test_small().with_its(true)).run(&w.device, &w.cmd);
+    let stack = Simulator::new(SimConfig::test_small())
+        .run(&w.device, &w.cmd)
+        .expect("healthy run");
+    let its = Simulator::new(SimConfig::test_small().with_its(true))
+        .run(&w.device, &w.cmd)
+        .expect("healthy run");
     (collect(&stack), collect(&its))
 }
 

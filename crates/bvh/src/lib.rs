@@ -34,7 +34,8 @@
 //! let blas = Blas::from_triangles(&[tri]);
 //! let tlas = Tlas::build(vec![Instance::new(0, Mat4x3::IDENTITY)], &[&blas]);
 //! let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
-//! let result = traversal::traverse(&tlas, &[&blas], &ray, &traversal::TraversalConfig::default());
+//! let result = traversal::traverse(&tlas, &[&blas], &ray, &traversal::TraversalConfig::default())
+//!     .expect("structure is well-formed");
 //! assert!(result.closest.is_some());
 //! ```
 
@@ -48,7 +49,8 @@ pub use build::BuildOptions;
 pub use node::{NodeKind, WideBvh, INSTANCE_LEAF_SIZE, INTERNAL_NODE_SIZE, PRIMITIVE_LEAF_SIZE};
 pub use tlas::{Blas, Instance, Tlas};
 pub use traversal::{
-    ProceduralHit, TraceEvent, TraversalConfig, TraversalResult, TriangleIntersection,
+    ProceduralHit, TraceEvent, TraversalConfig, TraversalError, TraversalResult,
+    TriangleIntersection,
 };
 
 /// Maximum branching factor of the wide BVH (Mesa's layout, paper §III-B1).

@@ -156,6 +156,71 @@ struct StackEntry {
     t_enter: f32,
 }
 
+/// A structural fault detected during traversal (corrupt or mismatched
+/// acceleration structure). Traversal validates every pointer it chases and
+/// bounds total node visits, so a corrupt child pointer — out of range or
+/// forming a cycle — is a classified error, never a panic or an infinite
+/// loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraversalError {
+    /// An instance references a BLAS index outside the provided table.
+    MissingBlas {
+        /// TLAS instance index.
+        instance: u32,
+        /// The out-of-range BLAS index it references.
+        blas_index: u32,
+    },
+    /// A child pointer escaped its node arena.
+    NodeOutOfRange {
+        /// The corrupt node index.
+        node: u32,
+        /// Arena length of the structure being walked.
+        len: usize,
+    },
+    /// A bottom-level leaf kind appeared while walking the TLAS.
+    LeafInTlas {
+        /// The offending node index.
+        node: u32,
+    },
+    /// Total node visits exceeded the structural budget: the pointer graph
+    /// contains a cycle (corrupt child pointer back into an ancestor).
+    VisitBudgetExceeded {
+        /// The exhausted budget.
+        budget: u64,
+    },
+}
+
+impl std::fmt::Display for TraversalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraversalError::MissingBlas {
+                instance,
+                blas_index,
+            } => write!(
+                f,
+                "instance {instance} references missing BLAS {blas_index}"
+            ),
+            TraversalError::NodeOutOfRange { node, len } => {
+                write!(
+                    f,
+                    "corrupt BVH child pointer {node} (arena has {len} nodes)"
+                )
+            }
+            TraversalError::LeafInTlas { node } => {
+                write!(f, "bottom-level leaf node {node} reached in TLAS space")
+            }
+            TraversalError::VisitBudgetExceeded { budget } => {
+                write!(
+                    f,
+                    "BVH traversal exceeded {budget} node visits (pointer cycle)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraversalError {}
+
 /// Traverses the two-level acceleration structure for one ray.
 ///
 /// `blases[instance.blas_index]` must hold every BLAS referenced by the
@@ -163,19 +228,28 @@ struct StackEntry {
 /// procedural hits do not shrink it (their surfaces are resolved later by
 /// intersection shaders, per the delayed-execution scheme).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if an instance references a BLAS index outside `blases`.
+/// Returns a [`TraversalError`] when the structure is corrupt: a missing
+/// BLAS, an out-of-range child pointer, a bottom-level leaf in the TLAS, or
+/// a pointer cycle (caught by a node-visit budget).
 pub fn traverse(
     tlas: &Tlas,
     blases: &[&Blas],
     ray: &Ray,
     config: &TraversalConfig,
-) -> TraversalResult {
+) -> Result<TraversalResult, TraversalError> {
     let mut out = TraversalResult::default();
     if tlas.bvh.is_empty() {
-        return out;
+        return Ok(out);
     }
+
+    // A healthy two-level walk visits each TLAS node at most once and each
+    // BLAS node at most once per instance entry; corrupt pointers that form
+    // a cycle blow well past this bound and are caught instead of spinning.
+    let total_nodes = tlas.bvh.node_count()
+        + blases.iter().map(|b| b.bvh.node_count()).sum::<usize>() * tlas.instances.len().max(1);
+    let visit_budget = (total_nodes as u64).saturating_mul(4).max(4096);
 
     let mut world_ray = *ray;
     let mut stack: Vec<StackEntry> = Vec::with_capacity(64);
@@ -204,9 +278,13 @@ pub fn traverse(
             }),
             Space::Blas { instance } => {
                 let inst = &tlas.instances[instance as usize];
-                let blas = blases
-                    .get(inst.blas_index as usize)
-                    .unwrap_or_else(|| panic!("instance {instance} references missing BLAS"));
+                let blas =
+                    blases
+                        .get(inst.blas_index as usize)
+                        .ok_or(TraversalError::MissingBlas {
+                            instance,
+                            blas_index: inst.blas_index,
+                        })?;
                 if cached_instance != Some(instance) {
                     // Re-entering a different instance: re-apply the
                     // world-to-object transform (Algorithm 2 line 6).
@@ -220,7 +298,18 @@ pub fn traverse(
             }
         };
 
-        let node = &bvh.nodes[entry.node as usize];
+        let node = bvh
+            .nodes
+            .get(entry.node as usize)
+            .ok_or(TraversalError::NodeOutOfRange {
+                node: entry.node,
+                len: bvh.nodes.len(),
+            })?;
+        if out.nodes_visited as u64 >= visit_budget {
+            return Err(TraversalError::VisitBudgetExceeded {
+                budget: visit_budget,
+            });
+        }
         push_event(
             &mut out,
             config,
@@ -269,9 +358,13 @@ pub fn traverse(
             }
             Node::Instance(leaf) => {
                 let inst = &tlas.instances[leaf.instance_index as usize];
-                let blas = blases
-                    .get(inst.blas_index as usize)
-                    .unwrap_or_else(|| panic!("missing BLAS {}", inst.blas_index));
+                let blas =
+                    blases
+                        .get(inst.blas_index as usize)
+                        .ok_or(TraversalError::MissingBlas {
+                            instance: leaf.instance_index,
+                            blas_index: inst.blas_index,
+                        })?;
                 if !blas.bvh.is_empty() {
                     stack.push(StackEntry {
                         node: 0,
@@ -286,7 +379,7 @@ pub fn traverse(
             }
             Node::Triangle(leaf) => {
                 let Space::Blas { instance } = entry.space else {
-                    panic!("triangle leaf reached in TLAS space");
+                    return Err(TraversalError::LeafInTlas { node: entry.node });
                 };
                 let mut test_ray = space_ray;
                 test_ray.t_max = world_ray.t_max;
@@ -319,13 +412,13 @@ pub fn traverse(
                         back_face: hit.back_face,
                     });
                     if config.terminate_on_first_hit {
-                        return out;
+                        return Ok(out);
                     }
                 }
             }
             Node::Procedural(leaf) => {
                 let Space::Blas { instance } = entry.space else {
-                    panic!("procedural leaf reached in TLAS space");
+                    return Err(TraversalError::LeafInTlas { node: entry.node });
                 };
                 let inst = &tlas.instances[instance as usize];
                 let idx = out.procedural_hits.len() as u64;
@@ -349,7 +442,7 @@ pub fn traverse(
             }
         }
     }
-    out
+    Ok(out)
 }
 
 #[inline]
@@ -391,7 +484,7 @@ mod tests {
     fn hit_through_quad() {
         let (tlas, blas) = single_quad_scene();
         let ray = Ray::new(Vec3::new(0.2, 0.3, -5.0), Vec3::Z);
-        let r = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default());
+        let r = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default()).unwrap();
         let hit = r.closest.expect("hit");
         assert!((hit.t - 5.0).abs() < 1e-4);
         assert!(hit.world_normal.z < 0.0, "normal should face the ray");
@@ -403,7 +496,7 @@ mod tests {
     fn miss_outside_quad() {
         let (tlas, blas) = single_quad_scene();
         let ray = Ray::new(Vec3::new(5.0, 5.0, -5.0), Vec3::Z);
-        let r = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default());
+        let r = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default()).unwrap();
         assert!(r.closest.is_none());
         assert!(r.procedural_hits.is_empty());
     }
@@ -423,7 +516,8 @@ mod tests {
             &[&blas_near, &blas_far],
             &ray,
             &TraversalConfig::default(),
-        );
+        )
+        .unwrap();
         let hit = r.closest.expect("hit");
         assert_eq!(hit.instance_custom_index, 1);
         assert!((hit.t - 7.0).abs() < 1e-4);
@@ -444,10 +538,11 @@ mod tests {
         let hit = Ray::new(Vec3::new(10.0, 0.0, -5.0), Vec3::Z);
         assert!(
             traverse(&tlas, &[&blas], &miss, &TraversalConfig::default())
+                .unwrap()
                 .closest
                 .is_none()
         );
-        let r = traverse(&tlas, &[&blas], &hit, &TraversalConfig::default());
+        let r = traverse(&tlas, &[&blas], &hit, &TraversalConfig::default()).unwrap();
         assert!(r.closest.is_some());
         assert!(r.transforms >= 1, "must transform into BLAS space");
     }
@@ -461,7 +556,7 @@ mod tests {
         let blas = Blas::build(geo);
         let tlas = Tlas::build(vec![Instance::new(0, Mat4x3::IDENTITY)], &[&blas]);
         let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
-        let r = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default());
+        let r = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default()).unwrap();
         assert!(
             r.closest.is_none(),
             "procedural AABB entry is not a committed hit"
@@ -483,7 +578,7 @@ mod tests {
         ];
         let tlas = Tlas::build(instances, &[&blas]);
         let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
-        let full = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default());
+        let full = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default()).unwrap();
         let early = traverse(
             &tlas,
             &[&blas],
@@ -492,7 +587,8 @@ mod tests {
                 terminate_on_first_hit: true,
                 ..TraversalConfig::default()
             },
-        );
+        )
+        .unwrap();
         assert!(early.closest.is_some());
         assert!(early.nodes_visited <= full.nodes_visited);
     }
@@ -501,7 +597,7 @@ mod tests {
     fn events_script_has_fetch_per_visited_node() {
         let (tlas, blas) = single_quad_scene();
         let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
-        let r = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default());
+        let r = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default()).unwrap();
         let fetches = r
             .events
             .iter()
@@ -531,7 +627,8 @@ mod tests {
                 record_events: false,
                 ..TraversalConfig::default()
             },
-        );
+        )
+        .unwrap();
         assert!(r.events.is_empty());
         assert!(r.closest.is_some());
     }
@@ -544,7 +641,7 @@ mod tests {
         let mut tlas = Tlas::build(vec![Instance::new(0, Mat4x3::IDENTITY)], &[&blas]);
         tlas.set_base_addr(0x8000_0000);
         let ray = Ray::new(Vec3::new(0.0, 0.0, -5.0), Vec3::Z);
-        let r = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default());
+        let r = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default()).unwrap();
         let mut saw_tlas = false;
         let mut saw_blas = false;
         for e in &r.events {
@@ -563,8 +660,61 @@ mod tests {
     fn empty_tlas_returns_default() {
         let tlas = Tlas::build(vec![], &[]);
         let ray = Ray::new(Vec3::ZERO, Vec3::Z);
-        let r = traverse(&tlas, &[], &ray, &TraversalConfig::default());
+        let r = traverse(&tlas, &[], &ray, &TraversalConfig::default()).unwrap();
         assert_eq!(r, TraversalResult::default());
+    }
+
+    #[test]
+    fn corrupt_child_pointer_is_a_classified_error() {
+        let (tlas, mut blas) = single_quad_scene();
+        // Point an internal node's first child outside the arena.
+        let arena_len = blas.bvh.nodes.len();
+        for node in &mut blas.bvh.nodes {
+            if let Node::Internal(int) = node {
+                int.children[0] = 0xDEAD_BEEF;
+                break;
+            }
+        }
+        let ray = Ray::new(Vec3::new(0.2, 0.3, -5.0), Vec3::Z);
+        let err = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            TraversalError::NodeOutOfRange {
+                node: 0xDEAD_BEEF,
+                len: arena_len,
+            }
+        );
+    }
+
+    #[test]
+    fn child_pointer_cycle_hits_visit_budget() {
+        let (tlas, mut blas) = single_quad_scene();
+        // Point an internal node's first child back at the root: an
+        // in-range cycle that only the visit budget can catch.
+        for node in &mut blas.bvh.nodes {
+            if let Node::Internal(int) = node {
+                int.children[0] = 0;
+                break;
+            }
+        }
+        let ray = Ray::new(Vec3::new(0.2, 0.3, -5.0), Vec3::Z);
+        let err = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default()).unwrap_err();
+        assert!(
+            matches!(err, TraversalError::VisitBudgetExceeded { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn missing_blas_is_a_classified_error() {
+        let (tlas, blas) = single_quad_scene();
+        let _ = blas;
+        let ray = Ray::new(Vec3::new(0.2, 0.3, -5.0), Vec3::Z);
+        let err = traverse(&tlas, &[], &ray, &TraversalConfig::default()).unwrap_err();
+        assert!(
+            matches!(err, TraversalError::MissingBlas { blas_index: 0, .. }),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -583,7 +733,7 @@ mod tests {
         let blas = Blas::from_triangles(&tris);
         let tlas = Tlas::build(vec![Instance::new(0, Mat4x3::IDENTITY)], &[&blas]);
         let ray = Ray::new(Vec3::new(300.0, 0.0, -5.0), Vec3::Z);
-        let r = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default());
+        let r = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default()).unwrap();
         assert!(r.closest.is_some());
         assert!(
             r.nodes_visited < 100,

@@ -47,7 +47,7 @@
 //! let cmd = device.cmd_trace_rays(&pipe, 32, 1);
 //!
 //! let mut sim = Simulator::new(SimConfig::test_small());
-//! let report = sim.run(&device, &cmd);
+//! let report = sim.run(&device, &cmd).expect("healthy run");
 //! assert_eq!(report.memory.read_u32(fb + 4 * 7), 7);
 //! assert!(report.gpu.cycles > 0);
 //! ```
@@ -62,4 +62,6 @@ pub mod validate;
 
 pub use config::{MemoryMode, SimConfig};
 pub use runtime::{RtRuntime, RuntimeStats};
-pub use simulator::{RunReport, Simulator};
+pub use simulator::{RunReport, SimFailure, Simulator};
+pub use validate::ImageSizeMismatch;
+pub use vksim_gpu::{FaultPlan, GpuFault, HangClass, SimError, WorkerPanicSpec};

@@ -23,6 +23,7 @@ use vksim_bvh::{Blas, NodeKind, ProceduralHit, Tlas, TraceEvent};
 use vksim_gpu::ScriptSource;
 use vksim_isa::interp::{RayDesc, RtHooks};
 use vksim_isa::op::{RtIdxQuery, RtQuery};
+use vksim_isa::RtError;
 use vksim_math::{Ray, Vec3};
 use vksim_rtunit::{OpKind, Step, SHORT_STACK_ENTRIES};
 
@@ -319,7 +320,7 @@ impl RtRuntime {
 }
 
 impl RtHooks for RtRuntime {
-    fn traverse(&mut self, tid: usize, ray: RayDesc) {
+    fn traverse(&mut self, tid: usize, ray: RayDesc) -> Result<(), RtError> {
         let r = Ray::with_interval(
             Vec3::from(ray.origin),
             Vec3::from(ray.dir),
@@ -333,7 +334,8 @@ impl RtHooks for RtRuntime {
             intersection_buffer_base: per_thread_buffer,
         };
         let blas_refs: Vec<&Blas> = self.blases.iter().collect();
-        let result = traversal::traverse(&self.tlas, &blas_refs, &r, &cfg);
+        let result = traversal::traverse(&self.tlas, &blas_refs, &r, &cfg)
+            .map_err(|e| RtError(format!("acceleration structure traversal failed: {e}")))?;
 
         self.stats.rays += 1;
         self.stats.nodes_visited += result.nodes_visited as u64;
@@ -373,6 +375,7 @@ impl RtHooks for RtRuntime {
             committed,
             pending: result.procedural_hits,
         });
+        Ok(())
     }
 
     fn end_trace(&mut self, tid: usize) {
@@ -460,15 +463,15 @@ impl RtHooks for RtRuntime {
         }
     }
 
-    fn report_intersection(&mut self, tid: usize, idx: u32, t: f32) {
+    fn report_intersection(&mut self, tid: usize, idx: u32, t: f32) -> Result<(), RtError> {
         let Some(hit) = self.pending_at(tid, idx) else {
-            return;
+            return Ok(());
         };
         let Some(frame) = self.frames.get_mut(&tid).and_then(|v| v.last_mut()) else {
-            return;
+            return Ok(());
         };
         if t < frame.ray.t_min {
-            return;
+            return Ok(());
         }
         let current_t = if frame.committed.kind == 0 {
             frame.ray.t_max
@@ -488,6 +491,7 @@ impl RtHooks for RtRuntime {
                 normal: [0.0; 3],
             };
         }
+        Ok(())
     }
 }
 
@@ -545,7 +549,7 @@ mod tests {
     fn traverse_commits_triangle_hit_and_records_script() {
         let (tlas, blases) = quad_scene();
         let mut rt = RtRuntime::new(tlas, blases, [4, 4, 1], false);
-        rt.traverse(0, z_ray());
+        rt.traverse(0, z_ray()).unwrap();
         assert_eq!(rt.query(0, RtQuery::HitKind), 1);
         assert!((f32::from_bits(rt.query(0, RtQuery::HitT)) - 5.0).abs() < 1e-3);
         let script = rt.take_script(0);
@@ -576,7 +580,7 @@ mod tests {
         let mut rt = RtRuntime::new(tlas, blases, [4, 4, 1], false);
         let mut ray = z_ray();
         ray.origin = [50.0, 50.0, -5.0];
-        rt.traverse(0, ray);
+        rt.traverse(0, ray).unwrap();
         assert_eq!(rt.query(0, RtQuery::HitKind), 0);
         assert_eq!(rt.stats.misses, 1);
     }
@@ -595,12 +599,12 @@ mod tests {
     fn nested_traces_stack_frames() {
         let (tlas, blases) = quad_scene();
         let mut rt = RtRuntime::new(tlas, blases, [4, 4, 1], false);
-        rt.traverse(0, z_ray());
+        rt.traverse(0, z_ray()).unwrap();
         assert_eq!(rt.query(0, RtQuery::RecursionDepth), 1);
         let mut shadow = z_ray();
         shadow.origin = [0.0, 0.0, -1.0];
         shadow.flags = RAY_FLAG_TERMINATE_ON_FIRST_HIT;
-        rt.traverse(0, shadow);
+        rt.traverse(0, shadow).unwrap();
         assert_eq!(rt.query(0, RtQuery::RecursionDepth), 2);
         rt.end_trace(0);
         assert_eq!(rt.query(0, RtQuery::RecursionDepth), 1);
@@ -612,7 +616,7 @@ mod tests {
     fn pending_intersections_and_report() {
         let (tlas, blases) = proc_scene(&[3]);
         let mut rt = RtRuntime::new(tlas, blases, [4, 4, 1], false);
-        rt.traverse(0, z_ray());
+        rt.traverse(0, z_ray()).unwrap();
         assert_eq!(
             rt.query(0, RtQuery::HitKind),
             0,
@@ -621,11 +625,11 @@ mod tests {
         assert!(rt.intersection_valid(0, 0));
         assert!(!rt.intersection_valid(0, 1));
         assert_eq!(rt.query_idx(0, RtIdxQuery::IntersectionShaderId, 0), 3);
-        rt.report_intersection(0, 0, 4.0);
+        rt.report_intersection(0, 0, 4.0).unwrap();
         assert_eq!(rt.query(0, RtQuery::HitKind), 2);
         assert_eq!(f32::from_bits(rt.query(0, RtQuery::HitT)), 4.0);
         // A farther report does not replace it.
-        rt.report_intersection(0, 0, 9.0);
+        rt.report_intersection(0, 0, 9.0).unwrap();
         assert_eq!(f32::from_bits(rt.query(0, RtQuery::HitT)), 4.0);
     }
 
@@ -633,8 +637,8 @@ mod tests {
     fn report_respects_t_min() {
         let (tlas, blases) = proc_scene(&[0]);
         let mut rt = RtRuntime::new(tlas, blases, [4, 4, 1], false);
-        rt.traverse(0, z_ray());
-        rt.report_intersection(0, 0, 1e-6); // below t_min
+        rt.traverse(0, z_ray()).unwrap();
+        rt.report_intersection(0, 0, 1e-6).unwrap(); // below t_min
         assert_eq!(rt.query(0, RtQuery::HitKind), 0);
     }
 
@@ -644,8 +648,8 @@ mod tests {
         // rows should be [s0, s0, s1] (not 6 rows).
         let (tlas, blases) = proc_scene(&[0, 0, 1]);
         let mut rt = RtRuntime::new(tlas, blases, [32, 1, 1], true);
-        rt.traverse(0, z_ray());
-        rt.traverse(1, z_ray());
+        rt.traverse(0, z_ray()).unwrap();
+        rt.traverse(1, z_ray()).unwrap();
         let rows: Vec<u32> = (0..4)
             .map_while(|i| {
                 if rt.intersection_valid(0, i) {
@@ -666,11 +670,11 @@ mod tests {
     fn fcc_nonparticipating_lane_gets_sentinel() {
         let (tlas, blases) = proc_scene(&[0]);
         let mut rt = RtRuntime::new(tlas, blases, [32, 1, 1], true);
-        rt.traverse(0, z_ray());
+        rt.traverse(0, z_ray()).unwrap();
         // Lane 1 misses everything.
         let mut miss = z_ray();
         miss.origin = [99.0, 99.0, -5.0];
-        rt.traverse(1, miss);
+        rt.traverse(1, miss).unwrap();
         assert_eq!(rt.next_coalesced_call(0, 0), 0);
         assert_eq!(rt.next_coalesced_call(1, 0), u32::MAX);
     }
@@ -679,14 +683,14 @@ mod tests {
     fn fcc_script_has_extra_table_loads() {
         let (tlas, blases) = proc_scene(&[0, 0]);
         let mut base_rt = RtRuntime::new(tlas.clone(), blases.clone(), [4, 1, 1], false);
-        base_rt.traverse(0, z_ray());
+        base_rt.traverse(0, z_ray()).unwrap();
         let base_loads = base_rt
             .take_script(0)
             .iter()
             .filter(|s| matches!(s, Step::Fetch { .. }))
             .count();
         let mut fcc_rt = RtRuntime::new(tlas, blases, [4, 1, 1], true);
-        fcc_rt.traverse(0, z_ray());
+        fcc_rt.traverse(0, z_ray()).unwrap();
         let fcc_loads = fcc_rt
             .take_script(0)
             .iter()
@@ -707,8 +711,8 @@ mod tests {
         assert_ne!(a0, a1);
         assert_eq!(a1 - a0, SHARD_ALLOC_REGION);
         // Same scene: identical traversal results for the same ray.
-        s0.traverse(0, z_ray());
-        s1.traverse(32, z_ray());
+        s0.traverse(0, z_ray()).unwrap();
+        s1.traverse(32, z_ray()).unwrap();
         assert_eq!(s0.stats.nodes_visited, s1.stats.nodes_visited);
         assert_eq!(
             s0.query(0, RtQuery::HitKind),
@@ -726,12 +730,12 @@ mod tests {
         let mut miss = z_ray();
         miss.origin = [50.0, 50.0, -5.0];
         for tid in 0..32 {
-            single.traverse(tid, z_ray());
-            s0.traverse(tid, z_ray());
+            single.traverse(tid, z_ray()).unwrap();
+            s0.traverse(tid, z_ray()).unwrap();
         }
         for tid in 32..64 {
-            single.traverse(tid, miss);
-            s1.traverse(tid, miss);
+            single.traverse(tid, miss).unwrap();
+            s1.traverse(tid, miss).unwrap();
         }
         let mut merged = RuntimeStats::default();
         merged.merge(&s0.stats);
@@ -759,7 +763,7 @@ mod tests {
     fn scripts_are_consumed_once() {
         let (tlas, blases) = quad_scene();
         let mut rt = RtRuntime::new(tlas, blases, [4, 4, 1], false);
-        rt.traverse(7, z_ray());
+        rt.traverse(7, z_ray()).unwrap();
         assert!(!rt.take_script(7).is_empty());
         assert!(rt.take_script(7).is_empty(), "second take is empty");
     }
@@ -799,7 +803,8 @@ mod tests {
                 t_max: 1e30,
                 flags: 0,
             },
-        );
+        )
+        .unwrap();
         assert!(rt.stats.max_stack_depth > SHORT_STACK_ENTRIES);
         assert!(rt.stats.spill_stores > 0);
     }

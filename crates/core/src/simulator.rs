@@ -2,8 +2,11 @@
 
 use crate::config::SimConfig;
 use crate::runtime::{RtRuntime, RuntimeStats};
-use vksim_gpu::{GpuSim, GpuStats, LaunchDims};
-use vksim_isa::interp::{run_to_exit, ThreadState};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use vksim_fault::SimError;
+use vksim_gpu::{GpuFault, GpuSim, GpuStats, LaunchDims};
+use vksim_isa::interp::{run_to_exit, ExecError, ThreadState};
 use vksim_isa::SimMemory;
 use vksim_power::{ActivityCounts, PowerModel, PowerReport};
 use vksim_vulkan::{Device, TraceRaysCommand};
@@ -20,6 +23,34 @@ pub struct RunReport {
     /// Final functional memory (framebuffers, output buffers).
     pub memory: SimMemory,
 }
+
+/// A classified simulation failure.
+///
+/// Carries the structured [`SimError`], the path of the post-mortem dump
+/// (when one was written), and — for timing-model faults — the partial
+/// [`RunReport`] accumulated up to the failing cycle, so callers can
+/// inspect counters, power and memory state post mortem.
+#[derive(Debug)]
+pub struct SimFailure {
+    /// What went wrong, classified.
+    pub error: SimError,
+    /// Post-mortem dump file (flat JSON), if one could be written.
+    pub dump: Option<PathBuf>,
+    /// Statistics and memory state up to the fault. `None` only for
+    /// functional-mode failures, which have no timing state to report.
+    pub report: Option<RunReport>,
+}
+
+impl std::fmt::Display for SimFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.dump {
+            Some(path) => write!(f, "{} (post-mortem dump: {})", self.error, path.display()),
+            None => write!(f, "{}", self.error),
+        }
+    }
+}
+
+impl std::error::Error for SimFailure {}
 
 /// The simulator facade: executes recorded trace commands against a scene
 /// device.
@@ -41,11 +72,17 @@ impl Simulator {
     /// Cycle-level run (paper §III-C): functional execution drives the
     /// timing model; returns full statistics.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the device has no TLAS but the program traces rays, or if
-    /// the simulation exceeds the configured cycle bound.
-    pub fn run(&mut self, device: &Device, cmd: &TraceRaysCommand) -> RunReport {
+    /// Returns a classified [`SimFailure`] — carrying the partial
+    /// [`RunReport`] and a post-mortem dump path — when the simulation
+    /// faults: a shader execution error, the cycle bound, a watchdog-
+    /// detected hang, or a contained worker panic.
+    pub fn run(
+        &mut self,
+        device: &Device,
+        cmd: &TraceRaysCommand,
+    ) -> Result<RunReport, Box<SimFailure>> {
         let gpu_config = self.config.resolve();
         let threads = gpu_config.effective_threads();
         let num_sms = gpu_config.num_sms;
@@ -59,28 +96,48 @@ impl Simulator {
                 depth: cmd.dims.depth,
             },
         );
-        let (stats, runtime_stats) = if threads > 1 {
+        let (outcome, runtime_stats) = if threads > 1 {
             // Parallel engine: one runtime shard per SM (warps never
             // migrate between SMs, so per-thread state partitions exactly).
             let runtime = self.make_runtime(device, cmd);
             let mut shards: Vec<RtRuntime> = (0..num_sms).map(|sm| runtime.shard(sm)).collect();
-            let stats = gpu.run_sharded(&mut shards);
+            let outcome = gpu.run_sharded(&mut shards);
             let mut merged = RuntimeStats::default();
             for shard in &shards {
                 merged.merge(&shard.stats);
             }
-            (stats, merged)
+            (outcome, merged)
         } else {
             let mut runtime = self.make_runtime(device, cmd);
-            let stats = gpu.run(&mut runtime);
-            (stats, runtime.stats.clone())
+            let outcome = gpu.run(&mut runtime);
+            (outcome, runtime.stats.clone())
         };
-        let power = power_from_stats(&stats);
-        RunReport {
-            gpu: stats,
-            runtime: runtime_stats,
-            power,
-            memory: std::mem::take(&mut gpu.mem),
+        let memory = std::mem::take(&mut gpu.mem);
+        match outcome {
+            Ok(stats) => {
+                let power = power_from_stats(&stats);
+                Ok(RunReport {
+                    gpu: stats,
+                    runtime: runtime_stats,
+                    power,
+                    memory,
+                })
+            }
+            Err(fault) => {
+                let GpuFault { error, stats, dump } = *fault;
+                let power = power_from_stats(&stats);
+                let report = RunReport {
+                    gpu: stats,
+                    runtime: runtime_stats,
+                    power,
+                    memory,
+                };
+                Err(Box::new(SimFailure {
+                    error,
+                    dump,
+                    report: Some(report),
+                }))
+            }
         }
     }
 
@@ -88,24 +145,28 @@ impl Simulator {
     /// timing model — used for image generation/validation (Fig. 2) and for
     /// workload characterization on large launches.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a thread's program execution fails (translator bug).
+    /// Returns a classified [`SimFailure`] (with a post-mortem dump but no
+    /// timing report) when a thread's program execution fails — a
+    /// translator bug, a truncated program, or a corrupted acceleration
+    /// structure.
     pub fn run_functional(
         &mut self,
         device: &Device,
         cmd: &TraceRaysCommand,
-    ) -> (SimMemory, RuntimeStats) {
+    ) -> Result<(SimMemory, RuntimeStats), Box<SimFailure>> {
         let mut runtime = self.make_runtime(device, cmd);
         let mut mem = device.memory.clone();
         let total = cmd.dims.width as usize * cmd.dims.height as usize * cmd.dims.depth as usize;
         for tid in 0..total {
             let mut t =
                 ThreadState::with_tid(cmd.program.num_regs(), cmd.program.num_preds().max(1), tid);
-            run_to_exit(&cmd.program, &mut t, &mut mem, &mut runtime)
-                .unwrap_or_else(|e| panic!("thread {tid}: {e}"));
+            if let Err(e) = run_to_exit(&cmd.program, &mut t, &mut mem, &mut runtime) {
+                return Err(functional_failure(tid, &e));
+            }
         }
-        (mem, runtime.stats.clone())
+        Ok((mem, runtime.stats.clone()))
     }
 
     fn make_runtime(&self, device: &Device, cmd: &TraceRaysCommand) -> RtRuntime {
@@ -121,6 +182,32 @@ impl Simulator {
             cmd.fcc,
         )
     }
+}
+
+/// Builds the `SimFailure` for a functional-mode execution error, writing
+/// a small post-mortem dump identifying the failing thread.
+fn functional_failure(tid: usize, e: &ExecError) -> Box<SimFailure> {
+    let pc = match e {
+        ExecError::PcOutOfRange { pc } | ExecError::Rt { pc, .. } => *pc,
+        ExecError::StepLimit => 0,
+    };
+    let error = SimError::Exec {
+        sm: 0,
+        warp: (tid / 32) as u32,
+        lane: tid % 32,
+        pc,
+        detail: format!("thread {tid}: {e}"),
+    };
+    let mut snap = BTreeMap::new();
+    snap.insert("fault.kind".to_string(), error.kind_code());
+    snap.insert("fault.thread".to_string(), tid as u64);
+    snap.insert("fault.pc".to_string(), u64::from(pc));
+    let dump = vksim_fault::write_dump(&snap).ok();
+    Box::new(SimFailure {
+        error,
+        dump,
+        report: None,
+    })
 }
 
 /// Derives AccelWattch-style activity counts from GPU statistics.
@@ -214,7 +301,7 @@ mod tests {
     fn functional_run_renders_hit_and_miss() {
         let (device, cmd, fb) = quad_workload(16, 16);
         let mut sim = Simulator::new(SimConfig::test_small());
-        let (mem, stats) = sim.run_functional(&device, &cmd);
+        let (mem, stats) = sim.run_functional(&device, &cmd).expect("healthy run");
         assert_eq!(center_pixel(&mem, fb, 16, 16), 1.0, "center hits the quad");
         assert_eq!(mem.read_f32(fb), 0.25, "corner misses");
         assert_eq!(stats.rays, 256);
@@ -225,8 +312,8 @@ mod tests {
     fn timing_run_matches_functional_image() {
         let (device, cmd, fb) = quad_workload(16, 4);
         let mut sim = Simulator::new(SimConfig::test_small());
-        let (fmem, _) = sim.run_functional(&device, &cmd);
-        let report = sim.run(&device, &cmd);
+        let (fmem, _) = sim.run_functional(&device, &cmd).expect("healthy run");
+        let report = sim.run(&device, &cmd).expect("healthy run");
         for i in 0..(16 * 4) {
             assert_eq!(
                 report.memory.read_f32(fb + i * 4),
@@ -244,7 +331,7 @@ mod tests {
     fn rt_units_see_traffic_in_timing_run() {
         let (device, cmd, _) = quad_workload(32, 4);
         let mut sim = Simulator::new(SimConfig::test_small());
-        let report = sim.run(&device, &cmd);
+        let report = sim.run(&device, &cmd).expect("healthy run");
         assert!(report.gpu.rt_busy_cycles > 0);
         assert!(report.gpu.rt_ops > 0);
         assert!(report.gpu.rt_warp_latency.count() >= 4);
@@ -257,10 +344,13 @@ mod tests {
     #[test]
     fn perfect_bvh_is_faster_than_baseline() {
         let (device, cmd, _) = quad_workload(32, 8);
-        let base = Simulator::new(SimConfig::test_small()).run(&device, &cmd);
+        let base = Simulator::new(SimConfig::test_small())
+            .run(&device, &cmd)
+            .expect("healthy run");
         let perfect =
             Simulator::new(SimConfig::test_small().with_memory_mode(MemoryMode::PerfectBvh))
-                .run(&device, &cmd);
+                .run(&device, &cmd)
+                .expect("healthy run");
         assert!(
             perfect.gpu.cycles <= base.gpu.cycles,
             "perfect BVH {} vs baseline {}",
@@ -273,7 +363,8 @@ mod tests {
     fn rt_cache_mode_populates_rtc_stats() {
         let (device, cmd, _) = quad_workload(32, 4);
         let report = Simulator::new(SimConfig::test_small().with_memory_mode(MemoryMode::RtCache))
-            .run(&device, &cmd);
+            .run(&device, &cmd)
+            .expect("healthy run");
         assert!(!report.gpu.rtc_stats.is_empty(), "RT cache saw accesses");
         assert_eq!(
             report.gpu.l1_stats.sum_prefix("rt_unit"),
@@ -285,8 +376,12 @@ mod tests {
     #[test]
     fn its_mode_completes_with_same_image() {
         let (device, cmd, fb) = quad_workload(16, 4);
-        let stack = Simulator::new(SimConfig::test_small()).run(&device, &cmd);
-        let its = Simulator::new(SimConfig::test_small().with_its(true)).run(&device, &cmd);
+        let stack = Simulator::new(SimConfig::test_small())
+            .run(&device, &cmd)
+            .expect("healthy run");
+        let its = Simulator::new(SimConfig::test_small().with_its(true))
+            .run(&device, &cmd)
+            .expect("healthy run");
         for i in 0..(16 * 4) {
             assert_eq!(
                 stack.memory.read_f32(fb + i * 4),
@@ -299,12 +394,44 @@ mod tests {
     #[test]
     fn instruction_mix_recorded() {
         let (device, cmd, _) = quad_workload(16, 4);
-        let report = Simulator::new(SimConfig::test_small()).run(&device, &cmd);
+        let report = Simulator::new(SimConfig::test_small())
+            .run(&device, &cmd)
+            .expect("healthy run");
         let alu = report.gpu.counters.get("inst.Alu");
         let mem = report.gpu.counters.get("inst.Mem");
         let rt = report.gpu.counters.get("inst.Rt");
         assert!(alu > 0 && mem > 0 && rt > 0);
         assert!(alu > rt, "ALU dominates trace instructions");
+    }
+
+    #[test]
+    fn faulted_run_returns_partial_report_and_dump() {
+        let (device, cmd, _) = quad_workload(16, 4);
+        let mut cfg = SimConfig::test_small();
+        cfg.gpu.watchdog_cycles = 2_000;
+        cfg.gpu.fault_plan.stall_warp = Some(0);
+        let failure = Simulator::new(cfg)
+            .run(&device, &cmd)
+            .expect_err("stalled warp must trip the watchdog");
+        assert!(matches!(failure.error, SimError::Hang { .. }), "{failure}");
+        let report = failure.report.as_ref().expect("timing fault keeps stats");
+        assert!(report.gpu.cycles > 0, "partial stats reach the caller");
+        assert!(failure.dump.is_some(), "post-mortem dump written");
+    }
+
+    #[test]
+    fn truncated_program_fails_functionally_with_classified_error() {
+        let (device, mut cmd, _) = quad_workload(4, 4);
+        cmd.program = cmd.program.truncated(cmd.program.len() / 2);
+        let failure = Simulator::new(SimConfig::test_small())
+            .run_functional(&device, &cmd)
+            .expect_err("truncated program must fail");
+        assert!(matches!(failure.error, SimError::Exec { .. }), "{failure}");
+        assert!(
+            failure.report.is_none(),
+            "functional faults carry no report"
+        );
+        assert!(failure.dump.is_some());
     }
 
     /// A raygen with a shader-visible builtin (world normal) exercised via
@@ -355,7 +482,7 @@ mod tests {
         let pipeline = device.create_ray_tracing_pipeline(shaders, false).unwrap();
         let cmd = device.cmd_trace_rays(&pipeline, 1, 1);
         let mut sim = Simulator::new(SimConfig::test_small());
-        let (mem, _) = sim.run_functional(&device, &cmd);
+        let (mem, _) = sim.run_functional(&device, &cmd).expect("healthy run");
         assert!((mem.read_f32(fb) - 3.0).abs() < 1e-3, "hit t");
         assert_eq!(mem.read_f32(fb + 4), 42.0, "custom index");
         assert!(mem.read_f32(fb + 8) < 0.0, "normal faces the ray");

@@ -125,8 +125,10 @@ mod tests {
         let w = build(WorkloadKind::Tri, Scale::Test);
         let replayed = load_command(&dump_command(&w.cmd)).unwrap();
         let mut sim = Simulator::new(SimConfig::test_small());
-        let (orig_mem, _) = sim.run_functional(&w.device, &w.cmd);
-        let (replay_mem, _) = sim.run_functional(&w.device, &replayed);
+        let (orig_mem, _) = sim.run_functional(&w.device, &w.cmd).expect("healthy run");
+        let (replay_mem, _) = sim
+            .run_functional(&w.device, &replayed)
+            .expect("healthy run");
         for i in 0..(w.width * w.height) as u64 {
             assert_eq!(
                 orig_mem.read_u32(w.fb_addr + i * 4),

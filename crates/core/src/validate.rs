@@ -32,15 +32,38 @@ pub fn read_framebuffer(mem: &SimMemory, base: u64, count: usize) -> Vec<u32> {
         .collect()
 }
 
+/// The two images passed to [`pixel_diff_fraction`] have different pixel
+/// counts, so a per-pixel comparison is meaningless.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ImageSizeMismatch {
+    /// Pixel count of the first image.
+    pub a: usize,
+    /// Pixel count of the second image.
+    pub b: usize,
+}
+
+impl std::fmt::Display for ImageSizeMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "image size mismatch: {} vs {} pixels", self.a, self.b)
+    }
+}
+
+impl std::error::Error for ImageSizeMismatch {}
+
 /// Fraction of pixels differing by more than `tolerance` in any channel.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the images have different sizes.
-pub fn pixel_diff_fraction(a: &[u32], b: &[u32], tolerance: u8) -> f64 {
-    assert_eq!(a.len(), b.len(), "image size mismatch");
+/// Returns [`ImageSizeMismatch`] if the images have different sizes.
+pub fn pixel_diff_fraction(a: &[u32], b: &[u32], tolerance: u8) -> Result<f64, ImageSizeMismatch> {
+    if a.len() != b.len() {
+        return Err(ImageSizeMismatch {
+            a: a.len(),
+            b: b.len(),
+        });
+    }
     if a.is_empty() {
-        return 0.0;
+        return Ok(0.0);
     }
     let differing = a
         .iter()
@@ -51,7 +74,7 @@ pub fn pixel_diff_fraction(a: &[u32], b: &[u32], tolerance: u8) -> f64 {
             ca.iter().zip(&cb).any(|(&x, &y)| x.abs_diff(y) > tolerance)
         })
         .count();
-    differing as f64 / a.len() as f64
+    Ok(differing as f64 / a.len() as f64)
 }
 
 /// Writes an image as a binary PPM (P6) byte vector — handy for dumping
@@ -88,7 +111,7 @@ mod tests {
     #[test]
     fn identical_images_have_zero_diff() {
         let img = vec![pack_rgba8(0.1, 0.2, 0.3); 100];
-        assert_eq!(pixel_diff_fraction(&img, &img, 0), 0.0);
+        assert_eq!(pixel_diff_fraction(&img, &img, 0), Ok(0.0));
     }
 
     #[test]
@@ -98,22 +121,23 @@ mod tests {
         for px in b.iter_mut().take(3) {
             *px = pack_rgba8(1.0, 1.0, 1.0);
         }
-        assert!((pixel_diff_fraction(&a, &b, 0) - 0.03).abs() < 1e-9);
+        assert!((pixel_diff_fraction(&a, &b, 0).unwrap() - 0.03).abs() < 1e-9);
     }
 
     #[test]
     fn tolerance_forgives_small_differences() {
         let a = vec![pack_rgba8(0.500, 0.5, 0.5); 10];
         let b = vec![pack_rgba8(0.503, 0.5, 0.5); 10];
-        assert_eq!(pixel_diff_fraction(&a, &b, 2), 0.0);
+        assert_eq!(pixel_diff_fraction(&a, &b, 2), Ok(0.0));
         let c = vec![pack_rgba8(0.6, 0.5, 0.5); 10];
-        assert_eq!(pixel_diff_fraction(&a, &c, 2), 1.0);
+        assert_eq!(pixel_diff_fraction(&a, &c, 2), Ok(1.0));
     }
 
     #[test]
-    #[should_panic(expected = "size mismatch")]
-    fn size_mismatch_panics() {
-        let _ = pixel_diff_fraction(&[0], &[0, 0], 0);
+    fn size_mismatch_is_an_error_not_a_panic() {
+        let err = pixel_diff_fraction(&[0], &[0, 0], 0).unwrap_err();
+        assert_eq!(err, ImageSizeMismatch { a: 1, b: 2 });
+        assert!(err.to_string().contains("1 vs 2"));
     }
 
     #[test]

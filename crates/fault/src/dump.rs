@@ -1,0 +1,78 @@
+//! Post-mortem snapshot files.
+//!
+//! A dump is a flat `name -> u64` JSON object — the same format as the
+//! golden-counter snapshots — holding per-warp PCs and statuses, MSHR and
+//! in-flight queue depths, RT-unit occupancy and the fault classification.
+//! Using the golden format means `vksim_testkit::json::parse_flat_u64_object`
+//! reads a dump back without any extra tooling.
+//!
+//! Dumps land in `$VKSIM_DUMP_DIR` when set, else `<tmp>/vksim-dumps`.
+//! Filenames embed the process id and a per-process sequence number so
+//! parallel test runs never collide.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vksim_testkit::json::write_flat_u64_object;
+
+/// Environment variable overriding the dump directory.
+pub const DUMP_DIR_ENV: &str = "VKSIM_DUMP_DIR";
+
+static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The directory dumps are written to (created on demand by [`write_dump`]).
+pub fn dump_dir() -> PathBuf {
+    match std::env::var_os(DUMP_DIR_ENV) {
+        Some(d) if !d.is_empty() => PathBuf::from(d),
+        _ => std::env::temp_dir().join("vksim-dumps"),
+    }
+}
+
+/// Writes `snapshot` as a flat-JSON post-mortem file and returns its path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; callers on a failure path typically treat
+/// an unwritable dump as "no dump" rather than masking the original fault.
+pub fn write_dump(snapshot: &BTreeMap<String, u64>) -> io::Result<PathBuf> {
+    let dir = dump_dir();
+    std::fs::create_dir_all(&dir)?;
+    let seq = DUMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let path = dir.join(format!(
+        "vksim-postmortem-{}-{}.json",
+        std::process::id(),
+        seq
+    ));
+    std::fs::write(&path, write_flat_u64_object(snapshot))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vksim_testkit::json::parse_flat_u64_object;
+
+    #[test]
+    fn dump_roundtrips_through_flat_json() {
+        let mut snap = BTreeMap::new();
+        snap.insert("cycle".to_string(), 123u64);
+        snap.insert("sm0.warp0.pc".to_string(), 7u64);
+        let path = write_dump(&snap).expect("dump written");
+        let text = std::fs::read_to_string(&path).expect("dump readable");
+        let parsed = parse_flat_u64_object(&text).expect("dump parses");
+        assert_eq!(parsed, snap);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn sequential_dumps_get_distinct_paths() {
+        let snap = BTreeMap::from([("x".to_string(), 1u64)]);
+        let a = write_dump(&snap).unwrap();
+        let b = write_dump(&snap).unwrap();
+        assert_ne!(a, b);
+        let _ = std::fs::remove_file(a);
+        let _ = std::fs::remove_file(b);
+    }
+}

@@ -1,5 +1,6 @@
 //! GPU configuration (paper Table III).
 
+use vksim_fault::FaultPlan;
 use vksim_mem::{CacheConfig, SystemConfig};
 use vksim_rtunit::RtUnitConfig;
 
@@ -45,6 +46,15 @@ pub struct GpuConfig {
     /// engine's determinism contract, see DESIGN.md). Overridable at run
     /// time with `VKSIM_THREADS`.
     pub threads: usize,
+    /// Forward-progress watchdog window in cycles: if no instruction
+    /// issues, no warp retires and no memory completion arrives for this
+    /// many consecutive cycles, the run fails with a classified hang
+    /// instead of spinning to `max_cycles`. `0` disables the watchdog.
+    /// Overridable at run time with `VKSIM_WATCHDOG`.
+    pub watchdog_cycles: u64,
+    /// Deterministic fault-injection switches (tests and fault drills);
+    /// the default plan injects nothing.
+    pub fault_plan: FaultPlan,
 }
 
 impl GpuConfig {
@@ -66,6 +76,8 @@ impl GpuConfig {
             core_clock_mhz: 1365,
             max_cycles: 2_000_000_000,
             threads: 1,
+            watchdog_cycles: 0,
+            fault_plan: FaultPlan::default(),
         }
     }
 
@@ -94,6 +106,19 @@ impl GpuConfig {
             Err(_) => self.threads,
         }
         .max(1)
+    }
+
+    /// Watchdog window to use, honouring the `VKSIM_WATCHDOG` environment
+    /// override (ignored when unset, empty, or not an integer; `0`
+    /// disables the watchdog either way).
+    pub fn effective_watchdog(&self) -> u64 {
+        match std::env::var("VKSIM_WATCHDOG") {
+            Ok(v) => match v.trim().parse::<u64>() {
+                Ok(n) => n,
+                Err(_) => self.watchdog_cycles,
+            },
+            Err(_) => self.watchdog_cycles,
+        }
     }
 
     /// Resident warps per SM given a program's register demand.
@@ -134,6 +159,13 @@ mod tests {
     fn threads_default_to_serial_reference_path() {
         assert_eq!(GpuConfig::baseline().threads, 1);
         assert_eq!(GpuConfig::mobile().threads, 1);
+    }
+
+    #[test]
+    fn watchdog_disabled_and_plan_empty_by_default() {
+        let c = GpuConfig::baseline();
+        assert_eq!(c.watchdog_cycles, 0);
+        assert!(c.fault_plan.is_empty());
     }
 
     #[test]

@@ -11,9 +11,12 @@
 use crate::config::GpuConfig;
 use crate::sm::{GpuHooks, Sm};
 use crate::{Mask, WARP_SIZE};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, RwLock};
+use vksim_fault::{panic_detail, HangClass, SimError};
 use vksim_isa::{OverlayMem, Program, SimMemory, WriteOverlay};
 use vksim_mem::{RequestQueue, SharedMemSystem};
 use vksim_parallel::{chunk_range, DoneGuard, RoundBarrier, ShutdownGuard};
@@ -82,6 +85,43 @@ pub struct GpuStats {
     pub rt_chunks_fetched: u64,
 }
 
+/// A failed GPU run: the classified error, the statistics accumulated up
+/// to the faulting cycle, and the post-mortem dump path (when the dump
+/// could be written).
+#[derive(Debug)]
+pub struct GpuFault {
+    /// What went wrong.
+    pub error: SimError,
+    /// Partial statistics, valid up to the faulting cycle.
+    pub stats: GpuStats,
+    /// Flat post-mortem snapshot written via [`vksim_fault::write_dump`].
+    pub dump: Option<PathBuf>,
+}
+
+impl std::fmt::Display for GpuFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.error)?;
+        if let Some(d) = &self.dump {
+            write!(f, " (post-mortem dump: {})", d.display())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for GpuFault {}
+
+/// Watchdog hang classification: schedulable-but-idle beats
+/// blocked-on-busy-memory beats blocked-on-idle-memory.
+fn classify_hang(any_issuable: bool, mem_idle: bool) -> HangClass {
+    if any_issuable {
+        HangClass::SimtLivelock
+    } else if !mem_idle {
+        HangClass::AllWarpsBlockedOnMemory
+    } else {
+        HangClass::ScoreboardWedge
+    }
+}
+
 /// The execution-driven GPU simulator.
 ///
 /// Owns the SM array, the shared L2/DRAM backend and the functional memory
@@ -96,6 +136,7 @@ pub struct GpuSim {
     pending: VecDeque<WarpSeed>,
     cycle: u64,
     dropped_completions: u64,
+    faults: u64,
 }
 
 /// Per-SM hook selection for the serial engine: one shared hook object
@@ -129,6 +170,10 @@ struct Lane<'h, H> {
     /// Backend completions routed to this SM, delivered at its next tick.
     inbox: Vec<(u64, u64)>,
     retired: bool,
+    progress: bool,
+    /// Tick fault (or contained panic), harvested by the coordinator in
+    /// phase B.
+    fault: Option<SimError>,
     empty: bool,
 }
 
@@ -162,7 +207,10 @@ impl GpuSim {
     /// Builds an idle GPU.
     pub fn new(config: GpuConfig) -> Self {
         let sms = (0..config.num_sms).map(|i| Sm::new(i, &config)).collect();
-        let shared = SharedMemSystem::new(config.mem.clone());
+        let mut shared = SharedMemSystem::new(config.mem.clone());
+        if let Some(n) = config.fault_plan.drop_nth_completion {
+            shared.inject_drop_nth_completion(n);
+        }
         GpuSim {
             config,
             sms,
@@ -172,6 +220,7 @@ impl GpuSim {
             pending: VecDeque::new(),
             cycle: 0,
             dropped_completions: 0,
+            faults: 0,
         }
     }
 
@@ -232,11 +281,17 @@ impl GpuSim {
     /// (always single-threaded; see [`GpuSim::run_sharded`] for the
     /// parallel engine).
     ///
+    /// # Errors
+    ///
+    /// Returns a [`GpuFault`] — classified [`SimError`], partial
+    /// statistics and the post-mortem dump path — when a lane faults, the
+    /// cycle cap is exceeded, a tick panics, or the forward-progress
+    /// watchdog declares a hang.
+    ///
     /// # Panics
     ///
-    /// Panics if no kernel was launched or the cycle bound is exceeded
-    /// (runaway simulation).
-    pub fn run(&mut self, hooks: &mut dyn GpuHooks) -> GpuStats {
+    /// Panics if no kernel was launched.
+    pub fn run(&mut self, hooks: &mut dyn GpuHooks) -> Result<GpuStats, Box<GpuFault>> {
         self.run_serial(&mut SingleHooks(hooks))
     }
 
@@ -245,11 +300,19 @@ impl GpuSim {
     /// bit-identical counters at any thread count; with one thread it is
     /// exactly the serial engine.
     ///
+    /// # Errors
+    ///
+    /// As [`GpuSim::run`]: every failure mode — including a worker panic
+    /// in the parallel engine — surfaces as a classified [`GpuFault`]
+    /// rather than a poisoned barrier or a raw panic.
+    ///
     /// # Panics
     ///
-    /// Panics if `shards.len() != num_sms`, no kernel was launched, or the
-    /// cycle bound is exceeded.
-    pub fn run_sharded<H: GpuHooks + Send>(&mut self, shards: &mut [H]) -> GpuStats {
+    /// Panics if `shards.len() != num_sms` or no kernel was launched.
+    pub fn run_sharded<H: GpuHooks + Send>(
+        &mut self,
+        shards: &mut [H],
+    ) -> Result<GpuStats, Box<GpuFault>> {
         assert_eq!(
             shards.len(),
             self.sms.len(),
@@ -264,21 +327,28 @@ impl GpuSim {
     }
 
     /// Reference two-phase engine, single-threaded.
-    fn run_serial(&mut self, hooks: &mut dyn HookSet) -> GpuStats {
+    fn run_serial(&mut self, hooks: &mut dyn HookSet) -> Result<GpuStats, Box<GpuFault>> {
         let program = self.program.clone().expect("launch() before run()");
         self.refill_sms();
         let num = self.sms.len();
+        let watchdog = self.config.effective_watchdog();
+        let plan = self.config.fault_plan;
         let mut queues: Vec<RequestQueue> = (0..num).map(|_| RequestQueue::new()).collect();
         let mut overlays: Vec<WriteOverlay> = (0..num).map(|_| WriteOverlay::new()).collect();
-        while self.sms.iter().any(|s| !s.is_empty()) || !self.pending.is_empty() {
+        let mut last_progress = self.cycle;
+        let mut fault: Option<SimError> = None;
+        'cycles: while self.sms.iter().any(|s| !s.is_empty()) || !self.pending.is_empty() {
             self.cycle += 1;
-            assert!(
-                self.cycle < self.config.max_cycles,
-                "simulation exceeded {} cycles",
-                self.config.max_cycles
-            );
+            if self.cycle >= self.config.max_cycles {
+                fault = Some(SimError::MaxCycles {
+                    limit: self.config.max_cycles,
+                });
+                break;
+            }
             // Backend completions routed to their SM.
-            for (id, at) in self.shared.advance_to(self.cycle) {
+            let completions = self.shared.advance_to(self.cycle);
+            let mut progress = !completions.is_empty();
+            for (id, at) in completions {
                 let sm = (id >> 48) as usize;
                 debug_assert!(
                     sm < num,
@@ -289,17 +359,40 @@ impl GpuSim {
                     None => self.dropped_completions += 1,
                 }
             }
-            // Phase A: tick SMs against SM-local state only.
+            // Phase A: tick SMs against SM-local state only. Each tick is
+            // panic-contained so a deep failure becomes a classified
+            // fault, not a torn-down process.
             let mut retired = false;
             for (i, sm) in self.sms.iter_mut().enumerate() {
                 let mut view = OverlayMem::new(&self.mem, &mut overlays[i]);
-                retired |= sm.tick(
-                    self.cycle,
-                    &program,
-                    &mut view,
-                    &mut queues[i],
-                    hooks.get(i),
-                );
+                let queue = &mut queues[i];
+                let hk = hooks.get(i);
+                let cycle = self.cycle;
+                let ticked = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(spec) = plan.worker_panic {
+                        if spec.sm == i && cycle >= spec.cycle {
+                            panic!("injected worker panic (fault plan)");
+                        }
+                    }
+                    sm.tick(cycle, &program, &mut view, queue, hk)
+                }));
+                match ticked {
+                    Ok(Ok(t)) => {
+                        retired |= t.retired;
+                        progress |= t.progress;
+                    }
+                    Ok(Err(e)) => {
+                        fault = Some(*e);
+                        break 'cycles;
+                    }
+                    Err(p) => {
+                        fault = Some(SimError::WorkerPanicked {
+                            sm: i,
+                            detail: panic_detail(&*p),
+                        });
+                        break 'cycles;
+                    }
+                }
             }
             // Phase B: drain request queues and write overlays in SM-id
             // order.
@@ -310,8 +403,22 @@ impl GpuSim {
             if retired {
                 self.refill_sms();
             }
+            if progress {
+                last_progress = self.cycle;
+            } else if watchdog > 0 && self.cycle - last_progress >= watchdog {
+                let issuable = self.sms.iter().any(|s| s.has_issuable_ctx(self.cycle));
+                fault = Some(SimError::Hang {
+                    class: classify_hang(issuable, self.shared.is_idle()),
+                    window: watchdog,
+                    cycle: self.cycle,
+                });
+                break;
+            }
         }
-        self.collect_stats()
+        match fault {
+            Some(e) => Err(self.fail(e)),
+            None => Ok(self.collect_stats()),
+        }
     }
 
     /// Two-phase engine with `threads` phase-A workers on scoped threads.
@@ -319,12 +426,20 @@ impl GpuSim {
     /// Workers own disjoint contiguous lane ranges; the functional memory
     /// image is read-shared during a round (writes land in per-lane
     /// overlays) and exclusively held by the coordinator between rounds.
-    fn run_parallel<H: GpuHooks + Send>(&mut self, shards: &mut [H], threads: usize) -> GpuStats {
+    fn run_parallel<H: GpuHooks + Send>(
+        &mut self,
+        shards: &mut [H],
+        threads: usize,
+    ) -> Result<GpuStats, Box<GpuFault>> {
         let program = self.program.clone().expect("launch() before run()");
         self.refill_sms();
         let limit = self.config.occupancy_limit(program.num_regs() as u32);
         let max_cycles = self.config.max_cycles;
+        let watchdog = self.config.effective_watchdog();
+        let plan = self.config.fault_plan;
         let mut cycle = self.cycle;
+        let mut last_progress = cycle;
+        let mut fault: Option<SimError> = None;
 
         let mem = RwLock::new(std::mem::take(&mut self.mem));
         let lanes: Vec<Mutex<Lane<'_, H>>> = std::mem::take(&mut self.sms)
@@ -339,6 +454,8 @@ impl GpuSim {
                     overlay: WriteOverlay::new(),
                     inbox: Vec::new(),
                     retired: false,
+                    progress: false,
+                    fault: None,
                     empty,
                 })
             })
@@ -366,13 +483,40 @@ impl GpuSim {
                                 lane.sm.on_mem_complete(id, at);
                             }
                             let mut view = OverlayMem::new(&base, &mut lane.overlay);
-                            lane.retired = lane.sm.tick(
-                                now,
-                                program,
-                                &mut view,
-                                &mut lane.queue,
-                                &mut *lane.hooks,
-                            );
+                            // Contain panics per lane: a dying tick must
+                            // not poison the round barrier and hang the
+                            // coordinator; it becomes a classified fault
+                            // harvested in phase B.
+                            let sm = &mut lane.sm;
+                            let queue = &mut lane.queue;
+                            let hooks = &mut lane.hooks;
+                            let ticked = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                if let Some(spec) = plan.worker_panic {
+                                    if spec.sm == i && now >= spec.cycle {
+                                        panic!("injected worker panic (fault plan)");
+                                    }
+                                }
+                                sm.tick(now, program, &mut view, queue, &mut **hooks)
+                            }));
+                            match ticked {
+                                Ok(Ok(t)) => {
+                                    lane.retired = t.retired;
+                                    lane.progress = t.progress;
+                                }
+                                Ok(Err(e)) => {
+                                    lane.retired = false;
+                                    lane.progress = false;
+                                    lane.fault = Some(*e);
+                                }
+                                Err(p) => {
+                                    lane.retired = false;
+                                    lane.progress = false;
+                                    lane.fault = Some(SimError::WorkerPanicked {
+                                        sm: i,
+                                        detail: panic_detail(&*p),
+                                    });
+                                }
+                            }
                             lane.empty = lane.sm.is_empty();
                         }
                     }
@@ -386,14 +530,16 @@ impl GpuSim {
                     break;
                 }
                 cycle += 1;
-                assert!(
-                    cycle < max_cycles,
-                    "simulation exceeded {max_cycles} cycles"
-                );
+                if cycle >= max_cycles {
+                    fault = Some(SimError::MaxCycles { limit: max_cycles });
+                    break;
+                }
                 // Backend completions routed to lane inboxes; each SM
                 // delivers its own inbox at the start of its tick, exactly
                 // as the serial engine routes before ticking.
-                for (id, at) in self.shared.advance_to(cycle) {
+                let completions = self.shared.advance_to(cycle);
+                let mut progress = !completions.is_empty();
+                for (id, at) in completions {
                     let sm = (id >> 48) as usize;
                     debug_assert!(
                         sm < lanes.len(),
@@ -407,7 +553,10 @@ impl GpuSim {
                 // Phase A (parallel).
                 now_cycle.store(cycle, Ordering::Release);
                 barrier.begin_round();
-                barrier.wait_workers();
+                // Defense in depth: panics are contained per lane above,
+                // but if a worker still dies outside that net the barrier
+                // reports poison instead of spinning forever.
+                let poisoned = barrier.try_wait_workers().is_err();
                 // Phase B (serial, SM-id order).
                 let mut base = mem.write().expect("functional memory lock");
                 let mut retired = false;
@@ -416,10 +565,36 @@ impl GpuSim {
                     lane.queue.drain_into(&mut self.shared);
                     lane.overlay.apply_to(&mut base);
                     retired |= lane.retired;
+                    progress |= lane.progress;
+                    if fault.is_none() {
+                        fault = lane.fault.take();
+                    }
                 }
                 drop(base);
+                if fault.is_none() && poisoned {
+                    fault = Some(SimError::WorkerPanicked {
+                        sm: 0,
+                        detail: "a phase-A worker poisoned the round barrier".into(),
+                    });
+                }
+                if fault.is_some() {
+                    break;
+                }
                 if retired {
                     refill_lanes(&lanes, &mut self.pending, limit, &program);
+                }
+                if progress {
+                    last_progress = cycle;
+                } else if watchdog > 0 && cycle - last_progress >= watchdog {
+                    let issuable = lanes
+                        .iter()
+                        .any(|l| l.lock().expect("lane lock").sm.has_issuable_ctx(cycle));
+                    fault = Some(SimError::Hang {
+                        class: classify_hang(issuable, self.shared.is_idle()),
+                        window: watchdog,
+                        cycle,
+                    });
+                    break;
                 }
             }
         });
@@ -430,12 +605,39 @@ impl GpuSim {
             .collect();
         self.mem = mem.into_inner().expect("functional memory lock");
         self.cycle = cycle;
-        self.collect_stats()
+        match fault {
+            Some(e) => Err(self.fail(e)),
+            None => Ok(self.collect_stats()),
+        }
     }
 
     /// Current cycle count.
     pub fn cycles(&self) -> u64 {
         self.cycle
+    }
+
+    /// Wraps a classified error with partial statistics and a post-mortem
+    /// dump into the [`GpuFault`] returned by the run paths.
+    fn fail(&mut self, error: SimError) -> Box<GpuFault> {
+        self.faults += 1;
+        let stats = self.collect_stats();
+        let dump = self.write_post_mortem(&error);
+        Box::new(GpuFault { error, stats, dump })
+    }
+
+    /// Serializes the engine state at the fault: cycle, pending warps,
+    /// per-SM scheduler/queue state and the fault class, as a flat
+    /// `name -> u64` JSON dump.
+    fn write_post_mortem(&self, error: &SimError) -> Option<PathBuf> {
+        let mut snap: BTreeMap<String, u64> = BTreeMap::new();
+        snap.insert("fault.kind".into(), error.kind_code());
+        snap.insert("cycle".into(), self.cycle);
+        snap.insert("pending_warps".into(), self.pending.len() as u64);
+        snap.insert("mem.idle".into(), u64::from(self.shared.is_idle()));
+        for sm in &self.sms {
+            sm.post_mortem(&mut snap);
+        }
+        vksim_fault::write_dump(&snap).ok()
     }
 
     fn collect_stats(&self) -> GpuStats {
@@ -473,6 +675,9 @@ impl GpuSim {
             // on healthy runs.
             counters.add("gpu.dropped_completions", self.dropped_completions);
         }
+        // Same convention: healthy, watchdog-off runs carry neither key.
+        counters.add("gpu.watchdog_armed", self.config.effective_watchdog());
+        counters.add("gpu.faults", self.faults);
         GpuStats {
             cycles: self.cycle,
             issued_insts,
@@ -523,7 +728,9 @@ mod tests {
     }
 
     impl RtHooks for TestHooks {
-        fn traverse(&mut self, _tid: usize, _ray: RayDesc) {}
+        fn traverse(&mut self, _tid: usize, _ray: RayDesc) -> Result<(), vksim_isa::RtError> {
+            Ok(())
+        }
         fn end_trace(&mut self, _tid: usize) {}
         fn alloc_mem(&mut self, _tid: usize, _size: u32) -> u64 {
             0
@@ -546,7 +753,14 @@ mod tests {
         fn next_coalesced_call(&mut self, _tid: usize, _idx: u32) -> u32 {
             u32::MAX
         }
-        fn report_intersection(&mut self, _tid: usize, _idx: u32, _t: f32) {}
+        fn report_intersection(
+            &mut self,
+            _tid: usize,
+            _idx: u32,
+            _t: f32,
+        ) -> Result<(), vksim_isa::RtError> {
+            Ok(())
+        }
     }
 
     impl ScriptSource for TestHooks {
@@ -604,7 +818,7 @@ mod tests {
             width: 64,
             scripts_taken: 0,
         };
-        let stats = gpu.run(&mut hooks);
+        let stats = gpu.run(&mut hooks).expect("healthy run");
         for i in 0..64u64 {
             assert_eq!(gpu.mem.read_u32(0x10_0000 + i * 4), i as u32, "thread {i}");
         }
@@ -645,7 +859,7 @@ mod tests {
             width: 40,
             scripts_taken: 0,
         };
-        gpu.run(&mut hooks);
+        gpu.run(&mut hooks).expect("healthy run");
         assert_eq!(gpu.mem.read_u32(0x20_0000 + 39 * 4), 39);
         // Thread 40 does not exist: untouched memory.
         assert_eq!(gpu.mem.read_u32(0x20_0000 + 40 * 4), 0);
@@ -687,7 +901,7 @@ mod tests {
             width: 128,
             scripts_taken: 0,
         };
-        let stats = gpu.run(&mut hooks);
+        let stats = gpu.run(&mut hooks).expect("healthy run");
         assert_eq!(gpu.mem.read_u32(0x40_0000), 0xBEEF);
         assert_eq!(gpu.mem.read_u32(0x40_0000 + 127 * 4), 0xBEEF);
         let l1_misses = stats.l1_stats.get("shader_load.miss_compulsory");
@@ -733,7 +947,7 @@ mod tests {
             width: 256,
             scripts_taken: 0,
         };
-        let stats = gpu.run(&mut hooks);
+        let stats = gpu.run(&mut hooks).expect("healthy run");
         assert_eq!(hooks.scripts_taken, 256, "every lane's script consumed");
         assert_eq!(stats.counters.get("rt.trace_warps"), 8);
         assert_eq!(stats.counters.get("warps_completed"), 8);
@@ -789,7 +1003,7 @@ mod tests {
             width: 32,
             scripts_taken: 0,
         };
-        let stats = gpu.run(&mut hooks);
+        let stats = gpu.run(&mut hooks).expect("healthy run");
         assert_eq!(stats.counters.get("divergent_branches"), 1);
         assert!(
             stats.simt_efficiency < 0.8,
@@ -847,7 +1061,7 @@ mod tests {
             width: 32,
             scripts_taken: 0,
         };
-        gpu.run(&mut hooks);
+        gpu.run(&mut hooks).expect("healthy run");
         for i in 0..32u64 {
             assert_eq!(gpu.mem.read_u32(0x50_0000 + i * 4), 1, "lane {i}");
         }
@@ -899,10 +1113,118 @@ mod tests {
                 scripts_taken: 0,
             })
             .collect();
-        let stats = gpu.run_sharded(&mut shards);
+        let stats = gpu.run_sharded(&mut shards).expect("healthy run");
         let taken: usize = shards.iter().map(|h| h.scripts_taken).sum();
         assert_eq!(taken, 256, "every lane's script consumed");
         stats
+    }
+
+    #[test]
+    fn stalled_warp_trips_watchdog_as_simt_livelock() {
+        use vksim_fault::{FaultPlan, HangClass};
+        let mut gpu = GpuSim::new(GpuConfig {
+            num_sms: 1,
+            watchdog_cycles: 2_000,
+            fault_plan: FaultPlan {
+                stall_warp: Some(0),
+                ..FaultPlan::default()
+            },
+            ..small_config()
+        });
+        gpu.launch(
+            trace_program(),
+            LaunchDims {
+                width: 32,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut hooks = TestHooks {
+            width: 32,
+            scripts_taken: 0,
+        };
+        let fault = gpu.run(&mut hooks).expect_err("stalled warp must hang");
+        assert!(
+            matches!(
+                fault.error,
+                SimError::Hang {
+                    class: HangClass::SimtLivelock,
+                    window: 2_000,
+                    ..
+                }
+            ),
+            "{:?}",
+            fault.error
+        );
+        assert!(fault.dump.is_some(), "post-mortem dump must be written");
+        assert!(fault.stats.cycles > 0);
+        assert_eq!(fault.stats.counters.get("gpu.faults"), 1);
+        assert_eq!(fault.stats.counters.get("gpu.watchdog_armed"), 2_000);
+    }
+
+    #[test]
+    fn injected_worker_panic_is_contained() {
+        use vksim_fault::{FaultPlan, WorkerPanicSpec};
+        let mut gpu = GpuSim::new(GpuConfig {
+            fault_plan: FaultPlan {
+                worker_panic: Some(WorkerPanicSpec { sm: 1, cycle: 5 }),
+                ..FaultPlan::default()
+            },
+            ..small_config()
+        });
+        gpu.launch(
+            trace_program(),
+            LaunchDims {
+                width: 256,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut hooks = TestHooks {
+            width: 256,
+            scripts_taken: 0,
+        };
+        let fault = gpu.run(&mut hooks).expect_err("injected panic must fault");
+        match &fault.error {
+            SimError::WorkerPanicked { sm, detail } => {
+                assert_eq!(*sm, 1);
+                assert!(detail.contains("injected worker panic"), "{detail}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+        assert!(fault.dump.is_some());
+    }
+
+    #[test]
+    fn max_cycles_is_a_classified_error_not_a_panic() {
+        use vksim_fault::FaultPlan;
+        let mut gpu = GpuSim::new(GpuConfig {
+            num_sms: 1,
+            max_cycles: 1_000,
+            fault_plan: FaultPlan {
+                stall_warp: Some(0),
+                ..FaultPlan::default()
+            },
+            ..small_config()
+        });
+        gpu.launch(
+            trace_program(),
+            LaunchDims {
+                width: 32,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut hooks = TestHooks {
+            width: 32,
+            scripts_taken: 0,
+        };
+        let fault = gpu.run(&mut hooks).expect_err("cycle cap must fault");
+        assert!(
+            matches!(fault.error, SimError::MaxCycles { limit: 1_000 }),
+            "{:?}",
+            fault.error
+        );
     }
 
     #[test]
@@ -936,7 +1258,7 @@ mod tests {
             width: 256,
             scripts_taken: 0,
         };
-        let single = gpu.run(&mut hooks);
+        let single = gpu.run(&mut hooks).expect("healthy run");
         let sharded = run_trace_with_threads(1);
         assert_eq!(single.cycles, sharded.cycles);
         assert_eq!(single.counters, sharded.counters);

@@ -26,8 +26,10 @@ pub mod simt;
 pub mod sm;
 
 pub use config::{DivergenceMode, GpuConfig};
-pub use gpu::{GpuSim, GpuStats, LaunchDims};
+pub use gpu::{GpuFault, GpuSim, GpuStats, LaunchDims};
 pub use simt::{CtxOutcome, Mask, SimtEngine, FULL_MASK};
+pub use sm::TickReport;
+pub use vksim_fault::{FaultPlan, HangClass, SimError, WorkerPanicSpec};
 
 /// Supplies the per-thread traversal scripts recorded by the functional
 /// model when `traverseAS` executed (the paper's transactions buffer,

@@ -10,7 +10,8 @@
 use crate::config::{DivergenceMode, GpuConfig};
 use crate::simt::{CtxOutcome, Mask, SimtEngine};
 use crate::{ScriptSource, WARP_SIZE};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use vksim_fault::SimError;
 use vksim_isa::interp::{exec_at, Effect, RtHooks, ThreadState};
 use vksim_isa::op::MemSpace;
 use vksim_isa::{MemIo, Program};
@@ -108,6 +109,17 @@ enum CacheSel {
     Rtc,
 }
 
+/// What one [`Sm::tick`] accomplished; consumed by the warp-refill logic
+/// and the forward-progress watchdog.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TickReport {
+    /// A warp retired this cycle.
+    pub retired: bool,
+    /// The SM made forward progress: an instruction issued, a warp
+    /// retired, or the RT unit finished a warp.
+    pub progress: bool,
+}
+
 /// The per-SM state.
 pub struct Sm {
     /// SM index within the GPU.
@@ -122,6 +134,8 @@ pub struct Sm {
     next_rt_job: u32,
     rt_job_map: HashMap<u32, (u32, u32)>, // job id -> (warp id, ctx id)
     last_warp: Option<u32>,
+    /// Fault injection: never schedule this warp id (crafts a livelock).
+    stall_warp: Option<u32>,
     perfect_bvh: bool,
     sfu_latency: u32,
     divergence: DivergenceMode,
@@ -150,6 +164,7 @@ impl Sm {
             next_rt_job: 0,
             rt_job_map: HashMap::new(),
             last_warp: None,
+            stall_warp: config.fault_plan.stall_warp,
             perfect_bvh: config.perfect_bvh,
             sfu_latency: config.sfu_latency,
             divergence: config.divergence,
@@ -230,7 +245,14 @@ impl Sm {
         }
     }
 
-    /// One core cycle. Returns `true` if a warp retired this cycle.
+    /// One core cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Exec`] when a lane faults during issue (pc out
+    /// of program range, RT instruction without a runtime, corrupt
+    /// acceleration structure). The SM is left as of the faulting cycle so
+    /// a post-mortem snapshot reflects the failure state.
     pub fn tick(
         &mut self,
         now: u64,
@@ -238,16 +260,18 @@ impl Sm {
         mem: &mut dyn MemIo,
         sink: &mut dyn MemSink,
         hooks: &mut dyn GpuHooks,
-    ) -> bool {
+    ) -> Result<TickReport, Box<SimError>> {
         // 1. RT unit cycle.
-        self.tick_rt_unit(now, sink);
+        let rt_finished = self.tick_rt_unit(now, sink);
 
         // 2. Retry stalled RT enqueues and memory-chunk retries.
         self.retry_stalled(now, sink);
 
         // 3. Issue one instruction from one warp context (GTO).
+        let mut issued = false;
         if let Some((warp_idx, ctx_id)) = self.pick(now) {
-            self.issue(warp_idx, ctx_id, now, program, mem, sink, hooks);
+            self.issue(warp_idx, ctx_id, now, program, mem, sink, hooks)?;
+            issued = true;
         }
 
         if self.rt_unit.resident_warps() > 0 {
@@ -257,10 +281,14 @@ impl Sm {
         // 4. Retire finished warps.
         let before = self.warps.len();
         self.warps.retain(|w| !w.done());
-        before != self.warps.len()
+        let retired = before != self.warps.len();
+        Ok(TickReport {
+            retired,
+            progress: issued || retired || rt_finished,
+        })
     }
 
-    fn tick_rt_unit(&mut self, now: u64, sink: &mut dyn MemSink) {
+    fn tick_rt_unit(&mut self, now: u64, sink: &mut dyn MemSink) -> bool {
         let mut port = SmRtPort {
             l1: &mut self.l1,
             rtc: self.rtc.as_mut(),
@@ -272,6 +300,7 @@ impl Sm {
             perfect_bvh: self.perfect_bvh,
         };
         let done = self.rt_unit.tick(now, &mut port);
+        let finished = !done.is_empty();
         for d in done {
             if let Some((warp, ctx)) = self.rt_job_map.remove(&d.warp_id) {
                 if let Some(w) = self.warps.iter_mut().find(|w| w.id == warp) {
@@ -279,6 +308,7 @@ impl Sm {
                 }
             }
         }
+        finished
     }
 
     fn retry_stalled(&mut self, now: u64, sink: &mut dyn MemSink) {
@@ -390,20 +420,85 @@ impl Sm {
         };
         // Greedy: stick to the last-issued warp.
         if let Some(last) = self.last_warp {
-            if let Some(idx) = self.warps.iter().position(|w| w.id == last) {
-                if let Some(ctx) = issuable_ctx(&self.warps[idx]) {
-                    return Some((idx, ctx));
+            if Some(last) != self.stall_warp {
+                if let Some(idx) = self.warps.iter().position(|w| w.id == last) {
+                    if let Some(ctx) = issuable_ctx(&self.warps[idx]) {
+                        return Some((idx, ctx));
+                    }
                 }
             }
         }
         // Then oldest (resident order is launch order).
         for (idx, w) in self.warps.iter().enumerate() {
+            if Some(w.id) == self.stall_warp {
+                continue;
+            }
             if let Some(ctx) = issuable_ctx(w) {
                 self.last_warp = Some(w.id);
                 return Some((idx, ctx));
             }
         }
         None
+    }
+
+    /// `true` when some SIMT context could issue at `now`. Used by the
+    /// watchdog to tell a scheduler livelock (schedulable work exists but
+    /// nothing issues) from blocked-on-memory states.
+    pub fn has_issuable_ctx(&self, now: u64) -> bool {
+        self.warps.iter().any(|w| {
+            w.engine.contexts().iter().any(|c| {
+                let st = w.ctx_state.get(&c.id);
+                match st.map(|s| &s.status) {
+                    None | Some(CtxStatus::Ready) => true,
+                    Some(CtxStatus::OpUntil(t)) => *t <= now,
+                    _ => false,
+                }
+            })
+        })
+    }
+
+    /// Records this SM's scheduler and memory state into a flat post-mortem
+    /// snapshot: per-context pc/mask/status, MSHR and in-flight queue
+    /// depths, and RT-unit occupancy.
+    pub fn post_mortem(&self, snap: &mut BTreeMap<String, u64>) {
+        let p = format!("sm{}", self.id);
+        snap.insert(format!("{p}.resident_warps"), self.warps.len() as u64);
+        snap.insert(format!("{p}.inflight_mem"), self.inflight.len() as u64);
+        snap.insert(
+            format!("{p}.waiting_lines"),
+            self.waiting_lines.len() as u64,
+        );
+        snap.insert(
+            format!("{p}.rt.resident_warps"),
+            self.rt_unit.resident_warps() as u64,
+        );
+        snap.insert(
+            format!("{p}.rt.active_rays"),
+            self.rt_unit.active_rays() as u64,
+        );
+        snap.insert(
+            format!("{p}.rt.queued_mem"),
+            self.rt_unit.queued_mem_requests() as u64,
+        );
+        snap.insert(
+            format!("{p}.rt.inflight_mem"),
+            self.rt_unit.inflight_mem_requests() as u64,
+        );
+        for w in &self.warps {
+            for c in w.engine.contexts() {
+                let cp = format!("{p}.warp{}.ctx{}", w.id, c.id);
+                snap.insert(format!("{cp}.pc"), c.pc as u64);
+                snap.insert(format!("{cp}.mask"), c.mask as u64);
+                let code = match w.ctx_state.get(&c.id).map(|s| &s.status) {
+                    None | Some(CtxStatus::Ready) => 0,
+                    Some(CtxStatus::OpUntil(_)) => 1,
+                    Some(CtxStatus::WaitMem { .. }) => 2,
+                    Some(CtxStatus::RtPending) => 3,
+                    Some(CtxStatus::InRt) => 4,
+                };
+                snap.insert(format!("{cp}.status"), code);
+            }
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -416,13 +511,22 @@ impl Sm {
         mem: &mut dyn MemIo,
         sink: &mut dyn MemSink,
         hooks: &mut dyn GpuHooks,
-    ) {
+    ) -> Result<(), Box<SimError>> {
         let warp = &mut self.warps[warp_idx];
         let Some(ctx) = warp.engine.contexts().into_iter().find(|c| c.id == ctx_id) else {
-            return;
+            return Ok(());
         };
         let pc = ctx.pc;
         let mask = ctx.mask;
+        if pc as usize >= program.len() {
+            return Err(Box::new(SimError::Exec {
+                sm: self.id,
+                warp: warp.id,
+                lane: 0,
+                pc,
+                detail: format!("pc {pc} outside program of {} instructions", program.len()),
+            }));
+        }
         let instr = *program.fetch(pc);
         self.stats.inc(&format!("inst.{:?}", instr.class()));
         self.issued_insts += 1;
@@ -435,12 +539,19 @@ impl Sm {
                 continue;
             }
             let t = &mut warp.threads[lane];
-            let eff = exec_at(program, pc, t, mem, hooks)
-                .unwrap_or_else(|e| panic!("SM{} warp {} lane {lane}: {e}", self.id, warp.id));
+            let eff = exec_at(program, pc, t, mem, hooks).map_err(|e| {
+                Box::new(SimError::Exec {
+                    sm: self.id,
+                    warp: warp.id,
+                    lane,
+                    pc,
+                    detail: e.to_string(),
+                })
+            })?;
             lane_effects.push((lane, eff));
         }
         let Some(&(_, first)) = lane_effects.first() else {
-            return;
+            return Ok(());
         };
 
         let warp_id = warp.id;
@@ -523,7 +634,7 @@ impl Sm {
                         .entry(ctx_id)
                         .or_default()
                         .status = CtxStatus::Ready;
-                    return;
+                    return Ok(());
                 }
                 let mut outstanding = 0u32;
                 let mut retries: Vec<u64> = Vec::new();
@@ -607,6 +718,7 @@ impl Sm {
                 }
             }
         }
+        Ok(())
     }
 }
 

@@ -31,14 +31,34 @@ pub struct RayDesc {
     pub flags: u32,
 }
 
+/// Error raised by an [`RtHooks`] implementation (no runtime bound, corrupt
+/// acceleration structure...). Surfaced as [`ExecError::Rt`] by [`exec_at`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RtError(pub String);
+
+impl std::fmt::Display for RtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for RtError {}
+
 /// Runtime services backing the custom RT instructions.
 ///
 /// All value-returning queries use raw `u32` bits; floating-point results
-/// are returned via `f32::to_bits`.
+/// are returned via `f32::to_bits`. The two hooks that can encounter a
+/// missing runtime or a corrupt acceleration structure are fallible; their
+/// errors surface as [`ExecError::Rt`] instead of panicking mid-simulation.
 pub trait RtHooks {
     /// `traverseAS`: traverse the AS for `ray`, pushing a trace frame for
     /// thread `tid`.
-    fn traverse(&mut self, tid: usize, ray: RayDesc);
+    ///
+    /// # Errors
+    ///
+    /// Fails when no RT runtime is bound or traversal detects a corrupt
+    /// acceleration structure.
+    fn traverse(&mut self, tid: usize, ray: RayDesc) -> Result<(), RtError>;
     /// `endTraceRay`: pop the trace frame and clear the intersection table.
     fn end_trace(&mut self, tid: usize);
     /// `rt_alloc_mem`: allocate shader-shared memory, returning its address.
@@ -54,17 +74,23 @@ pub trait RtHooks {
     fn next_coalesced_call(&mut self, tid: usize, idx: u32) -> u32;
     /// `reportIntersectionEXT`: commit pending entry `idx` at parameter `t`
     /// if it beats the current closest hit.
-    fn report_intersection(&mut self, tid: usize, idx: u32, t: f32);
+    ///
+    /// # Errors
+    ///
+    /// Fails when no RT runtime is bound.
+    fn report_intersection(&mut self, tid: usize, idx: u32, t: f32) -> Result<(), RtError>;
 }
 
-/// An [`RtHooks`] that panics on traversal — for programs without RT
-/// instructions (unit tests, ALU microbenchmarks).
+/// An [`RtHooks`] that fails on traversal — for programs without RT
+/// instructions (unit tests, ALU microbenchmarks). Executing `traverseAS`
+/// or `reportIntersectionEXT` against it is a recoverable [`ExecError`],
+/// not a panic.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct NoRt;
 
 impl RtHooks for NoRt {
-    fn traverse(&mut self, _tid: usize, _ray: RayDesc) {
-        panic!("traverseAS executed without an RT runtime");
+    fn traverse(&mut self, _tid: usize, _ray: RayDesc) -> Result<(), RtError> {
+        Err(RtError("traverseAS executed without an RT runtime".into()))
     }
     fn end_trace(&mut self, _tid: usize) {}
     fn alloc_mem(&mut self, _tid: usize, _size: u32) -> u64 {
@@ -82,8 +108,10 @@ impl RtHooks for NoRt {
     fn next_coalesced_call(&mut self, _tid: usize, _idx: u32) -> u32 {
         u32::MAX
     }
-    fn report_intersection(&mut self, _tid: usize, _idx: u32, _t: f32) {
-        panic!("reportIntersection executed without an RT runtime");
+    fn report_intersection(&mut self, _tid: usize, _idx: u32, _t: f32) -> Result<(), RtError> {
+        Err(RtError(
+            "reportIntersection executed without an RT runtime".into(),
+        ))
     }
 }
 
@@ -197,6 +225,13 @@ pub enum ExecError {
     },
     /// Watchdog limit hit in [`run_to_exit`].
     StepLimit,
+    /// An RT instruction failed in its [`RtHooks`] backend.
+    Rt {
+        /// pc of the faulting RT instruction.
+        pc: u32,
+        /// The backend's explanation.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ExecError {
@@ -204,6 +239,7 @@ impl std::fmt::Display for ExecError {
         match self {
             ExecError::PcOutOfRange { pc } => write!(f, "pc {pc} out of range"),
             ExecError::StepLimit => write!(f, "step limit exceeded (runaway program)"),
+            ExecError::Rt { pc, detail } => write!(f, "rt fault at pc {pc}: {detail}"),
         }
     }
 }
@@ -252,7 +288,9 @@ fn cmp_s(cmp: CmpOp, a: i32, b: i32) -> bool {
 ///
 /// # Errors
 ///
-/// Returns [`ExecError::PcOutOfRange`] if `pc` is outside the program.
+/// Returns [`ExecError::PcOutOfRange`] if `pc` is outside the program and
+/// [`ExecError::Rt`] if an RT instruction fails in its [`RtHooks`] backend
+/// (no runtime bound, corrupt acceleration structure).
 pub fn exec_at(
     program: &Program,
     pc: u32,
@@ -467,7 +505,8 @@ pub fn exec_at(
                 t_max: t.f(tmax),
                 flags: t.u(flags),
             };
-            rt.traverse(t.tid, ray);
+            rt.traverse(t.tid, ray)
+                .map_err(|e| ExecError::Rt { pc, detail: e.0 })?;
             Effect::TraceRay
         }
         Instr::EndTraceRay => {
@@ -499,7 +538,8 @@ pub fn exec_at(
             Effect::RtOther
         }
         Instr::ReportIntersection { t: treg, idx } => {
-            rt.report_intersection(t.tid, t.u(idx), t.f(treg));
+            rt.report_intersection(t.tid, t.u(idx), t.f(treg))
+                .map_err(|e| ExecError::Rt { pc, detail: e.0 })?;
             Effect::RtOther
         }
         Instr::Exit => {
@@ -703,8 +743,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "without an RT runtime")]
-    fn traverse_without_runtime_panics() {
+    fn traverse_without_runtime_is_exec_error() {
         let mut b = ProgramBuilder::new();
         let rs = b.regs::<9>();
         b.emit(Instr::TraverseAs {
@@ -715,7 +754,30 @@ mod tests {
             flags: rs[8],
         });
         b.exit();
-        let _ = run(b);
+        let p = b.build();
+        let mut t = ThreadState::new(p.num_regs());
+        let mut m = SimMemory::new();
+        let err = run_to_exit(&p, &mut t, &mut m, &mut NoRt).unwrap_err();
+        match err {
+            ExecError::Rt { pc, ref detail } => {
+                assert_eq!(pc, 0);
+                assert!(detail.contains("without an RT runtime"), "{detail}");
+            }
+            other => panic!("expected Rt error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_intersection_without_runtime_is_exec_error() {
+        let mut b = ProgramBuilder::new();
+        let [treg, idx] = b.regs::<2>();
+        b.emit(Instr::ReportIntersection { t: treg, idx });
+        b.exit();
+        let p = b.build();
+        let mut t = ThreadState::new(p.num_regs());
+        let mut m = SimMemory::new();
+        let err = run_to_exit(&p, &mut t, &mut m, &mut NoRt).unwrap_err();
+        assert!(matches!(err, ExecError::Rt { pc: 0, .. }), "{err:?}");
     }
 
     /// Minimal mock RT runtime for exercising the RT instruction plumbing.
@@ -727,9 +789,10 @@ mod tests {
     }
 
     impl RtHooks for MockRt {
-        fn traverse(&mut self, _tid: usize, ray: RayDesc) {
+        fn traverse(&mut self, _tid: usize, ray: RayDesc) -> Result<(), RtError> {
             self.traversals.push(ray);
             self.pending = 2;
+            Ok(())
         }
         fn end_trace(&mut self, _tid: usize) {
             self.pending = 0;
@@ -754,8 +817,9 @@ mod tests {
         fn next_coalesced_call(&mut self, _tid: usize, _idx: u32) -> u32 {
             u32::MAX
         }
-        fn report_intersection(&mut self, _tid: usize, idx: u32, t: f32) {
+        fn report_intersection(&mut self, _tid: usize, idx: u32, t: f32) -> Result<(), RtError> {
             self.reported.push((idx, t));
+            Ok(())
         }
     }
 

@@ -50,7 +50,7 @@ pub mod op;
 pub mod program;
 pub mod text;
 
-pub use interp::{Effect, RtHooks, ThreadState};
+pub use interp::{Effect, ExecError, RtError, RtHooks, ThreadState};
 pub use memory::{MemIo, OverlayMem, SimMemory, WriteOverlay};
 pub use op::{CmpOp, InstClass, Instr, Pred, Reg, RtQuery};
 pub use program::{Program, ProgramBuilder};

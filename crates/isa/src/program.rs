@@ -54,6 +54,19 @@ impl Program {
     pub fn instrs(&self) -> &[Instr] {
         &self.instrs
     }
+
+    /// A copy keeping only the first `len` instructions (saturating).
+    ///
+    /// Fault-injection helper: models a truncated shader upload whose
+    /// control flow runs off the end of the program, which the engine must
+    /// report as a recoverable pc-out-of-range fault.
+    pub fn truncated(&self, len: usize) -> Program {
+        Program {
+            instrs: self.instrs[..len.min(self.instrs.len())].to_vec(),
+            num_regs: self.num_regs,
+            num_preds: self.num_preds,
+        }
+    }
 }
 
 /// Builder used by the shader translator.
@@ -344,6 +357,21 @@ mod tests {
         let l = b.new_label();
         b.bind_label(l);
         b.bind_label(l);
+    }
+
+    #[test]
+    fn truncated_keeps_prefix_and_register_counts() {
+        let mut b = ProgramBuilder::new();
+        let r = b.reg();
+        b.mov_imm_u32(r, 1);
+        b.mov_imm_u32(r, 2);
+        b.exit();
+        let p = b.build();
+        let t = p.truncated(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.num_regs(), p.num_regs());
+        assert_eq!(t.instrs()[..2], p.instrs()[..2]);
+        assert_eq!(p.truncated(99).len(), p.len());
     }
 
     #[test]

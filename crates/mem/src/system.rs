@@ -151,6 +151,10 @@ pub struct SharedMemSystem {
     events: BinaryHeap<Reverse<Ev>>,
     seq: u64,
     waiting: HashMap<u64, Vec<u64>>,
+    /// Fault injection: silently drop the Nth (1-based) completion.
+    drop_nth_completion: Option<u64>,
+    /// Completions delivered so far (drives `drop_nth_completion`).
+    completions_delivered: u64,
     /// Interconnect / backend traffic counters.
     pub stats: Counters,
 }
@@ -165,8 +169,30 @@ impl SharedMemSystem {
             events: BinaryHeap::new(),
             seq: 0,
             waiting: HashMap::new(),
+            drop_nth_completion: None,
+            completions_delivered: 0,
             stats: Counters::new(),
         }
+    }
+
+    /// Fault injection: silently swallow the `n`th (1-based) completion
+    /// this backend would deliver, modelling a lost MSHR wakeup. The drop
+    /// is recorded under `mem.injected_drops` (a counter that stays absent
+    /// on healthy runs, keeping golden key sets unchanged).
+    pub fn inject_drop_nth_completion(&mut self, n: u64) {
+        self.drop_nth_completion = Some(n);
+    }
+
+    /// Routes one finished completion to `done`, unless it is the injected
+    /// drop victim.
+    fn deliver(&mut self, id: u64, at: u64, done: &mut Vec<(u64, u64)>) {
+        self.completions_delivered += 1;
+        if self.drop_nth_completion == Some(self.completions_delivered) {
+            self.stats.inc("mem.injected_drops");
+            return;
+        }
+        self.stats.inc("icnt.from_l2");
+        done.push((id, at));
     }
 
     fn push(&mut self, time: u64, kind: EvKind) {
@@ -201,8 +227,7 @@ impl SharedMemSystem {
                     self.l2.fill(line, t);
                     if let Some(ids) = self.waiting.remove(&line) {
                         for id in ids {
-                            self.stats.inc("icnt.from_l2");
-                            done.push((id, t + self.icnt_latency as u64));
+                            self.deliver(id, t + self.icnt_latency as u64, &mut done);
                         }
                     }
                 }
@@ -226,11 +251,11 @@ impl SharedMemSystem {
                         .service(req.addr, t + self.l2.hit_latency() as u64);
                     self.stats.inc("dram.writes");
                 }
-                self.stats.inc("icnt.from_l2");
-                done.push((
+                self.deliver(
                     req.id,
                     t + self.l2.hit_latency() as u64 + self.icnt_latency as u64,
-                ));
+                    done,
+                );
             }
             CacheOutcome::MissToMemory => {
                 self.waiting.entry(line).or_default().push(req.id);
@@ -442,6 +467,36 @@ mod tests {
             direct.stats.get("icnt.to_l2"),
             queued.stats.get("icnt.to_l2")
         );
+    }
+
+    #[test]
+    fn injected_drop_swallows_exactly_one_completion() {
+        let mut sys = SharedMemSystem::new(SystemConfig::default());
+        sys.inject_drop_nth_completion(2);
+        for id in 1..=3u64 {
+            sys.submit(
+                MemRequest {
+                    id,
+                    addr: 0x1000 * id,
+                    kind: AccessKind::ShaderLoad,
+                    is_store: false,
+                },
+                0,
+            );
+        }
+        let done = drain(&mut sys, 1_000_000);
+        assert_eq!(done.len(), 2, "the 2nd completion was dropped");
+        assert!(done.iter().all(|&(id, _)| id != done_victim(&done)));
+        assert_eq!(sys.stats.get("mem.injected_drops"), 1);
+        assert_eq!(sys.stats.get("icnt.from_l2"), 2);
+        assert!(sys.is_idle(), "backend drains even with the drop");
+    }
+
+    /// The id absent from `done` among 1..=3.
+    fn done_victim(done: &[(u64, u64)]) -> u64 {
+        (1..=3u64)
+            .find(|id| !done.iter().any(|&(d, _)| d == *id))
+            .unwrap()
     }
 
     #[test]

@@ -168,6 +168,36 @@ impl RoundBarrier {
         );
     }
 
+    /// Like [`RoundBarrier::wait_workers`] but reports a poisoned round as
+    /// `Err` instead of panicking, so a coordinator that contains worker
+    /// panics (converting them into structured faults) can keep control of
+    /// its own unwind path.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())` when a worker unwound during the round.
+    pub fn try_wait_workers(&self) -> Result<(), ()> {
+        let mut spins = 0u32;
+        while self.done.load(Ordering::Acquire) < self.workers {
+            spins += 1;
+            if spins < self.spin_limit {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        if self.poisoned.load(Ordering::Acquire) {
+            Err(())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// `true` when a worker unwound mid-round and poisoned the barrier.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
     /// Coordinator: tells all workers to exit their round loops.
     pub fn shutdown(&self) {
         self.quit.store(true, Ordering::Release);
@@ -361,6 +391,35 @@ mod tests {
             });
         }));
         assert!(result.is_err(), "coordinator panic must propagate");
+    }
+
+    #[test]
+    fn try_wait_workers_reports_poison_without_panicking() {
+        let barrier = RoundBarrier::new(1);
+        std::thread::scope(|s| {
+            let b = &barrier;
+            s.spawn(move || {
+                let mut epoch = 0;
+                while let Some(e) = b.wait_round(epoch) {
+                    epoch = e;
+                    let _done = DoneGuard::new(b);
+                    // Simulate an uncontained worker panic: a real unwind
+                    // through the guard, caught at the thread boundary so
+                    // the test itself survives the scope join.
+                    let _ = std::panic::catch_unwind(|| {
+                        let _poisoner = DoneGuard::new(b);
+                        // The extra guard also bumps `done`; undo below.
+                        panic!("worker failure");
+                    });
+                    // Undo the extra done signal from the inner guard.
+                    b.done.fetch_sub(1, Ordering::AcqRel);
+                }
+            });
+            barrier.begin_round();
+            assert_eq!(barrier.try_wait_workers(), Err(()));
+            assert!(barrier.is_poisoned());
+            barrier.shutdown();
+        });
     }
 
     #[test]

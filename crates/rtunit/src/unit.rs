@@ -184,6 +184,16 @@ impl RtUnit {
             .count() as u32
     }
 
+    /// Memory requests waiting in the scheduler queue (post-mortem dumps).
+    pub fn queued_mem_requests(&self) -> usize {
+        self.mem_queue.len()
+    }
+
+    /// Memory requests issued and awaiting completion (post-mortem dumps).
+    pub fn inflight_mem_requests(&self) -> usize {
+        self.inflight.len()
+    }
+
     /// Attempts to admit a warp; returns `false` when the Warp Buffer is
     /// full (the SM must retry — the `traverseAS` issue stalls).
     pub fn try_enqueue(&mut self, job: WarpJob, now: u64) -> bool {

@@ -40,7 +40,9 @@ impl<'a> Tracer<'a> {
             record_events: false,
             ..Default::default()
         };
-        traverse(self.tlas, &self.blases, ray, &cfg).closest
+        traverse(self.tlas, &self.blases, ray, &cfg)
+            .expect("reference scenes are well-formed")
+            .closest
     }
 
     fn occluded(&self, ray: &Ray) -> bool {
@@ -50,6 +52,7 @@ impl<'a> Tracer<'a> {
             ..Default::default()
         };
         traverse(self.tlas, &self.blases, ray, &cfg)
+            .expect("reference scenes are well-formed")
             .closest
             .is_some()
     }

@@ -873,9 +873,10 @@ mod tests {
     }
 
     impl RtHooks for ScriptRt {
-        fn traverse(&mut self, _tid: usize, ray: RayDesc) {
+        fn traverse(&mut self, _tid: usize, ray: RayDesc) -> Result<(), vksim_isa::RtError> {
             self.traversals.push(ray);
             self.depth += 1;
+            Ok(())
         }
         fn end_trace(&mut self, _tid: usize) {
             self.end_count += 1;
@@ -911,8 +912,14 @@ mod tests {
                 .copied()
                 .unwrap_or(u32::MAX)
         }
-        fn report_intersection(&mut self, _tid: usize, idx: u32, t: f32) {
+        fn report_intersection(
+            &mut self,
+            _tid: usize,
+            idx: u32,
+            t: f32,
+        ) -> Result<(), vksim_isa::RtError> {
             self.reports.push((idx, t));
+            Ok(())
         }
     }
 
@@ -1130,7 +1137,7 @@ mod tests {
         // First trace hits, nested trace misses -> 7 + 100.
         struct SeqRt(ScriptRt, u32);
         impl RtHooks for SeqRt {
-            fn traverse(&mut self, tid: usize, ray: RayDesc) {
+            fn traverse(&mut self, tid: usize, ray: RayDesc) -> Result<(), vksim_isa::RtError> {
                 self.0.hit_kind = if self.1 == 0 { 1 } else { 0 };
                 self.1 += 1;
                 self.0.traverse(tid, ray)
@@ -1153,7 +1160,12 @@ mod tests {
             fn next_coalesced_call(&mut self, tid: usize, i: u32) -> u32 {
                 self.0.next_coalesced_call(tid, i)
             }
-            fn report_intersection(&mut self, tid: usize, i: u32, t: f32) {
+            fn report_intersection(
+                &mut self,
+                tid: usize,
+                i: u32,
+                t: f32,
+            ) -> Result<(), vksim_isa::RtError> {
                 self.0.report_intersection(tid, i, t)
             }
         }

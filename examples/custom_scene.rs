@@ -138,7 +138,7 @@ fn main() {
     let cmd = device.cmd_trace_rays(&pipeline, W, H);
 
     let mut sim = Simulator::new(SimConfig::test_small());
-    let report = sim.run(&device, &cmd);
+    let report = sim.run(&device, &cmd).expect("healthy run");
     println!(
         "custom scene: {} cycles, {} rays ({} shadow feelers), SIMT eff {:.1}%",
         report.gpu.cycles,

@@ -26,7 +26,9 @@ fn main() {
 
     // 2. Run it on the timing model (2 SMs keeps the quickstart snappy).
     let mut sim = Simulator::new(SimConfig::test_small());
-    let report = sim.run(&workload.device, &workload.cmd);
+    let report = sim
+        .run(&workload.device, &workload.cmd)
+        .expect("healthy run");
 
     // 3. Inspect the paper's headline quantities.
     println!("cycles              : {}", report.gpu.cycles);

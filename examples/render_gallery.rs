@@ -23,7 +23,7 @@ fn main() {
     for kind in WorkloadKind::ALL {
         let w = build(kind, scale);
         let mut sim = Simulator::new(SimConfig::test_small());
-        let (mem, stats) = sim.run_functional(&w.device, &w.cmd);
+        let (mem, stats) = sim.run_functional(&w.device, &w.cmd).expect("healthy run");
         println!(
             "{:<6} {:>10} {:>10} {:>14.1} {:>9}",
             w.name,

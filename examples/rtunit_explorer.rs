@@ -24,8 +24,9 @@ fn main() {
     );
     let mut base_cycles = None;
     for warps in [1usize, 2, 4, 8, 12, 16, 20] {
-        let r =
-            Simulator::new(SimConfig::test_small().with_rt_max_warps(warps)).run(&w.device, &w.cmd);
+        let r = Simulator::new(SimConfig::test_small().with_rt_max_warps(warps))
+            .run(&w.device, &w.cmd)
+            .expect("healthy run");
         let base = *base_cycles.get_or_insert(r.gpu.cycles as f64);
         println!(
             "{:>6} {:>10} {:>8.2}x {:>9.1}% {:>9.1}%",
@@ -46,11 +47,13 @@ fn main() {
     ];
     let base = Simulator::new(SimConfig::test_small())
         .run(&w.device, &w.cmd)
+        .expect("healthy run")
         .gpu
         .cycles as f64;
     for (name, mode) in modes {
-        let r =
-            Simulator::new(SimConfig::test_small().with_memory_mode(mode)).run(&w.device, &w.cmd);
+        let r = Simulator::new(SimConfig::test_small().with_memory_mode(mode))
+            .run(&w.device, &w.cmd)
+            .expect("healthy run");
         println!(
             "  {name:<12} {:>9} cycles ({:.2}x baseline)",
             r.gpu.cycles,
@@ -60,7 +63,9 @@ fn main() {
 
     println!("\n== Divergence handling (Fig. 17 right) ==");
     for (name, its) in [("simt-stack", false), ("its-multipath", true)] {
-        let r = Simulator::new(SimConfig::test_small().with_its(its)).run(&w.device, &w.cmd);
+        let r = Simulator::new(SimConfig::test_small().with_its(its))
+            .run(&w.device, &w.cmd)
+            .expect("healthy run");
         println!(
             "  {name:<14} {:>9} cycles, RT occupancy {:.2} warps",
             r.gpu.cycles,

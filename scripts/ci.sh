@@ -65,6 +65,14 @@ cargo test --offline --workspace -q
 step "golden-counter regression suite (incl. threads=1 vs 4 equality)"
 cargo test --offline -q -p vksim-bench --test golden_counters
 
+# Fault-injection smoke: one drill per fault class (dropped completion,
+# stalled warp, worker panic on both engines, truncated program,
+# corrupted BVH) — each must end in a classified SimError with a
+# parseable post-mortem dump, never a raw panic or a hang.
+step "fault-injection drills (classified errors + post-mortem dumps)"
+VKSIM_DUMP_DIR="$(mktemp -d)" \
+    cargo test --offline -q -p vksim-bench --test fault_injection
+
 # Stage group 2: bench smoke and example runs only execute already-built
 # (or cheaply built) artifacts — overlap them.
 bench_out="$(mktemp -d)"

@@ -13,8 +13,8 @@ fn fcc_changes_lowering_and_adds_rt_loads() {
     let fcc_cmd = w.with_fcc(true);
 
     let mut sim = Simulator::new(SimConfig::test_small());
-    let base = sim.run(&w.device, &base_cmd);
-    let fcc = sim.run(&w.device, &fcc_cmd);
+    let base = sim.run(&w.device, &base_cmd).expect("healthy run");
+    let fcc = sim.run(&w.device, &fcc_cmd).expect("healthy run");
 
     let base_loads = base.gpu.counters.get("mem.requests");
     let fcc_loads = fcc.gpu.counters.get("mem.requests");
@@ -32,8 +32,12 @@ fn fcc_image_matches_baseline_image() {
     let base_cmd = w.with_fcc(false);
     let fcc_cmd = w.with_fcc(true);
     let mut sim = Simulator::new(SimConfig::test_small());
-    let (base_mem, _) = sim.run_functional(&w.device, &base_cmd);
-    let (fcc_mem, _) = sim.run_functional(&w.device, &fcc_cmd);
+    let (base_mem, _) = sim
+        .run_functional(&w.device, &base_cmd)
+        .expect("healthy run");
+    let (fcc_mem, _) = sim
+        .run_functional(&w.device, &fcc_cmd)
+        .expect("healthy run");
     let n = (w.width * w.height) as usize;
     for i in 0..n {
         assert_eq!(
@@ -48,8 +52,12 @@ fn fcc_image_matches_baseline_image() {
 fn its_runs_divergent_workloads_and_matches_images() {
     // §VI-F: ITS changes scheduling, never results.
     let w = build(WorkloadKind::Ref, Scale::Test);
-    let stack = Simulator::new(SimConfig::test_small()).run(&w.device, &w.cmd);
-    let its = Simulator::new(SimConfig::test_small().with_its(true)).run(&w.device, &w.cmd);
+    let stack = Simulator::new(SimConfig::test_small())
+        .run(&w.device, &w.cmd)
+        .expect("healthy run");
+    let its = Simulator::new(SimConfig::test_small().with_its(true))
+        .run(&w.device, &w.cmd)
+        .expect("healthy run");
     let n = (w.width * w.height) as usize;
     for i in 0..n {
         assert_eq!(
@@ -71,7 +79,9 @@ fn its_runs_divergent_workloads_and_matches_images() {
 fn divergence_exists_in_secondary_ray_workloads() {
     // §VI-B: EXT/RTV* show warp divergence from incoherent secondary rays.
     let rf = build(WorkloadKind::Ref, Scale::Test);
-    let ref_r = Simulator::new(SimConfig::test_small()).run(&rf.device, &rf.cmd);
+    let ref_r = Simulator::new(SimConfig::test_small())
+        .run(&rf.device, &rf.cmd)
+        .expect("healthy run");
     assert!(
         ref_r.gpu.counters.get("divergent_branches") > 0,
         "REF (shadow/mirror) must show branch divergence"
@@ -88,7 +98,9 @@ fn rt_unit_simt_efficiency_below_core_efficiency() {
     // §VI-B: RT-unit SIMT efficiency is low (35% average) because early
     // finishers idle while tail threads traverse.
     let w = build(WorkloadKind::Ref, Scale::Test);
-    let r = Simulator::new(SimConfig::test_small()).run(&w.device, &w.cmd);
+    let r = Simulator::new(SimConfig::test_small())
+        .run(&w.device, &w.cmd)
+        .expect("healthy run");
     assert!(r.gpu.rt_simt_efficiency > 0.0);
     assert!(
         r.gpu.rt_simt_efficiency <= 1.0,

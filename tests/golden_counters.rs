@@ -109,6 +109,15 @@ fn golden_rtv6() {
     check_workload(WorkloadKind::Rtv6, "rtv6");
 }
 
+/// The paper's mobile configuration (8 SMs, 32 K registers, mobile DRAM)
+/// on the TRI scene — guards the Table III variant the FCC case study
+/// runs on, not just the desktop baseline.
+#[test]
+fn golden_tri_mobile() {
+    let (_, report) = run_workload(WorkloadKind::Tri, Scale::Test, SimConfig::mobile());
+    assert_matches_golden(golden_path("tri_mobile"), &snapshot(&report));
+}
+
 /// The two-phase cycle engine's determinism contract: any thread count must
 /// produce bit-identical counters. Runs the TRI workload on the serial
 /// reference path (threads = 1) and the parallel path (threads = 4) and

@@ -13,10 +13,11 @@ use vksim_scenes::{build, reference, Scale, WorkloadKind};
 fn rendered_vs_reference(kind: WorkloadKind) -> (f64, usize) {
     let w = build(kind, Scale::Test);
     let mut sim = Simulator::new(SimConfig::test_small());
-    let (mem, _) = sim.run_functional(&w.device, &w.cmd);
+    let (mem, _) = sim.run_functional(&w.device, &w.cmd).expect("healthy run");
     let sim_img = read_framebuffer(&mem, w.fb_addr, (w.width * w.height) as usize);
     let ref_img = reference::render(&w);
-    (pixel_diff_fraction(&sim_img, &ref_img, 1), sim_img.len())
+    let diff = pixel_diff_fraction(&sim_img, &ref_img, 1).expect("same dimensions");
+    (diff, sim_img.len())
 }
 
 #[test]
@@ -45,7 +46,7 @@ fn ext_image_matches_reference() {
 fn images_are_not_trivially_uniform() {
     let w = build(WorkloadKind::Tri, Scale::Test);
     let mut sim = Simulator::new(SimConfig::test_small());
-    let (mem, _) = sim.run_functional(&w.device, &w.cmd);
+    let (mem, _) = sim.run_functional(&w.device, &w.cmd).expect("healthy run");
     let img = read_framebuffer(&mem, w.fb_addr, (w.width * w.height) as usize);
     let distinct: std::collections::HashSet<u32> = img.iter().copied().collect();
     assert!(
@@ -61,7 +62,7 @@ fn rtv6_renders_spheres_and_cubes_functionally() {
     // intersection shaders must commit procedural hits (non-sky pixels).
     let w = build(WorkloadKind::Rtv6, Scale::Test);
     let mut sim = Simulator::new(SimConfig::test_small());
-    let (mem, stats) = sim.run_functional(&w.device, &w.cmd);
+    let (mem, stats) = sim.run_functional(&w.device, &w.cmd).expect("healthy run");
     assert!(
         stats.procedural_hits > 0,
         "procedural leaves must be visited"
@@ -79,7 +80,7 @@ fn rtv6_renders_spheres_and_cubes_functionally() {
 fn rtv5_path_tracer_bounces() {
     let w = build(WorkloadKind::Rtv5, Scale::Test);
     let mut sim = Simulator::new(SimConfig::test_small());
-    let (_, stats) = sim.run_functional(&w.device, &w.cmd);
+    let (_, stats) = sim.run_functional(&w.device, &w.cmd).expect("healthy run");
     // Path tracing: more rays than pixels (bounces).
     assert!(
         stats.rays as u32 > w.width * w.height,

@@ -13,7 +13,7 @@ fn small_sim() -> Simulator {
 fn all_workloads_complete_under_timing_model() {
     for kind in WorkloadKind::ALL {
         let w = build(kind, Scale::Test);
-        let report = small_sim().run(&w.device, &w.cmd);
+        let report = small_sim().run(&w.device, &w.cmd).expect("healthy run");
         assert!(report.gpu.cycles > 0, "{}", w.name);
         assert_eq!(report.runtime.rays > 0, true, "{}", w.name);
         assert!(
@@ -29,7 +29,7 @@ fn all_workloads_complete_under_timing_model() {
 fn instruction_mix_is_alu_dominated_with_rare_traces() {
     // Paper §VI: ~60% ALU, ~25% memory, ~1% trace instructions.
     let w = build(WorkloadKind::Ext, Scale::Test);
-    let report = small_sim().run(&w.device, &w.cmd);
+    let report = small_sim().run(&w.device, &w.cmd).expect("healthy run");
     let mix = instruction_mix(&report.gpu);
     assert!(mix.alu > 0.35, "ALU share {:.2}", mix.alu);
     assert!(mix.alu > mix.mem, "ALU > memory share");
@@ -44,7 +44,7 @@ fn instruction_mix_is_alu_dominated_with_rare_traces() {
 fn roofline_points_are_memory_bound() {
     // Paper Fig. 12: all workloads fall under the memory bound.
     let w = build(WorkloadKind::Ext, Scale::Test);
-    let report = small_sim().run(&w.device, &w.cmd);
+    let report = small_sim().run(&w.device, &w.cmd).expect("healthy run");
     let point = roofline_point(&report.gpu);
     let roof = rt_roofline(4, 8, 4);
     assert!(
@@ -59,13 +59,19 @@ fn memory_limit_studies_order_correctly() {
     // Fig. 15: perfect memory <= perfect BVH <= baseline (within noise,
     // asserted loosely as "not slower by more than 5%").
     let w = build(WorkloadKind::Ref, Scale::Test);
-    let base = small_sim().run(&w.device, &w.cmd).gpu.cycles as f64;
+    let base = small_sim()
+        .run(&w.device, &w.cmd)
+        .expect("healthy run")
+        .gpu
+        .cycles as f64;
     let pbvh = Simulator::new(SimConfig::test_small().with_memory_mode(MemoryMode::PerfectBvh))
         .run(&w.device, &w.cmd)
+        .expect("healthy run")
         .gpu
         .cycles as f64;
     let pmem = Simulator::new(SimConfig::test_small().with_memory_mode(MemoryMode::PerfectMem))
         .run(&w.device, &w.cmd)
+        .expect("healthy run")
         .gpu
         .cycles as f64;
     assert!(pbvh <= base * 1.05, "perfect BVH {pbvh} vs baseline {base}");
@@ -78,8 +84,12 @@ fn rt_unit_warp_sweep_changes_behaviour() {
     // parallelism; occupancy integral must grow (or at least not shrink)
     // with the limit.
     let w = build(WorkloadKind::Ref, Scale::Test);
-    let one = Simulator::new(SimConfig::test_small().with_rt_max_warps(1)).run(&w.device, &w.cmd);
-    let eight = Simulator::new(SimConfig::test_small().with_rt_max_warps(8)).run(&w.device, &w.cmd);
+    let one = Simulator::new(SimConfig::test_small().with_rt_max_warps(1))
+        .run(&w.device, &w.cmd)
+        .expect("healthy run");
+    let eight = Simulator::new(SimConfig::test_small().with_rt_max_warps(8))
+        .run(&w.device, &w.cmd)
+        .expect("healthy run");
     let occ1 = one.gpu.rt_resident_warp_cycles as f64 / one.gpu.rt_busy_cycles.max(1) as f64;
     let occ8 = eight.gpu.rt_resident_warp_cycles as f64 / eight.gpu.rt_busy_cycles.max(1) as f64;
     assert!(
@@ -96,7 +106,7 @@ fn rt_unit_warp_sweep_changes_behaviour() {
 fn power_breakdown_matches_paper_shape() {
     // §VI-D: RT units < 1% of power; constant+static dominate.
     let w = build(WorkloadKind::Ext, Scale::Test);
-    let report = small_sim().run(&w.device, &w.cmd);
+    let report = small_sim().run(&w.device, &w.cmd).expect("healthy run");
     assert!(report.power.fraction("rt_unit") < 0.05);
     let cs = report.power.fraction("constant") + report.power.fraction("static");
     assert!(cs > 0.3, "constant+static fraction {cs:.2}");
@@ -105,7 +115,7 @@ fn power_breakdown_matches_paper_shape() {
 #[test]
 fn dram_stats_are_populated() {
     let w = build(WorkloadKind::Ext, Scale::Test);
-    let report = small_sim().run(&w.device, &w.cmd);
+    let report = small_sim().run(&w.device, &w.cmd).expect("healthy run");
     assert!(report.gpu.dram_stats.get("req") > 0);
     assert!(report.gpu.dram_efficiency > 0.0 && report.gpu.dram_efficiency <= 1.0);
     assert!(report.gpu.dram_utilization > 0.0 && report.gpu.dram_utilization <= 1.0);
@@ -117,8 +127,8 @@ fn timing_and_functional_images_agree() {
     for kind in [WorkloadKind::Tri, WorkloadKind::Ref] {
         let w = build(kind, Scale::Test);
         let mut sim = small_sim();
-        let (fmem, _) = sim.run_functional(&w.device, &w.cmd);
-        let report = sim.run(&w.device, &w.cmd);
+        let (fmem, _) = sim.run_functional(&w.device, &w.cmd).expect("healthy run");
+        let report = sim.run(&w.device, &w.cmd).expect("healthy run");
         let n = (w.width * w.height) as usize;
         for i in 0..n {
             let a = fmem.read_u32(w.fb_addr + i as u64 * 4);

@@ -45,7 +45,7 @@ fn traversal_matches_brute_force() {
             record_events: false,
             ..Default::default()
         };
-        let result = traverse(&tlas, &[&blas], &ray, &cfg);
+        let result = traverse(&tlas, &[&blas], &ray, &cfg).expect("well-formed scene");
 
         let mut best: Option<f32> = None;
         for t in tris {
