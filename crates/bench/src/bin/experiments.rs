@@ -2,11 +2,19 @@
 //!
 //! ```text
 //! vksim-experiments [EXPERIMENT] [--scale test|small|paper]
+//!                   [--trace=FILE.json] [--trace-interval=CYCLES]
 //! ```
 //!
 //! Without arguments, runs every experiment at test scale. Experiments:
 //! `tab02 tab03 tab04 fig01 fig02 fig11 fig12 fig13 fig14 fig15 fig16
 //! fig17 fig18 fig19 instmix energy`.
+//!
+//! `--trace=FILE.json` enables cycle-level tracing and writes a Chrome
+//! trace-event file loadable in Perfetto (it maps to the `VKSIM_TRACE`
+//! environment override, so every simulation in the invocation traces
+//! into the same file — trace a single experiment at a time).
+//! `--trace-interval=CYCLES` sets the interval-metrics sampler period
+//! (`VKSIM_TRACE_INTERVAL`).
 
 use vksim_bench as x;
 use vksim_core::SimConfig;
@@ -21,6 +29,15 @@ fn main() {
     } else {
         Scale::Test
     };
+    // Trace flags become the environment overrides the engine already
+    // honours, so the whole config plumbing stays in one place.
+    for a in &args {
+        if let Some(path) = a.strip_prefix("--trace=") {
+            std::env::set_var("VKSIM_TRACE", path);
+        } else if let Some(iv) = a.strip_prefix("--trace-interval=") {
+            std::env::set_var("VKSIM_TRACE_INTERVAL", iv);
+        }
+    }
     let which: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))

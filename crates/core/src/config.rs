@@ -73,6 +73,15 @@ impl SimConfig {
         self
     }
 
+    /// Sets the cycle-level tracing configuration (timeline events,
+    /// interval metrics, exporters). The default is off; tests pass an
+    /// explicit config here instead of relying on the `VKSIM_TRACE_*`
+    /// environment overrides.
+    pub fn with_trace(mut self, trace: vksim_trace::TraceConfig) -> Self {
+        self.gpu.trace = trace;
+        self
+    }
+
     /// Enables independent thread scheduling (§IV-B).
     pub fn with_its(mut self, its: bool) -> Self {
         self.gpu.divergence = if its {

@@ -9,6 +9,7 @@ use vksim_gpu::{GpuFault, GpuSim, GpuStats, LaunchDims};
 use vksim_isa::interp::{run_to_exit, ExecError, ThreadState};
 use vksim_isa::SimMemory;
 use vksim_power::{ActivityCounts, PowerModel, PowerReport};
+use vksim_trace::{chrome_trace_json, hotspot_summary, interval_csv, TraceReport};
 use vksim_vulkan::{Device, TraceRaysCommand};
 
 /// Everything a simulated `vkCmdTraceRaysKHR` produced.
@@ -22,6 +23,9 @@ pub struct RunReport {
     pub power: PowerReport,
     /// Final functional memory (framebuffers, output buffers).
     pub memory: SimMemory,
+    /// The cycle-level trace, when tracing was enabled (any exporter files
+    /// requested in the config have already been written).
+    pub trace: Option<TraceReport>,
 }
 
 /// A classified simulation failure.
@@ -113,6 +117,12 @@ impl Simulator {
             (outcome, runtime.stats.clone())
         };
         let memory = std::mem::take(&mut gpu.mem);
+        // Trace export happens on healthy AND faulted runs: a trace that
+        // ends at the fault is exactly what post-mortem analysis wants.
+        let trace = gpu.take_trace_report();
+        if let Some(t) = &trace {
+            export_trace(t);
+        }
         match outcome {
             Ok(stats) => {
                 let power = power_from_stats(&stats);
@@ -121,6 +131,7 @@ impl Simulator {
                     runtime: runtime_stats,
                     power,
                     memory,
+                    trace,
                 })
             }
             Err(fault) => {
@@ -131,6 +142,7 @@ impl Simulator {
                     runtime: runtime_stats,
                     power,
                     memory,
+                    trace,
                 };
                 Err(Box::new(SimFailure {
                     error,
@@ -181,6 +193,34 @@ impl Simulator {
             [cmd.dims.width, cmd.dims.height, cmd.dims.depth],
             cmd.fcc,
         )
+    }
+}
+
+/// Writes the exporter files requested by the trace configuration: Chrome
+/// trace-event JSON (`out`), interval CSV (`csv`) and the hotspot summary
+/// (`summary`; `-` prints to stderr). Export failures are warnings — a
+/// finished simulation never fails because a trace file could not be
+/// written.
+fn export_trace(report: &TraceReport) {
+    let mut outputs: Vec<(&str, String)> = Vec::new();
+    if let Some(path) = &report.config.out {
+        outputs.push((path.as_str(), chrome_trace_json(report)));
+    }
+    if let Some(path) = &report.config.csv {
+        outputs.push((path.as_str(), interval_csv(report)));
+    }
+    if let Some(path) = &report.config.summary {
+        let text = hotspot_summary(report, 10);
+        if path == "-" {
+            eprintln!("{text}");
+        } else {
+            outputs.push((path.as_str(), text));
+        }
+    }
+    for (path, contents) in outputs {
+        if let Err(e) = std::fs::write(path, contents) {
+            eprintln!("vksim: failed to write trace file {path}: {e}");
+        }
     }
 }
 

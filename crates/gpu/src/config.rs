@@ -3,6 +3,7 @@
 use vksim_fault::FaultPlan;
 use vksim_mem::{CacheConfig, SystemConfig};
 use vksim_rtunit::RtUnitConfig;
+use vksim_trace::TraceConfig;
 
 /// How branch divergence is handled (paper §IV-B).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -55,6 +56,10 @@ pub struct GpuConfig {
     /// Deterministic fault-injection switches (tests and fault drills);
     /// the default plan injects nothing.
     pub fault_plan: FaultPlan,
+    /// Cycle-level tracing (timeline events + interval metrics). Off by
+    /// default; overridable at run time with `VKSIM_TRACE`,
+    /// `VKSIM_TRACE_INTERVAL`, `VKSIM_TRACE_CSV` and `VKSIM_TRACE_SUMMARY`.
+    pub trace: TraceConfig,
 }
 
 impl GpuConfig {
@@ -78,6 +83,7 @@ impl GpuConfig {
             threads: 1,
             watchdog_cycles: 0,
             fault_plan: FaultPlan::default(),
+            trace: TraceConfig::default(),
         }
     }
 
@@ -106,6 +112,13 @@ impl GpuConfig {
             Err(_) => self.threads,
         }
         .max(1)
+    }
+
+    /// Trace configuration to use, honouring the `VKSIM_TRACE`,
+    /// `VKSIM_TRACE_INTERVAL`, `VKSIM_TRACE_CSV` and `VKSIM_TRACE_SUMMARY`
+    /// environment overrides (each ignored when unset or empty).
+    pub fn effective_trace(&self) -> TraceConfig {
+        self.trace.with_env_overrides()
     }
 
     /// Watchdog window to use, honouring the `VKSIM_WATCHDOG` environment

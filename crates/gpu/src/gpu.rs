@@ -21,6 +21,7 @@ use vksim_isa::{OverlayMem, Program, SimMemory, WriteOverlay};
 use vksim_mem::{RequestQueue, SharedMemSystem};
 use vksim_parallel::{chunk_range, DoneGuard, RoundBarrier, ShutdownGuard};
 use vksim_stats::{Counters, Histogram};
+use vksim_trace::{Event, EventKind, IntervalSnapshot, TraceCollector, TraceReport, NO_WARP};
 
 /// Ray-tracing launch dimensions (`vkCmdTraceRaysKHR` width/height/depth).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -137,6 +138,9 @@ pub struct GpuSim {
     cycle: u64,
     dropped_completions: u64,
     faults: u64,
+    /// Serial merge point for the tracing layer; `None` when tracing is
+    /// off (the default), so the engines pay one null check per cycle.
+    collector: Option<TraceCollector>,
 }
 
 /// Per-SM hook selection for the serial engine: one shared hook object
@@ -177,6 +181,38 @@ struct Lane<'h, H> {
     empty: bool,
 }
 
+/// Converts a DRAM row-activate sample into a trace event.
+fn row_activate_event((cycle, channel, bank): (u64, u32, u32)) -> Event {
+    Event {
+        cycle,
+        warp: NO_WARP,
+        kind: EventKind::DramRowActivate { channel, bank },
+    }
+}
+
+/// Accumulates one SM's cumulative raw counters into an interval snapshot.
+fn absorb_sm_snapshot(snap: &mut IntervalSnapshot, sm: &Sm) {
+    snap.issued_insts += sm.issued_insts;
+    snap.l1_hits += sm.l1().total_hits();
+    snap.l1_misses += sm.l1().total_misses();
+    if let Some(rtc) = sm.rtc() {
+        snap.l1_hits += rtc.total_hits();
+        snap.l1_misses += rtc.total_misses();
+    }
+    let rts = sm.rt_unit.stats();
+    snap.rt_resident_warp_cycles += rts.resident_warp_cycles;
+    snap.rt_busy_cycles += rts.busy_cycles;
+}
+
+/// Fills the shared-backend fields of an interval snapshot.
+fn absorb_backend_snapshot(snap: &mut IntervalSnapshot, shared: &SharedMemSystem) {
+    let (l2_hits, l2_misses, dram_reqs, dram_transfer) = shared.traffic_totals();
+    snap.l2_hits = l2_hits;
+    snap.l2_misses = l2_misses;
+    snap.dram_reqs = dram_reqs;
+    snap.dram_transfer_cycles = dram_transfer;
+}
+
 /// Replicates [`GpuSim::refill_sms`] over locked lanes: fill the
 /// least-loaded SM below the occupancy limit first, lowest SM id winning
 /// ties (same tiebreak as `Iterator::min_by_key`).
@@ -206,10 +242,22 @@ fn refill_lanes<H>(
 impl GpuSim {
     /// Builds an idle GPU.
     pub fn new(config: GpuConfig) -> Self {
-        let sms = (0..config.num_sms).map(|i| Sm::new(i, &config)).collect();
+        let trace = config.effective_trace();
+        let sms = (0..config.num_sms)
+            .map(|i| {
+                let mut sm = Sm::new(i, &config);
+                if trace.enabled {
+                    sm.enable_trace(&trace);
+                }
+                sm
+            })
+            .collect();
         let mut shared = SharedMemSystem::new(config.mem.clone());
         if let Some(n) = config.fault_plan.drop_nth_completion {
             shared.inject_drop_nth_completion(n);
+        }
+        if trace.enabled {
+            shared.set_trace(true);
         }
         GpuSim {
             config,
@@ -221,6 +269,7 @@ impl GpuSim {
             cycle: 0,
             dropped_completions: 0,
             faults: 0,
+            collector: trace.enabled.then(|| TraceCollector::new(trace)),
         }
     }
 
@@ -400,6 +449,7 @@ impl GpuSim {
                 queues[i].drain_into(&mut self.shared);
                 overlays[i].apply_to(&mut self.mem);
             }
+            self.drain_trace(self.cycle);
             if retired {
                 self.refill_sms();
             }
@@ -571,6 +621,30 @@ impl GpuSim {
                     }
                 }
                 drop(base);
+                // Trace maintenance, identical to the serial engine's: the
+                // lane iteration order IS SM-id order, so the merged event
+                // stream is thread-count invariant.
+                if let Some(col) = self.collector.as_mut() {
+                    let num = lanes.len() as u32;
+                    for (i, l) in lanes.iter().enumerate() {
+                        let mut lane = l.lock().expect("lane lock");
+                        if let Some(tr) = lane.sm.tracer_mut() {
+                            col.drain_sm(i as u32, tr);
+                        }
+                    }
+                    let rows = self.shared.take_row_activates();
+                    col.push_mem_events(num, rows.into_iter().map(row_activate_event));
+                    let interval = col.interval();
+                    if interval > 0 && cycle % interval == 0 {
+                        let mut snap = IntervalSnapshot::default();
+                        for l in &lanes {
+                            let lane = l.lock().expect("lane lock");
+                            absorb_sm_snapshot(&mut snap, &lane.sm);
+                        }
+                        absorb_backend_snapshot(&mut snap, &self.shared);
+                        col.sample(cycle, snap);
+                    }
+                }
                 if fault.is_none() && poisoned {
                     fault = Some(SimError::WorkerPanicked {
                         sm: 0,
@@ -614,6 +688,66 @@ impl GpuSim {
     /// Current cycle count.
     pub fn cycles(&self) -> u64 {
         self.cycle
+    }
+
+    /// Phase-B trace maintenance for the serial engine: drains per-SM
+    /// staged events in SM-id order, appends shared-backend events under
+    /// the memory pseudo-process, and samples the interval series. No-op
+    /// when tracing is disabled.
+    fn drain_trace(&mut self, cycle: u64) {
+        let Some(col) = self.collector.as_mut() else {
+            return;
+        };
+        for sm in &mut self.sms {
+            let id = sm.id as u32;
+            if let Some(tr) = sm.tracer_mut() {
+                col.drain_sm(id, tr);
+            }
+        }
+        let rows = self.shared.take_row_activates();
+        let num = self.sms.len() as u32;
+        col.push_mem_events(num, rows.into_iter().map(row_activate_event));
+        let interval = col.interval();
+        if interval > 0 && cycle % interval == 0 {
+            let mut snap = IntervalSnapshot::default();
+            for sm in &self.sms {
+                absorb_sm_snapshot(&mut snap, sm);
+            }
+            absorb_backend_snapshot(&mut snap, &self.shared);
+            col.sample(cycle, snap);
+        }
+    }
+
+    /// Finishes the tracing layer: closes open spans, drains the residue,
+    /// samples the tail interval and folds everything into an exportable
+    /// [`TraceReport`]. Returns `None` when tracing is disabled; call once
+    /// after a run (healthy or faulted).
+    pub fn take_trace_report(&mut self) -> Option<TraceReport> {
+        let mut col = self.collector.take()?;
+        for sm in &mut self.sms {
+            let id = sm.id as u32;
+            sm.finalize_trace(self.cycle);
+            if let Some(tr) = sm.tracer_mut() {
+                col.drain_sm(id, tr);
+            }
+        }
+        let rows = self.shared.take_row_activates();
+        col.push_mem_events(
+            self.sms.len() as u32,
+            rows.into_iter().map(row_activate_event),
+        );
+        let mut snap = IntervalSnapshot::default();
+        for sm in &self.sms {
+            absorb_sm_snapshot(&mut snap, sm);
+        }
+        absorb_backend_snapshot(&mut snap, &self.shared);
+        col.sample(self.cycle, snap);
+        for sm in &self.sms {
+            if let Some(tr) = sm.tracer() {
+                col.absorb_aggregates(sm.id as u32, tr);
+            }
+        }
+        Some(col.finish(self.cycle, self.sms.len() as u32))
     }
 
     /// Wraps a classified error with partial statistics and a post-mortem

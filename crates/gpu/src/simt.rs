@@ -43,6 +43,18 @@ pub enum CtxOutcome {
     Exit,
 }
 
+/// What [`SimtEngine::apply`] did to the warp's divergence state, for
+/// observers (the tracing layer). Purely informational: engines behave
+/// identically whether or not the caller looks at it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ApplyInfo {
+    /// The outcome split the context into two schedulable sides (stack:
+    /// one deferred; multipath: both runnable).
+    pub diverged: bool,
+    /// The outcome merged lanes back together at a reconvergence point.
+    pub reconverged: bool,
+}
+
 /// A runnable warp split.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Ctx {
@@ -91,7 +103,8 @@ impl SimtStack {
         }
     }
 
-    fn apply(&mut self, outcome: CtxOutcome) {
+    fn apply(&mut self, outcome: CtxOutcome) -> ApplyInfo {
+        let mut info = ApplyInfo::default();
         match outcome {
             CtxOutcome::Fallthrough => self.pc += 1,
             CtxOutcome::Ssy { reconv } => {
@@ -116,6 +129,7 @@ impl SimtStack {
                     });
                     self.mask = not_taken;
                     self.pc += 1;
+                    info.diverged = true;
                 }
             }
             CtxOutcome::Sync => match self.stack.pop() {
@@ -131,6 +145,7 @@ impl SimtStack {
                 Some(StackEntry::Join { pc, mask }) => {
                     self.pc = pc + 1;
                     self.mask = mask & !self.exited;
+                    info.reconverged = true;
                     if self.mask == 0 {
                         self.unwind();
                     }
@@ -143,6 +158,7 @@ impl SimtStack {
                 self.unwind();
             }
         }
+        info
     }
 
     // Current mask is empty: resume from the stack.
@@ -224,9 +240,10 @@ impl Multipath {
         self.splits.iter().position(|s| s.id == id)
     }
 
-    fn apply(&mut self, ctx_id: u32, outcome: CtxOutcome) {
+    fn apply(&mut self, ctx_id: u32, outcome: CtxOutcome) -> ApplyInfo {
+        let mut info = ApplyInfo::default();
         let Some(i) = self.split_index(ctx_id) else {
-            return;
+            return info;
         };
         match outcome {
             CtxOutcome::Fallthrough => self.splits[i].pc += 1,
@@ -264,6 +281,7 @@ impl Multipath {
                         mask: taken,
                         joins,
                     });
+                    info.diverged = true;
                 }
             }
             CtxOutcome::Sync => {
@@ -271,7 +289,7 @@ impl Multipath {
                 match split.joins.last().copied() {
                     Some(jid) => {
                         self.joins[jid as usize].arrived |= split.mask;
-                        self.try_complete_join(jid);
+                        info.reconverged = self.try_complete_join(jid);
                     }
                     None => {
                         // SYNC without SSY: resume past it.
@@ -291,16 +309,17 @@ impl Multipath {
                 }
             }
         }
+        info
     }
 
-    fn try_complete_join(&mut self, jid: u32) {
+    fn try_complete_join(&mut self, jid: u32) -> bool {
         let j = &self.joins[jid as usize];
         if j.completed {
-            return;
+            return false;
         }
         let live_expected = j.expected & !self.exited;
         if j.arrived & live_expected != live_expected {
-            return;
+            return false;
         }
         let j = &mut self.joins[jid as usize];
         j.completed = true;
@@ -320,6 +339,7 @@ impl Multipath {
             // All lanes exited below this join: propagate completion upward.
             self.try_complete_join(parent);
         }
+        true
     }
 
     fn done(&self) -> bool {
@@ -356,8 +376,9 @@ impl SimtEngine {
     }
 
     /// Applies an executed instruction's control-flow outcome to context
-    /// `ctx_id`.
-    pub fn apply(&mut self, ctx_id: u32, outcome: CtxOutcome) {
+    /// `ctx_id`. The returned [`ApplyInfo`] reports divergence and
+    /// reconvergence edges for observers; it is safe to ignore.
+    pub fn apply(&mut self, ctx_id: u32, outcome: CtxOutcome) -> ApplyInfo {
         match self {
             SimtEngine::Stack(s) => s.apply(outcome),
             SimtEngine::Multipath(m) => m.apply(ctx_id, outcome),
@@ -466,6 +487,51 @@ mod tests {
         assert_eq!(e.contexts()[0].pc, 4);
         e.apply(0, CtxOutcome::Exit);
         assert!(e.done());
+    }
+
+    #[test]
+    fn apply_info_reports_divergence_edges() {
+        for mut e in [SimtEngine::stack(0b1111), SimtEngine::multipath(0b1111)] {
+            assert_eq!(
+                e.apply(0, CtxOutcome::Ssy { reconv: 4 }),
+                ApplyInfo::default()
+            );
+            let info = e.apply(
+                0,
+                CtxOutcome::Branch {
+                    target: 3,
+                    taken: 0b0011,
+                },
+            );
+            assert!(info.diverged && !info.reconverged);
+            // Walk every context to the sync; the final arrival reconverges.
+            let mut reconverged = 0;
+            let mut guard = 0;
+            while !e.done() && reconverged == 0 {
+                guard += 1;
+                assert!(guard < 50);
+                let c = e.contexts()[0];
+                let info = match c.pc {
+                    4 => e.apply(c.id, CtxOutcome::Sync),
+                    _ => e.apply(
+                        c.id,
+                        CtxOutcome::Branch {
+                            target: 4,
+                            taken: c.mask,
+                        },
+                    ),
+                };
+                assert!(
+                    !info.diverged,
+                    "uniform branches must not report divergence"
+                );
+                if info.reconverged {
+                    reconverged += 1;
+                }
+            }
+            assert_eq!(reconverged, 1);
+            assert_eq!(e.contexts()[0].mask, 0b1111);
+        }
     }
 
     #[test]

@@ -16,8 +16,9 @@ use vksim_isa::interp::{exec_at, Effect, RtHooks, ThreadState};
 use vksim_isa::op::MemSpace;
 use vksim_isa::{MemIo, Program};
 use vksim_mem::{chunk_addresses, AccessKind, Cache, CacheOutcome, MemRequest, MemSink};
-use vksim_rtunit::{RtMem, RtMemResult, RtUnit, WarpJob};
+use vksim_rtunit::{RtMem, RtMemResult, RtUnit, RtUnitEventKind, WarpJob};
 use vksim_stats::Counters;
+use vksim_trace::{EventKind, SmTracer, TraceConfig, NO_WARP};
 
 /// Hooks the GPU needs from the simulator core: the RT functional runtime
 /// plus the recorded traversal scripts.
@@ -148,6 +149,9 @@ pub struct Sm {
     pub issued_insts: u64,
     /// Cycles where the RT unit had at least one resident warp.
     pub trace_cycles: u64,
+    // Cycle-level event recorder; `None` (the default) keeps every hook to
+    // a single branch-on-null.
+    tracer: Option<Box<SmTracer>>,
 }
 
 impl Sm {
@@ -173,6 +177,31 @@ impl Sm {
             issued_lanes: 0,
             issued_insts: 0,
             trace_cycles: 0,
+            tracer: None,
+        }
+    }
+
+    /// Switches on cycle-level tracing for this SM and its RT unit.
+    pub fn enable_trace(&mut self, config: &TraceConfig) {
+        self.tracer = Some(Box::new(SmTracer::new(config)));
+        self.rt_unit.set_event_trace(true);
+    }
+
+    /// The per-SM event recorder, when tracing is enabled. Phase B drains
+    /// it through [`vksim_trace::TraceCollector::drain_sm`].
+    pub fn tracer_mut(&mut self) -> Option<&mut SmTracer> {
+        self.tracer.as_deref_mut()
+    }
+
+    /// The per-SM event recorder (read-only view).
+    pub fn tracer(&self) -> Option<&SmTracer> {
+        self.tracer.as_deref()
+    }
+
+    /// Closes every open trace span (stalls, RT-busy) at end of run.
+    pub fn finalize_trace(&mut self, cycle: u64) {
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.finalize(cycle);
         }
     }
 
@@ -213,6 +242,9 @@ impl Sm {
         let Some((sel, line)) = self.inflight.remove(&id) else {
             return;
         };
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.record(at, NO_WARP, EventKind::MshrFill { line });
+        }
         match sel {
             CacheSel::L1 => {
                 self.l1.fill(line, at);
@@ -233,6 +265,9 @@ impl Sm {
                                 *outstanding = outstanding.saturating_sub(1);
                                 if *outstanding == 0 && st.retry_chunks.is_empty() {
                                     st.status = CtxStatus::OpUntil(at);
+                                    if let Some(tr) = self.tracer.as_mut() {
+                                        tr.stall_end(at, warp);
+                                    }
                                 }
                             }
                         }
@@ -277,8 +312,16 @@ impl Sm {
         if self.rt_unit.resident_warps() > 0 {
             self.trace_cycles += 1;
         }
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.rt_busy_edge(now, self.rt_unit.resident_warps() > 0);
+        }
 
         // 4. Retire finished warps.
+        if let Some(tr) = self.tracer.as_mut() {
+            for w in self.warps.iter().filter(|w| w.done()) {
+                tr.record(now, w.id, EventKind::Retire);
+            }
+        }
         let before = self.warps.len();
         self.warps.retain(|w| !w.done());
         let retired = before != self.warps.len();
@@ -298,9 +341,25 @@ impl Sm {
             next_req: &mut self.next_req,
             sm_id: self.id,
             perfect_bvh: self.perfect_bvh,
+            tracer: self.tracer.as_deref_mut(),
         };
         let done = self.rt_unit.tick(now, &mut port);
         let finished = !done.is_empty();
+        // Translate the RT unit's job-keyed events into warp-keyed trace
+        // events *before* done jobs drop out of the map below.
+        if self.tracer.is_some() {
+            for ev in self.rt_unit.take_events() {
+                if let Some(&(warp, _)) = self.rt_job_map.get(&ev.warp_id) {
+                    let kind = match ev.kind {
+                        RtUnitEventKind::Enqueue => EventKind::RtStart,
+                        RtUnitEventKind::Finish { latency } => EventKind::RtFinish { latency },
+                    };
+                    if let Some(tr) = self.tracer.as_mut() {
+                        tr.record(ev.cycle, warp, kind);
+                    }
+                }
+            }
+        }
         for d in done {
             if let Some((warp, ctx)) = self.rt_job_map.remove(&d.warp_id) {
                 if let Some(w) = self.warps.iter_mut().find(|w| w.id == warp) {
@@ -369,6 +428,9 @@ impl Sm {
                         },
                         now,
                     );
+                    if let Some(tr) = self.tracer.as_mut() {
+                        tr.record(now, warp, EventKind::MshrAlloc { line });
+                    }
                     Some(Some(Waiter::WarpCtx { warp, ctx }))
                 }
                 CacheOutcome::MissMerged => Some(Some(Waiter::WarpCtx { warp, ctx })),
@@ -393,6 +455,9 @@ impl Sm {
                         *outstanding = outstanding.saturating_sub(1);
                         if *outstanding == 0 && st.retry_chunks.is_empty() {
                             st.status = CtxStatus::OpUntil(now + self.l1.hit_latency() as u64);
+                            if let Some(tr) = self.tracer.as_mut() {
+                                tr.stall_end(now, warp);
+                            }
                         }
                     }
                     _ => {}
@@ -499,6 +564,19 @@ impl Sm {
                 snap.insert(format!("{cp}.status"), code);
             }
         }
+        // Flight recorder: the last trace events before the failure, flat
+        // so they survive the fault dump's counter-style encoding.
+        if let Some(tr) = &self.tracer {
+            for (i, ev) in tr.flight().enumerate() {
+                let ep = format!("{p}.trace.ev{i}");
+                snap.insert(format!("{ep}.cycle"), ev.cycle);
+                snap.insert(format!("{ep}.warp"), ev.warp as u64);
+                snap.insert(format!("{ep}.kind"), ev.kind.code());
+                let (a, b) = ev.kind.args();
+                snap.insert(format!("{ep}.a"), a);
+                snap.insert(format!("{ep}.b"), b);
+            }
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -531,6 +609,9 @@ impl Sm {
         self.stats.inc(&format!("inst.{:?}", instr.class()));
         self.issued_insts += 1;
         self.issued_lanes += mask.count_ones() as u64;
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.issue(now, warp.id, pc, mask.count_ones());
+        }
 
         // Execute every active lane functionally.
         let mut lane_effects: Vec<(usize, Effect)> = Vec::new();
@@ -570,7 +651,12 @@ impl Sm {
                 warp.ctx_state.entry(ctx_id).or_default().status = CtxStatus::Ready;
             }
             Effect::Sync => {
-                warp.engine.apply(ctx_id, CtxOutcome::Sync);
+                let info = warp.engine.apply(ctx_id, CtxOutcome::Sync);
+                if info.reconverged {
+                    if let Some(tr) = self.tracer.as_mut() {
+                        tr.record(now, warp_id, EventKind::Reconverge { pc });
+                    }
+                }
                 warp.ctx_state.entry(ctx_id).or_default().status = CtxStatus::Ready;
             }
             Effect::Exited => {
@@ -588,8 +674,17 @@ impl Sm {
                 if taken != 0 && taken != mask {
                     self.stats.inc("divergent_branches");
                 }
-                warp.engine
+                let info = warp
+                    .engine
                     .apply(ctx_id, CtxOutcome::Branch { target, taken });
+                if let Some(tr) = self.tracer.as_mut() {
+                    if info.diverged {
+                        tr.record(now, warp_id, EventKind::Diverge { pc });
+                    }
+                    if info.reconverged {
+                        tr.record(now, warp_id, EventKind::Reconverge { pc });
+                    }
+                }
                 warp.ctx_state.entry(ctx_id).or_default().status = CtxStatus::Ready;
             }
             Effect::Mem {
@@ -662,6 +757,9 @@ impl Sm {
                                 },
                                 now,
                             );
+                            if let Some(tr) = self.tracer.as_mut() {
+                                tr.record(now, warp_id, EventKind::MshrAlloc { line });
+                            }
                         }
                         CacheOutcome::MissMerged => {
                             outstanding += 1;
@@ -686,6 +784,9 @@ impl Sm {
                 } else {
                     st.status = CtxStatus::WaitMem { outstanding };
                     st.retry_chunks = retries;
+                    if let Some(tr) = self.tracer.as_mut() {
+                        tr.stall_begin(now, warp_id);
+                    }
                 }
             }
             Effect::TraceRay => {
@@ -732,6 +833,7 @@ struct SmRtPort<'a> {
     next_req: &'a mut u64,
     sm_id: usize,
     perfect_bvh: bool,
+    tracer: Option<&'a mut SmTracer>,
 }
 
 impl SmRtPort<'_> {
@@ -763,6 +865,9 @@ impl RtMem for SmRtPort<'_> {
                     .entry((sel, line))
                     .or_default()
                     .push(Waiter::RtToken(token));
+                if let Some(tr) = self.tracer.as_deref_mut() {
+                    tr.record(now, NO_WARP, EventKind::MshrAlloc { line });
+                }
                 self.sink.submit(
                     MemRequest {
                         id,

@@ -292,15 +292,15 @@ impl Cache {
             + self.stats.get("rt_unit.hit")
     }
 
-    /// Total classified read misses across sources.
+    /// Total classified read misses across sources. Pending (MSHR-merged)
+    /// misses share the `miss_` prefix but are not new classified misses,
+    /// so they are filtered out of the allocation-free prefix walk.
     pub fn total_misses(&self) -> u64 {
-        ["shader_load", "rt_unit"]
+        ["shader_load.miss_", "rt_unit.miss_"]
             .iter()
-            .map(|t| {
-                self.stats.get(&format!("{t}.miss_compulsory"))
-                    + self.stats.get(&format!("{t}.miss_capacity"))
-                    + self.stats.get(&format!("{t}.miss_conflict"))
-            })
+            .flat_map(|p| self.stats.iter_prefix(p))
+            .filter(|(k, _)| !k.ends_with("pending"))
+            .map(|(_, v)| v)
             .sum()
     }
 }

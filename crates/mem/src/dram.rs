@@ -91,6 +91,9 @@ pub struct Dram {
     channels: Vec<Channel>,
     /// Row-hit/miss and traffic counters.
     pub stats: Counters,
+    /// Row-activate trace buffer: `(cycle, channel, bank)` per activate
+    /// command, recorded only while tracing is enabled.
+    row_activates: Option<Vec<(u64, u32, u32)>>,
 }
 
 impl Dram {
@@ -114,7 +117,22 @@ impl Dram {
             config,
             channels,
             stats: Counters::new(),
+            row_activates: None,
         }
+    }
+
+    /// Enables (or disables) row-activate event recording. Off by default;
+    /// the buffer only exists while a trace consumer is attached.
+    pub fn set_trace(&mut self, enabled: bool) {
+        self.row_activates = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Drains the recorded `(cycle, channel, bank)` row activates.
+    pub fn take_row_activates(&mut self) -> Vec<(u64, u32, u32)> {
+        self.row_activates
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// The configuration in use.
@@ -140,20 +158,25 @@ impl Dram {
         let bank = &mut ch.banks[bank_idx];
 
         let start = now.max(bank.ready_at).max(ch.bus_free_at);
-        let access_lat = match bank.open_row {
+        let (access_lat, activated) = match bank.open_row {
             Some(r) if r == row => {
                 self.stats.inc("row_hit");
-                cfg.t_cas
+                (cfg.t_cas, false)
             }
             Some(_) => {
                 self.stats.inc("row_miss");
-                cfg.t_rp + cfg.t_rcd + cfg.t_cas
+                (cfg.t_rp + cfg.t_rcd + cfg.t_cas, true)
             }
             None => {
                 self.stats.inc("row_empty");
-                cfg.t_rcd + cfg.t_cas
+                (cfg.t_rcd + cfg.t_cas, true)
             }
         };
+        if activated {
+            if let Some(buf) = self.row_activates.as_mut() {
+                buf.push((start, ch_idx as u32, bank_idx as u32));
+            }
+        }
         bank.open_row = Some(row);
         let data_start = start + access_lat;
         let done = data_start + cfg.burst_cycles;
@@ -296,6 +319,25 @@ mod tests {
         }
         let total = 50_000;
         assert!(sparse.efficiency() > sparse.utilization(total) * 5.0);
+    }
+
+    #[test]
+    fn row_activate_trace_matches_counters() {
+        let mut d = Dram::new(DramConfig {
+            channels: 1,
+            banks_per_channel: 1,
+            ..Default::default()
+        });
+        // Disabled by default: no events recorded.
+        d.service(0x0000, 0);
+        assert!(d.take_row_activates().is_empty());
+        d.set_trace(true);
+        let t1 = d.service(0x0020, 100); // row hit: no activate
+        d.service(d.config().row_bytes * 3, t1); // row miss: activate
+        let evs = d.take_row_activates();
+        assert_eq!(evs.len(), 1);
+        assert_eq!((evs[0].1, evs[0].2), (0, 0));
+        assert!(d.take_row_activates().is_empty(), "take drains the buffer");
     }
 
     #[test]

@@ -286,6 +286,27 @@ impl SharedMemSystem {
         &self.dram
     }
 
+    /// Enables (or disables) DRAM row-activate event recording.
+    pub fn set_trace(&mut self, enabled: bool) {
+        self.dram.set_trace(enabled);
+    }
+
+    /// Drains recorded `(cycle, channel, bank)` DRAM row activates.
+    pub fn take_row_activates(&mut self) -> Vec<(u64, u32, u32)> {
+        self.dram.take_row_activates()
+    }
+
+    /// Cumulative traffic totals for interval sampling:
+    /// `(l2_hits, l2_misses, dram_requests, dram_transfer_cycles)`.
+    pub fn traffic_totals(&self) -> (u64, u64, u64, u64) {
+        (
+            self.l2.total_hits(),
+            self.l2.total_misses(),
+            self.dram.stats.get("req"),
+            self.dram.transfer_cycles(),
+        )
+    }
+
     /// `true` when no events are pending (drain check).
     pub fn is_idle(&self) -> bool {
         self.events.is_empty()

@@ -24,7 +24,7 @@
 
 pub mod unit;
 
-pub use unit::{RtMem, RtMemResult, RtUnit, RtUnitStats, WarpDone};
+pub use unit::{RtMem, RtMemResult, RtUnit, RtUnitEvent, RtUnitEventKind, RtUnitStats, WarpDone};
 
 use vksim_stats::{Counters, Histogram};
 

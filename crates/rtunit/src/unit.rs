@@ -42,6 +42,30 @@ pub struct WarpDone {
     pub latency: u64,
 }
 
+/// What a traced RT-unit event records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RtUnitEventKind {
+    /// A warp job entered the Warp Buffer.
+    Enqueue,
+    /// A warp job retired after `latency` resident cycles.
+    Finish {
+        /// Resident latency in cycles.
+        latency: u64,
+    },
+}
+
+/// One traced RT-unit timeline event, recorded at the source so warp
+/// attribution survives even when the SM's job bookkeeping has moved on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RtUnitEvent {
+    /// Cycle the event occurred on.
+    pub cycle: u64,
+    /// The [`WarpJob::warp_id`] of the affected job.
+    pub warp_id: u32,
+    /// What happened.
+    pub kind: RtUnitEventKind,
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum LaneState {
     /// Next step may issue.
@@ -132,6 +156,8 @@ pub struct RtUnit {
     resident_warp_cycles: u64,
     occupancy_trace: Vec<(u64, u32, u32)>, // (cycle, warps, active rays) sampled
     sample_period: u64,
+    // Timeline event buffer, allocated only while tracing is enabled.
+    events: Option<Vec<RtUnitEvent>>,
 }
 
 /// Snapshot of RT-unit statistics.
@@ -157,7 +183,18 @@ impl RtUnit {
             resident_warp_cycles: 0,
             occupancy_trace: Vec::new(),
             sample_period: 256,
+            events: None,
         }
+    }
+
+    /// Enables (or disables) timeline event recording. Off by default.
+    pub fn set_event_trace(&mut self, enabled: bool) {
+        self.events = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Drains recorded enqueue/finish timeline events.
+    pub fn take_events(&mut self) -> Vec<RtUnitEvent> {
+        self.events.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
     /// The configuration in use.
@@ -204,6 +241,13 @@ impl RtUnit {
         self.arrivals += 1;
         self.stats.inc("warps_entered");
         self.stats.add("rays_entered", job.active_lanes() as u64);
+        if let Some(buf) = self.events.as_mut() {
+            buf.push(RtUnitEvent {
+                cycle: now,
+                warp_id: job.warp_id,
+                kind: RtUnitEventKind::Enqueue,
+            });
+        }
         self.warps.push(WarpSlot {
             warp_id: job.warp_id,
             lanes: job.scripts.into_iter().map(Lane::new).collect(),
@@ -319,6 +363,13 @@ impl RtUnit {
                 let latency = now.saturating_sub(w.entered_at).max(1);
                 self.warp_latency.record(latency as f64);
                 self.stats.inc("warps_completed");
+                if let Some(buf) = self.events.as_mut() {
+                    buf.push(RtUnitEvent {
+                        cycle: now,
+                        warp_id: w.warp_id,
+                        kind: RtUnitEventKind::Finish { latency },
+                    });
+                }
                 done.push(WarpDone {
                     warp_id: w.warp_id,
                     latency,
@@ -809,6 +860,39 @@ mod tests {
         let mut mem = FlatMem::new(5);
         run_until_done(&mut rt, &mut mem, 1000);
         assert_eq!(rt.stats().warp_latency.count(), 1);
+    }
+
+    #[test]
+    fn event_trace_records_enqueue_and_finish() {
+        let mut rt = RtUnit::new(RtUnitConfig::default());
+        // Disabled by default: nothing recorded.
+        rt.try_enqueue(
+            WarpJob {
+                warp_id: 1,
+                scripts: vec![vec![fetch(0, 32)]],
+            },
+            0,
+        );
+        let mut mem = FlatMem::new(5);
+        run_until_done(&mut rt, &mut mem, 1000);
+        assert!(rt.take_events().is_empty());
+
+        rt.set_event_trace(true);
+        rt.try_enqueue(
+            WarpJob {
+                warp_id: 5,
+                scripts: vec![vec![fetch(0x40, 32)]],
+            },
+            3,
+        );
+        run_until_done(&mut rt, &mut mem, 1000);
+        let evs = rt.take_events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].warp_id, 5);
+        assert_eq!(evs[0].kind, RtUnitEventKind::Enqueue);
+        assert_eq!(evs[0].cycle, 3);
+        assert!(matches!(evs[1].kind, RtUnitEventKind::Finish { .. }));
+        assert!(rt.take_events().is_empty(), "take drains the buffer");
     }
 
     #[test]

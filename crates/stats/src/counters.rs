@@ -47,13 +47,23 @@ impl Counters {
         self.values.get(name).copied().unwrap_or(0)
     }
 
+    /// Iterates `(name, value)` pairs whose name starts with `prefix`, in
+    /// name order, without allocating. The `BTreeMap` range starts at the
+    /// prefix itself (borrowed, via the `Borrow<str>` bound) and stops at
+    /// the first non-matching key.
+    pub fn iter_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = (&'a str, u64)> + 'a {
+        self.values
+            .range::<str, _>((
+                std::ops::Bound::Included(prefix),
+                std::ops::Bound::Unbounded,
+            ))
+            .take_while(move |(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), *v))
+    }
+
     /// Sum of all counters whose name starts with `prefix`.
     pub fn sum_prefix(&self, prefix: &str) -> u64 {
-        self.values
-            .range(prefix.to_owned()..)
-            .take_while(|(k, _)| k.starts_with(prefix))
-            .map(|(_, v)| *v)
-            .sum()
+        self.iter_prefix(prefix).map(|(_, v)| v).sum()
     }
 
     /// Merges another counter bag into this one.
@@ -143,6 +153,19 @@ mod tests {
         assert_eq!(c.sum_prefix("l1."), 10);
         assert_eq!(c.sum_prefix("l2."), 10);
         assert_eq!(c.sum_prefix("l3."), 0);
+    }
+
+    #[test]
+    fn prefix_iteration_is_ordered_and_exact() {
+        let mut c = Counters::new();
+        c.add("l1.hit", 4);
+        c.add("l1.miss", 6);
+        c.add("l10.hit", 9); // shares the "l1" prefix but not "l1."
+        c.add("l2.hit", 10);
+        let got: Vec<(&str, u64)> = c.iter_prefix("l1.").collect();
+        assert_eq!(got, vec![("l1.hit", 4), ("l1.miss", 6)]);
+        assert_eq!(c.iter_prefix("l1").count(), 3);
+        assert_eq!(c.iter_prefix("zz").count(), 0);
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! The tiny JSON subset the testkit needs: string escaping for the bench
-//! writer, and flat `{"name": integer, ...}` objects for golden-counter
-//! files. Not a general JSON library on purpose — goldens must stay
-//! trivially diffable and lossless for `u64` (no float round-trip).
+//! writer, flat `{"name": integer, ...}` objects for golden-counter
+//! files, and a small general [`JsonValue`] reader for validating
+//! structured test artifacts (the Chrome trace export). The flat-object
+//! path stays integer-only on purpose — goldens must stay trivially
+//! diffable and lossless for `u64` (no float round-trip).
 
 use std::collections::BTreeMap;
 
@@ -87,6 +89,85 @@ pub fn parse_flat_u64_object(text: &str) -> Result<BTreeMap<String, u64>, String
     Ok(map)
 }
 
+/// A parsed general JSON value. Numbers are `f64` (fine for validation:
+/// every integer a trace emits is well below 2^53). Objects preserve key
+/// order as a `Vec` so assertions can check emission order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string (escapes decoded).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in document order (duplicate keys are rejected).
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric value as an unsigned integer, if whole and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        (n >= 0.0 && n.fract() == 0.0 && n <= 2f64.powi(53)).then_some(n as u64)
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document into a [`JsonValue`].
+///
+/// # Errors
+///
+/// Returns a message naming the offending byte offset for malformed
+/// documents, duplicate object keys, or trailing garbage.
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -162,6 +243,111 @@ impl Parser<'_> {
         }
     }
 
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => {
+                self.pos += 1;
+                let mut members: Vec<(String, JsonValue)> = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.skip_ws();
+                    let value = self.parse_value()?;
+                    if members.iter().any(|(k, _)| *k == key) {
+                        return Err(format!("duplicate key '{key}'"));
+                    }
+                    members.push((key, value));
+                    self.skip_ws();
+                    match self.next() {
+                        Some(b',') => continue,
+                        Some(b'}') => return Ok(JsonValue::Object(members)),
+                        other => {
+                            return Err(format!(
+                                "expected ',' or '}}', got {other:?} at byte {}",
+                                self.pos
+                            ))
+                        }
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.next() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(JsonValue::Array(items)),
+                        other => {
+                            return Err(format!(
+                                "expected ',' or ']', got {other:?} at byte {}",
+                                self.pos
+                            ))
+                        }
+                    }
+                }
+            }
+            Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn parse_literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected '{word}' at byte {}", self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits = |p: &mut Self| {
+            while matches!(p.peek(), Some(b'0'..=b'9')) {
+                p.pos += 1;
+            }
+        };
+        digits(self);
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            digits(self);
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            digits(self);
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .unwrap()
+            .parse()
+            .map(JsonValue::Number)
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
     fn parse_u64(&mut self) -> Result<u64, String> {
         let start = self.pos;
         while matches!(self.peek(), Some(b'0'..=b'9')) {
@@ -210,6 +396,43 @@ mod tests {
         assert!(parse_flat_u64_object("{\"a\": 1.5}").is_err());
         assert!(parse_flat_u64_object("{\"a\": 1, \"a\": 2}").is_err());
         assert!(parse_flat_u64_object("{\"a\" 1}").is_err());
+    }
+
+    #[test]
+    fn general_value_parser() {
+        let doc = r#"{"traceEvents": [{"ph": "B", "ts": 1.5, "pid": 0, "ok": true},
+                       {"neg": -2e3, "nothing": null, "list": []}], "other": {}}"#;
+        let v = parse_json(doc).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("B"));
+        assert_eq!(events[0].get("ts").unwrap().as_f64(), Some(1.5));
+        assert_eq!(events[0].get("pid").unwrap().as_u64(), Some(0));
+        assert_eq!(events[0].get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(events[1].get("neg").unwrap().as_f64(), Some(-2000.0));
+        assert_eq!(events[1].get("nothing"), Some(&JsonValue::Null));
+        assert_eq!(events[1].get("list").unwrap().as_array(), Some(&[][..]));
+        assert_eq!(v.get("other"), Some(&JsonValue::Object(vec![])));
+    }
+
+    #[test]
+    fn general_parser_rejects_malformed() {
+        assert!(parse_json("").is_err());
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("truth").is_err());
+        assert!(parse_json("{\"a\": 1} x").is_err());
+        assert!(parse_json("{\"a\": 1, \"a\": 2}").is_err());
+    }
+
+    #[test]
+    fn as_u64_bounds() {
+        assert_eq!(
+            parse_json("9007199254740992").unwrap().as_u64(),
+            Some(1 << 53)
+        );
+        assert_eq!(parse_json("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse_json("-1").unwrap().as_u64(), None);
     }
 
     #[test]

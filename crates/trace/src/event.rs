@@ -1,0 +1,178 @@
+//! The timeline event model.
+
+/// Warp field value for events not attributable to a warp (RT-unit memory
+/// traffic, DRAM row activates).
+pub const NO_WARP: u32 = u32::MAX;
+
+/// One timeline event. The SM id is implicit — events live in per-SM
+/// buffers and are tagged with their SM when merged.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Core cycle the event occurred on.
+    pub cycle: u64,
+    /// Warp id within the SM, or [`NO_WARP`].
+    pub warp: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Event payloads. Span begin/end pairs (`StallBegin`/`StallEnd`,
+/// `RtBusyBegin`/`RtBusyEnd`) are always properly nested per track; the
+/// recorder closes open spans at end of run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A warp issued an instruction.
+    Issue {
+        /// Program counter of the issued instruction.
+        pc: u32,
+        /// Active lanes in the issue mask.
+        lanes: u32,
+    },
+    /// A warp began stalling on memory.
+    StallBegin,
+    /// The stall ended; `cycles` is the stall length.
+    StallEnd {
+        /// Stall duration in cycles.
+        cycles: u64,
+    },
+    /// A warp retired (all contexts exited).
+    Retire,
+    /// A branch split the active mask.
+    Diverge {
+        /// PC of the divergent branch.
+        pc: u32,
+    },
+    /// A reconvergence point merged paths.
+    Reconverge {
+        /// PC of the reconvergence instruction.
+        pc: u32,
+    },
+    /// The SM's RT unit went from idle to busy.
+    RtBusyBegin,
+    /// The SM's RT unit drained back to idle.
+    RtBusyEnd,
+    /// A warp's traversal job entered the RT unit.
+    RtStart,
+    /// A warp's traversal job completed after `latency` resident cycles.
+    RtFinish {
+        /// Resident latency in cycles.
+        latency: u64,
+    },
+    /// An L1/RTC MSHR entry was allocated for a missing line.
+    MshrAlloc {
+        /// Line address.
+        line: u64,
+    },
+    /// A fill returned and released the MSHR entry.
+    MshrFill {
+        /// Line address.
+        line: u64,
+    },
+    /// A DRAM bank opened a row.
+    DramRowActivate {
+        /// Channel index.
+        channel: u32,
+        /// Bank index within the channel.
+        bank: u32,
+    },
+}
+
+impl EventKind {
+    /// Stable numeric code for flat (post-mortem dump) encoding.
+    pub fn code(&self) -> u64 {
+        match self {
+            EventKind::Issue { .. } => 0,
+            EventKind::StallBegin => 1,
+            EventKind::StallEnd { .. } => 2,
+            EventKind::Retire => 3,
+            EventKind::Diverge { .. } => 4,
+            EventKind::Reconverge { .. } => 5,
+            EventKind::RtBusyBegin => 6,
+            EventKind::RtBusyEnd => 7,
+            EventKind::RtStart => 8,
+            EventKind::RtFinish { .. } => 9,
+            EventKind::MshrAlloc { .. } => 10,
+            EventKind::MshrFill { .. } => 11,
+            EventKind::DramRowActivate { .. } => 12,
+        }
+    }
+
+    /// Human-readable name (Chrome trace event name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Issue { .. } => "issue",
+            EventKind::StallBegin | EventKind::StallEnd { .. } => "stall",
+            EventKind::Retire => "retire",
+            EventKind::Diverge { .. } => "diverge",
+            EventKind::Reconverge { .. } => "reconverge",
+            EventKind::RtBusyBegin | EventKind::RtBusyEnd => "rt_busy",
+            EventKind::RtStart => "rt_start",
+            EventKind::RtFinish { .. } => "traversal",
+            EventKind::MshrAlloc { .. } => "mshr_alloc",
+            EventKind::MshrFill { .. } => "mshr_fill",
+            EventKind::DramRowActivate { .. } => "row_activate",
+        }
+    }
+
+    /// The two payload words for flat encoding (unused slots are 0).
+    pub fn args(&self) -> (u64, u64) {
+        match *self {
+            EventKind::Issue { pc, lanes } => (pc as u64, lanes as u64),
+            EventKind::StallEnd { cycles } => (cycles, 0),
+            EventKind::Diverge { pc } | EventKind::Reconverge { pc } => (pc as u64, 0),
+            EventKind::RtFinish { latency } => (latency, 0),
+            EventKind::MshrAlloc { line } | EventKind::MshrFill { line } => (line, 0),
+            EventKind::DramRowActivate { channel, bank } => (channel as u64, bank as u64),
+            EventKind::StallBegin
+            | EventKind::Retire
+            | EventKind::RtBusyBegin
+            | EventKind::RtBusyEnd
+            | EventKind::RtStart => (0, 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_distinct_and_stable() {
+        let kinds = [
+            EventKind::Issue { pc: 1, lanes: 2 },
+            EventKind::StallBegin,
+            EventKind::StallEnd { cycles: 3 },
+            EventKind::Retire,
+            EventKind::Diverge { pc: 4 },
+            EventKind::Reconverge { pc: 5 },
+            EventKind::RtBusyBegin,
+            EventKind::RtBusyEnd,
+            EventKind::RtStart,
+            EventKind::RtFinish { latency: 6 },
+            EventKind::MshrAlloc { line: 7 },
+            EventKind::MshrFill { line: 8 },
+            EventKind::DramRowActivate {
+                channel: 1,
+                bank: 2,
+            },
+        ];
+        let codes: std::collections::BTreeSet<u64> = kinds.iter().map(|k| k.code()).collect();
+        assert_eq!(codes.len(), kinds.len());
+        assert_eq!(codes.iter().copied().max(), Some(12));
+    }
+
+    #[test]
+    fn args_round_payloads() {
+        assert_eq!(EventKind::Issue { pc: 9, lanes: 32 }.args(), (9, 32));
+        assert_eq!(EventKind::StallEnd { cycles: 77 }.args(), (77, 0));
+        assert_eq!(
+            EventKind::DramRowActivate {
+                channel: 3,
+                bank: 5
+            }
+            .args(),
+            (3, 5)
+        );
+        assert_eq!(EventKind::Retire.args(), (0, 0));
+    }
+}

@@ -1,0 +1,434 @@
+//! Exporters: Chrome trace-event JSON, interval CSV, hotspot summary.
+//!
+//! # Track model
+//!
+//! Each SM is one Chrome *process* (`pid` = SM id); the shared memory
+//! system is one extra process (`pid` = `num_sms`). Within an SM process:
+//!
+//! * `tid 0` — the RT unit's busy span (`B`/`E` pairs);
+//! * `tid warp+1` — per-warp instants (issue, retire, diverge,
+//!   reconverge, RT enqueue, warp-attributed MSHR traffic) and the
+//!   memory-stall span (`B`/`E` pairs);
+//! * `tid 1_000_000 + warp` — RT traversal spans as complete (`X`)
+//!   events, emitted at finish time with `ts = finish - latency`;
+//! * `tid 2_000_000` — MSHR traffic not attributable to a warp (the RT
+//!   unit's memory port).
+//!
+//! In the memory process, `tid` = DRAM channel for row-activate instants,
+//! and the interval series is appended as counter (`C`) events on
+//! `tid 1_000_000`. Timestamps are core cycles (Perfetto displays them as
+//! microseconds; only relative scale matters).
+
+use crate::config::TraceConfig;
+use crate::event::{Event, EventKind, NO_WARP};
+use crate::sampler::IntervalRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Thread-id offset for per-warp traversal tracks.
+pub const TRAVERSAL_TID_BASE: u64 = 1_000_000;
+/// Thread id for warp-less MSHR traffic.
+pub const MSHR_TID: u64 = 2_000_000;
+/// Thread id for interval counter events in the memory process.
+pub const COUNTER_TID: u64 = 1_000_000;
+
+/// Everything collected over a run, ready for export.
+#[derive(Clone, Debug)]
+pub struct TraceReport {
+    /// Number of SM processes; the memory pseudo-process is `num_sms`.
+    pub num_sms: u32,
+    /// Last simulated cycle.
+    pub final_cycle: u64,
+    /// Interval-sampler period used.
+    pub interval: u64,
+    /// Merged `(sm, event)` stream in deterministic drain order.
+    pub events: Vec<(u32, Event)>,
+    /// The interval time series.
+    pub intervals: Vec<IntervalRecord>,
+    /// Events discarded after the `max_events` cap was hit.
+    pub dropped: u64,
+    /// Issues per PC, merged across SMs.
+    pub pc_issues: BTreeMap<u32, u64>,
+    /// Stall cycles per `(sm, warp)`.
+    pub warp_stalls: BTreeMap<(u32, u32), u64>,
+    /// The configuration the trace was collected under.
+    pub config: TraceConfig,
+}
+
+/// Serializes the report as Chrome trace-event JSON (Perfetto-loadable).
+/// Output is byte-deterministic for a fixed report.
+pub fn chrome_trace_json(report: &TraceReport) -> String {
+    let mut out = String::with_capacity(64 * 1024);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    // Process-name metadata.
+    for sm in 0..report.num_sms {
+        meta(&mut out, &mut first, sm as u64, &format!("SM {sm}"));
+    }
+    meta(&mut out, &mut first, report.num_sms as u64, "Memory");
+    // Timeline events, in the deterministic drain order.
+    for &(sm, ev) in &report.events {
+        emit_event(&mut out, &mut first, sm as u64, ev);
+    }
+    // Interval counter series in the memory process.
+    for rec in &report.intervals {
+        for (name, value) in [
+            ("ipc", rec.ipc()),
+            ("l1_hit_rate", rec.l1_hit_rate()),
+            ("l2_hit_rate", rec.l2_hit_rate()),
+            ("dram_bw", rec.dram_bw()),
+            ("rt_occupancy", rec.rt_occupancy()),
+        ] {
+            sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{},\"pid\":{},\"tid\":{COUNTER_TID},\"args\":{{\"value\":{value:.6}}}}}",
+                rec.start, report.num_sms
+            );
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn meta(out: &mut String, first: &mut bool, pid: u64, name: &str) {
+    sep(out, first);
+    let _ = write!(
+        out,
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"{name}\"}}}}"
+    );
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push_str(",\n");
+    }
+}
+
+fn emit_event(out: &mut String, first: &mut bool, sm: u64, ev: Event) {
+    let name = ev.kind.name();
+    let warp_tid = |w: u32| w as u64 + 1;
+    sep(out, first);
+    match ev.kind {
+        EventKind::Issue { pc, lanes } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{sm},\"tid\":{},\"args\":{{\"pc\":{pc},\"lanes\":{lanes}}}}}",
+                ev.cycle,
+                warp_tid(ev.warp)
+            );
+        }
+        EventKind::StallBegin => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"ph\":\"B\",\"ts\":{},\"pid\":{sm},\"tid\":{}}}",
+                ev.cycle,
+                warp_tid(ev.warp)
+            );
+        }
+        EventKind::StallEnd { cycles } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"ph\":\"E\",\"ts\":{},\"pid\":{sm},\"tid\":{},\"args\":{{\"cycles\":{cycles}}}}}",
+                ev.cycle,
+                warp_tid(ev.warp)
+            );
+        }
+        EventKind::Retire => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{sm},\"tid\":{}}}",
+                ev.cycle,
+                warp_tid(ev.warp)
+            );
+        }
+        EventKind::Diverge { pc } | EventKind::Reconverge { pc } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{sm},\"tid\":{},\"args\":{{\"pc\":{pc}}}}}",
+                ev.cycle,
+                warp_tid(ev.warp)
+            );
+        }
+        EventKind::RtBusyBegin => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"ph\":\"B\",\"ts\":{},\"pid\":{sm},\"tid\":0}}",
+                ev.cycle
+            );
+        }
+        EventKind::RtBusyEnd => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"ph\":\"E\",\"ts\":{},\"pid\":{sm},\"tid\":0}}",
+                ev.cycle
+            );
+        }
+        EventKind::RtStart => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{sm},\"tid\":{}}}",
+                ev.cycle,
+                warp_tid(ev.warp)
+            );
+        }
+        EventKind::RtFinish { latency } => {
+            // A complete span on the warp's traversal track, ending now.
+            let start = ev.cycle.saturating_sub(latency);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"ph\":\"X\",\"ts\":{start},\"dur\":{latency},\"pid\":{sm},\"tid\":{}}}",
+                TRAVERSAL_TID_BASE + ev.warp as u64
+            );
+        }
+        EventKind::MshrAlloc { line } | EventKind::MshrFill { line } => {
+            let tid = if ev.warp == NO_WARP {
+                MSHR_TID
+            } else {
+                warp_tid(ev.warp)
+            };
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{sm},\"tid\":{tid},\"args\":{{\"line\":{line}}}}}",
+                ev.cycle
+            );
+        }
+        EventKind::DramRowActivate { channel, bank } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{sm},\"tid\":{channel},\"args\":{{\"bank\":{bank}}}}}",
+                ev.cycle
+            );
+        }
+    }
+}
+
+/// Serializes the interval series as flat CSV (header + one row per
+/// interval). Derived-metric columns use fixed 6-decimal formatting so
+/// the file is byte-deterministic.
+pub fn interval_csv(report: &TraceReport) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "start,len,issued_insts,ipc,l1_hits,l1_misses,l1_hit_rate,l2_hits,l2_misses,\
+         l2_hit_rate,dram_reqs,dram_bw,rt_occupancy,rt_busy_cycles\n",
+    );
+    for r in &report.intervals {
+        let d = &r.delta;
+        let _ = writeln!(
+            out,
+            "{},{},{},{:.6},{},{},{:.6},{},{},{:.6},{},{:.6},{:.6},{}",
+            r.start,
+            r.len,
+            d.issued_insts,
+            r.ipc(),
+            d.l1_hits,
+            d.l1_misses,
+            r.l1_hit_rate(),
+            d.l2_hits,
+            d.l2_misses,
+            r.l2_hit_rate(),
+            d.dram_reqs,
+            r.dram_bw(),
+            r.rt_occupancy(),
+            d.rt_busy_cycles
+        );
+    }
+    out
+}
+
+/// Renders a human-readable top-`n` hotspot summary: hottest PCs,
+/// longest-stalled warps, and the worst RT-occupancy intervals among
+/// intervals where the RT units were active at all.
+pub fn hotspot_summary(report: &TraceReport, n: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== trace summary: {} cycles, {} SMs, {} events ({} dropped), {} intervals ===",
+        report.final_cycle,
+        report.num_sms,
+        report.events.len(),
+        report.dropped,
+        report.intervals.len()
+    );
+
+    let _ = writeln!(out, "\nhottest PCs (by issued instructions):");
+    let mut pcs: Vec<(u32, u64)> = report.pc_issues.iter().map(|(&pc, &c)| (pc, c)).collect();
+    pcs.sort_by_key(|&(pc, c)| (std::cmp::Reverse(c), pc));
+    for (pc, count) in pcs.iter().take(n) {
+        let _ = writeln!(out, "  pc {pc:>6}  {count:>10} issues");
+    }
+
+    let _ = writeln!(out, "\nlongest-stalled warps (memory stall cycles):");
+    let mut stalls: Vec<((u32, u32), u64)> =
+        report.warp_stalls.iter().map(|(&k, &v)| (k, v)).collect();
+    stalls.sort_by_key(|&(k, v)| (std::cmp::Reverse(v), k));
+    for ((sm, warp), cycles) in stalls.iter().take(n) {
+        let _ = writeln!(out, "  sm {sm:>2} warp {warp:>3}  {cycles:>10} cycles");
+    }
+
+    let _ = writeln!(out, "\nworst RT-occupancy intervals (RT active only):");
+    let mut active: Vec<&IntervalRecord> = report
+        .intervals
+        .iter()
+        .filter(|r| r.delta.rt_busy_cycles > 0)
+        .collect();
+    active.sort_by(|a, b| {
+        a.rt_occupancy()
+            .partial_cmp(&b.rt_occupancy())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.start.cmp(&b.start))
+    });
+    for r in active.iter().take(n) {
+        let _ = writeln!(
+            out,
+            "  [{:>8}, {:>8})  occupancy {:>8.3}  ipc {:>7.3}",
+            r.start,
+            r.start + r.len,
+            r.rt_occupancy(),
+            r.ipc()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::IntervalSnapshot;
+
+    fn tiny_report() -> TraceReport {
+        let events = vec![
+            (
+                0,
+                Event {
+                    cycle: 1,
+                    warp: 0,
+                    kind: EventKind::Issue { pc: 4, lanes: 32 },
+                },
+            ),
+            (
+                0,
+                Event {
+                    cycle: 2,
+                    warp: 0,
+                    kind: EventKind::StallBegin,
+                },
+            ),
+            (
+                0,
+                Event {
+                    cycle: 9,
+                    warp: 0,
+                    kind: EventKind::StallEnd { cycles: 7 },
+                },
+            ),
+            (
+                1,
+                Event {
+                    cycle: 3,
+                    warp: NO_WARP,
+                    kind: EventKind::RtBusyBegin,
+                },
+            ),
+            (
+                1,
+                Event {
+                    cycle: 8,
+                    warp: NO_WARP,
+                    kind: EventKind::RtBusyEnd,
+                },
+            ),
+            (
+                1,
+                Event {
+                    cycle: 8,
+                    warp: 2,
+                    kind: EventKind::RtFinish { latency: 5 },
+                },
+            ),
+            (
+                2,
+                Event {
+                    cycle: 6,
+                    warp: NO_WARP,
+                    kind: EventKind::DramRowActivate {
+                        channel: 1,
+                        bank: 3,
+                    },
+                },
+            ),
+        ];
+        let mut pc_issues = BTreeMap::new();
+        pc_issues.insert(4, 1);
+        let mut warp_stalls = BTreeMap::new();
+        warp_stalls.insert((0, 0), 7);
+        TraceReport {
+            num_sms: 2,
+            final_cycle: 10,
+            interval: 4,
+            events,
+            intervals: vec![IntervalRecord {
+                start: 0,
+                len: 4,
+                delta: IntervalSnapshot {
+                    issued_insts: 8,
+                    rt_busy_cycles: 2,
+                    rt_resident_warp_cycles: 4,
+                    ..Default::default()
+                },
+            }],
+            dropped: 0,
+            pc_issues,
+            warp_stalls,
+            config: TraceConfig::default(),
+        }
+    }
+
+    #[test]
+    fn chrome_json_has_metadata_and_balanced_spans() {
+        let json = chrome_trace_json(&tiny_report());
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"SM 0\""));
+        assert!(json.contains("\"name\":\"SM 1\""));
+        assert!(json.contains("\"name\":\"Memory\""));
+        assert_eq!(
+            json.matches("\"ph\":\"B\"").count(),
+            json.matches("\"ph\":\"E\"").count()
+        );
+        // The traversal span lands on the offset track with ts = finish-latency.
+        assert!(json.contains(&format!(
+            "\"ts\":3,\"dur\":5,\"pid\":1,\"tid\":{}",
+            TRAVERSAL_TID_BASE + 2
+        )));
+        // Counters present for the sampled interval.
+        assert!(json.contains("\"name\":\"ipc\""));
+        assert!(json.contains("\"value\":2.000000"));
+    }
+
+    #[test]
+    fn chrome_json_is_deterministic() {
+        let r = tiny_report();
+        assert_eq!(chrome_trace_json(&r), chrome_trace_json(&r));
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_interval() {
+        let csv = interval_csv(&tiny_report());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("start,len,issued_insts,ipc"));
+        assert!(lines[1].starts_with("0,4,8,2.000000"));
+    }
+
+    #[test]
+    fn summary_lists_hotspots() {
+        let s = hotspot_summary(&tiny_report(), 5);
+        assert!(s.contains("hottest PCs"));
+        assert!(s.contains("pc      4"));
+        assert!(s.contains("sm  0 warp   0"));
+        assert!(s.contains("worst RT-occupancy"));
+        assert!(s.contains("occupancy"));
+    }
+}

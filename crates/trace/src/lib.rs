@@ -1,0 +1,41 @@
+//! Cycle-level observability for the timing model.
+//!
+//! Aggregate end-of-run counters (`vksim-stats`) answer *how much*; this
+//! crate answers *when*. It provides three layers, all off by default and
+//! allocation-free when disabled:
+//!
+//! * an **event recorder** ([`SmTracer`]) — per-SM buffers of timeline
+//!   events keyed by `(cycle, sm, warp, unit)`: warp issue/stall/retire,
+//!   SIMT divergence/reconvergence, RT-unit traversal start/finish, MSHR
+//!   allocate/fill, DRAM row activates;
+//! * an **interval metrics sampler** ([`IntervalSnapshot`] /
+//!   [`IntervalRecord`]) — cumulative raw counters snapshotted every
+//!   `VKSIM_TRACE_INTERVAL` cycles and differenced into a time series
+//!   (IPC, L1/L2 hit rate, RT occupancy, DRAM bandwidth per interval);
+//! * **exporters** — Chrome trace-event JSON loadable in Perfetto
+//!   ([`chrome_trace_json`]), flat CSV for the interval series
+//!   ([`interval_csv`]), and a human-readable top-N hotspot summary
+//!   ([`hotspot_summary`]).
+//!
+//! Determinism contract: SMs record into SM-local [`SmTracer`]s during
+//! phase A of the two-phase cycle engine; the coordinator drains them into
+//! one [`TraceCollector`] in SM-id order during phase B. Shared-backend
+//! events (DRAM row activates) only occur in phase B, which is serial. The
+//! merged event stream — and therefore the exported trace — is identical
+//! at any `VKSIM_THREADS`.
+//!
+//! The crate is dependency-free by design: it sits below every timing
+//! crate in the workspace graph so `vksim-gpu`, `vksim-mem`, `vksim-rtunit`
+//! and `vksim-core` can all hook into it without cycles.
+
+mod config;
+mod event;
+mod export;
+mod recorder;
+mod sampler;
+
+pub use config::{TraceConfig, DEFAULT_FLIGHT_DEPTH, DEFAULT_INTERVAL, DEFAULT_MAX_EVENTS};
+pub use event::{Event, EventKind, NO_WARP};
+pub use export::{chrome_trace_json, hotspot_summary, interval_csv, TraceReport};
+pub use recorder::{SmTracer, TraceCollector};
+pub use sampler::{IntervalRecord, IntervalSnapshot};

@@ -1,0 +1,327 @@
+//! Per-SM event recorder and the serial collector that merges them.
+
+use crate::config::TraceConfig;
+use crate::event::{Event, EventKind, NO_WARP};
+use crate::export::TraceReport;
+use crate::sampler::{IntervalRecord, IntervalSnapshot};
+use std::collections::{BTreeMap, VecDeque};
+
+/// The per-SM recorder. Lives behind an `Option<Box<SmTracer>>` on each SM
+/// so a disabled run pays exactly one null check per hook site; all state
+/// is SM-local, which is what makes tracing safe inside phase A of the
+/// parallel engine.
+#[derive(Clone, Debug)]
+pub struct SmTracer {
+    // Events staged since the last phase-B drain.
+    staged: Vec<Event>,
+    // Bounded ring of the most recent events (the flight recorder).
+    flight: VecDeque<Event>,
+    flight_depth: usize,
+    // Open memory-stall spans: warp -> stall-begin cycle.
+    stall_since: BTreeMap<u32, u64>,
+    // Aggregates for the hotspot summary.
+    pc_issues: BTreeMap<u32, u64>,
+    warp_stall_cycles: BTreeMap<u32, u64>,
+    // Edge detector for the RT-busy span.
+    rt_busy: bool,
+}
+
+impl SmTracer {
+    /// Creates an empty recorder with the given flight-ring depth.
+    pub fn new(config: &TraceConfig) -> Self {
+        SmTracer {
+            staged: Vec::new(),
+            flight: VecDeque::new(),
+            flight_depth: config.effective_flight_depth(),
+            stall_since: BTreeMap::new(),
+            pc_issues: BTreeMap::new(),
+            warp_stall_cycles: BTreeMap::new(),
+            rt_busy: false,
+        }
+    }
+
+    /// Records a raw event.
+    pub fn record(&mut self, cycle: u64, warp: u32, kind: EventKind) {
+        let ev = Event { cycle, warp, kind };
+        self.staged.push(ev);
+        if self.flight.len() >= self.flight_depth {
+            self.flight.pop_front();
+        }
+        self.flight.push_back(ev);
+    }
+
+    /// Records an instruction issue and feeds the hottest-PC aggregate.
+    pub fn issue(&mut self, cycle: u64, warp: u32, pc: u32, lanes: u32) {
+        *self.pc_issues.entry(pc).or_insert(0) += 1;
+        self.record(cycle, warp, EventKind::Issue { pc, lanes });
+    }
+
+    /// Opens a memory-stall span for `warp` (idempotent while open).
+    pub fn stall_begin(&mut self, cycle: u64, warp: u32) {
+        if let std::collections::btree_map::Entry::Vacant(e) = self.stall_since.entry(warp) {
+            e.insert(cycle);
+            self.record(cycle, warp, EventKind::StallBegin);
+        }
+    }
+
+    /// Closes the memory-stall span for `warp`, if one is open.
+    pub fn stall_end(&mut self, cycle: u64, warp: u32) {
+        if let Some(since) = self.stall_since.remove(&warp) {
+            let cycles = cycle.saturating_sub(since);
+            *self.warp_stall_cycles.entry(warp).or_insert(0) += cycles;
+            self.record(cycle, warp, EventKind::StallEnd { cycles });
+        }
+    }
+
+    /// Edge-detects the RT unit's busy state into a begin/end span.
+    pub fn rt_busy_edge(&mut self, cycle: u64, busy: bool) {
+        if busy != self.rt_busy {
+            self.rt_busy = busy;
+            let kind = if busy {
+                EventKind::RtBusyBegin
+            } else {
+                EventKind::RtBusyEnd
+            };
+            self.record(cycle, NO_WARP, kind);
+        }
+    }
+
+    /// Closes every open span at end of run so exported B/E pairs match.
+    pub fn finalize(&mut self, cycle: u64) {
+        let open: Vec<u32> = self.stall_since.keys().copied().collect();
+        for warp in open {
+            self.stall_end(cycle, warp);
+        }
+        self.rt_busy_edge(cycle, false);
+    }
+
+    /// The flight-recorder ring, oldest first.
+    pub fn flight(&self) -> impl Iterator<Item = &Event> {
+        self.flight.iter()
+    }
+
+    /// Events staged since the last drain (for tests).
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+}
+
+/// The serial merge point: phase B drains every SM's staged events — in
+/// SM-id order — into one collector, samples the interval series, and at
+/// end of run folds everything into a [`TraceReport`].
+#[derive(Debug)]
+pub struct TraceCollector {
+    config: TraceConfig,
+    events: Vec<(u32, Event)>,
+    dropped: u64,
+    intervals: Vec<IntervalRecord>,
+    last_snapshot: IntervalSnapshot,
+    interval_start: u64,
+    pc_issues: BTreeMap<u32, u64>,
+    warp_stalls: BTreeMap<(u32, u32), u64>,
+}
+
+impl TraceCollector {
+    /// Creates an empty collector.
+    pub fn new(config: TraceConfig) -> Self {
+        TraceCollector {
+            config,
+            events: Vec::new(),
+            dropped: 0,
+            intervals: Vec::new(),
+            last_snapshot: IntervalSnapshot::default(),
+            interval_start: 0,
+            pc_issues: BTreeMap::new(),
+            warp_stalls: BTreeMap::new(),
+        }
+    }
+
+    /// The interval-sampler period.
+    pub fn interval(&self) -> u64 {
+        self.config.effective_interval()
+    }
+
+    fn push(&mut self, sm: u32, ev: Event) {
+        if self.events.len() >= self.config.max_events {
+            self.dropped += 1;
+        } else {
+            self.events.push((sm, ev));
+        }
+    }
+
+    /// Drains one SM's staged events. Must be called in SM-id order each
+    /// cycle (phase B) to keep the merged stream thread-count invariant.
+    pub fn drain_sm(&mut self, sm: u32, tracer: &mut SmTracer) {
+        for ev in std::mem::take(&mut tracer.staged) {
+            self.push(sm, ev);
+        }
+    }
+
+    /// Appends shared-backend events under the pseudo-process `sm` id
+    /// (callers pass `num_sms`). Only called from serial phase-B code.
+    pub fn push_mem_events(&mut self, sm: u32, events: impl IntoIterator<Item = Event>) {
+        for ev in events {
+            self.push(sm, ev);
+        }
+    }
+
+    /// Records one interval sample: `snapshot` holds *cumulative* raw
+    /// counters as of `cycle`; the collector stores the delta.
+    pub fn sample(&mut self, cycle: u64, snapshot: IntervalSnapshot) {
+        let len = cycle.saturating_sub(self.interval_start);
+        if len == 0 {
+            return;
+        }
+        self.intervals.push(IntervalRecord {
+            start: self.interval_start,
+            len,
+            delta: snapshot.delta(&self.last_snapshot),
+        });
+        self.last_snapshot = snapshot;
+        self.interval_start = cycle;
+    }
+
+    /// Folds one SM's summary aggregates in (call once, at end of run).
+    pub fn absorb_aggregates(&mut self, sm: u32, tracer: &SmTracer) {
+        for (&pc, &n) in &tracer.pc_issues {
+            *self.pc_issues.entry(pc).or_insert(0) += n;
+        }
+        for (&warp, &n) in &tracer.warp_stall_cycles {
+            *self.warp_stalls.entry((sm, warp)).or_insert(0) += n;
+        }
+    }
+
+    /// Finishes collection into an exportable report.
+    pub fn finish(self, final_cycle: u64, num_sms: u32) -> TraceReport {
+        TraceReport {
+            num_sms,
+            final_cycle,
+            interval: self.config.effective_interval(),
+            events: self.events,
+            intervals: self.intervals,
+            dropped: self.dropped,
+            pc_issues: self.pc_issues,
+            warp_stalls: self.warp_stalls,
+            config: self.config,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TraceConfig {
+        TraceConfig {
+            enabled: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn stall_spans_pair_and_accumulate() {
+        let mut t = SmTracer::new(&cfg());
+        t.stall_begin(10, 3);
+        t.stall_begin(12, 3); // idempotent while open
+        t.stall_end(25, 3);
+        t.stall_end(26, 3); // no open span: no event
+        t.stall_begin(30, 3);
+        t.finalize(40);
+        let kinds: Vec<EventKind> = t.flight().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::StallBegin,
+                EventKind::StallEnd { cycles: 15 },
+                EventKind::StallBegin,
+                EventKind::StallEnd { cycles: 10 },
+            ]
+        );
+        assert_eq!(t.warp_stall_cycles.get(&3), Some(&25));
+    }
+
+    #[test]
+    fn rt_busy_edges_only_on_transitions() {
+        let mut t = SmTracer::new(&cfg());
+        t.rt_busy_edge(1, false);
+        t.rt_busy_edge(2, true);
+        t.rt_busy_edge(3, true);
+        t.rt_busy_edge(7, false);
+        assert_eq!(t.staged_len(), 2);
+    }
+
+    #[test]
+    fn flight_ring_is_bounded() {
+        let mut t = SmTracer::new(&TraceConfig {
+            enabled: true,
+            flight_depth: 4,
+            ..Default::default()
+        });
+        for i in 0..10 {
+            t.record(i, 0, EventKind::Retire);
+        }
+        let cycles: Vec<u64> = t.flight().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn collector_caps_events_and_counts_drops() {
+        let mut c = TraceCollector::new(TraceConfig {
+            enabled: true,
+            max_events: 3,
+            ..Default::default()
+        });
+        let mut t = SmTracer::new(&cfg());
+        for i in 0..5 {
+            t.record(i, 0, EventKind::Retire);
+        }
+        c.drain_sm(0, &mut t);
+        assert_eq!(t.staged_len(), 0);
+        let r = c.finish(100, 1);
+        assert_eq!(r.events.len(), 3);
+        assert_eq!(r.dropped, 2);
+    }
+
+    #[test]
+    fn sampler_stores_deltas_not_cumulatives() {
+        let mut c = TraceCollector::new(cfg());
+        c.sample(
+            1000,
+            IntervalSnapshot {
+                issued_insts: 500,
+                ..Default::default()
+            },
+        );
+        c.sample(
+            2000,
+            IntervalSnapshot {
+                issued_insts: 800,
+                ..Default::default()
+            },
+        );
+        c.sample(2000, IntervalSnapshot::default()); // zero-length: ignored
+        let r = c.finish(2000, 1);
+        assert_eq!(r.intervals.len(), 2);
+        assert_eq!(r.intervals[0].delta.issued_insts, 500);
+        assert_eq!(r.intervals[1].delta.issued_insts, 300);
+        assert_eq!(r.intervals[1].start, 1000);
+        assert_eq!(r.intervals[1].len, 1000);
+    }
+
+    #[test]
+    fn aggregates_merge_across_sms() {
+        let mut c = TraceCollector::new(cfg());
+        let mut a = SmTracer::new(&cfg());
+        a.issue(1, 0, 0x40, 32);
+        a.issue(2, 0, 0x40, 32);
+        let mut b = SmTracer::new(&cfg());
+        b.issue(1, 0, 0x40, 16);
+        b.stall_begin(0, 1);
+        b.stall_end(9, 1);
+        c.absorb_aggregates(0, &a);
+        c.absorb_aggregates(1, &b);
+        let r = c.finish(10, 2);
+        assert_eq!(r.pc_issues.get(&0x40), Some(&3));
+        assert_eq!(r.warp_stalls.get(&(1, 1)), Some(&9));
+    }
+}

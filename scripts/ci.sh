@@ -73,6 +73,25 @@ step "fault-injection drills (classified errors + post-mortem dumps)"
 VKSIM_DUMP_DIR="$(mktemp -d)" \
     cargo test --offline -q -p vksim-bench --test fault_injection
 
+# Observability gate: a traced run must complete, write a parseable
+# Perfetto trace + interval CSV, and (per tests/trace_export.rs, which
+# also runs here) be byte-deterministic, thread-invariant and a pure
+# observer of the golden counters.
+step "traced smoke run + trace validation"
+trace_dir="$(mktemp -d)"
+VKSIM_TRACE_CSV="$trace_dir/intervals.csv" \
+    cargo run --release --offline -p vksim-bench --bin experiments -- \
+    fig01 --trace="$trace_dir/trace.json" --trace-interval=256 >/dev/null
+[ -s "$trace_dir/trace.json" ] || { echo "no trace written"; exit 1; }
+[ -s "$trace_dir/intervals.csv" ] || { echo "no interval CSV written"; exit 1; }
+head -1 "$trace_dir/intervals.csv" | grep -q '^start,len,' \
+    || { echo "malformed interval CSV header"; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$trace_dir/trace.json" >/dev/null \
+        || { echo "trace JSON does not parse"; exit 1; }
+fi
+cargo test --offline -q -p vksim-bench --test trace_export
+
 # Stage group 2: bench smoke and example runs only execute already-built
 # (or cheaply built) artifacts — overlap them.
 bench_out="$(mktemp -d)"
@@ -93,10 +112,17 @@ for suite in substrates engine; do
     # Absolute path: cargo runs bench binaries with cwd = the package root
     # (crates/bench), not the workspace root.
     base="$PWD/.bench-baselines/BENCH_$suite.json"
+    # The engine suite doubles as the disabled-tracing overhead gate: the
+    # observability hooks must cost no more than 2% when tracing is off.
+    if [ "$suite" = engine ]; then
+        max="${VKSIM_BENCH_MAX_REGRESSION_ENGINE:-2}"
+    else
+        max="${VKSIM_BENCH_MAX_REGRESSION:-25}"
+    fi
     if [ -f "$base" ]; then
         VKSIM_BENCH_DIR="$(mktemp -d)" VKSIM_BENCH_QUICK=1 \
             VKSIM_BENCH_BASELINE="$base" \
-            VKSIM_BENCH_MAX_REGRESSION="${VKSIM_BENCH_MAX_REGRESSION:-25}" \
+            VKSIM_BENCH_MAX_REGRESSION="$max" \
             cargo bench --offline -p vksim-bench --bench "$suite"
     else
         cp "$bench_out/BENCH_$suite.json" "$base"

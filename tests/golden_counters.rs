@@ -15,8 +15,8 @@
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use vksim_bench::run_workload;
-use vksim_core::{RunReport, SimConfig};
-use vksim_scenes::{Scale, WorkloadKind};
+use vksim_core::{RunReport, SimConfig, Simulator};
+use vksim_scenes::{build, Scale, WorkloadKind};
 use vksim_testkit::assert_matches_golden;
 
 fn golden_path(name: &str) -> PathBuf {
@@ -116,6 +116,32 @@ fn golden_rtv6() {
 fn golden_tri_mobile() {
     let (_, report) = run_workload(WorkloadKind::Tri, Scale::Test, SimConfig::mobile());
     assert_matches_golden(golden_path("tri_mobile"), &snapshot(&report));
+}
+
+/// The FCC case study (§VI-E): RTV6 with function-call coalescing enabled.
+/// Locks the coalescing-table loads and reordered intersection-shader
+/// lowering the case study measures, so tracing hooks (and future PRs)
+/// cannot silently shift the FCC path.
+#[test]
+fn golden_rtv6_fcc() {
+    let mut w = build(WorkloadKind::Rtv6, Scale::Test);
+    let fcc_cmd = w.with_fcc(true);
+    let report = Simulator::new(SimConfig::test_small())
+        .run(&w.device, &fcc_cmd)
+        .expect("healthy run");
+    assert_matches_golden(golden_path("rtv6_fcc"), &snapshot(&report));
+}
+
+/// The ITS case study (§VI-F): REF under independent thread scheduling.
+/// The multipath SIMT engine takes different divergence/reconvergence
+/// decisions than the stack engine, so it gets its own golden.
+#[test]
+fn golden_ref_its() {
+    let w = build(WorkloadKind::Ref, Scale::Test);
+    let report = Simulator::new(SimConfig::test_small().with_its(true))
+        .run(&w.device, &w.cmd)
+        .expect("healthy run");
+    assert_matches_golden(golden_path("ref_its"), &snapshot(&report));
 }
 
 /// The two-phase cycle engine's determinism contract: any thread count must

@@ -1,0 +1,273 @@
+//! Observability-layer validation: the Chrome trace export must be
+//! schema-valid and deterministic, and tracing must be a pure observer —
+//! enabling it (at any thread count) may not move a single counter.
+//!
+//! * Schema: the JSON parses with the in-repo reader, every event carries
+//!   `ph`/`pid`, timestamps are nondecreasing per `(pid, tid)` track, and
+//!   every `B` has a matching `E` (finalize closes open spans).
+//! * Determinism: the serialized trace is byte-identical run-to-run and
+//!   across `threads = 1` vs `4` — the same drain-order contract the
+//!   golden counters rely on.
+//! * Invariance: counter snapshots with tracing on/off, threads 1/4, are
+//!   byte-equal.
+//! * Flight recorder: an induced hang embeds the last trace events per SM
+//!   in the post-mortem dump.
+
+use std::collections::BTreeMap;
+use vksim_bench::run_workload;
+use vksim_core::{RunReport, SimConfig, Simulator};
+use vksim_scenes::{build, Scale, WorkloadKind};
+use vksim_testkit::json::{parse_flat_u64_object, parse_json, JsonValue};
+use vksim_trace::{chrome_trace_json, hotspot_summary, interval_csv, TraceConfig, TraceReport};
+
+/// A test-small config with tracing on (no export files — the report is
+/// inspected in-process) and a short sampler period so even the tiny test
+/// scene produces several intervals.
+fn traced_config(threads: usize) -> SimConfig {
+    SimConfig::test_small()
+        .with_threads(threads)
+        .with_trace(TraceConfig {
+            enabled: true,
+            interval: 256,
+            ..Default::default()
+        })
+}
+
+fn traced_run(threads: usize) -> RunReport {
+    let (_, report) = run_workload(WorkloadKind::Tri, Scale::Test, traced_config(threads));
+    report
+}
+
+fn trace_of(report: &RunReport) -> &TraceReport {
+    report.trace.as_ref().expect("tracing was enabled")
+}
+
+/// The same integer-exact counter flattening the golden suite gates on,
+/// trimmed to the fields tracing hooks come anywhere near.
+fn snapshot(report: &RunReport) -> BTreeMap<String, u64> {
+    let mut m = BTreeMap::new();
+    let gpu = &report.gpu;
+    m.insert("gpu.cycles".into(), gpu.cycles);
+    m.insert("gpu.issued_insts".into(), gpu.issued_insts);
+    m.insert("gpu.rt_busy_cycles".into(), gpu.rt_busy_cycles);
+    m.insert(
+        "gpu.rt_resident_warp_cycles".into(),
+        gpu.rt_resident_warp_cycles,
+    );
+    m.insert("gpu.rt_ops".into(), gpu.rt_ops);
+    m.insert("gpu.rt_chunks_fetched".into(), gpu.rt_chunks_fetched);
+    for (k, v) in gpu.counters.iter() {
+        m.insert(format!("counter.{k}"), v);
+    }
+    for (prefix, bag) in [
+        ("l1", &gpu.l1_stats),
+        ("rtc", &gpu.rtc_stats),
+        ("l2", &gpu.l2_stats),
+        ("dram", &gpu.dram_stats),
+    ] {
+        for (k, v) in bag.iter() {
+            m.insert(format!("{prefix}.{k}"), v);
+        }
+    }
+    m
+}
+
+#[test]
+fn chrome_trace_schema_is_valid() {
+    let report = traced_run(1);
+    let trace = trace_of(&report);
+    assert!(!trace.events.is_empty(), "a real run produces events");
+    assert!(!trace.intervals.is_empty(), "sampler produced intervals");
+
+    let json = chrome_trace_json(trace);
+    let doc = parse_json(&json).expect("trace JSON parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("top-level traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut meta_names: Vec<String> = Vec::new();
+    let mut last_ts: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    let mut open_spans: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    let mut counter_events = 0usize;
+    for ev in events {
+        let ph = ev
+            .get("ph")
+            .and_then(JsonValue::as_str)
+            .expect("every event has ph");
+        let pid = ev
+            .get("pid")
+            .and_then(JsonValue::as_u64)
+            .expect("every event has pid");
+        assert!(
+            pid <= trace.num_sms as u64,
+            "pid {pid} beyond the memory pseudo-process"
+        );
+        if ph == "M" {
+            let name = ev
+                .get("args")
+                .and_then(|a| a.get("name"))
+                .and_then(JsonValue::as_str)
+                .expect("metadata names its process");
+            meta_names.push(name.to_string());
+            continue;
+        }
+        let tid = ev.get("tid").and_then(JsonValue::as_u64).expect("tid");
+        let ts = ev.get("ts").and_then(JsonValue::as_f64).expect("ts");
+        let track = (pid, tid);
+        if let Some(&prev) = last_ts.get(&track) {
+            assert!(
+                ts >= prev,
+                "track ({pid},{tid}): ts went backwards {prev} -> {ts}"
+            );
+        }
+        last_ts.insert(track, ts);
+        match ph {
+            "B" => *open_spans.entry(track).or_default() += 1,
+            "E" => {
+                let open = open_spans
+                    .get_mut(&track)
+                    .expect("E only on a track that opened a span");
+                assert!(*open > 0, "track ({pid},{tid}): unmatched E");
+                *open -= 1;
+            }
+            "X" => {
+                assert!(
+                    ev.get("dur").and_then(JsonValue::as_u64).is_some(),
+                    "complete events carry a duration"
+                );
+            }
+            "C" => {
+                counter_events += 1;
+                assert_eq!(pid, trace.num_sms as u64, "counters live in Memory");
+                assert!(ev
+                    .get("args")
+                    .and_then(|a| a.get("value"))
+                    .and_then(JsonValue::as_f64)
+                    .is_some());
+            }
+            "i" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(
+        open_spans.values().all(|&n| n == 0),
+        "finalize must close every span: {open_spans:?}"
+    );
+    assert_eq!(
+        meta_names.len(),
+        trace.num_sms as usize + 1,
+        "one process_name per SM plus Memory"
+    );
+    assert!(meta_names.iter().any(|n| n == "Memory"));
+    assert_eq!(
+        counter_events,
+        trace.intervals.len() * 5,
+        "five counter series per sampled interval"
+    );
+}
+
+#[test]
+fn trace_is_deterministic_and_thread_invariant() {
+    let a = traced_run(1);
+    let b = traced_run(1);
+    let c = traced_run(4);
+    let json_a = chrome_trace_json(trace_of(&a));
+    assert_eq!(
+        json_a,
+        chrome_trace_json(trace_of(&b)),
+        "trace JSON must be byte-identical run-to-run"
+    );
+    assert_eq!(
+        json_a,
+        chrome_trace_json(trace_of(&c)),
+        "threads=1 and threads=4 must serialize the identical trace"
+    );
+    assert_eq!(interval_csv(trace_of(&a)), interval_csv(trace_of(&c)));
+}
+
+#[test]
+fn tracing_does_not_change_counters() {
+    let (_, base) = run_workload(WorkloadKind::Tri, Scale::Test, SimConfig::test_small());
+    assert!(base.trace.is_none(), "tracing is off by default");
+    let golden = snapshot(&base);
+    for (label, report) in [
+        ("trace on, threads 1", traced_run(1)),
+        ("trace on, threads 4", traced_run(4)),
+    ] {
+        assert_eq!(
+            golden,
+            snapshot(&report),
+            "{label}: tracing must be a pure observer"
+        );
+    }
+}
+
+#[test]
+fn csv_and_summary_are_well_formed() {
+    let report = traced_run(1);
+    let trace = trace_of(&report);
+    let csv = interval_csv(trace);
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(
+        lines.len(),
+        trace.intervals.len() + 1,
+        "header + one row each"
+    );
+    let cols = lines[0].split(',').count();
+    for line in &lines[1..] {
+        assert_eq!(line.split(',').count(), cols, "ragged CSV row: {line}");
+    }
+    let summary = hotspot_summary(trace, 5);
+    assert!(summary.contains("hottest PCs"));
+    assert!(summary.contains("longest-stalled warps"));
+    assert!(summary.contains("RT-occupancy"));
+}
+
+#[test]
+fn exporter_writes_requested_files() {
+    let dir = std::env::temp_dir();
+    let out = dir.join(format!("vksim_trace_export_{}.json", std::process::id()));
+    let csv = dir.join(format!("vksim_trace_export_{}.csv", std::process::id()));
+    let mut cfg = traced_config(1);
+    cfg.gpu.trace.out = Some(out.to_string_lossy().into_owned());
+    cfg.gpu.trace.csv = Some(csv.to_string_lossy().into_owned());
+    let w = build(WorkloadKind::Tri, Scale::Test);
+    Simulator::new(cfg)
+        .run(&w.device, &w.cmd)
+        .expect("healthy run");
+    let text = std::fs::read_to_string(&out).expect("Chrome trace file written");
+    parse_json(&text).expect("written trace parses");
+    let csv_text = std::fs::read_to_string(&csv).expect("CSV written");
+    assert!(csv_text.starts_with("start,len,"));
+    let _ = std::fs::remove_file(&out);
+    let _ = std::fs::remove_file(&csv);
+}
+
+#[test]
+fn fault_dump_embeds_flight_recorder() {
+    let w = build(WorkloadKind::Tri, Scale::Test);
+    let mut cfg = traced_config(1);
+    cfg.gpu.watchdog_cycles = 2_000;
+    cfg.gpu.fault_plan.stall_warp = Some(0);
+    let failure = Simulator::new(cfg)
+        .run(&w.device, &w.cmd)
+        .expect_err("stalled warp must livelock");
+    let path = failure
+        .dump
+        .as_ref()
+        .expect("classified fault writes a dump");
+    let text = std::fs::read_to_string(path).expect("dump readable");
+    let dump = parse_flat_u64_object(&text).expect("dump stays flat JSON with tracing on");
+    assert!(
+        dump.contains_key("sm0.trace.ev0.cycle"),
+        "flight recorder events embedded in the dump"
+    );
+    assert!(dump.contains_key("sm0.trace.ev0.kind"));
+    for (k, v) in &dump {
+        if k.contains(".trace.ev") && k.ends_with(".kind") {
+            assert!(*v <= 12, "{k}: kind code {v} out of range");
+        }
+    }
+}
