@@ -139,7 +139,7 @@ fn main() {
 
     if want("fig11") {
         println!("\n== Fig. 11: correlation vs hardware proxy (baseline config) ==");
-        let c = x::correlation_study(scale, &SimConfig::test_small());
+        let c = x::correlation_study(scale, &x::config_for_scale(scale));
         for (name, sim, hw) in &c.points {
             println!("  {name:<6} sim={sim:>12.0}  hw-proxy={hw:>12.0}");
         }
@@ -152,7 +152,7 @@ fn main() {
 
     if want("fig12") {
         println!("\n== Fig. 12: RT-unit roofline ==");
-        for (name, oi, perf, memb) in x::fig12_roofline(scale, &SimConfig::test_small()) {
+        for (name, oi, perf, memb) in x::fig12_roofline(scale, &x::config_for_scale(scale)) {
             println!(
                 "  {name:<6} intensity={oi:>7.2} ops/block  perf={perf:>7.3} ops/cycle  [{}]",
                 if memb {

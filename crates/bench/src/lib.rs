@@ -14,6 +14,16 @@ use vksim_core::{MemoryMode, RunReport, SimConfig, Simulator};
 use vksim_scenes::{build, reference, Scale, Workload, WorkloadKind};
 use vksim_stats::{least_squares_slope, pearson};
 
+/// The simulation configuration matched to a scene scale: paper-sized
+/// scenes run on the 48-SM, 8-partition paper machine (Table IV / Fig. 12
+/// fidelity); test scenes use the 2-SM mule so the suite stays fast.
+pub fn config_for_scale(scale: Scale) -> SimConfig {
+    match scale {
+        Scale::Paper => SimConfig::paper(),
+        _ => SimConfig::test_small(),
+    }
+}
+
 /// Runs one workload under a configuration, returning the workload and the
 /// full run report.
 pub fn run_workload(kind: WorkloadKind, scale: Scale, config: SimConfig) -> (Workload, RunReport) {
@@ -99,7 +109,7 @@ pub fn tab04_workloads(scale: Scale) -> Vec<Tab04Row> {
         .iter()
         .map(|&k| {
             let w = build(k, scale);
-            let mut sim = Simulator::new(SimConfig::test_small());
+            let mut sim = Simulator::new(config_for_scale(scale));
             let (_, stats) = sim.run_functional(&w.device, &w.cmd).expect("healthy run");
             Tab04Row {
                 name: w.name,

@@ -35,6 +35,16 @@ impl SimConfig {
         }
     }
 
+    /// Paper-scale configuration (48 SMs, 8 memory partitions, FR-FCFS
+    /// DRAM scheduling) used where Table IV / Fig. 12 fidelity needs the
+    /// full machine rather than the 2-SM test mule.
+    pub fn paper() -> Self {
+        SimConfig {
+            gpu: GpuConfig::paper(),
+            memory_mode: MemoryMode::Baseline,
+        }
+    }
+
     /// Paper mobile configuration.
     pub fn mobile() -> Self {
         SimConfig {
@@ -79,6 +89,19 @@ impl SimConfig {
     /// environment overrides.
     pub fn with_trace(mut self, trace: vksim_trace::TraceConfig) -> Self {
         self.gpu.trace = trace;
+        self
+    }
+
+    /// Sets the number of independent memory partitions (L2 slice + DRAM
+    /// channel group each); `1` is the monolithic backend.
+    pub fn with_partitions(mut self, n: u32) -> Self {
+        self.gpu.mem.num_partitions = n.max(1);
+        self
+    }
+
+    /// Selects the DRAM access scheduler (in-order FCFS or FR-FCFS).
+    pub fn with_dram_sched(mut self, sched: vksim_mem::DramSched) -> Self {
+        self.gpu.mem.dram.sched = sched;
         self
     }
 
@@ -154,6 +177,30 @@ mod tests {
         assert_eq!(g.num_sms, 8);
         assert_eq!(g.threads, 4);
         assert_eq!(SimConfig::baseline().with_threads(0).gpu.threads, 1);
+    }
+
+    #[test]
+    fn paper_and_partition_builders() {
+        let p = SimConfig::paper().resolve();
+        assert_eq!(p.num_sms, 48);
+        assert_eq!(p.mem.num_partitions, 8);
+        let c = SimConfig::test_small()
+            .with_partitions(4)
+            .with_dram_sched(vksim_mem::DramSched::fr_fcfs_paper())
+            .resolve();
+        assert_eq!(c.mem.num_partitions, 4);
+        assert!(matches!(
+            c.mem.dram.sched,
+            vksim_mem::DramSched::FrFcfs { .. }
+        ));
+        assert_eq!(
+            SimConfig::test_small()
+                .with_partitions(0)
+                .gpu
+                .mem
+                .num_partitions,
+            1
+        );
     }
 
     #[test]

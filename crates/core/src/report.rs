@@ -74,6 +74,22 @@ pub fn rt_roofline(box_lat: u32, tri_lat: u32, tf_lat: u32) -> Roofline {
     Roofline::new(32.0 * stages, 1.0)
 }
 
+/// DRAM row-buffer hit rate from run statistics.
+///
+/// Uses the merged (summed-over-partitions) `row_hit` / `req` counters, so
+/// the result is weighted by each partition's request count — never the
+/// mean of per-partition rates, which overweights idle partitions under
+/// asymmetric load.
+pub fn dram_row_hit_rate(stats: &GpuStats) -> f64 {
+    let hits = stats.dram_stats.get("row_hit") as f64;
+    let reqs = stats.dram_stats.get("req") as f64;
+    if reqs == 0.0 {
+        0.0
+    } else {
+        hits / reqs
+    }
+}
+
 /// One row of the Fig. 14 cache breakdown.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct CacheBreakdown {
@@ -183,6 +199,26 @@ mod tests {
         let r = rt_roofline(4, 8, 4);
         assert!(r.is_memory_bound(&p));
         assert!(r.utilization(&p) <= 1.0);
+    }
+
+    #[test]
+    fn row_hit_rate_is_request_weighted_across_partitions() {
+        // Partition 0: 900 reqs, 900 hits (rate 1.0). Partition 1: 100
+        // reqs, 0 hits (rate 0.0). The merged counters are the sums the
+        // backend emits alongside the per-partition `p{i}.*` keys.
+        let mut s = stats_with(Counters::new());
+        s.dram_stats.add("req", 900);
+        s.dram_stats.add("row_hit", 900);
+        s.dram_stats.add("p0.req", 900);
+        s.dram_stats.add("p0.row_hit", 900);
+        s.dram_stats.add("req", 100);
+        s.dram_stats.add("p1.req", 100);
+        let rate = dram_row_hit_rate(&s);
+        // Request-weighted: 900/1000, not the per-partition mean 0.5.
+        assert!((rate - 0.9).abs() < 1e-12);
+        assert!((rate - 0.5).abs() > 0.1);
+        // No requests -> defined zero, not NaN.
+        assert_eq!(dram_row_hit_rate(&stats_with(Counters::new())), 0.0);
     }
 
     #[test]

@@ -87,6 +87,30 @@ impl GpuConfig {
         }
     }
 
+    /// The paper-scale configuration used for Table IV / Fig. 12 fidelity:
+    /// 48 SMs, a 4 MB 16-way L2 sliced across 8 memory partitions, 8 DRAM
+    /// channels (one per partition) under FR-FCFS scheduling.
+    pub fn paper() -> Self {
+        GpuConfig {
+            num_sms: 48,
+            mem: SystemConfig {
+                l2: CacheConfig {
+                    size_bytes: 4 * 1024 * 1024,
+                    mshr_entries: 512,
+                    ..CacheConfig::l2_baseline()
+                },
+                dram: vksim_mem::DramConfig {
+                    channels: 8,
+                    sched: vksim_mem::DramSched::fr_fcfs_paper(),
+                    ..vksim_mem::DramConfig::default()
+                },
+                num_partitions: 8,
+                ..SystemConfig::default()
+            },
+            ..Self::baseline()
+        }
+    }
+
     /// The paper's mobile configuration: 8 SMs, 32 K registers, less DRAM
     /// bandwidth.
     pub fn mobile() -> Self {
@@ -158,6 +182,19 @@ mod tests {
         assert_eq!(c.mem.l2.size_bytes, 3 * 1024 * 1024);
         assert_eq!(c.rt_unit.max_warps, 4);
         assert_eq!(c.core_clock_mhz, 1365);
+    }
+
+    #[test]
+    fn paper_scale_is_partitioned() {
+        let p = GpuConfig::paper();
+        assert_eq!(p.num_sms, 48);
+        assert_eq!(p.mem.num_partitions, 8);
+        assert_eq!(p.mem.dram.channels, 8);
+        assert_eq!(p.mem.l2.size_bytes, 4 * 1024 * 1024);
+        assert!(matches!(
+            p.mem.dram.sched,
+            vksim_mem::DramSched::FrFcfs { .. }
+        ));
     }
 
     #[test]

@@ -182,11 +182,15 @@ struct Lane<'h, H> {
 }
 
 /// Converts a DRAM row-activate sample into a trace event.
-fn row_activate_event((cycle, channel, bank): (u64, u32, u32)) -> Event {
+fn row_activate_event((cycle, partition, channel, bank): (u64, u32, u32, u32)) -> Event {
     Event {
         cycle,
         warp: NO_WARP,
-        kind: EventKind::DramRowActivate { channel, bank },
+        kind: EventKind::DramRowActivate {
+            partition,
+            channel,
+            bank,
+        },
     }
 }
 
@@ -828,10 +832,10 @@ impl GpuSim {
             counters,
             l1_stats,
             rtc_stats,
-            l2_stats: self.shared.l2().stats.clone(),
-            dram_stats: self.shared.dram().stats.clone(),
-            dram_efficiency: self.shared.dram().efficiency(),
-            dram_utilization: self.shared.dram().utilization(self.cycle.max(1)),
+            l2_stats: self.shared.l2_stats(),
+            dram_stats: self.shared.dram_stats(),
+            dram_efficiency: self.shared.dram_efficiency(),
+            dram_utilization: self.shared.dram_utilization(self.cycle.max(1)),
             rt_warp_latency,
             rt_busy_cycles: rt_busy,
             rt_resident_warp_cycles: rt_resident,

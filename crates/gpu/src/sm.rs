@@ -15,7 +15,9 @@ use vksim_fault::SimError;
 use vksim_isa::interp::{exec_at, Effect, RtHooks, ThreadState};
 use vksim_isa::op::MemSpace;
 use vksim_isa::{MemIo, Program};
-use vksim_mem::{chunk_addresses, AccessKind, Cache, CacheOutcome, MemRequest, MemSink};
+use vksim_mem::{
+    chunk_addresses, partition_of, AccessKind, Cache, CacheOutcome, MemRequest, MemSink,
+};
 use vksim_rtunit::{RtMem, RtMemResult, RtUnit, RtUnitEventKind, WarpJob};
 use vksim_stats::Counters;
 use vksim_trace::{EventKind, SmTracer, TraceConfig, NO_WARP};
@@ -140,6 +142,8 @@ pub struct Sm {
     perfect_bvh: bool,
     sfu_latency: u32,
     divergence: DivergenceMode,
+    /// Memory partitions in the shared backend (tags MSHR trace events).
+    num_partitions: u32,
     next_req: u64,
     /// Per-SM counters (instruction mix, issue stats).
     pub stats: Counters,
@@ -172,6 +176,7 @@ impl Sm {
             perfect_bvh: config.perfect_bvh,
             sfu_latency: config.sfu_latency,
             divergence: config.divergence,
+            num_partitions: config.mem.num_partitions.max(1),
             next_req: 0,
             stats: Counters::new(),
             issued_lanes: 0,
@@ -243,7 +248,8 @@ impl Sm {
             return;
         };
         if let Some(tr) = self.tracer.as_mut() {
-            tr.record(at, NO_WARP, EventKind::MshrFill { line });
+            let partition = partition_of(line, self.num_partitions);
+            tr.record(at, NO_WARP, EventKind::MshrFill { line, partition });
         }
         match sel {
             CacheSel::L1 => {
@@ -341,6 +347,7 @@ impl Sm {
             next_req: &mut self.next_req,
             sm_id: self.id,
             perfect_bvh: self.perfect_bvh,
+            num_partitions: self.num_partitions,
             tracer: self.tracer.as_deref_mut(),
         };
         let done = self.rt_unit.tick(now, &mut port);
@@ -429,7 +436,8 @@ impl Sm {
                         now,
                     );
                     if let Some(tr) = self.tracer.as_mut() {
-                        tr.record(now, warp, EventKind::MshrAlloc { line });
+                        let partition = partition_of(line, self.num_partitions);
+                        tr.record(now, warp, EventKind::MshrAlloc { line, partition });
                     }
                     Some(Some(Waiter::WarpCtx { warp, ctx }))
                 }
@@ -758,7 +766,8 @@ impl Sm {
                                 now,
                             );
                             if let Some(tr) = self.tracer.as_mut() {
-                                tr.record(now, warp_id, EventKind::MshrAlloc { line });
+                                let partition = partition_of(line, self.num_partitions);
+                                tr.record(now, warp_id, EventKind::MshrAlloc { line, partition });
                             }
                         }
                         CacheOutcome::MissMerged => {
@@ -833,6 +842,7 @@ struct SmRtPort<'a> {
     next_req: &'a mut u64,
     sm_id: usize,
     perfect_bvh: bool,
+    num_partitions: u32,
     tracer: Option<&'a mut SmTracer>,
 }
 
@@ -866,7 +876,8 @@ impl RtMem for SmRtPort<'_> {
                     .or_default()
                     .push(Waiter::RtToken(token));
                 if let Some(tr) = self.tracer.as_deref_mut() {
-                    tr.record(now, NO_WARP, EventKind::MshrAlloc { line });
+                    let partition = partition_of(line, self.num_partitions);
+                    tr.record(now, NO_WARP, EventKind::MshrAlloc { line, partition });
                 }
                 self.sink.submit(
                     MemRequest {

@@ -46,6 +46,20 @@ pub struct CacheConfig {
 }
 
 impl CacheConfig {
+    /// This cache's share when capacity is sliced over `n` memory
+    /// partitions: `1/n` of the bytes and MSHR entries (floored at one
+    /// line / one entry), same associativity and latency. `n = 1` is the
+    /// identity, so single-partition configurations are bit-compatible
+    /// with the unsliced cache.
+    pub fn sliced(&self, n: u32) -> Self {
+        let n = n.max(1);
+        CacheConfig {
+            size_bytes: (self.size_bytes / n as u64).max(self.line_bytes as u64),
+            mshr_entries: (self.mshr_entries / n as usize).max(1),
+            ..self.clone()
+        }
+    }
+
     /// The paper's baseline L1 data cache: 64 KB fully associative LRU,
     /// 20-cycle latency (Table III).
     pub fn l1d_baseline() -> Self {
@@ -708,5 +722,25 @@ mod tests {
                 },
             );
         }
+    }
+
+    #[test]
+    fn sliced_config_divides_capacity_and_mshrs() {
+        let l2 = CacheConfig::l2_baseline();
+        assert_eq!(l2.sliced(1), l2, "slice by 1 is the identity");
+        let s = l2.sliced(8);
+        assert_eq!(s.size_bytes, l2.size_bytes / 8);
+        assert_eq!(s.mshr_entries, l2.mshr_entries / 8);
+        assert_eq!(s.assoc, l2.assoc);
+        assert_eq!(s.hit_latency, l2.hit_latency);
+        // Degenerate slicing floors at one line / one MSHR.
+        let tiny = CacheConfig {
+            size_bytes: 64,
+            mshr_entries: 2,
+            ..l2
+        }
+        .sliced(16);
+        assert_eq!(tiny.size_bytes, tiny.line_bytes as u64);
+        assert_eq!(tiny.mshr_entries, 1);
     }
 }

@@ -3,11 +3,72 @@
 //! Models what the Fig. 16 experiment measures: *DRAM efficiency* (cycles
 //! transferring data out of cycles with pending requests) and *DRAM
 //! utilization* (out of all cycles), plus row-buffer locality. Requests are
-//! interleaved across channels (memory partitions) by address, and each
-//! channel has multiple banks with an open-row policy: a request to the
-//! open row pays only CAS latency; otherwise precharge + activate + CAS.
+//! interleaved across channels by address, and each channel has multiple
+//! banks with an open-row policy: a request to the open row pays only CAS
+//! latency; otherwise precharge + activate + CAS.
+//!
+//! Two memory-access schedulers are modelled ([`DramSched`]):
+//!
+//! * [`DramSched::Fcfs`] — strictly in arrival order (the historical path;
+//!   goldens are recorded against it).
+//! * [`DramSched::FrFcfs`] — first-ready, first-come-first-served (the
+//!   scheduler GPGPU-Sim/Accel-Sim model): a bounded per-bank request
+//!   queue where requests hitting the open row are serviced before older
+//!   row misses, with an *age cap* as the starvation bound. Once the
+//!   oldest request in a channel has waited `age_cap` cycles it is served
+//!   next, so every request has a deterministic worst-case service cycle:
+//!   with at most `k` older same-channel requests pending at arrival, a
+//!   request completes within `age_cap + 2 * max_access * (k + 1)` cycles
+//!   of its arrival, where `max_access = t_rp + t_rcd + t_cas +
+//!   burst_cycles`. With `age_cap = 0` the age rule fires on every
+//!   decision, which degenerates to exactly the FCFS schedule.
 
+use std::collections::VecDeque;
 use vksim_stats::Counters;
+
+/// DRAM memory-access scheduling policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DramSched {
+    /// In-order service at arrival (the original model; golden continuity).
+    Fcfs,
+    /// First-ready FCFS with a bounded reorder window and starvation bound.
+    FrFcfs {
+        /// Per-bank reorder window: only the first `queue_depth` queued
+        /// requests of a bank are eligible to bypass older ones.
+        queue_depth: u32,
+        /// Starvation bound in cycles: once the oldest request of a channel
+        /// has waited this long it is unconditionally served next. `0`
+        /// reproduces the FCFS schedule cycle-for-cycle.
+        age_cap: u64,
+    },
+}
+
+impl Default for DramSched {
+    fn default() -> Self {
+        DramSched::Fcfs
+    }
+}
+
+impl DramSched {
+    /// The FR-FCFS configuration used at paper scale (Table III-class
+    /// partitions): a 16-deep reorder window and a 2048-cycle age cap.
+    pub fn fr_fcfs_paper() -> Self {
+        DramSched::FrFcfs {
+            queue_depth: 16,
+            age_cap: 2048,
+        }
+    }
+}
+
+/// Outcome of [`Dram::submit`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DramIssue {
+    /// Serviced in-order at submit; data ready at the given cycle.
+    Done(u64),
+    /// Queued for out-of-order scheduling; the ticket is redeemed by
+    /// [`Dram::run_schedule`].
+    Queued(u64),
+}
 
 /// DRAM geometry and timing (in memory-clock cycles).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -28,6 +89,8 @@ pub struct DramConfig {
     pub burst_cycles: u64,
     /// Zero-latency mode (the Fig. 15 "Perfect Mem" limit study).
     pub perfect: bool,
+    /// Memory-access scheduling policy.
+    pub sched: DramSched,
 }
 
 impl Default for DramConfig {
@@ -41,6 +104,7 @@ impl Default for DramConfig {
             t_rp: 20,
             burst_cycles: 2,
             perfect: false,
+            sched: DramSched::Fcfs,
         }
     }
 }
@@ -54,12 +118,27 @@ impl DramConfig {
             ..Default::default()
         }
     }
+
+    /// Worst-case single-access occupancy: precharge + activate + CAS +
+    /// burst. The FR-FCFS starvation bound is stated in these units.
+    pub fn max_access_cycles(&self) -> u64 {
+        self.t_rp + self.t_rcd + self.t_cas + self.burst_cycles
+    }
+}
+
+/// One request queued at a bank, waiting for the FR-FCFS scheduler.
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    ticket: u64,
+    row: u64,
+    arrival: u64,
 }
 
 #[derive(Clone, Debug, Default)]
 struct Bank {
     open_row: Option<u64>,
     ready_at: u64,
+    queue: VecDeque<Pending>,
 }
 
 #[derive(Clone, Debug, Default)]
@@ -94,6 +173,10 @@ pub struct Dram {
     /// Row-activate trace buffer: `(cycle, channel, bank)` per activate
     /// command, recorded only while tracing is enabled.
     row_activates: Option<Vec<(u64, u32, u32)>>,
+    /// FR-FCFS ticket counter (0 = no ticket issued yet).
+    next_ticket: u64,
+    /// Latest arrival cycle seen by [`Dram::submit`] (monotonicity check).
+    last_arrival: u64,
 }
 
 impl Dram {
@@ -118,6 +201,8 @@ impl Dram {
             channels,
             stats: Counters::new(),
             row_activates: None,
+            next_ticket: 0,
+            last_arrival: 0,
         }
     }
 
@@ -140,24 +225,23 @@ impl Dram {
         &self.config
     }
 
-    /// Services one 32 B chunk read arriving at `now`; returns the absolute
-    /// cycle its data is available.
-    pub fn service(&mut self, addr: u64, now: u64) -> u64 {
-        if self.config.perfect {
-            self.stats.inc("req");
-            return now + 1;
-        }
-        let nch = self.channels.len() as u64;
-        // Channels interleave at 256 B granularity (GPGPU-Sim-style memory
-        // partition interleaving) so spatial locality sees row hits.
-        let ch_idx = ((addr / 256) % nch) as usize;
-        let row = addr / self.config.row_bytes;
+    /// Channel index for an address: channels interleave at 256 B
+    /// granularity (GPGPU-Sim-style memory partition interleaving) so
+    /// spatial locality sees row hits.
+    fn channel_of(&self, addr: u64) -> usize {
+        ((addr / 256) % self.channels.len() as u64) as usize
+    }
+
+    /// Performs one access on `(ch_idx, bank_idx)` for a request that
+    /// arrived at `arrival`, starting as soon as the bank and channel bus
+    /// allow. Updates row state, counters, the activate trace and the
+    /// efficiency bookkeeping; returns the completion cycle.
+    fn do_access(&mut self, ch_idx: usize, bank_idx: usize, row: u64, arrival: u64) -> u64 {
         let cfg = self.config.clone();
         let ch = &mut self.channels[ch_idx];
-        let bank_idx = (row % cfg.banks_per_channel as u64) as usize;
         let bank = &mut ch.banks[bank_idx];
 
-        let start = now.max(bank.ready_at).max(ch.bus_free_at);
+        let start = arrival.max(bank.ready_at).max(ch.bus_free_at);
         let (access_lat, activated) = match bank.open_row {
             Some(r) if r == row => {
                 self.stats.inc("row_hit");
@@ -185,7 +269,7 @@ impl Dram {
 
         // Efficiency bookkeeping: the active window is the union of
         // [arrival, done] intervals; transfer cycles are the burst slots.
-        let window_start = now.max(ch.active_window_end);
+        let window_start = arrival.max(ch.active_window_end);
         if done > window_start {
             ch.active_cycles += done - window_start;
             ch.active_window_end = done;
@@ -193,6 +277,152 @@ impl Dram {
         ch.transfer_cycles += cfg.burst_cycles;
         self.stats.inc("req");
         done
+    }
+
+    /// Services one 32 B chunk read arriving at `now` strictly in call
+    /// order (the FCFS path); returns the absolute cycle its data is
+    /// available.
+    pub fn service(&mut self, addr: u64, now: u64) -> u64 {
+        if self.config.perfect {
+            self.stats.inc("req");
+            return now + 1;
+        }
+        let ch_idx = self.channel_of(addr);
+        let row = addr / self.config.row_bytes;
+        let bank_idx = (row % self.config.banks_per_channel as u64) as usize;
+        self.do_access(ch_idx, bank_idx, row, now)
+    }
+
+    /// Submits one 32 B chunk request arriving at `now` under the
+    /// configured scheduler. FCFS (and perfect) configurations service it
+    /// immediately and return [`DramIssue::Done`]; FR-FCFS queues it at its
+    /// bank and returns a [`DramIssue::Queued`] ticket that
+    /// [`Dram::run_schedule`] later redeems.
+    ///
+    /// FR-FCFS requires nondecreasing arrival cycles across submissions
+    /// (the event-driven memory system guarantees this).
+    pub fn submit(&mut self, addr: u64, now: u64) -> DramIssue {
+        if self.config.perfect || self.config.sched == DramSched::Fcfs {
+            return DramIssue::Done(self.service(addr, now));
+        }
+        let ch_idx = self.channel_of(addr);
+        let row = addr / self.config.row_bytes;
+        let bank_idx = (row % self.config.banks_per_channel as u64) as usize;
+        self.next_ticket += 1;
+        let ticket = self.next_ticket;
+        debug_assert!(
+            now >= self.last_arrival,
+            "FR-FCFS arrivals must be nondecreasing"
+        );
+        self.last_arrival = self.last_arrival.max(now);
+        self.channels[ch_idx].banks[bank_idx]
+            .queue
+            .push_back(Pending {
+                ticket,
+                row,
+                arrival: now,
+            });
+        DramIssue::Queued(ticket)
+    }
+
+    /// `true` while FR-FCFS requests are still queued (drain check).
+    pub fn has_queued(&self) -> bool {
+        self.channels
+            .iter()
+            .any(|ch| ch.banks.iter().any(|b| !b.queue.is_empty()))
+    }
+
+    /// Finalizes every FR-FCFS scheduling decision whose service start is
+    /// `<= horizon` and returns the `(ticket, completion cycle)` pairs, in
+    /// decision order. Safe to call with any nondecreasing sequence of
+    /// horizons: a decision at start `s` only depends on requests arriving
+    /// at or before `s`, and callers never submit an arrival in the past.
+    pub fn run_schedule(&mut self, horizon: u64) -> Vec<(u64, u64)> {
+        let (depth, age_cap) = match self.config.sched {
+            DramSched::FrFcfs {
+                queue_depth,
+                age_cap,
+            } => (queue_depth.max(1) as usize, age_cap),
+            DramSched::Fcfs => return Vec::new(),
+        };
+        let mut out = Vec::new();
+        for ch_idx in 0..self.channels.len() {
+            loop {
+                // The oldest pending request of the channel (min ticket =
+                // min arrival; per-bank queues are FIFO and arrivals are
+                // globally nondecreasing).
+                let ch = &self.channels[ch_idx];
+                let bus = ch.bus_free_at;
+                let oldest = ch
+                    .banks
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(bi, b)| b.queue.front().map(|p| (p.ticket, bi)))
+                    .min();
+                let Some((_, oldest_bank)) = oldest else {
+                    break;
+                };
+                let old = self.channels[ch_idx].banks[oldest_bank].queue[0];
+                let s_old = old
+                    .arrival
+                    .max(self.channels[ch_idx].banks[oldest_bank].ready_at)
+                    .max(bus);
+
+                // Starvation bound: once the channel's oldest request has
+                // waited out the age cap it is served next, unconditionally.
+                // age_cap = 0 makes this fire on every decision = FCFS.
+                let (bank_idx, pos) = if s_old.saturating_sub(old.arrival) >= age_cap {
+                    (oldest_bank, 0)
+                } else {
+                    // First-ready: the earliest cycle any windowed request
+                    // could start...
+                    let ch = &self.channels[ch_idx];
+                    let t_d = ch
+                        .banks
+                        .iter()
+                        .flat_map(|b| {
+                            let ready = b.ready_at;
+                            b.queue
+                                .iter()
+                                .take(depth)
+                                .map(move |p| p.arrival.max(ready).max(bus))
+                        })
+                        .min()
+                        .expect("nonempty channel queue");
+                    // ...then, among requests startable exactly then, a row
+                    // hit beats a miss and age breaks ties.
+                    let victim =
+                        ch.banks
+                            .iter()
+                            .enumerate()
+                            .flat_map(|(bi, b)| {
+                                let ready = b.ready_at;
+                                let open = b.open_row;
+                                b.queue.iter().take(depth).enumerate().filter_map(
+                                    move |(pos, p)| {
+                                        (p.arrival.max(ready).max(bus) == t_d)
+                                            .then(|| (open != Some(p.row), p.ticket, bi, pos))
+                                    },
+                                )
+                            })
+                            .min()
+                            .expect("t_d comes from a real candidate");
+                    (victim.2, victim.3)
+                };
+                let p = self.channels[ch_idx].banks[bank_idx].queue[pos];
+                let start = p
+                    .arrival
+                    .max(self.channels[ch_idx].banks[bank_idx].ready_at)
+                    .max(bus);
+                if start > horizon {
+                    break;
+                }
+                self.channels[ch_idx].banks[bank_idx].queue.remove(pos);
+                let done = self.do_access(ch_idx, bank_idx, p.row, p.arrival);
+                out.push((p.ticket, done));
+            }
+        }
+        out
     }
 
     /// Cycles spent transferring data, summed over channels.
@@ -353,5 +583,110 @@ mod tests {
             channels: 0,
             ..Default::default()
         });
+    }
+
+    fn fr_fcfs(depth: u32, cap: u64) -> DramConfig {
+        DramConfig {
+            channels: 1,
+            banks_per_channel: 2,
+            sched: DramSched::FrFcfs {
+                queue_depth: depth,
+                age_cap: cap,
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fr_fcfs_serves_row_hit_before_older_miss() {
+        let mut d = Dram::new(fr_fcfs(16, 1 << 40));
+        let row = d.config().row_bytes;
+        // Open row 0 in bank 0.
+        assert!(matches!(d.submit(0, 0), DramIssue::Queued(1)));
+        let first = d.run_schedule(u64::MAX);
+        assert_eq!(first.len(), 1);
+        // Now queue an older row miss (row 2 -> bank 0) and a younger hit
+        // to the open row 0; the hit must be scheduled first.
+        let t = first[0].1;
+        assert!(matches!(d.submit(2 * row, t), DramIssue::Queued(2)));
+        assert!(matches!(d.submit(32, t), DramIssue::Queued(3)));
+        let order: Vec<u64> = d.run_schedule(u64::MAX).iter().map(|&(tk, _)| tk).collect();
+        assert_eq!(order, vec![3, 2], "row hit bypasses the older miss");
+        assert!(!d.has_queued());
+    }
+
+    #[test]
+    fn fr_fcfs_age_cap_zero_is_cycle_identical_to_fcfs() {
+        // A row-locality-rich stream with bank conflicts mixed in.
+        let addrs: Vec<u64> = (0..64u64)
+            .map(|i| {
+                if i % 3 == 0 {
+                    i * 32
+                } else {
+                    (i % 7) * 4096 + i * 32
+                }
+            })
+            .collect();
+        let mut fcfs = Dram::new(DramConfig {
+            channels: 2,
+            ..Default::default()
+        });
+        let mut frf = Dram::new(DramConfig {
+            channels: 2,
+            sched: DramSched::FrFcfs {
+                queue_depth: 16,
+                age_cap: 0,
+            },
+            ..Default::default()
+        });
+        let mut expect = Vec::new();
+        for (i, &a) in addrs.iter().enumerate() {
+            let now = 3 * i as u64;
+            expect.push(fcfs.service(a, now));
+            assert!(matches!(frf.submit(a, now), DramIssue::Queued(_)));
+        }
+        let mut got: Vec<(u64, u64)> = frf.run_schedule(u64::MAX);
+        got.sort_by_key(|&(ticket, _)| ticket);
+        let got: Vec<u64> = got.iter().map(|&(_, done)| done).collect();
+        assert_eq!(got, expect, "age cap 0 must reproduce the FCFS schedule");
+        assert_eq!(fcfs.stats, frf.stats);
+    }
+
+    #[test]
+    fn fr_fcfs_horizon_defers_future_decisions() {
+        let mut d = Dram::new(fr_fcfs(16, 1 << 40));
+        assert!(matches!(d.submit(0, 100), DramIssue::Queued(_)));
+        assert!(d.run_schedule(99).is_empty(), "not arrived yet");
+        assert!(d.has_queued());
+        let done = d.run_schedule(100);
+        assert_eq!(done.len(), 1);
+        assert!(done[0].1 > 100);
+    }
+
+    #[test]
+    fn fr_fcfs_starvation_bound_holds_under_hostile_hits() {
+        // Bank 0 gets a steady stream of row hits; one row miss to the same
+        // bank must still be served within the age cap.
+        let cap = 500;
+        let mut d = Dram::new(fr_fcfs(16, cap));
+        let row_bytes = d.config().row_bytes;
+        assert!(matches!(d.submit(0, 0), DramIssue::Queued(1)));
+        // The victim: a row miss in bank 0, one older request ahead of it.
+        let DramIssue::Queued(victim) = d.submit(2 * row_bytes, 1) else {
+            panic!("expected queued ticket");
+        };
+        for i in 1..40u64 {
+            // Row hits to the open row 0, arriving steadily.
+            d.submit((i % 8) * 32, 2 * i + 1);
+        }
+        let done = d.run_schedule(u64::MAX);
+        let victim_done = done.iter().find(|&&(t, _)| t == victim).unwrap().1;
+        // k = 1 older same-channel request at arrival:
+        // bound = age_cap + 2 * max_access * (k + 1).
+        let bound = cap + 2 * d.config().max_access_cycles() * 2;
+        assert!(
+            victim_done <= 1 + bound,
+            "miss served at {victim_done}, bound {bound}"
+        );
     }
 }

@@ -9,10 +9,15 @@
 //!   with an [`AccessKind`] so shader loads and RT-unit loads can be
 //!   reported separately.
 //! * [`dram::Dram`] — banked DRAM with open-row policy, per-channel
-//!   bandwidth, and the efficiency/utilization statistics of Fig. 16.
-//! * [`system::SharedMemSystem`] — the L2 + interconnect + DRAM backend
-//!   shared by all SMs; per-SM L1s forward misses into it. Larger requests
-//!   are split into 32 B chunks by the producers (paper §III-C3).
+//!   bandwidth, the efficiency/utilization statistics of Fig. 16, and two
+//!   access schedulers ([`dram::DramSched`]): in-order FCFS and FR-FCFS
+//!   with a bounded reorder window plus an age-cap starvation bound.
+//! * [`system::SharedMemSystem`] — the partitioned L2 + interconnect +
+//!   DRAM backend shared by all SMs: `num_partitions` independent memory
+//!   partitions (L2 slice + DRAM channel group each), interleaved at
+//!   128 B ([`system::partition_of`]); per-SM L1s forward misses into it.
+//!   Larger requests are split into 32 B chunks by the producers (paper
+//!   §III-C3).
 //!
 //! The hierarchy is event-driven: producers submit requests with the
 //! current cycle, call [`system::SharedMemSystem::advance_to`] each cycle,
@@ -23,8 +28,11 @@ pub mod dram;
 pub mod system;
 
 pub use cache::{AccessKind, Cache, CacheConfig, CacheOutcome};
-pub use dram::{Dram, DramConfig};
-pub use system::{MemRequest, MemSink, RequestQueue, SharedMemSystem, SystemConfig};
+pub use dram::{Dram, DramConfig, DramIssue, DramSched};
+pub use system::{
+    partition_of, MemConfig, MemRequest, MemSink, RequestQueue, SharedMemSystem, SystemConfig,
+    PARTITION_BYTES,
+};
 
 /// Memory chunk size: larger requests are broken into 32 B pieces
 /// (paper §III-C3).

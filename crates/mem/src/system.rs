@@ -1,27 +1,60 @@
-//! Shared L2 + interconnect + DRAM backend.
+//! Partitioned L2 + interconnect + DRAM backend.
 //!
 //! All SMs' L1 misses funnel through one [`SharedMemSystem`] (paper Fig. 3:
 //! SMs connect to memory partitions through an on-chip interconnect). The
-//! model is event-driven: producers [`SharedMemSystem::submit`] chunk-sized
-//! requests and poll [`SharedMemSystem::advance_to`] each core cycle for
-//! completions.
+//! backend is organised as `num_partitions` independent *memory
+//! partitions*, each owning an L2 slice and a DRAM channel group —
+//! addresses interleave across partitions at 128 B granularity
+//! ([`partition_of`]). The model is event-driven: producers
+//! [`SharedMemSystem::submit`] chunk-sized requests and poll
+//! [`SharedMemSystem::advance_to`] each core cycle for completions.
+//!
+//! # Determinism
+//!
+//! The interconnect is a fixed-latency hop; each partition keeps its own
+//! event heap ordered by `(time, seq)` where `seq` is assigned in submit
+//! order. The two-phase cycle engine drains per-SM request queues serially
+//! in SM-id order, so the ingress order of every partition — and therefore
+//! every counter — is bit-exact at any `VKSIM_THREADS` value. With
+//! `num_partitions = 1` the backend is structurally identical to the
+//! historical monolithic L2, which keeps pre-partitioning goldens
+//! byte-identical.
 
 use crate::cache::{AccessKind, Cache, CacheConfig, CacheOutcome};
-use crate::dram::{Dram, DramConfig};
+use crate::dram::{Dram, DramConfig, DramIssue};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use vksim_stats::Counters;
 
+/// Partition interleave granularity: consecutive 128 B lines map to
+/// consecutive partitions.
+pub const PARTITION_BYTES: u64 = 128;
+
+/// The memory partition an address belongs to. Total over all addresses
+/// and balanced: every 128 B line maps to exactly one partition, and
+/// consecutive lines rotate through all partitions.
+pub fn partition_of(addr: u64, num_partitions: u32) -> u32 {
+    debug_assert!(num_partitions >= 1, "degenerate partition count");
+    ((addr / PARTITION_BYTES) % num_partitions as u64) as u32
+}
+
 /// Configuration of the shared memory backend.
 #[derive(Clone, Debug)]
 pub struct SystemConfig {
-    /// The unified L2 cache.
+    /// The unified L2 cache (total capacity; sliced across partitions).
     pub l2: CacheConfig,
-    /// DRAM behind the L2.
+    /// DRAM behind the L2 (total channels; grouped across partitions).
     pub dram: DramConfig,
-    /// One-way interconnect latency in cycles (SM <-> L2).
+    /// One-way interconnect latency in cycles (SM <-> partition, one hop).
     pub icnt_latency: u32,
+    /// Number of independent memory partitions (each an L2 slice plus a
+    /// DRAM channel group). `1` reproduces the monolithic backend.
+    pub num_partitions: u32,
 }
+
+/// The name the memory-partition config goes by in the paper-scale
+/// experiment plumbing.
+pub type MemConfig = SystemConfig;
 
 impl Default for SystemConfig {
     fn default() -> Self {
@@ -29,6 +62,7 @@ impl Default for SystemConfig {
             l2: CacheConfig::l2_baseline(),
             dram: DramConfig::default(),
             icnt_latency: 8,
+            num_partitions: 1,
         }
     }
 }
@@ -127,7 +161,51 @@ impl PartialOrd for Ev {
     }
 }
 
-/// The shared L2/DRAM system.
+/// One memory partition: an L2 slice, a DRAM channel group and the
+/// partition-local event machinery (its deterministic ingress queue).
+#[derive(Debug)]
+struct Partition {
+    l2: Cache,
+    dram: Dram,
+    events: BinaryHeap<Reverse<Ev>>,
+    seq: u64,
+    waiting: HashMap<u64, Vec<u64>>,
+    /// FR-FCFS tickets for in-flight reads: ticket -> L2 line to fill.
+    tickets: HashMap<u64, u64>,
+}
+
+impl Partition {
+    fn push(&mut self, time: u64, kind: EvKind) {
+        self.seq += 1;
+        self.events.push(Reverse(Ev {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+}
+
+/// Routes one finished completion to `done`, unless it is the injected
+/// drop victim. Delivery order is global across partitions (partition
+/// index, then event order), so the drop victim is deterministic.
+fn deliver(
+    stats: &mut Counters,
+    drop_nth: Option<u64>,
+    delivered: &mut u64,
+    id: u64,
+    at: u64,
+    done: &mut Vec<(u64, u64)>,
+) {
+    *delivered += 1;
+    if drop_nth == Some(*delivered) {
+        stats.inc("mem.injected_drops");
+        return;
+    }
+    stats.inc("icnt.from_l2");
+    done.push((id, at));
+}
+
+/// The partitioned L2/DRAM system.
 ///
 /// # Example
 ///
@@ -145,12 +223,8 @@ impl PartialOrd for Ev {
 /// ```
 #[derive(Debug)]
 pub struct SharedMemSystem {
-    l2: Cache,
-    dram: Dram,
+    parts: Vec<Partition>,
     icnt_latency: u32,
-    events: BinaryHeap<Reverse<Ev>>,
-    seq: u64,
-    waiting: HashMap<u64, Vec<u64>>,
     /// Fault injection: silently drop the Nth (1-based) completion.
     drop_nth_completion: Option<u64>,
     /// Completions delivered so far (drives `drop_nth_completion`).
@@ -160,19 +234,44 @@ pub struct SharedMemSystem {
 }
 
 impl SharedMemSystem {
-    /// Creates an idle backend.
+    /// Creates an idle backend with `config.num_partitions` partitions.
+    ///
+    /// Each partition's L2 slice gets `1/num_partitions` of the configured
+    /// capacity and MSHRs ([`CacheConfig::sliced`]); each DRAM channel
+    /// group gets `1/num_partitions` of the channels (at least one).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-partition configuration.
     pub fn new(config: SystemConfig) -> Self {
+        let n = config.num_partitions;
+        assert!(n >= 1, "degenerate partition count");
+        let dram_cfg = DramConfig {
+            channels: (config.dram.channels / n).max(1),
+            ..config.dram
+        };
+        let parts = (0..n)
+            .map(|_| Partition {
+                l2: Cache::new(config.l2.sliced(n)),
+                dram: Dram::new(dram_cfg.clone()),
+                events: BinaryHeap::new(),
+                seq: 0,
+                waiting: HashMap::new(),
+                tickets: HashMap::new(),
+            })
+            .collect();
         SharedMemSystem {
-            l2: Cache::new(config.l2),
-            dram: Dram::new(config.dram),
+            parts,
             icnt_latency: config.icnt_latency,
-            events: BinaryHeap::new(),
-            seq: 0,
-            waiting: HashMap::new(),
             drop_nth_completion: None,
             completions_delivered: 0,
             stats: Counters::new(),
         }
+    }
+
+    /// Number of memory partitions.
+    pub fn num_partitions(&self) -> u32 {
+        self.parts.len() as u32
     }
 
     /// Fault injection: silently swallow the `n`th (1-based) completion
@@ -183,51 +282,81 @@ impl SharedMemSystem {
         self.drop_nth_completion = Some(n);
     }
 
-    /// Routes one finished completion to `done`, unless it is the injected
-    /// drop victim.
-    fn deliver(&mut self, id: u64, at: u64, done: &mut Vec<(u64, u64)>) {
-        self.completions_delivered += 1;
-        if self.drop_nth_completion == Some(self.completions_delivered) {
-            self.stats.inc("mem.injected_drops");
-            return;
-        }
-        self.stats.inc("icnt.from_l2");
-        done.push((id, at));
-    }
-
-    fn push(&mut self, time: u64, kind: EvKind) {
-        self.seq += 1;
-        self.events.push(Reverse(Ev {
-            time,
-            seq: self.seq,
-            kind,
-        }));
-    }
-
     /// Submits a request at `now`; its completion arrives through
-    /// [`SharedMemSystem::advance_to`].
+    /// [`SharedMemSystem::advance_to`]. The request is routed to its
+    /// address's partition over the fixed-latency interconnect hop.
     pub fn submit(&mut self, req: MemRequest, now: u64) {
         self.stats.inc("icnt.to_l2");
-        self.push(now + self.icnt_latency as u64, EvKind::ArriveL2(req));
+        let pi = partition_of(req.addr, self.parts.len() as u32) as usize;
+        let at = now + self.icnt_latency as u64;
+        self.parts[pi].push(at, EvKind::ArriveL2(req));
     }
 
     /// Processes all backend events up to and including `cycle`; returns
-    /// `(request id, completion cycle)` pairs.
+    /// `(request id, completion cycle)` pairs. Partitions are processed in
+    /// index order, each one in `(time, seq)` event order — a fixed,
+    /// thread-count-independent order.
     pub fn advance_to(&mut self, cycle: u64) -> Vec<(u64, u64)> {
         let mut done = Vec::new();
-        while let Some(Reverse(ev)) = self.events.peek().copied() {
-            if ev.time > cycle {
-                break;
-            }
-            self.events.pop();
-            match ev.kind {
-                EvKind::ArriveL2(req) => self.handle_l2(req, ev.time, &mut done),
-                EvKind::DramDone { line } => {
-                    let t = ev.time;
-                    self.l2.fill(line, t);
-                    if let Some(ids) = self.waiting.remove(&line) {
-                        for id in ids {
-                            self.deliver(id, t + self.icnt_latency as u64, &mut done);
+        let icnt = self.icnt_latency as u64;
+        for pi in 0..self.parts.len() {
+            let SharedMemSystem {
+                parts,
+                stats,
+                drop_nth_completion,
+                completions_delivered,
+                ..
+            } = self;
+            let p = &mut parts[pi];
+            loop {
+                // Finalize FR-FCFS scheduling decisions up to the next
+                // event (or `cycle`); redeemed read tickets become
+                // DramDone events at their completion cycle.
+                let horizon = match p.events.peek() {
+                    Some(&Reverse(ev)) if ev.time <= cycle => ev.time,
+                    _ => cycle,
+                };
+                let scheduled = p.dram.run_schedule(horizon);
+                if !scheduled.is_empty() {
+                    for (ticket, ready) in scheduled {
+                        if let Some(line) = p.tickets.remove(&ticket) {
+                            p.push(ready, EvKind::DramDone { line });
+                        }
+                    }
+                    continue;
+                }
+                let Some(&Reverse(ev)) = p.events.peek() else {
+                    break;
+                };
+                if ev.time > cycle {
+                    break;
+                }
+                p.events.pop();
+                match ev.kind {
+                    EvKind::ArriveL2(req) => handle_l2(
+                        p,
+                        stats,
+                        *drop_nth_completion,
+                        completions_delivered,
+                        icnt,
+                        req,
+                        ev.time,
+                        &mut done,
+                    ),
+                    EvKind::DramDone { line } => {
+                        let t = ev.time;
+                        p.l2.fill(line, t);
+                        if let Some(ids) = p.waiting.remove(&line) {
+                            for id in ids {
+                                deliver(
+                                    stats,
+                                    *drop_nth_completion,
+                                    completions_delivered,
+                                    id,
+                                    t + icnt,
+                                    &mut done,
+                                );
+                            }
                         }
                     }
                 }
@@ -236,80 +365,196 @@ impl SharedMemSystem {
         done
     }
 
-    fn handle_l2(&mut self, req: MemRequest, t: u64, done: &mut Vec<(u64, u64)>) {
-        let kind = if req.is_store {
-            AccessKind::ShaderStore
+    /// The first partition's L2 slice (single-partition convenience for
+    /// tests; reporting code uses [`SharedMemSystem::l2_stats`]).
+    pub fn l2(&self) -> &Cache {
+        &self.parts[0].l2
+    }
+
+    /// The first partition's DRAM channel group (single-partition
+    /// convenience; reporting code uses the merged accessors).
+    pub fn dram(&self) -> &Dram {
+        &self.parts[0].dram
+    }
+
+    /// Merged L2 counters: the sum over partitions under the original key
+    /// names, plus per-partition copies under `p{i}.*` when more than one
+    /// partition exists (so single-partition golden key sets are
+    /// unchanged).
+    pub fn l2_stats(&self) -> Counters {
+        merge_partition_stats(self.parts.iter().map(|p| &p.l2.stats))
+    }
+
+    /// Merged DRAM counters, same key scheme as
+    /// [`SharedMemSystem::l2_stats`].
+    pub fn dram_stats(&self) -> Counters {
+        merge_partition_stats(self.parts.iter().map(|p| &p.dram.stats))
+    }
+
+    /// DRAM efficiency aggregated across partitions, weighted by cycles:
+    /// total transfer cycles over total active cycles (*not* the mean of
+    /// per-partition ratios, which would overweight idle partitions).
+    pub fn dram_efficiency(&self) -> f64 {
+        let transfer: u64 = self.parts.iter().map(|p| p.dram.transfer_cycles()).sum();
+        let active: u64 = self.parts.iter().map(|p| p.dram.active_cycles()).sum();
+        if active == 0 {
+            0.0
         } else {
-            req.kind
-        };
-        let line = self.l2.line_of(req.addr);
-        match self.l2.access(req.addr, kind, t) {
-            CacheOutcome::Hit => {
-                if req.is_store {
-                    // Write-through: generate DRAM traffic but ack now.
-                    self.dram
-                        .service(req.addr, t + self.l2.hit_latency() as u64);
-                    self.stats.inc("dram.writes");
-                }
-                self.deliver(
-                    req.id,
-                    t + self.l2.hit_latency() as u64 + self.icnt_latency as u64,
-                    done,
-                );
-            }
-            CacheOutcome::MissToMemory => {
-                self.waiting.entry(line).or_default().push(req.id);
-                let ready = self
-                    .dram
-                    .service(req.addr, t + self.l2.hit_latency() as u64);
-                self.stats.inc("dram.reads");
-                self.push(ready, EvKind::DramDone { line });
-            }
-            CacheOutcome::MissMerged => {
-                self.waiting.entry(line).or_default().push(req.id);
-            }
-            CacheOutcome::ReservationFail => {
-                // Retry after a short backoff.
-                self.stats.inc("l2.retry");
-                self.push(t + 4, EvKind::ArriveL2(req));
-            }
+            transfer as f64 / active as f64
         }
     }
 
-    /// The shared L2 (for statistics reporting).
-    pub fn l2(&self) -> &Cache {
-        &self.l2
+    /// DRAM utilization aggregated across partitions: total transfer
+    /// cycles over `total_cycles` × total channels.
+    pub fn dram_utilization(&self, total_cycles: u64) -> f64 {
+        let transfer: u64 = self.parts.iter().map(|p| p.dram.transfer_cycles()).sum();
+        let channels: u64 = self
+            .parts
+            .iter()
+            .map(|p| p.dram.config().channels as u64)
+            .sum();
+        if total_cycles == 0 || channels == 0 {
+            0.0
+        } else {
+            transfer as f64 / (total_cycles * channels) as f64
+        }
     }
 
-    /// The DRAM array (for statistics reporting).
-    pub fn dram(&self) -> &Dram {
-        &self.dram
+    /// Row-buffer hit rate aggregated across partitions, weighted by
+    /// requests: total row hits over total requests.
+    pub fn dram_row_hit_rate(&self) -> f64 {
+        let hits: u64 = self.parts.iter().map(|p| p.dram.stats.get("row_hit")).sum();
+        let reqs: u64 = self.parts.iter().map(|p| p.dram.stats.get("req")).sum();
+        if reqs == 0 {
+            0.0
+        } else {
+            hits as f64 / reqs as f64
+        }
     }
 
-    /// Enables (or disables) DRAM row-activate event recording.
+    /// Enables (or disables) DRAM row-activate event recording on every
+    /// partition.
     pub fn set_trace(&mut self, enabled: bool) {
-        self.dram.set_trace(enabled);
+        for p in &mut self.parts {
+            p.dram.set_trace(enabled);
+        }
     }
 
-    /// Drains recorded `(cycle, channel, bank)` DRAM row activates.
-    pub fn take_row_activates(&mut self) -> Vec<(u64, u32, u32)> {
-        self.dram.take_row_activates()
+    /// Drains recorded `(cycle, partition, channel, bank)` DRAM row
+    /// activates. The channel index is global (partition-base plus the
+    /// channel within the partition's group); events come out in partition
+    /// order, chronological within a partition — a deterministic order.
+    pub fn take_row_activates(&mut self) -> Vec<(u64, u32, u32, u32)> {
+        let mut out = Vec::new();
+        let mut base = 0u32;
+        for (pi, p) in self.parts.iter_mut().enumerate() {
+            let nch = p.dram.config().channels;
+            out.extend(
+                p.dram
+                    .take_row_activates()
+                    .into_iter()
+                    .map(|(cycle, ch, bank)| (cycle, pi as u32, base + ch, bank)),
+            );
+            base += nch;
+        }
+        out
     }
 
-    /// Cumulative traffic totals for interval sampling:
+    /// Cumulative traffic totals for interval sampling, summed over
+    /// partitions:
     /// `(l2_hits, l2_misses, dram_requests, dram_transfer_cycles)`.
     pub fn traffic_totals(&self) -> (u64, u64, u64, u64) {
-        (
-            self.l2.total_hits(),
-            self.l2.total_misses(),
-            self.dram.stats.get("req"),
-            self.dram.transfer_cycles(),
-        )
+        self.parts.iter().fold((0, 0, 0, 0), |acc, p| {
+            (
+                acc.0 + p.l2.total_hits(),
+                acc.1 + p.l2.total_misses(),
+                acc.2 + p.dram.stats.get("req"),
+                acc.3 + p.dram.transfer_cycles(),
+            )
+        })
     }
 
-    /// `true` when no events are pending (drain check).
+    /// `true` when no events or queued DRAM requests are pending in any
+    /// partition (drain check).
     pub fn is_idle(&self) -> bool {
-        self.events.is_empty()
+        self.parts
+            .iter()
+            .all(|p| p.events.is_empty() && !p.dram.has_queued())
+    }
+}
+
+/// Sums counter bags over partitions, adding `p{i}.*` copies when more
+/// than one partition exists.
+fn merge_partition_stats<'a>(bags: impl ExactSizeIterator<Item = &'a Counters>) -> Counters {
+    let multi = bags.len() > 1;
+    let mut out = Counters::new();
+    for (i, bag) in bags.enumerate() {
+        out.merge(bag);
+        if multi {
+            for (k, v) in bag.iter() {
+                out.add(&format!("p{i}.{k}"), v);
+            }
+        }
+    }
+    out
+}
+
+/// One L2-slice access: hit, miss to the partition's DRAM group, MSHR
+/// merge, or retry.
+#[allow(clippy::too_many_arguments)]
+fn handle_l2(
+    p: &mut Partition,
+    stats: &mut Counters,
+    drop_nth: Option<u64>,
+    delivered: &mut u64,
+    icnt: u64,
+    req: MemRequest,
+    t: u64,
+    done: &mut Vec<(u64, u64)>,
+) {
+    let kind = if req.is_store {
+        AccessKind::ShaderStore
+    } else {
+        req.kind
+    };
+    let line = p.l2.line_of(req.addr);
+    match p.l2.access(req.addr, kind, t) {
+        CacheOutcome::Hit => {
+            if req.is_store {
+                // Write-through: generate DRAM traffic but ack now. Under
+                // FR-FCFS the write occupies queue and bus without a
+                // waiter: its ticket is never mapped, so the scheduled
+                // completion is discarded.
+                p.dram.submit(req.addr, t + p.l2.hit_latency() as u64);
+                stats.inc("dram.writes");
+            }
+            deliver(
+                stats,
+                drop_nth,
+                delivered,
+                req.id,
+                t + p.l2.hit_latency() as u64 + icnt,
+                done,
+            );
+        }
+        CacheOutcome::MissToMemory => {
+            p.waiting.entry(line).or_default().push(req.id);
+            stats.inc("dram.reads");
+            match p.dram.submit(req.addr, t + p.l2.hit_latency() as u64) {
+                DramIssue::Done(ready) => p.push(ready, EvKind::DramDone { line }),
+                DramIssue::Queued(ticket) => {
+                    p.tickets.insert(ticket, line);
+                }
+            }
+        }
+        CacheOutcome::MissMerged => {
+            p.waiting.entry(line).or_default().push(req.id);
+        }
+        CacheOutcome::ReservationFail => {
+            // Retry after a short backoff.
+            stats.inc("l2.retry");
+            p.push(t + 4, EvKind::ArriveL2(req));
+        }
     }
 }
 
@@ -322,38 +567,32 @@ impl MemSink for SharedMemSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dram::DramSched;
 
     fn drain(sys: &mut SharedMemSystem, until: u64) -> Vec<(u64, u64)> {
         sys.advance_to(until)
     }
 
+    fn load(id: u64, addr: u64) -> MemRequest {
+        MemRequest {
+            id,
+            addr,
+            kind: AccessKind::ShaderLoad,
+            is_store: false,
+        }
+    }
+
     #[test]
     fn cold_read_goes_to_dram_then_hits() {
         let mut sys = SharedMemSystem::new(SystemConfig::default());
-        sys.submit(
-            MemRequest {
-                id: 1,
-                addr: 0x4000,
-                kind: AccessKind::ShaderLoad,
-                is_store: false,
-            },
-            0,
-        );
+        sys.submit(load(1, 0x4000), 0);
         let done = drain(&mut sys, 100_000);
         assert_eq!(done.len(), 1);
         let (_, t1) = done[0];
         // Cold: must include L2 latency + DRAM.
         assert!(t1 > 160, "cold access too fast: {t1}");
         // Second access to the same line: L2 hit, much faster.
-        sys.submit(
-            MemRequest {
-                id: 2,
-                addr: 0x4000,
-                kind: AccessKind::ShaderLoad,
-                is_store: false,
-            },
-            t1,
-        );
+        sys.submit(load(2, 0x4000), t1);
         let done2 = drain(&mut sys, t1 + 100_000);
         let (_, t2) = done2[0];
         assert!(t2 - t1 < t1, "hit {t2} vs cold {t1}");
@@ -415,15 +654,7 @@ mod tests {
         });
         let mut slow = SharedMemSystem::new(SystemConfig::default());
         for sys in [&mut fast, &mut slow] {
-            sys.submit(
-                MemRequest {
-                    id: 1,
-                    addr: 0x9000,
-                    kind: AccessKind::ShaderLoad,
-                    is_store: false,
-                },
-                0,
-            );
+            sys.submit(load(1, 0x9000), 0);
         }
         let tf = drain(&mut fast, 1_000_000)[0].1;
         let ts = drain(&mut slow, 1_000_000)[0].1;
@@ -434,24 +665,8 @@ mod tests {
     fn events_processed_in_time_order() {
         let mut sys = SharedMemSystem::new(SystemConfig::default());
         // Submit in reverse arrival order.
-        sys.submit(
-            MemRequest {
-                id: 2,
-                addr: 0x100,
-                kind: AccessKind::ShaderLoad,
-                is_store: false,
-            },
-            50,
-        );
-        sys.submit(
-            MemRequest {
-                id: 1,
-                addr: 0x100,
-                kind: AccessKind::ShaderLoad,
-                is_store: false,
-            },
-            0,
-        );
+        sys.submit(load(2, 0x100), 50);
+        sys.submit(load(1, 0x100), 0);
         let done = drain(&mut sys, 1_000_000);
         assert_eq!(done.len(), 2);
         assert!(sys.is_idle());
@@ -461,14 +676,7 @@ mod tests {
     fn queued_submission_matches_direct_submission() {
         // The two-phase engine's contract: queue-then-drain must be
         // indistinguishable from direct submission, including `seq` order.
-        let reqs: Vec<MemRequest> = (0..4)
-            .map(|i| MemRequest {
-                id: i,
-                addr: 0x1000 + i * 0x40,
-                kind: AccessKind::ShaderLoad,
-                is_store: false,
-            })
-            .collect();
+        let reqs: Vec<MemRequest> = (0..4).map(|i| load(i, 0x1000 + i * 0x40)).collect();
         let mut direct = SharedMemSystem::new(SystemConfig::default());
         for r in &reqs {
             direct.submit(*r, 3);
@@ -495,15 +703,7 @@ mod tests {
         let mut sys = SharedMemSystem::new(SystemConfig::default());
         sys.inject_drop_nth_completion(2);
         for id in 1..=3u64 {
-            sys.submit(
-                MemRequest {
-                    id,
-                    addr: 0x1000 * id,
-                    kind: AccessKind::ShaderLoad,
-                    is_store: false,
-                },
-                0,
-            );
+            sys.submit(load(id, 0x1000 * id), 0);
         }
         let done = drain(&mut sys, 1_000_000);
         assert_eq!(done.len(), 2, "the 2nd completion was dropped");
@@ -523,17 +723,138 @@ mod tests {
     #[test]
     fn advance_to_respects_cycle_bound() {
         let mut sys = SharedMemSystem::new(SystemConfig::default());
-        sys.submit(
-            MemRequest {
-                id: 1,
-                addr: 0x100,
-                kind: AccessKind::ShaderLoad,
-                is_store: false,
-            },
-            0,
-        );
+        sys.submit(load(1, 0x100), 0);
         // Nothing can be complete after 1 cycle.
         assert!(sys.advance_to(1).is_empty());
         assert!(!sys.is_idle());
+    }
+
+    #[test]
+    fn partition_of_is_total_and_rotates_lines() {
+        for n in 1..=8u32 {
+            for line in 0..32u64 {
+                let p = partition_of(line * PARTITION_BYTES, n);
+                assert!(p < n);
+                assert_eq!(p, (line % n as u64) as u32, "consecutive lines rotate");
+                // Every byte of the line maps to the same partition.
+                assert_eq!(p, partition_of(line * PARTITION_BYTES + 127, n));
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_split_traffic_and_report_per_partition_counters() {
+        let mut sys = SharedMemSystem::new(SystemConfig {
+            num_partitions: 4,
+            ..Default::default()
+        });
+        assert_eq!(sys.num_partitions(), 4);
+        // One request per partition (consecutive 128 B lines).
+        for id in 0..4u64 {
+            sys.submit(load(id, id * PARTITION_BYTES), 0);
+        }
+        let done = drain(&mut sys, 1_000_000);
+        assert_eq!(done.len(), 4);
+        assert!(sys.is_idle());
+        let dram = sys.dram_stats();
+        assert_eq!(dram.get("req"), 4, "merged totals sum the partitions");
+        for i in 0..4 {
+            assert_eq!(dram.get(&format!("p{i}.req")), 1, "partition {i}");
+        }
+        let l2 = sys.l2_stats();
+        assert_eq!(l2.get("shader_load.miss_compulsory"), 4);
+        assert_eq!(l2.get("p2.shader_load.miss_compulsory"), 1);
+        // Independent partitions: all four cold misses complete together.
+        assert!(done.iter().all(|&(_, t)| t == done[0].1));
+    }
+
+    #[test]
+    fn single_partition_omits_per_partition_keys() {
+        let mut sys = SharedMemSystem::new(SystemConfig::default());
+        sys.submit(load(1, 0x40), 0);
+        drain(&mut sys, 1_000_000);
+        assert!(
+            !sys.dram_stats().iter().any(|(k, _)| k.starts_with("p0.")),
+            "golden key sets must not change at num_partitions = 1"
+        );
+    }
+
+    #[test]
+    fn aggregated_dram_rates_are_request_weighted() {
+        // Asymmetric load: partition 0 sees 32 requests with high row
+        // locality, partition 1 sees 2 requests with none. The aggregate
+        // hit rate must be the ratio of sums, not the mean of rates.
+        let mut sys = SharedMemSystem::new(SystemConfig {
+            num_partitions: 2,
+            ..Default::default()
+        });
+        let mut t = 0;
+        for i in 0..32u64 {
+            // Partition 0 (even 128 B lines), same row.
+            sys.submit(load(i, i * 32 % 128 + (i / 4) * 256), t);
+            t += 400;
+            let _ = sys.advance_to(t);
+        }
+        // Partition 1 (odd 128 B lines), two far-apart rows.
+        for (j, addr) in [(100u64, 128u64), (101, 128 + 65536)].into_iter() {
+            sys.submit(load(j, addr), t);
+            t += 4000;
+            let _ = sys.advance_to(t);
+        }
+        assert!(sys.is_idle());
+        let s = sys.dram_stats();
+        let weighted = (s.get("p0.row_hit") + s.get("p1.row_hit")) as f64
+            / (s.get("p0.req") + s.get("p1.req")) as f64;
+        assert!((sys.dram_row_hit_rate() - weighted).abs() < 1e-12);
+        let p0_rate = s.get("p0.row_hit") as f64 / s.get("p0.req") as f64;
+        let p1_rate = s.get("p1.row_hit") as f64 / s.get("p1.req") as f64;
+        let naive_mean = (p0_rate + p1_rate) / 2.0;
+        assert!(
+            (sys.dram_row_hit_rate() - naive_mean).abs() > 0.05,
+            "asymmetric load must expose the weighting: weighted {weighted} vs mean {naive_mean}"
+        );
+    }
+
+    #[test]
+    fn fr_fcfs_backend_completes_and_drains() {
+        let mut sys = SharedMemSystem::new(SystemConfig {
+            num_partitions: 2,
+            dram: DramConfig {
+                sched: DramSched::fr_fcfs_paper(),
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        for id in 0..16u64 {
+            sys.submit(load(id, id * 4096 + (id % 2) * PARTITION_BYTES), id);
+        }
+        let mut done = Vec::new();
+        let mut t = 0;
+        while !sys.is_idle() && t < 1_000_000 {
+            t += 1;
+            done.extend(sys.advance_to(t));
+        }
+        assert_eq!(done.len(), 16, "every FR-FCFS read completes");
+        assert!(sys.is_idle());
+        assert_eq!(sys.dram_stats().get("req"), 16);
+    }
+
+    #[test]
+    fn row_activates_carry_partition_and_global_channel() {
+        let mut sys = SharedMemSystem::new(SystemConfig {
+            num_partitions: 2,
+            ..Default::default()
+        });
+        sys.set_trace(true);
+        sys.submit(load(1, 0), 0);
+        sys.submit(load(2, PARTITION_BYTES), 0);
+        drain(&mut sys, 1_000_000);
+        let acts = sys.take_row_activates();
+        assert_eq!(acts.len(), 2);
+        let parts: Vec<u32> = acts.iter().map(|a| a.1).collect();
+        assert_eq!(parts, vec![0, 1]);
+        let per_part_channels = sys.dram().config().channels;
+        assert!(acts[0].2 < per_part_channels);
+        assert!(acts[1].2 >= per_part_channels, "global channel index");
     }
 }

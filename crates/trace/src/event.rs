@@ -62,15 +62,22 @@ pub enum EventKind {
     MshrAlloc {
         /// Line address.
         line: u64,
+        /// Memory partition the line's fill is routed to.
+        partition: u32,
     },
     /// A fill returned and released the MSHR entry.
     MshrFill {
         /// Line address.
         line: u64,
+        /// Memory partition the fill came from.
+        partition: u32,
     },
     /// A DRAM bank opened a row.
     DramRowActivate {
-        /// Channel index.
+        /// Memory partition owning the channel.
+        partition: u32,
+        /// Global channel index (partition base + channel within the
+        /// partition's group).
         channel: u32,
         /// Bank index within the channel.
         bank: u32,
@@ -121,8 +128,14 @@ impl EventKind {
             EventKind::StallEnd { cycles } => (cycles, 0),
             EventKind::Diverge { pc } | EventKind::Reconverge { pc } => (pc as u64, 0),
             EventKind::RtFinish { latency } => (latency, 0),
-            EventKind::MshrAlloc { line } | EventKind::MshrFill { line } => (line, 0),
-            EventKind::DramRowActivate { channel, bank } => (channel as u64, bank as u64),
+            EventKind::MshrAlloc { line, partition } | EventKind::MshrFill { line, partition } => {
+                (line, partition as u64)
+            }
+            EventKind::DramRowActivate {
+                partition,
+                channel,
+                bank,
+            } => (((partition as u64) << 32) | channel as u64, bank as u64),
             EventKind::StallBegin
             | EventKind::Retire
             | EventKind::RtBusyBegin
@@ -149,9 +162,16 @@ mod tests {
             EventKind::RtBusyEnd,
             EventKind::RtStart,
             EventKind::RtFinish { latency: 6 },
-            EventKind::MshrAlloc { line: 7 },
-            EventKind::MshrFill { line: 8 },
+            EventKind::MshrAlloc {
+                line: 7,
+                partition: 0,
+            },
+            EventKind::MshrFill {
+                line: 8,
+                partition: 1,
+            },
             EventKind::DramRowActivate {
+                partition: 0,
                 channel: 1,
                 bank: 2,
             },
@@ -167,11 +187,20 @@ mod tests {
         assert_eq!(EventKind::StallEnd { cycles: 77 }.args(), (77, 0));
         assert_eq!(
             EventKind::DramRowActivate {
+                partition: 2,
                 channel: 3,
                 bank: 5
             }
             .args(),
-            (3, 5)
+            ((2 << 32) | 3, 5)
+        );
+        assert_eq!(
+            EventKind::MshrAlloc {
+                line: 0x1240,
+                partition: 6
+            }
+            .args(),
+            (0x1240, 6)
         );
         assert_eq!(EventKind::Retire.args(), (0, 0));
     }

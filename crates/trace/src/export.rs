@@ -183,7 +183,7 @@ fn emit_event(out: &mut String, first: &mut bool, sm: u64, ev: Event) {
                 TRAVERSAL_TID_BASE + ev.warp as u64
             );
         }
-        EventKind::MshrAlloc { line } | EventKind::MshrFill { line } => {
+        EventKind::MshrAlloc { line, partition } | EventKind::MshrFill { line, partition } => {
             let tid = if ev.warp == NO_WARP {
                 MSHR_TID
             } else {
@@ -191,14 +191,18 @@ fn emit_event(out: &mut String, first: &mut bool, sm: u64, ev: Event) {
             };
             let _ = write!(
                 out,
-                "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{sm},\"tid\":{tid},\"args\":{{\"line\":{line}}}}}",
+                "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{sm},\"tid\":{tid},\"args\":{{\"line\":{line},\"partition\":{partition}}}}}",
                 ev.cycle
             );
         }
-        EventKind::DramRowActivate { channel, bank } => {
+        EventKind::DramRowActivate {
+            partition,
+            channel,
+            bank,
+        } => {
             let _ = write!(
                 out,
-                "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{sm},\"tid\":{channel},\"args\":{{\"bank\":{bank}}}}}",
+                "{{\"name\":\"{name}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{sm},\"tid\":{channel},\"args\":{{\"partition\":{partition},\"bank\":{bank}}}}}",
                 ev.cycle
             );
         }
@@ -354,6 +358,7 @@ mod tests {
                     cycle: 6,
                     warp: NO_WARP,
                     kind: EventKind::DramRowActivate {
+                        partition: 0,
                         channel: 1,
                         bank: 3,
                     },

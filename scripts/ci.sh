@@ -106,9 +106,9 @@ bg "examples build + run (quickstart, custom_scene)" bash -c '
 '
 join
 
-step "bench baseline gate (substrates, engine)"
+step "bench baseline gate (substrates, engine, mem)"
 mkdir -p .bench-baselines
-for suite in substrates engine; do
+for suite in substrates engine mem; do
     # Absolute path: cargo runs bench binaries with cwd = the package root
     # (crates/bench), not the workspace root.
     base="$PWD/.bench-baselines/BENCH_$suite.json"

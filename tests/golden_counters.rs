@@ -118,6 +118,38 @@ fn golden_tri_mobile() {
     assert_matches_golden(golden_path("tri_mobile"), &snapshot(&report));
 }
 
+/// The paper-scale configuration (48 SMs, 8 memory partitions, FR-FCFS
+/// DRAM scheduling) on the TRI scene — guards the partitioned memory
+/// backend end to end, including the per-partition `l2.p{i}.*` /
+/// `dram.p{i}.*` counters and the merged totals they roll up into.
+#[test]
+fn golden_tri_paper() {
+    let (_, report) = run_workload(WorkloadKind::Tri, Scale::Test, SimConfig::paper());
+    assert_matches_golden(golden_path("tri_paper"), &snapshot(&report));
+}
+
+/// The determinism contract must hold on the partitioned FR-FCFS path
+/// too: the paper config at threads = 1 and threads = 4 must agree on
+/// every counter, per-partition keys included.
+#[test]
+fn paper_threads_do_not_change_counters() {
+    let (_, a) = run_workload(
+        WorkloadKind::Tri,
+        Scale::Test,
+        SimConfig::paper().with_threads(1),
+    );
+    let (_, b) = run_workload(
+        WorkloadKind::Tri,
+        Scale::Test,
+        SimConfig::paper().with_threads(4),
+    );
+    assert_eq!(
+        snapshot(&a),
+        snapshot(&b),
+        "paper config must be thread-count invariant"
+    );
+}
+
 /// The FCC case study (§VI-E): RTV6 with function-call coalescing enabled.
 /// Locks the coalescing-table loads and reordered intersection-shader
 /// lowering the case study measures, so tracing hooks (and future PRs)

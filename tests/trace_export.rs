@@ -187,6 +187,42 @@ fn trace_is_deterministic_and_thread_invariant() {
     assert_eq!(interval_csv(trace_of(&a)), interval_csv(trace_of(&c)));
 }
 
+/// The partitioned memory path (8 partitions, FR-FCFS) must serialize a
+/// byte-identical trace run-to-run and across thread counts — partition
+/// IDs on MSHR and row-activate events included.
+#[test]
+fn partitioned_trace_is_byte_deterministic() {
+    let config = |threads: usize| {
+        SimConfig::paper()
+            .with_threads(threads)
+            .with_trace(TraceConfig {
+                enabled: true,
+                interval: 256,
+                ..Default::default()
+            })
+    };
+    let run = |threads| run_workload(WorkloadKind::Tri, Scale::Test, config(threads)).1;
+    let a = run(1);
+    let b = run(1);
+    let c = run(4);
+    let json_a = chrome_trace_json(trace_of(&a));
+    assert!(
+        json_a.contains("\"partition\""),
+        "partitioned trace must carry partition IDs"
+    );
+    assert_eq!(
+        json_a,
+        chrome_trace_json(trace_of(&b)),
+        "partitioned trace JSON must be byte-identical run-to-run"
+    );
+    assert_eq!(
+        json_a,
+        chrome_trace_json(trace_of(&c)),
+        "threads=1 and threads=4 must serialize the identical partitioned trace"
+    );
+    assert_eq!(interval_csv(trace_of(&a)), interval_csv(trace_of(&c)));
+}
+
 #[test]
 fn tracing_does_not_change_counters() {
     let (_, base) = run_workload(WorkloadKind::Tri, Scale::Test, SimConfig::test_small());
