@@ -4,7 +4,8 @@
 //! themselves are covered by unit tests and goldens.
 
 use vksim_mem::{
-    AccessKind, Dram, DramConfig, DramIssue, DramSched, MemRequest, SharedMemSystem, SystemConfig,
+    AccessKind, Dram, DramConfig, DramIssue, DramSched, MemRequest, MemSink, RequestQueue,
+    SharedMemSystem, SystemConfig,
 };
 use vksim_testkit::{black_box, Bench, Pcg32};
 
@@ -41,6 +42,42 @@ fn drive_system(config: SystemConfig, n: u64) -> u64 {
     while !sys.is_idle() {
         cycle += 64;
         completions += sys.advance_to(cycle).len() as u64;
+    }
+    completions
+}
+
+/// The same paced stream as [`drive_system`], but offered through an
+/// SM-side [`RequestQueue`] into a *bounded* interconnect, so the
+/// refusal / head-of-line / re-offer path is on the measured profile.
+fn drive_system_backpressured(config: SystemConfig, n: u64) -> u64 {
+    let mut sys = SharedMemSystem::new(config);
+    let mut queue = RequestQueue::new();
+    let mut rng = Pcg32::new(0x5EED_0000_0000_0001);
+    let mut completions = 0u64;
+    let mut cycle = 0u64;
+    for i in 0..n {
+        let addr = if rng.bool_with(0.25) {
+            rng.u64_below(64) * 32
+        } else {
+            (i % 4096) * 32
+        };
+        queue.submit(
+            MemRequest {
+                id: i,
+                addr,
+                kind: AccessKind::ShaderLoad,
+                is_store: false,
+            },
+            cycle,
+        );
+        cycle += 8;
+        completions += sys.advance_to(cycle).len() as u64;
+        queue.drain_into(&mut sys);
+    }
+    while !sys.is_idle() || !queue.is_empty() {
+        cycle += 64;
+        completions += sys.advance_to(cycle).len() as u64;
+        queue.drain_into(&mut sys);
     }
     completions
 }
@@ -86,6 +123,18 @@ fn main() {
         black_box(drive_system(
             SystemConfig {
                 num_partitions: 4,
+                ..SystemConfig::default()
+            },
+            2048,
+        ))
+    });
+
+    b.bench("system/backpressured_4p", || {
+        black_box(drive_system_backpressured(
+            SystemConfig {
+                num_partitions: 4,
+                icnt_queue_depth: 8,
+                icnt_return_credits: 4,
                 ..SystemConfig::default()
             },
             2048,

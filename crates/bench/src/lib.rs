@@ -321,9 +321,12 @@ pub fn fig17_its(scale: Scale) -> Vec<(String, f64)> {
         .collect()
 }
 
+/// One RT-unit occupancy timeline: `(sample cycle, resident warps)` points.
+pub type OccupancyTimeline = Vec<(u64, u32)>;
+
 /// Fig. 18: RT-unit occupancy timelines (resident warps per sample) for
 /// stack vs ITS on EXT.
-pub fn fig18_occupancy(scale: Scale) -> (Vec<(u64, u32)>, Vec<(u64, u32)>) {
+pub fn fig18_occupancy(scale: Scale) -> (OccupancyTimeline, OccupancyTimeline) {
     let w = build(WorkloadKind::Ext, scale);
     let collect = |r: &RunReport| -> Vec<(u64, u32)> {
         r.gpu

@@ -123,7 +123,7 @@ pub fn build_wide_bvh(items: Vec<BuildItem>, opts: &BuildOptions) -> WideBvh {
                     for (i, n) in pool.iter().enumerate() {
                         if let BinaryNode::Internal { aabb, .. } = n {
                             let area = aabb.surface_area();
-                            if best.map_or(true, |(_, a)| area > a) {
+                            if best.is_none_or(|(_, a)| area > a) {
                                 best = Some((i, area));
                             }
                         }
@@ -326,7 +326,7 @@ fn sah_split(
             continue;
         }
         let cost = left_box.surface_area() * left_cnt as f32 + rbox.surface_area() * rcnt as f32;
-        if best.map_or(true, |(_, c)| cost < c) {
+        if best.is_none_or(|(_, c)| cost < c) {
             best = Some((b, cost));
         }
     }

@@ -105,6 +105,21 @@ impl SimConfig {
         self
     }
 
+    /// Bounds each memory partition's interconnect ingress queue to
+    /// `depth` in-flight requests (`0` = unbounded, the historical model).
+    /// A full queue backpressures the issuing SM.
+    pub fn with_icnt_queue_depth(mut self, depth: u32) -> Self {
+        self.gpu.mem.icnt_queue_depth = depth;
+        self
+    }
+
+    /// Limits each partition's return path to `credits` concurrent
+    /// completions in flight toward the SMs (`0` = unbounded).
+    pub fn with_icnt_return_credits(mut self, credits: u32) -> Self {
+        self.gpu.mem.icnt_return_credits = credits;
+        self
+    }
+
     /// Enables independent thread scheduling (§IV-B).
     pub fn with_its(mut self, its: bool) -> Self {
         self.gpu.divergence = if its {

@@ -140,9 +140,11 @@ mod tests {
 
     #[test]
     fn profile_from_stats() {
-        let mut rs = RuntimeStats::default();
-        rs.rays = 100;
-        rs.nodes_visited = 730;
+        let rs = RuntimeStats {
+            rays: 100,
+            nodes_visited: 730,
+            ..Default::default()
+        };
         let p = WorkloadProfile::from_stats(5_000, &rs, 64_000, 30);
         assert_eq!(p.rays, 100);
         assert!((p.avg_nodes_per_ray - 7.3).abs() < 1e-9);

@@ -63,5 +63,5 @@ pub mod validate;
 pub use config::{MemoryMode, SimConfig};
 pub use runtime::{RtRuntime, RuntimeStats};
 pub use simulator::{RunReport, SimFailure, Simulator};
-pub use validate::ImageSizeMismatch;
+pub use validate::{validate_config, ConfigError, ImageSizeMismatch};
 pub use vksim_gpu::{FaultPlan, GpuFault, HangClass, SimError, WorkerPanicSpec};

@@ -390,7 +390,7 @@ impl RtHooks for RtRuntime {
 
     fn alloc_mem(&mut self, _tid: usize, size: u32) -> u64 {
         let addr = self.alloc_cursor;
-        self.alloc_cursor += (size as u64 + 63) / 64 * 64;
+        self.alloc_cursor += (size as u64).div_ceil(64) * 64;
         addr
     }
 
@@ -450,7 +450,7 @@ impl RtHooks for RtRuntime {
             (idx as usize) < self.fcc_table(tid).len()
         } else {
             self.frame(tid)
-                .map_or(false, |f| (idx as usize) < f.pending.len())
+                .is_some_and(|f| (idx as usize) < f.pending.len())
         }
     }
 

@@ -88,6 +88,9 @@ impl Simulator {
         cmd: &TraceRaysCommand,
     ) -> Result<RunReport, Box<SimFailure>> {
         let gpu_config = self.config.resolve();
+        if let Err(e) = crate::validate::validate_config(&gpu_config) {
+            return Err(config_failure(e));
+        }
         let threads = gpu_config.effective_threads();
         let num_sms = gpu_config.num_sms;
         let mut gpu = GpuSim::new(gpu_config);
@@ -222,6 +225,21 @@ fn export_trace(report: &TraceReport) {
             eprintln!("vksim: failed to write trace file {path}: {e}");
         }
     }
+}
+
+/// Builds the `SimFailure` for a rejected configuration: the run never
+/// started, so there is no timing report — just the classified error and
+/// a minimal dump identifying the fault class.
+fn config_failure(e: crate::validate::ConfigError) -> Box<SimFailure> {
+    let error = SimError::InvalidConfig { detail: e.detail };
+    let mut snap = BTreeMap::new();
+    snap.insert("fault.kind".to_string(), error.kind_code());
+    let dump = vksim_fault::write_dump(&snap).ok();
+    Box::new(SimFailure {
+        error,
+        dump,
+        report: None,
+    })
 }
 
 /// Builds the `SimFailure` for a functional-mode execution error, writing
@@ -457,6 +475,24 @@ mod tests {
         let report = failure.report.as_ref().expect("timing fault keeps stats");
         assert!(report.gpu.cycles > 0, "partial stats reach the caller");
         assert!(failure.dump.is_some(), "post-mortem dump written");
+    }
+
+    #[test]
+    fn degenerate_fr_fcfs_depth_is_rejected_before_the_run() {
+        let (device, cmd, _) = quad_workload(4, 4);
+        let cfg = SimConfig::test_small().with_dram_sched(vksim_mem::DramSched::FrFcfs {
+            queue_depth: 0,
+            age_cap: 100,
+        });
+        let failure = Simulator::new(cfg)
+            .run(&device, &cmd)
+            .expect_err("queue_depth 0 must be rejected, not clamped");
+        assert!(
+            matches!(failure.error, SimError::InvalidConfig { .. }),
+            "{failure}"
+        );
+        assert!(failure.report.is_none(), "the run never started");
+        assert!(failure.dump.is_some(), "fault class still dumped");
     }
 
     #[test]

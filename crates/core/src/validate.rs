@@ -1,12 +1,53 @@
 //! Image validation (paper Fig. 2: "Only 0.3% of pixels rendered ...
-//! differ from an NVIDIA GPU").
+//! differ from an NVIDIA GPU") and configuration validation.
 //!
 //! Framebuffers are stored as packed RGBA8 words; [`pixel_diff_fraction`]
 //! reports the fraction of pixels whose channels differ by more than a
 //! tolerance — the number quoted when validating the simulator's functional
 //! model against the reference renderer.
+//!
+//! [`validate_config`] rejects degenerate knob combinations *before* a run
+//! starts, so a bad configuration surfaces as a structured error instead
+//! of a silent clamp or a mid-run panic.
 
+use vksim_gpu::GpuConfig;
 use vksim_isa::SimMemory;
+use vksim_mem::DramSched;
+
+/// A configuration knob was rejected by [`validate_config`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    /// Which knob was rejected and why.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid configuration: {}", self.detail)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Checks a resolved GPU configuration for degenerate knob values.
+///
+/// Historically `DramSched::FrFcfs { queue_depth: 0 }` was silently
+/// clamped to 1 deep inside the DRAM model; it is now rejected here (the
+/// model itself asserts against it as a second line of defense).
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] naming the offending knob.
+pub fn validate_config(config: &GpuConfig) -> Result<(), ConfigError> {
+    if let DramSched::FrFcfs { queue_depth: 0, .. } = config.mem.dram.sched {
+        return Err(ConfigError {
+            detail: "DramSched::FrFcfs queue_depth must be >= 1 (0 would \
+                     mean no bank queue at all; use FCFS for unscheduled DRAM)"
+                .into(),
+        });
+    }
+    Ok(())
+}
 
 /// Packs `[0,1]` RGB floats into an RGBA8 word (alpha = 255). This is the
 /// quantization the shaders emit; the reference renderer uses it too so
@@ -90,6 +131,24 @@ pub fn to_ppm(pixels: &[u32], width: u32, height: u32) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn zero_fr_fcfs_depth_is_rejected_with_a_structured_error() {
+        let mut config = GpuConfig::baseline();
+        config.mem.dram.sched = DramSched::FrFcfs {
+            queue_depth: 0,
+            age_cap: 100,
+        };
+        let err = validate_config(&config).expect_err("depth 0 must be rejected");
+        assert!(err.detail.contains("queue_depth"), "{err}");
+        assert!(err.to_string().starts_with("invalid configuration:"));
+    }
+
+    #[test]
+    fn healthy_configs_validate() {
+        assert_eq!(validate_config(&GpuConfig::baseline()), Ok(()));
+        assert_eq!(validate_config(&GpuConfig::paper()), Ok(()));
+    }
 
     #[test]
     fn pack_unpack_roundtrip() {

@@ -96,6 +96,13 @@ pub enum SimError {
         /// The panic payload, if it was a string.
         detail: String,
     },
+    /// The configuration was rejected before the run started (degenerate
+    /// queue depths, impossible knob combinations). Raised by
+    /// `vksim_core::validate::validate_config`, never mid-run.
+    InvalidConfig {
+        /// Which knob was rejected and why.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -121,6 +128,9 @@ impl fmt::Display for SimError {
             ),
             SimError::WorkerPanicked { sm, detail } => {
                 write!(f, "worker for SM{sm} panicked: {detail}")
+            }
+            SimError::InvalidConfig { detail } => {
+                write!(f, "invalid configuration: {detail}")
             }
         }
     }
@@ -148,6 +158,7 @@ impl SimError {
                 ..
             } => 5,
             SimError::WorkerPanicked { .. } => 6,
+            SimError::InvalidConfig { .. } => 7,
         }
     }
 }
@@ -196,6 +207,9 @@ impl FaultPlan {
         *self == FaultPlan::default()
     }
 }
+
+/// Re-exported for convenience: the post-mortem writer.
+pub use dump::{write_dump, DUMP_DIR_ENV};
 
 #[cfg(test)]
 mod tests {
@@ -250,6 +264,9 @@ mod tests {
                 sm: 0,
                 detail: String::new(),
             },
+            SimError::InvalidConfig {
+                detail: String::new(),
+            },
         ];
         let mut codes: Vec<u64> = errs.iter().map(|e| e.kind_code()).collect();
         codes.sort_unstable();
@@ -267,6 +284,3 @@ mod tests {
         assert!(!p.is_empty());
     }
 }
-
-/// Re-exported for convenience: the post-mortem writer.
-pub use dump::{write_dump, DUMP_DIR_ENV};

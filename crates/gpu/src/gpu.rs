@@ -230,7 +230,7 @@ fn refill_lanes<H>(
         let mut best: Option<(usize, usize)> = None;
         for (i, lane) in lanes.iter().enumerate() {
             let n = lane.lock().expect("lane lock").sm.resident_warps();
-            if n < limit && best.map_or(true, |(_, bn)| n < bn) {
+            if n < limit && best.is_none_or(|(_, bn)| n < bn) {
                 best = Some((i, n));
             }
         }
@@ -639,7 +639,7 @@ impl GpuSim {
                     let rows = self.shared.take_row_activates();
                     col.push_mem_events(num, rows.into_iter().map(row_activate_event));
                     let interval = col.interval();
-                    if interval > 0 && cycle % interval == 0 {
+                    if interval > 0 && cycle.is_multiple_of(interval) {
                         let mut snap = IntervalSnapshot::default();
                         for l in &lanes {
                             let lane = l.lock().expect("lane lock");
@@ -712,7 +712,7 @@ impl GpuSim {
         let num = self.sms.len() as u32;
         col.push_mem_events(num, rows.into_iter().map(row_activate_event));
         let interval = col.interval();
-        if interval > 0 && cycle % interval == 0 {
+        if interval > 0 && cycle.is_multiple_of(interval) {
             let mut snap = IntervalSnapshot::default();
             for sm in &self.sms {
                 absorb_sm_snapshot(&mut snap, sm);
@@ -812,6 +812,21 @@ impl GpuSim {
             // Only inserted when nonzero so golden key sets are unchanged
             // on healthy runs.
             counters.add("gpu.dropped_completions", self.dropped_completions);
+        }
+        if let Some(col) = &self.collector {
+            // Same convention: a healthy sampler leaves no key behind.
+            let underflows = col.sampler_underflows();
+            if underflows > 0 {
+                counters.add("trace.sampler_underflow", underflows);
+            }
+        }
+        // Backpressure observability: only-when-nonzero, so unbounded
+        // (depth 0) runs keep their historical golden key sets.
+        for key in ["icnt.refused", "dram.bank_full_retries"] {
+            let v = self.shared.stats.get(key);
+            if v > 0 {
+                counters.add(key, v);
+            }
         }
         // Same convention: healthy, watchdog-off runs carry neither key.
         counters.add("gpu.watchdog_armed", self.config.effective_watchdog());

@@ -302,17 +302,34 @@ impl Sm {
         sink: &mut dyn MemSink,
         hooks: &mut dyn GpuHooks,
     ) -> Result<TickReport, Box<SimError>> {
+        // Interconnect backpressure: leftovers in the SM's request queue
+        // after the previous phase-B drain mean the bounded interconnect
+        // refused them. Sampled once at tick start — before this cycle's
+        // own submissions land — so the reading is identical in the serial
+        // and parallel engines.
+        let icnt_blocked = sink.backlogged();
+        if icnt_blocked {
+            self.stats.inc("sm.icnt_stall_cycles");
+        }
+        if let Some(tr) = self.tracer.as_mut() {
+            tr.icnt_stall_edge(now, icnt_blocked);
+        }
+
         // 1. RT unit cycle.
         let rt_finished = self.tick_rt_unit(now, sink);
 
         // 2. Retry stalled RT enqueues and memory-chunk retries.
         self.retry_stalled(now, sink);
 
-        // 3. Issue one instruction from one warp context (GTO).
+        // 3. Issue one instruction from one warp context (GTO) — held
+        // while the interconnect is backpressuring this SM, so the warp
+        // that would issue stalls instead of growing the backlog.
         let mut issued = false;
-        if let Some((warp_idx, ctx_id)) = self.pick(now) {
-            self.issue(warp_idx, ctx_id, now, program, mem, sink, hooks)?;
-            issued = true;
+        if !icnt_blocked {
+            if let Some((warp_idx, ctx_id)) = self.pick(now) {
+                self.issue(warp_idx, ctx_id, now, program, mem, sink, hooks)?;
+                issued = true;
+            }
         }
 
         if self.rt_unit.resident_warps() > 0 {

@@ -707,7 +707,7 @@ mod tests {
                             other => prop_assert!(false, "unexpected outcome {other:?}"),
                         }
                     }
-                    prop_assert_eq!(merged, requesters.min(merge_cap - 1).max(0));
+                    prop_assert_eq!(merged, requesters.min(merge_cap - 1));
                     prop_assert_eq!(
                         c.fill(0x40, 100),
                         1 + merged,

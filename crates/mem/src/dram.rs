@@ -27,9 +27,10 @@ use std::collections::VecDeque;
 use vksim_stats::Counters;
 
 /// DRAM memory-access scheduling policy.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum DramSched {
     /// In-order service at arrival (the original model; golden continuity).
+    #[default]
     Fcfs,
     /// First-ready FCFS with a bounded reorder window and starvation bound.
     FrFcfs {
@@ -41,12 +42,6 @@ pub enum DramSched {
         /// reproduces the FCFS schedule cycle-for-cycle.
         age_cap: u64,
     },
-}
-
-impl Default for DramSched {
-    fn default() -> Self {
-        DramSched::Fcfs
-    }
 }
 
 impl DramSched {
@@ -184,11 +179,19 @@ impl Dram {
     ///
     /// # Panics
     ///
-    /// Panics on a zero-channel or zero-bank configuration.
+    /// Panics on a zero-channel or zero-bank configuration, and on an
+    /// FR-FCFS configuration with a zero queue depth (a zero-wide reorder
+    /// window has no schedulable requests; config validation in
+    /// `vksim-core` rejects it with a structured error before it can
+    /// reach this assert).
     pub fn new(config: DramConfig) -> Self {
         assert!(
             config.channels > 0 && config.banks_per_channel > 0,
             "degenerate DRAM geometry"
+        );
+        assert!(
+            !matches!(config.sched, DramSched::FrFcfs { queue_depth: 0, .. }),
+            "degenerate FR-FCFS queue depth"
         );
         let channels = (0..config.channels)
             .map(|_| Channel {
@@ -325,6 +328,25 @@ impl Dram {
         DramIssue::Queued(ticket)
     }
 
+    /// Offers one 32 B chunk request arriving at `now`, honouring the
+    /// bounded bank queues: an FR-FCFS submission whose target bank
+    /// already holds `queue_depth` pending requests is refused (`None`)
+    /// without consuming a ticket, back-pressuring the L2 slice. FCFS and
+    /// perfect configurations never refuse.
+    pub fn try_submit(&mut self, addr: u64, now: u64) -> Option<DramIssue> {
+        let depth = match self.config.sched {
+            DramSched::FrFcfs { queue_depth, .. } if !self.config.perfect => queue_depth as usize,
+            _ => return Some(self.submit(addr, now)),
+        };
+        let ch_idx = self.channel_of(addr);
+        let row = addr / self.config.row_bytes;
+        let bank_idx = (row % self.config.banks_per_channel as u64) as usize;
+        if self.channels[ch_idx].banks[bank_idx].queue.len() >= depth {
+            return None;
+        }
+        Some(self.submit(addr, now))
+    }
+
     /// `true` while FR-FCFS requests are still queued (drain check).
     pub fn has_queued(&self) -> bool {
         self.channels
@@ -342,7 +364,9 @@ impl Dram {
             DramSched::FrFcfs {
                 queue_depth,
                 age_cap,
-            } => (queue_depth.max(1) as usize, age_cap),
+                // The constructor rejects depth 0, so the first-ready
+                // window below is never empty while requests are queued.
+            } => (queue_depth as usize, age_cap),
             DramSched::Fcfs => return Vec::new(),
         };
         let mut out = Vec::new();
@@ -391,22 +415,22 @@ impl Dram {
                         .expect("nonempty channel queue");
                     // ...then, among requests startable exactly then, a row
                     // hit beats a miss and age breaks ties.
-                    let victim =
-                        ch.banks
-                            .iter()
-                            .enumerate()
-                            .flat_map(|(bi, b)| {
-                                let ready = b.ready_at;
-                                let open = b.open_row;
-                                b.queue.iter().take(depth).enumerate().filter_map(
-                                    move |(pos, p)| {
-                                        (p.arrival.max(ready).max(bus) == t_d)
-                                            .then(|| (open != Some(p.row), p.ticket, bi, pos))
-                                    },
-                                )
-                            })
-                            .min()
-                            .expect("t_d comes from a real candidate");
+                    let victim = ch
+                        .banks
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(bi, b)| {
+                            let ready = b.ready_at;
+                            let open = b.open_row;
+                            b.queue
+                                .iter()
+                                .take(depth)
+                                .enumerate()
+                                .filter(move |(_, p)| p.arrival.max(ready).max(bus) == t_d)
+                                .map(move |(pos, p)| (open != Some(p.row), p.ticket, bi, pos))
+                        })
+                        .min()
+                        .expect("t_d comes from a real candidate");
                     (victim.2, victim.3)
                 };
                 let p = self.channels[ch_idx].banks[bank_idx].queue[pos];
@@ -583,6 +607,58 @@ mod tests {
             channels: 0,
             ..Default::default()
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate FR-FCFS queue depth")]
+    fn zero_fr_fcfs_depth_panics() {
+        // The historical behaviour silently clamped depth 0 to 1,
+        // rewriting the model the caller asked for; it is now rejected.
+        let _ = Dram::new(DramConfig {
+            sched: DramSched::FrFcfs {
+                queue_depth: 0,
+                age_cap: 0,
+            },
+            ..Default::default()
+        });
+    }
+
+    #[test]
+    fn try_submit_refuses_full_bank_without_a_ticket() {
+        let mut d = Dram::new(fr_fcfs(2, 1 << 40));
+        let row = d.config().row_bytes;
+        // Two same-bank requests fill the depth-2 queue...
+        assert!(matches!(d.try_submit(0, 0), Some(DramIssue::Queued(1))));
+        assert!(matches!(
+            d.try_submit(2 * row, 0),
+            Some(DramIssue::Queued(2))
+        ));
+        // ...the third is refused and must not burn a ticket. Row 1 maps
+        // to bank 1 of 2 — a different, non-full queue — so it still gets
+        // the next ticket in sequence.
+        assert_eq!(d.try_submit(4 * row, 0), None);
+        assert!(matches!(d.try_submit(row, 0), Some(DramIssue::Queued(3))));
+        // Draining the bank reopens it.
+        let served = d.run_schedule(u64::MAX);
+        assert_eq!(served.len(), 3);
+        assert!(matches!(
+            d.try_submit(4 * row, served[2].1),
+            Some(DramIssue::Queued(4))
+        ));
+    }
+
+    #[test]
+    fn try_submit_never_refuses_fcfs_or_perfect() {
+        let mut fcfs = Dram::new(DramConfig::default());
+        let mut perfect = Dram::new(DramConfig {
+            perfect: true,
+            sched: DramSched::fr_fcfs_paper(),
+            ..Default::default()
+        });
+        for i in 0..64u64 {
+            assert!(matches!(fcfs.try_submit(0, i), Some(DramIssue::Done(_))));
+            assert!(matches!(perfect.try_submit(0, i), Some(DramIssue::Done(_))));
+        }
     }
 
     fn fr_fcfs(depth: u32, cap: u64) -> DramConfig {

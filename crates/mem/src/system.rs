@@ -50,6 +50,17 @@ pub struct SystemConfig {
     /// Number of independent memory partitions (each an L2 slice plus a
     /// DRAM channel group). `1` reproduces the monolithic backend.
     pub num_partitions: u32,
+    /// Per-partition ingress-queue depth (requests in flight towards or
+    /// queued at one partition). `0` models an unbounded interconnect —
+    /// the historical fixed-latency hop; goldens are recorded against it.
+    /// A finite depth makes [`SharedMemSystem::try_submit`] refuse
+    /// requests to a full partition, and arms the DRAM-side bank-queue
+    /// backpressure.
+    pub icnt_queue_depth: u32,
+    /// Return-path (partition -> SM) credits per partition: the number of
+    /// completions that may be on the return wire simultaneously. `0`
+    /// models an unbounded return path (the historical behaviour).
+    pub icnt_return_credits: u32,
 }
 
 /// The name the memory-partition config goes by in the paper-scale
@@ -63,6 +74,8 @@ impl Default for SystemConfig {
             dram: DramConfig::default(),
             icnt_latency: 8,
             num_partitions: 1,
+            icnt_queue_depth: 0,
+            icnt_return_credits: 0,
         }
     }
 }
@@ -94,6 +107,22 @@ pub struct MemRequest {
 pub trait MemSink {
     /// Accepts a request issued at cycle `now`.
     fn submit(&mut self, req: MemRequest, now: u64);
+
+    /// Offers a request issued at cycle `now`; a bounded sink may refuse
+    /// it (returning `false`) when the target buffer is full, in which
+    /// case the caller keeps ownership and must re-offer later. The
+    /// default accepts unconditionally.
+    fn try_submit(&mut self, req: MemRequest, now: u64) -> bool {
+        self.submit(req, now);
+        true
+    }
+
+    /// `true` while previously accepted requests are still waiting to
+    /// enter the backend — the backpressure signal a producer polls
+    /// before issuing new memory instructions.
+    fn backlogged(&self) -> bool {
+        false
+    }
 }
 
 /// An ordered buffer of outbound memory requests from one SM for one cycle.
@@ -121,12 +150,19 @@ impl RequestQueue {
         self.items.is_empty()
     }
 
-    /// Forwards all queued requests to `sink` in insertion order and clears
-    /// the queue.
+    /// Forwards queued requests to `sink` in insertion order, stopping at
+    /// the first refusal (head-of-line blocking preserves the global
+    /// submission order); refused requests stay queued for the next
+    /// drain. An unbounded sink always drains the queue completely.
     pub fn drain_into(&mut self, sink: &mut dyn MemSink) {
-        for (req, now) in self.items.drain(..) {
-            sink.submit(req, now);
+        let mut accepted = 0;
+        for &(req, now) in &self.items {
+            if !sink.try_submit(req, now) {
+                break;
+            }
+            accepted += 1;
         }
+        self.items.drain(..accepted);
     }
 }
 
@@ -134,12 +170,27 @@ impl MemSink for RequestQueue {
     fn submit(&mut self, req: MemRequest, now: u64) {
         self.items.push((req, now));
     }
+
+    /// Leftovers from the previous drain mean the interconnect refused
+    /// at least one request: the owning SM must stall its issue stage.
+    fn backlogged(&self) -> bool {
+        !self.items.is_empty()
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum EvKind {
     ArriveL2(MemRequest),
-    DramDone { line: u64 },
+    DramDone {
+        line: u64,
+    },
+    /// A DRAM bank queue was full (bounded mode only): re-offer the
+    /// access after a short backoff, exactly like an L2 reservation fail.
+    RetryDram {
+        addr: u64,
+        line: u64,
+        is_store: bool,
+    },
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -172,6 +223,20 @@ struct Partition {
     waiting: HashMap<u64, Vec<u64>>,
     /// FR-FCFS tickets for in-flight reads: ticket -> L2 line to fill.
     tickets: HashMap<u64, u64>,
+    /// Requests accepted into this partition's ingress (on the wire or
+    /// queued at the L2 slice) and not yet handed to the L2. Bounded by
+    /// `icnt_queue_depth` when that knob is finite.
+    ingress_occupancy: u32,
+    /// Time of the last event this partition processed. Requests that sat
+    /// refused in an SM queue carry a stale issue timestamp; acceptance
+    /// clamps their arrival here so partition event (and therefore DRAM
+    /// arrival) order stays nondecreasing. Never ahead of any live
+    /// submission on the unbounded path, where producers submit at the
+    /// current cycle.
+    last_event_time: u64,
+    /// Return-path credits: `egress_free[i]` is the cycle credit `i`
+    /// frees up. Empty = unbounded return path (credits disabled).
+    egress_free: Vec<u64>,
 }
 
 impl Partition {
@@ -188,12 +253,22 @@ impl Partition {
 /// Routes one finished completion to `done`, unless it is the injected
 /// drop victim. Delivery order is global across partitions (partition
 /// index, then event order), so the drop victim is deterministic.
+///
+/// `ready` is the cycle the data is ready at the partition's egress port;
+/// the completion reaches the SM one interconnect hop later. With return
+/// credits enabled (`egress` nonempty) the completion must additionally
+/// claim the earliest-free credit, which can delay its departure — the
+/// credit frees when the flit lands at the SM. An empty `egress` is the
+/// unbounded historical return path.
+#[allow(clippy::too_many_arguments)]
 fn deliver(
     stats: &mut Counters,
     drop_nth: Option<u64>,
     delivered: &mut u64,
+    egress: &mut [u64],
+    icnt: u64,
     id: u64,
-    at: u64,
+    ready: u64,
     done: &mut Vec<(u64, u64)>,
 ) {
     *delivered += 1;
@@ -202,6 +277,19 @@ fn deliver(
         return;
     }
     stats.inc("icnt.from_l2");
+    let at = if egress.is_empty() {
+        ready + icnt
+    } else {
+        let (idx, free_at) = egress
+            .iter()
+            .copied()
+            .enumerate()
+            .min_by_key(|&(i, t)| (t, i))
+            .expect("nonempty credit array");
+        let arrive = ready.max(free_at) + icnt;
+        egress[idx] = arrive;
+        arrive
+    };
     done.push((id, at));
 }
 
@@ -225,6 +313,8 @@ fn deliver(
 pub struct SharedMemSystem {
     parts: Vec<Partition>,
     icnt_latency: u32,
+    /// Ingress bound per partition (`0` = unbounded).
+    icnt_queue_depth: u32,
     /// Fault injection: silently drop the Nth (1-based) completion.
     drop_nth_completion: Option<u64>,
     /// Completions delivered so far (drives `drop_nth_completion`).
@@ -258,11 +348,15 @@ impl SharedMemSystem {
                 seq: 0,
                 waiting: HashMap::new(),
                 tickets: HashMap::new(),
+                ingress_occupancy: 0,
+                last_event_time: 0,
+                egress_free: vec![0; config.icnt_return_credits as usize],
             })
             .collect();
         SharedMemSystem {
             parts,
             icnt_latency: config.icnt_latency,
+            icnt_queue_depth: config.icnt_queue_depth,
             drop_nth_completion: None,
             completions_delivered: 0,
             stats: Counters::new(),
@@ -284,12 +378,43 @@ impl SharedMemSystem {
 
     /// Submits a request at `now`; its completion arrives through
     /// [`SharedMemSystem::advance_to`]. The request is routed to its
-    /// address's partition over the fixed-latency interconnect hop.
+    /// address's partition over the interconnect hop, bypassing any
+    /// ingress bound (use [`SharedMemSystem::try_submit`] for the
+    /// refusable, credit-checked path).
     pub fn submit(&mut self, req: MemRequest, now: u64) {
-        self.stats.inc("icnt.to_l2");
         let pi = partition_of(req.addr, self.parts.len() as u32) as usize;
-        let at = now + self.icnt_latency as u64;
-        self.parts[pi].push(at, EvKind::ArriveL2(req));
+        self.accept(pi, req, now);
+    }
+
+    /// Offers a request at `now`. With a finite `icnt_queue_depth` a full
+    /// target partition refuses the request (counted under
+    /// `icnt.refused`) and the caller must re-offer later; with the
+    /// unbounded default this is exactly [`SharedMemSystem::submit`].
+    pub fn try_submit(&mut self, req: MemRequest, now: u64) -> bool {
+        let pi = partition_of(req.addr, self.parts.len() as u32) as usize;
+        if self.icnt_queue_depth > 0 && self.parts[pi].ingress_occupancy >= self.icnt_queue_depth {
+            self.stats.inc("icnt.refused");
+            return false;
+        }
+        self.accept(pi, req, now);
+        true
+    }
+
+    /// Accepts a request into partition `pi`'s ingress. `icnt.to_l2`
+    /// counts acceptances only — refused offers are not traffic.
+    fn accept(&mut self, pi: usize, req: MemRequest, now: u64) {
+        self.stats.inc("icnt.to_l2");
+        let p = &mut self.parts[pi];
+        let at = (now + self.icnt_latency as u64).max(p.last_event_time);
+        p.ingress_occupancy += 1;
+        p.push(at, EvKind::ArriveL2(req));
+    }
+
+    /// Requests currently occupying `partition`'s ingress (on the wire or
+    /// queued at the L2 slice). Never exceeds a finite
+    /// `icnt_queue_depth`; exposed for the backpressure property tests.
+    pub fn ingress_occupancy(&self, partition: u32) -> u32 {
+        self.parts[partition as usize].ingress_occupancy
     }
 
     /// Processes all backend events up to and including `cycle`; returns
@@ -299,6 +424,7 @@ impl SharedMemSystem {
     pub fn advance_to(&mut self, cycle: u64) -> Vec<(u64, u64)> {
         let mut done = Vec::new();
         let icnt = self.icnt_latency as u64;
+        let bounded = self.icnt_queue_depth > 0;
         for pi in 0..self.parts.len() {
             let SharedMemSystem {
                 parts,
@@ -332,6 +458,7 @@ impl SharedMemSystem {
                     break;
                 }
                 p.events.pop();
+                p.last_event_time = ev.time;
                 match ev.kind {
                     EvKind::ArriveL2(req) => handle_l2(
                         p,
@@ -339,6 +466,7 @@ impl SharedMemSystem {
                         *drop_nth_completion,
                         completions_delivered,
                         icnt,
+                        bounded,
                         req,
                         ev.time,
                         &mut done,
@@ -352,12 +480,26 @@ impl SharedMemSystem {
                                     stats,
                                     *drop_nth_completion,
                                     completions_delivered,
+                                    &mut p.egress_free,
+                                    icnt,
                                     id,
-                                    t + icnt,
+                                    t,
                                     &mut done,
                                 );
                             }
                         }
+                    }
+                    EvKind::RetryDram {
+                        addr,
+                        line,
+                        is_store,
+                    } => {
+                        // Re-offer at the same arrival offset the regular
+                        // L2-miss path uses, so DRAM arrival cycles stay
+                        // nondecreasing across event order.
+                        let t = ev.time;
+                        let at = t + p.l2.hit_latency() as u64;
+                        submit_dram(p, stats, bounded, addr, line, is_store, at, t + 4);
                     }
                 }
             }
@@ -500,7 +642,9 @@ fn merge_partition_stats<'a>(bags: impl ExactSizeIterator<Item = &'a Counters>) 
 }
 
 /// One L2-slice access: hit, miss to the partition's DRAM group, MSHR
-/// merge, or retry.
+/// merge, or retry. Every outcome except a reservation fail frees the
+/// request's ingress slot (a failed reservation keeps the request queued
+/// at the partition, so the slot stays held across the backoff).
 #[allow(clippy::too_many_arguments)]
 fn handle_l2(
     p: &mut Partition,
@@ -508,6 +652,7 @@ fn handle_l2(
     drop_nth: Option<u64>,
     delivered: &mut u64,
     icnt: u64,
+    bounded: bool,
     req: MemRequest,
     t: u64,
     done: &mut Vec<(u64, u64)>,
@@ -520,34 +665,51 @@ fn handle_l2(
     let line = p.l2.line_of(req.addr);
     match p.l2.access(req.addr, kind, t) {
         CacheOutcome::Hit => {
+            p.ingress_occupancy -= 1;
             if req.is_store {
                 // Write-through: generate DRAM traffic but ack now. Under
                 // FR-FCFS the write occupies queue and bus without a
                 // waiter: its ticket is never mapped, so the scheduled
                 // completion is discarded.
-                p.dram.submit(req.addr, t + p.l2.hit_latency() as u64);
-                stats.inc("dram.writes");
+                submit_dram(
+                    p,
+                    stats,
+                    bounded,
+                    req.addr,
+                    line,
+                    true,
+                    t + p.l2.hit_latency() as u64,
+                    t + 4,
+                );
             }
             deliver(
                 stats,
                 drop_nth,
                 delivered,
+                &mut p.egress_free,
+                icnt,
                 req.id,
-                t + p.l2.hit_latency() as u64 + icnt,
+                t + p.l2.hit_latency() as u64,
                 done,
             );
         }
         CacheOutcome::MissToMemory => {
+            p.ingress_occupancy -= 1;
             p.waiting.entry(line).or_default().push(req.id);
             stats.inc("dram.reads");
-            match p.dram.submit(req.addr, t + p.l2.hit_latency() as u64) {
-                DramIssue::Done(ready) => p.push(ready, EvKind::DramDone { line }),
-                DramIssue::Queued(ticket) => {
-                    p.tickets.insert(ticket, line);
-                }
-            }
+            submit_dram(
+                p,
+                stats,
+                bounded,
+                req.addr,
+                line,
+                false,
+                t + p.l2.hit_latency() as u64,
+                t + 4,
+            );
         }
         CacheOutcome::MissMerged => {
+            p.ingress_occupancy -= 1;
             p.waiting.entry(line).or_default().push(req.id);
         }
         CacheOutcome::ReservationFail => {
@@ -558,9 +720,55 @@ fn handle_l2(
     }
 }
 
+/// Hands one access to the partition's DRAM group. Unbounded mode submits
+/// unconditionally (the historical path); bounded mode offers via
+/// [`Dram::try_submit`] and, when the target bank queue is full, counts a
+/// `dram.bank_full_retries` and re-offers at `retry_at` through a
+/// [`EvKind::RetryDram`] event — the bank back-pressures its L2 slice
+/// instead of buffering unboundedly.
+#[allow(clippy::too_many_arguments)]
+fn submit_dram(
+    p: &mut Partition,
+    stats: &mut Counters,
+    bounded: bool,
+    addr: u64,
+    line: u64,
+    is_store: bool,
+    at: u64,
+    retry_at: u64,
+) {
+    let issue = if bounded {
+        p.dram.try_submit(addr, at)
+    } else {
+        Some(p.dram.submit(addr, at))
+    };
+    match issue {
+        None => {
+            stats.inc("dram.bank_full_retries");
+            p.push(
+                retry_at,
+                EvKind::RetryDram {
+                    addr,
+                    line,
+                    is_store,
+                },
+            );
+        }
+        Some(_) if is_store => stats.inc("dram.writes"),
+        Some(DramIssue::Done(ready)) => p.push(ready, EvKind::DramDone { line }),
+        Some(DramIssue::Queued(ticket)) => {
+            p.tickets.insert(ticket, line);
+        }
+    }
+}
+
 impl MemSink for SharedMemSystem {
     fn submit(&mut self, req: MemRequest, now: u64) {
         SharedMemSystem::submit(self, req, now);
+    }
+
+    fn try_submit(&mut self, req: MemRequest, now: u64) -> bool {
+        SharedMemSystem::try_submit(self, req, now)
     }
 }
 
@@ -837,6 +1045,102 @@ mod tests {
         assert_eq!(done.len(), 16, "every FR-FCFS read completes");
         assert!(sys.is_idle());
         assert_eq!(sys.dram_stats().get("req"), 16);
+    }
+
+    #[test]
+    fn bounded_ingress_refuses_when_full_and_recovers() {
+        let mut sys = SharedMemSystem::new(SystemConfig {
+            icnt_queue_depth: 2,
+            ..Default::default()
+        });
+        assert!(sys.try_submit(load(1, 0x1000), 0));
+        assert!(sys.try_submit(load(2, 0x2000), 0));
+        assert_eq!(sys.ingress_occupancy(0), 2);
+        assert!(
+            !sys.try_submit(load(3, 0x3000), 0),
+            "full partition refuses"
+        );
+        assert_eq!(sys.stats.get("icnt.refused"), 1);
+        assert_eq!(sys.stats.get("icnt.to_l2"), 2, "refusals are not traffic");
+        // Once the L2 consumes the requests the slots free up.
+        let done = drain(&mut sys, 1_000_000);
+        assert_eq!(done.len(), 2);
+        assert_eq!(sys.ingress_occupancy(0), 0);
+        assert!(sys.try_submit(load(3, 0x3000), 1_000_000));
+    }
+
+    #[test]
+    fn depth_zero_try_submit_never_refuses() {
+        let mut sys = SharedMemSystem::new(SystemConfig::default());
+        for id in 0..64u64 {
+            assert!(sys.try_submit(load(id, id * 0x40), 0));
+        }
+        assert_eq!(sys.stats.get("icnt.refused"), 0);
+        assert_eq!(sys.stats.get("icnt.to_l2"), 64);
+    }
+
+    #[test]
+    fn return_credits_serialize_simultaneous_completions() {
+        // Three merged requests to one line complete together on the
+        // unbounded return path; a single return credit spaces their
+        // arrivals one interconnect hop apart.
+        let run = |credits: u32| {
+            let mut sys = SharedMemSystem::new(SystemConfig {
+                icnt_return_credits: credits,
+                ..Default::default()
+            });
+            for id in 1..=3 {
+                sys.submit(load(id, 0x8000), 0);
+            }
+            drain(&mut sys, 1_000_000)
+        };
+        let free = run(0);
+        assert!(free.iter().all(|&(_, t)| t == free[0].1));
+        let tight = run(1);
+        let times: Vec<u64> = tight.iter().map(|&(_, t)| t).collect();
+        assert_eq!(times[0], free[0].1, "first completion pays no extra");
+        assert_eq!(times[1], times[0] + 8, "second waits for the credit");
+        assert_eq!(times[2], times[1] + 8);
+    }
+
+    #[test]
+    fn bounded_bank_queues_backpressure_and_drain() {
+        // A burst of misses to distinct rows of one bank overwhelms a
+        // single-entry FR-FCFS bank queue: the bounded backend must retry
+        // (counting `dram.bank_full_retries`) yet still complete
+        // everything.
+        let mut sys = SharedMemSystem::new(SystemConfig {
+            icnt_queue_depth: 8,
+            dram: DramConfig {
+                channels: 1,
+                banks_per_channel: 1,
+                sched: DramSched::FrFcfs {
+                    queue_depth: 1,
+                    age_cap: 64,
+                },
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let row_bytes = sys.dram().config().row_bytes;
+        let mut q = RequestQueue::new();
+        for id in 0..8u64 {
+            MemSink::submit(&mut q, load(id, id * 16 * row_bytes), 0);
+        }
+        let mut done = Vec::new();
+        let mut t = 0;
+        while (!q.is_empty() || !sys.is_idle()) && t < 100_000 {
+            q.drain_into(&mut sys);
+            t += 1;
+            done.extend(sys.advance_to(t));
+        }
+        assert_eq!(done.len(), 8, "every request completes despite refusals");
+        assert!(sys.is_idle());
+        assert!(
+            sys.stats.get("dram.bank_full_retries") > 0,
+            "the single-entry bank queue must have pushed back"
+        );
+        assert_eq!(sys.dram_stats().get("req"), 8);
     }
 
     #[test]

@@ -78,6 +78,19 @@ pub struct RoundBarrier {
     poisoned: AtomicBool,
 }
 
+/// Error returned by [`RoundBarrier::try_wait_workers`]: a worker panicked
+/// and unwound mid-round, poisoning the barrier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoisonedRound;
+
+impl std::fmt::Display for PoisonedRound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("a worker panicked mid-round and poisoned the barrier")
+    }
+}
+
+impl std::error::Error for PoisonedRound {}
+
 impl RoundBarrier {
     /// A barrier for `workers` worker threads (and one coordinator).
     ///
@@ -175,8 +188,8 @@ impl RoundBarrier {
     ///
     /// # Errors
     ///
-    /// Returns `Err(())` when a worker unwound during the round.
-    pub fn try_wait_workers(&self) -> Result<(), ()> {
+    /// Returns `Err(PoisonedRound)` when a worker unwound during the round.
+    pub fn try_wait_workers(&self) -> Result<(), PoisonedRound> {
         let mut spins = 0u32;
         while self.done.load(Ordering::Acquire) < self.workers {
             spins += 1;
@@ -187,7 +200,7 @@ impl RoundBarrier {
             }
         }
         if self.poisoned.load(Ordering::Acquire) {
-            Err(())
+            Err(PoisonedRound)
         } else {
             Ok(())
         }
@@ -336,7 +349,8 @@ mod tests {
                 barrier.begin_round();
                 barrier.wait_workers();
                 let epoch = barrier.epoch.load(Ordering::Relaxed);
-                expect += epoch * 1 + epoch * 2;
+                // worker 1 adds epoch, worker 2 adds 2 * epoch
+                expect += epoch + epoch * 2;
                 assert_eq!(cell.load(Ordering::Relaxed), expect);
             }
             barrier.shutdown();
@@ -416,7 +430,7 @@ mod tests {
                 }
             });
             barrier.begin_round();
-            assert_eq!(barrier.try_wait_workers(), Err(()));
+            assert_eq!(barrier.try_wait_workers(), Err(PoisonedRound));
             assert!(barrier.is_poisoned());
             barrier.shutdown();
         });

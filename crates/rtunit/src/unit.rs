@@ -385,7 +385,7 @@ impl RtUnit {
             self.resident_warp_cycles += self.warps.len() as u64;
             self.active_ray_cycles += self.active_rays() as u64;
         }
-        if now % self.sample_period == 0 {
+        if now.is_multiple_of(self.sample_period) {
             self.occupancy_trace
                 .push((now, self.warps.len() as u32, self.active_rays()));
         }

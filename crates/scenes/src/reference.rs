@@ -107,6 +107,9 @@ fn probe(t: &Tracer, p: Vec3, n: Vec3, dir: Vec3, t_max: f32) -> f32 {
     }
 }
 
+// `pid` is unused here but the signature must match the shader table's
+// `fn(&Tracer, &Ray, u32, u32) -> Vec3` entries.
+#[allow(clippy::only_used_in_recursion)]
 fn shade_refl(t: &Tracer, ray: &Ray, depth: u32, pid: u32) -> Vec3 {
     let Some(h) = t.hit(ray) else {
         return sky(ray.dir);

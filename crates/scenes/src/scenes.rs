@@ -172,7 +172,7 @@ fn finish_workload(
 fn sky_miss() -> vksim_shader::ir::ShaderModule {
     let mut b = ShaderBuilder::new(ShaderKind::Miss);
     let d = [0u8, 1, 2].map(|i| b.var_f32(b.builtin(Builtin::RayDirection(i))));
-    let d_exprs = d.map(|v| Expr::Var(v));
+    let d_exprs = d.map(Expr::Var);
     let n = normalize3(&mut b, d_exprs);
     let ny = Expr::Var(n[1]);
     let rgb = sky_color(&mut b, ny);
@@ -557,7 +557,7 @@ fn path_trace_raygen(bounces: u32) -> vksim_shader::ir::ShaderModule {
 fn path_trace_miss() -> vksim_shader::ir::ShaderModule {
     let mut b = ShaderBuilder::new(ShaderKind::Miss);
     let d = [0u8, 1, 2].map(|i| b.var_f32(b.builtin(Builtin::RayDirection(i))));
-    let d_exprs = d.map(|v| Expr::Var(v));
+    let d_exprs = d.map(Expr::Var);
     let n = normalize3(&mut b, d_exprs);
     let ny = Expr::Var(n[1]);
     let rgb = sky_color(&mut b, ny);

@@ -64,22 +64,27 @@ impl Expr {
         Expr::Bin(BinOp::Max, Box::new(self), Box::new(rhs))
     }
     /// Bitwise and (u32).
+    #[allow(clippy::should_implement_trait)] // DSL builder, not std::ops
     pub fn bitand(self, rhs: Expr) -> Expr {
         Expr::Bin(BinOp::And, Box::new(self), Box::new(rhs))
     }
     /// Bitwise or (u32).
+    #[allow(clippy::should_implement_trait)] // DSL builder, not std::ops
     pub fn bitor(self, rhs: Expr) -> Expr {
         Expr::Bin(BinOp::Or, Box::new(self), Box::new(rhs))
     }
     /// Bitwise xor (u32).
+    #[allow(clippy::should_implement_trait)] // DSL builder, not std::ops
     pub fn bitxor(self, rhs: Expr) -> Expr {
         Expr::Bin(BinOp::Xor, Box::new(self), Box::new(rhs))
     }
     /// Shift left (u32).
+    #[allow(clippy::should_implement_trait)] // DSL builder, not std::ops
     pub fn shl(self, rhs: Expr) -> Expr {
         Expr::Bin(BinOp::Shl, Box::new(self), Box::new(rhs))
     }
     /// Shift right (u32).
+    #[allow(clippy::should_implement_trait)] // DSL builder, not std::ops
     pub fn shr(self, rhs: Expr) -> Expr {
         Expr::Bin(BinOp::Shr, Box::new(self), Box::new(rhs))
     }
@@ -144,6 +149,7 @@ impl Expr {
         Expr::BoolAnd(Box::new(self), Box::new(rhs))
     }
     /// Boolean not.
+    #[allow(clippy::should_implement_trait)] // DSL builder, not std::ops
     pub fn not(self) -> Expr {
         Expr::BoolNot(Box::new(self))
     }

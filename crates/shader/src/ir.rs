@@ -212,6 +212,10 @@ impl Expr {
 }
 
 /// A statement.
+// `TraceRay` dwarfs the other variants, but statement vectors are tiny
+// (shader bodies, not per-ray data) and boxing its fields would churn
+// every builder call site for no measurable win.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum Stmt {
     /// `var = expr`.
@@ -323,6 +327,14 @@ impl ShaderModule {
     }
 }
 
+impl Expr {
+    /// Coerces a u32 expression into a boolean (`expr != 0`); convenience
+    /// for tests and generated code.
+    pub fn into_bool(self) -> Expr {
+        Expr::Cmp(CmpOp::Ne, Box::new(self), Box::new(Expr::ConstU(0)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -396,13 +408,5 @@ mod tests {
             }],
         };
         assert!(m.contains_trace());
-    }
-}
-
-impl Expr {
-    /// Coerces a u32 expression into a boolean (`expr != 0`); convenience
-    /// for tests and generated code.
-    pub fn into_bool(self) -> Expr {
-        Expr::Cmp(CmpOp::Ne, Box::new(self), Box::new(Expr::ConstU(0)))
     }
 }

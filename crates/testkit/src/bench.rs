@@ -58,7 +58,7 @@ pub struct Bench {
 impl Bench {
     /// Creates a suite, reading the `VKSIM_BENCH_*` environment knobs.
     pub fn new(suite: &str) -> Self {
-        let quick = std::env::var("VKSIM_BENCH_QUICK").map_or(false, |v| v != "0");
+        let quick = std::env::var("VKSIM_BENCH_QUICK").is_ok_and(|v| v != "0");
         let warmup = env_u64("VKSIM_BENCH_WARMUP").unwrap_or(if quick { 1 } else { 3 });
         let samples = env_u64("VKSIM_BENCH_SAMPLES").unwrap_or(if quick { 3 } else { 10 });
         eprintln!("bench suite '{suite}' (warmup {warmup}, samples {samples})");

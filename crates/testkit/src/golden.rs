@@ -17,7 +17,7 @@ use std::path::Path;
 /// `true` when `VKSIM_BLESS` is set (to anything but `0`): goldens are
 /// rewritten instead of compared.
 pub fn blessing() -> bool {
-    std::env::var("VKSIM_BLESS").map_or(false, |v| v != "0")
+    std::env::var("VKSIM_BLESS").is_ok_and(|v| v != "0")
 }
 
 /// Compares `actual` against the golden at `path`, or rewrites the golden

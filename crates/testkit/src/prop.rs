@@ -404,7 +404,7 @@ impl<S: Strategy> Strategy for VecOf<S> {
                 out.push(v[n - half..].to_vec());
             }
             for i in 0..n.min(8) {
-                if n - 1 >= self.min_len {
+                if n > self.min_len {
                     let mut smaller = v.clone();
                     smaller.remove(i);
                     out.push(smaller);

@@ -82,6 +82,15 @@ pub enum EventKind {
         /// Bank index within the channel.
         bank: u32,
     },
+    /// The SM's issue stage stalled because the bounded interconnect
+    /// refused a request (SM-wide: tagged [`NO_WARP`]).
+    IcntStallBegin,
+    /// The interconnect accepted the SM's backlog again; `cycles` is the
+    /// stall length.
+    IcntStallEnd {
+        /// Stall duration in cycles.
+        cycles: u64,
+    },
 }
 
 impl EventKind {
@@ -101,6 +110,8 @@ impl EventKind {
             EventKind::MshrAlloc { .. } => 10,
             EventKind::MshrFill { .. } => 11,
             EventKind::DramRowActivate { .. } => 12,
+            EventKind::IcntStallBegin => 13,
+            EventKind::IcntStallEnd { .. } => 14,
         }
     }
 
@@ -118,6 +129,7 @@ impl EventKind {
             EventKind::MshrAlloc { .. } => "mshr_alloc",
             EventKind::MshrFill { .. } => "mshr_fill",
             EventKind::DramRowActivate { .. } => "row_activate",
+            EventKind::IcntStallBegin | EventKind::IcntStallEnd { .. } => "icnt_stall",
         }
     }
 
@@ -136,11 +148,13 @@ impl EventKind {
                 channel,
                 bank,
             } => (((partition as u64) << 32) | channel as u64, bank as u64),
+            EventKind::IcntStallEnd { cycles } => (cycles, 0),
             EventKind::StallBegin
             | EventKind::Retire
             | EventKind::RtBusyBegin
             | EventKind::RtBusyEnd
-            | EventKind::RtStart => (0, 0),
+            | EventKind::RtStart
+            | EventKind::IcntStallBegin => (0, 0),
         }
     }
 }
@@ -175,10 +189,12 @@ mod tests {
                 channel: 1,
                 bank: 2,
             },
+            EventKind::IcntStallBegin,
+            EventKind::IcntStallEnd { cycles: 9 },
         ];
         let codes: std::collections::BTreeSet<u64> = kinds.iter().map(|k| k.code()).collect();
         assert_eq!(codes.len(), kinds.len());
-        assert_eq!(codes.iter().copied().max(), Some(12));
+        assert_eq!(codes.iter().copied().max(), Some(14));
     }
 
     #[test]

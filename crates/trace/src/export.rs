@@ -12,7 +12,9 @@
 //! * `tid 1_000_000 + warp` — RT traversal spans as complete (`X`)
 //!   events, emitted at finish time with `ts = finish - latency`;
 //! * `tid 2_000_000` — MSHR traffic not attributable to a warp (the RT
-//!   unit's memory port).
+//!   unit's memory port);
+//! * `tid 3_000_000` — the SM-wide interconnect-backpressure span
+//!   (`B`/`E` pairs while the bounded icnt refuses the SM's requests).
 //!
 //! In the memory process, `tid` = DRAM channel for row-activate instants,
 //! and the interval series is appended as counter (`C`) events on
@@ -29,6 +31,8 @@ use std::fmt::Write as _;
 pub const TRAVERSAL_TID_BASE: u64 = 1_000_000;
 /// Thread id for warp-less MSHR traffic.
 pub const MSHR_TID: u64 = 2_000_000;
+/// Thread id for the SM-wide interconnect-backpressure span.
+pub const ICNT_STALL_TID: u64 = 3_000_000;
 /// Thread id for interval counter events in the memory process.
 pub const COUNTER_TID: u64 = 1_000_000;
 
@@ -206,6 +210,20 @@ fn emit_event(out: &mut String, first: &mut bool, sm: u64, ev: Event) {
                 ev.cycle
             );
         }
+        EventKind::IcntStallBegin => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"ph\":\"B\",\"ts\":{},\"pid\":{sm},\"tid\":{ICNT_STALL_TID}}}",
+                ev.cycle
+            );
+        }
+        EventKind::IcntStallEnd { cycles } => {
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"ph\":\"E\",\"ts\":{},\"pid\":{sm},\"tid\":{ICNT_STALL_TID},\"args\":{{\"cycles\":{cycles}}}}}",
+                ev.cycle
+            );
+        }
     }
 }
 
@@ -353,6 +371,22 @@ mod tests {
                 },
             ),
             (
+                0,
+                Event {
+                    cycle: 4,
+                    warp: NO_WARP,
+                    kind: EventKind::IcntStallBegin,
+                },
+            ),
+            (
+                0,
+                Event {
+                    cycle: 7,
+                    warp: NO_WARP,
+                    kind: EventKind::IcntStallEnd { cycles: 3 },
+                },
+            ),
+            (
                 2,
                 Event {
                     cycle: 6,
@@ -402,6 +436,10 @@ mod tests {
             json.matches("\"ph\":\"B\"").count(),
             json.matches("\"ph\":\"E\"").count()
         );
+        // The icnt-backpressure span lands on its dedicated SM track.
+        assert!(json.contains(&format!(
+            "\"name\":\"icnt_stall\",\"ph\":\"B\",\"ts\":4,\"pid\":0,\"tid\":{ICNT_STALL_TID}"
+        )));
         // The traversal span lands on the offset track with ts = finish-latency.
         assert!(json.contains(&format!(
             "\"ts\":3,\"dur\":5,\"pid\":1,\"tid\":{}",

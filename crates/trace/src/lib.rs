@@ -36,6 +36,6 @@ mod sampler;
 
 pub use config::{TraceConfig, DEFAULT_FLIGHT_DEPTH, DEFAULT_INTERVAL, DEFAULT_MAX_EVENTS};
 pub use event::{Event, EventKind, NO_WARP};
-pub use export::{chrome_trace_json, hotspot_summary, interval_csv, TraceReport};
+pub use export::{chrome_trace_json, hotspot_summary, interval_csv, TraceReport, ICNT_STALL_TID};
 pub use recorder::{SmTracer, TraceCollector};
 pub use sampler::{IntervalRecord, IntervalSnapshot};

@@ -24,6 +24,8 @@ pub struct SmTracer {
     warp_stall_cycles: BTreeMap<u32, u64>,
     // Edge detector for the RT-busy span.
     rt_busy: bool,
+    // Open SM-wide interconnect-backpressure span: stall-begin cycle.
+    icnt_stall_since: Option<u64>,
 }
 
 impl SmTracer {
@@ -37,6 +39,7 @@ impl SmTracer {
             pc_issues: BTreeMap::new(),
             warp_stall_cycles: BTreeMap::new(),
             rt_busy: false,
+            icnt_stall_since: None,
         }
     }
 
@@ -86,6 +89,24 @@ impl SmTracer {
         }
     }
 
+    /// Edge-detects the SM's interconnect-backpressure state into an
+    /// SM-wide begin/end span (the issue stage is stalled while the
+    /// bounded interconnect refuses the SM's backlog).
+    pub fn icnt_stall_edge(&mut self, cycle: u64, blocked: bool) {
+        match (self.icnt_stall_since, blocked) {
+            (None, true) => {
+                self.icnt_stall_since = Some(cycle);
+                self.record(cycle, NO_WARP, EventKind::IcntStallBegin);
+            }
+            (Some(since), false) => {
+                self.icnt_stall_since = None;
+                let cycles = cycle.saturating_sub(since);
+                self.record(cycle, NO_WARP, EventKind::IcntStallEnd { cycles });
+            }
+            _ => {}
+        }
+    }
+
     /// Closes every open span at end of run so exported B/E pairs match.
     pub fn finalize(&mut self, cycle: u64) {
         let open: Vec<u32> = self.stall_since.keys().copied().collect();
@@ -93,6 +114,7 @@ impl SmTracer {
             self.stall_end(cycle, warp);
         }
         self.rt_busy_edge(cycle, false);
+        self.icnt_stall_edge(cycle, false);
     }
 
     /// The flight-recorder ring, oldest first.
@@ -117,6 +139,7 @@ pub struct TraceCollector {
     intervals: Vec<IntervalRecord>,
     last_snapshot: IntervalSnapshot,
     interval_start: u64,
+    sampler_underflows: u64,
     pc_issues: BTreeMap<u32, u64>,
     warp_stalls: BTreeMap<(u32, u32), u64>,
 }
@@ -131,6 +154,7 @@ impl TraceCollector {
             intervals: Vec::new(),
             last_snapshot: IntervalSnapshot::default(),
             interval_start: 0,
+            sampler_underflows: 0,
             pc_issues: BTreeMap::new(),
             warp_stalls: BTreeMap::new(),
         }
@@ -166,19 +190,35 @@ impl TraceCollector {
     }
 
     /// Records one interval sample: `snapshot` holds *cumulative* raw
-    /// counters as of `cycle`; the collector stores the delta.
+    /// counters as of `cycle`; the collector stores the delta. A counter
+    /// that went backwards is an engine bug: debug builds assert, release
+    /// builds tally it under [`TraceCollector::sampler_underflows`] (the
+    /// engine surfaces the tally as `trace.sampler_underflow`).
     pub fn sample(&mut self, cycle: u64, snapshot: IntervalSnapshot) {
         let len = cycle.saturating_sub(self.interval_start);
         if len == 0 {
             return;
         }
+        let (delta, underflows) = snapshot.delta_from(&self.last_snapshot);
+        debug_assert_eq!(
+            underflows, 0,
+            "non-monotonic interval counter at cycle {cycle}: {:?} -> {snapshot:?}",
+            self.last_snapshot
+        );
+        self.sampler_underflows += underflows;
         self.intervals.push(IntervalRecord {
             start: self.interval_start,
             len,
-            delta: snapshot.delta(&self.last_snapshot),
+            delta,
         });
         self.last_snapshot = snapshot;
         self.interval_start = cycle;
+    }
+
+    /// Fields observed going backwards across all samples so far (0 on a
+    /// healthy run).
+    pub fn sampler_underflows(&self) -> u64 {
+        self.sampler_underflows
     }
 
     /// Folds one SM's summary aggregates in (call once, at end of run).
@@ -238,6 +278,48 @@ mod tests {
             ]
         );
         assert_eq!(t.warp_stall_cycles.get(&3), Some(&25));
+    }
+
+    #[test]
+    fn icnt_stall_spans_pair_and_close_at_finalize() {
+        let mut t = SmTracer::new(&cfg());
+        t.icnt_stall_edge(5, true);
+        t.icnt_stall_edge(6, true); // idempotent while open
+        t.icnt_stall_edge(9, false);
+        t.icnt_stall_edge(10, false); // no open span: no event
+        t.icnt_stall_edge(12, true);
+        t.finalize(20);
+        let kinds: Vec<EventKind> = t.flight().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::IcntStallBegin,
+                EventKind::IcntStallEnd { cycles: 4 },
+                EventKind::IcntStallBegin,
+                EventKind::IcntStallEnd { cycles: 8 },
+            ]
+        );
+        assert!(t.flight().all(|e| e.warp == NO_WARP), "SM-wide span");
+    }
+
+    #[test]
+    fn healthy_sampler_reports_zero_underflows() {
+        let mut c = TraceCollector::new(cfg());
+        c.sample(
+            100,
+            IntervalSnapshot {
+                issued_insts: 10,
+                ..Default::default()
+            },
+        );
+        c.sample(
+            200,
+            IntervalSnapshot {
+                issued_insts: 30,
+                ..Default::default()
+            },
+        );
+        assert_eq!(c.sampler_underflows(), 0);
     }
 
     #[test]

@@ -31,24 +31,48 @@ pub struct IntervalSnapshot {
 }
 
 impl IntervalSnapshot {
-    /// Per-field difference `self - prev` (saturating, so a merged or
-    /// re-based counter can never panic the sampler).
+    /// Per-field difference `self - prev`, plus the number of fields that
+    /// went backwards. Every field is documented as monotonically
+    /// nondecreasing, so a nonzero underflow count is a counter bug in
+    /// the engine; the subtraction still saturates (never panics) and the
+    /// caller decides how to surface the diagnosis — the collector
+    /// debug-asserts and keeps a `trace.sampler_underflow` tally for
+    /// release builds.
+    pub fn delta_from(&self, prev: &IntervalSnapshot) -> (IntervalSnapshot, u64) {
+        let mut underflows = 0u64;
+        let mut sub = |cur: u64, old: u64| {
+            if cur < old {
+                underflows += 1;
+            }
+            cur.saturating_sub(old)
+        };
+        let d = IntervalSnapshot {
+            issued_insts: sub(self.issued_insts, prev.issued_insts),
+            l1_hits: sub(self.l1_hits, prev.l1_hits),
+            l1_misses: sub(self.l1_misses, prev.l1_misses),
+            l2_hits: sub(self.l2_hits, prev.l2_hits),
+            l2_misses: sub(self.l2_misses, prev.l2_misses),
+            dram_reqs: sub(self.dram_reqs, prev.dram_reqs),
+            dram_transfer_cycles: sub(self.dram_transfer_cycles, prev.dram_transfer_cycles),
+            rt_resident_warp_cycles: sub(
+                self.rt_resident_warp_cycles,
+                prev.rt_resident_warp_cycles,
+            ),
+            rt_busy_cycles: sub(self.rt_busy_cycles, prev.rt_busy_cycles),
+        };
+        (d, underflows)
+    }
+
+    /// Per-field difference `self - prev`; debug-asserts the documented
+    /// monotonicity (use [`IntervalSnapshot::delta_from`] to observe an
+    /// underflow instead of asserting on it).
     pub fn delta(&self, prev: &IntervalSnapshot) -> IntervalSnapshot {
-        IntervalSnapshot {
-            issued_insts: self.issued_insts.saturating_sub(prev.issued_insts),
-            l1_hits: self.l1_hits.saturating_sub(prev.l1_hits),
-            l1_misses: self.l1_misses.saturating_sub(prev.l1_misses),
-            l2_hits: self.l2_hits.saturating_sub(prev.l2_hits),
-            l2_misses: self.l2_misses.saturating_sub(prev.l2_misses),
-            dram_reqs: self.dram_reqs.saturating_sub(prev.dram_reqs),
-            dram_transfer_cycles: self
-                .dram_transfer_cycles
-                .saturating_sub(prev.dram_transfer_cycles),
-            rt_resident_warp_cycles: self
-                .rt_resident_warp_cycles
-                .saturating_sub(prev.rt_resident_warp_cycles),
-            rt_busy_cycles: self.rt_busy_cycles.saturating_sub(prev.rt_busy_cycles),
-        }
+        let (d, underflows) = self.delta_from(prev);
+        debug_assert_eq!(
+            underflows, 0,
+            "non-monotonic interval counter: {prev:?} -> {self:?}"
+        );
+        d
     }
 }
 
@@ -122,9 +146,27 @@ mod tests {
             l1_hits: 3, // went "backwards": saturates to 0, never panics
             ..Default::default()
         };
-        let d = b.delta(&a);
+        let (d, underflows) = b.delta_from(&a);
         assert_eq!(d.issued_insts, 15);
         assert_eq!(d.l1_hits, 0);
+        assert_eq!(underflows, 1, "the regression is reported, not masked");
+    }
+
+    #[test]
+    fn monotonic_delta_reports_no_underflow() {
+        let a = IntervalSnapshot {
+            issued_insts: 10,
+            l1_hits: 5,
+            ..Default::default()
+        };
+        let b = IntervalSnapshot {
+            issued_insts: 25,
+            l1_hits: 5,
+            ..Default::default()
+        };
+        let (d, underflows) = b.delta_from(&a);
+        assert_eq!(underflows, 0);
+        assert_eq!(b.delta(&a), d, "delta agrees with delta_from");
     }
 
     #[test]

@@ -161,7 +161,7 @@ impl Device {
     /// Allocates a device buffer; returns its address (64 B aligned).
     pub fn alloc_buffer(&mut self, size: u64) -> u64 {
         let addr = self.buffer_cursor;
-        self.buffer_cursor += (size + 63) / 64 * 64;
+        self.buffer_cursor += size.div_ceil(64) * 64;
         addr
     }
 
@@ -204,7 +204,7 @@ impl Device {
     pub fn create_blas(&mut self, geometry: BlasGeometry) -> u32 {
         let mut blas = Blas::build(geometry);
         blas.set_base_addr(self.blas_cursor);
-        self.blas_cursor += (blas.size_bytes() + 4095) / 4096 * 4096;
+        self.blas_cursor += blas.size_bytes().div_ceil(4096) * 4096;
         self.blases.push(blas);
         (self.blases.len() - 1) as u32
     }

@@ -53,8 +53,11 @@ join() {
 }
 
 # Stage group 1: format check needs no build artifacts — overlap it with
-# the release build.
+# the release build and the lint gate (clippy builds its own debug-profile
+# artifacts, so it shares little with the release build beyond the lock).
 bg "cargo fmt --check" cargo fmt --check
+bg "cargo clippy --offline --workspace -D warnings" \
+    cargo clippy --offline --workspace --all-targets -- -D warnings
 bg "cargo build --release --offline --workspace" \
     cargo build --release --offline --workspace
 join

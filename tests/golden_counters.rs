@@ -128,6 +128,39 @@ fn golden_tri_paper() {
     assert_matches_golden(golden_path("tri_paper"), &snapshot(&report));
 }
 
+/// The paper-scale configuration behind a *bounded* interconnect: finite
+/// per-partition ingress queues and return credits, so SMs stall on
+/// backpressure (`sm.icnt_stall_cycles`) and refused offers are counted
+/// (`icnt.refused`). Pins the backpressured schedule so interconnect
+/// changes cannot drift silently.
+#[test]
+fn golden_tri_paper_icnt() {
+    let config = SimConfig::paper()
+        .with_icnt_queue_depth(4)
+        .with_icnt_return_credits(2);
+    let (_, report) = run_workload(WorkloadKind::Tri, Scale::Test, config);
+    assert_matches_golden(golden_path("tri_paper_icnt"), &snapshot(&report));
+}
+
+/// Backpressure must not break the determinism contract: with a small
+/// finite interconnect depth, threads = 1 and threads = 4 must agree on
+/// every counter — including the stall and refusal counters themselves.
+#[test]
+fn icnt_backpressure_threads_do_not_change_counters() {
+    let config = || {
+        SimConfig::paper()
+            .with_icnt_queue_depth(4)
+            .with_icnt_return_credits(2)
+    };
+    let (_, a) = run_workload(WorkloadKind::Tri, Scale::Test, config().with_threads(1));
+    let (_, b) = run_workload(WorkloadKind::Tri, Scale::Test, config().with_threads(4));
+    assert_eq!(
+        snapshot(&a),
+        snapshot(&b),
+        "bounded interconnect must be thread-count invariant"
+    );
+}
+
 /// The determinism contract must hold on the partitioned FR-FCFS path
 /// too: the paper config at threads = 1 and threads = 4 must agree on
 /// every counter, per-partition keys included.

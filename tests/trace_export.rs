@@ -18,7 +18,9 @@ use vksim_bench::run_workload;
 use vksim_core::{RunReport, SimConfig, Simulator};
 use vksim_scenes::{build, Scale, WorkloadKind};
 use vksim_testkit::json::{parse_flat_u64_object, parse_json, JsonValue};
-use vksim_trace::{chrome_trace_json, hotspot_summary, interval_csv, TraceConfig, TraceReport};
+use vksim_trace::{
+    chrome_trace_json, hotspot_summary, interval_csv, TraceConfig, TraceReport, ICNT_STALL_TID,
+};
 
 /// A test-small config with tracing on (no export files — the report is
 /// inspected in-process) and a short sampler period so even the tiny test
@@ -70,6 +72,49 @@ fn snapshot(report: &RunReport) -> BTreeMap<String, u64> {
         }
     }
     m
+}
+
+/// A traced run behind a *bounded* interconnect must surface the SM
+/// stall cycles end to end: the `sm.icnt_stall_cycles` counter is
+/// nonzero, and the exported Chrome trace carries balanced
+/// `icnt_stall` B/E spans on the dedicated per-SM track.
+#[test]
+fn bounded_icnt_stalls_reach_the_exported_trace() {
+    let config = SimConfig::paper()
+        .with_icnt_queue_depth(4)
+        .with_icnt_return_credits(2)
+        .with_trace(TraceConfig {
+            enabled: true,
+            interval: 256,
+            ..Default::default()
+        });
+    let (_, report) = run_workload(WorkloadKind::Tri, Scale::Test, config);
+    assert!(
+        report.gpu.counters.get("sm.icnt_stall_cycles") > 0,
+        "the bounded paper config stalls SMs"
+    );
+
+    let json = chrome_trace_json(trace_of(&report));
+    let doc = parse_json(&json).expect("trace JSON parses");
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("top-level traceEvents array");
+    let (mut begins, mut ends) = (0u64, 0u64);
+    for ev in events {
+        if ev.get("tid").and_then(JsonValue::as_u64) != Some(ICNT_STALL_TID) {
+            continue;
+        }
+        let name = ev.get("name").and_then(JsonValue::as_str);
+        assert_eq!(name, Some("icnt_stall"), "only stall spans on the track");
+        match ev.get("ph").and_then(JsonValue::as_str) {
+            Some("B") => begins += 1,
+            Some("E") => ends += 1,
+            other => panic!("unexpected ph {other:?} on the icnt_stall track"),
+        }
+    }
+    assert!(begins > 0, "stalls produced spans");
+    assert_eq!(begins, ends, "finalize closes every stall span");
 }
 
 #[test]
