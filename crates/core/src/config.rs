@@ -83,6 +83,18 @@ impl SimConfig {
         self
     }
 
+    /// Enables periodic checkpointing: every `every` cycles the simulator
+    /// snapshots the complete machine state into
+    /// `<dir>/ckpt-<cycle>.vksnap`, from which [`crate::Simulator::resume`]
+    /// continues bit-identically. `every = 0` disables checkpointing (the
+    /// default). Tests pass explicit values here instead of relying on the
+    /// `VKSIM_CHECKPOINT_EVERY` / `VKSIM_CHECKPOINT_DIR` overrides.
+    pub fn with_checkpoint(mut self, every: u64, dir: impl Into<String>) -> Self {
+        self.gpu.checkpoint_every = every;
+        self.gpu.checkpoint_dir = Some(dir.into());
+        self
+    }
+
     /// Sets the cycle-level tracing configuration (timeline events,
     /// interval metrics, exporters). The default is off; tests pass an
     /// explicit config here instead of relying on the `VKSIM_TRACE_*`

@@ -52,6 +52,7 @@
 //! assert!(report.gpu.cycles > 0);
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod hwproxy;
 pub mod report;
@@ -60,8 +61,10 @@ pub mod simulator;
 pub mod trace_io;
 pub mod validate;
 
+pub use checkpoint::config_fingerprint;
 pub use config::{MemoryMode, SimConfig};
 pub use runtime::{RtRuntime, RuntimeStats};
 pub use simulator::{RunReport, SimFailure, Simulator};
 pub use validate::{validate_config, ConfigError, ImageSizeMismatch};
 pub use vksim_gpu::{FaultPlan, GpuFault, HangClass, SimError, WorkerPanicSpec};
+pub use vksim_snapshot::{SnapError, Snapshot};

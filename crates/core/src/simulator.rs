@@ -1,14 +1,16 @@
 //! Kernel execution: cycle-accurate and functional modes.
 
+use crate::checkpoint;
 use crate::config::SimConfig;
 use crate::runtime::{RtRuntime, RuntimeStats};
 use std::collections::BTreeMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use vksim_fault::SimError;
-use vksim_gpu::{GpuFault, GpuSim, GpuStats, LaunchDims};
+use vksim_gpu::{GpuFault, GpuSim, GpuStats, LaunchDims, RunOutcome};
 use vksim_isa::interp::{run_to_exit, ExecError, ThreadState};
 use vksim_isa::SimMemory;
 use vksim_power::{ActivityCounts, PowerModel, PowerReport};
+use vksim_snapshot::Snapshot;
 use vksim_trace::{chrome_trace_json, hotspot_summary, interval_csv, TraceReport};
 use vksim_vulkan::{Device, TraceRaysCommand};
 
@@ -40,6 +42,10 @@ pub struct SimFailure {
     pub error: SimError,
     /// Post-mortem dump file (flat JSON), if one could be written.
     pub dump: Option<PathBuf>,
+    /// Final machine snapshot written beside the post-mortem dump, if one
+    /// could be captured — the complete state at the failing cycle, for
+    /// offline inspection or a recovery attempt.
+    pub snapshot: Option<PathBuf>,
     /// Statistics and memory state up to the fault. `None` only for
     /// functional-mode failures, which have no timing state to report.
     pub report: Option<RunReport>,
@@ -87,11 +93,74 @@ impl Simulator {
         device: &Device,
         cmd: &TraceRaysCommand,
     ) -> Result<RunReport, Box<SimFailure>> {
-        let gpu_config = self.config.resolve();
+        self.run_inner(device, cmd, None)
+    }
+
+    /// Resumes a killed or faulted cycle-level run from a checkpoint file
+    /// written by a previous [`Simulator::run`] under
+    /// `VKSIM_CHECKPOINT_EVERY` / [`SimConfig::with_checkpoint`].
+    ///
+    /// The device and command must be the ones the checkpointed run was
+    /// started with; the configuration must match architecturally (thread
+    /// count, watchdog, cycle bound and fault plan may differ — a resumed
+    /// chaos run does not re-inject the worker panic that killed it). The
+    /// resumed run continues from the checkpoint cycle and produces
+    /// byte-identical counters, goldens and traces to an uninterrupted
+    /// run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::SnapshotMismatch`] when the file is unreadable,
+    /// corrupt, or fingerprinted for a different configuration, command
+    /// or scene; otherwise fails exactly as [`Simulator::run`] does.
+    pub fn resume(
+        &mut self,
+        device: &Device,
+        cmd: &TraceRaysCommand,
+        snapshot: &Path,
+    ) -> Result<RunReport, Box<SimFailure>> {
+        self.run_inner(device, cmd, Some(snapshot))
+    }
+
+    fn run_inner(
+        &mut self,
+        device: &Device,
+        cmd: &TraceRaysCommand,
+        resume_from: Option<&Path>,
+    ) -> Result<RunReport, Box<SimFailure>> {
+        let mut gpu_config = self.config.resolve();
         if let Err(e) = crate::validate::validate_config(&gpu_config) {
             return Err(config_failure(e));
         }
+        let fingerprint = checkpoint::config_fingerprint(&gpu_config, device, cmd);
+        let resume_payload = match resume_from {
+            Some(path) => match Snapshot::read(path) {
+                Ok(snap) if snap.fingerprint != fingerprint => {
+                    return Err(snapshot_failure(format!(
+                        "snapshot {} was taken under fingerprint {:016x}, this \
+                         configuration/command fingerprints as {fingerprint:016x}",
+                        path.display(),
+                        snap.fingerprint
+                    )))
+                }
+                Ok(snap) => {
+                    // The panic that killed the original run must not fire
+                    // again on the recovery attempt.
+                    gpu_config.fault_plan.worker_panic = None;
+                    Some(snap.payload)
+                }
+                Err(e) => {
+                    return Err(snapshot_failure(format!(
+                        "cannot read snapshot {}: {e}",
+                        path.display()
+                    )))
+                }
+            },
+            None => None,
+        };
         let threads = gpu_config.effective_threads();
+        let every = gpu_config.effective_checkpoint_every();
+        let ckpt_dir = gpu_config.effective_checkpoint_dir();
         let num_sms = gpu_config.num_sms;
         let mut gpu = GpuSim::new(gpu_config);
         gpu.mem = device.memory.clone();
@@ -103,21 +172,74 @@ impl Simulator {
                 depth: cmd.dims.depth,
             },
         );
-        let (outcome, runtime_stats) = if threads > 1 {
-            // Parallel engine: one runtime shard per SM (warps never
-            // migrate between SMs, so per-thread state partitions exactly).
+        // Parallel engine: one runtime shard per SM (warps never migrate
+        // between SMs, so per-thread state partitions exactly). The serial
+        // engine drives a single runtime, carried as a one-element vec so
+        // both modes checkpoint through the same path.
+        let mut shards: Vec<RtRuntime> = if threads > 1 {
             let runtime = self.make_runtime(device, cmd);
-            let mut shards: Vec<RtRuntime> = (0..num_sms).map(|sm| runtime.shard(sm)).collect();
-            let outcome = gpu.run_sharded(&mut shards);
+            (0..num_sms).map(|sm| runtime.shard(sm)).collect()
+        } else {
+            vec![self.make_runtime(device, cmd)]
+        };
+        if let Some(payload) = resume_payload {
+            if let Err(e) = checkpoint::restore_machine(&mut gpu, &mut shards, &payload) {
+                return Err(snapshot_failure(format!(
+                    "snapshot does not match this run: {e}"
+                )));
+            }
+        }
+        // Run in checkpoint-bounded slices. With checkpointing off (the
+        // default) this is a single unbounded slice — exactly the
+        // historical run path.
+        let outcome = loop {
+            let res = if every == 0 {
+                if threads > 1 {
+                    gpu.run_sharded(&mut shards)
+                        .map(|stats| RunOutcome::Done(Box::new(stats)))
+                } else {
+                    gpu.run(&mut shards[0])
+                        .map(|stats| RunOutcome::Done(Box::new(stats)))
+                }
+            } else {
+                // Next checkpoint boundary strictly after the current cycle.
+                let stop = (gpu.cycles() + 1).next_multiple_of(every);
+                if threads > 1 {
+                    gpu.run_sharded_until(&mut shards, stop)
+                } else {
+                    gpu.run_until(&mut shards[0], stop)
+                }
+            };
+            match res {
+                Ok(RunOutcome::Done(stats)) => break Ok(*stats),
+                Ok(RunOutcome::Paused) => {
+                    let dir = ckpt_dir.clone().unwrap_or_else(|| ".".into());
+                    let path = Path::new(&dir).join(format!("ckpt-{}.vksnap", gpu.cycles()));
+                    let snap =
+                        Snapshot::new(fingerprint, checkpoint::machine_payload(&gpu, &shards));
+                    // Checkpoint failures are warnings: a healthy run never
+                    // dies because a checkpoint could not be written.
+                    if let Err(e) = snap.write_atomic(&path) {
+                        eprintln!("vksim: failed to write checkpoint {}: {e}", path.display());
+                    }
+                }
+                Err(fault) => break Err(fault),
+            }
+        };
+        // On a fault, capture the final machine state beside the
+        // post-mortem dump before anything is torn down.
+        let fault_snapshot = match &outcome {
+            Err(fault) => write_final_snapshot(&gpu, &shards, fingerprint, fault.dump.as_deref()),
+            Ok(_) => None,
+        };
+        let runtime_stats = if threads > 1 {
             let mut merged = RuntimeStats::default();
             for shard in &shards {
                 merged.merge(&shard.stats);
             }
-            (outcome, merged)
+            merged
         } else {
-            let mut runtime = self.make_runtime(device, cmd);
-            let outcome = gpu.run(&mut runtime);
-            (outcome, runtime.stats.clone())
+            shards[0].stats.clone()
         };
         let memory = std::mem::take(&mut gpu.mem);
         // Trace export happens on healthy AND faulted runs: a trace that
@@ -150,6 +272,7 @@ impl Simulator {
                 Err(Box::new(SimFailure {
                     error,
                     dump,
+                    snapshot: fault_snapshot,
                     report: Some(report),
                 }))
             }
@@ -227,6 +350,50 @@ fn export_trace(report: &TraceReport) {
     }
 }
 
+/// Writes the final machine snapshot for a faulted run, sited beside the
+/// post-mortem dump (same stem, `.vksnap` extension) when a dump exists
+/// and in the dump directory's default location otherwise. Best-effort:
+/// returns `None` when the write fails — a snapshot failure must never
+/// mask the original fault.
+fn write_final_snapshot(
+    gpu: &GpuSim,
+    shards: &[RtRuntime],
+    fingerprint: u64,
+    dump: Option<&Path>,
+) -> Option<PathBuf> {
+    let path = match dump {
+        Some(p) => p.with_extension("vksnap"),
+        None => return None,
+    };
+    let snap = Snapshot::new(fingerprint, checkpoint::machine_payload(gpu, shards));
+    match snap.write_atomic(&path) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!(
+                "vksim: failed to write final snapshot {}: {e}",
+                path.display()
+            );
+            None
+        }
+    }
+}
+
+/// Builds the `SimFailure` for an unusable snapshot: unreadable, corrupt,
+/// or fingerprinted for a different configuration/command/scene. The run
+/// never started.
+fn snapshot_failure(detail: String) -> Box<SimFailure> {
+    let error = SimError::SnapshotMismatch { detail };
+    let mut snap = BTreeMap::new();
+    snap.insert("fault.kind".to_string(), error.kind_code());
+    let dump = vksim_fault::write_dump(&snap).ok();
+    Box::new(SimFailure {
+        error,
+        dump,
+        snapshot: None,
+        report: None,
+    })
+}
+
 /// Builds the `SimFailure` for a rejected configuration: the run never
 /// started, so there is no timing report — just the classified error and
 /// a minimal dump identifying the fault class.
@@ -238,6 +405,7 @@ fn config_failure(e: crate::validate::ConfigError) -> Box<SimFailure> {
     Box::new(SimFailure {
         error,
         dump,
+        snapshot: None,
         report: None,
     })
 }
@@ -264,6 +432,7 @@ fn functional_failure(tid: usize, e: &ExecError) -> Box<SimFailure> {
     Box::new(SimFailure {
         error,
         dump,
+        snapshot: None,
         report: None,
     })
 }
@@ -460,6 +629,98 @@ mod tests {
         let rt = report.gpu.counters.get("inst.Rt");
         assert!(alu > 0 && mem > 0 && rt > 0);
         assert!(alu > rt, "ALU dominates trace instructions");
+    }
+
+    #[test]
+    fn killed_run_resumes_bit_identically_from_checkpoint() {
+        let (device, cmd, fb) = quad_workload(16, 8);
+        let reference = Simulator::new(SimConfig::test_small())
+            .run(&device, &cmd)
+            .expect("healthy run");
+        let dir = std::env::temp_dir().join(format!("vksim-ckpt-core-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Checkpoint every quarter of the reference run and kill at the
+        // three-quarter mark: at least two checkpoints land before the
+        // panic regardless of the workload's absolute cycle count.
+        let every = (reference.gpu.cycles / 4).max(1);
+        let ckpt_cfg = || {
+            let mut cfg =
+                SimConfig::test_small().with_checkpoint(every, dir.to_string_lossy().to_string());
+            // An injected worker panic kills the run mid-flight; resume
+            // must clear it from the plan instead of dying again.
+            cfg.gpu.fault_plan.worker_panic = Some(vksim_gpu::WorkerPanicSpec {
+                sm: 1,
+                cycle: every * 3,
+            });
+            cfg
+        };
+        let failure = Simulator::new(ckpt_cfg())
+            .run(&device, &cmd)
+            .expect_err("injected panic kills the run");
+        assert!(
+            matches!(failure.error, SimError::WorkerPanicked { .. }),
+            "{failure}"
+        );
+        assert!(
+            failure.snapshot.is_some(),
+            "final snapshot written beside the post-mortem dump"
+        );
+        let last_ckpt = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "vksnap"))
+            .max_by_key(|p| {
+                p.file_stem()
+                    .and_then(|s| s.to_str())
+                    .and_then(|s| s.strip_prefix("ckpt-"))
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or(0)
+            })
+            .expect("at least one periodic checkpoint written before the kill");
+        let resumed = Simulator::new(ckpt_cfg())
+            .resume(&device, &cmd, &last_ckpt)
+            .expect("resumed run completes");
+        assert_eq!(resumed.gpu.cycles, reference.gpu.cycles, "same end cycle");
+        assert_eq!(
+            resumed.gpu.counters, reference.gpu.counters,
+            "bit-identical counters after kill + resume"
+        );
+        for i in 0..(16 * 8) {
+            assert_eq!(
+                resumed.memory.read_f32(fb + i * 4),
+                reference.memory.read_f32(fb + i * 4),
+                "pixel {i}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_fingerprint() {
+        let (device, cmd, _) = quad_workload(16, 4);
+        let dir = std::env::temp_dir().join(format!("vksim-ckpt-fp-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = SimConfig::test_small().with_checkpoint(64, dir.to_string_lossy().to_string());
+        Simulator::new(cfg.clone())
+            .run(&device, &cmd)
+            .expect("healthy run");
+        let ckpt = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .find(|p| p.extension().is_some_and(|x| x == "vksnap"))
+            .expect("checkpoint written");
+        // A different machine (4 SMs) must refuse the snapshot.
+        let mut other = cfg;
+        other.gpu.num_sms = 4;
+        let failure = Simulator::new(other)
+            .resume(&device, &cmd, &ckpt)
+            .expect_err("mismatched config must be rejected");
+        assert!(
+            matches!(failure.error, SimError::SnapshotMismatch { .. }),
+            "{failure}"
+        );
+        assert!(failure.report.is_none(), "the run never started");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

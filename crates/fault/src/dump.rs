@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 use std::io;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use vksim_testkit::json::write_flat_u64_object;
@@ -37,8 +37,18 @@ pub fn dump_dir() -> PathBuf {
 /// Propagates filesystem errors; callers on a failure path typically treat
 /// an unwritable dump as "no dump" rather than masking the original fault.
 pub fn write_dump(snapshot: &BTreeMap<String, u64>) -> io::Result<PathBuf> {
-    let dir = dump_dir();
-    std::fs::create_dir_all(&dir)?;
+    write_dump_in(&dump_dir(), snapshot)
+}
+
+/// Writes `snapshot` into `dir`, creating the directory and any missing
+/// parents first — `$VKSIM_DUMP_DIR` may point somewhere that does not
+/// exist yet (a fresh CI scratch path, a per-run subdirectory).
+///
+/// # Errors
+///
+/// Propagates filesystem errors, as [`write_dump`] does.
+pub fn write_dump_in(dir: &Path, snapshot: &BTreeMap<String, u64>) -> io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
     let seq = DUMP_SEQ.fetch_add(1, Ordering::Relaxed);
     let path = dir.join(format!(
         "vksim-postmortem-{}-{}.json",
@@ -64,6 +74,24 @@ mod tests {
         let parsed = parse_flat_u64_object(&text).expect("dump parses");
         assert_eq!(parsed, snap);
         let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn dump_dir_is_created_with_missing_parents() {
+        let base = std::env::temp_dir().join(format!(
+            "vksim-dump-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+        let nested = base.join("does/not/exist/yet");
+        assert!(!nested.exists());
+        let snap = BTreeMap::from([("cycle".to_string(), 9u64)]);
+        let path = write_dump_in(&nested, &snap).expect("dump created the directory chain");
+        assert!(path.starts_with(&nested));
+        let text = std::fs::read_to_string(&path).expect("dump readable");
+        assert_eq!(parse_flat_u64_object(&text).unwrap(), snap);
+        std::fs::remove_dir_all(&base).unwrap();
     }
 
     #[test]

@@ -103,6 +103,15 @@ pub enum SimError {
         /// Which knob was rejected and why.
         detail: String,
     },
+    /// A checkpoint could not be resumed: the snapshot file is corrupt,
+    /// from an incompatible format version, or was produced under a
+    /// different configuration/workload than the one resuming it.
+    /// Restoring anyway would silently compute garbage, so the mismatch
+    /// is a structured refusal instead.
+    SnapshotMismatch {
+        /// What differed (fingerprint, version, shard count, ...).
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -132,6 +141,9 @@ impl fmt::Display for SimError {
             SimError::InvalidConfig { detail } => {
                 write!(f, "invalid configuration: {detail}")
             }
+            SimError::SnapshotMismatch { detail } => {
+                write!(f, "snapshot cannot be resumed: {detail}")
+            }
         }
     }
 }
@@ -159,6 +171,7 @@ impl SimError {
             } => 5,
             SimError::WorkerPanicked { .. } => 6,
             SimError::InvalidConfig { .. } => 7,
+            SimError::SnapshotMismatch { .. } => 8,
         }
     }
 }
@@ -209,7 +222,7 @@ impl FaultPlan {
 }
 
 /// Re-exported for convenience: the post-mortem writer.
-pub use dump::{write_dump, DUMP_DIR_ENV};
+pub use dump::{write_dump, write_dump_in, DUMP_DIR_ENV};
 
 #[cfg(test)]
 mod tests {
@@ -265,6 +278,9 @@ mod tests {
                 detail: String::new(),
             },
             SimError::InvalidConfig {
+                detail: String::new(),
+            },
+            SimError::SnapshotMismatch {
                 detail: String::new(),
             },
         ];

@@ -56,6 +56,16 @@ pub struct GpuConfig {
     /// Deterministic fault-injection switches (tests and fault drills);
     /// the default plan injects nothing.
     pub fault_plan: FaultPlan,
+    /// Periodic checkpoint interval in cycles: every multiple of this, the
+    /// simulator core snapshots the complete machine state so a killed run
+    /// can resume bit-identically. `0` (the default) disables
+    /// checkpointing — the run is a single uninterrupted slice.
+    /// Overridable at run time with `VKSIM_CHECKPOINT_EVERY`.
+    pub checkpoint_every: u64,
+    /// Directory receiving `ckpt-<cycle>.vksnap` checkpoint files; `None`
+    /// uses the current directory. Overridable at run time with
+    /// `VKSIM_CHECKPOINT_DIR`.
+    pub checkpoint_dir: Option<String>,
     /// Cycle-level tracing (timeline events + interval metrics). Off by
     /// default; overridable at run time with `VKSIM_TRACE`,
     /// `VKSIM_TRACE_INTERVAL`, `VKSIM_TRACE_CSV` and `VKSIM_TRACE_SUMMARY`.
@@ -83,6 +93,8 @@ impl GpuConfig {
             threads: 1,
             watchdog_cycles: 0,
             fault_plan: FaultPlan::default(),
+            checkpoint_every: 0,
+            checkpoint_dir: None,
             trace: TraceConfig::default(),
         }
     }
@@ -155,6 +167,28 @@ impl GpuConfig {
                 Err(_) => self.watchdog_cycles,
             },
             Err(_) => self.watchdog_cycles,
+        }
+    }
+
+    /// Checkpoint interval to use, honouring the `VKSIM_CHECKPOINT_EVERY`
+    /// environment override (ignored when unset, empty, or not an
+    /// integer; `0` disables checkpointing either way).
+    pub fn effective_checkpoint_every(&self) -> u64 {
+        match std::env::var("VKSIM_CHECKPOINT_EVERY") {
+            Ok(v) => match v.trim().parse::<u64>() {
+                Ok(n) => n,
+                Err(_) => self.checkpoint_every,
+            },
+            Err(_) => self.checkpoint_every,
+        }
+    }
+
+    /// Checkpoint directory to use, honouring the `VKSIM_CHECKPOINT_DIR`
+    /// environment override (ignored when unset or empty).
+    pub fn effective_checkpoint_dir(&self) -> Option<String> {
+        match std::env::var("VKSIM_CHECKPOINT_DIR") {
+            Ok(v) if !v.trim().is_empty() => Some(v),
+            _ => self.checkpoint_dir.clone(),
         }
     }
 

@@ -47,6 +47,34 @@ struct WarpSeed {
     active: Mask,
 }
 
+impl WarpSeed {
+    fn save(&self, e: &mut vksim_snapshot::Enc) {
+        e.u32(self.id);
+        e.usize(self.base_tid);
+        e.u32(self.active);
+    }
+
+    fn load(d: &mut vksim_snapshot::Dec<'_>) -> Result<Self, vksim_snapshot::SnapError> {
+        Ok(WarpSeed {
+            id: d.u32()?,
+            base_tid: d.usize()?,
+            active: d.u32()?,
+        })
+    }
+}
+
+/// How a bounded run slice ended: the kernel completed (with its stats) or
+/// the engine paused at the requested cycle boundary, ready to continue or
+/// be checkpointed.
+#[derive(Debug)]
+pub enum RunOutcome {
+    /// The kernel ran to completion.
+    Done(Box<GpuStats>),
+    /// The stop cycle was reached with work still resident; machine state
+    /// is at a clean cycle boundary (phase B drained).
+    Paused,
+}
+
 /// Aggregated results of a kernel run.
 #[derive(Clone, Debug)]
 pub struct GpuStats {
@@ -138,6 +166,14 @@ pub struct GpuSim {
     cycle: u64,
     dropped_completions: u64,
     faults: u64,
+    /// Per-SM outbound request queues. Owned by the GPU (not the run
+    /// loops) because the bounded interconnect can refuse requests in
+    /// phase B, leaving them queued across cycle — and therefore pause —
+    /// boundaries.
+    queues: Vec<RequestQueue>,
+    /// Watchdog baseline: the last cycle that made forward progress.
+    /// Persisted so a checkpointed run resumes with the same hang window.
+    last_progress: u64,
     /// Serial merge point for the tracing layer; `None` when tracing is
     /// off (the default), so the engines pay one null check per cycle.
     collector: Option<TraceCollector>,
@@ -263,6 +299,7 @@ impl GpuSim {
         if trace.enabled {
             shared.set_trace(true);
         }
+        let num_sms = config.num_sms;
         GpuSim {
             config,
             sms,
@@ -273,6 +310,8 @@ impl GpuSim {
             cycle: 0,
             dropped_completions: 0,
             faults: 0,
+            queues: (0..num_sms).map(|_| RequestQueue::new()).collect(),
+            last_progress: 0,
             collector: trace.enabled.then(|| TraceCollector::new(trace)),
         }
     }
@@ -345,7 +384,31 @@ impl GpuSim {
     ///
     /// Panics if no kernel was launched.
     pub fn run(&mut self, hooks: &mut dyn GpuHooks) -> Result<GpuStats, Box<GpuFault>> {
-        self.run_serial(&mut SingleHooks(hooks))
+        match self.run_serial(&mut SingleHooks(hooks), None)? {
+            RunOutcome::Done(stats) => Ok(*stats),
+            RunOutcome::Paused => unreachable!("unbounded run cannot pause"),
+        }
+    }
+
+    /// Runs until the kernel completes or the cycle counter reaches
+    /// `stop_at`, whichever comes first. A [`RunOutcome::Paused`] return
+    /// leaves the machine at a clean cycle boundary (phase B drained, no
+    /// in-flight overlays), so [`GpuSim::save_state`] captures a state from
+    /// which a resumed run is bit-identical to an uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// As [`GpuSim::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no kernel was launched.
+    pub fn run_until(
+        &mut self,
+        hooks: &mut dyn GpuHooks,
+        stop_at: u64,
+    ) -> Result<RunOutcome, Box<GpuFault>> {
+        self.run_serial(&mut SingleHooks(hooks), Some(stop_at))
     }
 
     /// Runs the launched kernel with one hook shard per SM, using
@@ -366,6 +429,38 @@ impl GpuSim {
         &mut self,
         shards: &mut [H],
     ) -> Result<GpuStats, Box<GpuFault>> {
+        match self.run_sharded_inner(shards, None)? {
+            RunOutcome::Done(stats) => Ok(*stats),
+            RunOutcome::Paused => unreachable!("unbounded run cannot pause"),
+        }
+    }
+
+    /// Sharded-hooks variant of [`GpuSim::run_until`]: runs until the
+    /// kernel completes or `stop_at` is reached, with the engine chosen by
+    /// [`GpuConfig::effective_threads`]. Pause placement is identical in
+    /// the serial and parallel engines (the end of a phase-B boundary), so
+    /// checkpoints are thread-count invariant.
+    ///
+    /// # Errors
+    ///
+    /// As [`GpuSim::run_sharded`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards.len() != num_sms` or no kernel was launched.
+    pub fn run_sharded_until<H: GpuHooks + Send>(
+        &mut self,
+        shards: &mut [H],
+        stop_at: u64,
+    ) -> Result<RunOutcome, Box<GpuFault>> {
+        self.run_sharded_inner(shards, Some(stop_at))
+    }
+
+    fn run_sharded_inner<H: GpuHooks + Send>(
+        &mut self,
+        shards: &mut [H],
+        stop_at: Option<u64>,
+    ) -> Result<RunOutcome, Box<GpuFault>> {
         assert_eq!(
             shards.len(),
             self.sms.len(),
@@ -373,23 +468,29 @@ impl GpuSim {
         );
         let threads = self.config.effective_threads().min(self.sms.len().max(1));
         if threads <= 1 {
-            self.run_serial(&mut ShardedHooks(shards))
+            self.run_serial(&mut ShardedHooks(shards), stop_at)
         } else {
-            self.run_parallel(shards, threads)
+            self.run_parallel(shards, threads, stop_at)
         }
     }
 
     /// Reference two-phase engine, single-threaded.
-    fn run_serial(&mut self, hooks: &mut dyn HookSet) -> Result<GpuStats, Box<GpuFault>> {
+    fn run_serial(
+        &mut self,
+        hooks: &mut dyn HookSet,
+        stop_at: Option<u64>,
+    ) -> Result<RunOutcome, Box<GpuFault>> {
         let program = self.program.clone().expect("launch() before run()");
         self.refill_sms();
         let num = self.sms.len();
         let watchdog = self.config.effective_watchdog();
         let plan = self.config.fault_plan;
-        let mut queues: Vec<RequestQueue> = (0..num).map(|_| RequestQueue::new()).collect();
+        let mut queues = std::mem::take(&mut self.queues);
+        debug_assert_eq!(queues.len(), num, "one request queue per SM");
         let mut overlays: Vec<WriteOverlay> = (0..num).map(|_| WriteOverlay::new()).collect();
-        let mut last_progress = self.cycle;
+        let mut last_progress = self.last_progress;
         let mut fault: Option<SimError> = None;
+        let mut paused = false;
         'cycles: while self.sms.iter().any(|s| !s.is_empty()) || !self.pending.is_empty() {
             self.cycle += 1;
             if self.cycle >= self.config.max_cycles {
@@ -468,10 +569,17 @@ impl GpuSim {
                 });
                 break;
             }
+            if stop_at.is_some_and(|s| self.cycle >= s) {
+                paused = true;
+                break;
+            }
         }
+        self.queues = queues;
+        self.last_progress = last_progress;
         match fault {
             Some(e) => Err(self.fail(e)),
-            None => Ok(self.collect_stats()),
+            None if paused => Ok(RunOutcome::Paused),
+            None => Ok(RunOutcome::Done(Box::new(self.collect_stats()))),
         }
     }
 
@@ -484,7 +592,8 @@ impl GpuSim {
         &mut self,
         shards: &mut [H],
         threads: usize,
-    ) -> Result<GpuStats, Box<GpuFault>> {
+        stop_at: Option<u64>,
+    ) -> Result<RunOutcome, Box<GpuFault>> {
         let program = self.program.clone().expect("launch() before run()");
         self.refill_sms();
         let limit = self.config.occupancy_limit(program.num_regs() as u32);
@@ -492,19 +601,23 @@ impl GpuSim {
         let watchdog = self.config.effective_watchdog();
         let plan = self.config.fault_plan;
         let mut cycle = self.cycle;
-        let mut last_progress = cycle;
+        let mut last_progress = self.last_progress;
         let mut fault: Option<SimError> = None;
+        let mut paused = false;
 
         let mem = RwLock::new(std::mem::take(&mut self.mem));
+        let queues = std::mem::take(&mut self.queues);
+        debug_assert_eq!(queues.len(), self.sms.len(), "one request queue per SM");
         let lanes: Vec<Mutex<Lane<'_, H>>> = std::mem::take(&mut self.sms)
             .into_iter()
             .zip(shards.iter_mut())
-            .map(|(sm, hooks)| {
+            .zip(queues)
+            .map(|((sm, hooks), queue)| {
                 let empty = sm.is_empty();
                 Mutex::new(Lane {
                     sm,
                     hooks,
-                    queue: RequestQueue::new(),
+                    queue,
                     overlay: WriteOverlay::new(),
                     inbox: Vec::new(),
                     retired: false,
@@ -674,24 +787,140 @@ impl GpuSim {
                     });
                     break;
                 }
+                if stop_at.is_some_and(|s| cycle >= s) {
+                    paused = true;
+                    break;
+                }
             }
         });
 
-        self.sms = lanes
-            .into_iter()
-            .map(|l| l.into_inner().expect("lane lock").sm)
-            .collect();
+        let mut sms = Vec::with_capacity(lanes.len());
+        let mut queues = Vec::with_capacity(lanes.len());
+        for l in lanes {
+            let lane = l.into_inner().expect("lane lock");
+            sms.push(lane.sm);
+            queues.push(lane.queue);
+        }
+        self.sms = sms;
+        self.queues = queues;
         self.mem = mem.into_inner().expect("functional memory lock");
         self.cycle = cycle;
+        self.last_progress = last_progress;
         match fault {
             Some(e) => Err(self.fail(e)),
-            None => Ok(self.collect_stats()),
+            None if paused => Ok(RunOutcome::Paused),
+            None => Ok(RunOutcome::Done(Box::new(self.collect_stats()))),
         }
     }
 
     /// Current cycle count.
     pub fn cycles(&self) -> u64 {
         self.cycle
+    }
+
+    /// Serializes the complete machine state — every SM, the per-SM
+    /// request queues (which carry interconnect backpressure across cycle
+    /// boundaries), the shared L2/DRAM backend, the functional memory
+    /// image, pending warps, cycle/watchdog cursors and the trace
+    /// collector — into a checkpoint payload. Must be called at a clean
+    /// cycle boundary (between [`GpuSim::run_until`] slices); overlays are
+    /// always empty there and are not written.
+    pub fn save_state(&self, e: &mut vksim_snapshot::Enc) {
+        e.seq(self.sms.len());
+        for sm in &self.sms {
+            sm.save(e);
+        }
+        e.seq(self.queues.len());
+        for q in &self.queues {
+            q.save(e);
+        }
+        self.shared.save(e);
+        self.mem.save(e);
+        e.seq(self.pending.len());
+        for seed in &self.pending {
+            seed.save(e);
+        }
+        e.u64(self.cycle);
+        e.u64(self.dropped_completions);
+        e.u64(self.faults);
+        e.u64(self.last_progress);
+        match &self.collector {
+            None => e.u8(0),
+            Some(col) => {
+                e.u8(1);
+                col.save(e);
+            }
+        }
+    }
+
+    /// Restores machine state written by [`GpuSim::save_state`] into this
+    /// GPU. Call on a freshly built and launched [`GpuSim`] whose
+    /// configuration matches the saving run's (the snapshot fingerprint
+    /// check upstream guarantees this); the launch-seeded pending queue is
+    /// replaced wholesale by the snapshot's.
+    ///
+    /// # Errors
+    ///
+    /// A snapshot whose SM/queue/partition geometry disagrees with the
+    /// current configuration — or whose tracing state disagrees with the
+    /// effective trace config — is malformed.
+    pub fn restore_state(
+        &mut self,
+        d: &mut vksim_snapshot::Dec<'_>,
+    ) -> Result<(), vksim_snapshot::SnapError> {
+        let n = d.seq()?;
+        if n != self.config.num_sms {
+            return Err(vksim_snapshot::SnapError::Malformed(format!(
+                "snapshot has {n} SMs, config has {}",
+                self.config.num_sms
+            )));
+        }
+        let mut sms = Vec::with_capacity(n);
+        for i in 0..n {
+            sms.push(Sm::load(i, &self.config, d)?);
+        }
+        self.sms = sms;
+        let nq = d.seq()?;
+        if nq != n {
+            return Err(vksim_snapshot::SnapError::Malformed(format!(
+                "snapshot has {nq} request queues for {n} SMs"
+            )));
+        }
+        let mut queues = Vec::with_capacity(nq);
+        for _ in 0..nq {
+            queues.push(RequestQueue::load(d)?);
+        }
+        self.queues = queues;
+        self.shared = SharedMemSystem::load(self.config.mem.clone(), d)?;
+        self.mem = SimMemory::load(d)?;
+        let np = d.seq()?;
+        let mut pending = VecDeque::with_capacity(np);
+        for _ in 0..np {
+            pending.push_back(WarpSeed::load(d)?);
+        }
+        self.pending = pending;
+        self.cycle = d.u64()?;
+        self.dropped_completions = d.u64()?;
+        self.faults = d.u64()?;
+        self.last_progress = d.u64()?;
+        let trace = self.config.effective_trace();
+        self.collector = match (d.u8()?, trace.enabled) {
+            (0, false) => None,
+            (1, true) => Some(TraceCollector::load(trace, d)?),
+            (tag @ (0 | 1), enabled) => {
+                return Err(vksim_snapshot::SnapError::Malformed(format!(
+                    "trace collector presence mismatch: snapshot tag {tag}, \
+                     tracing {}abled in config",
+                    if enabled { "en" } else { "dis" }
+                )))
+            }
+            (t, _) => {
+                return Err(vksim_snapshot::SnapError::Malformed(format!(
+                    "trace collector tag {t}"
+                )))
+            }
+        };
+        Ok(())
     }
 
     /// Phase-B trace maintenance for the serial engine: drains per-SM
@@ -1377,6 +1606,95 @@ mod tests {
             matches!(fault.error, SimError::MaxCycles { limit: 1_000 }),
             "{:?}",
             fault.error
+        );
+    }
+
+    #[test]
+    fn pause_save_restore_resumes_bit_identically() {
+        std::env::remove_var("VKSIM_THREADS");
+        let config = small_config();
+        let mut hooks = TestHooks {
+            width: 256,
+            scripts_taken: 0,
+        };
+        let dims = LaunchDims {
+            width: 256,
+            height: 1,
+            depth: 1,
+        };
+
+        // Uninterrupted reference run.
+        let mut reference = GpuSim::new(config.clone());
+        reference.launch(trace_program(), dims);
+        let want = reference.run(&mut hooks).expect("healthy run");
+
+        // Paused run: slice at cycle 40, snapshot, keep going.
+        let mut gpu = GpuSim::new(config.clone());
+        gpu.launch(trace_program(), dims);
+        let mut hooks = TestHooks {
+            width: 256,
+            scripts_taken: 0,
+        };
+        let outcome = gpu.run_until(&mut hooks, 40).expect("healthy slice");
+        assert!(matches!(outcome, RunOutcome::Paused), "{outcome:?}");
+        assert_eq!(gpu.cycles(), 40);
+        let mut enc = vksim_snapshot::Enc::new();
+        gpu.save_state(&mut enc);
+        let payload = enc.into_bytes();
+
+        // Restore into a fresh GPU: re-encoding must be byte-identical.
+        let mut restored = GpuSim::new(config);
+        restored.launch(trace_program(), dims);
+        let mut dec = vksim_snapshot::Dec::new(&payload);
+        restored.restore_state(&mut dec).expect("restore");
+        dec.finish().expect("full consumption");
+        let mut enc2 = vksim_snapshot::Enc::new();
+        restored.save_state(&mut enc2);
+        assert_eq!(payload, enc2.into_bytes(), "snapshot idempotency");
+
+        // Both the paused original and the restored copy finish exactly
+        // like the uninterrupted run.
+        let stats = gpu.run(&mut hooks).expect("healthy tail");
+        assert_eq!(stats.cycles, want.cycles);
+        assert_eq!(stats.counters, want.counters);
+        assert_eq!(stats.l1_stats, want.l1_stats);
+        let mut hooks = TestHooks {
+            width: 256,
+            scripts_taken: 0,
+        };
+        let stats = restored.run(&mut hooks).expect("healthy resumed tail");
+        assert_eq!(stats.cycles, want.cycles);
+        assert_eq!(stats.counters, want.counters);
+        assert_eq!(stats.l1_stats, want.l1_stats);
+        assert_eq!(stats.l2_stats, want.l2_stats);
+        assert_eq!(stats.dram_stats, want.dram_stats);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_sm_count() {
+        let mut gpu = GpuSim::new(small_config());
+        gpu.launch(
+            trace_program(),
+            LaunchDims {
+                width: 64,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut enc = vksim_snapshot::Enc::new();
+        gpu.save_state(&mut enc);
+        let payload = enc.into_bytes();
+        let mut other = GpuSim::new(GpuConfig {
+            num_sms: 3,
+            ..small_config()
+        });
+        let mut dec = vksim_snapshot::Dec::new(&payload);
+        let err = other
+            .restore_state(&mut dec)
+            .expect_err("geometry mismatch");
+        assert!(
+            matches!(err, vksim_snapshot::SnapError::Malformed(_)),
+            "{err:?}"
         );
     }
 

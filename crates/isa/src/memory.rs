@@ -161,6 +161,40 @@ impl SimMemory {
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Serializes the memory image for a machine-state snapshot: resident
+    /// pages sorted by page number, each as the page index plus its 4 KiB
+    /// of bytes. Sorting makes the encoding independent of `HashMap`
+    /// iteration order, so identical images produce identical bytes.
+    pub fn save(&self, e: &mut vksim_snapshot::Enc) {
+        let mut pages: Vec<u64> = self.pages.keys().copied().collect();
+        pages.sort_unstable();
+        e.seq(pages.len());
+        for p in pages {
+            e.u64(p);
+            e.bytes(&self.pages[&p][..]);
+        }
+    }
+
+    /// Restores an image written by [`SimMemory::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder errors; a page payload that is not exactly
+    /// 4 KiB is malformed.
+    pub fn load(d: &mut vksim_snapshot::Dec<'_>) -> Result<Self, vksim_snapshot::SnapError> {
+        let n = d.seq()?;
+        let mut pages = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let idx = d.u64()?;
+            let raw = d.bytes()?;
+            let arr: Box<[u8; PAGE_SIZE]> = raw.into_boxed_slice().try_into().map_err(|_| {
+                vksim_snapshot::SnapError::Malformed(format!("page {idx} is not {PAGE_SIZE} bytes"))
+            })?;
+            pages.insert(idx, arr);
+        }
+        Ok(SimMemory { pages })
+    }
 }
 
 impl MemIo for SimMemory {
@@ -296,6 +330,26 @@ mod tests {
         let mut m = SimMemory::new();
         m.write_bytes(0x50, &[1, 2, 3, 4, 5]);
         assert_eq!(m.read_bytes(0x50, 5), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_exact_and_sorted() {
+        let mut m = SimMemory::new();
+        m.write_u32(0x9_0000, 0xCAFE_F00D);
+        m.write_u8(0x42, 7);
+        m.write_u64((1 << 12) - 4, u64::MAX); // straddles a page boundary
+        let mut e = vksim_snapshot::Enc::new();
+        m.save(&mut e);
+        let bytes = e.into_bytes();
+        let back = SimMemory::load(&mut vksim_snapshot::Dec::new(&bytes)).unwrap();
+        assert_eq!(back.read_u32(0x9_0000), 0xCAFE_F00D);
+        assert_eq!(back.read_u8(0x42), 7);
+        assert_eq!(back.read_u64((1 << 12) - 4), u64::MAX);
+        assert_eq!(back.resident_pages(), m.resident_pages());
+        // Re-encoding is byte-identical (sorted pages, no map-order leak).
+        let mut e2 = vksim_snapshot::Enc::new();
+        back.save(&mut e2);
+        assert_eq!(e2.into_bytes(), bytes);
     }
 
     #[test]

@@ -93,6 +93,31 @@ pub struct MemRequest {
     pub is_store: bool,
 }
 
+impl MemRequest {
+    /// Serializes the request for a machine-state snapshot.
+    pub fn save(&self, e: &mut vksim_snapshot::Enc) {
+        e.u64(self.id);
+        e.u64(self.addr);
+        e.u8(self.kind.code());
+        e.bool(self.is_store);
+    }
+
+    /// Restores a request written by [`MemRequest::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder errors; an unknown access-kind code is
+    /// malformed.
+    pub fn load(d: &mut vksim_snapshot::Dec<'_>) -> Result<Self, vksim_snapshot::SnapError> {
+        Ok(MemRequest {
+            id: d.u64()?,
+            addr: d.u64()?,
+            kind: AccessKind::from_code(d.u8()?)?,
+            is_store: d.bool()?,
+        })
+    }
+}
+
 /// Anything that accepts timed [`MemRequest`]s.
 ///
 /// The SM pipeline is written against this trait so the same tick code runs
@@ -150,6 +175,32 @@ impl RequestQueue {
         self.items.is_empty()
     }
 
+    /// Serializes the queue contents — requests still awaiting interconnect
+    /// acceptance at a cycle boundary (bounded-icnt backpressure carries
+    /// them across cycles) — in insertion order.
+    pub fn save(&self, e: &mut vksim_snapshot::Enc) {
+        e.seq(self.items.len());
+        for (req, now) in &self.items {
+            req.save(e);
+            e.u64(*now);
+        }
+    }
+
+    /// Restores a queue written by [`RequestQueue::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder errors on truncated or malformed payloads.
+    pub fn load(d: &mut vksim_snapshot::Dec<'_>) -> Result<Self, vksim_snapshot::SnapError> {
+        let n = d.seq()?;
+        let mut items = Vec::with_capacity(n);
+        for _ in 0..n {
+            let req = MemRequest::load(d)?;
+            items.push((req, d.u64()?));
+        }
+        Ok(RequestQueue { items })
+    }
+
     /// Forwards queued requests to `sink` in insertion order, stopping at
     /// the first refusal (head-of-line blocking preserves the global
     /// submission order); refused requests stay queued for the next
@@ -191,6 +242,48 @@ enum EvKind {
         line: u64,
         is_store: bool,
     },
+}
+
+impl EvKind {
+    fn save(&self, e: &mut vksim_snapshot::Enc) {
+        match *self {
+            EvKind::ArriveL2(req) => {
+                e.u8(0);
+                req.save(e);
+            }
+            EvKind::DramDone { line } => {
+                e.u8(1);
+                e.u64(line);
+            }
+            EvKind::RetryDram {
+                addr,
+                line,
+                is_store,
+            } => {
+                e.u8(2);
+                e.u64(addr);
+                e.u64(line);
+                e.bool(is_store);
+            }
+        }
+    }
+
+    fn load(d: &mut vksim_snapshot::Dec<'_>) -> Result<Self, vksim_snapshot::SnapError> {
+        Ok(match d.u8()? {
+            0 => EvKind::ArriveL2(MemRequest::load(d)?),
+            1 => EvKind::DramDone { line: d.u64()? },
+            2 => EvKind::RetryDram {
+                addr: d.u64()?,
+                line: d.u64()?,
+                is_store: d.bool()?,
+            },
+            t => {
+                return Err(vksim_snapshot::SnapError::Malformed(format!(
+                    "partition event tag {t}"
+                )))
+            }
+        })
+    }
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -247,6 +340,100 @@ impl Partition {
             seq: self.seq,
             kind,
         }));
+    }
+
+    /// Serializes the partition's dynamic state. The event heap is written
+    /// in `(time, seq)` order and the waiter/ticket maps sorted by key, so
+    /// re-encoding a restored partition is byte-identical.
+    fn save(&self, e: &mut vksim_snapshot::Enc) {
+        self.l2.save(e);
+        self.dram.save(e);
+        let mut evs: Vec<Ev> = self.events.iter().map(|r| r.0).collect();
+        evs.sort_unstable_by_key(|ev| (ev.time, ev.seq));
+        e.seq(evs.len());
+        for ev in &evs {
+            e.u64(ev.time);
+            e.u64(ev.seq);
+            ev.kind.save(e);
+        }
+        e.u64(self.seq);
+        let mut waiting: Vec<(&u64, &Vec<u64>)> = self.waiting.iter().collect();
+        waiting.sort_unstable_by_key(|(line, _)| **line);
+        e.seq(waiting.len());
+        for (line, ids) in waiting {
+            e.u64(*line);
+            e.seq(ids.len());
+            for id in ids {
+                e.u64(*id);
+            }
+        }
+        let mut tickets: Vec<(u64, u64)> = self.tickets.iter().map(|(k, v)| (*k, *v)).collect();
+        tickets.sort_unstable();
+        e.seq(tickets.len());
+        for (ticket, line) in tickets {
+            e.u64(ticket);
+            e.u64(line);
+        }
+        e.u32(self.ingress_occupancy);
+        e.u64(self.last_event_time);
+        e.seq(self.egress_free.len());
+        for &t in &self.egress_free {
+            e.u64(t);
+        }
+    }
+
+    /// Restores dynamic state written by [`Partition::save`] into a
+    /// partition freshly built from the resuming configuration. The L2
+    /// slice and DRAM group configs come from `self`; the snapshot only
+    /// carries the mutable state.
+    fn load_into(
+        &mut self,
+        d: &mut vksim_snapshot::Dec<'_>,
+    ) -> Result<(), vksim_snapshot::SnapError> {
+        self.l2 = Cache::load(self.l2.config().clone(), d)?;
+        self.dram = Dram::load(self.dram.config().clone(), d)?;
+        let n = d.seq()?;
+        self.events = BinaryHeap::with_capacity(n);
+        for _ in 0..n {
+            let time = d.u64()?;
+            let seq = d.u64()?;
+            self.events.push(Reverse(Ev {
+                time,
+                seq,
+                kind: EvKind::load(d)?,
+            }));
+        }
+        self.seq = d.u64()?;
+        let nw = d.seq()?;
+        self.waiting = HashMap::with_capacity(nw);
+        for _ in 0..nw {
+            let line = d.u64()?;
+            let ni = d.seq()?;
+            let mut ids = Vec::with_capacity(ni);
+            for _ in 0..ni {
+                ids.push(d.u64()?);
+            }
+            self.waiting.insert(line, ids);
+        }
+        let nt = d.seq()?;
+        self.tickets = HashMap::with_capacity(nt);
+        for _ in 0..nt {
+            let ticket = d.u64()?;
+            self.tickets.insert(ticket, d.u64()?);
+        }
+        self.ingress_occupancy = d.u32()?;
+        self.last_event_time = d.u64()?;
+        let ne = d.seq()?;
+        if ne != self.egress_free.len() {
+            return Err(vksim_snapshot::SnapError::Malformed(format!(
+                "snapshot has {ne} return credits, {} configured",
+                self.egress_free.len()
+            )));
+        }
+        for slot in self.egress_free.iter_mut() {
+            *slot = d.u64()?;
+        }
+        Ok(())
     }
 }
 
@@ -614,6 +801,50 @@ impl SharedMemSystem {
                 acc.3 + p.dram.transfer_cycles(),
             )
         })
+    }
+
+    /// Serializes the whole backend — every partition's L2 slice, DRAM
+    /// group, event heap, waiter/ticket maps, ingress occupancy and return
+    /// credits, plus the delivery counter that drives fault injection and
+    /// the interconnect statistics — for a machine-state snapshot.
+    /// Configuration is not written; it is rebuilt from the resuming
+    /// [`SystemConfig`] (guaranteed equal by the snapshot fingerprint).
+    pub fn save(&self, e: &mut vksim_snapshot::Enc) {
+        e.seq(self.parts.len());
+        for p in &self.parts {
+            p.save(e);
+        }
+        e.opt_u64(self.drop_nth_completion);
+        e.u64(self.completions_delivered);
+        self.stats.save(e);
+    }
+
+    /// Restores a backend written by [`SharedMemSystem::save`] into a
+    /// fresh instance built from `config`.
+    ///
+    /// # Errors
+    ///
+    /// A partition count (or per-partition geometry) that disagrees with
+    /// `config` is a mismatched snapshot.
+    pub fn load(
+        config: SystemConfig,
+        d: &mut vksim_snapshot::Dec<'_>,
+    ) -> Result<Self, vksim_snapshot::SnapError> {
+        let mut sys = SharedMemSystem::new(config);
+        let n = d.seq()?;
+        if n != sys.parts.len() {
+            return Err(vksim_snapshot::SnapError::Malformed(format!(
+                "snapshot has {n} memory partitions, {} configured",
+                sys.parts.len()
+            )));
+        }
+        for p in sys.parts.iter_mut() {
+            p.load_into(d)?;
+        }
+        sys.drop_nth_completion = d.opt_u64()?;
+        sys.completions_delivered = d.u64()?;
+        sys.stats = Counters::load(d)?;
+        Ok(sys)
     }
 
     /// `true` when no events or queued DRAM requests are pending in any
@@ -1141,6 +1372,91 @@ mod tests {
             "the single-entry bank queue must have pushed back"
         );
         assert_eq!(sys.dram_stats().get("req"), 8);
+    }
+
+    /// Encodes a backend's dynamic state into fresh bytes.
+    fn encode(sys: &SharedMemSystem) -> Vec<u8> {
+        let mut e = vksim_snapshot::Enc::new();
+        sys.save(&mut e);
+        e.into_bytes()
+    }
+
+    #[test]
+    fn backend_snapshot_round_trips_mid_flight() {
+        // Freeze a bounded, multi-partition FR-FCFS backend mid-flight —
+        // events pending, waiters outstanding, tickets in the scheduler,
+        // ingress slots held — and check save -> load -> save is
+        // byte-identical and the restored system completes exactly like
+        // the original.
+        let config = SystemConfig {
+            num_partitions: 2,
+            icnt_queue_depth: 4,
+            icnt_return_credits: 2,
+            dram: DramConfig {
+                sched: DramSched::fr_fcfs_paper(),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let mut sys = SharedMemSystem::new(config.clone());
+        for id in 0..6u64 {
+            sys.try_submit(load(id, id * 4096 + (id % 2) * PARTITION_BYTES), id);
+        }
+        let mut done = sys.advance_to(40);
+        assert!(!sys.is_idle(), "the freeze point must be mid-flight");
+
+        let bytes = encode(&sys);
+        let mut d = vksim_snapshot::Dec::new(&bytes);
+        let mut restored = SharedMemSystem::load(config, &mut d).expect("restore");
+        d.finish().expect("payload fully consumed");
+        assert_eq!(encode(&restored), bytes, "re-encode is byte-identical");
+
+        let mut t = 40;
+        let mut done_r = done.clone();
+        while t < 1_000_000 && (!sys.is_idle() || !restored.is_idle()) {
+            t += 1;
+            done.extend(sys.advance_to(t));
+            done_r.extend(restored.advance_to(t));
+        }
+        assert_eq!(done.len(), 6);
+        assert_eq!(done, done_r, "restored backend completes identically");
+        assert_eq!(
+            encode(&sys),
+            encode(&restored),
+            "final states converge byte-identically"
+        );
+    }
+
+    #[test]
+    fn backend_snapshot_rejects_mismatched_geometry() {
+        let mut sys = SharedMemSystem::new(SystemConfig {
+            num_partitions: 2,
+            ..Default::default()
+        });
+        sys.submit(load(1, 0x40), 0);
+        let bytes = encode(&sys);
+        let mut d = vksim_snapshot::Dec::new(&bytes);
+        let err = SharedMemSystem::load(SystemConfig::default(), &mut d).unwrap_err();
+        assert!(matches!(err, vksim_snapshot::SnapError::Malformed(_)));
+    }
+
+    #[test]
+    fn request_queue_snapshot_preserves_order() {
+        let mut q = RequestQueue::new();
+        for id in 0..3u64 {
+            MemSink::submit(&mut q, load(id, 0x1000 + id * 0x40), 7 + id);
+        }
+        let mut e = vksim_snapshot::Enc::new();
+        q.save(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = vksim_snapshot::Dec::new(&bytes);
+        let restored = RequestQueue::load(&mut d).expect("restore");
+        d.finish().expect("consumed");
+        let mut e2 = vksim_snapshot::Enc::new();
+        restored.save(&mut e2);
+        assert_eq!(e2.into_bytes(), bytes);
+        assert_eq!(restored.len(), 3);
+        assert!(restored.backlogged());
     }
 
     #[test]

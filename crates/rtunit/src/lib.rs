@@ -70,6 +70,83 @@ pub enum OpKind {
     None,
 }
 
+impl OpKind {
+    /// Serializes the operation kind for a machine-state snapshot.
+    pub fn save(&self, e: &mut vksim_snapshot::Enc) {
+        match *self {
+            OpKind::Box { tests } => {
+                e.u8(0);
+                e.u8(tests);
+            }
+            OpKind::Triangle => e.u8(1),
+            OpKind::Transform => e.u8(2),
+            OpKind::None => e.u8(3),
+        }
+    }
+
+    /// Restores a kind written by [`OpKind::save`].
+    ///
+    /// # Errors
+    ///
+    /// An unknown variant tag is malformed.
+    pub fn load(d: &mut vksim_snapshot::Dec<'_>) -> Result<Self, vksim_snapshot::SnapError> {
+        Ok(match d.u8()? {
+            0 => OpKind::Box { tests: d.u8()? },
+            1 => OpKind::Triangle,
+            2 => OpKind::Transform,
+            3 => OpKind::None,
+            t => {
+                return Err(vksim_snapshot::SnapError::Malformed(format!(
+                    "op kind tag {t}"
+                )))
+            }
+        })
+    }
+}
+
+impl Step {
+    /// Serializes the step for a machine-state snapshot.
+    pub fn save(&self, e: &mut vksim_snapshot::Enc) {
+        match *self {
+            Step::Fetch { addr, size, op } => {
+                e.u8(0);
+                e.u64(addr);
+                e.u32(size);
+                op.save(e);
+            }
+            Step::Store { addr, size } => {
+                e.u8(1);
+                e.u64(addr);
+                e.u32(size);
+            }
+        }
+    }
+
+    /// Restores a step written by [`Step::save`].
+    ///
+    /// # Errors
+    ///
+    /// An unknown variant tag is malformed.
+    pub fn load(d: &mut vksim_snapshot::Dec<'_>) -> Result<Self, vksim_snapshot::SnapError> {
+        Ok(match d.u8()? {
+            0 => Step::Fetch {
+                addr: d.u64()?,
+                size: d.u32()?,
+                op: OpKind::load(d)?,
+            },
+            1 => Step::Store {
+                addr: d.u64()?,
+                size: d.u32()?,
+            },
+            t => {
+                return Err(vksim_snapshot::SnapError::Malformed(format!(
+                    "traversal step tag {t}"
+                )))
+            }
+        })
+    }
+}
+
 /// A whole warp's traversal work: one script per thread (empty scripts are
 /// inactive lanes).
 #[derive(Clone, Debug, Default)]
@@ -89,6 +166,39 @@ impl WarpJob {
     /// Total steps across lanes.
     pub fn total_steps(&self) -> usize {
         self.scripts.iter().map(|s| s.len()).sum()
+    }
+
+    /// Serializes the job (lane order preserved) for a machine-state
+    /// snapshot.
+    pub fn save(&self, e: &mut vksim_snapshot::Enc) {
+        e.u32(self.warp_id);
+        e.seq(self.scripts.len());
+        for script in &self.scripts {
+            e.seq(script.len());
+            for step in script {
+                step.save(e);
+            }
+        }
+    }
+
+    /// Restores a job written by [`WarpJob::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder errors on truncated or malformed payloads.
+    pub fn load(d: &mut vksim_snapshot::Dec<'_>) -> Result<Self, vksim_snapshot::SnapError> {
+        let warp_id = d.u32()?;
+        let n = d.seq()?;
+        let mut scripts = Vec::with_capacity(n);
+        for _ in 0..n {
+            let ns = d.seq()?;
+            let mut script = Vec::with_capacity(ns);
+            for _ in 0..ns {
+                script.push(Step::load(d)?);
+            }
+            scripts.push(script);
+        }
+        Ok(WarpJob { warp_id, scripts })
     }
 }
 

@@ -88,6 +88,33 @@ impl Counters {
         self.values.is_empty()
     }
 
+    /// Serializes the bag for a machine-state snapshot: entry count, then
+    /// `(name, value)` pairs in name order (the map is a `BTreeMap`, so
+    /// the encoding is deterministic by construction).
+    pub fn save(&self, e: &mut vksim_snapshot::Enc) {
+        e.seq(self.values.len());
+        for (k, v) in &self.values {
+            e.str(k);
+            e.u64(*v);
+        }
+    }
+
+    /// Restores a bag written by [`Counters::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder errors on truncated or malformed payloads.
+    pub fn load(d: &mut vksim_snapshot::Dec<'_>) -> Result<Self, vksim_snapshot::SnapError> {
+        let n = d.seq()?;
+        let mut values = BTreeMap::new();
+        for _ in 0..n {
+            let k = d.str()?;
+            let v = d.u64()?;
+            values.insert(k, v);
+        }
+        Ok(Counters { values })
+    }
+
     /// Ratio `num / (num + den)` as a fraction in `[0, 1]`; returns 0 when
     /// both are zero. Convenient for hit rates.
     pub fn ratio(&self, num: &str, den: &str) -> f64 {
@@ -204,6 +231,21 @@ mod tests {
         c.add("cycles", 42);
         assert!(c.to_string().contains("cycles = 42"));
         assert!(!Counters::new().to_string().is_empty());
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_exact_and_deterministic() {
+        let mut c = Counters::new();
+        c.add("l1.hit", 4);
+        c.add("gpu.cycles", u64::MAX);
+        let mut e = vksim_snapshot::Enc::new();
+        c.save(&mut e);
+        let bytes = e.into_bytes();
+        let back = Counters::load(&mut vksim_snapshot::Dec::new(&bytes)).unwrap();
+        assert_eq!(back, c);
+        let mut e2 = vksim_snapshot::Enc::new();
+        back.save(&mut e2);
+        assert_eq!(e2.into_bytes(), bytes);
     }
 
     #[test]

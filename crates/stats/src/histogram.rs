@@ -149,6 +149,43 @@ impl Histogram {
         }
     }
 
+    /// Serializes the full histogram state (including empty trailing bins
+    /// and the running min/max/sum, so a restored histogram is
+    /// indistinguishable from the original) for a machine-state snapshot.
+    pub fn save(&self, e: &mut vksim_snapshot::Enc) {
+        e.f64(self.bin_width);
+        e.seq(self.bins.len());
+        for &b in &self.bins {
+            e.u64(b);
+        }
+        e.u64(self.count);
+        e.f64(self.sum);
+        e.f64(self.min);
+        e.f64(self.max);
+    }
+
+    /// Restores a histogram written by [`Histogram::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder errors on truncated or malformed payloads.
+    pub fn load(d: &mut vksim_snapshot::Dec<'_>) -> Result<Self, vksim_snapshot::SnapError> {
+        let bin_width = d.f64()?;
+        let n = d.seq()?;
+        let mut bins = Vec::with_capacity(n);
+        for _ in 0..n {
+            bins.push(d.u64()?);
+        }
+        Ok(Histogram {
+            bin_width,
+            bins,
+            count: d.u64()?,
+            sum: d.f64()?,
+            min: d.f64()?,
+            max: d.f64()?,
+        })
+    }
+
     /// Iterates `(bin_lower_edge, count)` over non-empty bins.
     pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
         self.bins
@@ -254,6 +291,27 @@ mod tests {
     #[should_panic(expected = "bin width")]
     fn zero_bin_width_panics() {
         let _ = Histogram::new(0.0);
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_everything() {
+        let mut h = Histogram::new(10.0);
+        for v in [1.0, 250.5, 3.25] {
+            h.record(v);
+        }
+        let mut e = vksim_snapshot::Enc::new();
+        h.save(&mut e);
+        let bytes = e.into_bytes();
+        let back = Histogram::load(&mut vksim_snapshot::Dec::new(&bytes)).unwrap();
+        assert_eq!(back, h);
+        // An empty histogram's infinite min/max round-trip through bits.
+        let empty = Histogram::new(2.0);
+        let mut e = vksim_snapshot::Enc::new();
+        empty.save(&mut e);
+        let bytes = e.into_bytes();
+        let back = Histogram::load(&mut vksim_snapshot::Dec::new(&bytes)).unwrap();
+        assert_eq!(back, empty);
+        assert_eq!(back.min(), None);
     }
 
     #[test]

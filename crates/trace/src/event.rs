@@ -16,6 +16,28 @@ pub struct Event {
     pub kind: EventKind,
 }
 
+impl Event {
+    /// Serializes one event for a machine-state snapshot.
+    pub fn save(&self, e: &mut vksim_snapshot::Enc) {
+        e.u64(self.cycle);
+        e.u32(self.warp);
+        self.kind.save(e);
+    }
+
+    /// Restores an event written by [`Event::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder errors on truncated or malformed payloads.
+    pub fn load(d: &mut vksim_snapshot::Dec<'_>) -> Result<Self, vksim_snapshot::SnapError> {
+        Ok(Event {
+            cycle: d.u64()?,
+            warp: d.u32()?,
+            kind: EventKind::load(d)?,
+        })
+    }
+}
+
 /// Event payloads. Span begin/end pairs (`StallBegin`/`StallEnd`,
 /// `RtBusyBegin`/`RtBusyEnd`) are always properly nested per track; the
 /// recorder closes open spans at end of run.
@@ -131,6 +153,83 @@ impl EventKind {
             EventKind::DramRowActivate { .. } => "row_activate",
             EventKind::IcntStallBegin | EventKind::IcntStallEnd { .. } => "icnt_stall",
         }
+    }
+
+    /// Serializes the kind losslessly (unlike [`EventKind::args`], which
+    /// flattens payloads) using [`EventKind::code`] as the variant tag.
+    pub fn save(&self, e: &mut vksim_snapshot::Enc) {
+        e.u8(self.code() as u8);
+        match *self {
+            EventKind::Issue { pc, lanes } => {
+                e.u32(pc);
+                e.u32(lanes);
+            }
+            EventKind::StallEnd { cycles } | EventKind::IcntStallEnd { cycles } => e.u64(cycles),
+            EventKind::Diverge { pc } | EventKind::Reconverge { pc } => e.u32(pc),
+            EventKind::RtFinish { latency } => e.u64(latency),
+            EventKind::MshrAlloc { line, partition } | EventKind::MshrFill { line, partition } => {
+                e.u64(line);
+                e.u32(partition);
+            }
+            EventKind::DramRowActivate {
+                partition,
+                channel,
+                bank,
+            } => {
+                e.u32(partition);
+                e.u32(channel);
+                e.u32(bank);
+            }
+            EventKind::StallBegin
+            | EventKind::Retire
+            | EventKind::RtBusyBegin
+            | EventKind::RtBusyEnd
+            | EventKind::RtStart
+            | EventKind::IcntStallBegin => {}
+        }
+    }
+
+    /// Restores a kind written by [`EventKind::save`].
+    ///
+    /// # Errors
+    ///
+    /// An unknown variant tag is malformed.
+    pub fn load(d: &mut vksim_snapshot::Dec<'_>) -> Result<Self, vksim_snapshot::SnapError> {
+        Ok(match d.u8()? {
+            0 => EventKind::Issue {
+                pc: d.u32()?,
+                lanes: d.u32()?,
+            },
+            1 => EventKind::StallBegin,
+            2 => EventKind::StallEnd { cycles: d.u64()? },
+            3 => EventKind::Retire,
+            4 => EventKind::Diverge { pc: d.u32()? },
+            5 => EventKind::Reconverge { pc: d.u32()? },
+            6 => EventKind::RtBusyBegin,
+            7 => EventKind::RtBusyEnd,
+            8 => EventKind::RtStart,
+            9 => EventKind::RtFinish { latency: d.u64()? },
+            10 => EventKind::MshrAlloc {
+                line: d.u64()?,
+                partition: d.u32()?,
+            },
+            11 => EventKind::MshrFill {
+                line: d.u64()?,
+                partition: d.u32()?,
+            },
+            12 => EventKind::DramRowActivate {
+                partition: d.u32()?,
+                channel: d.u32()?,
+                bank: d.u32()?,
+            },
+            13 => EventKind::IcntStallBegin,
+            14 => EventKind::IcntStallEnd { cycles: d.u64()? },
+            t => {
+                return Err(vksim_snapshot::SnapError::Malformed(format!(
+                    "event kind tag {t}"
+                )))
+            }
+        })
     }
 
     /// The two payload words for flat encoding (unused slots are 0).

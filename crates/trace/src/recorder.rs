@@ -122,6 +122,84 @@ impl SmTracer {
         self.flight.iter()
     }
 
+    /// Serializes the recorder for a machine-state checkpoint. Checkpoints
+    /// are taken at cycle boundaries, after phase B drained `staged`, but
+    /// the staged buffer is encoded anyway so the codec has no implicit
+    /// precondition. All maps are `BTreeMap`s, so the encoding is
+    /// deterministic.
+    pub fn save(&self, e: &mut vksim_snapshot::Enc) {
+        e.seq(self.staged.len());
+        for ev in &self.staged {
+            ev.save(e);
+        }
+        e.seq(self.flight.len());
+        for ev in &self.flight {
+            ev.save(e);
+        }
+        e.usize(self.flight_depth);
+        e.seq(self.stall_since.len());
+        for (&warp, &since) in &self.stall_since {
+            e.u32(warp);
+            e.u64(since);
+        }
+        e.seq(self.pc_issues.len());
+        for (&pc, &n) in &self.pc_issues {
+            e.u32(pc);
+            e.u64(n);
+        }
+        e.seq(self.warp_stall_cycles.len());
+        for (&warp, &n) in &self.warp_stall_cycles {
+            e.u32(warp);
+            e.u64(n);
+        }
+        e.bool(self.rt_busy);
+        e.opt_u64(self.icnt_stall_since);
+    }
+
+    /// Restores a recorder written by [`SmTracer::save`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder errors on truncated or malformed payloads.
+    pub fn load(d: &mut vksim_snapshot::Dec<'_>) -> Result<Self, vksim_snapshot::SnapError> {
+        let n = d.seq()?;
+        let mut staged = Vec::with_capacity(n);
+        for _ in 0..n {
+            staged.push(Event::load(d)?);
+        }
+        let n = d.seq()?;
+        let mut flight = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            flight.push_back(Event::load(d)?);
+        }
+        let flight_depth = d.usize()?;
+        let mut stall_since = BTreeMap::new();
+        for _ in 0..d.seq()? {
+            let warp = d.u32()?;
+            stall_since.insert(warp, d.u64()?);
+        }
+        let mut pc_issues = BTreeMap::new();
+        for _ in 0..d.seq()? {
+            let pc = d.u32()?;
+            pc_issues.insert(pc, d.u64()?);
+        }
+        let mut warp_stall_cycles = BTreeMap::new();
+        for _ in 0..d.seq()? {
+            let warp = d.u32()?;
+            warp_stall_cycles.insert(warp, d.u64()?);
+        }
+        Ok(SmTracer {
+            staged,
+            flight,
+            flight_depth,
+            stall_since,
+            pc_issues,
+            warp_stall_cycles,
+            rt_busy: d.bool()?,
+            icnt_stall_since: d.opt_u64()?,
+        })
+    }
+
     /// Events staged since the last drain (for tests).
     pub fn staged_len(&self) -> usize {
         self.staged.len()
@@ -229,6 +307,88 @@ impl TraceCollector {
         for (&warp, &n) in &tracer.warp_stall_cycles {
             *self.warp_stalls.entry((sm, warp)).or_insert(0) += n;
         }
+    }
+
+    /// Serializes the collector's dynamic state (everything except the
+    /// [`TraceConfig`], which the resuming run supplies) for a
+    /// machine-state checkpoint. The interval-sampler cursor —
+    /// `last_snapshot` + `interval_start` — rides along, which is what
+    /// keeps a resumed run from re-emitting the last interval row or
+    /// differencing against a zeroed baseline.
+    pub fn save(&self, e: &mut vksim_snapshot::Enc) {
+        e.seq(self.events.len());
+        for (sm, ev) in &self.events {
+            e.u32(*sm);
+            ev.save(e);
+        }
+        e.u64(self.dropped);
+        e.seq(self.intervals.len());
+        for rec in &self.intervals {
+            rec.save(e);
+        }
+        self.last_snapshot.save(e);
+        e.u64(self.interval_start);
+        e.u64(self.sampler_underflows);
+        e.seq(self.pc_issues.len());
+        for (&pc, &n) in &self.pc_issues {
+            e.u32(pc);
+            e.u64(n);
+        }
+        e.seq(self.warp_stalls.len());
+        for (&(sm, warp), &n) in &self.warp_stalls {
+            e.u32(sm);
+            e.u32(warp);
+            e.u64(n);
+        }
+    }
+
+    /// Restores a collector written by [`TraceCollector::save`] under the
+    /// resuming run's `config`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decoder errors on truncated or malformed payloads.
+    pub fn load(
+        config: TraceConfig,
+        d: &mut vksim_snapshot::Dec<'_>,
+    ) -> Result<Self, vksim_snapshot::SnapError> {
+        let n = d.seq()?;
+        let mut events = Vec::with_capacity(n);
+        for _ in 0..n {
+            let sm = d.u32()?;
+            events.push((sm, Event::load(d)?));
+        }
+        let dropped = d.u64()?;
+        let n = d.seq()?;
+        let mut intervals = Vec::with_capacity(n);
+        for _ in 0..n {
+            intervals.push(IntervalRecord::load(d)?);
+        }
+        let last_snapshot = IntervalSnapshot::load(d)?;
+        let interval_start = d.u64()?;
+        let sampler_underflows = d.u64()?;
+        let mut pc_issues = BTreeMap::new();
+        for _ in 0..d.seq()? {
+            let pc = d.u32()?;
+            pc_issues.insert(pc, d.u64()?);
+        }
+        let mut warp_stalls = BTreeMap::new();
+        for _ in 0..d.seq()? {
+            let sm = d.u32()?;
+            let warp = d.u32()?;
+            warp_stalls.insert((sm, warp), d.u64()?);
+        }
+        Ok(TraceCollector {
+            config,
+            events,
+            dropped,
+            intervals,
+            last_snapshot,
+            interval_start,
+            sampler_underflows,
+            pc_issues,
+            warp_stalls,
+        })
     }
 
     /// Finishes collection into an exportable report.
@@ -388,6 +548,59 @@ mod tests {
         assert_eq!(r.intervals[1].delta.issued_insts, 300);
         assert_eq!(r.intervals[1].start, 1000);
         assert_eq!(r.intervals[1].len, 1000);
+    }
+
+    #[test]
+    fn tracer_and_collector_snapshot_round_trip() {
+        let mut t = SmTracer::new(&cfg());
+        t.issue(5, 2, 0x80, 32);
+        t.stall_begin(6, 1);
+        t.rt_busy_edge(7, true);
+        t.icnt_stall_edge(8, true);
+        let mut c = TraceCollector::new(cfg());
+        c.sample(
+            100,
+            IntervalSnapshot {
+                issued_insts: 12,
+                ..Default::default()
+            },
+        );
+        c.drain_sm(0, &mut t);
+        // Round-trip the tracer, open spans and all.
+        let mut e = vksim_snapshot::Enc::new();
+        t.save(&mut e);
+        let bytes = e.into_bytes();
+        let mut back = SmTracer::load(&mut vksim_snapshot::Dec::new(&bytes)).unwrap();
+        assert_eq!(back.stall_since, t.stall_since);
+        assert_eq!(back.rt_busy, t.rt_busy);
+        assert_eq!(back.icnt_stall_since, t.icnt_stall_since);
+        let mut e2 = vksim_snapshot::Enc::new();
+        back.save(&mut e2);
+        assert_eq!(e2.into_bytes(), bytes, "re-encoding is byte-idempotent");
+        // The restored tracer closes its open spans exactly like the
+        // original would.
+        back.finalize(20);
+        t.finalize(20);
+        assert_eq!(back.warp_stall_cycles, t.warp_stall_cycles);
+        // Round-trip the collector; the sampler cursor must survive so the
+        // next sample differences against the right baseline.
+        let mut e = vksim_snapshot::Enc::new();
+        c.save(&mut e);
+        let bytes = e.into_bytes();
+        let mut back = TraceCollector::load(cfg(), &mut vksim_snapshot::Dec::new(&bytes)).unwrap();
+        assert_eq!(back.interval_start, 100);
+        assert_eq!(back.last_snapshot.issued_insts, 12);
+        back.sample(
+            200,
+            IntervalSnapshot {
+                issued_insts: 30,
+                ..Default::default()
+            },
+        );
+        let r = back.finish(200, 1);
+        assert_eq!(r.intervals.len(), 2, "no duplicate rows after restore");
+        assert_eq!(r.intervals[1].delta.issued_insts, 18);
+        assert_eq!(r.events.len(), 4);
     }
 
     #[test]

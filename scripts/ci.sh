@@ -95,6 +95,16 @@ if command -v python3 >/dev/null 2>&1; then
 fi
 cargo test --offline -q -p vksim-bench --test trace_export
 
+# Chaos recovery drill: a fixed-seed campaign kills checkpointed runs
+# with injected worker panics at pseudo-random cycles, auto-resumes each
+# from its last checkpoint, and requires the recovered golden counters to
+# match the uninterrupted reference byte for byte (plus checkpoint
+# idempotency and corrupt-snapshot rejection, per
+# tests/snapshot_recovery.rs).
+step "chaos checkpoint/recovery campaign (VKSIM_CHAOS_ITERS=5)"
+VKSIM_CHAOS_ITERS=5 VKSIM_DUMP_DIR="$(mktemp -d)" \
+    cargo test --offline -q -p vksim-bench --test snapshot_recovery
+
 # Stage group 2: bench smoke and example runs only execute already-built
 # (or cheaply built) artifacts — overlap them.
 bench_out="$(mktemp -d)"

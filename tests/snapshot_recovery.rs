@@ -1,0 +1,294 @@
+//! Checkpoint/restore validation: deterministic crash recovery.
+//!
+//! The contract under test: a run killed at an arbitrary point and resumed
+//! from its last checkpoint produces **byte-identical** counters, golden
+//! snapshots and functional memory to an uninterrupted run — on the serial
+//! reference engine (threads = 1) and the parallel engine (threads = 4),
+//! on the paper-scale partitioned config and the bounded-interconnect
+//! config whose backpressure state must survive the snapshot.
+//!
+//! * Observer purity: enabling checkpointing moves no counter.
+//! * Resume equivalence: complete a checkpointed run, re-run from an
+//!   intermediate checkpoint, demand byte-equal snapshots.
+//! * Idempotency: two resumes from the same checkpoint agree, and the
+//!   checkpoint files a resumed run rewrites are byte-identical to the
+//!   originals.
+//! * Chaos: a fixed-seed campaign (`VKSIM_CHAOS_ITERS` iterations) injects
+//!   worker panics at pseudo-random cycles, auto-resumes from the last
+//!   checkpoint, and gates the final counters against the uninterrupted
+//!   run.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use vksim_core::{RunReport, SimConfig, SimError, Simulator, WorkerPanicSpec};
+use vksim_scenes::{build, Scale, Workload, WorkloadKind};
+
+/// The golden-suite counter flattening: every integer-exact quantity the
+/// drift gate pins, so "recovered run matches" means matches at golden
+/// granularity, not just headline cycles.
+fn snapshot(report: &RunReport) -> BTreeMap<String, u64> {
+    let mut m = BTreeMap::new();
+    let gpu = &report.gpu;
+    m.insert("gpu.cycles".into(), gpu.cycles);
+    m.insert("gpu.issued_insts".into(), gpu.issued_insts);
+    m.insert("gpu.rt_busy_cycles".into(), gpu.rt_busy_cycles);
+    m.insert(
+        "gpu.rt_resident_warp_cycles".into(),
+        gpu.rt_resident_warp_cycles,
+    );
+    m.insert("gpu.rt_ops".into(), gpu.rt_ops);
+    m.insert("gpu.rt_chunks_fetched".into(), gpu.rt_chunks_fetched);
+    m.insert(
+        "gpu.rt_warp_latency.count".into(),
+        gpu.rt_warp_latency.count(),
+    );
+    m.insert(
+        "gpu.rt_occupancy.events".into(),
+        gpu.rt_occupancy.iter().map(|t| t.len() as u64).sum(),
+    );
+    for (k, v) in gpu.counters.iter() {
+        m.insert(format!("counter.{k}"), v);
+    }
+    for (prefix, bag) in [
+        ("l1", &gpu.l1_stats),
+        ("rtc", &gpu.rtc_stats),
+        ("l2", &gpu.l2_stats),
+        ("dram", &gpu.dram_stats),
+    ] {
+        for (k, v) in bag.iter() {
+            m.insert(format!("{prefix}.{k}"), v);
+        }
+    }
+    let rt = &report.runtime;
+    m.insert("runtime.rays".into(), rt.rays);
+    m.insert("runtime.nodes_visited".into(), rt.nodes_visited);
+    m.insert("runtime.triangle_tests".into(), rt.triangle_tests);
+    m.insert("runtime.triangle_hits".into(), rt.triangle_hits);
+    m.insert("runtime.misses".into(), rt.misses);
+    m.insert("runtime.spill_stores".into(), rt.spill_stores);
+    m.insert("runtime.spill_loads".into(), rt.spill_loads);
+    m
+}
+
+/// A fresh private checkpoint directory per test invocation.
+fn ckpt_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("vksim-snap-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+    dir
+}
+
+/// Checkpoint files in `dir`, sorted by checkpoint cycle.
+fn checkpoints_in(dir: &Path) -> Vec<(u64, PathBuf)> {
+    let mut found: Vec<(u64, PathBuf)> = std::fs::read_dir(dir)
+        .expect("checkpoint dir readable")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter_map(|p| {
+            let cycle = p
+                .file_stem()?
+                .to_str()?
+                .strip_prefix("ckpt-")?
+                .parse::<u64>()
+                .ok()?;
+            Some((cycle, p))
+        })
+        .collect();
+    found.sort();
+    found
+}
+
+/// The two configurations the tentpole contract names: paper-scale
+/// partitioned memory, and the same machine behind a bounded interconnect
+/// (ingress queues + return credits must survive the snapshot).
+fn named_config(icnt_bounded: bool, threads: usize) -> SimConfig {
+    let base = SimConfig::paper().with_threads(threads);
+    if icnt_bounded {
+        base.with_icnt_queue_depth(4).with_icnt_return_credits(2)
+    } else {
+        base
+    }
+}
+
+fn run_plain(config: SimConfig, w: &Workload) -> RunReport {
+    Simulator::new(config)
+        .run(&w.device, &w.cmd)
+        .expect("healthy run")
+}
+
+/// Enabling checkpointing must be a pure observer: the checkpointed run's
+/// golden snapshot is byte-equal to the plain run's, for both named
+/// configs at both thread counts.
+#[test]
+fn checkpointing_does_not_change_counters() {
+    let w = build(WorkloadKind::Tri, Scale::Test);
+    for icnt in [false, true] {
+        for threads in [1usize, 4] {
+            let golden = snapshot(&run_plain(named_config(icnt, threads), &w));
+            let dir = ckpt_dir(&format!("pure-{icnt}-{threads}"));
+            let cfg =
+                named_config(icnt, threads).with_checkpoint(500, dir.to_string_lossy().to_string());
+            let report = run_plain(cfg, &w);
+            assert!(
+                !checkpoints_in(&dir).is_empty(),
+                "icnt={icnt} threads={threads}: checkpoints were written"
+            );
+            assert_eq!(
+                golden,
+                snapshot(&report),
+                "icnt={icnt} threads={threads}: checkpointing moved a counter"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// Resume equivalence at a pseudo-random checkpoint: complete a
+/// checkpointed run, pick an intermediate checkpoint with a fixed-seed
+/// LCG, resume from it, and demand byte-equal golden snapshots and
+/// byte-identical later checkpoint files (idempotency).
+#[test]
+fn resume_from_random_checkpoint_is_bit_identical() {
+    let w = build(WorkloadKind::Tri, Scale::Test);
+    let mut lcg: u64 = 0xC0FFEE;
+    let mut next = |bound: u64| {
+        lcg = lcg.wrapping_mul(1664525).wrapping_add(1013904223);
+        lcg % bound.max(1)
+    };
+    for icnt in [false, true] {
+        for threads in [1usize, 4] {
+            let dir = ckpt_dir(&format!("resume-{icnt}-{threads}"));
+            let cfg = || {
+                named_config(icnt, threads).with_checkpoint(400, dir.to_string_lossy().to_string())
+            };
+            let reference = run_plain(cfg(), &w);
+            let ckpts = checkpoints_in(&dir);
+            assert!(
+                ckpts.len() >= 2,
+                "icnt={icnt} threads={threads}: expected several checkpoints, got {}",
+                ckpts.len()
+            );
+            let originals: Vec<(u64, Vec<u8>)> = ckpts
+                .iter()
+                .map(|(c, p)| (*c, std::fs::read(p).expect("checkpoint readable")))
+                .collect();
+            let pick = &ckpts[next(ckpts.len() as u64 - 1) as usize];
+            let resume = |label: &str| {
+                Simulator::new(cfg())
+                    .resume(&w.device, &w.cmd, &pick.1)
+                    .unwrap_or_else(|e| {
+                        panic!("icnt={icnt} threads={threads}: {label} resume failed: {e}")
+                    })
+            };
+            let resumed = resume("first");
+            assert_eq!(
+                snapshot(&reference),
+                snapshot(&resumed),
+                "icnt={icnt} threads={threads}: resume from cycle {} drifted",
+                pick.0
+            );
+            // The resumed run rewrote every checkpoint after the pick;
+            // idempotency demands the rewrites are byte-identical.
+            for (cycle, original) in originals.iter().filter(|(c, _)| *c > pick.0) {
+                let rewritten = std::fs::read(dir.join(format!("ckpt-{cycle}.vksnap")))
+                    .expect("rewritten checkpoint readable");
+                assert_eq!(
+                    original, &rewritten,
+                    "icnt={icnt} threads={threads}: checkpoint at cycle {cycle} \
+                     is not idempotent across resume"
+                );
+            }
+            // A second resume from the same file agrees with the first.
+            let again = resume("second");
+            assert_eq!(
+                snapshot(&resumed),
+                snapshot(&again),
+                "icnt={icnt} threads={threads}: two resumes from one checkpoint disagree"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// Fixed-seed chaos campaign: each iteration injects a worker panic at a
+/// pseudo-random cycle of a checkpointed run, auto-resumes from the last
+/// surviving checkpoint, and gates the recovered counters against the
+/// uninterrupted reference. `VKSIM_CHAOS_ITERS` scales the campaign (CI
+/// runs more; the default keeps `cargo test` quick).
+#[test]
+fn chaos_kill_and_resume_recovers_golden_counters() {
+    let iters: u64 = std::env::var("VKSIM_CHAOS_ITERS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(2);
+    let w = build(WorkloadKind::Tri, Scale::Test);
+    let mut lcg: u64 = 0xDEADBEEF;
+    let mut next = |bound: u64| {
+        lcg = lcg.wrapping_mul(1664525).wrapping_add(1013904223);
+        lcg % bound.max(1)
+    };
+    for iter in 0..iters {
+        let icnt = next(2) == 1;
+        let threads = if next(2) == 1 { 4 } else { 1 };
+        let reference = run_plain(named_config(icnt, threads), &w);
+        let every = (reference.gpu.cycles / 6).max(1);
+        // Kill somewhere after the first checkpoint and before the end.
+        let kill_cycle = every + 1 + next(reference.gpu.cycles.saturating_sub(every + 2));
+        let sm = next(48) as usize;
+        let dir = ckpt_dir(&format!("chaos-{iter}"));
+        let mut cfg =
+            named_config(icnt, threads).with_checkpoint(every, dir.to_string_lossy().to_string());
+        cfg.gpu.fault_plan.worker_panic = Some(WorkerPanicSpec {
+            sm,
+            cycle: kill_cycle,
+        });
+        let failure = Simulator::new(cfg.clone())
+            .run(&w.device, &w.cmd)
+            .expect_err("injected panic must kill the run");
+        assert!(
+            matches!(failure.error, SimError::WorkerPanicked { .. }),
+            "iter {iter}: unexpected failure class: {failure}"
+        );
+        let ckpts = checkpoints_in(&dir);
+        let (last_cycle, last_path) = ckpts.last().expect("a checkpoint survived the kill");
+        assert!(
+            *last_cycle <= kill_cycle,
+            "iter {iter}: checkpoints stop at the kill"
+        );
+        // Auto-resume: same config (panic still in the plan — resume must
+        // clear it, or the recovery dies at the same cycle again).
+        let recovered = Simulator::new(cfg)
+            .resume(&w.device, &w.cmd, last_path)
+            .unwrap_or_else(|e| panic!("iter {iter}: resume from cycle {last_cycle} failed: {e}"));
+        assert_eq!(
+            snapshot(&reference),
+            snapshot(&recovered),
+            "iter {iter}: icnt={icnt} threads={threads} kill@{kill_cycle} sm{sm} \
+             resume@{last_cycle}: recovered counters drifted"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// A corrupted checkpoint (bit flip in the payload) must be refused with
+/// a structured `SnapshotMismatch`, not garbage state.
+#[test]
+fn corrupt_checkpoint_is_rejected() {
+    let w = build(WorkloadKind::Tri, Scale::Test);
+    let dir = ckpt_dir("corrupt");
+    let cfg = || SimConfig::test_small().with_checkpoint(500, dir.to_string_lossy().to_string());
+    run_plain(cfg(), &w);
+    let (_, path) = checkpoints_in(&dir).pop().expect("checkpoint written");
+    let mut bytes = std::fs::read(&path).expect("checkpoint readable");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    let failure = Simulator::new(cfg())
+        .resume(&w.device, &w.cmd, &path)
+        .expect_err("corrupt checkpoint must be refused");
+    assert!(
+        matches!(failure.error, SimError::SnapshotMismatch { .. }),
+        "{failure}"
+    );
+    assert!(failure.report.is_none(), "the run never started");
+    let _ = std::fs::remove_dir_all(&dir);
+}

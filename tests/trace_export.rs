@@ -13,9 +13,9 @@
 //! * Flight recorder: an induced hang embeds the last trace events per SM
 //!   in the post-mortem dump.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use vksim_bench::run_workload;
-use vksim_core::{RunReport, SimConfig, Simulator};
+use vksim_core::{RunReport, SimConfig, Simulator, WorkerPanicSpec};
 use vksim_scenes::{build, Scale, WorkloadKind};
 use vksim_testkit::json::{parse_flat_u64_object, parse_json, JsonValue};
 use vksim_trace::{
@@ -324,6 +324,70 @@ fn exporter_writes_requested_files() {
     assert!(csv_text.starts_with("start,len,"));
     let _ = std::fs::remove_file(&out);
     let _ = std::fs::remove_file(&csv);
+}
+
+/// Interval-sampler continuity across checkpoint/resume: a traced run
+/// killed mid-flight and resumed from its last checkpoint must serialize
+/// the identical interval CSV and Chrome trace as an uninterrupted run.
+/// The checkpoint period (300) is deliberately *not* a multiple of the
+/// sampler interval (256), so every resume lands mid-interval — a resume
+/// that reset the sampler cursor would emit a duplicate or short row, and
+/// one that reset the saturating-delta baselines would inflate the first
+/// post-resume deltas.
+#[test]
+fn sampler_survives_resume_without_duplicate_intervals() {
+    let w = build(WorkloadKind::Tri, Scale::Test);
+    let reference = Simulator::new(traced_config(1))
+        .run(&w.device, &w.cmd)
+        .expect("healthy run");
+    let dir = std::env::temp_dir().join(format!("vksim-trace-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = || {
+        let mut c = traced_config(1).with_checkpoint(300, dir.to_string_lossy().to_string());
+        c.gpu.fault_plan.worker_panic = Some(WorkerPanicSpec {
+            sm: 0,
+            cycle: (reference.gpu.cycles * 2 / 3).max(301),
+        });
+        c
+    };
+    Simulator::new(cfg())
+        .run(&w.device, &w.cmd)
+        .expect_err("injected panic kills the run");
+    let last_ckpt = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "vksnap"))
+        .max_by_key(|p| {
+            p.file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|s| s.strip_prefix("ckpt-"))
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(0)
+        })
+        .expect("checkpoint written before the kill");
+    let resumed = Simulator::new(cfg())
+        .resume(&w.device, &w.cmd, &last_ckpt)
+        .expect("resume completes");
+    let csv = interval_csv(trace_of(&resumed));
+    assert_eq!(
+        interval_csv(trace_of(&reference)),
+        csv,
+        "resumed interval series must be byte-identical to uninterrupted"
+    );
+    let starts: Vec<&str> = csv
+        .lines()
+        .skip(1)
+        .map(|l| l.split(',').next().unwrap())
+        .collect();
+    let unique: BTreeSet<&&str> = starts.iter().collect();
+    assert_eq!(starts.len(), unique.len(), "no duplicated interval rows");
+    assert_eq!(
+        chrome_trace_json(trace_of(&reference)),
+        chrome_trace_json(trace_of(&resumed)),
+        "resumed Chrome trace must be byte-identical to uninterrupted"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
