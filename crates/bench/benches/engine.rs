@@ -17,17 +17,27 @@ fn main() {
     let mut b = Bench::new("engine");
 
     // 8 SMs (mobile config); Ext is the heaviest of the golden workloads.
+    // Each (threads, accounting) variant is gated at 2% against its own
+    // recorded baseline, so both the disabled-path cost of the
+    // observability hooks AND the enabled cost of cycle accounting are
+    // bounded — an attribution change that slows the profiled tick loop
+    // fails the `_prof` entries without touching the plain ones.
     for threads in [1usize, 4] {
-        let config = SimConfig::mobile().with_threads(threads);
-        b.bench(&format!("ext_8sm/threads_{threads}"), || {
-            let cfg = config.clone();
-            black_box(
-                run_workload(WorkloadKind::Ext, Scale::Test, cfg)
-                    .1
-                    .gpu
-                    .cycles,
-            )
-        });
+        for accounting in [false, true] {
+            let config = SimConfig::mobile()
+                .with_threads(threads)
+                .with_accounting(accounting);
+            let suffix = if accounting { "_prof" } else { "" };
+            b.bench(&format!("ext_8sm/threads_{threads}{suffix}"), || {
+                let cfg = config.clone();
+                black_box(
+                    run_workload(WorkloadKind::Ext, Scale::Test, cfg)
+                        .1
+                        .gpu
+                        .cycles,
+                )
+            });
+        }
     }
 
     b.finish();

@@ -3,6 +3,7 @@
 //! ```text
 //! vksim-experiments [EXPERIMENT] [--scale test|small|paper]
 //!                   [--trace=FILE.json] [--trace-interval=CYCLES]
+//!                   [--prof=FILE.json] [--prof-summary]
 //! ```
 //!
 //! Without arguments, runs every experiment at test scale. Experiments:
@@ -15,6 +16,13 @@
 //! into the same file — trace a single experiment at a time).
 //! `--trace-interval=CYCLES` sets the interval-metrics sampler period
 //! (`VKSIM_TRACE_INTERVAL`).
+//!
+//! `--prof=FILE.json` enables per-SM cycle accounting and writes the
+//! flat-JSON stall breakdown (it maps to `VKSIM_PROF`, so — like
+//! `--trace` — profile a single experiment at a time; `-` prints to
+//! stderr). `--prof-summary` runs every workload with accounting on and
+//! prints the human-readable stall table: top stall category, SIMT
+//! efficiency, achieved vs peak IPC and warp occupancy.
 
 use vksim_bench as x;
 use vksim_core::SimConfig;
@@ -36,6 +44,18 @@ fn main() {
             std::env::set_var("VKSIM_TRACE", path);
         } else if let Some(iv) = a.strip_prefix("--trace-interval=") {
             std::env::set_var("VKSIM_TRACE_INTERVAL", iv);
+        } else if let Some(path) = a.strip_prefix("--prof=") {
+            std::env::set_var("VKSIM_PROF", path);
+        }
+    }
+    let prof_summary = args.iter().any(|a| a == "--prof-summary");
+    if prof_summary {
+        println!("== Cycle accounting: per-workload stall breakdown ==");
+        for (name, summary) in x::prof_summary_rows(scale) {
+            println!("\n-- {name} --");
+            for line in summary.lines() {
+                println!("  {line}");
+            }
         }
     }
     let which: Vec<&str> = args
@@ -43,7 +63,9 @@ fn main() {
         .filter(|a| !a.starts_with("--"))
         .map(|s| s.as_str())
         .collect();
-    let all = which.is_empty();
+    // `--prof-summary` alone is a complete invocation; named experiments
+    // can still be combined with it.
+    let all = which.is_empty() && !prof_summary;
     let want = |name: &str| all || which.contains(&name);
 
     if want("tab02") {

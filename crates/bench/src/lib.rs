@@ -34,6 +34,22 @@ pub fn run_workload(kind: WorkloadKind, scale: Scale, config: SimConfig) -> (Wor
     (w, report)
 }
 
+/// Runs each workload with cycle accounting enabled and returns its
+/// human-readable stall summary (the `--prof-summary` report: top stall
+/// category, SIMT efficiency, achieved vs peak IPC, occupancy).
+pub fn prof_summary_rows(scale: Scale) -> Vec<(&'static str, String)> {
+    WorkloadKind::ALL
+        .iter()
+        .map(|&k| {
+            let config = config_for_scale(scale).with_accounting(true);
+            let (w, report) = run_workload(k, scale, config);
+            let prof = report.prof.expect("accounting enabled");
+            debug_assert!(prof.conservation_holds());
+            (w.name, prof.summary())
+        })
+        .collect()
+}
+
 /// One row shared by several experiments.
 #[derive(Clone, Debug)]
 pub struct WorkloadRow {

@@ -42,6 +42,7 @@ pub fn config_fingerprint(config: &GpuConfig, device: &Device, cmd: &TraceRaysCo
         fault_plan: FaultPlan::default(),
         checkpoint_every: 0,
         checkpoint_dir: None,
+        checkpoint_keep: 0,
         trace: TraceConfig {
             enabled: trace.enabled,
             out: None,
@@ -50,6 +51,10 @@ pub fn config_fingerprint(config: &GpuConfig, device: &Device, cmd: &TraceRaysCo
             interval: trace.interval,
             flight_depth: trace.flight_depth,
             max_events: trace.max_events,
+            // Accounting shapes per-SM snapshot state (like `enabled`
+            // shapes collector state); the output path does not.
+            accounting: trace.accounting,
+            prof: None,
         },
         ..config.clone()
     };
@@ -142,7 +147,9 @@ mod tests {
         harness.max_cycles = 123;
         harness.checkpoint_every = 1000;
         harness.checkpoint_dir = Some("/tmp/ckpts".into());
+        harness.checkpoint_keep = 2;
         harness.fault_plan.stall_warp = Some(3);
+        harness.trace.prof = Some("/tmp/prof.json".into());
         assert_eq!(
             config_fingerprint(&base, &device, &cmd),
             config_fingerprint(&harness, &device, &cmd),
@@ -166,6 +173,13 @@ mod tests {
             config_fingerprint(&base, &device, &cmd),
             config_fingerprint(&base, &device2, &cmd2),
             "launch dims are part of the work"
+        );
+        let mut acct = SimConfig::test_small().resolve();
+        acct.trace.accounting = true;
+        assert_ne!(
+            config_fingerprint(&base, &device, &cmd),
+            config_fingerprint(&acct, &device, &cmd),
+            "accounting shapes per-SM snapshot state"
         );
     }
 }

@@ -104,6 +104,33 @@ impl SimConfig {
         self
     }
 
+    /// Enables cycle-accounting (the `VKSIM_PROF` profiler): every SM
+    /// cycle is attributed to exactly one stall category, with the
+    /// breakdown available as [`crate::RunReport::prof`]. Independent of
+    /// event tracing; tests pass an explicit flag here instead of relying
+    /// on the `VKSIM_PROF` environment override.
+    pub fn with_accounting(mut self, on: bool) -> Self {
+        self.gpu.trace.accounting = on;
+        self
+    }
+
+    /// Enables cycle-accounting and writes its flat-JSON breakdown to
+    /// `path` at the end of the run (`-` prints to stderr).
+    pub fn with_prof(mut self, path: impl Into<String>) -> Self {
+        self.gpu.trace.accounting = true;
+        self.gpu.trace.prof = Some(path.into());
+        self
+    }
+
+    /// Sets how many periodic checkpoints to retain: after each
+    /// successful checkpoint write, all but the newest `keep`
+    /// `ckpt-*.vksnap` files are pruned from the checkpoint directory.
+    /// `0` (the default) keeps every checkpoint.
+    pub fn with_checkpoint_keep(mut self, keep: u64) -> Self {
+        self.gpu.checkpoint_keep = keep;
+        self
+    }
+
     /// Sets the number of independent memory partitions (L2 slice + DRAM
     /// channel group each); `1` is the monolithic backend.
     pub fn with_partitions(mut self, n: u32) -> Self {
@@ -228,6 +255,19 @@ mod tests {
                 .num_partitions,
             1
         );
+    }
+
+    #[test]
+    fn accounting_and_retention_builders() {
+        let c = SimConfig::test_small()
+            .with_prof("/tmp/p.json")
+            .with_checkpoint_keep(3);
+        assert!(c.gpu.trace.accounting);
+        assert_eq!(c.gpu.trace.prof.as_deref(), Some("/tmp/p.json"));
+        assert_eq!(c.gpu.checkpoint_keep, 3);
+        let c = SimConfig::test_small().with_accounting(true);
+        assert!(c.gpu.trace.accounting);
+        assert!(c.gpu.trace.prof.is_none());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use vksim_isa::interp::{run_to_exit, ExecError, ThreadState};
 use vksim_isa::SimMemory;
 use vksim_power::{ActivityCounts, PowerModel, PowerReport};
 use vksim_snapshot::Snapshot;
-use vksim_trace::{chrome_trace_json, hotspot_summary, interval_csv, TraceReport};
+use vksim_trace::{chrome_trace_json, hotspot_summary, interval_csv, ProfReport, TraceReport};
 use vksim_vulkan::{Device, TraceRaysCommand};
 
 /// Everything a simulated `vkCmdTraceRaysKHR` produced.
@@ -28,6 +28,10 @@ pub struct RunReport {
     /// The cycle-level trace, when tracing was enabled (any exporter files
     /// requested in the config have already been written).
     pub trace: Option<TraceReport>,
+    /// The cycle-accounting breakdown, when accounting was enabled
+    /// (`VKSIM_PROF` / [`vksim_trace::TraceConfig::accounting`]; the flat
+    /// JSON export, if requested, has already been written).
+    pub prof: Option<ProfReport>,
 }
 
 /// A classified simulation failure.
@@ -160,6 +164,7 @@ impl Simulator {
         };
         let threads = gpu_config.effective_threads();
         let every = gpu_config.effective_checkpoint_every();
+        let keep = gpu_config.effective_checkpoint_keep();
         let ckpt_dir = gpu_config.effective_checkpoint_dir();
         let num_sms = gpu_config.num_sms;
         let mut gpu = GpuSim::new(gpu_config);
@@ -221,6 +226,8 @@ impl Simulator {
                     // dies because a checkpoint could not be written.
                     if let Err(e) = snap.write_atomic(&path) {
                         eprintln!("vksim: failed to write checkpoint {}: {e}", path.display());
+                    } else {
+                        prune_checkpoints(Path::new(&dir), keep);
                     }
                 }
                 Err(fault) => break Err(fault),
@@ -248,6 +255,13 @@ impl Simulator {
         if let Some(t) = &trace {
             export_trace(t);
         }
+        // Profile export too: a faulted run's partial breakdown is exactly
+        // what post-mortem analysis wants (conservation only holds for
+        // healthy runs; fault paths can leave SMs unticked mid-cycle).
+        let prof = gpu.prof_report();
+        if let (Some(p), Some(path)) = (&prof, &gpu.config().effective_trace().prof) {
+            export_prof(path, p);
+        }
         match outcome {
             Ok(stats) => {
                 let power = power_from_stats(&stats);
@@ -257,6 +271,7 @@ impl Simulator {
                     power,
                     memory,
                     trace,
+                    prof,
                 })
             }
             Err(fault) => {
@@ -268,6 +283,7 @@ impl Simulator {
                     power,
                     memory,
                     trace,
+                    prof,
                 };
                 Err(Box::new(SimFailure {
                     error,
@@ -346,6 +362,61 @@ fn export_trace(report: &TraceReport) {
     for (path, contents) in outputs {
         if let Err(e) = std::fs::write(path, contents) {
             eprintln!("vksim: failed to write trace file {path}: {e}");
+        }
+    }
+}
+
+/// Writes the cycle-accounting breakdown requested by the trace config
+/// (`VKSIM_PROF`): flat `name -> u64` JSON, golden-comparable; `-` prints
+/// to stderr. Export failures are warnings, exactly like trace export.
+fn export_prof(path: &str, report: &ProfReport) {
+    let json = report.flat_json();
+    if path == "-" {
+        eprintln!("{json}");
+    } else if let Err(e) = std::fs::write(path, json) {
+        eprintln!("vksim: failed to write profile {path}: {e}");
+    }
+}
+
+/// Prunes all but the newest `keep` periodic `ckpt-*.vksnap` files in
+/// `dir` after a successful checkpoint write; `keep == 0` retains
+/// everything. Failures are warnings — retention must never kill a
+/// healthy run.
+fn prune_checkpoints(dir: &Path, keep: u64) {
+    if keep == 0 {
+        return;
+    }
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!(
+                "vksim: cannot scan checkpoint dir {} for pruning: {e}",
+                dir.display()
+            );
+            return;
+        }
+    };
+    let mut ckpts: Vec<(u64, PathBuf)> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter_map(|p| {
+            let cycle = p
+                .file_name()?
+                .to_str()?
+                .strip_prefix("ckpt-")?
+                .strip_suffix(".vksnap")?
+                .parse::<u64>()
+                .ok()?;
+            Some((cycle, p))
+        })
+        .collect();
+    if ckpts.len() as u64 <= keep {
+        return;
+    }
+    ckpts.sort_unstable_by_key(|&(cycle, _)| cycle);
+    let cut = ckpts.len() - keep as usize;
+    for (_, p) in &ckpts[..cut] {
+        if let Err(e) = std::fs::remove_file(p) {
+            eprintln!("vksim: failed to prune checkpoint {}: {e}", p.display());
         }
     }
 }
@@ -693,6 +764,84 @@ mod tests {
             );
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_keep_prunes_all_but_newest() {
+        let (device, cmd, _) = quad_workload(16, 8);
+        let reference = Simulator::new(SimConfig::test_small())
+            .run(&device, &cmd)
+            .expect("healthy run");
+        let dir = std::env::temp_dir().join(format!("vksim-ckpt-keep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // Checkpoint every eighth of the run: at least 7 land, retention
+        // must leave exactly 2.
+        let every = (reference.gpu.cycles / 8).max(1);
+        let cfg = SimConfig::test_small()
+            .with_checkpoint(every, dir.to_string_lossy().to_string())
+            .with_checkpoint_keep(2);
+        let resumed = Simulator::new(cfg).run(&device, &cmd).expect("healthy run");
+        assert_eq!(resumed.gpu.cycles, reference.gpu.cycles);
+        let mut cycles: Vec<u64> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter_map(|p| {
+                p.file_name()?
+                    .to_str()?
+                    .strip_prefix("ckpt-")?
+                    .strip_suffix(".vksnap")?
+                    .parse::<u64>()
+                    .ok()
+            })
+            .collect();
+        cycles.sort_unstable();
+        assert_eq!(cycles.len(), 2, "retention must keep exactly 2: {cycles:?}");
+        // The survivors are the two *newest* checkpoints.
+        assert!(
+            cycles[0] > every && cycles[1] > cycles[0],
+            "oldest checkpoints must be pruned first: {cycles:?}"
+        );
+        // The newest survivor still resumes bit-identically.
+        let last = dir.join(format!("ckpt-{}.vksnap", cycles[1]));
+        let resumed = Simulator::new(SimConfig::test_small())
+            .resume(&device, &cmd, &last)
+            .expect("resume from retained checkpoint");
+        assert_eq!(resumed.gpu.cycles, reference.gpu.cycles);
+        assert_eq!(resumed.gpu.counters, reference.gpu.counters);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prof_export_writes_conserved_breakdown() {
+        let (device, cmd, _) = quad_workload(16, 8);
+        let dir = std::env::temp_dir().join(format!("vksim-prof-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prof.json");
+        let cfg = SimConfig::test_small().with_prof(path.to_string_lossy().to_string());
+        let report = Simulator::new(cfg).run(&device, &cmd).expect("healthy run");
+        let prof = report.prof.as_ref().expect("accounting enabled");
+        assert!(prof.conservation_holds(), "{prof:?}");
+        assert_eq!(prof.cycles, report.gpu.cycles);
+        let written = std::fs::read_to_string(&path).expect("prof file written");
+        assert_eq!(written, prof.flat_json(), "file matches in-memory report");
+        let parsed = vksim_testkit::json::parse_flat_u64_object(&written).expect("valid flat JSON");
+        assert_eq!(parsed.get("cycles"), Some(&report.gpu.cycles));
+        assert_eq!(parsed.get("num_sms"), Some(&2));
+        let total: u64 = vksim_trace::CycleCategory::ALL
+            .iter()
+            .map(|c| parsed[&format!("total.{c}")])
+            .sum();
+        assert_eq!(total, report.gpu.cycles * 2, "conservation in the file");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn default_run_carries_no_prof() {
+        let (device, cmd, _) = quad_workload(16, 4);
+        let report = Simulator::new(SimConfig::test_small())
+            .run(&device, &cmd)
+            .expect("healthy run");
+        assert!(report.prof.is_none(), "accounting is opt-in");
     }
 
     #[test]

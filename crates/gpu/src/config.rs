@@ -66,6 +66,11 @@ pub struct GpuConfig {
     /// uses the current directory. Overridable at run time with
     /// `VKSIM_CHECKPOINT_DIR`.
     pub checkpoint_dir: Option<String>,
+    /// Checkpoint retention: after each successful checkpoint write, prune
+    /// all but the newest `n` `ckpt-*.vksnap` files in the checkpoint
+    /// directory. `0` (the default) keeps every checkpoint. Overridable at
+    /// run time with `VKSIM_CHECKPOINT_KEEP`.
+    pub checkpoint_keep: u64,
     /// Cycle-level tracing (timeline events + interval metrics). Off by
     /// default; overridable at run time with `VKSIM_TRACE`,
     /// `VKSIM_TRACE_INTERVAL`, `VKSIM_TRACE_CSV` and `VKSIM_TRACE_SUMMARY`.
@@ -95,6 +100,7 @@ impl GpuConfig {
             fault_plan: FaultPlan::default(),
             checkpoint_every: 0,
             checkpoint_dir: None,
+            checkpoint_keep: 0,
             trace: TraceConfig::default(),
         }
     }
@@ -180,6 +186,19 @@ impl GpuConfig {
                 Err(_) => self.checkpoint_every,
             },
             Err(_) => self.checkpoint_every,
+        }
+    }
+
+    /// Checkpoint retention count to use, honouring the
+    /// `VKSIM_CHECKPOINT_KEEP` environment override (ignored when unset,
+    /// empty, or not an integer; `0` keeps every checkpoint either way).
+    pub fn effective_checkpoint_keep(&self) -> u64 {
+        match std::env::var("VKSIM_CHECKPOINT_KEEP") {
+            Ok(v) => match v.trim().parse::<u64>() {
+                Ok(n) => n,
+                Err(_) => self.checkpoint_keep,
+            },
+            Err(_) => self.checkpoint_keep,
         }
     }
 

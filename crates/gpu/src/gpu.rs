@@ -21,7 +21,10 @@ use vksim_isa::{OverlayMem, Program, SimMemory, WriteOverlay};
 use vksim_mem::{RequestQueue, SharedMemSystem};
 use vksim_parallel::{chunk_range, DoneGuard, RoundBarrier, ShutdownGuard};
 use vksim_stats::{Counters, Histogram};
-use vksim_trace::{Event, EventKind, IntervalSnapshot, TraceCollector, TraceReport, NO_WARP};
+use vksim_trace::{
+    Event, EventKind, IntervalSnapshot, ProfReport, TraceCollector, TraceReport, NO_WARP,
+    NUM_CATEGORIES,
+};
 
 /// Ray-tracing launch dimensions (`vkCmdTraceRaysKHR` width/height/depth).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -244,6 +247,18 @@ fn absorb_sm_snapshot(snap: &mut IntervalSnapshot, sm: &Sm) {
     snap.rt_busy_cycles += rts.busy_cycles;
 }
 
+/// Merges per-SM cumulative cycle-accounting category counts; `None`
+/// when accounting is disabled on any SM (presence is uniform).
+fn accounting_totals(sms: &[Sm]) -> Option<[u64; NUM_CATEGORIES]> {
+    let mut totals = [0u64; NUM_CATEGORIES];
+    for sm in sms {
+        for (t, v) in totals.iter_mut().zip(sm.accounting()?.categories()) {
+            *t += v;
+        }
+    }
+    Some(totals)
+}
+
 /// Fills the shared-backend fields of an interval snapshot.
 fn absorb_backend_snapshot(snap: &mut IntervalSnapshot, shared: &SharedMemSystem) {
     let (l2_hits, l2_misses, dram_reqs, dram_transfer) = shared.traffic_totals();
@@ -288,6 +303,9 @@ impl GpuSim {
                 let mut sm = Sm::new(i, &config);
                 if trace.enabled {
                     sm.enable_trace(&trace);
+                }
+                if trace.accounting {
+                    sm.enable_accounting();
                 }
                 sm
             })
@@ -578,8 +596,14 @@ impl GpuSim {
         self.last_progress = last_progress;
         match fault {
             Some(e) => Err(self.fail(e)),
-            None if paused => Ok(RunOutcome::Paused),
-            None => Ok(RunOutcome::Done(Box::new(self.collect_stats()))),
+            None if paused => {
+                self.debug_assert_conservation();
+                Ok(RunOutcome::Paused)
+            }
+            None => {
+                self.debug_assert_conservation();
+                Ok(RunOutcome::Done(Box::new(self.collect_stats())))
+            }
         }
     }
 
@@ -754,12 +778,25 @@ impl GpuSim {
                     let interval = col.interval();
                     if interval > 0 && cycle.is_multiple_of(interval) {
                         let mut snap = IntervalSnapshot::default();
+                        let mut totals = [0u64; NUM_CATEGORIES];
+                        let mut accounting = true;
                         for l in &lanes {
                             let lane = l.lock().expect("lane lock");
                             absorb_sm_snapshot(&mut snap, &lane.sm);
+                            match lane.sm.accounting() {
+                                Some(acc) => {
+                                    for (t, v) in totals.iter_mut().zip(acc.categories()) {
+                                        *t += v;
+                                    }
+                                }
+                                None => accounting = false,
+                            }
                         }
                         absorb_backend_snapshot(&mut snap, &self.shared);
                         col.sample(cycle, snap);
+                        if accounting {
+                            col.sample_prof(cycle, totals);
+                        }
                     }
                 }
                 if fault.is_none() && poisoned {
@@ -808,8 +845,14 @@ impl GpuSim {
         self.last_progress = last_progress;
         match fault {
             Some(e) => Err(self.fail(e)),
-            None if paused => Ok(RunOutcome::Paused),
-            None => Ok(RunOutcome::Done(Box::new(self.collect_stats()))),
+            None if paused => {
+                self.debug_assert_conservation();
+                Ok(RunOutcome::Paused)
+            }
+            None => {
+                self.debug_assert_conservation();
+                Ok(RunOutcome::Done(Box::new(self.collect_stats())))
+            }
         }
     }
 
@@ -875,9 +918,23 @@ impl GpuSim {
                 self.config.num_sms
             )));
         }
+        let trace = self.config.effective_trace();
         let mut sms = Vec::with_capacity(n);
         for i in 0..n {
-            sms.push(Sm::load(i, &self.config, d)?);
+            let sm = Sm::load(i, &self.config, d)?;
+            if sm.accounting().is_some() != trace.accounting {
+                return Err(vksim_snapshot::SnapError::Malformed(format!(
+                    "cycle-accounting presence mismatch on SM {i}: snapshot {}, \
+                     accounting {}abled in config",
+                    if sm.accounting().is_some() {
+                        "has it"
+                    } else {
+                        "lacks it"
+                    },
+                    if trace.accounting { "en" } else { "dis" }
+                )));
+            }
+            sms.push(sm);
         }
         self.sms = sms;
         let nq = d.seq()?;
@@ -903,7 +960,6 @@ impl GpuSim {
         self.dropped_completions = d.u64()?;
         self.faults = d.u64()?;
         self.last_progress = d.u64()?;
-        let trace = self.config.effective_trace();
         self.collector = match (d.u8()?, trace.enabled) {
             (0, false) => None,
             (1, true) => Some(TraceCollector::load(trace, d)?),
@@ -948,6 +1004,9 @@ impl GpuSim {
             }
             absorb_backend_snapshot(&mut snap, &self.shared);
             col.sample(cycle, snap);
+            if let Some(totals) = accounting_totals(&self.sms) {
+                col.sample_prof(cycle, totals);
+            }
         }
     }
 
@@ -975,12 +1034,50 @@ impl GpuSim {
         }
         absorb_backend_snapshot(&mut snap, &self.shared);
         col.sample(self.cycle, snap);
+        if let Some(totals) = accounting_totals(&self.sms) {
+            col.sample_prof(self.cycle, totals);
+        }
         for sm in &self.sms {
             if let Some(tr) = sm.tracer() {
                 col.absorb_aggregates(sm.id as u32, tr);
             }
         }
         Some(col.finish(self.cycle, self.sms.len() as u32))
+    }
+
+    /// Gathers the cycle-accounting breakdown: elapsed cycles, per-SM
+    /// category tallies and issue totals. `None` when accounting is
+    /// disabled. Valid at any clean cycle boundary (after a healthy run,
+    /// a pause, or a restore); the conservation invariant
+    /// `Σ categories == num_sms × cycles` holds exactly there.
+    pub fn prof_report(&self) -> Option<ProfReport> {
+        let mut per_sm = Vec::with_capacity(self.sms.len());
+        for sm in &self.sms {
+            per_sm.push(sm.accounting()?.clone());
+        }
+        Some(ProfReport {
+            cycles: self.cycle,
+            per_sm,
+            issued_insts: self.sms.iter().map(|s| s.issued_insts).sum(),
+            issued_lanes: self.sms.iter().map(|s| s.issued_lanes).sum(),
+        })
+    }
+
+    /// Debug-only conservation check, run at healthy loop exits: every SM
+    /// must have attributed exactly `cycle` cycles. Fault paths can leave
+    /// later SMs unticked mid-cycle and legitimately violate this.
+    fn debug_assert_conservation(&self) {
+        if cfg!(debug_assertions) {
+            if let Some(report) = self.prof_report() {
+                debug_assert!(
+                    report.conservation_holds(),
+                    "cycle accounting leaked: {} cycles attributed over {} SMs at cycle {}",
+                    report.merged().total(),
+                    report.num_sms(),
+                    report.cycles,
+                );
+            }
+        }
     }
 
     /// Wraps a classified error with partial statistics and a post-mortem
@@ -1710,6 +1807,300 @@ mod tests {
         assert_eq!(serial.l1_stats, parallel.l1_stats);
         assert_eq!(serial.l2_stats, parallel.l2_stats);
         assert_eq!(serial.dram_stats, parallel.dram_stats);
+    }
+
+    fn accounting_config() -> GpuConfig {
+        GpuConfig {
+            trace: vksim_trace::TraceConfig {
+                accounting: true,
+                ..vksim_trace::TraceConfig::default()
+            },
+            ..small_config()
+        }
+    }
+
+    #[test]
+    fn accounting_attributes_every_cycle_to_one_category() {
+        let mut gpu = GpuSim::new(accounting_config());
+        gpu.launch(
+            trace_program(),
+            LaunchDims {
+                width: 256,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut hooks = TestHooks {
+            width: 256,
+            scripts_taken: 0,
+        };
+        let stats = gpu.run(&mut hooks).expect("healthy run");
+        let report = gpu.prof_report().expect("accounting enabled");
+        assert!(report.conservation_holds(), "{report:?}");
+        assert_eq!(report.cycles, stats.cycles);
+        assert_eq!(report.issued_insts, stats.issued_insts);
+        let merged = report.merged();
+        assert!(merged.get(vksim_trace::CycleCategory::Issued) > 0);
+        assert!(
+            merged.get(vksim_trace::CycleCategory::RtStall) > 0,
+            "trace kernel must spend cycles waiting on the RT unit: {merged:?}"
+        );
+        // Occupancy integrals are integer-exact and ordered.
+        assert!(merged.eligible_warp_cycles() <= merged.resident_warp_cycles());
+        assert!(merged.resident_warp_cycles() > 0);
+    }
+
+    #[test]
+    fn accounting_disabled_leaves_no_trace_of_itself() {
+        let mut gpu = GpuSim::new(small_config());
+        gpu.launch(
+            trace_program(),
+            LaunchDims {
+                width: 64,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut hooks = TestHooks {
+            width: 64,
+            scripts_taken: 0,
+        };
+        gpu.run(&mut hooks).expect("healthy run");
+        assert!(gpu.prof_report().is_none());
+    }
+
+    fn run_prof_with_threads(threads: usize) -> String {
+        let mut gpu = GpuSim::new(GpuConfig {
+            threads,
+            ..accounting_config()
+        });
+        gpu.launch(
+            trace_program(),
+            LaunchDims {
+                width: 256,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut shards: Vec<TestHooks> = (0..2)
+            .map(|_| TestHooks {
+                width: 256,
+                scripts_taken: 0,
+            })
+            .collect();
+        gpu.run_sharded(&mut shards).expect("healthy run");
+        let report = gpu.prof_report().expect("accounting enabled");
+        assert!(report.conservation_holds(), "{report:?}");
+        report.flat_json()
+    }
+
+    #[test]
+    fn accounting_breakdown_is_thread_count_invariant() {
+        std::env::remove_var("VKSIM_THREADS");
+        let serial = run_prof_with_threads(1);
+        let parallel = run_prof_with_threads(4);
+        assert_eq!(serial, parallel, "breakdown must be byte-identical");
+    }
+
+    #[test]
+    fn accounting_survives_checkpoint_byte_identically() {
+        std::env::remove_var("VKSIM_THREADS");
+        let config = accounting_config();
+        let dims = LaunchDims {
+            width: 256,
+            height: 1,
+            depth: 1,
+        };
+        let mut hooks = TestHooks {
+            width: 256,
+            scripts_taken: 0,
+        };
+        let mut reference = GpuSim::new(config.clone());
+        reference.launch(trace_program(), dims);
+        reference.run(&mut hooks).expect("healthy run");
+        let want = reference.prof_report().expect("accounting on").flat_json();
+
+        let mut gpu = GpuSim::new(config.clone());
+        gpu.launch(trace_program(), dims);
+        let mut hooks = TestHooks {
+            width: 256,
+            scripts_taken: 0,
+        };
+        let outcome = gpu.run_until(&mut hooks, 40).expect("healthy slice");
+        assert!(matches!(outcome, RunOutcome::Paused), "{outcome:?}");
+        let mut enc = vksim_snapshot::Enc::new();
+        gpu.save_state(&mut enc);
+        let payload = enc.into_bytes();
+
+        let mut restored = GpuSim::new(config);
+        restored.launch(trace_program(), dims);
+        let mut dec = vksim_snapshot::Dec::new(&payload);
+        restored.restore_state(&mut dec).expect("restore");
+        dec.finish().expect("full consumption");
+        let mut hooks = TestHooks {
+            width: 256,
+            scripts_taken: 0,
+        };
+        restored.run(&mut hooks).expect("healthy resumed tail");
+        let got = restored.prof_report().expect("accounting on").flat_json();
+        assert_eq!(want, got, "resumed breakdown must be byte-identical");
+    }
+
+    #[test]
+    fn restore_rejects_accounting_presence_mismatch() {
+        let mut gpu = GpuSim::new(accounting_config());
+        gpu.launch(
+            trace_program(),
+            LaunchDims {
+                width: 64,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut enc = vksim_snapshot::Enc::new();
+        gpu.save_state(&mut enc);
+        let payload = enc.into_bytes();
+        let mut other = GpuSim::new(small_config());
+        other.launch(
+            trace_program(),
+            LaunchDims {
+                width: 64,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut dec = vksim_snapshot::Dec::new(&payload);
+        let err = other
+            .restore_state(&mut dec)
+            .expect_err("accounting presence mismatch");
+        assert!(
+            matches!(&err, vksim_snapshot::SnapError::Malformed(m) if m.contains("accounting")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn accounting_counter_tracks_reach_chrome_trace() {
+        let mut config = accounting_config();
+        config.trace = vksim_trace::TraceConfig {
+            enabled: true,
+            interval: 16,
+            ..config.trace
+        };
+        let mut gpu = GpuSim::new(config);
+        gpu.launch(
+            trace_program(),
+            LaunchDims {
+                width: 256,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut hooks = TestHooks {
+            width: 256,
+            scripts_taken: 0,
+        };
+        gpu.run(&mut hooks).expect("healthy run");
+        let report = gpu.take_trace_report().expect("tracing enabled");
+        let json = vksim_trace::chrome_trace_json(&report);
+        assert!(
+            json.contains("\"acct_issued\""),
+            "prof counter tracks missing from chrome trace"
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // Property: on random divergent kernels the cycle-accounting
+    // breakdown conserves (Σ categories == num_sms × cycles) and is
+    // byte-identical between the serial and parallel engines.
+    // -----------------------------------------------------------------
+
+    mod accounting_properties {
+        use super::*;
+        use vksim_testkit::prop::{check, u32_in};
+        use vksim_testkit::prop_assert_eq;
+
+        fn prop_program(threshold: u32, alu_len: u32, with_store: bool) -> vksim_isa::Program {
+            let mut b = ProgramBuilder::new();
+            let [idx, thr, acc, one] = b.regs::<4>();
+            let p = b.pred();
+            b.emit(vksim_isa::op::Instr::RtRead {
+                dst: idx,
+                query: RtQuery::LaunchId(0),
+            });
+            b.mov_imm_u32(thr, threshold);
+            b.mov_imm_u32(acc, 0);
+            b.mov_imm_u32(one, 1);
+            b.setp_i(p, vksim_isa::op::CmpOp::Lt, idx, thr);
+            let join = b.new_label();
+            let els = b.new_label();
+            b.ssy(join);
+            b.bra_if(els, p, false);
+            for _ in 0..alu_len {
+                b.iadd(acc, acc, one);
+            }
+            b.bra(join);
+            b.bind_label(els);
+            b.iadd(acc, acc, one);
+            b.bind_label(join);
+            b.sync();
+            if with_store {
+                let [base, addr, four] = b.regs::<3>();
+                b.mov_imm_u32(base, 0x60_0000);
+                b.mov_imm_u32(four, 4);
+                b.imul(addr, idx, four);
+                b.iadd(addr, addr, base);
+                b.st_global(addr, 0, acc);
+            }
+            b.exit();
+            b.build()
+        }
+
+        fn run_case(threads: usize, program: &vksim_isa::Program, width: u32) -> String {
+            let mut gpu = GpuSim::new(GpuConfig {
+                threads,
+                ..accounting_config()
+            });
+            gpu.launch(
+                program.clone(),
+                LaunchDims {
+                    width,
+                    height: 1,
+                    depth: 1,
+                },
+            );
+            let mut shards: Vec<TestHooks> = (0..2)
+                .map(|_| TestHooks {
+                    width,
+                    scripts_taken: 0,
+                })
+                .collect();
+            gpu.run_sharded(&mut shards).expect("healthy run");
+            let report = gpu.prof_report().expect("accounting enabled");
+            assert!(
+                report.conservation_holds(),
+                "conservation violated at {threads} threads: {report:?}"
+            );
+            report.flat_json()
+        }
+
+        #[test]
+        fn random_kernels_conserve_at_any_thread_count() {
+            std::env::remove_var("VKSIM_THREADS");
+            let strat = (u32_in(0, 33), u32_in(1, 12), u32_in(1, 200), u32_in(0, 2));
+            check(&strat, |&(threshold, alu_len, width, store)| {
+                let program = prop_program(threshold, alu_len, store == 1);
+                let serial = run_case(1, &program, width);
+                let parallel = run_case(4, &program, width);
+                prop_assert_eq!(
+                    &serial,
+                    &parallel,
+                    "breakdown diverged (threshold {threshold}, alu {alu_len}, \
+                     width {width}, store {store})"
+                );
+                Ok(())
+            });
+        }
     }
 
     #[test]

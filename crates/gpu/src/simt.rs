@@ -519,6 +519,18 @@ impl SimtEngine {
         }
     }
 
+    /// `true` while the warp is mid-divergence: a split or join is
+    /// outstanding (stack: non-empty reconvergence stack; multipath:
+    /// multiple live splits or an incomplete join). Purely observational
+    /// — the cycle-accounting layer uses it to classify otherwise-idle
+    /// cycles as divergence/reconvergence wait.
+    pub fn mid_divergence(&self) -> bool {
+        match self {
+            SimtEngine::Stack(s) => !s.stack.is_empty(),
+            SimtEngine::Multipath(m) => m.splits.len() > 1 || m.joins.iter().any(|j| !j.completed),
+        }
+    }
+
     /// Serializes the engine (mode tag + full divergence state) for a
     /// machine-state snapshot.
     pub fn save(&self, e: &mut vksim_snapshot::Enc) {
@@ -622,6 +634,42 @@ mod tests {
             .sum();
         assert_eq!(at3 | at2, FULL_MASK);
         assert_eq!(at3 & at2, 0);
+    }
+
+    #[test]
+    fn mid_divergence_tracks_split_lifetime() {
+        for mut e in [SimtEngine::stack(0b1111), SimtEngine::multipath(0b1111)] {
+            assert!(!e.mid_divergence(), "fresh warp is convergent");
+            e.apply(0, CtxOutcome::Ssy { reconv: 4 });
+            e.apply(
+                0,
+                CtxOutcome::Branch {
+                    target: 3,
+                    taken: 0b0011,
+                },
+            );
+            assert!(e.mid_divergence(), "outstanding split/join");
+            // Walk every context to the sync; after the final arrival the
+            // warp is convergent again.
+            let mut guard = 0;
+            while e.mid_divergence() {
+                guard += 1;
+                assert!(guard < 50);
+                let c = e.contexts()[0];
+                if c.pc == 4 {
+                    e.apply(c.id, CtxOutcome::Sync);
+                } else {
+                    e.apply(
+                        c.id,
+                        CtxOutcome::Branch {
+                            target: 4,
+                            taken: c.mask,
+                        },
+                    );
+                }
+            }
+            assert_eq!(e.contexts()[0].mask, 0b1111);
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@ use vksim_mem::{
 };
 use vksim_rtunit::{RtMem, RtMemResult, RtUnit, RtUnitEventKind, WarpJob};
 use vksim_stats::Counters;
-use vksim_trace::{EventKind, SmTracer, TraceConfig, NO_WARP};
+use vksim_trace::{CycleAccounting, CycleCategory, EventKind, SmTracer, TraceConfig, NO_WARP};
 
 /// Hooks the GPU needs from the simulator core: the RT functional runtime
 /// plus the recorded traversal scripts.
@@ -313,6 +313,9 @@ pub struct Sm {
     // Cycle-level event recorder; `None` (the default) keeps every hook to
     // a single branch-on-null.
     tracer: Option<Box<SmTracer>>,
+    // Cycle-accounting recorder; same branch-on-null discipline as the
+    // tracer, so a disabled run pays one null check per tick.
+    accounting: Option<Box<CycleAccounting>>,
 }
 
 impl Sm {
@@ -340,6 +343,7 @@ impl Sm {
             issued_insts: 0,
             trace_cycles: 0,
             tracer: None,
+            accounting: None,
         }
     }
 
@@ -347,6 +351,17 @@ impl Sm {
     pub fn enable_trace(&mut self, config: &TraceConfig) {
         self.tracer = Some(Box::new(SmTracer::new(config)));
         self.rt_unit.set_event_trace(true);
+    }
+
+    /// Switches on cycle accounting for this SM: from here on, every tick
+    /// attributes its cycle to exactly one [`CycleCategory`].
+    pub fn enable_accounting(&mut self) {
+        self.accounting = Some(Box::new(CycleAccounting::new()));
+    }
+
+    /// The cycle-accounting recorder, when enabled.
+    pub fn accounting(&self) -> Option<&CycleAccounting> {
+        self.accounting.as_deref()
     }
 
     /// The per-SM event recorder, when tracing is enabled. Phase B drains
@@ -472,6 +487,17 @@ impl Sm {
             tr.icnt_stall_edge(now, icnt_blocked);
         }
 
+        // Cycle accounting: classify the would-be stall reason from
+        // SM-local state sampled at tick start — before the RT unit and
+        // retry passes below mutate context statuses — so the attribution
+        // is identical in the serial and parallel engines (the
+        // `icnt_stall_cycles` discipline). `Issued` overrides the
+        // precomputed class after the issue stage.
+        let stall_class = self
+            .accounting
+            .is_some()
+            .then(|| self.classify_stall(now, icnt_blocked));
+
         // 1. RT unit cycle.
         let rt_finished = self.tick_rt_unit(now, sink);
 
@@ -494,6 +520,13 @@ impl Sm {
         }
         if let Some(tr) = self.tracer.as_mut() {
             tr.rt_busy_edge(now, self.rt_unit.resident_warps() > 0);
+        }
+
+        // Attribute this cycle to exactly one category.
+        if let Some((cat, resident, eligible)) = stall_class {
+            let acc = self.accounting.as_mut().expect("classified => enabled");
+            acc.record(if issued { CycleCategory::Issued } else { cat });
+            acc.record_occupancy(resident, eligible);
         }
 
         // 4. Retire finished warps.
@@ -646,6 +679,59 @@ impl Sm {
                 }
             }
         }
+    }
+
+    /// Classifies the cycle's stall reason from tick-start state and
+    /// samples the occupancy tallies. Returns
+    /// `(category, resident warps, eligible warps)`; the caller swaps the
+    /// category for `Issued` if the issue stage fires this cycle.
+    ///
+    /// Precedence among simultaneous stall sources: interconnect
+    /// backpressure freezes the whole issue stage, so it wins; an empty
+    /// SM is `Drained`; then scoreboard memory waits, RT-unit parking,
+    /// divergence wait, and finally the pure occupancy gap.
+    fn classify_stall(&self, now: u64, icnt_blocked: bool) -> (CycleCategory, u64, u64) {
+        let resident = self.warps.len() as u64;
+        let mut eligible = 0u64;
+        let mut any_mem = false;
+        let mut any_rt = false;
+        let mut any_simt = false;
+        for w in &self.warps {
+            let issuable = w.engine.contexts().iter().any(|c| {
+                match w.ctx_state.get(&c.id).map(|s| &s.status) {
+                    None | Some(CtxStatus::Ready) => true,
+                    Some(CtxStatus::OpUntil(t)) => *t <= now,
+                    _ => false,
+                }
+            });
+            if issuable {
+                eligible += 1;
+            }
+            for st in w.ctx_state.values() {
+                match st.status {
+                    CtxStatus::WaitMem { .. } => any_mem = true,
+                    CtxStatus::RtPending | CtxStatus::InRt => any_rt = true,
+                    _ => {}
+                }
+            }
+            if w.engine.mid_divergence() {
+                any_simt = true;
+            }
+        }
+        let cat = if icnt_blocked {
+            CycleCategory::IcntStall
+        } else if resident == 0 {
+            CycleCategory::Drained
+        } else if any_mem {
+            CycleCategory::MemStall
+        } else if any_rt {
+            CycleCategory::RtStall
+        } else if any_simt {
+            CycleCategory::SimtSync
+        } else {
+            CycleCategory::NoEligibleWarp
+        };
+        (cat, resident, eligible)
     }
 
     /// GTO pick: (warp index, ctx id).
@@ -824,6 +910,13 @@ impl Sm {
                 tr.save(e);
             }
         }
+        match &self.accounting {
+            None => e.u8(0),
+            Some(acc) => {
+                e.u8(1);
+                acc.save(e);
+            }
+        }
     }
 
     /// Restores an SM written by [`Sm::save`], rebuilding config-derived
@@ -906,6 +999,15 @@ impl Sm {
             t => {
                 return Err(vksim_snapshot::SnapError::Malformed(format!(
                     "tracer tag {t}"
+                )))
+            }
+        };
+        sm.accounting = match d.u8()? {
+            0 => None,
+            1 => Some(Box::new(CycleAccounting::load(d)?)),
+            t => {
+                return Err(vksim_snapshot::SnapError::Malformed(format!(
+                    "accounting tag {t}"
                 )))
             }
         };

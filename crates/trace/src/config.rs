@@ -28,6 +28,12 @@ pub struct TraceConfig {
     pub flight_depth: usize,
     /// Cap on total collected timeline events.
     pub max_events: usize,
+    /// Cycle-accounting switch, independent of `enabled`: when `true`,
+    /// every SM carries a `CycleAccounting` recorder and attributes each
+    /// cycle to one taxonomy category.
+    pub accounting: bool,
+    /// Flat-JSON cycle-breakdown output path (`-` writes to stderr).
+    pub prof: Option<String>,
 }
 
 impl Default for TraceConfig {
@@ -40,6 +46,8 @@ impl Default for TraceConfig {
             interval: DEFAULT_INTERVAL,
             flight_depth: DEFAULT_FLIGHT_DEPTH,
             max_events: DEFAULT_MAX_EVENTS,
+            accounting: false,
+            prof: None,
         }
     }
 }
@@ -51,7 +59,10 @@ impl TraceConfig {
     ///   trace there;
     /// * `VKSIM_TRACE_INTERVAL=N` — interval-sampler period;
     /// * `VKSIM_TRACE_CSV=path` — interval series CSV;
-    /// * `VKSIM_TRACE_SUMMARY=path` — hotspot summary.
+    /// * `VKSIM_TRACE_SUMMARY=path` — hotspot summary;
+    /// * `VKSIM_PROF=out.json` — enable cycle accounting and write the
+    ///   flat-JSON breakdown there (`-` for stderr). Does **not** enable
+    ///   event tracing.
     ///
     /// Unset or unparsable variables leave the config field untouched, so
     /// explicitly-built configs keep working under a clean environment.
@@ -77,6 +88,12 @@ impl TraceConfig {
             if !path.is_empty() {
                 cfg.enabled = true;
                 cfg.summary = Some(path);
+            }
+        }
+        if let Ok(path) = std::env::var("VKSIM_PROF") {
+            if !path.is_empty() {
+                cfg.accounting = true;
+                cfg.prof = Some(path);
             }
         }
         cfg
@@ -142,6 +159,7 @@ mod tests {
         std::env::remove_var("VKSIM_TRACE_INTERVAL");
         std::env::remove_var("VKSIM_TRACE_CSV");
         std::env::remove_var("VKSIM_TRACE_SUMMARY");
+        std::env::remove_var("VKSIM_PROF");
         assert_eq!(base.with_env_overrides(), base);
 
         std::env::set_var("VKSIM_TRACE", "/tmp/t.json");
@@ -154,9 +172,18 @@ mod tests {
         assert_eq!(c.interval, 512);
         assert_eq!(c.csv.as_deref(), Some("/tmp/t.csv"));
         assert_eq!(c.summary.as_deref(), Some("/tmp/t.txt"));
+        assert!(!c.accounting, "tracing alone does not enable accounting");
         std::env::remove_var("VKSIM_TRACE");
         std::env::remove_var("VKSIM_TRACE_INTERVAL");
         std::env::remove_var("VKSIM_TRACE_CSV");
         std::env::remove_var("VKSIM_TRACE_SUMMARY");
+
+        // VKSIM_PROF enables accounting without enabling event tracing.
+        std::env::set_var("VKSIM_PROF", "/tmp/p.json");
+        let c = base.with_env_overrides();
+        assert!(!c.enabled);
+        assert!(c.accounting);
+        assert_eq!(c.prof.as_deref(), Some("/tmp/p.json"));
+        std::env::remove_var("VKSIM_PROF");
     }
 }

@@ -17,10 +17,13 @@
 //!   (`B`/`E` pairs while the bounded icnt refuses the SM's requests).
 //!
 //! In the memory process, `tid` = DRAM channel for row-activate instants,
-//! and the interval series is appended as counter (`C`) events on
-//! `tid 1_000_000`. Timestamps are core cycles (Perfetto displays them as
-//! microseconds; only relative scale matters).
+//! the interval series is appended as counter (`C`) events on
+//! `tid 1_000_000`, and — when cycle accounting rides along — the
+//! per-category accounting series (`acct_<category>`) as counter events
+//! on `tid 4_000_000`. Timestamps are core cycles (Perfetto displays
+//! them as microseconds; only relative scale matters).
 
+use crate::accounting::{CycleCategory, NUM_CATEGORIES};
 use crate::config::TraceConfig;
 use crate::event::{Event, EventKind, NO_WARP};
 use crate::sampler::IntervalRecord;
@@ -35,6 +38,9 @@ pub const MSHR_TID: u64 = 2_000_000;
 pub const ICNT_STALL_TID: u64 = 3_000_000;
 /// Thread id for interval counter events in the memory process.
 pub const COUNTER_TID: u64 = 1_000_000;
+/// Thread id for per-category cycle-accounting counter events in the
+/// memory process.
+pub const PROF_TID: u64 = 4_000_000;
 
 /// Everything collected over a run, ready for export.
 #[derive(Clone, Debug)]
@@ -55,6 +61,10 @@ pub struct TraceReport {
     pub pc_issues: BTreeMap<u32, u64>,
     /// Stall cycles per `(sm, warp)`.
     pub warp_stalls: BTreeMap<(u32, u32), u64>,
+    /// Cumulative merged cycle-accounting totals sampled at interval
+    /// boundaries (empty unless accounting was enabled alongside
+    /// tracing).
+    pub prof_series: Vec<(u64, [u64; NUM_CATEGORIES])>,
     /// The configuration the trace was collected under.
     pub config: TraceConfig,
 }
@@ -90,6 +100,25 @@ pub fn chrome_trace_json(report: &TraceReport) -> String {
                 rec.start, report.num_sms
             );
         }
+    }
+    // Per-category cycle-accounting counter tracks: each sample emits the
+    // SM-cycles spent per category since the previous sample, stamped at
+    // the start of its window.
+    let mut prev_cycle = 0u64;
+    let mut prev = [0u64; NUM_CATEGORIES];
+    for &(cycle, totals) in &report.prof_series {
+        for (i, cat) in CycleCategory::ALL.iter().enumerate() {
+            let delta = totals[i].saturating_sub(prev[i]);
+            sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"name\":\"acct_{}\",\"ph\":\"C\",\"ts\":{prev_cycle},\"pid\":{},\"tid\":{PROF_TID},\"args\":{{\"value\":{delta}}}}}",
+                cat.name(),
+                report.num_sms
+            );
+        }
+        prev_cycle = cycle;
+        prev = totals;
     }
     out.push_str("\n]}\n");
     out
@@ -421,6 +450,7 @@ mod tests {
             dropped: 0,
             pc_issues,
             warp_stalls,
+            prof_series: Vec::new(),
             config: TraceConfig::default(),
         }
     }
@@ -448,6 +478,32 @@ mod tests {
         // Counters present for the sampled interval.
         assert!(json.contains("\"name\":\"ipc\""));
         assert!(json.contains("\"value\":2.000000"));
+    }
+
+    #[test]
+    fn accounting_counter_tracks_emit_deltas() {
+        let mut r = tiny_report();
+        let mut a = [0u64; NUM_CATEGORIES];
+        a[CycleCategory::Issued as usize] = 5;
+        a[CycleCategory::MemStall as usize] = 3;
+        let mut b = a;
+        b[CycleCategory::Issued as usize] = 9;
+        b[CycleCategory::Drained as usize] = 4;
+        r.prof_series = vec![(4, a), (8, b)];
+        let json = chrome_trace_json(&r);
+        // First window [0,4): cumulative == delta, stamped at ts 0.
+        assert!(json.contains(&format!(
+            "\"name\":\"acct_issued\",\"ph\":\"C\",\"ts\":0,\"pid\":2,\"tid\":{PROF_TID},\"args\":{{\"value\":5}}"
+        )));
+        // Second window [4,8): deltas, stamped at ts 4.
+        assert!(json.contains(&format!(
+            "\"name\":\"acct_issued\",\"ph\":\"C\",\"ts\":4,\"pid\":2,\"tid\":{PROF_TID},\"args\":{{\"value\":4}}"
+        )));
+        assert!(json.contains(&format!(
+            "\"name\":\"acct_drained\",\"ph\":\"C\",\"ts\":4,\"pid\":2,\"tid\":{PROF_TID},\"args\":{{\"value\":4}}"
+        )));
+        // A report without a prof series emits no accounting tracks.
+        assert!(!chrome_trace_json(&tiny_report()).contains("acct_"));
     }
 
     #[test]

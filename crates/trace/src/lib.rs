@@ -12,9 +12,14 @@
 //!   [`IntervalRecord`]) — cumulative raw counters snapshotted every
 //!   `VKSIM_TRACE_INTERVAL` cycles and differenced into a time series
 //!   (IPC, L1/L2 hit rate, RT occupancy, DRAM bandwidth per interval);
+//! * a **cycle-accounting profiler** ([`CycleAccounting`] /
+//!   [`ProfReport`]) — every SM cycle attributed to exactly one
+//!   [`CycleCategory`], conservation-checked, with integer-exact
+//!   per-warp occupancy tallies (`VKSIM_PROF`);
 //! * **exporters** — Chrome trace-event JSON loadable in Perfetto
 //!   ([`chrome_trace_json`]), flat CSV for the interval series
-//!   ([`interval_csv`]), and a human-readable top-N hotspot summary
+//!   ([`interval_csv`]), per-category accounting counter tracks on the
+//!   Chrome trace, and a human-readable top-N hotspot summary
 //!   ([`hotspot_summary`]).
 //!
 //! Determinism contract: SMs record into SM-local [`SmTracer`]s during
@@ -28,14 +33,18 @@
 //! crate in the workspace graph so `vksim-gpu`, `vksim-mem`, `vksim-rtunit`
 //! and `vksim-core` can all hook into it without cycles.
 
+mod accounting;
 mod config;
 mod event;
 mod export;
 mod recorder;
 mod sampler;
 
+pub use accounting::{CycleAccounting, CycleCategory, ProfReport, NUM_CATEGORIES};
 pub use config::{TraceConfig, DEFAULT_FLIGHT_DEPTH, DEFAULT_INTERVAL, DEFAULT_MAX_EVENTS};
 pub use event::{Event, EventKind, NO_WARP};
-pub use export::{chrome_trace_json, hotspot_summary, interval_csv, TraceReport, ICNT_STALL_TID};
+pub use export::{
+    chrome_trace_json, hotspot_summary, interval_csv, TraceReport, ICNT_STALL_TID, PROF_TID,
+};
 pub use recorder::{SmTracer, TraceCollector};
 pub use sampler::{IntervalRecord, IntervalSnapshot};

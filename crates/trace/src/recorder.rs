@@ -1,5 +1,6 @@
 //! Per-SM event recorder and the serial collector that merges them.
 
+use crate::accounting::NUM_CATEGORIES;
 use crate::config::TraceConfig;
 use crate::event::{Event, EventKind, NO_WARP};
 use crate::export::TraceReport;
@@ -220,6 +221,9 @@ pub struct TraceCollector {
     sampler_underflows: u64,
     pc_issues: BTreeMap<u32, u64>,
     warp_stalls: BTreeMap<(u32, u32), u64>,
+    // Cumulative merged cycle-accounting totals, sampled at the interval
+    // boundaries; empty unless accounting rides along with tracing.
+    prof_series: Vec<(u64, [u64; NUM_CATEGORIES])>,
 }
 
 impl TraceCollector {
@@ -235,6 +239,7 @@ impl TraceCollector {
             sampler_underflows: 0,
             pc_issues: BTreeMap::new(),
             warp_stalls: BTreeMap::new(),
+            prof_series: Vec::new(),
         }
     }
 
@@ -299,6 +304,18 @@ impl TraceCollector {
         self.sampler_underflows
     }
 
+    /// Records one cycle-accounting sample: `totals` holds *cumulative*
+    /// per-category cycles merged across all SMs as of `cycle`. Sampled
+    /// at the same interval boundaries as [`TraceCollector::sample`];
+    /// a stale or duplicate cycle is ignored so the end-of-run tail
+    /// sample cannot double-record an interval boundary.
+    pub fn sample_prof(&mut self, cycle: u64, totals: [u64; NUM_CATEGORIES]) {
+        if self.prof_series.last().is_some_and(|&(c, _)| c >= cycle) {
+            return;
+        }
+        self.prof_series.push((cycle, totals));
+    }
+
     /// Folds one SM's summary aggregates in (call once, at end of run).
     pub fn absorb_aggregates(&mut self, sm: u32, tracer: &SmTracer) {
         for (&pc, &n) in &tracer.pc_issues {
@@ -340,6 +357,13 @@ impl TraceCollector {
             e.u32(warp);
             e.u64(n);
         }
+        e.seq(self.prof_series.len());
+        for (cycle, totals) in &self.prof_series {
+            e.u64(*cycle);
+            for &t in totals {
+                e.u64(t);
+            }
+        }
     }
 
     /// Restores a collector written by [`TraceCollector::save`] under the
@@ -378,6 +402,16 @@ impl TraceCollector {
             let warp = d.u32()?;
             warp_stalls.insert((sm, warp), d.u64()?);
         }
+        let n = d.seq()?;
+        let mut prof_series = Vec::with_capacity(n);
+        for _ in 0..n {
+            let cycle = d.u64()?;
+            let mut totals = [0u64; NUM_CATEGORIES];
+            for t in &mut totals {
+                *t = d.u64()?;
+            }
+            prof_series.push((cycle, totals));
+        }
         Ok(TraceCollector {
             config,
             events,
@@ -388,6 +422,7 @@ impl TraceCollector {
             sampler_underflows,
             pc_issues,
             warp_stalls,
+            prof_series,
         })
     }
 
@@ -402,6 +437,7 @@ impl TraceCollector {
             dropped: self.dropped,
             pc_issues: self.pc_issues,
             warp_stalls: self.warp_stalls,
+            prof_series: self.prof_series,
             config: self.config,
         }
     }
@@ -601,6 +637,27 @@ mod tests {
         assert_eq!(r.intervals.len(), 2, "no duplicate rows after restore");
         assert_eq!(r.intervals[1].delta.issued_insts, 18);
         assert_eq!(r.events.len(), 4);
+    }
+
+    #[test]
+    fn prof_series_dedups_and_round_trips() {
+        let mut c = TraceCollector::new(cfg());
+        let mut a = [0u64; NUM_CATEGORIES];
+        a[0] = 3;
+        c.sample_prof(100, a);
+        c.sample_prof(100, a); // duplicate cycle: ignored
+        c.sample_prof(50, a); // stale cycle: ignored
+        let mut b = a;
+        b[0] = 7;
+        c.sample_prof(200, b);
+        let mut e = vksim_snapshot::Enc::new();
+        c.save(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = vksim_snapshot::Dec::new(&bytes);
+        let back = TraceCollector::load(cfg(), &mut d).unwrap();
+        d.finish().unwrap();
+        let r = back.finish(200, 1);
+        assert_eq!(r.prof_series, vec![(100, a), (200, b)]);
     }
 
     #[test]

@@ -95,6 +95,20 @@ if command -v python3 >/dev/null 2>&1; then
 fi
 cargo test --offline -q -p vksim-bench --test trace_export
 
+# Profiler gate: a cycle-accounting run must export a flat-JSON stall
+# breakdown that parses with the testkit's strict JSON reader, carries
+# the documented key schema, and conserves (Σ categories ==
+# num_sms × cycles, per-SM keys rolling up exactly into total.*) — the
+# validation lives in tests/prof_smoke.rs and runs here against the file
+# the experiments *binary* wrote, proving the whole VKSIM_PROF pipeline.
+step "cycle-accounting smoke run + prof export validation"
+prof_dir="$(mktemp -d)"
+cargo run --release --offline -p vksim-bench --bin experiments -- \
+    fig01 --prof="$prof_dir/prof.json" >/dev/null
+[ -s "$prof_dir/prof.json" ] || { echo "no prof export written"; exit 1; }
+VKSIM_PROF_SMOKE_FILE="$prof_dir/prof.json" \
+    cargo test --offline -q -p vksim-bench --test prof_smoke
+
 # Chaos recovery drill: a fixed-seed campaign kills checkpointed runs
 # with injected worker panics at pseudo-random cycles, auto-resumes each
 # from its last checkpoint, and requires the recovered golden counters to
@@ -125,8 +139,10 @@ for suite in substrates engine mem; do
     # Absolute path: cargo runs bench binaries with cwd = the package root
     # (crates/bench), not the workspace root.
     base="$PWD/.bench-baselines/BENCH_$suite.json"
-    # The engine suite doubles as the disabled-tracing overhead gate: the
-    # observability hooks must cost no more than 2% when tracing is off.
+    # The engine suite doubles as the observability overhead gate: the
+    # tracing/accounting hooks must cost no more than 2% when disabled,
+    # and the accounting-enabled `_prof` entries hold the profiler's own
+    # cost to the same bound against their recorded baselines.
     if [ "$suite" = engine ]; then
         max="${VKSIM_BENCH_MAX_REGRESSION_ENGINE:-2}"
     else

@@ -79,9 +79,24 @@ fn snapshot(report: &RunReport) -> BTreeMap<String, u64> {
     m
 }
 
-fn check_workload(kind: WorkloadKind, golden: &str) {
-    let (_, report) = run_workload(kind, Scale::Test, SimConfig::test_small());
+/// Runs a workload with cycle accounting enabled and checks both gates at
+/// once: the counter snapshot must match its golden **byte-for-byte**
+/// (proving accounting is purely observational — the goldens were blessed
+/// without it), and the accounting breakdown must conserve
+/// (`Σ categories == num_sms × cycles`).
+fn check_workload_with(kind: WorkloadKind, golden: &str, config: SimConfig) {
+    let (_, report) = run_workload(kind, Scale::Test, config.with_accounting(true));
+    let prof = report.prof.as_ref().expect("accounting enabled");
+    assert!(
+        prof.conservation_holds(),
+        "cycle-accounting conservation violated on {golden}: {prof:?}"
+    );
+    assert_eq!(prof.cycles, report.gpu.cycles, "{golden}");
     assert_matches_golden(golden_path(golden), &snapshot(&report));
+}
+
+fn check_workload(kind: WorkloadKind, golden: &str) {
+    check_workload_with(kind, golden, SimConfig::test_small());
 }
 
 #[test]
@@ -114,8 +129,7 @@ fn golden_rtv6() {
 /// runs on, not just the desktop baseline.
 #[test]
 fn golden_tri_mobile() {
-    let (_, report) = run_workload(WorkloadKind::Tri, Scale::Test, SimConfig::mobile());
-    assert_matches_golden(golden_path("tri_mobile"), &snapshot(&report));
+    check_workload_with(WorkloadKind::Tri, "tri_mobile", SimConfig::mobile());
 }
 
 /// The paper-scale configuration (48 SMs, 8 memory partitions, FR-FCFS
@@ -124,8 +138,42 @@ fn golden_tri_mobile() {
 /// `dram.p{i}.*` counters and the merged totals they roll up into.
 #[test]
 fn golden_tri_paper() {
-    let (_, report) = run_workload(WorkloadKind::Tri, Scale::Test, SimConfig::paper());
-    assert_matches_golden(golden_path("tri_paper"), &snapshot(&report));
+    check_workload_with(WorkloadKind::Tri, "tri_paper", SimConfig::paper());
+}
+
+/// The full cycle-accounting breakdown of the paper-scale TRI run, pinned
+/// key-by-key: per-SM and merged category counts, occupancy integrals and
+/// issue totals. Any attribution change — a new stall source, a precedence
+/// reorder, an engine-scheduling drift — shows up as a per-key diff here.
+/// Regenerate with `VKSIM_BLESS=1` after intentional changes.
+#[test]
+fn golden_tri_paper_prof() {
+    let (_, report) = run_workload(
+        WorkloadKind::Tri,
+        Scale::Test,
+        SimConfig::paper().with_accounting(true),
+    );
+    let prof = report.prof.as_ref().expect("accounting enabled");
+    assert!(prof.conservation_holds());
+    assert_matches_golden(golden_path("tri_paper_prof"), &prof.flat_map());
+}
+
+/// The breakdown must be engine-invariant: threads = 1 and threads = 4
+/// attribute every cycle identically, byte-for-byte in the flat JSON.
+#[test]
+fn prof_breakdown_is_thread_count_invariant() {
+    let run = |threads| {
+        let config = SimConfig::paper()
+            .with_accounting(true)
+            .with_threads(threads);
+        let (_, report) = run_workload(WorkloadKind::Tri, Scale::Test, config);
+        report.prof.expect("accounting enabled").flat_json()
+    };
+    assert_eq!(
+        run(1),
+        run(4),
+        "prof breakdown must be thread-count invariant"
+    );
 }
 
 /// The paper-scale configuration behind a *bounded* interconnect: finite
@@ -138,8 +186,7 @@ fn golden_tri_paper_icnt() {
     let config = SimConfig::paper()
         .with_icnt_queue_depth(4)
         .with_icnt_return_credits(2);
-    let (_, report) = run_workload(WorkloadKind::Tri, Scale::Test, config);
-    assert_matches_golden(golden_path("tri_paper_icnt"), &snapshot(&report));
+    check_workload_with(WorkloadKind::Tri, "tri_paper_icnt", config);
 }
 
 /// Backpressure must not break the determinism contract: with a small
@@ -191,9 +238,11 @@ fn paper_threads_do_not_change_counters() {
 fn golden_rtv6_fcc() {
     let mut w = build(WorkloadKind::Rtv6, Scale::Test);
     let fcc_cmd = w.with_fcc(true);
-    let report = Simulator::new(SimConfig::test_small())
+    let report = Simulator::new(SimConfig::test_small().with_accounting(true))
         .run(&w.device, &fcc_cmd)
         .expect("healthy run");
+    let prof = report.prof.as_ref().expect("accounting enabled");
+    assert!(prof.conservation_holds(), "{prof:?}");
     assert_matches_golden(golden_path("rtv6_fcc"), &snapshot(&report));
 }
 
@@ -203,9 +252,11 @@ fn golden_rtv6_fcc() {
 #[test]
 fn golden_ref_its() {
     let w = build(WorkloadKind::Ref, Scale::Test);
-    let report = Simulator::new(SimConfig::test_small().with_its(true))
+    let report = Simulator::new(SimConfig::test_small().with_its(true).with_accounting(true))
         .run(&w.device, &w.cmd)
         .expect("healthy run");
+    let prof = report.prof.as_ref().expect("accounting enabled");
+    assert!(prof.conservation_holds(), "{prof:?}");
     assert_matches_golden(golden_path("ref_its"), &snapshot(&report));
 }
 

@@ -1,0 +1,145 @@
+//! Cross-host wire-format conformance for the `.vksnap` codec.
+//!
+//! A golden fixture is checked in under `tests/goldens/codec_v1.vksnap`;
+//! it was produced once by [`reference_payload`] and pins the container
+//! layout (magic, version, fingerprint, length-prefixed payload, FNV-1a-64
+//! checksum) and the byte encoding of **every** `Enc` primitive. The tests
+//! decode the fixture field-for-field and demand that the current encoder
+//! reproduces it byte-exactly, so a snapshot written on one host restores
+//! identically on any other — and a codec change (endianness, width,
+//! prefix layout) fails loudly here instead of corrupting checkpoints.
+//!
+//! After an *intentional* format change (which must also bump
+//! [`vksim_snapshot::FORMAT_VERSION`]), regenerate with
+//! `VKSIM_BLESS=1 cargo test -p vksim-snapshot --test snapshot_conformance`
+//! and commit the new fixture.
+
+use std::path::PathBuf;
+use vksim_snapshot::{Dec, Enc, Snapshot, FORMAT_VERSION, MAGIC};
+
+/// Arbitrary but fixed fingerprint stored in the fixture container.
+const FINGERPRINT: u64 = 0x0123_4567_89ab_cdef;
+
+fn fixture_path() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/snapshot; the fixture lives with the
+    // other goldens at the repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/goldens/codec_v1.vksnap")
+}
+
+/// One value through every `Enc` primitive, including boundary values the
+/// codec must carry exactly (max-range integers, negative i64, an exact
+/// binary float, a non-ASCII string, `None`/`Some` options).
+fn reference_payload() -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u8(0x5a);
+    e.bool(true);
+    e.bool(false);
+    e.u16(0xbeef);
+    e.u32(0xdead_beef);
+    e.u64(u64::MAX - 1);
+    e.i64(-1_234_567_890_123);
+    e.usize(123_456);
+    e.f32(1.5);
+    e.f64(-2.25);
+    e.seq(3);
+    e.str("vksnap μarch");
+    e.bytes(&[1, 2, 3, 4, 5]);
+    e.opt_u32(None);
+    e.opt_u32(Some(7));
+    e.opt_u64(None);
+    e.opt_u64(Some(0xffff_ffff_ffff));
+    e.into_bytes()
+}
+
+/// Decodes `payload` with the mirrored `Dec` calls and asserts every field.
+fn assert_decodes_reference(payload: &[u8]) {
+    let mut d = Dec::new(payload);
+    assert_eq!(d.u8().unwrap(), 0x5a);
+    assert!(d.bool().unwrap());
+    assert!(!d.bool().unwrap());
+    assert_eq!(d.u16().unwrap(), 0xbeef);
+    assert_eq!(d.u32().unwrap(), 0xdead_beef);
+    assert_eq!(d.u64().unwrap(), u64::MAX - 1);
+    assert_eq!(d.i64().unwrap(), -1_234_567_890_123);
+    assert_eq!(d.usize().unwrap(), 123_456);
+    assert_eq!(d.f32().unwrap(), 1.5);
+    assert_eq!(d.f64().unwrap(), -2.25);
+    assert_eq!(d.seq().unwrap(), 3);
+    assert_eq!(d.str().unwrap(), "vksnap μarch");
+    assert_eq!(d.bytes().unwrap(), vec![1, 2, 3, 4, 5]);
+    assert_eq!(d.opt_u32().unwrap(), None);
+    assert_eq!(d.opt_u32().unwrap(), Some(7));
+    assert_eq!(d.opt_u64().unwrap(), None);
+    assert_eq!(d.opt_u64().unwrap(), Some(0xffff_ffff_ffff));
+    d.finish()
+        .expect("no trailing bytes in the reference payload");
+}
+
+fn read_fixture_bytes() -> Vec<u8> {
+    let path = fixture_path();
+    if std::env::var("VKSIM_BLESS").is_ok() {
+        Snapshot::new(FINGERPRINT, reference_payload())
+            .write_atomic(&path)
+            .expect("bless fixture");
+    }
+    std::fs::read(&path).unwrap_or_else(|e| {
+        panic!(
+            "golden fixture {} unreadable ({e}); regenerate with VKSIM_BLESS=1",
+            path.display()
+        )
+    })
+}
+
+/// The checked-in fixture decodes field-for-field: container metadata and
+/// every primitive value comes back exactly as encoded.
+#[test]
+fn golden_fixture_decodes_field_for_field() {
+    let bytes = read_fixture_bytes();
+    let snap = Snapshot::from_bytes(&bytes).expect("fixture verifies");
+    assert_eq!(snap.version, FORMAT_VERSION);
+    assert_eq!(snap.fingerprint, FINGERPRINT);
+    assert_decodes_reference(&snap.payload);
+}
+
+/// The current encoder reproduces the fixture **byte-exactly** — any
+/// change to a primitive's width, endianness, or prefix layout diffs here.
+#[test]
+fn current_encoder_reproduces_fixture_bytes() {
+    let bytes = read_fixture_bytes();
+    assert_eq!(
+        bytes,
+        Snapshot::new(FINGERPRINT, reference_payload()).to_bytes(),
+        "encoder output drifted from the checked-in codec fixture"
+    );
+}
+
+/// Pins the container header at raw byte offsets, independent of `Dec`:
+/// magic, little-endian version, fingerprint and payload length, and the
+/// trailing FNV-1a-64 checksum over everything before it.
+#[test]
+fn container_layout_is_pinned() {
+    let bytes = read_fixture_bytes();
+    assert_eq!(&bytes[..8], &MAGIC, "magic");
+    assert_eq!(
+        u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+        FORMAT_VERSION,
+        "version field is little-endian at offset 8"
+    );
+    assert_eq!(
+        u64::from_le_bytes(bytes[12..20].try_into().unwrap()),
+        FINGERPRINT,
+        "fingerprint field is little-endian at offset 12"
+    );
+    assert_eq!(
+        u64::from_le_bytes(bytes[20..28].try_into().unwrap()),
+        reference_payload().len() as u64,
+        "payload length prefix is little-endian at offset 20"
+    );
+    let body = &bytes[..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    assert_eq!(
+        vksim_snapshot::fnv1a(vksim_snapshot::fnv1a_init(), body),
+        stored,
+        "trailing checksum is FNV-1a-64 over all prior bytes"
+    );
+}
