@@ -17,17 +17,20 @@ fn main() {
     let mut b = Bench::new("engine");
 
     // 8 SMs (mobile config); Ext is the heaviest of the golden workloads.
-    // Each (threads, accounting) variant is gated at 2% against its own
+    // Each (threads, observer) variant is gated at 2% against its own
     // recorded baseline, so both the disabled-path cost of the
-    // observability hooks AND the enabled cost of cycle accounting are
+    // observability hooks AND the enabled cost of each observer are
     // bounded — an attribution change that slows the profiled tick loop
-    // fails the `_prof` entries without touching the plain ones.
+    // fails the `_prof` entries, and a traversal-analytics change that
+    // slows instrumented runs fails the `_rt` entries, without touching
+    // the plain ones.
     for threads in [1usize, 4] {
-        for accounting in [false, true] {
-            let config = SimConfig::mobile()
-                .with_threads(threads)
-                .with_accounting(accounting);
-            let suffix = if accounting { "_prof" } else { "" };
+        let base = || SimConfig::mobile().with_threads(threads);
+        for (suffix, config) in [
+            ("", base()),
+            ("_prof", base().with_accounting(true)),
+            ("_rt", base().with_rt_analytics(true)),
+        ] {
             b.bench(&format!("ext_8sm/threads_{threads}{suffix}"), || {
                 let cfg = config.clone();
                 black_box(

@@ -4,6 +4,8 @@
 //! vksim-experiments [EXPERIMENT] [--scale test|small|paper]
 //!                   [--trace=FILE.json] [--trace-interval=CYCLES]
 //!                   [--prof=FILE.json] [--prof-summary]
+//!                   [--rt-analytics=FILE.json] [--rt-heatmap=FILE.csv]
+//!                   [--rt-summary]
 //! ```
 //!
 //! Without arguments, runs every experiment at test scale. Experiments:
@@ -23,6 +25,14 @@
 //! stderr). `--prof-summary` runs every workload with accounting on and
 //! prints the human-readable stall table: top stall category, SIMT
 //! efficiency, achieved vs peak IPC and warp occupancy.
+//!
+//! `--rt-analytics=FILE.json` enables ray-traversal analytics and writes
+//! the flat-JSON characterization (maps to `VKSIM_RT_ANALYTICS`; `-`
+//! prints to stderr); `--rt-heatmap=FILE.csv` writes the per-BVH-node
+//! visit/hit heatmap (`VKSIM_RT_HEATMAP`). `--rt-summary` runs every
+//! workload with analytics on and prints the human-readable traversal
+//! table: rays traced, per-ray node/box/triangle work, heatmap
+//! concentration, warp traversal coherence and RT-unit attribution.
 
 use vksim_bench as x;
 use vksim_core::SimConfig;
@@ -46,6 +56,10 @@ fn main() {
             std::env::set_var("VKSIM_TRACE_INTERVAL", iv);
         } else if let Some(path) = a.strip_prefix("--prof=") {
             std::env::set_var("VKSIM_PROF", path);
+        } else if let Some(path) = a.strip_prefix("--rt-analytics=") {
+            std::env::set_var("VKSIM_RT_ANALYTICS", path);
+        } else if let Some(path) = a.strip_prefix("--rt-heatmap=") {
+            std::env::set_var("VKSIM_RT_HEATMAP", path);
         }
     }
     let prof_summary = args.iter().any(|a| a == "--prof-summary");
@@ -58,14 +72,24 @@ fn main() {
             }
         }
     }
+    let rt_summary = args.iter().any(|a| a == "--rt-summary");
+    if rt_summary {
+        println!("== Ray-traversal analytics: per-workload characterization ==");
+        for (name, summary) in x::rt_summary_rows(scale) {
+            println!("\n-- {name} --");
+            for line in summary.lines() {
+                println!("  {line}");
+            }
+        }
+    }
     let which: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
         .map(|s| s.as_str())
         .collect();
-    // `--prof-summary` alone is a complete invocation; named experiments
-    // can still be combined with it.
-    let all = which.is_empty() && !prof_summary;
+    // `--prof-summary` / `--rt-summary` alone are complete invocations;
+    // named experiments can still be combined with them.
+    let all = which.is_empty() && !prof_summary && !rt_summary;
     let want = |name: &str| all || which.contains(&name);
 
     if want("tab02") {

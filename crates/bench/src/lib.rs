@@ -50,6 +50,23 @@ pub fn prof_summary_rows(scale: Scale) -> Vec<(&'static str, String)> {
         .collect()
 }
 
+/// Runs each workload with ray-traversal analytics enabled and returns
+/// its human-readable characterization (the `--rt-summary` report: rays
+/// traced, per-ray traversal work, heatmap concentration, warp
+/// coherence, RT-unit attribution).
+pub fn rt_summary_rows(scale: Scale) -> Vec<(&'static str, String)> {
+    WorkloadKind::ALL
+        .iter()
+        .map(|&k| {
+            let config = config_for_scale(scale).with_rt_analytics(true);
+            let (w, report) = run_workload(k, scale, config);
+            let rt = report.rt.expect("rt analytics enabled");
+            debug_assert!(rt.conservation_holds());
+            (w.name, rt.summary())
+        })
+        .collect()
+}
+
 /// One row shared by several experiments.
 #[derive(Clone, Debug)]
 pub struct WorkloadRow {

@@ -49,7 +49,7 @@ pub use build::BuildOptions;
 pub use node::{NodeKind, WideBvh, INSTANCE_LEAF_SIZE, INTERNAL_NODE_SIZE, PRIMITIVE_LEAF_SIZE};
 pub use tlas::{Blas, Instance, Tlas};
 pub use traversal::{
-    ProceduralHit, TraceEvent, TraversalConfig, TraversalError, TraversalResult,
+    NodeVisit, ProceduralHit, TraceEvent, TraversalConfig, TraversalError, TraversalResult,
     TriangleIntersection,
 };
 

@@ -52,6 +52,26 @@ pub enum TraceEvent {
     },
 }
 
+/// One BVH-node visit recorded for the analytics layer: which node was
+/// fetched, how deep in its tree it sits, and whether the visit *hit*
+/// (an internal node with at least one intersected child, a pushed
+/// instance, a passing triangle test, or a collected procedural leaf).
+/// Only recorded when [`TraversalConfig::record_visits`] is on, so the
+/// default path allocates nothing for it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NodeVisit {
+    /// Node index within its arena.
+    pub node: u32,
+    /// Tree depth of the node within its own BVH (root = 0).
+    pub depth: u32,
+    /// `true` for a bottom-level (BLAS) node, `false` for top-level.
+    pub blas: bool,
+    /// Absolute simulated address of the fetch (for line-reuse analysis).
+    pub addr: u64,
+    /// The visit contributed to the traversal (see type docs).
+    pub hit: bool,
+}
+
 /// A committed triangle hit.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct TriangleIntersection {
@@ -104,6 +124,8 @@ pub struct TraversalConfig {
     pub terminate_on_first_hit: bool,
     /// Record the [`TraceEvent`] script (disable for functional-only runs).
     pub record_events: bool,
+    /// Record a [`NodeVisit`] per fetched node (analytics layer only).
+    pub record_visits: bool,
     /// Base address of the per-ray intersection buffer.
     pub intersection_buffer_base: u64,
 }
@@ -113,6 +135,7 @@ impl Default for TraversalConfig {
         TraversalConfig {
             terminate_on_first_hit: false,
             record_events: true,
+            record_visits: false,
             intersection_buffer_base: 0x4000_0000,
         }
     }
@@ -131,6 +154,8 @@ pub struct TraversalResult {
     pub procedural_hits: Vec<ProceduralHit>,
     /// Recorded traversal script (empty when `record_events` is off).
     pub events: Vec<TraceEvent>,
+    /// Per-node visit records (empty when `record_visits` is off).
+    pub visits: Vec<NodeVisit>,
     /// Number of BVH nodes fetched.
     pub nodes_visited: u32,
     /// Number of ray-box tests performed.
@@ -154,6 +179,8 @@ struct StackEntry {
     node: u32,
     space: Space,
     t_enter: f32,
+    /// Tree depth within the entry's own BVH (each BLAS restarts at 0).
+    depth: u32,
 }
 
 /// A structural fault detected during traversal (corrupt or mismatched
@@ -257,6 +284,7 @@ pub fn traverse(
         node: 0,
         space: Space::Tlas,
         t_enter: world_ray.t_min,
+        depth: 0,
     });
     out.max_stack_depth = 1;
 
@@ -320,6 +348,17 @@ pub fn traverse(
             },
         );
         out.nodes_visited += 1;
+        if config.record_visits {
+            // Recorded as a miss; the arms below upgrade the entry when the
+            // visit contributes (child/triangle/instance/procedural hit).
+            out.visits.push(NodeVisit {
+                node: entry.node,
+                depth: entry.depth,
+                blas: entry.space != Space::Tlas,
+                addr: base + bvh.offset_of(entry.node),
+                hit: false,
+            });
+        }
 
         match node {
             Node::Internal(int) => {
@@ -351,10 +390,14 @@ pub fn traverse(
                         node: child,
                         space: entry.space,
                         t_enter: t,
+                        depth: entry.depth + 1,
                     });
                     push_event(&mut out, config, TraceEvent::StackPush);
                 }
                 out.max_stack_depth = out.max_stack_depth.max(stack.len() as u32);
+                if nhits > 0 {
+                    mark_visit_hit(&mut out, config);
+                }
             }
             Node::Instance(leaf) => {
                 let inst = &tlas.instances[leaf.instance_index as usize];
@@ -372,9 +415,11 @@ pub fn traverse(
                             instance: leaf.instance_index,
                         },
                         t_enter: entry.t_enter,
+                        depth: 0,
                     });
                     push_event(&mut out, config, TraceEvent::StackPush);
                     out.max_stack_depth = out.max_stack_depth.max(stack.len() as u32);
+                    mark_visit_hit(&mut out, config);
                 }
             }
             Node::Triangle(leaf) => {
@@ -387,6 +432,7 @@ pub fn traverse(
                 push_event(&mut out, config, TraceEvent::TriangleTest);
                 let tri = &leaf.triangle;
                 if let Some(hit) = intersect::ray_triangle(&test_ray, tri.v0, tri.v1, tri.v2) {
+                    mark_visit_hit(&mut out, config);
                     let inst = &tlas.instances[instance as usize];
                     // Commit: shrink t_max (Algorithm 2 line 14, "update
                     // closest-hit geometry").
@@ -439,6 +485,7 @@ pub fn traverse(
                         size: INTERSECTION_ENTRY_SIZE,
                     },
                 );
+                mark_visit_hit(&mut out, config);
             }
         }
     }
@@ -449,6 +496,17 @@ pub fn traverse(
 fn push_event(out: &mut TraversalResult, config: &TraversalConfig, ev: TraceEvent) {
     if config.record_events {
         out.events.push(ev);
+    }
+}
+
+/// Upgrades the most recent [`NodeVisit`] to a hit. Every call site runs
+/// while the visit pushed for the current node is still last in the vec.
+#[inline]
+fn mark_visit_hit(out: &mut TraversalResult, config: &TraversalConfig) {
+    if config.record_visits {
+        if let Some(v) = out.visits.last_mut() {
+            v.hit = true;
+        }
     }
 }
 
@@ -490,6 +548,38 @@ mod tests {
         assert!(hit.world_normal.z < 0.0, "normal should face the ray");
         assert!(r.nodes_visited >= 3); // TLAS root + instance leaf + BLAS nodes
         assert!(r.triangle_tests >= 1);
+    }
+
+    /// `record_visits` records exactly one entry per fetched node, carrying
+    /// the tree depth the node sits at; the default config records none.
+    #[test]
+    fn record_visits_mirrors_nodes_visited() {
+        let (tlas, blas) = single_quad_scene();
+        let ray = Ray::new(Vec3::new(0.2, 0.3, -5.0), Vec3::Z);
+        let off = traverse(&tlas, &[&blas], &ray, &TraversalConfig::default()).unwrap();
+        assert!(off.visits.is_empty(), "visits are off by default");
+
+        let cfg = TraversalConfig {
+            record_visits: true,
+            ..TraversalConfig::default()
+        };
+        let r = traverse(&tlas, &[&blas], &ray, &cfg).unwrap();
+        assert_eq!(r.visits.len() as u32, r.nodes_visited);
+        // The walk starts at the TLAS root (depth 0, not a BLAS node) and,
+        // on a hitting ray, every BVH level contributes at least one hit.
+        assert!(matches!(
+            r.visits.first(),
+            Some(NodeVisit {
+                depth: 0,
+                blas: false,
+                hit: true,
+                ..
+            })
+        ));
+        assert!(r.visits.iter().any(|v| v.blas && v.hit));
+        // Functional output is identical with recording on.
+        assert_eq!(r.closest, off.closest);
+        assert_eq!(r.nodes_visited, off.nodes_visited);
     }
 
     #[test]

@@ -51,10 +51,14 @@ pub fn config_fingerprint(config: &GpuConfig, device: &Device, cmd: &TraceRaysCo
             interval: trace.interval,
             flight_depth: trace.flight_depth,
             max_events: trace.max_events,
-            // Accounting shapes per-SM snapshot state (like `enabled`
-            // shapes collector state); the output path does not.
+            // Accounting and RT analytics shape per-SM snapshot state
+            // (like `enabled` shapes collector state); the output paths
+            // do not.
             accounting: trace.accounting,
             prof: None,
+            rt_analytics: trace.rt_analytics,
+            rt: None,
+            rt_heatmap: None,
         },
         ..config.clone()
     };
@@ -150,6 +154,8 @@ mod tests {
         harness.checkpoint_keep = 2;
         harness.fault_plan.stall_warp = Some(3);
         harness.trace.prof = Some("/tmp/prof.json".into());
+        harness.trace.rt = Some("/tmp/rt.json".into());
+        harness.trace.rt_heatmap = Some("/tmp/heatmap.csv".into());
         assert_eq!(
             config_fingerprint(&base, &device, &cmd),
             config_fingerprint(&harness, &device, &cmd),
@@ -180,6 +186,13 @@ mod tests {
             config_fingerprint(&base, &device, &cmd),
             config_fingerprint(&acct, &device, &cmd),
             "accounting shapes per-SM snapshot state"
+        );
+        let mut rt = SimConfig::test_small().resolve();
+        rt.trace.rt_analytics = true;
+        assert_ne!(
+            config_fingerprint(&base, &device, &cmd),
+            config_fingerprint(&rt, &device, &cmd),
+            "rt analytics shapes runtime and per-SM snapshot state"
         );
     }
 }

@@ -122,6 +122,33 @@ impl SimConfig {
         self
     }
 
+    /// Enables ray-traversal analytics (the `VKSIM_RT_ANALYTICS`
+    /// characterization layer): per-BVH-node heatmaps, per-ray
+    /// histograms, warp traversal coherence and RT-unit job attribution,
+    /// available as [`crate::RunReport::rt`]. Independent of event
+    /// tracing and cycle accounting; tests pass an explicit flag here
+    /// instead of relying on the environment override.
+    pub fn with_rt_analytics(mut self, on: bool) -> Self {
+        self.gpu.trace.rt_analytics = on;
+        self
+    }
+
+    /// Enables RT analytics and writes its flat-JSON breakdown to `path`
+    /// at the end of the run (`-` prints to stderr).
+    pub fn with_rt(mut self, path: impl Into<String>) -> Self {
+        self.gpu.trace.rt_analytics = true;
+        self.gpu.trace.rt = Some(path.into());
+        self
+    }
+
+    /// Enables RT analytics and writes the per-BVH-node heatmap CSV to
+    /// `path` at the end of the run.
+    pub fn with_rt_heatmap(mut self, path: impl Into<String>) -> Self {
+        self.gpu.trace.rt_analytics = true;
+        self.gpu.trace.rt_heatmap = Some(path.into());
+        self
+    }
+
     /// Sets how many periodic checkpoints to retain: after each
     /// successful checkpoint write, all but the newest `keep`
     /// `ckpt-*.vksnap` files are pruned from the checkpoint directory.
@@ -268,6 +295,19 @@ mod tests {
         let c = SimConfig::test_small().with_accounting(true);
         assert!(c.gpu.trace.accounting);
         assert!(c.gpu.trace.prof.is_none());
+    }
+
+    #[test]
+    fn rt_analytics_builders() {
+        let c = SimConfig::test_small()
+            .with_rt("/tmp/rt.json")
+            .with_rt_heatmap("/tmp/heat.csv");
+        assert!(c.gpu.trace.rt_analytics);
+        assert_eq!(c.gpu.trace.rt.as_deref(), Some("/tmp/rt.json"));
+        assert_eq!(c.gpu.trace.rt_heatmap.as_deref(), Some("/tmp/heat.csv"));
+        let c = SimConfig::test_small().with_rt_analytics(true);
+        assert!(c.gpu.trace.rt_analytics);
+        assert!(c.gpu.trace.rt.is_none() && c.gpu.trace.rt_heatmap.is_none());
     }
 
     #[test]

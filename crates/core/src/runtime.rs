@@ -27,6 +27,7 @@ use vksim_isa::RtError;
 use vksim_math::{Ray, Vec3};
 use vksim_rtunit::{OpKind, Step, SHORT_STACK_ENTRIES};
 use vksim_snapshot::{Dec, Enc, SnapError};
+use vksim_trace::TraversalAnalytics;
 
 /// Vulkan ray flag bit 0: terminate on first hit (shadow rays).
 pub const RAY_FLAG_TERMINATE_ON_FIRST_HIT: u32 = 1;
@@ -143,6 +144,10 @@ pub struct RtRuntime {
     alloc_cursor: u64,
     /// Accumulated functional statistics.
     pub stats: RuntimeStats,
+    /// Ray-traversal analytics (heatmaps, per-ray histograms, per-level
+    /// line reuse); `None` unless enabled, so the default run pays one
+    /// null check per traversal.
+    analytics: Option<Box<TraversalAnalytics>>,
 }
 
 impl RtRuntime {
@@ -158,6 +163,28 @@ impl RtRuntime {
             fcc_tables: HashMap::new(),
             alloc_cursor: SHARD_ALLOC_BASE,
             stats: RuntimeStats::default(),
+            analytics: None,
+        }
+    }
+
+    /// Turns on ray-traversal analytics collection: per-node heatmaps,
+    /// per-ray histograms and per-level line-reuse tallies. Call before
+    /// sharding so every shard inherits the setting.
+    pub fn enable_analytics(&mut self) {
+        self.analytics = Some(Box::new(TraversalAnalytics::default()));
+    }
+
+    /// The collected traversal analytics, if enabled.
+    pub fn analytics(&self) -> Option<&TraversalAnalytics> {
+        self.analytics.as_deref()
+    }
+
+    /// Merges another runtime's traversal analytics into this one's (used
+    /// to fold per-SM shards back together; the merge is commutative, so
+    /// shard order does not matter).
+    pub fn merge_analytics_from(&mut self, other: &RtRuntime) {
+        if let (Some(mine), Some(theirs)) = (self.analytics.as_deref_mut(), other.analytics()) {
+            mine.merge(theirs);
         }
     }
 
@@ -175,6 +202,10 @@ impl RtRuntime {
             fcc_tables: HashMap::new(),
             alloc_cursor: SHARD_ALLOC_BASE + sm as u64 * SHARD_ALLOC_REGION,
             stats: RuntimeStats::default(),
+            analytics: self
+                .analytics
+                .as_ref()
+                .map(|_| Box::new(TraversalAnalytics::default())),
         }
     }
 
@@ -365,6 +396,13 @@ impl RtRuntime {
         }
         e.u64(self.alloc_cursor);
         self.stats.save(e);
+        match &self.analytics {
+            None => e.u8(0),
+            Some(a) => {
+                e.u8(1);
+                a.save(e);
+            }
+        }
     }
 
     /// Restores state written by [`RtRuntime::save_state`] into a runtime
@@ -417,6 +455,15 @@ impl RtRuntime {
         self.fcc_tables = fcc_tables;
         self.alloc_cursor = d.u64()?;
         self.stats = RuntimeStats::load(d)?;
+        self.analytics = match d.u8()? {
+            0 => None,
+            1 => Some(Box::new(TraversalAnalytics::load(d)?)),
+            t => {
+                return Err(SnapError::Malformed(format!(
+                    "rt runtime analytics tag {t}"
+                )))
+            }
+        };
         Ok(())
     }
 }
@@ -549,6 +596,7 @@ impl RtHooks for RtRuntime {
         let cfg = TraversalConfig {
             terminate_on_first_hit: ray.flags & RAY_FLAG_TERMINATE_ON_FIRST_HIT != 0,
             record_events: true,
+            record_visits: self.analytics.is_some(),
             intersection_buffer_base: per_thread_buffer,
         };
         let blas_refs: Vec<&Blas> = self.blases.iter().collect();
@@ -586,7 +634,22 @@ impl RtHooks for RtRuntime {
             }
         };
 
+        // Script synthesis tallies short-stack spill reloads; the delta
+        // over this call is exactly this ray's traversal restarts.
+        let spill_loads_before = self.stats.spill_loads;
         let script = self.events_to_script(tid, &result.events);
+        let restarts = self.stats.spill_loads - spill_loads_before;
+        if let Some(a) = self.analytics.as_deref_mut() {
+            for v in &result.visits {
+                a.record_visit(v.blas, v.depth, v.node, v.addr, v.hit);
+            }
+            a.record_ray(
+                result.nodes_visited as u64,
+                result.box_tests as u64,
+                result.triangle_tests as u64,
+                restarts,
+            );
+        }
         self.scripts.insert(tid, script);
         self.frames.entry(tid).or_default().push(Frame {
             ray,
@@ -984,6 +1047,61 @@ mod tests {
         rt.traverse(7, z_ray()).unwrap();
         assert!(!rt.take_script(7).is_empty());
         assert!(rt.take_script(7).is_empty(), "second take is empty");
+    }
+
+    #[test]
+    fn analytics_mirror_functional_stats_exactly() {
+        let (tlas, blases) = quad_scene();
+        let mut rt = RtRuntime::new(tlas, blases, [4, 4, 1], false);
+        rt.enable_analytics();
+        rt.traverse(0, z_ray()).unwrap();
+        let mut miss = z_ray();
+        miss.origin = [50.0, 50.0, -5.0];
+        rt.traverse(1, miss).unwrap();
+        let a = rt.analytics().expect("enabled");
+        assert_eq!(a.rays(), rt.stats.rays);
+        assert_eq!(a.visit_total(), rt.stats.nodes_visited);
+        for (name, hist) in a.histograms() {
+            assert_eq!(hist.count(), rt.stats.rays, "hist {name}");
+        }
+        let [(_, nodes), (_, boxes), (_, tris), _] = a.histograms();
+        assert_eq!(nodes.sum(), rt.stats.nodes_visited);
+        assert_eq!(boxes.sum(), rt.stats.box_tests);
+        assert_eq!(tris.sum(), rt.stats.triangle_tests);
+        assert!(a.hit_total() > 0, "the quad hit leaves hot nodes");
+        // Analytics state rides checkpoints byte-identically.
+        let mut e = Enc::new();
+        rt.save_state(&mut e);
+        let bytes = e.into_bytes();
+        let (tlas, blases) = quad_scene();
+        let mut back = RtRuntime::new(tlas, blases, [4, 4, 1], false);
+        back.enable_analytics();
+        let mut d = Dec::new(&bytes);
+        back.restore_state(&mut d).unwrap();
+        d.finish().unwrap();
+        let mut e2 = Enc::new();
+        back.save_state(&mut e2);
+        assert_eq!(e2.into_bytes(), bytes, "round trip is byte-idempotent");
+    }
+
+    #[test]
+    fn shards_inherit_analytics_and_merge_conserves() {
+        let (tlas, blases) = quad_scene();
+        let mut rt = RtRuntime::new(tlas, blases, [64, 1, 1], false);
+        assert!(rt.shard(0).analytics().is_none(), "off stays off");
+        rt.enable_analytics();
+        let mut s0 = rt.shard(0);
+        let mut s1 = rt.shard(1);
+        s0.traverse(0, z_ray()).unwrap();
+        s1.traverse(32, z_ray()).unwrap();
+        rt.merge_analytics_from(&s0);
+        rt.merge_analytics_from(&s1);
+        let merged = rt.analytics().expect("enabled");
+        assert_eq!(merged.rays(), 2);
+        assert_eq!(
+            merged.visit_total(),
+            s0.stats.nodes_visited + s1.stats.nodes_visited
+        );
     }
 
     #[test]

@@ -11,7 +11,10 @@ use vksim_isa::interp::{run_to_exit, ExecError, ThreadState};
 use vksim_isa::SimMemory;
 use vksim_power::{ActivityCounts, PowerModel, PowerReport};
 use vksim_snapshot::Snapshot;
-use vksim_trace::{chrome_trace_json, hotspot_summary, interval_csv, ProfReport, TraceReport};
+use vksim_trace::{
+    chrome_trace_json, hotspot_summary, interval_csv, ProfReport, RtReport, TraceReport,
+    TraversalAnalytics,
+};
 use vksim_vulkan::{Device, TraceRaysCommand};
 
 /// Everything a simulated `vkCmdTraceRaysKHR` produced.
@@ -32,6 +35,11 @@ pub struct RunReport {
     /// (`VKSIM_PROF` / [`vksim_trace::TraceConfig::accounting`]; the flat
     /// JSON export, if requested, has already been written).
     pub prof: Option<ProfReport>,
+    /// The ray-traversal analytics report, when RT analytics was enabled
+    /// (`VKSIM_RT_ANALYTICS` /
+    /// [`vksim_trace::TraceConfig::rt_analytics`]; the flat JSON and
+    /// heatmap CSV exports, if requested, have already been written).
+    pub rt: Option<RtReport>,
 }
 
 /// A classified simulation failure.
@@ -167,6 +175,7 @@ impl Simulator {
         let keep = gpu_config.effective_checkpoint_keep();
         let ckpt_dir = gpu_config.effective_checkpoint_dir();
         let num_sms = gpu_config.num_sms;
+        let rt_analytics_on = gpu_config.effective_trace().rt_analytics;
         let mut gpu = GpuSim::new(gpu_config);
         gpu.mem = device.memory.clone();
         gpu.launch(
@@ -181,11 +190,16 @@ impl Simulator {
         // between SMs, so per-thread state partitions exactly). The serial
         // engine drives a single runtime, carried as a one-element vec so
         // both modes checkpoint through the same path.
-        let mut shards: Vec<RtRuntime> = if threads > 1 {
-            let runtime = self.make_runtime(device, cmd);
-            (0..num_sms).map(|sm| runtime.shard(sm)).collect()
-        } else {
-            vec![self.make_runtime(device, cmd)]
+        let mut shards: Vec<RtRuntime> = {
+            let mut runtime = self.make_runtime(device, cmd);
+            if rt_analytics_on {
+                runtime.enable_analytics();
+            }
+            if threads > 1 {
+                (0..num_sms).map(|sm| runtime.shard(sm)).collect()
+            } else {
+                vec![runtime]
+            }
         };
         if let Some(payload) = resume_payload {
             if let Err(e) = checkpoint::restore_machine(&mut gpu, &mut shards, &payload) {
@@ -262,8 +276,35 @@ impl Simulator {
         if let (Some(p), Some(path)) = (&prof, &gpu.config().effective_trace().prof) {
             export_prof(path, p);
         }
+        // RT analytics likewise export on both paths; a faulted run's
+        // partial heatmap is still a valid characterization of the rays
+        // that completed.
+        let rt = rt_report(&gpu, &shards);
+        if let Some(r) = &rt {
+            let tcfg = gpu.config().effective_trace();
+            if let Some(path) = &tcfg.rt {
+                export_rt(path, r);
+            }
+            if let Some(path) = &tcfg.rt_heatmap {
+                export_rt_heatmap(path, r);
+            }
+        }
         match outcome {
             Ok(stats) => {
+                // Conservation only holds on healthy runs: fault paths can
+                // stop mid-traversal with scripts half-consumed.
+                if let Some(r) = &rt {
+                    assert!(
+                        r.conservation_holds(),
+                        "rt analytics conservation violated on a healthy run: \
+                         heatmap visits {} vs per-ray nodes {}, per-ray box \
+                         tests {} vs rt-unit box ops {}",
+                        r.traversal.visit_total(),
+                        r.traversal.histograms()[0].1.sum(),
+                        r.traversal.histograms()[1].1.sum(),
+                        r.rt_box_ops,
+                    );
+                }
                 let power = power_from_stats(&stats);
                 Ok(RunReport {
                     gpu: stats,
@@ -272,6 +313,7 @@ impl Simulator {
                     memory,
                     trace,
                     prof,
+                    rt,
                 })
             }
             Err(fault) => {
@@ -284,6 +326,7 @@ impl Simulator {
                     memory,
                     trace,
                     prof,
+                    rt,
                 };
                 Err(Box::new(SimFailure {
                     error,
@@ -345,7 +388,10 @@ impl Simulator {
 /// written.
 fn export_trace(report: &TraceReport) {
     let mut outputs: Vec<(&str, String)> = Vec::new();
-    if let Some(path) = &report.config.out {
+    // The streaming exporter writes `out` incrementally during the run
+    // and claims the file by setting `streamed`; only fall back to the
+    // one-shot serialization when no stream ever reached the file.
+    if let (Some(path), false) = (&report.config.out, report.streamed) {
         outputs.push((path.as_str(), chrome_trace_json(report)));
     }
     if let Some(path) = &report.config.csv {
@@ -375,6 +421,44 @@ fn export_prof(path: &str, report: &ProfReport) {
         eprintln!("{json}");
     } else if let Err(e) = std::fs::write(path, json) {
         eprintln!("vksim: failed to write profile {path}: {e}");
+    }
+}
+
+/// Assembles the end-of-run [`RtReport`] when RT analytics was enabled:
+/// shard traversal tallies merge commutatively (identical at any
+/// `VKSIM_THREADS`), per-SM coherence and RT-unit attribution come from
+/// the machine. `None` whenever analytics was off.
+fn rt_report(gpu: &GpuSim, shards: &[RtRuntime]) -> Option<RtReport> {
+    let (per_sm, rt_box_ops) = gpu.rt_report_parts()?;
+    let mut traversal = TraversalAnalytics::default();
+    for shard in shards {
+        traversal.merge(shard.analytics()?);
+    }
+    Some(RtReport {
+        traversal,
+        per_sm,
+        rt_box_ops,
+    })
+}
+
+/// Writes the ray-traversal analytics breakdown requested by the trace
+/// config (`VKSIM_RT_ANALYTICS`): flat `name -> u64` JSON,
+/// golden-comparable; `-` prints to stderr. Export failures are
+/// warnings, exactly like trace export.
+fn export_rt(path: &str, report: &RtReport) {
+    let json = report.flat_json();
+    if path == "-" {
+        eprintln!("{json}");
+    } else if let Err(e) = std::fs::write(path, json) {
+        eprintln!("vksim: failed to write rt analytics {path}: {e}");
+    }
+}
+
+/// Writes the per-BVH-node heatmap CSV (`VKSIM_RT_HEATMAP`). Export
+/// failures are warnings.
+fn export_rt_heatmap(path: &str, report: &RtReport) {
+    if let Err(e) = std::fs::write(path, report.heatmap_csv()) {
+        eprintln!("vksim: failed to write rt heatmap {path}: {e}");
     }
 }
 
@@ -842,6 +926,54 @@ mod tests {
             .run(&device, &cmd)
             .expect("healthy run");
         assert!(report.prof.is_none(), "accounting is opt-in");
+        assert!(report.rt.is_none(), "rt analytics is opt-in");
+    }
+
+    #[test]
+    fn rt_export_writes_conserved_analytics() {
+        let (device, cmd, _) = quad_workload(16, 8);
+        let dir = std::env::temp_dir().join(format!("vksim-rt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let json_path = dir.join("rt.json");
+        let csv_path = dir.join("heatmap.csv");
+        let cfg = SimConfig::test_small()
+            .with_rt(json_path.to_string_lossy().to_string())
+            .with_rt_heatmap(csv_path.to_string_lossy().to_string());
+        let report = Simulator::new(cfg).run(&device, &cmd).expect("healthy run");
+        let rt = report.rt.as_ref().expect("rt analytics enabled");
+        assert!(rt.conservation_holds(), "{rt:?}");
+        assert_eq!(rt.traversal.rays(), report.runtime.rays);
+        assert_eq!(rt.num_sms(), 2);
+        let written = std::fs::read_to_string(&json_path).expect("rt file written");
+        assert_eq!(written, rt.flat_json(), "file matches in-memory report");
+        let parsed = vksim_testkit::json::parse_flat_u64_object(&written).expect("valid flat JSON");
+        assert_eq!(parsed.get("rays"), Some(&report.runtime.rays));
+        assert_eq!(
+            parsed["heatmap.visits"], parsed["nodes_visited"],
+            "conservation in the file"
+        );
+        assert_eq!(parsed["box_tests"], parsed["rtu.box_ops"]);
+        let csv = std::fs::read_to_string(&csv_path).expect("heatmap written");
+        assert!(csv.starts_with("space,depth,node,visits,hits\n"));
+        assert_eq!(
+            csv.lines().count() as u64,
+            1 + parsed["heatmap.cells"],
+            "one CSV row per heatmap cell"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rt_analytics_report_is_thread_count_invariant() {
+        let (device, cmd, _) = quad_workload(16, 8);
+        let run = |threads: usize| {
+            let cfg = SimConfig::test_small()
+                .with_rt_analytics(true)
+                .with_threads(threads);
+            let report = Simulator::new(cfg).run(&device, &cmd).expect("healthy run");
+            report.rt.expect("rt analytics enabled").flat_json()
+        };
+        assert_eq!(run(1), run(4), "flat JSON identical at any VKSIM_THREADS");
     }
 
     #[test]

@@ -22,8 +22,8 @@ use vksim_mem::{RequestQueue, SharedMemSystem};
 use vksim_parallel::{chunk_range, DoneGuard, RoundBarrier, ShutdownGuard};
 use vksim_stats::{Counters, Histogram};
 use vksim_trace::{
-    Event, EventKind, IntervalSnapshot, ProfReport, TraceCollector, TraceReport, NO_WARP,
-    NUM_CATEGORIES,
+    Event, EventKind, IntervalSnapshot, ProfReport, RtSmAnalytics, TraceCollector, TraceReport,
+    NO_WARP, NUM_CATEGORIES, NUM_RT_SERIES,
 };
 
 /// Ray-tracing launch dimensions (`vkCmdTraceRaysKHR` width/height/depth).
@@ -259,6 +259,21 @@ fn accounting_totals(sms: &[Sm]) -> Option<[u64; NUM_CATEGORIES]> {
     Some(totals)
 }
 
+/// Merges per-SM cumulative RT-analytics series (trace warps, lane steps,
+/// warp steps, RT-unit script steps); `None` when RT analytics is disabled
+/// on any SM (presence is uniform).
+fn rt_totals(sms: &[Sm]) -> Option<[u64; NUM_RT_SERIES]> {
+    let mut totals = [0u64; NUM_RT_SERIES];
+    for sm in sms {
+        let coh = sm.rt_analytics()?;
+        totals[0] += coh.trace_warps();
+        totals[1] += coh.lane_steps();
+        totals[2] += coh.warp_steps();
+        totals[3] += sm.rt_unit.analytics().map_or(0, |a| a.steps);
+    }
+    Some(totals)
+}
+
 /// Fills the shared-backend fields of an interval snapshot.
 fn absorb_backend_snapshot(snap: &mut IntervalSnapshot, shared: &SharedMemSystem) {
     let (l2_hits, l2_misses, dram_reqs, dram_transfer) = shared.traffic_totals();
@@ -307,6 +322,9 @@ impl GpuSim {
                 if trace.accounting {
                     sm.enable_accounting();
                 }
+                if trace.rt_analytics {
+                    sm.enable_rt_analytics();
+                }
                 sm
             })
             .collect();
@@ -330,7 +348,9 @@ impl GpuSim {
             faults: 0,
             queues: (0..num_sms).map(|_| RequestQueue::new()).collect(),
             last_progress: 0,
-            collector: trace.enabled.then(|| TraceCollector::new(trace)),
+            collector: trace
+                .enabled
+                .then(|| TraceCollector::new(trace, num_sms as u32)),
         }
     }
 
@@ -792,10 +812,27 @@ impl GpuSim {
                                 None => accounting = false,
                             }
                         }
+                        let mut rt = [0u64; NUM_RT_SERIES];
+                        let mut rt_on = true;
+                        for l in &lanes {
+                            let lane = l.lock().expect("lane lock");
+                            match lane.sm.rt_analytics() {
+                                Some(coh) => {
+                                    rt[0] += coh.trace_warps();
+                                    rt[1] += coh.lane_steps();
+                                    rt[2] += coh.warp_steps();
+                                    rt[3] += lane.sm.rt_unit.analytics().map_or(0, |a| a.steps);
+                                }
+                                None => rt_on = false,
+                            }
+                        }
                         absorb_backend_snapshot(&mut snap, &self.shared);
                         col.sample(cycle, snap);
                         if accounting {
                             col.sample_prof(cycle, totals);
+                        }
+                        if rt_on {
+                            col.sample_rt(cycle, rt);
                         }
                     }
                 }
@@ -934,6 +971,18 @@ impl GpuSim {
                     if trace.accounting { "en" } else { "dis" }
                 )));
             }
+            if sm.rt_analytics().is_some() != trace.rt_analytics {
+                return Err(vksim_snapshot::SnapError::Malformed(format!(
+                    "rt-analytics presence mismatch on SM {i}: snapshot {}, \
+                     rt analytics {}abled in config",
+                    if sm.rt_analytics().is_some() {
+                        "has it"
+                    } else {
+                        "lacks it"
+                    },
+                    if trace.rt_analytics { "en" } else { "dis" }
+                )));
+            }
             sms.push(sm);
         }
         self.sms = sms;
@@ -962,7 +1011,7 @@ impl GpuSim {
         self.last_progress = d.u64()?;
         self.collector = match (d.u8()?, trace.enabled) {
             (0, false) => None,
-            (1, true) => Some(TraceCollector::load(trace, d)?),
+            (1, true) => Some(TraceCollector::load(trace, self.config.num_sms as u32, d)?),
             (tag @ (0 | 1), enabled) => {
                 return Err(vksim_snapshot::SnapError::Malformed(format!(
                     "trace collector presence mismatch: snapshot tag {tag}, \
@@ -1007,6 +1056,9 @@ impl GpuSim {
             if let Some(totals) = accounting_totals(&self.sms) {
                 col.sample_prof(cycle, totals);
             }
+            if let Some(totals) = rt_totals(&self.sms) {
+                col.sample_rt(cycle, totals);
+            }
         }
     }
 
@@ -1037,6 +1089,9 @@ impl GpuSim {
         if let Some(totals) = accounting_totals(&self.sms) {
             col.sample_prof(self.cycle, totals);
         }
+        if let Some(totals) = rt_totals(&self.sms) {
+            col.sample_rt(self.cycle, totals);
+        }
         for sm in &self.sms {
             if let Some(tr) = sm.tracer() {
                 col.absorb_aggregates(sm.id as u32, tr);
@@ -1061,6 +1116,32 @@ impl GpuSim {
             issued_insts: self.sms.iter().map(|s| s.issued_insts).sum(),
             issued_lanes: self.sms.iter().map(|s| s.issued_lanes).sum(),
         })
+    }
+
+    /// Gathers the timing-side half of the ray-traversal analytics report:
+    /// one [`RtSmAnalytics`] per SM (warp traversal coherence plus RT-unit
+    /// job/step/latency attribution) and the total RT-unit box-test
+    /// operation count (the conservation anchor against the functional
+    /// model's per-ray box-test tallies). `None` when RT analytics is
+    /// disabled.
+    pub fn rt_report_parts(&self) -> Option<(Vec<RtSmAnalytics>, u64)> {
+        let mut per_sm = Vec::with_capacity(self.sms.len());
+        for sm in &self.sms {
+            let coherence = sm.rt_analytics()?.clone();
+            let rtu = sm.rt_unit.analytics()?;
+            per_sm.push(RtSmAnalytics {
+                coherence,
+                rtu_jobs: rtu.jobs,
+                rtu_steps: rtu.steps,
+                rtu_latency: rtu.latency_total,
+            });
+        }
+        let rt_box_ops = self
+            .sms
+            .iter()
+            .map(|sm| sm.rt_unit.stats().counters.get("ops.box_tests"))
+            .sum();
+        Some((per_sm, rt_box_ops))
     }
 
     /// Debug-only conservation check, run at healthy loop exits: every SM
@@ -2006,6 +2087,217 @@ mod tests {
         assert!(
             json.contains("\"acct_issued\""),
             "prof counter tracks missing from chrome trace"
+        );
+    }
+
+    fn rt_config() -> GpuConfig {
+        GpuConfig {
+            trace: vksim_trace::TraceConfig {
+                rt_analytics: true,
+                ..vksim_trace::TraceConfig::default()
+            },
+            ..small_config()
+        }
+    }
+
+    #[test]
+    fn rt_analytics_attributes_warps_jobs_and_steps() {
+        let mut gpu = GpuSim::new(rt_config());
+        gpu.launch(
+            trace_program(),
+            LaunchDims {
+                width: 256,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut hooks = TestHooks {
+            width: 256,
+            scripts_taken: 0,
+        };
+        gpu.run(&mut hooks).expect("healthy run");
+        let (per_sm, rt_box_ops) = gpu.rt_report_parts().expect("rt analytics enabled");
+        assert_eq!(per_sm.len(), 2);
+        let trace_warps: u64 = per_sm.iter().map(|s| s.coherence.trace_warps()).sum();
+        let lane_steps: u64 = per_sm.iter().map(|s| s.coherence.lane_steps()).sum();
+        let rtu_jobs: u64 = per_sm.iter().map(|s| s.rtu_jobs).sum();
+        let rtu_steps: u64 = per_sm.iter().map(|s| s.rtu_steps).sum();
+        let rtu_latency: u64 = per_sm.iter().map(|s| s.rtu_latency).sum();
+        assert_eq!(trace_warps, 8, "256 threads = 8 trace warps");
+        // Every lane runs a 1-step script, so lane steps == threads and
+        // the RT units consume exactly that many script steps.
+        assert_eq!(lane_steps, 256);
+        assert_eq!(rtu_steps, 256);
+        assert_eq!(rtu_jobs, 8, "every trace warp retires exactly once");
+        assert!(rtu_latency > 0, "resident latency accumulates");
+        // TestHooks scripts run one Box{tests: 6} op per thread.
+        assert_eq!(rt_box_ops, 256 * 6);
+    }
+
+    #[test]
+    fn rt_analytics_disabled_leaves_no_trace_of_itself() {
+        let mut gpu = GpuSim::new(small_config());
+        gpu.launch(
+            trace_program(),
+            LaunchDims {
+                width: 64,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut hooks = TestHooks {
+            width: 64,
+            scripts_taken: 0,
+        };
+        gpu.run(&mut hooks).expect("healthy run");
+        assert!(gpu.rt_report_parts().is_none());
+    }
+
+    fn run_rt_with_threads(threads: usize) -> String {
+        let mut gpu = GpuSim::new(GpuConfig {
+            threads,
+            ..rt_config()
+        });
+        gpu.launch(
+            trace_program(),
+            LaunchDims {
+                width: 256,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut shards: Vec<TestHooks> = (0..2)
+            .map(|_| TestHooks {
+                width: 256,
+                scripts_taken: 0,
+            })
+            .collect();
+        gpu.run_sharded(&mut shards).expect("healthy run");
+        let parts = gpu.rt_report_parts().expect("rt analytics enabled");
+        format!("{parts:?}")
+    }
+
+    #[test]
+    fn rt_analytics_is_thread_count_invariant() {
+        std::env::remove_var("VKSIM_THREADS");
+        let serial = run_rt_with_threads(1);
+        let parallel = run_rt_with_threads(4);
+        assert_eq!(serial, parallel, "rt analytics must be identical");
+    }
+
+    #[test]
+    fn rt_analytics_survives_checkpoint_byte_identically() {
+        std::env::remove_var("VKSIM_THREADS");
+        let config = rt_config();
+        let dims = LaunchDims {
+            width: 256,
+            height: 1,
+            depth: 1,
+        };
+        let mut hooks = TestHooks {
+            width: 256,
+            scripts_taken: 0,
+        };
+        let mut reference = GpuSim::new(config.clone());
+        reference.launch(trace_program(), dims);
+        reference.run(&mut hooks).expect("healthy run");
+        let want = format!("{:?}", reference.rt_report_parts().expect("rt on"));
+
+        let mut gpu = GpuSim::new(config.clone());
+        gpu.launch(trace_program(), dims);
+        let mut hooks = TestHooks {
+            width: 256,
+            scripts_taken: 0,
+        };
+        let outcome = gpu.run_until(&mut hooks, 40).expect("healthy slice");
+        assert!(matches!(outcome, RunOutcome::Paused), "{outcome:?}");
+        let mut enc = vksim_snapshot::Enc::new();
+        gpu.save_state(&mut enc);
+        let payload = enc.into_bytes();
+
+        let mut restored = GpuSim::new(config);
+        restored.launch(trace_program(), dims);
+        let mut dec = vksim_snapshot::Dec::new(&payload);
+        restored.restore_state(&mut dec).expect("restore");
+        dec.finish().expect("full consumption");
+        let mut hooks = TestHooks {
+            width: 256,
+            scripts_taken: 0,
+        };
+        restored.run(&mut hooks).expect("healthy resumed tail");
+        let got = format!("{:?}", restored.rt_report_parts().expect("rt on"));
+        assert_eq!(want, got, "resumed rt analytics must be identical");
+    }
+
+    #[test]
+    fn restore_rejects_rt_analytics_presence_mismatch() {
+        let mut gpu = GpuSim::new(rt_config());
+        gpu.launch(
+            trace_program(),
+            LaunchDims {
+                width: 64,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut enc = vksim_snapshot::Enc::new();
+        gpu.save_state(&mut enc);
+        let payload = enc.into_bytes();
+        let mut other = GpuSim::new(small_config());
+        other.launch(
+            trace_program(),
+            LaunchDims {
+                width: 64,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut dec = vksim_snapshot::Dec::new(&payload);
+        let err = other
+            .restore_state(&mut dec)
+            .expect_err("rt analytics presence mismatch");
+        assert!(
+            matches!(&err, vksim_snapshot::SnapError::Malformed(m) if m.contains("rt-analytics")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn rt_counter_tracks_reach_chrome_trace() {
+        let mut config = rt_config();
+        config.trace = vksim_trace::TraceConfig {
+            enabled: true,
+            interval: 16,
+            ..config.trace
+        };
+        let mut gpu = GpuSim::new(config);
+        gpu.launch(
+            trace_program(),
+            LaunchDims {
+                width: 256,
+                height: 1,
+                depth: 1,
+            },
+        );
+        let mut hooks = TestHooks {
+            width: 256,
+            scripts_taken: 0,
+        };
+        gpu.run(&mut hooks).expect("healthy run");
+        let report = gpu.take_trace_report().expect("tracing enabled");
+        assert!(
+            !report.rt_warp_latency.is_empty(),
+            "traversal-latency aggregates missing from trace report"
+        );
+        let json = vksim_trace::chrome_trace_json(&report);
+        assert!(
+            json.contains("\"rt_trace_warps\""),
+            "rt counter tracks missing from chrome trace"
+        );
+        let summary = vksim_trace::hotspot_summary(&report, 5);
+        assert!(
+            summary.contains("top traversal-latency warps"),
+            "rt hotspot section missing: {summary}"
         );
     }
 

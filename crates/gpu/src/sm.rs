@@ -20,7 +20,9 @@ use vksim_mem::{
 };
 use vksim_rtunit::{RtMem, RtMemResult, RtUnit, RtUnitEventKind, WarpJob};
 use vksim_stats::Counters;
-use vksim_trace::{CycleAccounting, CycleCategory, EventKind, SmTracer, TraceConfig, NO_WARP};
+use vksim_trace::{
+    CycleAccounting, CycleCategory, EventKind, SmTracer, TraceConfig, WarpCoherence, NO_WARP,
+};
 
 /// Hooks the GPU needs from the simulator core: the RT functional runtime
 /// plus the recorded traversal scripts.
@@ -316,6 +318,9 @@ pub struct Sm {
     // Cycle-accounting recorder; same branch-on-null discipline as the
     // tracer, so a disabled run pays one null check per tick.
     accounting: Option<Box<CycleAccounting>>,
+    // Warp traversal-coherence recorder (rt analytics); same
+    // branch-on-null discipline.
+    rt_analytics: Option<Box<WarpCoherence>>,
 }
 
 impl Sm {
@@ -344,6 +349,7 @@ impl Sm {
             trace_cycles: 0,
             tracer: None,
             accounting: None,
+            rt_analytics: None,
         }
     }
 
@@ -362,6 +368,19 @@ impl Sm {
     /// The cycle-accounting recorder, when enabled.
     pub fn accounting(&self) -> Option<&CycleAccounting> {
         self.accounting.as_deref()
+    }
+
+    /// Switches on ray-traversal analytics for this SM: warp coherence is
+    /// tallied at every `traceRay` issue and the RT unit attributes steps
+    /// and latency per job.
+    pub fn enable_rt_analytics(&mut self) {
+        self.rt_analytics = Some(Box::new(WarpCoherence::new()));
+        self.rt_unit.set_analytics(true);
+    }
+
+    /// The warp-coherence recorder, when rt analytics is enabled.
+    pub fn rt_analytics(&self) -> Option<&WarpCoherence> {
+        self.rt_analytics.as_deref()
     }
 
     /// The per-SM event recorder, when tracing is enabled. Phase B drains
@@ -917,6 +936,13 @@ impl Sm {
                 acc.save(e);
             }
         }
+        match &self.rt_analytics {
+            None => e.u8(0),
+            Some(rec) => {
+                e.u8(1);
+                rec.save(e);
+            }
+        }
     }
 
     /// Restores an SM written by [`Sm::save`], rebuilding config-derived
@@ -1008,6 +1034,15 @@ impl Sm {
             t => {
                 return Err(vksim_snapshot::SnapError::Malformed(format!(
                     "accounting tag {t}"
+                )))
+            }
+        };
+        sm.rt_analytics = match d.u8()? {
+            0 => None,
+            1 => Some(Box::new(WarpCoherence::load(d)?)),
+            t => {
+                return Err(vksim_snapshot::SnapError::Malformed(format!(
+                    "rt analytics tag {t}"
                 )))
             }
         };
@@ -1231,6 +1266,17 @@ impl Sm {
                 for &(lane, _) in &lane_effects {
                     let tid = self.warps[warp_idx].base_tid + lane;
                     scripts[lane] = hooks.take_script(tid);
+                }
+                if let Some(rec) = self.rt_analytics.as_mut() {
+                    // Lane `l` is active at step `s` while its script still
+                    // has a step to run; tallying lane counts per step gives
+                    // the integer-exact warp·step integral.
+                    let max_len = scripts.iter().map(Vec::len).max().unwrap_or(0);
+                    rec.record_job(
+                        (0..max_len).map(|s| {
+                            scripts.iter().filter(|script| script.len() > s).count() as u32
+                        }),
+                    );
                 }
                 self.next_rt_job += 1;
                 let job_id = self.next_rt_job;

@@ -24,7 +24,10 @@
 
 pub mod unit;
 
-pub use unit::{RtMem, RtMemResult, RtUnit, RtUnitEvent, RtUnitEventKind, RtUnitStats, WarpDone};
+pub use unit::{
+    RtMem, RtMemResult, RtUnit, RtUnitAnalytics, RtUnitEvent, RtUnitEventKind, RtUnitStats,
+    WarpDone,
+};
 
 use vksim_stats::{Counters, Histogram};
 

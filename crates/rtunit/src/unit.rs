@@ -237,6 +237,69 @@ impl QueuedReq {
     }
 }
 
+/// Per-job step/latency attribution for the rt-analytics layer: script
+/// steps attributed to each in-flight job while it runs, folded into the
+/// aggregate tallies when the job retires. Allocated only while analytics
+/// is enabled, so the default path pays one branch per hook.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RtUnitAnalytics {
+    /// Jobs retired.
+    pub jobs: u64,
+    /// Script steps fully consumed by retired and in-flight jobs.
+    pub steps: u64,
+    /// Σ enqueue→retire latency over retired jobs, in cycles.
+    pub latency_total: u64,
+    /// Steps consumed so far by each in-flight job.
+    live: HashMap<u32, u64>,
+}
+
+impl RtUnitAnalytics {
+    fn on_enqueue(&mut self, warp_id: u32) {
+        self.live.insert(warp_id, 0);
+    }
+
+    fn on_step(&mut self, warp_id: u32) {
+        self.steps += 1;
+        *self.live.entry(warp_id).or_default() += 1;
+    }
+
+    fn on_retire(&mut self, warp_id: u32, latency: u64) {
+        self.live.remove(&warp_id);
+        self.jobs += 1;
+        self.latency_total += latency;
+    }
+
+    fn save(&self, e: &mut vksim_snapshot::Enc) {
+        e.u64(self.jobs);
+        e.u64(self.steps);
+        e.u64(self.latency_total);
+        let mut live: Vec<(&u32, &u64)> = self.live.iter().collect();
+        live.sort_unstable_by_key(|(id, _)| **id);
+        e.seq(live.len());
+        for (id, steps) in live {
+            e.u32(*id);
+            e.u64(*steps);
+        }
+    }
+
+    fn load(d: &mut vksim_snapshot::Dec<'_>) -> Result<Self, vksim_snapshot::SnapError> {
+        let jobs = d.u64()?;
+        let steps = d.u64()?;
+        let latency_total = d.u64()?;
+        let mut live = HashMap::new();
+        for _ in 0..d.seq()? {
+            let id = d.u32()?;
+            live.insert(id, d.u64()?);
+        }
+        Ok(RtUnitAnalytics {
+            jobs,
+            steps,
+            latency_total,
+            live,
+        })
+    }
+}
+
 /// The per-SM ray-tracing accelerator.
 ///
 /// Drive it with [`RtUnit::try_enqueue`], one [`RtUnit::tick`] per core
@@ -263,6 +326,8 @@ pub struct RtUnit {
     sample_period: u64,
     // Timeline event buffer, allocated only while tracing is enabled.
     events: Option<Vec<RtUnitEvent>>,
+    // Per-job attribution, allocated only while rt analytics is enabled.
+    analytics: Option<Box<RtUnitAnalytics>>,
 }
 
 /// Snapshot of RT-unit statistics.
@@ -289,12 +354,24 @@ impl RtUnit {
             occupancy_trace: Vec::new(),
             sample_period: 256,
             events: None,
+            analytics: None,
         }
     }
 
     /// Enables (or disables) timeline event recording. Off by default.
     pub fn set_event_trace(&mut self, enabled: bool) {
         self.events = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Enables (or disables) per-job step/latency attribution. Off by
+    /// default.
+    pub fn set_analytics(&mut self, enabled: bool) {
+        self.analytics = if enabled { Some(Box::default()) } else { None };
+    }
+
+    /// The per-job attribution recorder, when analytics is enabled.
+    pub fn analytics(&self) -> Option<&RtUnitAnalytics> {
+        self.analytics.as_deref()
     }
 
     /// Drains recorded enqueue/finish timeline events.
@@ -352,6 +429,9 @@ impl RtUnit {
                 warp_id: job.warp_id,
                 kind: RtUnitEventKind::Enqueue,
             });
+        }
+        if let Some(a) = self.analytics.as_mut() {
+            a.on_enqueue(job.warp_id);
         }
         self.warps.push(WarpSlot {
             warp_id: job.warp_id,
@@ -417,6 +497,9 @@ impl RtUnit {
                 if let LaneState::InOp(done) = lane.state {
                     if done <= now {
                         lane.advance();
+                        if let Some(a) = self.analytics.as_mut() {
+                            a.on_step(w.warp_id);
+                        }
                     }
                 }
             }
@@ -474,6 +557,9 @@ impl RtUnit {
                         warp_id: w.warp_id,
                         kind: RtUnitEventKind::Finish { latency },
                     });
+                }
+                if let Some(a) = self.analytics.as_mut() {
+                    a.on_retire(w.warp_id, latency);
                 }
                 done.push(WarpDone {
                     warp_id: w.warp_id,
@@ -678,6 +764,13 @@ impl RtUnit {
                 }
             }
         }
+        match &self.analytics {
+            None => e.u8(0),
+            Some(a) => {
+                e.u8(1);
+                a.save(e);
+            }
+        }
     }
 
     /// Restores a unit written by [`RtUnit::save`] under `config`.
@@ -761,6 +854,15 @@ impl RtUnit {
             t => {
                 return Err(vksim_snapshot::SnapError::Malformed(format!(
                     "rt event trace tag {t}"
+                )))
+            }
+        };
+        rt.analytics = match d.u8()? {
+            0 => None,
+            1 => Some(Box::new(RtUnitAnalytics::load(d)?)),
+            t => {
+                return Err(vksim_snapshot::SnapError::Malformed(format!(
+                    "rt analytics tag {t}"
                 )))
             }
         };
@@ -854,6 +956,58 @@ mod tests {
         // 64 B = 2 chunks.
         assert_eq!(mem.loads.len(), 2);
         assert!(done[0].1.latency >= 20, "must include memory latency");
+    }
+
+    /// Per-job attribution ties steps to script lengths and latency to the
+    /// retire report, and survives a mid-flight save/load byte-identically.
+    #[test]
+    fn analytics_attributes_steps_and_latency_per_job() {
+        let mut rt = RtUnit::new(RtUnitConfig::default());
+        rt.set_analytics(true);
+        let job = WarpJob {
+            warp_id: 3,
+            scripts: vec![
+                vec![fetch(0x1000, 32), fetch(0x2000, 32)],
+                vec![fetch(0x1000, 32)],
+                Vec::new(),
+            ],
+        };
+        assert!(rt.try_enqueue(job, 0));
+        let mut mem = FlatMem::new(5);
+
+        // Save mid-flight after a couple of cycles; the live map rides the
+        // snapshot and re-encodes byte-identically.
+        rt.tick(0, &mut mem);
+        rt.tick(1, &mut mem);
+        let mut e = vksim_snapshot::Enc::new();
+        rt.save(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = vksim_snapshot::Dec::new(&bytes);
+        let restored = RtUnit::load(RtUnitConfig::default(), &mut d).unwrap();
+        d.finish().unwrap();
+        let mut e2 = vksim_snapshot::Enc::new();
+        restored.save(&mut e2);
+        assert_eq!(e2.into_bytes(), bytes);
+
+        let done = {
+            let mut done = Vec::new();
+            for now in 2..10_000 {
+                for f in rt.tick(now, &mut mem) {
+                    done.push((now, f));
+                }
+                if rt.is_idle() {
+                    break;
+                }
+            }
+            done
+        };
+        assert_eq!(done.len(), 1);
+        let a = rt.analytics().expect("analytics enabled");
+        assert_eq!(a.jobs, 1);
+        assert_eq!(a.steps, 3, "one step per script entry across lanes");
+        assert_eq!(a.latency_total, done[0].1.latency);
+        let disabled = RtUnit::new(RtUnitConfig::default());
+        assert!(disabled.analytics().is_none());
     }
 
     #[test]

@@ -34,6 +34,14 @@ pub struct TraceConfig {
     pub accounting: bool,
     /// Flat-JSON cycle-breakdown output path (`-` writes to stderr).
     pub prof: Option<String>,
+    /// Ray-traversal analytics switch, independent of `enabled`: when
+    /// `true`, the runtime records per-node visit heatmaps and per-ray
+    /// histograms, and every SM carries a warp-coherence recorder.
+    pub rt_analytics: bool,
+    /// Flat-JSON rt-analytics breakdown output path (`-` writes to stderr).
+    pub rt: Option<String>,
+    /// Per-node heatmap CSV output path.
+    pub rt_heatmap: Option<String>,
 }
 
 impl Default for TraceConfig {
@@ -48,6 +56,9 @@ impl Default for TraceConfig {
             max_events: DEFAULT_MAX_EVENTS,
             accounting: false,
             prof: None,
+            rt_analytics: false,
+            rt: None,
+            rt_heatmap: None,
         }
     }
 }
@@ -63,6 +74,11 @@ impl TraceConfig {
     /// * `VKSIM_PROF=out.json` — enable cycle accounting and write the
     ///   flat-JSON breakdown there (`-` for stderr). Does **not** enable
     ///   event tracing.
+    /// * `VKSIM_RT_ANALYTICS=out.json` — enable ray-traversal analytics
+    ///   and write the flat-JSON breakdown there (`-` for stderr). Does
+    ///   **not** enable event tracing.
+    /// * `VKSIM_RT_HEATMAP=path.csv` — enable ray-traversal analytics and
+    ///   write the per-node heatmap CSV there.
     ///
     /// Unset or unparsable variables leave the config field untouched, so
     /// explicitly-built configs keep working under a clean environment.
@@ -94,6 +110,18 @@ impl TraceConfig {
             if !path.is_empty() {
                 cfg.accounting = true;
                 cfg.prof = Some(path);
+            }
+        }
+        if let Ok(path) = std::env::var("VKSIM_RT_ANALYTICS") {
+            if !path.is_empty() {
+                cfg.rt_analytics = true;
+                cfg.rt = Some(path);
+            }
+        }
+        if let Ok(path) = std::env::var("VKSIM_RT_HEATMAP") {
+            if !path.is_empty() {
+                cfg.rt_analytics = true;
+                cfg.rt_heatmap = Some(path);
             }
         }
         cfg
@@ -160,6 +188,8 @@ mod tests {
         std::env::remove_var("VKSIM_TRACE_CSV");
         std::env::remove_var("VKSIM_TRACE_SUMMARY");
         std::env::remove_var("VKSIM_PROF");
+        std::env::remove_var("VKSIM_RT_ANALYTICS");
+        std::env::remove_var("VKSIM_RT_HEATMAP");
         assert_eq!(base.with_env_overrides(), base);
 
         std::env::set_var("VKSIM_TRACE", "/tmp/t.json");
@@ -185,5 +215,20 @@ mod tests {
         assert!(c.accounting);
         assert_eq!(c.prof.as_deref(), Some("/tmp/p.json"));
         std::env::remove_var("VKSIM_PROF");
+
+        // Either RT knob enables rt analytics, never event tracing.
+        std::env::set_var("VKSIM_RT_ANALYTICS", "/tmp/rt.json");
+        std::env::set_var("VKSIM_RT_HEATMAP", "/tmp/rt.csv");
+        let c = base.with_env_overrides();
+        assert!(!c.enabled && !c.accounting);
+        assert!(c.rt_analytics);
+        assert_eq!(c.rt.as_deref(), Some("/tmp/rt.json"));
+        assert_eq!(c.rt_heatmap.as_deref(), Some("/tmp/rt.csv"));
+        std::env::remove_var("VKSIM_RT_ANALYTICS");
+        std::env::set_var("VKSIM_RT_HEATMAP", "/tmp/rt2.csv");
+        let c = base.with_env_overrides();
+        assert!(c.rt_analytics && c.rt.is_none());
+        assert_eq!(c.rt_heatmap.as_deref(), Some("/tmp/rt2.csv"));
+        std::env::remove_var("VKSIM_RT_HEATMAP");
     }
 }

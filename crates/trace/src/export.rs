@@ -26,6 +26,7 @@
 use crate::accounting::{CycleCategory, NUM_CATEGORIES};
 use crate::config::TraceConfig;
 use crate::event::{Event, EventKind, NO_WARP};
+use crate::rt_analytics::NUM_RT_SERIES;
 use crate::sampler::IntervalRecord;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -41,6 +42,17 @@ pub const COUNTER_TID: u64 = 1_000_000;
 /// Thread id for per-category cycle-accounting counter events in the
 /// memory process.
 pub const PROF_TID: u64 = 4_000_000;
+/// Thread id for RT-analytics counter events in the memory process.
+pub const RT_TID: u64 = 5_000_000;
+
+/// Chrome counter-track names for the RT-analytics series, in the same
+/// order as the `[u64; NUM_RT_SERIES]` samples.
+const RT_SERIES_NAMES: [&str; NUM_RT_SERIES] = [
+    "rt_trace_warps",
+    "rt_lane_steps",
+    "rt_warp_steps",
+    "rt_unit_steps",
+];
 
 /// Everything collected over a run, ready for export.
 #[derive(Clone, Debug)]
@@ -65,25 +77,67 @@ pub struct TraceReport {
     /// boundaries (empty unless accounting was enabled alongside
     /// tracing).
     pub prof_series: Vec<(u64, [u64; NUM_CATEGORIES])>,
+    /// Cumulative merged RT-analytics series sampled at interval
+    /// boundaries (empty unless RT analytics was enabled alongside
+    /// tracing).
+    pub rt_series: Vec<(u64, [u64; NUM_RT_SERIES])>,
+    /// Traversal jobs and Σ resident latency per `(sm, warp)`.
+    pub rt_warp_latency: BTreeMap<(u32, u32), (u64, u64)>,
+    /// Events already flushed to the `out` file by the streaming exporter
+    /// (and therefore absent from [`TraceReport::events`]); 0 on
+    /// in-memory runs.
+    pub flushed: u64,
+    /// Whether the streaming exporter wrote (and finalized) the `out`
+    /// file itself — when set, the one-shot export must not overwrite it.
+    pub streamed: bool,
     /// The configuration the trace was collected under.
     pub config: TraceConfig,
 }
 
 /// Serializes the report as Chrome trace-event JSON (Perfetto-loadable).
 /// Output is byte-deterministic for a fixed report.
+///
+/// Built from the same three pieces the streaming exporter writes
+/// incrementally — [`chrome_header`], [`chrome_event_chunk`],
+/// [`chrome_counter_tail`] — so a streamed file and a one-shot export of
+/// the same event stream are byte-identical.
 pub fn chrome_trace_json(report: &TraceReport) -> String {
+    let mut out = chrome_header(report.num_sms);
+    chrome_event_chunk(&mut out, &report.events);
+    out.push_str(&chrome_counter_tail(report));
+    out
+}
+
+/// The opening of the Chrome trace: the `traceEvents` array start plus
+/// one process-name metadata record per SM and one for the memory
+/// pseudo-process. At least one metadata record is always emitted, so
+/// every subsequent record is `",\n"`-prefixed.
+pub(crate) fn chrome_header(num_sms: u32) -> String {
     let mut out = String::with_capacity(64 * 1024);
     out.push_str("{\"traceEvents\":[\n");
     let mut first = true;
-    // Process-name metadata.
-    for sm in 0..report.num_sms {
+    for sm in 0..num_sms {
         meta(&mut out, &mut first, sm as u64, &format!("SM {sm}"));
     }
-    meta(&mut out, &mut first, report.num_sms as u64, "Memory");
-    // Timeline events, in the deterministic drain order.
-    for &(sm, ev) in &report.events {
-        emit_event(&mut out, &mut first, sm as u64, ev);
+    meta(&mut out, &mut first, num_sms as u64, "Memory");
+    out
+}
+
+/// Appends a chunk of timeline events (in deterministic drain order) to
+/// a trace opened by [`chrome_header`].
+pub(crate) fn chrome_event_chunk(out: &mut String, events: &[(u32, Event)]) {
+    let mut first = false;
+    for &(sm, ev) in events {
+        emit_event(out, &mut first, sm as u64, ev);
     }
+}
+
+/// The closing of the Chrome trace: interval counter series, the
+/// cycle-accounting and RT-analytics counter tracks, and the array
+/// footer.
+pub(crate) fn chrome_counter_tail(report: &TraceReport) -> String {
+    let mut out = String::new();
+    let mut first = false;
     // Interval counter series in the memory process.
     for rec in &report.intervals {
         for (name, value) in [
@@ -114,6 +168,23 @@ pub fn chrome_trace_json(report: &TraceReport) -> String {
                 out,
                 "{{\"name\":\"acct_{}\",\"ph\":\"C\",\"ts\":{prev_cycle},\"pid\":{},\"tid\":{PROF_TID},\"args\":{{\"value\":{delta}}}}}",
                 cat.name(),
+                report.num_sms
+            );
+        }
+        prev_cycle = cycle;
+        prev = totals;
+    }
+    // RT-analytics counter tracks: per-window deltas of the traversal
+    // coherence / RT-unit step series, stamped at the window start.
+    let mut prev_cycle = 0u64;
+    let mut prev = [0u64; NUM_RT_SERIES];
+    for &(cycle, totals) in &report.rt_series {
+        for (i, name) in RT_SERIES_NAMES.iter().enumerate() {
+            let delta = totals[i].saturating_sub(prev[i]);
+            sep(&mut out, &mut first);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{name}\",\"ph\":\"C\",\"ts\":{prev_cycle},\"pid\":{},\"tid\":{RT_TID},\"args\":{{\"value\":{delta}}}}}",
                 report.num_sms
             );
         }
@@ -299,7 +370,7 @@ pub fn hotspot_summary(report: &TraceReport, n: usize) -> String {
         "=== trace summary: {} cycles, {} SMs, {} events ({} dropped), {} intervals ===",
         report.final_cycle,
         report.num_sms,
-        report.events.len(),
+        report.events.len() as u64 + report.flushed,
         report.dropped,
         report.intervals.len()
     );
@@ -317,6 +388,38 @@ pub fn hotspot_summary(report: &TraceReport, n: usize) -> String {
     stalls.sort_by_key(|&(k, v)| (std::cmp::Reverse(v), k));
     for ((sm, warp), cycles) in stalls.iter().take(n) {
         let _ = writeln!(out, "  sm {sm:>2} warp {warp:>3}  {cycles:>10} cycles");
+    }
+
+    if !report.rt_warp_latency.is_empty() {
+        let _ = writeln!(out, "\ntop traversal-latency warps (RT resident cycles):");
+        let mut lat: Vec<((u32, u32), (u64, u64))> = report
+            .rt_warp_latency
+            .iter()
+            .map(|(&k, &v)| (k, v))
+            .collect();
+        lat.sort_by_key(|&(k, (_, cycles))| (std::cmp::Reverse(cycles), k));
+        for ((sm, warp), (jobs, cycles)) in lat.iter().take(n) {
+            let _ = writeln!(
+                out,
+                "  sm {sm:>2} warp {warp:>3}  {cycles:>10} cycles over {jobs:>5} jobs"
+            );
+        }
+
+        let _ = writeln!(out, "\nbusiest RT units (traversal jobs per SM):");
+        let mut per_sm: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+        for (&(sm, _), &(jobs, cycles)) in &report.rt_warp_latency {
+            let agg = per_sm.entry(sm).or_insert((0, 0));
+            agg.0 += jobs;
+            agg.1 += cycles;
+        }
+        let mut units: Vec<(u32, (u64, u64))> = per_sm.into_iter().collect();
+        units.sort_by_key(|&(sm, (jobs, _))| (std::cmp::Reverse(jobs), sm));
+        for (sm, (jobs, cycles)) in units.iter().take(n) {
+            let _ = writeln!(
+                out,
+                "  sm {sm:>2}  {jobs:>8} jobs  {cycles:>12} resident cycles"
+            );
+        }
     }
 
     let _ = writeln!(out, "\nworst RT-occupancy intervals (RT active only):");
@@ -451,8 +554,25 @@ mod tests {
             pc_issues,
             warp_stalls,
             prof_series: Vec::new(),
+            rt_series: Vec::new(),
+            rt_warp_latency: BTreeMap::new(),
+            flushed: 0,
+            streamed: false,
             config: TraceConfig::default(),
         }
+    }
+
+    #[test]
+    fn one_shot_export_equals_streamed_pieces() {
+        let r = tiny_report();
+        let mut streamed = chrome_header(r.num_sms);
+        // Flush the events in three uneven chunks, as the streaming
+        // exporter would at interval boundaries.
+        chrome_event_chunk(&mut streamed, &r.events[..2]);
+        chrome_event_chunk(&mut streamed, &r.events[2..2]);
+        chrome_event_chunk(&mut streamed, &r.events[2..]);
+        streamed.push_str(&chrome_counter_tail(&r));
+        assert_eq!(streamed, chrome_trace_json(&r), "chunking is invisible");
     }
 
     #[test]
@@ -504,6 +624,40 @@ mod tests {
         )));
         // A report without a prof series emits no accounting tracks.
         assert!(!chrome_trace_json(&tiny_report()).contains("acct_"));
+    }
+
+    #[test]
+    fn rt_counter_tracks_emit_deltas() {
+        let mut r = tiny_report();
+        r.rt_series = vec![(4, [2, 60, 5, 30]), (8, [3, 100, 9, 64])];
+        let json = chrome_trace_json(&r);
+        // First window [0,4): cumulative == delta, stamped at ts 0.
+        assert!(json.contains(&format!(
+            "\"name\":\"rt_trace_warps\",\"ph\":\"C\",\"ts\":0,\"pid\":2,\"tid\":{RT_TID},\"args\":{{\"value\":2}}"
+        )));
+        // Second window [4,8): deltas, stamped at ts 4.
+        assert!(json.contains(&format!(
+            "\"name\":\"rt_lane_steps\",\"ph\":\"C\",\"ts\":4,\"pid\":2,\"tid\":{RT_TID},\"args\":{{\"value\":40}}"
+        )));
+        assert!(json.contains(&format!(
+            "\"name\":\"rt_unit_steps\",\"ph\":\"C\",\"ts\":4,\"pid\":2,\"tid\":{RT_TID},\"args\":{{\"value\":34}}"
+        )));
+        // A report without an RT series emits no RT counter tracks.
+        assert!(!chrome_trace_json(&tiny_report()).contains("rt_trace_warps"));
+    }
+
+    #[test]
+    fn summary_lists_rt_hotspots_only_when_present() {
+        let plain = hotspot_summary(&tiny_report(), 5);
+        assert!(!plain.contains("top traversal-latency warps"));
+        let mut r = tiny_report();
+        r.rt_warp_latency.insert((0, 3), (2, 900));
+        r.rt_warp_latency.insert((1, 7), (5, 1400));
+        let s = hotspot_summary(&r, 5);
+        assert!(s.contains("top traversal-latency warps"));
+        assert!(s.contains("sm  1 warp   7        1400 cycles over     5 jobs"));
+        assert!(s.contains("busiest RT units"));
+        assert!(s.contains("sm  1         5 jobs          1400 resident cycles"));
     }
 
     #[test]

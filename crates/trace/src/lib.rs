@@ -38,13 +38,18 @@ mod config;
 mod event;
 mod export;
 mod recorder;
+pub mod rt_analytics;
 mod sampler;
 
 pub use accounting::{CycleAccounting, CycleCategory, ProfReport, NUM_CATEGORIES};
 pub use config::{TraceConfig, DEFAULT_FLIGHT_DEPTH, DEFAULT_INTERVAL, DEFAULT_MAX_EVENTS};
 pub use event::{Event, EventKind, NO_WARP};
 pub use export::{
-    chrome_trace_json, hotspot_summary, interval_csv, TraceReport, ICNT_STALL_TID, PROF_TID,
+    chrome_trace_json, hotspot_summary, interval_csv, TraceReport, ICNT_STALL_TID, PROF_TID, RT_TID,
 };
 pub use recorder::{SmTracer, TraceCollector};
+pub use rt_analytics::{
+    RayHistogram, RtReport, RtSmAnalytics, TraversalAnalytics, WarpCoherence, NUM_RT_SERIES,
+    RAY_HIST_BUCKETS, WARP_OCC_BUCKETS,
+};
 pub use sampler::{IntervalRecord, IntervalSnapshot};

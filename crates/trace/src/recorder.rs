@@ -3,9 +3,11 @@
 use crate::accounting::NUM_CATEGORIES;
 use crate::config::TraceConfig;
 use crate::event::{Event, EventKind, NO_WARP};
-use crate::export::TraceReport;
+use crate::export::{chrome_counter_tail, chrome_event_chunk, chrome_header, TraceReport};
+use crate::rt_analytics::NUM_RT_SERIES;
 use crate::sampler::{IntervalRecord, IntervalSnapshot};
 use std::collections::{BTreeMap, VecDeque};
+use std::io::{Seek as _, SeekFrom, Write as _};
 
 /// The per-SM recorder. Lives behind an `Option<Box<SmTracer>>` on each SM
 /// so a disabled run pays exactly one null check per hook site; all state
@@ -23,6 +25,10 @@ pub struct SmTracer {
     // Aggregates for the hotspot summary.
     pc_issues: BTreeMap<u32, u64>,
     warp_stall_cycles: BTreeMap<u32, u64>,
+    // Per-warp RT traversal-latency aggregate: warp -> (jobs, Σ latency).
+    // Fed from `RtFinish` events so the hotspot summary survives event
+    // caps and streaming flushes.
+    rt_warp_latency: BTreeMap<u32, (u64, u64)>,
     // Edge detector for the RT-busy span.
     rt_busy: bool,
     // Open SM-wide interconnect-backpressure span: stall-begin cycle.
@@ -39,6 +45,7 @@ impl SmTracer {
             stall_since: BTreeMap::new(),
             pc_issues: BTreeMap::new(),
             warp_stall_cycles: BTreeMap::new(),
+            rt_warp_latency: BTreeMap::new(),
             rt_busy: false,
             icnt_stall_since: None,
         }
@@ -46,6 +53,11 @@ impl SmTracer {
 
     /// Records a raw event.
     pub fn record(&mut self, cycle: u64, warp: u32, kind: EventKind) {
+        if let EventKind::RtFinish { latency } = kind {
+            let agg = self.rt_warp_latency.entry(warp).or_insert((0, 0));
+            agg.0 += 1;
+            agg.1 += latency;
+        }
         let ev = Event { cycle, warp, kind };
         self.staged.push(ev);
         if self.flight.len() >= self.flight_depth {
@@ -155,6 +167,12 @@ impl SmTracer {
         }
         e.bool(self.rt_busy);
         e.opt_u64(self.icnt_stall_since);
+        e.seq(self.rt_warp_latency.len());
+        for (&warp, &(jobs, cycles)) in &self.rt_warp_latency {
+            e.u32(warp);
+            e.u64(jobs);
+            e.u64(cycles);
+        }
     }
 
     /// Restores a recorder written by [`SmTracer::save`].
@@ -189,6 +207,14 @@ impl SmTracer {
             let warp = d.u32()?;
             warp_stall_cycles.insert(warp, d.u64()?);
         }
+        let rt_busy = d.bool()?;
+        let icnt_stall_since = d.opt_u64()?;
+        let mut rt_warp_latency = BTreeMap::new();
+        for _ in 0..d.seq()? {
+            let warp = d.u32()?;
+            let jobs = d.u64()?;
+            rt_warp_latency.insert(warp, (jobs, d.u64()?));
+        }
         Ok(SmTracer {
             staged,
             flight,
@@ -196,8 +222,9 @@ impl SmTracer {
             stall_since,
             pc_issues,
             warp_stall_cycles,
-            rt_busy: d.bool()?,
-            icnt_stall_since: d.opt_u64()?,
+            rt_warp_latency,
+            rt_busy,
+            icnt_stall_since,
         })
     }
 
@@ -207,12 +234,103 @@ impl SmTracer {
     }
 }
 
+/// The streaming Chrome-trace writer: when the config names an `out`
+/// file, completed event chunks are appended to it at interval
+/// boundaries instead of accumulating in RAM for the whole run. The file
+/// is built from the same pieces as the one-shot
+/// [`crate::chrome_trace_json`] export, so the streamed bytes are
+/// identical. Any IO failure is a warning: the collector falls back to
+/// accumulating and retries once at end of run.
+#[derive(Debug)]
+struct EventStream {
+    /// Lazily created at the first flush (a fresh stream truncates the
+    /// file; a checkpoint-restored one reopens and truncates to the
+    /// saved offset instead).
+    file: Option<std::fs::File>,
+    path: String,
+    /// Whether the array header + process metadata have been written.
+    header_written: bool,
+    /// Events already flushed to the file.
+    flushed: u64,
+    /// Current file length in bytes — saved into checkpoints so a resume
+    /// can truncate away everything the killed run wrote afterwards.
+    bytes: u64,
+    /// A write failed; stop flushing (end-of-run finalize retries once).
+    failed: bool,
+}
+
+/// The stream a fresh collector starts with: present exactly when
+/// tracing is enabled with an `out` file.
+fn fresh_stream(config: &TraceConfig) -> Option<EventStream> {
+    let path = config.out.clone()?;
+    config.enabled.then(|| EventStream {
+        file: None,
+        path,
+        header_written: false,
+        flushed: 0,
+        bytes: 0,
+        failed: false,
+    })
+}
+
+/// Rebuilds a checkpointed stream on resume: reopens the `out` file and
+/// truncates it to the saved byte offset (discarding everything the
+/// killed run streamed after the checkpoint). A reopen failure is a
+/// warning; the stream is marked failed so the stale file is neither
+/// appended to nor clobbered.
+fn reopen_stream(
+    config: &TraceConfig,
+    header_written: bool,
+    flushed: u64,
+    bytes: u64,
+) -> Option<EventStream> {
+    let path = config.out.clone()?;
+    if !config.enabled {
+        return None;
+    }
+    let mut stream = EventStream {
+        file: None,
+        path,
+        header_written,
+        flushed,
+        bytes,
+        failed: false,
+    };
+    if !header_written {
+        // Nothing reached the file before the checkpoint: behave like a
+        // fresh stream (first flush creates and truncates).
+        return Some(stream);
+    }
+    let reopened = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&stream.path)
+        .and_then(|mut f| {
+            f.set_len(bytes)?;
+            f.seek(SeekFrom::Start(bytes))?;
+            Ok(f)
+        });
+    match reopened {
+        Ok(f) => stream.file = Some(f),
+        Err(e) => {
+            stream.failed = true;
+            eprintln!(
+                "vksim: cannot reopen streamed trace {} on resume ({e}); \
+                 the trace file will not be continued",
+                stream.path
+            );
+        }
+    }
+    Some(stream)
+}
+
 /// The serial merge point: phase B drains every SM's staged events — in
 /// SM-id order — into one collector, samples the interval series, and at
 /// end of run folds everything into a [`TraceReport`].
 #[derive(Debug)]
 pub struct TraceCollector {
     config: TraceConfig,
+    num_sms: u32,
+    stream: Option<EventStream>,
     events: Vec<(u32, Event)>,
     dropped: u64,
     intervals: Vec<IntervalRecord>,
@@ -224,13 +342,24 @@ pub struct TraceCollector {
     // Cumulative merged cycle-accounting totals, sampled at the interval
     // boundaries; empty unless accounting rides along with tracing.
     prof_series: Vec<(u64, [u64; NUM_CATEGORIES])>,
+    // Cumulative merged RT-analytics series, sampled at the interval
+    // boundaries; empty unless RT analytics rides along with tracing.
+    rt_series: Vec<(u64, [u64; NUM_RT_SERIES])>,
+    // (sm, warp) -> (traversal jobs, Σ resident latency).
+    rt_warp_latency: BTreeMap<(u32, u32), (u64, u64)>,
 }
 
 impl TraceCollector {
-    /// Creates an empty collector.
-    pub fn new(config: TraceConfig) -> Self {
+    /// Creates an empty collector for a machine with `num_sms` SMs. When
+    /// the config names an `out` file, the collector streams event
+    /// chunks to it at interval boundaries instead of holding the whole
+    /// run in RAM.
+    pub fn new(config: TraceConfig, num_sms: u32) -> Self {
+        let stream = fresh_stream(&config);
         TraceCollector {
             config,
+            num_sms,
+            stream,
             events: Vec::new(),
             dropped: 0,
             intervals: Vec::new(),
@@ -240,6 +369,8 @@ impl TraceCollector {
             pc_issues: BTreeMap::new(),
             warp_stalls: BTreeMap::new(),
             prof_series: Vec::new(),
+            rt_series: Vec::new(),
+            rt_warp_latency: BTreeMap::new(),
         }
     }
 
@@ -249,7 +380,11 @@ impl TraceCollector {
     }
 
     fn push(&mut self, sm: u32, ev: Event) {
-        if self.events.len() >= self.config.max_events {
+        // The cap bounds the *total* event stream — flushed chunks
+        // included — so a streamed trace records exactly the events a
+        // one-shot export would.
+        let flushed = self.stream.as_ref().map_or(0, |s| s.flushed);
+        if flushed + self.events.len() as u64 >= self.config.max_events as u64 {
             self.dropped += 1;
         } else {
             self.events.push((sm, ev));
@@ -296,6 +431,52 @@ impl TraceCollector {
         });
         self.last_snapshot = snapshot;
         self.interval_start = cycle;
+        // The interval boundary is the streaming flush point: every event
+        // recorded so far is complete (phase B already drained this
+        // cycle), so the chunk can leave RAM.
+        self.flush_stream();
+    }
+
+    /// Appends the accumulated event chunk to the stream file, creating
+    /// it (with the array header) on the first flush. On success the
+    /// chunk leaves RAM; on failure the collector warns once and keeps
+    /// accumulating (end-of-run finalize retries).
+    fn flush_stream(&mut self) {
+        let Some(s) = self.stream.as_mut() else {
+            return;
+        };
+        if s.failed || (self.events.is_empty() && s.header_written) {
+            return;
+        }
+        let mut chunk = String::new();
+        if !s.header_written {
+            chunk.push_str(&chrome_header(self.num_sms));
+        }
+        chrome_event_chunk(&mut chunk, &self.events);
+        let res = match &mut s.file {
+            Some(f) => f.write_all(chunk.as_bytes()),
+            none => std::fs::File::create(&s.path).and_then(|mut f| {
+                f.write_all(chunk.as_bytes())?;
+                *none = Some(f);
+                Ok(())
+            }),
+        };
+        match res {
+            Ok(()) => {
+                s.header_written = true;
+                s.flushed += self.events.len() as u64;
+                s.bytes += chunk.len() as u64;
+                self.events.clear();
+            }
+            Err(e) => {
+                s.failed = true;
+                eprintln!(
+                    "vksim: streaming trace write to {} failed ({e}); \
+                     accumulating in memory and retrying at end of run",
+                    s.path
+                );
+            }
+        }
     }
 
     /// Fields observed going backwards across all samples so far (0 on a
@@ -316,6 +497,17 @@ impl TraceCollector {
         self.prof_series.push((cycle, totals));
     }
 
+    /// Records one RT-analytics sample: `totals` holds *cumulative*
+    /// trace-warp / lane-step / warp-step / RT-unit-step counts merged
+    /// across all SMs as of `cycle`. Same interval boundaries and stale-
+    /// cycle dedup as [`TraceCollector::sample_prof`].
+    pub fn sample_rt(&mut self, cycle: u64, totals: [u64; NUM_RT_SERIES]) {
+        if self.rt_series.last().is_some_and(|&(c, _)| c >= cycle) {
+            return;
+        }
+        self.rt_series.push((cycle, totals));
+    }
+
     /// Folds one SM's summary aggregates in (call once, at end of run).
     pub fn absorb_aggregates(&mut self, sm: u32, tracer: &SmTracer) {
         for (&pc, &n) in &tracer.pc_issues {
@@ -323,6 +515,11 @@ impl TraceCollector {
         }
         for (&warp, &n) in &tracer.warp_stall_cycles {
             *self.warp_stalls.entry((sm, warp)).or_insert(0) += n;
+        }
+        for (&warp, &(jobs, cycles)) in &tracer.rt_warp_latency {
+            let agg = self.rt_warp_latency.entry((sm, warp)).or_insert((0, 0));
+            agg.0 += jobs;
+            agg.1 += cycles;
         }
     }
 
@@ -364,16 +561,47 @@ impl TraceCollector {
                 e.u64(t);
             }
         }
+        e.seq(self.rt_series.len());
+        for (cycle, totals) in &self.rt_series {
+            e.u64(*cycle);
+            for &t in totals {
+                e.u64(t);
+            }
+        }
+        e.seq(self.rt_warp_latency.len());
+        for (&(sm, warp), &(jobs, cycles)) in &self.rt_warp_latency {
+            e.u32(sm);
+            e.u32(warp);
+            e.u64(jobs);
+            e.u64(cycles);
+        }
+        // Streaming cursor: the flushed-event count and the file byte
+        // offset as of this checkpoint, so a resume can truncate away
+        // whatever the killed run streamed afterwards and continue the
+        // file byte-identically.
+        match &self.stream {
+            None => e.bool(false),
+            Some(s) => {
+                e.bool(true);
+                e.bool(s.header_written);
+                e.u64(s.flushed);
+                e.u64(s.bytes);
+            }
+        }
     }
 
     /// Restores a collector written by [`TraceCollector::save`] under the
-    /// resuming run's `config`.
+    /// resuming run's `config`. When the snapshot carries a streaming
+    /// cursor and the resuming config still names an `out` file, that
+    /// file is reopened and truncated to the saved byte offset so the
+    /// resumed stream continues byte-identically.
     ///
     /// # Errors
     ///
     /// Propagates decoder errors on truncated or malformed payloads.
     pub fn load(
         config: TraceConfig,
+        num_sms: u32,
         d: &mut vksim_snapshot::Dec<'_>,
     ) -> Result<Self, vksim_snapshot::SnapError> {
         let n = d.seq()?;
@@ -412,8 +640,38 @@ impl TraceCollector {
             }
             prof_series.push((cycle, totals));
         }
+        let n = d.seq()?;
+        let mut rt_series = Vec::with_capacity(n);
+        for _ in 0..n {
+            let cycle = d.u64()?;
+            let mut totals = [0u64; NUM_RT_SERIES];
+            for t in &mut totals {
+                *t = d.u64()?;
+            }
+            rt_series.push((cycle, totals));
+        }
+        let mut rt_warp_latency = BTreeMap::new();
+        for _ in 0..d.seq()? {
+            let sm = d.u32()?;
+            let warp = d.u32()?;
+            let jobs = d.u64()?;
+            rt_warp_latency.insert((sm, warp), (jobs, d.u64()?));
+        }
+        let stream = if d.bool()? {
+            let header_written = d.bool()?;
+            let flushed = d.u64()?;
+            let bytes = d.u64()?;
+            reopen_stream(&config, header_written, flushed, bytes)
+        } else {
+            // The checkpointed run did not stream (no `out` file); the
+            // resuming run starts a fresh stream if its config asks for
+            // one.
+            fresh_stream(&config)
+        };
         Ok(TraceCollector {
             config,
+            num_sms,
+            stream,
             events,
             dropped,
             intervals,
@@ -423,12 +681,20 @@ impl TraceCollector {
             pc_issues,
             warp_stalls,
             prof_series,
+            rt_series,
+            rt_warp_latency,
         })
     }
 
-    /// Finishes collection into an exportable report.
-    pub fn finish(self, final_cycle: u64, num_sms: u32) -> TraceReport {
-        TraceReport {
+    /// Finishes collection into an exportable report. When a stream is
+    /// active, the remaining event chunk, the counter series and the
+    /// array footer are appended to the `out` file here — completing a
+    /// file byte-identical to a one-shot [`crate::chrome_trace_json`]
+    /// export — and the report is marked `streamed` so the one-shot
+    /// exporter leaves the file alone.
+    pub fn finish(mut self, final_cycle: u64, num_sms: u32) -> TraceReport {
+        let stream = self.stream.take();
+        let mut report = TraceReport {
             num_sms,
             final_cycle,
             interval: self.config.effective_interval(),
@@ -438,8 +704,56 @@ impl TraceCollector {
             pc_issues: self.pc_issues,
             warp_stalls: self.warp_stalls,
             prof_series: self.prof_series,
+            rt_series: self.rt_series,
+            rt_warp_latency: self.rt_warp_latency,
+            flushed: stream.as_ref().map_or(0, |s| s.flushed),
+            streamed: false,
             config: self.config,
+        };
+        if let Some(mut s) = stream {
+            if s.file.is_none() && s.header_written {
+                // A resume could not reopen the file (already warned);
+                // leave it untouched rather than clobber it with a
+                // partial one-shot export.
+                report.streamed = true;
+                return report;
+            }
+            if s.failed {
+                // A mid-run flush failed partway; rewind to the last
+                // known-good offset before the retry below.
+                if let Some(f) = &mut s.file {
+                    let _ = f.set_len(s.bytes);
+                    let _ = f.seek(SeekFrom::Start(s.bytes));
+                }
+            }
+            let mut chunk = String::new();
+            if !s.header_written {
+                chunk.push_str(&chrome_header(report.num_sms));
+            }
+            chrome_event_chunk(&mut chunk, &report.events);
+            chunk.push_str(&chrome_counter_tail(&report));
+            let res = match &mut s.file {
+                Some(f) => f.write_all(chunk.as_bytes()),
+                none => std::fs::File::create(&s.path).and_then(|mut f| {
+                    f.write_all(chunk.as_bytes())?;
+                    *none = Some(f);
+                    Ok(())
+                }),
+            };
+            match res {
+                Ok(()) => report.streamed = true,
+                Err(e) => {
+                    // With a flushed prefix the file cannot be rebuilt
+                    // from RAM; claim it so the one-shot exporter does
+                    // not overwrite it with a tail-only trace. With
+                    // nothing flushed, fall through to the one-shot
+                    // path, which still has every event.
+                    report.streamed = s.flushed > 0;
+                    eprintln!("vksim: failed to finalize streamed trace {} ({e})", s.path);
+                }
+            }
         }
+        report
     }
 }
 
@@ -500,7 +814,7 @@ mod tests {
 
     #[test]
     fn healthy_sampler_reports_zero_underflows() {
-        let mut c = TraceCollector::new(cfg());
+        let mut c = TraceCollector::new(cfg(), 1);
         c.sample(
             100,
             IntervalSnapshot {
@@ -544,11 +858,14 @@ mod tests {
 
     #[test]
     fn collector_caps_events_and_counts_drops() {
-        let mut c = TraceCollector::new(TraceConfig {
-            enabled: true,
-            max_events: 3,
-            ..Default::default()
-        });
+        let mut c = TraceCollector::new(
+            TraceConfig {
+                enabled: true,
+                max_events: 3,
+                ..Default::default()
+            },
+            1,
+        );
         let mut t = SmTracer::new(&cfg());
         for i in 0..5 {
             t.record(i, 0, EventKind::Retire);
@@ -562,7 +879,7 @@ mod tests {
 
     #[test]
     fn sampler_stores_deltas_not_cumulatives() {
-        let mut c = TraceCollector::new(cfg());
+        let mut c = TraceCollector::new(cfg(), 1);
         c.sample(
             1000,
             IntervalSnapshot {
@@ -593,7 +910,7 @@ mod tests {
         t.stall_begin(6, 1);
         t.rt_busy_edge(7, true);
         t.icnt_stall_edge(8, true);
-        let mut c = TraceCollector::new(cfg());
+        let mut c = TraceCollector::new(cfg(), 1);
         c.sample(
             100,
             IntervalSnapshot {
@@ -623,7 +940,8 @@ mod tests {
         let mut e = vksim_snapshot::Enc::new();
         c.save(&mut e);
         let bytes = e.into_bytes();
-        let mut back = TraceCollector::load(cfg(), &mut vksim_snapshot::Dec::new(&bytes)).unwrap();
+        let mut back =
+            TraceCollector::load(cfg(), 1, &mut vksim_snapshot::Dec::new(&bytes)).unwrap();
         assert_eq!(back.interval_start, 100);
         assert_eq!(back.last_snapshot.issued_insts, 12);
         back.sample(
@@ -641,7 +959,7 @@ mod tests {
 
     #[test]
     fn prof_series_dedups_and_round_trips() {
-        let mut c = TraceCollector::new(cfg());
+        let mut c = TraceCollector::new(cfg(), 1);
         let mut a = [0u64; NUM_CATEGORIES];
         a[0] = 3;
         c.sample_prof(100, a);
@@ -654,15 +972,125 @@ mod tests {
         c.save(&mut e);
         let bytes = e.into_bytes();
         let mut d = vksim_snapshot::Dec::new(&bytes);
-        let back = TraceCollector::load(cfg(), &mut d).unwrap();
+        let back = TraceCollector::load(cfg(), 1, &mut d).unwrap();
         d.finish().unwrap();
         let r = back.finish(200, 1);
         assert_eq!(r.prof_series, vec![(100, a), (200, b)]);
     }
 
     #[test]
+    fn streamed_file_matches_one_shot_export() {
+        let path = std::env::temp_dir().join(format!("vksim-stream-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let stream_cfg = TraceConfig {
+            enabled: true,
+            out: Some(path.to_string_lossy().into_owned()),
+            ..Default::default()
+        };
+        let mut streamed = TraceCollector::new(stream_cfg, 2);
+        let mut plain = TraceCollector::new(cfg(), 2);
+        let snap = |n: u64| IntervalSnapshot {
+            issued_insts: n * 10,
+            ..Default::default()
+        };
+        // Identical event/sample sequences; only the streamed collector
+        // flushes chunks to disk at each boundary.
+        for round in 0..3u64 {
+            let events: Vec<Event> = (0..4)
+                .map(|i| Event {
+                    cycle: round * 100 + i,
+                    warp: 0,
+                    kind: EventKind::Retire,
+                })
+                .collect();
+            streamed.push_mem_events(round as u32 % 2, events.clone());
+            plain.push_mem_events(round as u32 % 2, events);
+            streamed.sample((round + 1) * 100, snap(round + 1));
+            plain.sample((round + 1) * 100, snap(round + 1));
+        }
+        let sr = streamed.finish(300, 2);
+        let pr = plain.finish(300, 2);
+        assert!(sr.streamed, "stream claimed the file");
+        assert!(!pr.streamed, "no out file, no stream");
+        assert_eq!(sr.flushed, 12, "all three chunks left RAM");
+        assert!(sr.events.is_empty());
+        let file = std::fs::read_to_string(&path).expect("streamed file written");
+        assert_eq!(
+            file,
+            crate::export::chrome_trace_json(&pr),
+            "streamed bytes identical to the one-shot export"
+        );
+        assert_eq!(
+            crate::export::hotspot_summary(&sr, 5),
+            crate::export::hotspot_summary(&pr, 5),
+            "summary counts flushed events"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stream_cursor_resumes_after_truncation() {
+        let path =
+            std::env::temp_dir().join(format!("vksim-stream-resume-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let stream_cfg = || TraceConfig {
+            enabled: true,
+            out: Some(path.to_string_lossy().into_owned()),
+            ..Default::default()
+        };
+        let ev = |cycle| Event {
+            cycle,
+            warp: 0,
+            kind: EventKind::Retire,
+        };
+        // Reference: one uninterrupted streamed run.
+        let mut reference = TraceCollector::new(stream_cfg(), 1);
+        reference.push_mem_events(0, (0..4).map(ev));
+        reference.sample(
+            100,
+            IntervalSnapshot {
+                issued_insts: 10,
+                ..Default::default()
+            },
+        );
+        reference.push_mem_events(0, (100..103).map(ev));
+        let _ = reference.finish(200, 1);
+        let want = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        // Interrupted: checkpoint after the first flush, keep streaming
+        // (the doomed run writes more), then resume from the checkpoint
+        // — the reopen must truncate the extra bytes away.
+        let mut doomed = TraceCollector::new(stream_cfg(), 1);
+        doomed.push_mem_events(0, (0..4).map(ev));
+        doomed.sample(
+            100,
+            IntervalSnapshot {
+                issued_insts: 10,
+                ..Default::default()
+            },
+        );
+        let mut e = vksim_snapshot::Enc::new();
+        doomed.save(&mut e);
+        let bytes = e.into_bytes();
+        doomed.push_mem_events(0, (500..520).map(ev));
+        let _ = doomed.finish(999, 1); // the killed run even finalized
+        let mut d = vksim_snapshot::Dec::new(&bytes);
+        let mut resumed = TraceCollector::load(stream_cfg(), 1, &mut d).unwrap();
+        d.finish().unwrap();
+        resumed.push_mem_events(0, (100..103).map(ev));
+        let report = resumed.finish(200, 1);
+        assert!(report.streamed);
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            want,
+            "resumed stream continues the file byte-identically"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
     fn aggregates_merge_across_sms() {
-        let mut c = TraceCollector::new(cfg());
+        let mut c = TraceCollector::new(cfg(), 1);
         let mut a = SmTracer::new(&cfg());
         a.issue(1, 0, 0x40, 32);
         a.issue(2, 0, 0x40, 32);

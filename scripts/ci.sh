@@ -109,6 +109,24 @@ cargo run --release --offline -p vksim-bench --bin experiments -- \
 VKSIM_PROF_SMOKE_FILE="$prof_dir/prof.json" \
     cargo test --offline -q -p vksim-bench --test prof_smoke
 
+# RT-analytics gate: a ray-traversal characterization run must export a
+# flat-JSON analytics file and a heatmap CSV that parse, carry the
+# documented key schema, and conserve (heatmap visits == Σ per-ray node
+# counts, Σ per-ray box tests == RT-unit box ops, every histogram
+# totalling the ray count) — the validation lives in
+# tests/rt_analytics.rs and runs here against the files the experiments
+# *binary* wrote, proving the whole VKSIM_RT_ANALYTICS pipeline.
+step "rt-analytics smoke run + export validation"
+rt_dir="$(mktemp -d)"
+cargo run --release --offline -p vksim-bench --bin experiments -- \
+    fig01 --rt-analytics="$rt_dir/rt.json" --rt-heatmap="$rt_dir/heatmap.csv" >/dev/null
+[ -s "$rt_dir/rt.json" ] || { echo "no rt analytics export written"; exit 1; }
+[ -s "$rt_dir/heatmap.csv" ] || { echo "no rt heatmap written"; exit 1; }
+head -1 "$rt_dir/heatmap.csv" | grep -q '^space,depth,node,visits,hits$' \
+    || { echo "malformed rt heatmap header"; exit 1; }
+VKSIM_RT_SMOKE_FILE="$rt_dir/rt.json" \
+    cargo test --offline -q -p vksim-bench --test rt_analytics
+
 # Chaos recovery drill: a fixed-seed campaign kills checkpointed runs
 # with injected worker panics at pseudo-random cycles, auto-resumes each
 # from its last checkpoint, and requires the recovered golden counters to
@@ -140,9 +158,10 @@ for suite in substrates engine mem; do
     # (crates/bench), not the workspace root.
     base="$PWD/.bench-baselines/BENCH_$suite.json"
     # The engine suite doubles as the observability overhead gate: the
-    # tracing/accounting hooks must cost no more than 2% when disabled,
-    # and the accounting-enabled `_prof` entries hold the profiler's own
-    # cost to the same bound against their recorded baselines.
+    # tracing/accounting/rt-analytics hooks must cost no more than 2%
+    # when disabled, and the enabled-path `_prof` / `_rt` entries hold
+    # each observer's own cost to the same bound against their recorded
+    # baselines.
     if [ "$suite" = engine ]; then
         max="${VKSIM_BENCH_MAX_REGRESSION_ENGINE:-2}"
     else

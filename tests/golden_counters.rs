@@ -79,19 +79,30 @@ fn snapshot(report: &RunReport) -> BTreeMap<String, u64> {
     m
 }
 
-/// Runs a workload with cycle accounting enabled and checks both gates at
-/// once: the counter snapshot must match its golden **byte-for-byte**
-/// (proving accounting is purely observational — the goldens were blessed
-/// without it), and the accounting breakdown must conserve
-/// (`Σ categories == num_sms × cycles`).
+/// Runs a workload with cycle accounting AND ray-traversal analytics
+/// enabled and checks every gate at once: the counter snapshot must match
+/// its golden **byte-for-byte** (proving both observers are purely
+/// observational — the goldens were blessed without them), the accounting
+/// breakdown must conserve (`Σ categories == num_sms × cycles`), and the
+/// traversal analytics must conserve (heatmap visits == Σ per-ray node
+/// counts, per-ray box tests == RT-unit box ops).
 fn check_workload_with(kind: WorkloadKind, golden: &str, config: SimConfig) {
-    let (_, report) = run_workload(kind, Scale::Test, config.with_accounting(true));
+    let (_, report) = run_workload(
+        kind,
+        Scale::Test,
+        config.with_accounting(true).with_rt_analytics(true),
+    );
     let prof = report.prof.as_ref().expect("accounting enabled");
     assert!(
         prof.conservation_holds(),
         "cycle-accounting conservation violated on {golden}: {prof:?}"
     );
     assert_eq!(prof.cycles, report.gpu.cycles, "{golden}");
+    let rt = report.rt.as_ref().expect("rt analytics enabled");
+    assert!(
+        rt.conservation_holds(),
+        "rt-analytics conservation violated on {golden}"
+    );
     assert_matches_golden(golden_path(golden), &snapshot(&report));
 }
 
@@ -176,6 +187,24 @@ fn prof_breakdown_is_thread_count_invariant() {
     );
 }
 
+/// The full ray-traversal characterization of the paper-scale TRI run,
+/// pinned key-by-key: per-node heatmap totals, per-ray histograms,
+/// depth profile, warp-coherence tallies and per-SM RT-unit roll-ups.
+/// Any traversal-order, BVH-layout or attribution change shows up as a
+/// per-key diff here. Regenerate with `VKSIM_BLESS=1` after intentional
+/// changes.
+#[test]
+fn golden_tri_paper_rt() {
+    let (_, report) = run_workload(
+        WorkloadKind::Tri,
+        Scale::Test,
+        SimConfig::paper().with_rt_analytics(true),
+    );
+    let rt = report.rt.as_ref().expect("analytics enabled");
+    assert!(rt.conservation_holds());
+    assert_matches_golden(golden_path("tri_paper_rt"), &rt.flat_map());
+}
+
 /// The paper-scale configuration behind a *bounded* interconnect: finite
 /// per-partition ingress queues and return credits, so SMs stall on
 /// backpressure (`sm.icnt_stall_cycles`) and refused offers are counted
@@ -238,11 +267,20 @@ fn paper_threads_do_not_change_counters() {
 fn golden_rtv6_fcc() {
     let mut w = build(WorkloadKind::Rtv6, Scale::Test);
     let fcc_cmd = w.with_fcc(true);
-    let report = Simulator::new(SimConfig::test_small().with_accounting(true))
-        .run(&w.device, &fcc_cmd)
-        .expect("healthy run");
+    let report = Simulator::new(
+        SimConfig::test_small()
+            .with_accounting(true)
+            .with_rt_analytics(true),
+    )
+    .run(&w.device, &fcc_cmd)
+    .expect("healthy run");
     let prof = report.prof.as_ref().expect("accounting enabled");
     assert!(prof.conservation_holds(), "{prof:?}");
+    assert!(report
+        .rt
+        .as_ref()
+        .expect("analytics on")
+        .conservation_holds());
     assert_matches_golden(golden_path("rtv6_fcc"), &snapshot(&report));
 }
 
@@ -252,11 +290,21 @@ fn golden_rtv6_fcc() {
 #[test]
 fn golden_ref_its() {
     let w = build(WorkloadKind::Ref, Scale::Test);
-    let report = Simulator::new(SimConfig::test_small().with_its(true).with_accounting(true))
-        .run(&w.device, &w.cmd)
-        .expect("healthy run");
+    let report = Simulator::new(
+        SimConfig::test_small()
+            .with_its(true)
+            .with_accounting(true)
+            .with_rt_analytics(true),
+    )
+    .run(&w.device, &w.cmd)
+    .expect("healthy run");
     let prof = report.prof.as_ref().expect("accounting enabled");
     assert!(prof.conservation_holds(), "{prof:?}");
+    assert!(report
+        .rt
+        .as_ref()
+        .expect("analytics on")
+        .conservation_holds());
     assert_matches_golden(golden_path("ref_its"), &snapshot(&report));
 }
 

@@ -209,6 +209,56 @@ fn resume_from_random_checkpoint_is_bit_identical() {
     }
 }
 
+/// Ray-traversal analytics must survive kill-and-resume byte-identically
+/// and be thread-count invariant: the resumed run's flat rt JSON (every
+/// heatmap cell, histogram bucket and per-SM roll-up) equals the
+/// uninterrupted run's, at threads = 1 and threads = 4, and both thread
+/// counts serialize the identical characterization.
+#[test]
+fn rt_analytics_survive_resume_and_threads() {
+    let w = build(WorkloadKind::Tri, Scale::Test);
+    let mut flats: Vec<String> = Vec::new();
+    for threads in [1usize, 4] {
+        let dir = ckpt_dir(&format!("rt-resume-{threads}"));
+        let cfg = || {
+            named_config(false, threads)
+                .with_rt_analytics(true)
+                .with_checkpoint(400, dir.to_string_lossy().to_string())
+        };
+        let reference = run_plain(cfg(), &w);
+        let rt_flat = |r: &RunReport| r.rt.as_ref().expect("analytics enabled").flat_json();
+        let want = rt_flat(&reference);
+        // Kill the run two-thirds in, resume from the last surviving
+        // checkpoint, and demand the identical characterization.
+        let mut doomed = cfg();
+        doomed.gpu.fault_plan.worker_panic = Some(WorkerPanicSpec {
+            sm: 0,
+            cycle: (reference.gpu.cycles * 2 / 3).max(401),
+        });
+        Simulator::new(doomed)
+            .run(&w.device, &w.cmd)
+            .expect_err("injected panic kills the run");
+        let (cycle, last) = checkpoints_in(&dir)
+            .into_iter()
+            .next_back()
+            .expect("checkpoint written before the kill");
+        let resumed = Simulator::new(cfg())
+            .resume(&w.device, &w.cmd, &last)
+            .expect("resume completes");
+        assert_eq!(
+            want,
+            rt_flat(&resumed),
+            "threads={threads}: rt analytics drifted across resume from cycle {cycle}"
+        );
+        flats.push(want);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(
+        flats[0], flats[1],
+        "threads=1 and threads=4 must serialize identical rt analytics"
+    );
+}
+
 /// Fixed-seed chaos campaign: each iteration injects a worker panic at a
 /// pseudo-random cycle of a checkpointed run, auto-resumes from the last
 /// surviving checkpoint, and gates the recovered counters against the

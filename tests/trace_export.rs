@@ -326,6 +326,48 @@ fn exporter_writes_requested_files() {
     let _ = std::fs::remove_file(&csv);
 }
 
+/// Streaming export: with an out file configured, event chunks are
+/// flushed at interval boundaries instead of accumulating in RAM, and
+/// the finished file must be byte-identical to the one-shot
+/// serialization of an identical in-memory run.
+#[test]
+fn streamed_export_is_byte_identical_to_one_shot() {
+    let out = std::env::temp_dir().join(format!(
+        "vksim_stream_vs_oneshot_{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&out);
+    let w = build(WorkloadKind::Tri, Scale::Test);
+    let mut cfg = traced_config(1);
+    cfg.gpu.trace.out = Some(out.to_string_lossy().into_owned());
+    let streamed = Simulator::new(cfg)
+        .run(&w.device, &w.cmd)
+        .expect("healthy run");
+    let trace = trace_of(&streamed);
+    assert!(
+        trace.streamed,
+        "out file puts the collector in streaming mode"
+    );
+    assert!(
+        trace.flushed > 0,
+        "interval boundaries flushed event chunks"
+    );
+    assert!(
+        trace.events.is_empty(),
+        "flushed events left RAM ({} remained)",
+        trace.events.len()
+    );
+    let in_memory = Simulator::new(traced_config(1))
+        .run(&w.device, &w.cmd)
+        .expect("healthy run");
+    assert_eq!(
+        std::fs::read_to_string(&out).expect("streamed file written"),
+        chrome_trace_json(trace_of(&in_memory)),
+        "streamed file must be byte-identical to the one-shot export"
+    );
+    let _ = std::fs::remove_file(&out);
+}
+
 /// Interval-sampler continuity across checkpoint/resume: a traced run
 /// killed mid-flight and resumed from its last checkpoint must serialize
 /// the identical interval CSV and Chrome trace as an uninterrupted run.
@@ -387,6 +429,67 @@ fn sampler_survives_resume_without_duplicate_intervals() {
         chrome_trace_json(trace_of(&resumed)),
         "resumed Chrome trace must be byte-identical to uninterrupted"
     );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Streamed-file continuity across checkpoint/resume: the doomed run
+/// keeps flushing chunks past the checkpoint (and even finalizes its
+/// file on the fault path), so the resume must reopen the file,
+/// truncate back to the checkpointed byte cursor, and continue — ending
+/// with a file byte-identical to an uninterrupted streamed run's.
+#[test]
+fn streamed_file_survives_resume_byte_identically() {
+    let tmp = std::env::temp_dir();
+    let ref_out = tmp.join(format!("vksim_stream_ref_{}.json", std::process::id()));
+    let out = tmp.join(format!("vksim_stream_resume_{}.json", std::process::id()));
+    let dir = tmp.join(format!("vksim-stream-resume-ckpt-{}", std::process::id()));
+    let _ = std::fs::remove_file(&ref_out);
+    let _ = std::fs::remove_file(&out);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let w = build(WorkloadKind::Tri, Scale::Test);
+    let mut ref_cfg = traced_config(1);
+    ref_cfg.gpu.trace.out = Some(ref_out.to_string_lossy().into_owned());
+    let reference = Simulator::new(ref_cfg)
+        .run(&w.device, &w.cmd)
+        .expect("healthy run");
+    assert!(trace_of(&reference).streamed);
+    let want = std::fs::read_to_string(&ref_out).expect("reference streamed file");
+    let cfg = || {
+        let mut c = traced_config(1).with_checkpoint(300, dir.to_string_lossy().to_string());
+        c.gpu.trace.out = Some(out.to_string_lossy().into_owned());
+        c.gpu.fault_plan.worker_panic = Some(WorkerPanicSpec {
+            sm: 0,
+            cycle: (reference.gpu.cycles * 2 / 3).max(301),
+        });
+        c
+    };
+    Simulator::new(cfg())
+        .run(&w.device, &w.cmd)
+        .expect_err("injected panic kills the run");
+    let last_ckpt = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "vksnap"))
+        .max_by_key(|p| {
+            p.file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|s| s.strip_prefix("ckpt-"))
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(0)
+        })
+        .expect("checkpoint written before the kill");
+    let resumed = Simulator::new(cfg())
+        .resume(&w.device, &w.cmd, &last_ckpt)
+        .expect("resume completes");
+    assert!(trace_of(&resumed).streamed);
+    assert_eq!(
+        std::fs::read_to_string(&out).expect("resumed streamed file"),
+        want,
+        "resumed streamed file must be byte-identical to uninterrupted"
+    );
+    let _ = std::fs::remove_file(&ref_out);
+    let _ = std::fs::remove_file(&out);
     let _ = std::fs::remove_dir_all(&dir);
 }
 
